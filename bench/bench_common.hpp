@@ -1,0 +1,119 @@
+// Shared utilities for the experiment harnesses (one binary per paper
+// table/figure).
+//
+// Every harness prints the paper's reported numbers next to the measured
+// ones. Absolute values are not expected to match (different substrate,
+// synthetic data, scaled-down training — see DESIGN.md §2); the reproduction
+// target is the *shape*: orderings, collapses, recoveries, crossovers.
+//
+// Scale knobs (environment variables):
+//   WINO_SCALE       smoke | default | full   (preset bundles)
+//   WINO_TRAIN       training-set size override
+//   WINO_TEST        test-set size override
+//   WINO_EPOCHS      epochs override
+//   WINO_WIDTH       ResNet width multiplier override
+//   WINO_BATCH       batch size override
+//   WINO_SEED        RNG seed
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/synthetic.hpp"
+#include "train/trainer.hpp"
+
+namespace wa::bench {
+
+struct Scale {
+  std::int64_t train_size = 320;
+  std::int64_t test_size = 128;
+  int epochs = 2;
+  float width_mult = 0.125F;
+  std::int64_t batch = 32;
+  std::uint64_t seed = 42;
+};
+
+inline std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+/// Resolve the scale preset + individual overrides.
+inline Scale scale_from_env() {
+  Scale s;
+  const char* preset = std::getenv("WINO_SCALE");
+  if (preset != nullptr && std::string(preset) == "smoke") {
+    s.train_size = 192;
+    s.test_size = 96;
+    s.epochs = 1;
+  } else if (preset != nullptr && std::string(preset) == "full") {
+    s.train_size = 4000;
+    s.test_size = 1000;
+    s.epochs = 10;
+    s.width_mult = 0.25F;
+  }
+  s.train_size = env_int("WINO_TRAIN", s.train_size);
+  s.test_size = env_int("WINO_TEST", s.test_size);
+  s.epochs = static_cast<int>(env_int("WINO_EPOCHS", s.epochs));
+  s.width_mult = static_cast<float>(env_double("WINO_WIDTH", s.width_mult));
+  s.batch = env_int("WINO_BATCH", s.batch);
+  s.seed = static_cast<std::uint64_t>(env_int("WINO_SEED", static_cast<std::int64_t>(s.seed)));
+  return s;
+}
+
+inline data::Dataset make_split(data::SyntheticSpec spec, const Scale& s, bool train) {
+  spec.train_size = s.train_size;
+  spec.test_size = s.test_size;
+  spec.seed ^= s.seed;
+  return data::generate(spec, train);
+}
+
+inline train::TrainerOptions trainer_options(const Scale& s, float lr = 3e-3F) {
+  train::TrainerOptions opts;
+  opts.epochs = s.epochs;
+  opts.batch_size = s.batch;
+  opts.lr = lr;
+  opts.seed = s.seed;
+  return opts;
+}
+
+/// Section banner.
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// "paper X | measured Y" row helper.
+inline void row(const std::string& label, const std::string& paper, const std::string& measured) {
+  std::printf("  %-34s paper: %-18s measured: %s\n", label.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+inline std::string pct(float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", 100.F * v);
+  return buf;
+}
+
+inline std::string ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", v);
+  return buf;
+}
+
+inline std::string ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  return buf;
+}
+
+}  // namespace wa::bench

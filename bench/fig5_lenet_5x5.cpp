@@ -1,0 +1,100 @@
+// Figure 5 reproduction: INT8 LeNet (5x5 filters) on the MNIST analog.
+// Winograd-aware layers with STATIC transforms degrade sharply as the output
+// tile grows — F(6x6, 5x5) uses 10x10 tiles — while learning the transforms
+// (-flex) recovers most of the accuracy.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "models/lenet.hpp"
+
+namespace {
+
+using namespace wa;
+
+struct Config {
+  const char* label;
+  nn::ConvAlgo algo;
+  bool flex;
+  double paper_final;  // paper's reported INT8 end-of-training accuracy (%)
+};
+
+// Fig. 5: im2row ~99, F2 ~98.5, F2-flex ~99, F4 73, F4-flex ~97, F6 51,
+// F6-flex ~96 (F4/F6 static quoted in the caption).
+const Config kConfigs[] = {
+    {"im2row", nn::ConvAlgo::kIm2row, false, 99.0},
+    {"F2", nn::ConvAlgo::kWinograd2, false, 98.5},
+    {"F2-flex", nn::ConvAlgo::kWinograd2, true, 99.0},
+    {"F4", nn::ConvAlgo::kWinograd4, false, 73.0},
+    {"F4-flex", nn::ConvAlgo::kWinograd4, true, 97.0},
+    {"F6", nn::ConvAlgo::kWinograd6, false, 51.0},
+    {"F6-flex", nn::ConvAlgo::kWinograd6, true, 96.0},
+};
+
+}  // namespace
+
+int main() {
+  using namespace wa;
+  auto scale = bench::scale_from_env();
+  // The flex-vs-static gap for 5x5 filters needs real optimization time to
+  // open: the INT8 t=8/t=10 pipelines start in the collapsed regime and the
+  // learnt transforms climb out only after several hundred steps (~epoch 4-5
+  // at 2000 samples; the paper trains far longer). Give this harness its own
+  // scale floor; the explicit smoke preset and env overrides still win.
+  // Liftoff is sensitive to the optimization recipe: batch 32 with lr 2e-3
+  // climbs out reliably (~epoch 4-5); smaller batches with higher lr keep
+  // the learnt transforms too noisy to reduce the arithmetic error.
+  const char* preset = std::getenv("WINO_SCALE");
+  if (preset == nullptr || std::string(preset) != "smoke") {
+    scale.train_size = std::max<std::int64_t>(scale.train_size, 2000);
+    scale.test_size = std::max<std::int64_t>(scale.test_size, 400);
+    scale.epochs = std::max(scale.epochs * 3, 8);
+    scale.batch = 32;
+  }
+  bench::banner("Figure 5 — INT8 LeNet with 5x5 filters (static vs learnt transforms)");
+
+  const auto train_set = bench::make_split(data::mnist_like(), scale, true);
+  const auto val_set = bench::make_split(data::mnist_like(), scale, false);
+
+  std::printf("validation accuracy per epoch (INT8, 5x5 filters):\n");
+  std::vector<std::pair<const Config*, float>> finals;
+  for (const auto& cfg : kConfigs) {
+    Rng rng(scale.seed);
+    models::LeNetConfig lc;
+    lc.algo = cfg.algo;
+    lc.qspec = quant::QuantSpec{8};
+    lc.flex_transforms = cfg.flex;
+    models::LeNet5 net(lc, rng);
+
+    std::printf("  %-8s :", cfg.label);
+    std::fflush(stdout);
+    auto opts = bench::trainer_options(scale, 2e-3F);
+    opts.on_epoch = [](const train::EpochStats& st) {
+      std::printf(" %5.1f", 100.F * st.val_acc);
+      std::fflush(stdout);
+    };
+    train::Trainer trainer(net, train_set, val_set, opts);
+    const auto history = trainer.fit();
+    const float final_acc = history.back().val_acc;
+    finals.emplace_back(&cfg, final_acc);
+    std::printf("   (paper final ~%.0f%%)\n", cfg.paper_final);
+  }
+
+  bench::banner("Findings check");
+  auto get = [&](const char* label) {
+    for (const auto& [cfg, acc] : finals) {
+      if (std::string(cfg->label) == label) return acc;
+    }
+    return 0.F;
+  };
+  bench::row("flex >= static for F4", "always better",
+             get("F4-flex") >= get("F4") ? "yes" : "NO");
+  bench::row("flex >= static for F6", "always better",
+             get("F6-flex") >= get("F6") ? "yes" : "NO");
+  bench::row("static degrades with tile size (F2>F4>F6)", "monotone drop",
+             (get("F2") >= get("F4") && get("F4") >= get("F6")) ? "yes" : "NO");
+  return 0;
+}

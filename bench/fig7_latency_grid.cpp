@@ -1,0 +1,144 @@
+// Figure 7 reproduction: latency grid of im2row vs F2/F4/F6 on a Cortex-A73
+// (FP32, batch 1) sweeping output width/height and channel configurations.
+// Also prints Table 2 (the core specs the model is built from).
+//
+// Checks the paper's three stated findings:
+//  (1) im2row is consistently optimal for the input layer (3 -> 32);
+//  (2) the best Winograd config alternates between F4 and F6 with output
+//      size (tile-edge waste) for deeper layers;
+//  (3) the choice is driven by output size, not by inCh -> outCh.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "latency/cost_model.hpp"
+
+namespace {
+
+using namespace wa;
+using latency::DType;
+using latency::LatencyModel;
+using latency::LayerDesc;
+
+LayerDesc make_layer(std::int64_t cin, std::int64_t cout, std::int64_t out_hw, nn::ConvAlgo algo) {
+  LayerDesc l;
+  l.geom.batch = 1;
+  l.geom.in_channels = cin;
+  l.geom.out_channels = cout;
+  l.geom.height = out_hw;  // pad=1, k=3: output size == input size
+  l.geom.width = out_hw;
+  l.geom.kernel = 3;
+  l.geom.pad = 1;
+  l.algo = algo;
+  l.dtype = DType::kFp32;
+  return l;
+}
+
+// A row of the paper's Fig. 7 (A73, FP32, in milliseconds) for comparison.
+struct PaperRow {
+  int out_w;
+  double im2row, f2, f4, f6;
+};
+
+// Columns 3->32 and 256->512 of the published grid (selected rows).
+const std::vector<PaperRow> kPaper3to32 = {
+    {8, 0.031, 0.059, 0.064, 0.133},   {16, 0.111, 0.235, 0.153, 0.283},
+    {24, 0.247, 0.452, 0.324, 0.409},
+};
+const std::vector<PaperRow> kPaper256to512 = {
+    {8, 28.238, 14.930, 11.499, 21.241}, {16, 109.943, 57.083, 34.190, 60.504},
+    {24, 251.771, 125.604, 83.167, 67.047},
+};
+
+void print_grid(const LatencyModel& model, std::int64_t cin, std::int64_t cout) {
+  std::printf("\n  inCh=%lld -> outCh=%lld (A73, FP32, ms)\n", static_cast<long long>(cin),
+              static_cast<long long>(cout));
+  std::printf("  %-6s %10s %10s %10s %10s   best\n", "outW", "im2row", "F2", "F4", "F6");
+  for (std::int64_t w = 2; w <= 24; w += 2) {
+    const double base = model.conv_cost(make_layer(cin, cout, w, nn::ConvAlgo::kIm2row)).total_ms();
+    const double f2 = model.conv_cost(make_layer(cin, cout, w, nn::ConvAlgo::kWinograd2)).total_ms();
+    const double f4 = model.conv_cost(make_layer(cin, cout, w, nn::ConvAlgo::kWinograd4)).total_ms();
+    const double f6 = model.conv_cost(make_layer(cin, cout, w, nn::ConvAlgo::kWinograd6)).total_ms();
+    const char* best = "im2row";
+    double bv = base;
+    if (f2 < bv) { bv = f2; best = "F2"; }
+    if (f4 < bv) { bv = f4; best = "F4"; }
+    if (f6 < bv) { bv = f6; best = "F6"; }
+    std::printf("  %-6lld %10.4f %10.4f %10.4f %10.4f   %s\n", static_cast<long long>(w), base,
+                f2, f4, f6, best);
+  }
+}
+
+void print_paper_ref(const char* title, const std::vector<PaperRow>& rows) {
+  std::printf("\n  Paper reference — %s (ms):\n", title);
+  std::printf("  %-6s %10s %10s %10s %10s\n", "outW", "im2row", "F2", "F4", "F6");
+  for (const auto& r : rows) {
+    std::printf("  %-6d %10.3f %10.3f %10.3f %10.3f\n", r.out_w, r.im2row, r.f2, r.f4, r.f6);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace wa;
+  bench::banner("Figure 7 — convolution latency grid (cost model, Cortex-A73, FP32)");
+
+  bench::note("Table 2 core specifications driving the model:");
+  for (const auto& spec : {latency::cortex_a73(), latency::cortex_a53()}) {
+    std::printf("  %-12s %.1f GHz  L2 %4.0f KB  (gemm eff %.2f, transform %.1f GB/s)\n",
+                spec.name.c_str(), spec.clock_ghz, spec.l2_kb, spec.gemm_efficiency,
+                spec.transform_gbps);
+  }
+
+  const latency::LatencyModel a73(latency::cortex_a73());
+  print_grid(a73, 3, 32);
+  print_paper_ref("3 -> 32", kPaper3to32);
+  print_grid(a73, 32, 64);
+  print_grid(a73, 128, 192);
+  print_grid(a73, 192, 256);
+  print_grid(a73, 256, 512);
+  print_paper_ref("256 -> 512", kPaper256to512);
+
+  bench::banner("Findings check");
+  // (1) input layer: im2row wins everywhere.
+  bool input_ok = true;
+  for (std::int64_t w = 4; w <= 32; w += 4) {
+    const double base = a73.conv_cost(make_layer(3, 32, w, nn::ConvAlgo::kIm2row)).total_ms();
+    for (auto algo : {nn::ConvAlgo::kWinograd2, nn::ConvAlgo::kWinograd4, nn::ConvAlgo::kWinograd6}) {
+      input_ok = input_ok && base < a73.conv_cost(make_layer(3, 32, w, algo)).total_ms();
+    }
+  }
+  bench::row("(1) im2row optimal on input layer", "yes", input_ok ? "yes" : "NO");
+
+  // (2) F4/F6 alternation by output size.
+  const double f4_6 = a73.conv_cost(make_layer(128, 192, 6, nn::ConvAlgo::kWinograd4)).total_ms();
+  const double f6_6 = a73.conv_cost(make_layer(128, 192, 6, nn::ConvAlgo::kWinograd6)).total_ms();
+  const double f4_8 = a73.conv_cost(make_layer(128, 192, 8, nn::ConvAlgo::kWinograd4)).total_ms();
+  const double f6_8 = a73.conv_cost(make_layer(128, 192, 8, nn::ConvAlgo::kWinograd6)).total_ms();
+  bench::row("(2) F6 best at outW=6, F4 best at outW=8", "yes",
+             (f6_6 < f4_6 && f4_8 < f6_8) ? "yes" : "NO");
+
+  // (3) choice invariant to channel configuration (compare winners).
+  bool invariant = true;
+  for (std::int64_t w : {6, 8, 12, 16}) {
+    int winner_small = -1, winner_big = -1;
+    auto winner = [&](std::int64_t cin, std::int64_t cout) {
+      double best = 1e100;
+      int arg = 0, i = 0;
+      for (auto algo : {nn::ConvAlgo::kWinograd2, nn::ConvAlgo::kWinograd4, nn::ConvAlgo::kWinograd6}) {
+        const double v = a73.conv_cost(make_layer(cin, cout, w, algo)).total_ms();
+        if (v < best) {
+          best = v;
+          arg = i;
+        }
+        ++i;
+      }
+      return arg;
+    };
+    winner_small = winner(64, 64);
+    winner_big = winner(256, 512);
+    invariant = invariant && winner_small == winner_big;
+  }
+  bench::row("(3) winner invariant to inCh->outCh", "yes (generally)", invariant ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 8 reproduction: per-layer latency of ResNet-18-style layers,
+// normalised to im2row, with the Winograd cost split into input transform /
+// GEMM / output transform — on both Cortex-A73 and Cortex-A53.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "latency/cost_model.hpp"
+
+namespace {
+
+using namespace wa;
+using latency::DType;
+using latency::LatencyModel;
+using latency::LayerDesc;
+
+struct LayerCase {
+  const char* label;
+  std::int64_t cin, cout, hw;
+};
+
+// The three layers Fig. 8 shows.
+const LayerCase kCases[] = {
+    {"32x32 inCh:3 outCh:32", 3, 32, 32},
+    {"16x16 inCh:128 outCh:128", 128, 128, 16},
+    {"8x8  inCh:256 outCh:256", 256, 256, 8},
+};
+
+LayerDesc make_layer(const LayerCase& c, nn::ConvAlgo algo) {
+  LayerDesc l;
+  l.geom.batch = 1;
+  l.geom.in_channels = c.cin;
+  l.geom.out_channels = c.cout;
+  l.geom.height = c.hw;
+  l.geom.width = c.hw;
+  l.geom.kernel = 3;
+  l.geom.pad = 1;
+  l.algo = algo;
+  l.dtype = DType::kFp32;
+  return l;
+}
+
+void run_core(const latency::CoreSpec& spec) {
+  const LatencyModel model(spec);
+  std::printf("\n%s (FP32, normalised to im2row; Winograd split in/gemm/out)\n",
+              spec.name.c_str());
+  std::printf("  %-26s %8s %8s %8s %8s %8s\n", "layer", "im2row", "im2col", "F2", "F4", "F6");
+  for (const auto& c : kCases) {
+    const double base = model.conv_cost(make_layer(c, nn::ConvAlgo::kIm2row)).total_ms();
+    const double col = model.conv_cost(make_layer(c, nn::ConvAlgo::kIm2col)).total_ms();
+    std::printf("  %-26s %8.2f %8.2f", c.label, 1.0, col / base);
+    for (auto algo : {nn::ConvAlgo::kWinograd2, nn::ConvAlgo::kWinograd4, nn::ConvAlgo::kWinograd6}) {
+      const auto bd = model.conv_cost(make_layer(c, algo));
+      std::printf(" %8.2f", bd.total_ms() / base);
+    }
+    std::printf("\n");
+    // Stage split for each Winograd config.
+    for (auto [algo, name] : {std::pair{nn::ConvAlgo::kWinograd2, "F2"},
+                              std::pair{nn::ConvAlgo::kWinograd4, "F4"},
+                              std::pair{nn::ConvAlgo::kWinograd6, "F6"}}) {
+      const auto bd = model.conv_cost(make_layer(c, algo));
+      std::printf("      %-4s in %5.1f%%  gemm %5.1f%%  out %5.1f%%\n", name,
+                  100 * bd.input_transform_ms / bd.total_ms(), 100 * bd.gemm_ms / bd.total_ms(),
+                  100 * bd.output_transform_ms / bd.total_ms());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace wa;
+  bench::banner("Figure 8 — per-layer latency breakdown (normalised to im2row)");
+  run_core(latency::cortex_a73());
+  run_core(latency::cortex_a53());
+
+  bench::banner("Findings check");
+  const LatencyModel a73(latency::cortex_a73());
+  const LatencyModel a53(latency::cortex_a53());
+
+  // Input layer: transforms are 65% (A73) / 75% (A53) of the Winograd cost.
+  for (auto [model, name, paper] :
+       {std::tuple{&a73, "A73", "~65%"}, std::tuple{&a53, "A53", "~75%"}}) {
+    const auto bd = model->conv_cost(make_layer(kCases[0], nn::ConvAlgo::kWinograd4));
+    const double share = (bd.input_transform_ms + bd.output_transform_ms) / bd.total_ms();
+    bench::row(std::string("transform share, input layer, ") + name, paper, bench::pct(static_cast<float>(share)));
+  }
+
+  // Winograd beats im2row on the deeper layers of both cores, less so on A53.
+  auto speedup = [](const LatencyModel& m, const LayerCase& c, nn::ConvAlgo algo) {
+    return m.conv_cost(make_layer(c, nn::ConvAlgo::kIm2row)).total_ms() /
+           m.conv_cost(make_layer(c, algo)).total_ms();
+  };
+  bench::row("F4 speedup 16x16/128ch, A73", ">1 (bar < 1.0)",
+             bench::ratio(speedup(a73, kCases[1], nn::ConvAlgo::kWinograd4)));
+  bench::row("F4 speedup 16x16/128ch, A53", ">1 but smaller",
+             bench::ratio(speedup(a53, kCases[1], nn::ConvAlgo::kWinograd4)));
+  return 0;
+}

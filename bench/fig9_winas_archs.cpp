@@ -1,0 +1,55 @@
+// Figure 9 / appendix A.3 reproduction: the architectures wiNAS finds.
+//
+// Runs wiNAS-WA (fixed INT8) and wiNAS-WA-Q (bit-width in the search space)
+// on the CIFAR-10 analog and prints the chosen algorithm/bit-width per layer
+// in the style of the paper's Fig. 9 columns, plus a λ2 sweep showing the
+// latency pressure mechanism (§6.3: high λ2 converges to WAF4-like
+// assignments; low λ2 trades latency back for accuracy).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nas/winas.hpp"
+
+int main() {
+  using namespace wa;
+  const auto scale = bench::scale_from_env();
+  bench::banner("Figure 9 / A.3 — architectures found by wiNAS");
+
+  const auto train_set = bench::make_split(data::cifar10_like(), scale, true);
+  const auto val_set = bench::make_split(data::cifar10_like(), scale, false);
+
+  std::printf(
+      "paper reference (CIFAR-10, wiNAS-WA-Q): first layers kept at high precision\n"
+      "(im2row/F4 FP32-INT16), middle layers F4 INT8, last stage F2/im2row INT8.\n");
+
+  nas::WinasOptions base;
+  base.epochs = std::max(1, scale.epochs / 2);
+  base.batch_size = scale.batch;
+  base.width_mult = scale.width_mult;
+  base.seed = scale.seed;
+
+  // ---- wiNAS-WA at two latency pressures -------------------------------------
+  for (float lambda2 : {0.1F, 1e-3F}) {
+    nas::WinasOptions opts = base;
+    opts.fixed_spec = quant::QuantSpec{8};
+    opts.lambda2 = lambda2;
+    std::printf("\nwiNAS-WA (INT8 space), lambda2 = %g:\n", static_cast<double>(lambda2));
+    nas::WinasSearch search(opts, train_set, val_set);
+    const auto result = search.run();
+    std::printf("%s", nas::format_architecture(result).c_str());
+    std::printf("  supernet argmax-path val acc: %s\n", bench::pct(result.final_val_acc).c_str());
+  }
+
+  // ---- wiNAS-WA-Q --------------------------------------------------------------
+  {
+    nas::WinasOptions opts = base;
+    opts.search_quant = true;
+    opts.lambda2 = 0.05F;
+    std::printf("\nwiNAS-WA-Q ({im2row,F2,F4,F6} x {fp32,int16,int8}), lambda2 = 0.05:\n");
+    nas::WinasSearch search(opts, train_set, val_set);
+    const auto result = search.run();
+    std::printf("%s", nas::format_architecture(result).c_str());
+    std::printf("  supernet argmax-path val acc: %s\n", bench::pct(result.final_val_acc).c_str());
+  }
+  return 0;
+}

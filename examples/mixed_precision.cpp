@@ -1,0 +1,81 @@
+// Mixed-precision Winograd pipelines: the "quantization diversity" the
+// paper proposes in §3.2 and recommends in its discussion (§7) but never
+// evaluates.
+//
+//   build/examples/mixed_precision
+//
+// Three layers of control, all composable:
+//   1. per-stage bit-widths   — each Qx stage of Eq. 1 (weight transform,
+//                               input transform, Hadamard, output transform)
+//                               can run at its own precision;
+//   2. per-channel weights    — one quantization scale per output filter;
+//   3. affine activations     — zero-points for skewed (post-ReLU) ranges.
+#include <cstdio>
+
+#include "core/wa_conv2d.hpp"
+#include "data/synthetic.hpp"
+#include "models/resnet.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace wa;
+
+  auto spec = data::cifar10_like();
+  spec.train_size = 512;
+  spec.test_size = 256;
+  const auto train_set = data::generate(spec, true);
+  const auto val_set = data::generate(spec, false);
+
+  // ---- 1. a single layer with a promoted Hadamard stage ------------------
+  {
+    Rng rng(1);
+    nn::Conv2dOptions opts;
+    opts.in_channels = 16;
+    opts.out_channels = 16;
+    opts.algo = nn::ConvAlgo::kWinograd4;
+    opts.qspec = quant::QuantSpec{8};   // everything int8...
+    opts.qspec_m = quant::QuantSpec{16};  // ...except the Hadamard stage
+    core::WinogradAwareConv2d layer(opts, rng);
+    ag::Variable x(Tensor::randn({1, 16, 16, 16}, rng), false);
+    const auto y = layer.forward(x);
+    std::printf("layer with int16 Hadamard stage: output %lldx%lldx%lldx%lld\n",
+                static_cast<long long>(y.shape()[0]), static_cast<long long>(y.shape()[1]),
+                static_cast<long long>(y.shape()[2]), static_cast<long long>(y.shape()[3]));
+  }
+
+  // ---- 2. whole-model comparison ------------------------------------------
+  // WAF4-static at INT8 is the configuration that collapses in the paper
+  // (Table 4/5); richer quantization is the suggested fix.
+  struct Variant {
+    const char* label;
+    bool per_channel;
+    quant::QuantScheme scheme;
+    bool promote_hadamard;
+  };
+  const Variant variants[] = {
+      {"per-layer symmetric (paper)", false, quant::QuantScheme::kSymmetric, false},
+      {"+ per-channel weights", true, quant::QuantScheme::kSymmetric, false},
+      {"+ affine activations", true, quant::QuantScheme::kAffine, false},
+      {"+ int16 hadamard stage", true, quant::QuantScheme::kAffine, true},
+  };
+
+  for (const auto& v : variants) {
+    Rng rng(42);
+    models::ResNetConfig cfg;
+    cfg.width_mult = 0.125F;
+    cfg.algo = nn::ConvAlgo::kWinograd4;
+    cfg.qspec = quant::QuantSpec{8, v.scheme};
+    cfg.per_channel_weights = v.per_channel;
+    if (v.promote_hadamard) cfg.qspec_m = quant::QuantSpec{16};
+    models::ResNet18 net(cfg, rng);
+
+    train::TrainerOptions opts;
+    opts.epochs = 2;
+    opts.batch_size = 32;
+    opts.lr = 3e-3F;
+    train::Trainer trainer(net, train_set, val_set, opts);
+    trainer.fit();
+    std::printf("%-32s val accuracy %.1f%%\n", v.label, 100.F * trainer.evaluate(val_set));
+  }
+  return 0;
+}

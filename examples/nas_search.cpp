@@ -1,0 +1,37 @@
+// Run wiNAS on a small budget and print the architecture it finds, along
+// with the latency/accuracy trade-off of raising the latency pressure λ2.
+//
+//   build/examples/nas_search
+#include <cstdio>
+
+#include "nas/winas.hpp"
+
+int main() {
+  using namespace wa;
+  auto spec = data::cifar10_like();
+  spec.train_size = 384;
+  spec.test_size = 192;
+  const auto train_set = data::generate(spec, true);
+  const auto val_set = data::generate(spec, false);
+
+  nas::WinasOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 32;
+  opts.width_mult = 0.125F;
+  opts.fixed_spec = quant::QuantSpec{8};
+  opts.lambda2 = 0.05F;
+
+  std::printf("searching {im2row, WA-F2, WA-F4, WA-F6} per layer at INT8 (lambda2=%.3f)...\n",
+              static_cast<double>(opts.lambda2));
+  nas::WinasSearch search(opts, train_set, val_set);
+  const auto result = search.run();
+
+  std::printf("\nfound architecture (cf. the paper's Fig. 9):\n%s",
+              nas::format_architecture(result).c_str());
+  std::printf("supernet argmax-path accuracy: %.1f%%\n", 100.F * result.final_val_acc);
+
+  std::printf(
+      "\nresult.assignment is a per-layer table directly consumable by\n"
+      "models::override_builder to instantiate and retrain the found network.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Explore the numerical behaviour of Winograd convolution interactively:
+//  - print the Cook-Toom transform matrices for any F(m, r);
+//  - measure the algorithm's numerical error at several bit-widths
+//    (the paper's Table 1 motivation, isolated from any network);
+//  - rank polynomial point sets by quantized error (the paper's discussion
+//    of "good points" for quantized Winograd).
+//
+//   build/examples/winograd_error_playground [m] [r]
+#include <cstdio>
+#include <cstdlib>
+
+#include "winograd/point_search.hpp"
+#include "winograd/winograd_ref.hpp"
+
+namespace {
+
+void print_matrix(const char* name, const wa::Tensor& m) {
+  std::printf("%s [%lld x %lld]:\n", name, static_cast<long long>(m.size(0)),
+              static_cast<long long>(m.size(1)));
+  for (std::int64_t i = 0; i < m.size(0); ++i) {
+    std::printf("   ");
+    for (std::int64_t j = 0; j < m.size(1); ++j) std::printf("%9.4f", m(i, j));
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wa;
+  const int m = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int r = argc > 2 ? std::atoi(argv[2]) : 3;
+  std::printf("F(%dx%d, %dx%d): %d x %d input tiles, %.2f multiplies per output\n", m, m, r, r,
+              m + r - 1, m + r - 1,
+              static_cast<double>((m + r - 1) * (m + r - 1)) / (m * m));
+
+  const auto tr = wino::make_transforms(m, r);
+  print_matrix("G  (weight transform)", tr.g_mat);
+  print_matrix("Bt (input transform)", tr.bt_mat);
+  print_matrix("At (output transform)", tr.at_mat);
+
+  std::printf("\nnumerical error vs direct convolution (200 random tiles):\n");
+  Rng rng(1);
+  for (int bits : {32, 16, 10, 8}) {
+    const auto err = wino::winograd_error(tr, quant::QuantSpec{bits}, 200, rng);
+    std::printf("  %2d-bit: relative RMSE %.3e, max abs %.3e\n", bits, err.rel_rmse, err.max_abs);
+  }
+
+  std::printf("\npolynomial point sets ranked by INT8 error:\n");
+  const auto ranked =
+      wino::search_points(m, r, wino::candidate_point_sets(m + r - 1), quant::QuantSpec{8}, 100, rng);
+  for (const auto& e : ranked) {
+    std::printf("  %-44s int8 rel-rmse %.4f   fp32 rel-rmse %.2e\n",
+                wino::points_to_string(e.points).c_str(), e.quantized.rel_rmse, e.fp32.rel_rmse);
+  }
+  std::printf("\n(the library's default set is the first entry of candidate_point_sets)\n");
+  return 0;
+}

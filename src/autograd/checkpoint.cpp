@@ -1,0 +1,47 @@
+#include "autograd/checkpoint.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace wa::ag {
+
+Variable checkpoint(std::function<Variable(const Variable&)> segment, const Variable& input,
+                    std::vector<Variable> params) {
+  if (!input.defined()) throw std::invalid_argument("checkpoint: undefined input");
+
+  // Pass 1: values only. The guard stops apply_op from recording parents or
+  // backward closures, so the segment's intermediates die with this scope.
+  Tensor out_value;
+  {
+    NoGradGuard guard;
+    out_value = segment(input).value();
+  }
+
+  auto xn = input.node();
+  auto seg = std::make_shared<std::function<Variable(const Variable&)>>(std::move(segment));
+
+  std::vector<Variable> parents{input};
+  parents.insert(parents.end(), params.begin(), params.end());
+
+  auto backward = [seg, xn](Node& node) {
+    // Pass 2: rebuild the segment graph from a fresh leaf and pull the
+    // output gradient through it. Parameter gradients accumulate directly
+    // into the shared parameter nodes (the segment closes over the same
+    // Variables); the input gradient lands on the fresh leaf and is routed
+    // to the real input node.
+    Variable leaf(xn->value, xn->requires_grad, "checkpoint_leaf");
+    Variable out = (*seg)(leaf);
+    if (out.value().shape() != node.value.shape()) {
+      throw std::logic_error("checkpoint: recomputation produced a different shape — "
+                             "the segment is not deterministic");
+    }
+    if (!out.requires_grad()) return;
+    out.backward(&node.grad);
+    if (xn->requires_grad) xn->accum_grad(leaf.grad());
+  };
+
+  return apply_op("checkpoint", std::move(parents), std::move(out_value), std::move(backward));
+}
+
+}  // namespace wa::ag

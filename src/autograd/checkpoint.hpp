@@ -1,0 +1,46 @@
+// Gradient checkpointing (Chen et al. 2016, "Training deep nets with
+// sublinear memory cost").
+//
+// The paper's discussion section: "A direct implementation of Eq. 1
+// requires saving the intermediate outputs of each matrix-matrix
+// multiplication ... This results in high memory usage. In this work we had
+// to rely on gradient checkpointing to lower the memory peak during
+// training, at the cost of additional computation." This module is that
+// mechanism for this repo's tape:
+//
+//   forward:  run the segment under NoGradGuard — only its OUTPUT VALUE is
+//             kept, no interior nodes, no saved intermediates;
+//   backward: re-run the segment with the tape enabled, seed the recomputed
+//             output with the incoming gradient, and run the segment's
+//             backward; parameter gradients accumulate into the shared
+//             parameter nodes, the input gradient is routed to the real
+//             input node.
+//
+// Caveat (same as other frameworks): the segment runs twice, so stateful
+// side effects — batch-norm running statistics, quantization-observer EMA
+// updates — fire twice per step. Batch-norm normalizes training batches
+// with BATCH statistics, so outputs and gradients are unaffected; observer
+// scales shift by one extra EMA step, a perturbation quantization-aware
+// training is robust to. Segments that must be bit-identical should be
+// checkpointed only in FP32 mode (see the tests).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace wa::ag {
+
+/// Run `segment` without retaining its interior graph; recompute it during
+/// backward. `params` must list every trainable Variable the segment
+/// touches (module parameters): they become parents of the checkpoint node
+/// so gradient requirements and node lifetimes are tracked correctly.
+///
+/// Returns the segment output. Gradients reaching the output flow to
+/// `input` and into `params` exactly as without checkpointing (bit-identical
+/// for deterministic, stateless segments).
+Variable checkpoint(std::function<Variable(const Variable&)> segment, const Variable& input,
+                    std::vector<Variable> params = {});
+
+}  // namespace wa::ag

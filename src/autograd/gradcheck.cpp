@@ -1,0 +1,55 @@
+#include "autograd/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace wa::ag {
+
+GradCheckResult grad_check(const std::function<Variable(std::vector<Variable>&)>& fn,
+                           std::vector<Variable>& inputs, float eps, float tol) {
+  GradCheckResult res;
+
+  // Analytic pass.
+  for (auto& in : inputs) in.zero_grad();
+  Variable out = fn(inputs);
+  if (out.numel() != 1) {
+    res.ok = false;
+    res.detail = "grad_check: fn must return a scalar";
+    return res;
+  }
+  out.backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& in : inputs) analytic.push_back(in.grad());
+
+  // Numeric probing.
+  for (std::size_t vi = 0; vi < inputs.size(); ++vi) {
+    if (!inputs[vi].requires_grad()) continue;
+    auto vals = inputs[vi].value().data();
+    for (std::size_t e = 0; e < vals.size(); ++e) {
+      const float orig = vals[e];
+      vals[e] = orig + eps;
+      const float f_plus = fn(inputs).value().at(0);
+      vals[e] = orig - eps;
+      const float f_minus = fn(inputs).value().at(0);
+      vals[e] = orig;
+
+      const float numeric = (f_plus - f_minus) / (2.F * eps);
+      const float exact = analytic[vi].data()[e];
+      const float abs_err = std::fabs(numeric - exact);
+      const float rel_err = abs_err / std::max(1.F, std::max(std::fabs(numeric), std::fabs(exact)));
+      res.max_abs_err = std::max(res.max_abs_err, abs_err);
+      res.max_rel_err = std::max(res.max_rel_err, rel_err);
+      if (rel_err > tol && res.ok) {
+        res.ok = false;
+        std::ostringstream os;
+        os << "input " << vi << " elem " << e << ": analytic=" << exact << " numeric=" << numeric
+           << " rel_err=" << rel_err;
+        res.detail = os.str();
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace wa::ag

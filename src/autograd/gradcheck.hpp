@@ -1,0 +1,31 @@
+// Finite-difference gradient verification for custom ops.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace wa::ag {
+
+struct GradCheckResult {
+  bool ok = true;
+  float max_abs_err = 0.F;
+  float max_rel_err = 0.F;
+  std::string detail;  // first offending (input, element) when !ok
+};
+
+/// Compare analytic gradients of `fn` (mapping inputs -> scalar Variable)
+/// against central finite differences perturbing every element of every
+/// input. `fn` must be deterministic and re-entrant: it is invoked
+/// 2*numel+1 times on mutated copies of `inputs`.
+///
+/// eps is the perturbation; tol bounds max(|analytic - numeric|) accepted
+/// after relative normalisation. Inputs are modified in place during probing
+/// and restored before returning.
+GradCheckResult grad_check(
+    const std::function<Variable(std::vector<Variable>&)>& fn, std::vector<Variable>& inputs,
+    float eps = 1e-3F, float tol = 5e-2F);
+
+}  // namespace wa::ag

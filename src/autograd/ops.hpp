@@ -1,0 +1,50 @@
+// Differentiable primitive operations on Variables.
+//
+// Layer-level fused ops (convolutions, batch-norm, pooling, the
+// Winograd-aware pipeline) live next to their layers; this header holds the
+// generic building blocks shared by all of them.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace wa::ag {
+
+/// Elementwise sum; shapes must match.
+Variable add(const Variable& a, const Variable& b);
+/// Elementwise difference.
+Variable sub(const Variable& a, const Variable& b);
+/// Hadamard product.
+Variable mul(const Variable& a, const Variable& b);
+/// Multiply by a constant.
+Variable scale(const Variable& a, float s);
+
+/// [M,K] x [K,N] -> [M,N].
+Variable matmul(const Variable& a, const Variable& b);
+
+/// Fully connected: x [N,in] with weight [out,in] and bias [out] -> [N,out].
+Variable linear(const Variable& x, const Variable& weight, const Variable& bias);
+
+/// max(x, 0).
+Variable relu(const Variable& x);
+
+/// View with identical element count.
+Variable reshape(const Variable& x, Shape shape);
+
+/// Concatenate along `axis` (used by SqueezeNet fire modules, axis=1).
+Variable concat(const std::vector<Variable>& parts, std::int64_t axis);
+
+/// Sum of all elements -> scalar (shape [1]).
+Variable sum(const Variable& x);
+/// Mean of all elements -> scalar (shape [1]).
+Variable mean(const Variable& x);
+
+/// Softmax cross-entropy averaged over the batch.
+/// logits: [N, classes]; labels: size-N class indices. Returns shape [1].
+Variable softmax_cross_entropy(const Variable& logits, const std::vector<std::int64_t>& labels);
+
+/// Fraction of rows whose argmax equals the label (no gradient).
+float accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace wa::ag

@@ -1,0 +1,112 @@
+// Reverse-mode automatic differentiation over wa::Tensor.
+//
+// The engine is a classic dynamic tape: every operation produces a Variable
+// whose Node remembers its parents and a closure that routes the node's
+// output gradient into the parents' gradient buffers. Custom fused ops
+// (convolutions, the Winograd-aware pipeline, batch-norm, ...) are built with
+// apply_op() and hand-written backward closures; all of them are covered by
+// finite-difference grad-check tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace wa::ag {
+
+class Variable;
+
+/// Graph node. Owned via shared_ptr by Variables; parents keep the upstream
+/// subgraph alive until backward() has run.
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily by accum_grad / ensure_grad
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  std::string name;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagate this->grad into parents. May be empty for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  /// Add `g` into this node's gradient buffer (allocating zeros first).
+  void accum_grad(const Tensor& g);
+  /// Make sure the gradient buffer exists (zero-filled).
+  Tensor& ensure_grad();
+};
+
+/// Lightweight handle to a graph node; copy = share.
+class Variable {
+ public:
+  Variable() = default;
+  explicit Variable(Tensor value, bool requires_grad = false, std::string name = "");
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& value() { return node_->value; }
+  const Shape& shape() const { return node_->value.shape(); }
+  std::int64_t numel() const { return node_->value.numel(); }
+
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  /// Gradient buffer; zeros if backward has not reached this node.
+  const Tensor& grad() const;
+  void zero_grad();
+  /// Leaf update helper used by optimizers: value -= lr * grad (no graph).
+  void sgd_step(float lr);
+
+  const std::string& name() const { return node_->name; }
+  void set_name(std::string n) { node_->name = std::move(n); }
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  /// Run reverse-mode autodiff from this (scalar or any-shape) variable.
+  /// If `seed` is empty the gradient is seeded with ones (use for losses).
+  void backward(const Tensor* seed = nullptr) const;
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Create an interior node: `out_value` computed from `parents`, with
+/// `backward` a closure that reads node.grad and accum_grad()s into parents.
+/// The node requires grad iff any parent does AND grad mode is enabled
+/// (see NoGradGuard); backward is dropped otherwise.
+Variable apply_op(std::string name, std::vector<Variable> parents, Tensor out_value,
+                  std::function<void(Node&)> backward);
+
+/// Collect every distinct node reachable from `root` in reverse topological
+/// order (root first). Exposed for the trainer's graph-size diagnostics.
+std::vector<Node*> reverse_topo_order(const Variable& root);
+
+/// True when ops record the tape (the default).
+bool grad_mode_enabled();
+
+/// RAII scope that disables tape recording: ops built inside return plain
+/// values with no parents or backward closures. This is what gradient
+/// checkpointing (checkpoint.hpp) uses for its first, memory-free forward
+/// pass; it is also useful for cheap evaluation passes.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Size of the retained autograd graph reachable from `root`: node count and
+/// bytes held by values/gradients. The basis of the checkpointing tests —
+/// the paper (§7) "had to rely on gradient checkpointing to lower the
+/// memory peak" when training Winograd-aware layers.
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::int64_t value_bytes = 0;
+  std::int64_t grad_bytes = 0;
+};
+GraphStats graph_stats(const Variable& root);
+
+}  // namespace wa::ag

@@ -1,0 +1,56 @@
+// FP32 convolution kernels: direct, im2row, im2col and Winograd-GEMM.
+//
+// These are the deployment-side algorithms the paper benchmarks against each
+// other (Figs. 7/8, Table 3). All use NCHW activations and [K, C, r, r]
+// weights, stride 1 (the evaluated networks replace strided convolutions
+// with pool + dense conv, following the paper) and symmetric zero padding.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace wa::backend {
+
+/// Static geometry of a convolution layer.
+struct ConvGeometry {
+  std::int64_t batch = 1;
+  std::int64_t in_channels = 1;
+  std::int64_t height = 1;
+  std::int64_t width = 1;
+  std::int64_t out_channels = 1;
+  std::int64_t kernel = 3;
+  std::int64_t pad = 1;
+  std::int64_t groups = 1;
+
+  std::int64_t out_height() const { return height + 2 * pad - kernel + 1; }
+  std::int64_t out_width() const { return width + 2 * pad - kernel + 1; }
+  void validate() const;
+};
+
+/// Naive direct convolution (reference; O(N K C r² H W) scalar loop).
+Tensor direct_conv(const Tensor& input, const Tensor& weights, const ConvGeometry& g);
+
+/// Lower input patches to a row-major [N*outH*outW, C*r*r] matrix.
+Tensor im2row_lower(const Tensor& input, const ConvGeometry& g);
+/// im2row + GEMM convolution.
+Tensor im2row_conv(const Tensor& input, const Tensor& weights, const ConvGeometry& g);
+
+/// Lower to the column-major variant [C*r*r, N*outH*outW].
+Tensor im2col_lower(const Tensor& input, const ConvGeometry& g);
+/// im2col + GEMM convolution (same result, different data movement).
+Tensor im2col_conv(const Tensor& input, const Tensor& weights, const ConvGeometry& g);
+
+/// Winograd convolution via t² batched GEMMs over transformed tiles
+/// (the region-wise GEMM formulation of Maji et al. 2019).
+/// Requires weights kernel == tr.r and groups == 1.
+Tensor winograd_conv(const Tensor& input, const Tensor& weights, const ConvGeometry& g,
+                     const wino::Transforms& tr);
+
+/// Transform weights [K, C, r, r] to the Winograd domain: [t*t, K, C],
+/// laid out so that slice (xy) is the [K, C] GEMM operand. This is the
+/// "GgGᵀ, amortized across inferences" precomputation.
+Tensor winograd_transform_weights(const Tensor& weights, const wino::Transforms& tr);
+
+}  // namespace wa::backend

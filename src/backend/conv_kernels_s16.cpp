@@ -1,0 +1,219 @@
+#include "backend/conv_kernels_s16.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "winograd/small_mat.hpp"
+
+namespace wa::backend {
+
+void gemm_s16_s64(std::int64_t m, std::int64_t n, std::int64_t k, const std::int16_t* a,
+                  const std::int16_t* b, std::int64_t* c) {
+#pragma omp parallel for schedule(static) if (m >= 8)
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int64_t* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int64_t av = a[i * k + kk];
+      if (av == 0) continue;
+      const std::int16_t* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * static_cast<std::int64_t>(brow[j]);
+    }
+  }
+}
+
+namespace {
+
+std::int16_t clamp_s16(float v) {
+  return static_cast<std::int16_t>(std::min(32767.F, std::max(-32767.F, std::nearbyint(v))));
+}
+
+/// Requantize an int64 accumulator to int16: round(acc * mult) saturated.
+/// A double multiplier keeps >52 bits of precision — the int32 fixed-point
+/// trick of the int8 path cannot represent int64 accumulators anyway.
+std::int16_t requant_s16(std::int64_t acc, double mult) {
+  const double v = std::nearbyint(static_cast<double>(acc) * mult);
+  return static_cast<std::int16_t>(std::min(32767.0, std::max(-32767.0, v)));
+}
+
+}  // namespace
+
+QTensor16 im2row_conv_s16(const QTensor16& input, const QTensor16& weights,
+                          const ConvGeometry& g, float out_scale) {
+  g.validate();
+  if (g.groups != 1) throw std::invalid_argument("im2row_conv_s16: groups must be 1");
+  const std::int64_t oh = g.out_height(), ow = g.out_width();
+  const std::int64_t patch = g.in_channels * g.kernel * g.kernel;
+  const std::int64_t rows = g.batch * oh * ow;
+
+  // Lower patches in int16 (zero padding stays level 0: symmetric scheme).
+  std::vector<std::int16_t> lowered(static_cast<std::size_t>(rows * patch), 0);
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t i = 0; i < oh; ++i) {
+      for (std::int64_t j = 0; j < ow; ++j) {
+        std::int16_t* dst = lowered.data() + ((n * oh + i) * ow + j) * patch;
+        for (std::int64_t c = 0; c < g.in_channels; ++c) {
+          for (std::int64_t fi = 0; fi < g.kernel; ++fi) {
+            const std::int64_t ii = i + fi - g.pad;
+            for (std::int64_t fj = 0; fj < g.kernel; ++fj) {
+              const std::int64_t jj = j + fj - g.pad;
+              if (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width) {
+                *dst = input.data[static_cast<std::size_t>(
+                    ((n * g.in_channels + c) * g.height + ii) * g.width + jj)];
+              }
+              ++dst;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Weights as [patch, K] so the GEMM is [rows, patch] x [patch, K].
+  std::vector<std::int16_t> wt(static_cast<std::size_t>(patch * g.out_channels));
+  for (std::int64_t k = 0; k < g.out_channels; ++k)
+    for (std::int64_t p = 0; p < patch; ++p)
+      wt[static_cast<std::size_t>(p * g.out_channels + k)] =
+          weights.data[static_cast<std::size_t>(k * patch + p)];
+
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(rows * g.out_channels));
+  gemm_s16_s64(rows, g.out_channels, patch, lowered.data(), wt.data(), acc.data());
+
+  const float acc_scale = input.scale * weights.scale;
+  float oscale = out_scale;
+  if (oscale <= 0.F) {
+    std::int64_t amax = 0;
+    for (std::int64_t v : acc) amax = std::max(amax, std::abs(v));
+    oscale = std::max(acc_scale * static_cast<float>(amax), 1e-12F) / 32767.F;
+  }
+  const double mult = static_cast<double>(acc_scale) / oscale;
+
+  QTensor16 out;
+  out.shape = Shape{g.batch, g.out_channels, oh, ow};
+  out.scale = oscale;
+  out.data.resize(static_cast<std::size_t>(rows * g.out_channels));
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t i = 0; i < oh; ++i) {
+      for (std::int64_t j = 0; j < ow; ++j) {
+        const std::int64_t* src = acc.data() + ((n * oh + i) * ow + j) * g.out_channels;
+        for (std::int64_t k = 0; k < g.out_channels; ++k) {
+          out.data[static_cast<std::size_t>(((n * g.out_channels + k) * oh + i) * ow + j)] =
+              requant_s16(src[k], mult);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+QTensor16 winograd_conv_s16(const QTensor16& input, const Tensor& weights_fp32,
+                            const ConvGeometry& g, const wino::Transforms& tr,
+                            const WinogradStageScales16& scales) {
+  g.validate();
+  if (g.groups != 1) throw std::invalid_argument("winograd_conv_s16: groups must be 1");
+  if (g.kernel != tr.r) throw std::invalid_argument("winograd_conv_s16: kernel != transform r");
+  const std::int64_t oh = g.out_height(), ow = g.out_width();
+  const std::int64_t t = tr.tile, m = tr.m;
+  const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
+  const std::int64_t tiles = g.batch * th * tw;
+
+  // U in FP32, then int16 at a single per-layer scale.
+  const Tensor u_f = winograd_transform_weights(weights_fp32, tr);  // [t*t, K, C]
+  const float su = scales.weights_transformed > 0.F
+                       ? scales.weights_transformed
+                       : quant::scale_for(u_f.abs_max(), quant::QuantSpec{16});
+  std::vector<std::int16_t> u_q(static_cast<std::size_t>(u_f.numel()));
+  for (std::int64_t i = 0; i < u_f.numel(); ++i) {
+    u_q[static_cast<std::size_t>(i)] = clamp_s16(u_f.at(i) / su);
+  }
+
+  // V: dequantize input tile, transform in FP32, requantize to int16.
+  const Tensor in_f = dequantize(input);
+  Tensor v_f(Shape{t * t, g.in_channels, tiles});
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t c = 0; c < g.in_channels; ++c) {
+      float patch[wino::kSmallMatCap], tmp[wino::kSmallMatCap], bt[wino::kSmallMatCap];
+      for (std::int64_t ti = 0; ti < th; ++ti) {
+        for (std::int64_t tj = 0; tj < tw; ++tj) {
+          const std::int64_t i0 = ti * m - g.pad, j0 = tj * m - g.pad;
+          for (std::int64_t a = 0; a < t; ++a) {
+            for (std::int64_t b = 0; b < t; ++b) {
+              const std::int64_t ii = i0 + a, jj = j0 + b;
+              patch[a * t + b] = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
+                                     ? in_f(n, c, ii, jj)
+                                     : 0.F;
+            }
+          }
+          wino::smm_sandwich(tr.bt_mat.raw(), tr.tile, tr.tile, patch, tmp, bt);
+          const std::int64_t tile_idx = (n * th + ti) * tw + tj;
+          for (std::int64_t a = 0; a < t * t; ++a) v_f(a, c, tile_idx) = bt[a];
+        }
+      }
+    }
+  }
+  const float sv = scales.input_transformed > 0.F
+                       ? scales.input_transformed
+                       : quant::scale_for(v_f.abs_max(), quant::QuantSpec{16});
+  std::vector<std::int16_t> v_q(static_cast<std::size_t>(v_f.numel()));
+  for (std::int64_t i = 0; i < v_f.numel(); ++i) {
+    v_q[static_cast<std::size_t>(i)] = clamp_s16(v_f.at(i) / sv);
+  }
+
+  // Hadamard stage: t² int16 GEMMs accumulating in int64.
+  std::vector<std::int64_t> m_acc(static_cast<std::size_t>(t * t * g.out_channels * tiles));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t xy = 0; xy < t * t; ++xy) {
+    gemm_s16_s64(g.out_channels, tiles, g.in_channels,
+                 u_q.data() + xy * g.out_channels * g.in_channels,
+                 v_q.data() + xy * g.in_channels * tiles,
+                 m_acc.data() + xy * g.out_channels * tiles);
+  }
+
+  const float m_acc_scale = su * sv;
+  float sm = scales.hadamard;
+  if (sm <= 0.F) {
+    std::int64_t amax = 0;
+    for (std::int64_t v : m_acc) amax = std::max(amax, std::abs(v));
+    sm = std::max(m_acc_scale * static_cast<float>(amax), 1e-12F) / 32767.F;
+  }
+  const double m_mult = static_cast<double>(m_acc_scale) / sm;
+
+  Tensor out_f(Shape{g.batch, g.out_channels, oh, ow});
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t k = 0; k < g.out_channels; ++k) {
+      float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
+      for (std::int64_t ti = 0; ti < th; ++ti) {
+        for (std::int64_t tj = 0; tj < tw; ++tj) {
+          const std::int64_t tile_idx = (n * th + ti) * tw + tj;
+          for (std::int64_t ab = 0; ab < t * t; ++ab) {
+            const std::int64_t acc =
+                m_acc[static_cast<std::size_t>((ab * g.out_channels + k) * tiles + tile_idx)];
+            mtile[ab] = static_cast<float>(requant_s16(acc, m_mult)) * sm;
+          }
+          wino::smm_sandwich(tr.at_mat.raw(), tr.m, tr.tile, mtile, tmp, y);
+          for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a)
+            for (std::int64_t b = 0; b < m && tj * m + b < ow; ++b)
+              out_f(n, k, ti * m + a, tj * m + b) = y[a * m + b];
+        }
+      }
+    }
+  }
+
+  const float so = scales.output > 0.F
+                       ? scales.output
+                       : quant::scale_for(out_f.abs_max(), quant::QuantSpec{16});
+  QTensor16 out;
+  out.shape = out_f.shape();
+  out.scale = so;
+  out.data.resize(static_cast<std::size_t>(out_f.numel()));
+  for (std::int64_t i = 0; i < out_f.numel(); ++i) {
+    out.data[static_cast<std::size_t>(i)] = clamp_s16(out_f.at(i) / so);
+  }
+  return out;
+}
+
+}  // namespace wa::backend

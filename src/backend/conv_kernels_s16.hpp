@@ -1,0 +1,44 @@
+// INT16 convolution kernels: int16 x int16 -> int64 accumulation with
+// floating-point requantization.
+//
+// The paper's INT16 story stops at training: "INT16 measurements are not
+// currently supported in Arm Compute Library" (§5.3), so Table 3 has no
+// INT16 latency column even though Fig. 4 shows INT16 accuracy and wiNAS-Q
+// searches over INT16 candidates. These kernels provide the missing
+// deployment path in this repo's backend. int16 products need up to 30 bits
+// and channel summation overflows int32 for realistic reduction depths, so
+// accumulation is int64 (production int16 paths on Arm use SMLAL to 64-bit
+// accumulators for the same reason).
+#pragma once
+
+#include "backend/conv_kernels.hpp"
+#include "backend/qtensor16.hpp"
+
+namespace wa::backend {
+
+/// int16 GEMM: C_int64 = A_int16 [M,K] x B_int16 [K,N].
+void gemm_s16_s64(std::int64_t m, std::int64_t n, std::int64_t k, const std::int16_t* a,
+                  const std::int16_t* b, std::int64_t* c);
+
+/// im2row int16 convolution. Output is int16 at `out_scale` (if > 0) or at
+/// the scale implied by the accumulator abs-max.
+QTensor16 im2row_conv_s16(const QTensor16& input, const QTensor16& weights,
+                          const ConvGeometry& g, float out_scale = -1.F);
+
+/// Per-stage requantization scales for the INT16 Winograd pipeline,
+/// mirroring WinogradStageScales for int8. Non-positive entries are derived
+/// on the fly from the tensor's abs-max.
+struct WinogradStageScales16 {
+  float weights_transformed = -1.F;  // U = G g Gᵀ
+  float input_transformed = -1.F;    // V = Bᵀ d B
+  float hadamard = -1.F;             // M = Σ_c U ⊙ V
+  float output = -1.F;               // Y = Aᵀ M A
+};
+
+/// Winograd int16 convolution: transforms in FP32 with per-stage int16
+/// requantization; Hadamard stage as t² int16 GEMMs with int64 accumulators.
+QTensor16 winograd_conv_s16(const QTensor16& input, const Tensor& weights_fp32,
+                            const ConvGeometry& g, const wino::Transforms& tr,
+                            const WinogradStageScales16& scales = {});
+
+}  // namespace wa::backend

@@ -1,0 +1,41 @@
+// INT8 convolution kernels: int8 x int8 -> int32 accumulation with
+// fixed-point requantization, mirroring integer inference on Arm cores.
+//
+// These kernels are what the Winograd-aware training in src/core makes
+// possible: the quantized Winograd path matches the training-time Qx
+// semantics (per-stage symmetric quantization) while the heavy Hadamard/GEMM
+// stage runs entirely in int8/int32.
+#pragma once
+
+#include "backend/conv_kernels.hpp"
+#include "backend/qtensor.hpp"
+#include "quant/requant.hpp"
+
+namespace wa::backend {
+
+/// int8 GEMM: C_int32 = A_int8 [M,K] x B_int8 [K,N].
+void gemm_s8_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                 const std::int8_t* b, std::int32_t* c);
+
+/// im2row int8 convolution. Output is int8 at `out_scale` (if > 0) or at the
+/// scale implied by the float result's abs-max computed from a reference
+/// int32 pass (deployment would calibrate this offline).
+QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvGeometry& g,
+                       float out_scale = -1.F, const Tensor* bias = nullptr);
+
+/// Winograd int8 convolution: transforms in FP32 with per-stage int8
+/// requantization; Hadamard stage as t² int8 GEMMs with int32 accumulators.
+/// Per-stage scales can be provided (e.g. frozen from winograd-aware
+/// training); non-positive entries are derived on the fly.
+struct WinogradStageScales {
+  float weights_transformed = -1.F;  // U = G g Gᵀ
+  float input_transformed = -1.F;    // V = Bᵀ d B
+  float hadamard = -1.F;             // M = Σ_c U ⊙ V
+  float output = -1.F;               // Y = Aᵀ M A
+};
+
+QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const ConvGeometry& g,
+                         const wino::Transforms& tr, const WinogradStageScales& scales = {},
+                         const Tensor* bias = nullptr);
+
+}  // namespace wa::backend

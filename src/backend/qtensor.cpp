@@ -1,0 +1,31 @@
+#include "backend/qtensor.hpp"
+
+#include <cmath>
+
+namespace wa::backend {
+
+QTensor quantize_s8(const Tensor& t, float scale_override) {
+  QTensor q;
+  q.shape = t.shape();
+  q.scale = scale_override > 0.F ? scale_override : quant::scale_for(t.abs_max(), quant::QuantSpec{8});
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  const float inv = 1.F / q.scale;
+  auto src = t.data();
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    float v = std::nearbyint(src[i] * inv);
+    v = std::min(127.F, std::max(-127.F, v));
+    q.data[i] = static_cast<std::int8_t>(v);
+  }
+  return q;
+}
+
+Tensor dequantize(const QTensor& q) {
+  Tensor t(q.shape);
+  auto dst = t.data();
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    dst[i] = static_cast<float>(q.data[i]) * q.scale;
+  }
+  return t;
+}
+
+}  // namespace wa::backend

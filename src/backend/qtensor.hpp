@@ -1,0 +1,31 @@
+// Quantized tensor for the integer inference backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wa::backend {
+
+/// Dense row-major int8 tensor with a single (per-layer, symmetric) scale:
+/// real_value = scale * int_value. Deliberately minimal: the deployment
+/// backend mirrors what mobile inference libraries ship (per-layer symmetric
+/// int8, int32 accumulators).
+struct QTensor {
+  Shape shape;
+  std::vector<std::int8_t> data;
+  float scale = 1.F;
+
+  std::int64_t numel() const { return static_cast<std::int64_t>(data.size()); }
+};
+
+/// Quantize a float tensor at the scale implied by its abs-max (or an
+/// explicit scale if `scale_override` > 0).
+QTensor quantize_s8(const Tensor& t, float scale_override = -1.F);
+
+/// Reconstruct floats.
+Tensor dequantize(const QTensor& q);
+
+}  // namespace wa::backend

@@ -1,0 +1,32 @@
+#include "backend/qtensor16.hpp"
+
+#include <cmath>
+
+namespace wa::backend {
+
+QTensor16 quantize_s16(const Tensor& t, float scale_override) {
+  QTensor16 q;
+  q.shape = t.shape();
+  q.scale =
+      scale_override > 0.F ? scale_override : quant::scale_for(t.abs_max(), quant::QuantSpec{16});
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  const float inv = 1.F / q.scale;
+  const auto src = t.data();
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    float v = std::nearbyint(src[i] * inv);
+    v = std::min(32767.F, std::max(-32767.F, v));
+    q.data[i] = static_cast<std::int16_t>(v);
+  }
+  return q;
+}
+
+Tensor dequantize(const QTensor16& q) {
+  Tensor t(q.shape);
+  auto dst = t.data();
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    dst[i] = static_cast<float>(q.data[i]) * q.scale;
+  }
+  return t;
+}
+
+}  // namespace wa::backend

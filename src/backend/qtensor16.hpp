@@ -1,0 +1,35 @@
+// 16-bit quantized tensor for the integer inference backend.
+//
+// The paper trains INT16 networks but cannot deploy them: "INT16
+// measurements are not currently supported in Arm Compute Library" (§5.3).
+// This backend closes that gap — INT16 kernels with int64 accumulators —
+// so the INT16 rows of Fig. 4 and the wiNAS-Q candidates have a real
+// deployment path in this repo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wa::backend {
+
+/// Dense row-major int16 tensor with a single (per-layer, symmetric) scale:
+/// real_value = scale * int_value.
+struct QTensor16 {
+  Shape shape;
+  std::vector<std::int16_t> data;
+  float scale = 1.F;
+
+  std::int64_t numel() const { return static_cast<std::int64_t>(data.size()); }
+};
+
+/// Quantize a float tensor at the scale implied by its abs-max (or an
+/// explicit scale if `scale_override` > 0).
+QTensor16 quantize_s16(const Tensor& t, float scale_override = -1.F);
+
+/// Reconstruct floats.
+Tensor dequantize(const QTensor16& q);
+
+}  // namespace wa::backend

@@ -1,0 +1,86 @@
+#include "core/wa_conv2d.hpp"
+
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace wa::core {
+
+WinogradAwareConv2d::WinogradAwareConv2d(nn::Conv2dOptions opts, Rng& rng) : opts_(opts) {
+  if (!nn::is_winograd(opts.algo)) {
+    throw std::invalid_argument("WinogradAwareConv2d: options request a non-Winograd algorithm");
+  }
+  m_ = nn::winograd_m(opts.algo);
+  const auto r = static_cast<int>(opts.kernel);
+  const std::int64_t cpg = opts.in_channels / opts.groups;
+  const std::int64_t fan_in = cpg * opts.kernel * opts.kernel;
+  weight_ = register_parameter(
+      "weight", nn::kaiming_normal({opts.out_channels, cpg, opts.kernel, opts.kernel}, fan_in, rng));
+  if (opts.bias) bias_ = register_parameter("bias", Tensor::zeros({opts.out_channels}));
+
+  // Cook-Toom initialisation; learnable iff -flex.
+  const wino::Transforms tr = wino::make_transforms(m_, r);
+  if (opts.flex_transforms) {
+    g_mat_ = register_parameter("g_mat", tr.g_mat);
+    bt_mat_ = register_parameter("bt_mat", tr.bt_mat);
+    at_mat_ = register_parameter("at_mat", tr.at_mat);
+  } else {
+    g_mat_ = register_buffer("g_mat", tr.g_mat);
+    bt_mat_ = register_buffer("bt_mat", tr.bt_mat);
+    at_mat_ = register_buffer("at_mat", tr.at_mat);
+  }
+  stages_.spec = opts.qspec;
+  stages_.spec_u = opts.qspec_u;
+  stages_.spec_v = opts.qspec_v;
+  stages_.spec_m = opts.qspec_m;
+  stages_.spec_y = opts.qspec_y;
+}
+
+ag::Variable WinogradAwareConv2d::forward(const ag::Variable& input) {
+  backend::ConvGeometry g;
+  g.batch = input.shape()[0];
+  g.in_channels = opts_.in_channels;
+  g.height = input.shape()[2];
+  g.width = input.shape()[3];
+  g.out_channels = opts_.out_channels;
+  g.kernel = opts_.kernel;
+  g.pad = opts_.pad;
+  g.groups = opts_.groups;
+
+  ag::Variable x = quant::fake_quant_ste(input, in_obs_, opts_.qspec, training());
+  ag::Variable w = opts_.per_channel_weights
+                       ? quant::fake_quant_weights_ste(weight_, opts_.qspec, true)
+                       : quant::fake_quant_ste(weight_, w_obs_, opts_.qspec, training());
+  return winograd_aware_conv2d(x, w, bias_, g_mat_, bt_mat_, at_mat_, g, m_, stages_, training(),
+                               u_mask_.empty() ? nullptr : &u_mask_);
+}
+
+void WinogradAwareConv2d::set_winograd_mask(Tensor mask) {
+  const std::int64_t t = m_ + static_cast<std::int64_t>(opts_.kernel) - 1;
+  const Shape expect{opts_.groups, t * t, opts_.out_channels / opts_.groups,
+                     opts_.in_channels / opts_.groups};
+  if (mask.shape() != expect) {
+    throw std::invalid_argument("set_winograd_mask: expected shape " + to_string(expect) +
+                                ", got " + to_string(mask.shape()));
+  }
+  for (const float v : mask.data()) {
+    if (v != 0.F && v != 1.F) {
+      throw std::invalid_argument("set_winograd_mask: mask entries must be 0 or 1");
+    }
+  }
+  u_mask_ = std::move(mask);
+}
+
+double WinogradAwareConv2d::winograd_density() const {
+  if (u_mask_.empty()) return 1.0;
+  return static_cast<double>(u_mask_.sum()) / static_cast<double>(u_mask_.numel());
+}
+
+std::shared_ptr<nn::Module> make_conv(const nn::Conv2dOptions& opts, Rng& rng) {
+  if (nn::is_winograd(opts.algo)) {
+    return std::make_shared<WinogradAwareConv2d>(opts, rng);
+  }
+  return std::make_shared<nn::Conv2d>(opts, rng);
+}
+
+}  // namespace wa::core

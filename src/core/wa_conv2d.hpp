@@ -1,0 +1,75 @@
+// The Winograd-aware convolution layer (the paper's primary contribution).
+#pragma once
+
+#include <memory>
+
+#include "core/wa_conv_op.hpp"
+#include "nn/conv_config.hpp"
+#include "nn/module.hpp"
+#include "quant/fake_quant_op.hpp"
+#include "tensor/rng.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace wa::core {
+
+/// Convolution layer whose forward pass runs the explicit Winograd pipeline
+/// with per-stage fake quantization (Fig. 2 of the paper).
+///
+/// The transform matrices are initialised via Cook-Toom. With
+/// `opts.flex_transforms` they are registered as trainable parameters and
+/// receive gradients every batch (the "-flex" configurations); otherwise
+/// they are fixed buffers (the "static" configurations). Model size grows
+/// by only t² + t·r + m·t scalars per layer when learning them — the
+/// "< 0.1 %" the paper quotes.
+class WinogradAwareConv2d : public nn::Module {
+ public:
+  WinogradAwareConv2d(nn::Conv2dOptions opts, Rng& rng);
+
+  ag::Variable forward(const ag::Variable& input) override;
+
+  const nn::Conv2dOptions& options() const { return opts_; }
+  int output_tile() const { return m_; }
+  int input_tile() const { return m_ + static_cast<int>(opts_.kernel) - 1; }
+
+  ag::Variable weight() { return weight_; }
+  ag::Variable bias() { return bias_; }  // undefined when opts.bias == false
+  ag::Variable g_mat() { return g_mat_; }
+  ag::Variable bt_mat() { return bt_mat_; }
+  ag::Variable at_mat() { return at_mat_; }
+  WaQuantStages& stages() { return stages_; }
+  quant::RangeObserver& input_observer() { return in_obs_; }
+
+  /// True when the transforms have drifted from their Cook-Toom init
+  /// (used by the latency model to charge the dense-transform overhead).
+  bool transforms_are_learned() const { return opts_.flex_transforms; }
+
+  /// Winograd-domain pruning mask (Liu et al. 2018; see src/sparse). The
+  /// mask has the shape of the transformed weights U =
+  /// [groups, t², K/groups, C/groups], entries in {0, 1}; masked Hadamard
+  /// products are skipped in forward and backward, so fine-tuning keeps the
+  /// sparsity pattern. An empty mask disables pruning. The mask is a
+  /// post-training artifact and is not serialized with the state dict.
+  void set_winograd_mask(Tensor mask);
+  void clear_winograd_mask() { u_mask_ = Tensor(); }
+  const Tensor& winograd_mask() const { return u_mask_; }
+  /// Fraction of surviving Hadamard products (1.0 when no mask is set).
+  double winograd_density() const;
+
+ private:
+  nn::Conv2dOptions opts_;
+  int m_ = 2;
+  ag::Variable weight_;
+  ag::Variable bias_;  // undefined when opts_.bias == false
+  ag::Variable g_mat_, bt_mat_, at_mat_;
+  quant::RangeObserver in_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver w_obs_{quant::RangeObserver::Mode::kMinMax};
+  WaQuantStages stages_;
+  Tensor u_mask_;  // empty = dense
+};
+
+/// Build the layer a Conv2dOptions describes: nn::Conv2d for the GEMM
+/// algorithms, WinogradAwareConv2d for F2/F4/F6. This is the factory the
+/// models and the wiNAS search space use.
+std::shared_ptr<nn::Module> make_conv(const nn::Conv2dOptions& opts, Rng& rng);
+
+}  // namespace wa::core

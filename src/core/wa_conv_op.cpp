@@ -1,0 +1,406 @@
+#include "core/wa_conv_op.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "winograd/small_mat.hpp"
+#include "quant/quant.hpp"
+#include "tensor/gemm.hpp"
+
+namespace wa::core {
+
+using wino::kMaxTile;
+using wino::kSmallMatCap;
+using wino::smm_add;
+using wino::smm_nn;
+using wino::smm_nt;
+using wino::smm_sandwich;
+using wino::smm_sandwich_t;
+using wino::smm_tn;
+
+namespace {
+
+using quant::QuantSpec;
+
+/// Everything the backward pass needs, captured by shared_ptr.
+struct Saved {
+  // Quantized intermediates (the values actually consumed downstream).
+  Tensor u_q;      // [groups, t*t, Kg, Cg]
+  Tensor v_q;      // [groups, t*t, Cg, NP]
+  Tensor m_q;      // [groups, t*t, Kg, NP]
+  Tensor patches;  // [groups, Cg, NP, t, t] — pre-transform input tiles
+  // STE clip masks, empty when spec is fp32.
+  std::vector<std::uint8_t> mask_u, mask_v, mask_m, mask_y;
+};
+
+void fake_quant_stage(Tensor& x, quant::RangeObserver& obs, const QuantSpec& spec, bool training,
+                      std::vector<std::uint8_t>* mask) {
+  if (spec.is_float()) return;
+  if (training) obs.observe(x);
+  if (spec.is_affine()) {
+    quant::fake_quant_qparams_(x, obs.qparams(spec), spec, mask);
+  } else {
+    quant::fake_quant_(x, obs.scale(spec), spec, mask);
+  }
+}
+
+void apply_mask(Tensor& t, const std::vector<std::uint8_t>& mask) {
+  if (mask.empty()) return;
+  auto d = t.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (!mask[i]) d[i] = 0.F;
+  }
+}
+
+}  // namespace
+
+ag::Variable winograd_aware_conv2d(const ag::Variable& input, const ag::Variable& weight,
+                                   const ag::Variable& bias, const ag::Variable& g_mat,
+                                   const ag::Variable& bt_mat, const ag::Variable& at_mat,
+                                   const backend::ConvGeometry& geom, int m_out,
+                                   WaQuantStages& stages, bool training,
+                                   const Tensor* u_mask) {
+  geom.validate();
+  const std::int64_t r = geom.kernel;
+  const std::int64_t t = g_mat.shape()[0];
+  const std::int64_t m = m_out;
+  if (g_mat.shape() != Shape{t, r} || bt_mat.shape() != Shape{t, t} ||
+      at_mat.shape() != Shape{m, t} || t != m + r - 1) {
+    throw std::invalid_argument("winograd_aware_conv2d: transform shapes inconsistent with F(" +
+                                std::to_string(m) + "," + std::to_string(r) + ")");
+  }
+  if (t > kMaxTile) {
+    throw std::invalid_argument("winograd_aware_conv2d: tile size " + std::to_string(t) +
+                                " exceeds supported maximum " + std::to_string(kMaxTile));
+  }
+  const std::int64_t groups = geom.groups;
+  const std::int64_t cg = geom.in_channels / groups;
+  const std::int64_t kg = geom.out_channels / groups;
+  const std::int64_t oh = geom.out_height(), ow = geom.out_width();
+  const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
+  const std::int64_t np = geom.batch * th * tw;  // tiles across the batch
+  const std::int64_t tt = t * t;
+  const int ti_ = static_cast<int>(t), ri_ = static_cast<int>(r), mi_ = static_cast<int>(m);
+
+  const Tensor& x = input.value();
+  const Tensor& w = weight.value();
+  const float* gm = g_mat.value().raw();
+  const float* bt = bt_mat.value().raw();
+  const float* at = at_mat.value().raw();
+
+  auto saved = std::make_shared<Saved>();
+
+  // ---- 1) weight transform U = Qx(G g Gᵀ) --------------------------------
+  Tensor u(Shape{groups, tt, kg, cg});
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t grp = 0; grp < groups; ++grp) {
+    for (std::int64_t k = 0; k < kg; ++k) {
+      float tmp[kSmallMatCap], gg[kSmallMatCap];
+      for (std::int64_t c = 0; c < cg; ++c) {
+        const float* filt = w.raw() + ((grp * kg + k) * cg + c) * r * r;
+        smm_sandwich(gm, ti_, ri_, filt, tmp, gg);  // [t, t]
+        for (std::int64_t ab = 0; ab < tt; ++ab) {
+          u.raw()[((grp * tt + ab) * kg + k) * cg + c] = gg[ab];
+        }
+      }
+    }
+  }
+  fake_quant_stage(u, stages.u, stages.u_spec(), training, &saved->mask_u);
+  if (u_mask != nullptr && !u_mask->empty()) {
+    // Winograd-domain pruning: zero masked U entries and fold the mask into
+    // the STE mask so backward drops their gradients too (the pruned
+    // positions stay pruned through fine-tuning).
+    if (u_mask->shape() != u.shape()) {
+      throw std::invalid_argument("winograd_aware_conv2d: u_mask shape " +
+                                  to_string(u_mask->shape()) + " does not match U " +
+                                  to_string(u.shape()));
+    }
+    auto ud = u.data();
+    const auto md = u_mask->data();
+    if (saved->mask_u.empty()) saved->mask_u.assign(ud.size(), 1);
+    for (std::size_t i = 0; i < ud.size(); ++i) {
+      if (md[i] == 0.F) {
+        ud[i] = 0.F;
+        saved->mask_u[i] = 0;
+      }
+    }
+  }
+
+  // ---- 2) input transform V = Qx(Bᵀ d B) ----------------------------------
+  Tensor patches(Shape{groups, cg, np, t, t});
+  Tensor v(Shape{groups, tt, cg, np});
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t grp = 0; grp < groups; ++grp) {
+    for (std::int64_t c = 0; c < cg; ++c) {
+      float tmp[kSmallMatCap], bv[kSmallMatCap];
+      for (std::int64_t n = 0; n < geom.batch; ++n) {
+        for (std::int64_t ti = 0; ti < th; ++ti) {
+          for (std::int64_t tj = 0; tj < tw; ++tj) {
+            const std::int64_t tile = (n * th + ti) * tw + tj;
+            const std::int64_t i0 = ti * m - geom.pad, j0 = tj * m - geom.pad;
+            float* patch = patches.raw() + (((grp * cg + c) * np + tile) * t) * t;
+            for (std::int64_t a = 0; a < t; ++a) {
+              const std::int64_t ii = i0 + a;
+              for (std::int64_t b = 0; b < t; ++b) {
+                const std::int64_t jj = j0 + b;
+                patch[a * t + b] = (ii >= 0 && ii < geom.height && jj >= 0 && jj < geom.width)
+                                       ? x(n, grp * cg + c, ii, jj)
+                                       : 0.F;
+              }
+            }
+            smm_sandwich(bt, ti_, ti_, patch, tmp, bv);  // [t, t]
+            for (std::int64_t ab = 0; ab < tt; ++ab) {
+              v.raw()[((grp * tt + ab) * cg + c) * np + tile] = bv[ab];
+            }
+          }
+        }
+      }
+    }
+  }
+  fake_quant_stage(v, stages.v, stages.v_spec(), training, &saved->mask_v);
+
+  // ---- 3) Hadamard + channel sum: t² GEMMs --------------------------------
+  Tensor mm(Shape{groups, tt, kg, np});
+  gemm_batched_f32(false, false, groups * tt, kg, np, cg, u.raw(), kg * cg, v.raw(), cg * np,
+                   mm.raw(), kg * np);
+  fake_quant_stage(mm, stages.m, stages.m_spec(), training, &saved->mask_m);
+
+  // ---- 4) output transform Y = Qx(Aᵀ M A), scatter -----------------------
+  Tensor out(Shape{geom.batch, geom.out_channels, oh, ow});
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t grp = 0; grp < groups; ++grp) {
+    for (std::int64_t k = 0; k < kg; ++k) {
+      float mtile[kSmallMatCap], tmp[kSmallMatCap], y[kSmallMatCap];
+      for (std::int64_t n = 0; n < geom.batch; ++n) {
+        for (std::int64_t ti = 0; ti < th; ++ti) {
+          for (std::int64_t tj = 0; tj < tw; ++tj) {
+            const std::int64_t tile = (n * th + ti) * tw + tj;
+            for (std::int64_t ab = 0; ab < tt; ++ab) {
+              mtile[ab] = mm.raw()[((grp * tt + ab) * kg + k) * np + tile];
+            }
+            smm_sandwich(at, mi_, ti_, mtile, tmp, y);  // [m, m]
+            for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a) {
+              for (std::int64_t b = 0; b < m && tj * m + b < ow; ++b) {
+                out(n, grp * kg + k, ti * m + a, tj * m + b) = y[a * m + b];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (bias.defined()) {
+    for (std::int64_t n = 0; n < geom.batch; ++n)
+      for (std::int64_t k = 0; k < geom.out_channels; ++k) {
+        const float bv = bias.value().at(k);
+        for (std::int64_t i = 0; i < oh; ++i)
+          for (std::int64_t j = 0; j < ow; ++j) out(n, k, i, j) += bv;
+      }
+  }
+  fake_quant_stage(out, stages.y, stages.y_spec(), training, &saved->mask_y);
+
+  saved->u_q = std::move(u);
+  saved->v_q = std::move(v);
+  saved->m_q = std::move(mm);
+  saved->patches = std::move(patches);
+
+  // ---- backward ------------------------------------------------------------
+  auto xn = input.node();
+  auto wn = weight.node();
+  auto bn = bias.defined() ? bias.node() : nullptr;
+  auto gn = g_mat.node();
+  auto btn = bt_mat.node();
+  auto atn = at_mat.node();
+
+  std::vector<ag::Variable> parents{input, weight, g_mat, bt_mat, at_mat};
+  if (bias.defined()) parents.push_back(bias);
+
+  auto backward = [=](ag::Node& node) {
+    const float* gm_v = gn->value.raw();
+    const float* bt_v = btn->value.raw();
+    const float* at_v = atn->value.raw();
+    const Tensor& w_v = wn->value;
+
+    // dY with the output-stage STE mask applied.
+    Tensor dy_full = node.grad;
+    apply_mask(dy_full, saved->mask_y);
+
+    if (bn && bn->requires_grad) {
+      Tensor db(Shape{geom.out_channels});
+      for (std::int64_t n = 0; n < geom.batch; ++n)
+        for (std::int64_t k = 0; k < geom.out_channels; ++k)
+          for (std::int64_t i = 0; i < oh; ++i)
+            for (std::int64_t j = 0; j < ow; ++j) db.at(k) += dy_full(n, k, i, j);
+      bn->accum_grad(db);
+    }
+
+    const bool need_dx = xn->requires_grad;
+    const bool need_dw = wn->requires_grad;
+    const bool need_dg = gn->requires_grad;
+    const bool need_dbt = btn->requires_grad;
+    const bool need_dat = atn->requires_grad;
+    if (!(need_dx || need_dw || need_dg || need_dbt || need_dat)) return;
+
+    // ---- dM = Aᵀ dY A (per tile), plus dAᵀ accumulation -------------------
+    Tensor dm(Shape{groups, tt, kg, np});
+    Tensor dat_acc(Shape{m, t});
+#pragma omp parallel for collapse(2) schedule(static)
+    for (std::int64_t grp = 0; grp < groups; ++grp) {
+      for (std::int64_t k = 0; k < kg; ++k) {
+        float dytile[kSmallMatCap], mtile[kSmallMatCap];
+        float tmp[kSmallMatCap], res[kSmallMatCap];
+        float dat_local[kSmallMatCap] = {};
+        for (std::int64_t n = 0; n < geom.batch; ++n) {
+          for (std::int64_t ti = 0; ti < th; ++ti) {
+            for (std::int64_t tj = 0; tj < tw; ++tj) {
+              const std::int64_t tile = (n * th + ti) * tw + tj;
+              for (std::int64_t a = 0; a < m; ++a) {
+                for (std::int64_t b = 0; b < m; ++b) {
+                  dytile[a * m + b] = (ti * m + a < oh && tj * m + b < ow)
+                                          ? dy_full(n, grp * kg + k, ti * m + a, tj * m + b)
+                                          : 0.F;
+                }
+              }
+              // dM = Atᵀ dY At.
+              smm_sandwich_t(at_v, mi_, ti_, dytile, tmp, res);  // [t, t]
+              for (std::int64_t ab = 0; ab < tt; ++ab) {
+                dm.raw()[((grp * tt + ab) * kg + k) * np + tile] = res[ab];
+              }
+              if (need_dat) {
+                for (std::int64_t ab = 0; ab < tt; ++ab) {
+                  mtile[ab] = saved->m_q.raw()[((grp * tt + ab) * kg + k) * np + tile];
+                }
+                // dAt += dY·At·Mᵀ + dYᵀ·At·M.
+                smm_nn(dytile, mi_, mi_, at_v, ti_, tmp);      // [m, t]
+                smm_nt(tmp, mi_, ti_, mtile, ti_, res);        // [m, t]
+                smm_add(dat_local, res, mi_ * ti_);
+                smm_tn(dytile, mi_, mi_, at_v, ti_, tmp);      // [m, t]
+                smm_nn(tmp, mi_, ti_, mtile, ti_, res);        // [m, t]
+                smm_add(dat_local, res, mi_ * ti_);
+              }
+            }
+          }
+        }
+        if (need_dat) {
+#pragma omp critical(wa_dat)
+          smm_add(dat_acc.raw(), dat_local, mi_ * ti_);
+        }
+      }
+    }
+    apply_mask(dm, saved->mask_m);
+
+    // ---- dU / dV through the GEMM stage ------------------------------------
+    Tensor du(Shape{groups, tt, kg, cg});
+    Tensor dv(Shape{groups, tt, cg, np});
+    // dU[xy] = dM[xy] (Kg x NP) x V[xy]ᵀ (NP x Cg)
+    gemm_batched_f32(false, true, groups * tt, kg, cg, np, dm.raw(), kg * np, saved->v_q.raw(),
+                     cg * np, du.raw(), kg * cg);
+    // dV[xy] = U[xy]ᵀ (Cg x Kg) x dM[xy] (Kg x NP)
+    gemm_batched_f32(true, false, groups * tt, cg, np, kg, saved->u_q.raw(), kg * cg, dm.raw(),
+                     kg * np, dv.raw(), cg * np);
+    apply_mask(du, saved->mask_u);
+    apply_mask(dv, saved->mask_v);
+
+    // ---- dw and dG from U = G g Gᵀ ------------------------------------------
+    if (need_dw || need_dg) {
+      Tensor dw = Tensor::zeros(w_v.shape());
+      Tensor dg_acc(Shape{t, r});
+#pragma omp parallel for collapse(2) schedule(static)
+      for (std::int64_t grp = 0; grp < groups; ++grp) {
+        for (std::int64_t k = 0; k < kg; ++k) {
+          float dut[kSmallMatCap], tmp[kSmallMatCap], res[kSmallMatCap];
+          float dg_local[kSmallMatCap] = {};
+          for (std::int64_t c = 0; c < cg; ++c) {
+            for (std::int64_t ab = 0; ab < tt; ++ab) {
+              dut[ab] = du.raw()[((grp * tt + ab) * kg + k) * cg + c];
+            }
+            if (need_dw) {
+              // dg = Gᵀ dU G.
+              smm_sandwich_t(gm_v, ti_, ri_, dut, tmp, res);  // [r, r]
+              float* dst = dw.raw() + ((grp * kg + k) * cg + c) * r * r;
+              smm_add(dst, res, ri_ * ri_);
+            }
+            if (need_dg) {
+              const float* filt = w_v.raw() + ((grp * kg + k) * cg + c) * r * r;
+              // dG += dU·G·gᵀ + dUᵀ·G·g.
+              smm_nn(dut, ti_, ti_, gm_v, ri_, tmp);    // [t, r]
+              smm_nt(tmp, ti_, ri_, filt, ri_, res);    // [t, r]
+              smm_add(dg_local, res, ti_ * ri_);
+              smm_tn(dut, ti_, ti_, gm_v, ri_, tmp);    // [t, r]
+              smm_nn(tmp, ti_, ri_, filt, ri_, res);    // [t, r]
+              smm_add(dg_local, res, ti_ * ri_);
+            }
+          }
+          if (need_dg) {
+#pragma omp critical(wa_dg)
+            smm_add(dg_acc.raw(), dg_local, ti_ * ri_);
+          }
+        }
+      }
+      if (need_dw) wn->accum_grad(dw);
+      if (need_dg) gn->accum_grad(dg_acc);
+    }
+
+    // ---- dx and dBᵀ from V = Bᵀ d B -----------------------------------------
+    if (need_dx || need_dbt) {
+      Tensor dx = Tensor::zeros(x.shape());
+      Tensor dbt_acc(Shape{t, t});
+#pragma omp parallel for collapse(2) schedule(static)
+      for (std::int64_t grp = 0; grp < groups; ++grp) {
+        for (std::int64_t c = 0; c < cg; ++c) {
+          float dvt[kSmallMatCap], tmp[kSmallMatCap], res[kSmallMatCap];
+          float dbt_local[kSmallMatCap] = {};
+          for (std::int64_t n = 0; n < geom.batch; ++n) {
+            for (std::int64_t ti = 0; ti < th; ++ti) {
+              for (std::int64_t tj = 0; tj < tw; ++tj) {
+                const std::int64_t tile = (n * th + ti) * tw + tj;
+                for (std::int64_t ab = 0; ab < tt; ++ab) {
+                  dvt[ab] = dv.raw()[((grp * tt + ab) * cg + c) * np + tile];
+                }
+                if (need_dx) {
+                  // dd = Bt'ᵀ... : with V = Bᵀ d B, dd = B dV Bᵀ = (Bᵀ)ᵀ dV (Bᵀ).
+                  smm_sandwich_t(bt_v, ti_, ti_, dvt, tmp, res);  // [t, t]
+                  const std::int64_t i0 = ti * m - geom.pad, j0 = tj * m - geom.pad;
+                  for (std::int64_t a = 0; a < t; ++a) {
+                    const std::int64_t ii = i0 + a;
+                    if (ii < 0 || ii >= geom.height) continue;
+                    for (std::int64_t b = 0; b < t; ++b) {
+                      const std::int64_t jj = j0 + b;
+                      if (jj < 0 || jj >= geom.width) continue;
+                      dx(n, grp * cg + c, ii, jj) += res[a * t + b];
+                    }
+                  }
+                }
+                if (need_dbt) {
+                  const float* patch =
+                      saved->patches.raw() + (((grp * cg + c) * np + tile) * t) * t;
+                  // dBᵀ += dV·Bᵀ·dᵀ + dVᵀ·Bᵀ·d.
+                  smm_nn(dvt, ti_, ti_, bt_v, ti_, tmp);
+                  smm_nt(tmp, ti_, ti_, patch, ti_, res);
+                  smm_add(dbt_local, res, ti_ * ti_);
+                  smm_tn(dvt, ti_, ti_, bt_v, ti_, tmp);
+                  smm_nn(tmp, ti_, ti_, patch, ti_, res);
+                  smm_add(dbt_local, res, ti_ * ti_);
+                }
+              }
+            }
+          }
+          if (need_dbt) {
+#pragma omp critical(wa_dbt)
+            smm_add(dbt_acc.raw(), dbt_local, ti_ * ti_);
+          }
+        }
+      }
+      if (need_dx) xn->accum_grad(dx);
+      if (need_dbt) btn->accum_grad(dbt_acc);
+    }
+
+    if (need_dat) atn->accum_grad(dat_acc);
+  };
+
+  return ag::apply_op("winograd_aware_conv2d[F" + std::to_string(m) + "]", std::move(parents),
+                      std::move(out), std::move(backward));
+}
+
+}  // namespace wa::core

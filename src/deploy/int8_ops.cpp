@@ -1,0 +1,128 @@
+#include "deploy/int8_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "backend/conv_kernels_s8.hpp"
+#include "quant/requant.hpp"
+
+namespace wa::deploy {
+
+using backend::QTensor;
+
+QTensor relu_s8(QTensor x) {
+  for (auto& v : x.data) v = std::max<std::int8_t>(v, 0);
+  return x;
+}
+
+QTensor max_pool_s8(const QTensor& x, std::int64_t kernel, std::int64_t stride) {
+  if (x.shape.size() != 4) throw std::invalid_argument("max_pool_s8: expects [N,C,H,W]");
+  if (kernel < 1 || stride < 1) throw std::invalid_argument("max_pool_s8: bad kernel/stride");
+  const std::int64_t n = x.shape[0], c = x.shape[1], h = x.shape[2], w = x.shape[3];
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  if (oh < 1 || ow < 1) throw std::invalid_argument("max_pool_s8: input smaller than kernel");
+
+  QTensor out;
+  out.shape = Shape{n, c, oh, ow};
+  out.scale = x.scale;
+  out.data.resize(static_cast<std::size_t>(n * c * oh * ow));
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const std::int8_t* plane = x.data.data() + (ni * c + ci) * h * w;
+      std::int8_t* oplane = out.data.data() + (ni * c + ci) * oh * ow;
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          std::int8_t best = std::numeric_limits<std::int8_t>::min();
+          for (std::int64_t a = 0; a < kernel; ++a) {
+            for (std::int64_t b = 0; b < kernel; ++b) {
+              best = std::max(best, plane[(i * stride + a) * w + (j * stride + b)]);
+            }
+          }
+          oplane[i * ow + j] = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+QTensor global_avg_pool_s8(const QTensor& x) {
+  if (x.shape.size() != 4) throw std::invalid_argument("global_avg_pool_s8: expects [N,C,H,W]");
+  const std::int64_t n = x.shape[0], c = x.shape[1], hw = x.shape[2] * x.shape[3];
+  QTensor out;
+  out.shape = Shape{n, c};
+  out.scale = x.scale;
+  out.data.resize(static_cast<std::size_t>(n * c));
+  for (std::int64_t i = 0; i < n * c; ++i) {
+    std::int32_t acc = 0;
+    const std::int8_t* src = x.data.data() + i * hw;
+    for (std::int64_t j = 0; j < hw; ++j) acc += src[j];
+    out.data[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(std::clamp<std::int32_t>(
+        static_cast<std::int32_t>(
+            std::nearbyint(static_cast<double>(acc) / static_cast<double>(hw))),
+        -127, 127));
+  }
+  return out;
+}
+
+QTensor flatten_s8(QTensor x) {
+  if (x.shape.empty()) throw std::invalid_argument("flatten_s8: scalar input");
+  std::int64_t features = 1;
+  for (std::size_t i = 1; i < x.shape.size(); ++i) features *= x.shape[i];
+  x.shape = Shape{x.shape[0], features};
+  return x;
+}
+
+QTensor linear_s8(const QTensor& x, const QTensor& weights, const Tensor& bias,
+                  float out_scale) {
+  if (x.shape.size() != 2 || weights.shape.size() != 2) {
+    throw std::invalid_argument("linear_s8: expects 2-d input and weights");
+  }
+  const std::int64_t n = x.shape[0], f = x.shape[1];
+  const std::int64_t o = weights.shape[0];
+  if (weights.shape[1] != f) throw std::invalid_argument("linear_s8: feature mismatch");
+
+  // Weights arrive [O, F]; transpose to [F, O] for the row-major GEMM.
+  std::vector<std::int8_t> wt(static_cast<std::size_t>(f * o));
+  for (std::int64_t oo = 0; oo < o; ++oo)
+    for (std::int64_t ff = 0; ff < f; ++ff)
+      wt[static_cast<std::size_t>(ff * o + oo)] =
+          weights.data[static_cast<std::size_t>(oo * f + ff)];
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(n * o));
+  backend::gemm_s8_s32(n, o, f, x.data.data(), wt.data(), acc.data());
+
+  const float acc_scale = x.scale * weights.scale;
+  if (!bias.empty()) {
+    if (bias.numel() != o) throw std::invalid_argument("linear_s8: bias/output mismatch");
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      std::int32_t* row = acc.data() + ni * o;
+      for (std::int64_t oo = 0; oo < o; ++oo) {
+        row[oo] += static_cast<std::int32_t>(std::nearbyint(bias.at(oo) / acc_scale));
+      }
+    }
+  }
+
+  float oscale = out_scale;
+  if (oscale <= 0.F) {
+    std::int32_t amax = 0;
+    for (std::int32_t v : acc) amax = std::max(amax, std::abs(v));
+    oscale = std::max(acc_scale * static_cast<float>(amax), 1e-12F) / 127.F;
+  }
+  const auto mult = quant::quantize_multiplier(static_cast<double>(acc_scale) / oscale);
+
+  QTensor out;
+  out.shape = Shape{n, o};
+  out.scale = oscale;
+  out.data.resize(static_cast<std::size_t>(n * o));
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    out.data[i] = static_cast<std::int8_t>(
+        quant::saturate(quant::apply_multiplier(acc[i], mult), 8));
+  }
+  return out;
+}
+
+}  // namespace wa::deploy

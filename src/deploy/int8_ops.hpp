@@ -1,0 +1,30 @@
+// Integer-domain tensor ops for the int8 deployment pipeline.
+//
+// Everything between convolutions runs directly on int8 levels: with
+// symmetric per-layer quantization real 0.0 is exactly level 0, so ReLU and
+// max-pool are order-preserving level operations and never need the scale.
+#pragma once
+
+#include "backend/qtensor.hpp"
+
+namespace wa::deploy {
+
+/// max(0, x) on levels (exact: symmetric scale maps level 0 to real 0).
+backend::QTensor relu_s8(backend::QTensor x);
+
+/// 2-D max pooling on levels (exact: max commutes with a positive scale).
+backend::QTensor max_pool_s8(const backend::QTensor& x, std::int64_t kernel, std::int64_t stride);
+
+/// Global average pool [N,C,H,W] -> [N,C]: int32 sum, rounded level mean.
+backend::QTensor global_avg_pool_s8(const backend::QTensor& x);
+
+/// Collapse [N, ...] to [N, features]; levels and scale unchanged.
+backend::QTensor flatten_s8(backend::QTensor x);
+
+/// Fully connected: y = x [N,F] * Wᵀ [O,F] + b, int8 x int8 -> int32 with
+/// fixed-point requantization to int8 at `out_scale` (derived from the
+/// accumulator abs-max when non-positive). `bias` may be empty.
+backend::QTensor linear_s8(const backend::QTensor& x, const backend::QTensor& weights,
+                           const Tensor& bias, float out_scale = -1.F);
+
+}  // namespace wa::deploy

@@ -1,0 +1,222 @@
+#include "deploy/pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/wa_conv2d.hpp"
+
+namespace wa::deploy {
+
+using backend::QTensor;
+
+namespace {
+
+/// Remap int8 levels from one scale to another (identity when they match).
+QTensor rescale_s8(QTensor x, float target_scale) {
+  if (target_scale <= 0.F || std::fabs(x.scale - target_scale) < 1e-12F) return x;
+  const float ratio = x.scale / target_scale;
+  for (auto& v : x.data) {
+    const float q = std::nearbyint(static_cast<float>(v) * ratio);
+    v = static_cast<std::int8_t>(std::min(127.F, std::max(-127.F, q)));
+  }
+  x.scale = target_scale;
+  return x;
+}
+
+backend::ConvGeometry conv_geometry(const ConvStage& st, const Shape& in_shape) {
+  backend::ConvGeometry g;
+  g.batch = in_shape[0];
+  g.in_channels = st.in_channels;
+  g.height = in_shape[2];
+  g.width = in_shape[3];
+  g.out_channels = st.out_channels;
+  g.kernel = st.kernel;
+  g.pad = st.pad;
+  return g;
+}
+
+QTensor run_conv(const ConvStage& st, QTensor x) {
+  x = rescale_s8(std::move(x), st.input_scale);
+  const backend::ConvGeometry g = conv_geometry(st, x.shape);
+  QTensor y;
+  if (nn::is_winograd(st.algo)) {
+    y = backend::winograd_conv_s8(x, st.weights_f, g, st.transforms, st.stage_scales,
+                                  st.bias.empty() ? nullptr : &st.bias);
+  } else {
+    y = backend::im2row_conv_s8(x, st.weights_q, g, st.output_scale,
+                                st.bias.empty() ? nullptr : &st.bias);
+  }
+  return st.relu_after ? relu_s8(std::move(y)) : y;
+}
+
+QTensor run_linear(const LinearStage& st, QTensor x) {
+  x = rescale_s8(std::move(x), st.input_scale);
+  QTensor y = linear_s8(x, st.weights_q, st.bias, st.output_scale);
+  return st.relu_after ? relu_s8(std::move(y)) : y;
+}
+
+}  // namespace
+
+Tensor Int8Pipeline::run(const Tensor& input) const {
+  if (stages_.empty()) throw std::invalid_argument("Int8Pipeline::run: empty pipeline");
+  const auto* first = std::get_if<ConvStage>(&stages_.front());
+  if (first == nullptr) {
+    throw std::invalid_argument("Int8Pipeline::run: pipeline must start with a convolution");
+  }
+  QTensor cur = backend::quantize_s8(input, first->input_scale);
+  for (const Stage& stage : stages_) {
+    cur = std::visit(
+        [&cur](const auto& st) -> QTensor {
+          using T = std::decay_t<decltype(st)>;
+          if constexpr (std::is_same_v<T, ConvStage>) {
+            return run_conv(st, std::move(cur));
+          } else if constexpr (std::is_same_v<T, PoolStage>) {
+            return max_pool_s8(cur, st.kernel, st.stride);
+          } else if constexpr (std::is_same_v<T, FlattenStage>) {
+            return flatten_s8(std::move(cur));
+          } else {
+            return run_linear(st, std::move(cur));
+          }
+        },
+        stage);
+  }
+  return backend::dequantize(cur);
+}
+
+std::vector<std::int64_t> Int8Pipeline::classify(const Tensor& input) const {
+  const Tensor logits = run(input);
+  const std::int64_t n = logits.size(0), classes = logits.numel() / n;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (logits.at(i * classes + c) > logits.at(i * classes + best)) best = c;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+namespace {
+
+const quant::QuantSpec kInt8{8};
+
+float observer_scale_checked(const quant::RangeObserver& obs, const std::string& where) {
+  if (!obs.initialized()) {
+    throw std::invalid_argument("compile_lenet: observer never calibrated at " + where +
+                                " — train or run a calibration pass first");
+  }
+  return obs.scale(kInt8);
+}
+
+ConvStage compile_conv(nn::Module& layer, const std::string& name, bool relu_after) {
+  ConvStage st;
+  st.relu_after = relu_after;
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+    const auto& o = conv->options();
+    st.algo = nn::ConvAlgo::kIm2row;
+    st.in_channels = o.in_channels;
+    st.out_channels = o.out_channels;
+    st.kernel = o.kernel;
+    st.pad = o.pad;
+    st.input_scale = observer_scale_checked(conv->input_observer(), name);
+    st.weights_q = backend::quantize_s8(conv->weight().value());
+    if (conv->bias().defined()) st.bias = conv->bias().value();
+    return st;
+  }
+  if (auto* wa = dynamic_cast<core::WinogradAwareConv2d*>(&layer)) {
+    const auto& o = wa->options();
+    st.algo = o.algo;
+    st.in_channels = o.in_channels;
+    st.out_channels = o.out_channels;
+    st.kernel = o.kernel;
+    st.pad = o.pad;
+    st.input_scale = observer_scale_checked(wa->input_observer(), name);
+    // Training transforms the fake-quantized weights (U = Q(G ŵ Gᵀ));
+    // replicate that here or the deployed U drifts from the trained one.
+    Tensor w = wa->weight().value();
+    quant::fake_quant_(w, quant::scale_for(w.abs_max(), kInt8), kInt8);
+    st.weights_f = std::move(w);
+    // The layer's live transforms — learned ("flex") ones carry over as-is,
+    // which is exactly how a dense learned transform reaches deployment.
+    st.transforms.m = wa->output_tile();
+    st.transforms.r = static_cast<int>(o.kernel);
+    st.transforms.tile = wa->input_tile();
+    st.transforms.g_mat = wa->g_mat().value();
+    st.transforms.bt_mat = wa->bt_mat().value();
+    st.transforms.at_mat = wa->at_mat().value();
+    auto& stg = wa->stages();
+    st.stage_scales.weights_transformed = stg.u.scale(kInt8);
+    st.stage_scales.input_transformed = observer_scale_checked(stg.v, name + ".v");
+    st.stage_scales.hadamard = observer_scale_checked(stg.m, name + ".m");
+    st.stage_scales.output = observer_scale_checked(stg.y, name + ".y");
+    if (wa->options().bias) st.bias = wa->bias().value();
+    return st;
+  }
+  throw std::invalid_argument("compile_lenet: unsupported conv layer type at " + name);
+}
+
+}  // namespace
+
+Int8Pipeline compile_lenet(models::LeNet5& model) {
+  model.set_training(false);
+  Int8Pipeline pipe;
+
+  // LeNet's forward order: conv1-relu-pool1, conv2-relu-pool2, flatten,
+  // fc1-relu, fc2-relu, fc3. Children are registered in that order; pull
+  // them out by name so a registration reshuffle fails loudly here.
+  nn::Module* conv1 = nullptr;
+  nn::Module* conv2 = nullptr;
+  nn::MaxPool2d* pool1 = nullptr;
+  nn::MaxPool2d* pool2 = nullptr;
+  nn::Linear* fc1 = nullptr;
+  nn::Linear* fc2 = nullptr;
+  nn::Linear* fc3 = nullptr;
+  for (const auto& [name, child] : model.named_children()) {
+    if (name == "conv1") conv1 = child.get();
+    if (name == "conv2") conv2 = child.get();
+    if (name == "pool1") pool1 = dynamic_cast<nn::MaxPool2d*>(child.get());
+    if (name == "pool2") pool2 = dynamic_cast<nn::MaxPool2d*>(child.get());
+    if (name == "fc1") fc1 = dynamic_cast<nn::Linear*>(child.get());
+    if (name == "fc2") fc2 = dynamic_cast<nn::Linear*>(child.get());
+    if (name == "fc3") fc3 = dynamic_cast<nn::Linear*>(child.get());
+  }
+  if (!conv1 || !conv2 || !pool1 || !pool2 || !fc1 || !fc2 || !fc3) {
+    throw std::invalid_argument("compile_lenet: model does not look like LeNet-5");
+  }
+
+  auto linear_stage = [](nn::Linear& fc, const std::string& name, bool relu) {
+    LinearStage st;
+    st.relu_after = relu;
+    st.input_scale = observer_scale_checked(fc.input_observer(), name);
+    st.weights_q = backend::quantize_s8(fc.weight().value());
+    if (fc.bias().defined()) st.bias = fc.bias().value();
+    return st;
+  };
+
+  ConvStage c1 = compile_conv(*conv1, "conv1", /*relu_after=*/true);
+  ConvStage c2 = compile_conv(*conv2, "conv2", /*relu_after=*/true);
+  LinearStage l1 = linear_stage(*fc1, "fc1", true);
+  LinearStage l2 = linear_stage(*fc2, "fc2", true);
+  LinearStage l3 = linear_stage(*fc3, "fc3", false);
+
+  // Chain output scales to the consumer's expected input scale so the
+  // inter-stage rescale is the identity (what a real compiler emits).
+  c1.output_scale = c2.input_scale;
+  c2.output_scale = l1.input_scale;
+  l1.output_scale = l2.input_scale;
+  l2.output_scale = l3.input_scale;
+  // l3 keeps output_scale < 0: logits requantize from their own range.
+
+  pipe.push(std::move(c1));
+  pipe.push(PoolStage{pool1->kernel(), pool1->stride()});
+  pipe.push(std::move(c2));
+  pipe.push(PoolStage{pool2->kernel(), pool2->stride()});
+  pipe.push(FlattenStage{});
+  pipe.push(std::move(l1));
+  pipe.push(std::move(l2));
+  pipe.push(std::move(l3));
+  return pipe;
+}
+
+}  // namespace wa::deploy

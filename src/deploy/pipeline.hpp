@@ -1,0 +1,86 @@
+// Int8 deployment pipeline: run a trained (QAT) network entirely with the
+// integer backend kernels.
+//
+// This is the end of the paper's story: winograd-aware training exists so
+// that the *deployed* network can execute Winograd convolutions in int8 on
+// integer hardware. The pipeline freezes the scales the training observers
+// learned, folds biases, and executes conv / relu / pool / linear stages on
+// int8 levels, with int32 accumulators and fixed-point requantization —
+// the contract the integration tests check against the QAT forward pass.
+//
+// The compiler below covers sequential topologies (LeNet-5 here, the
+// paper's 5x5-filter model). Residual topologies would additionally need a
+// level-aligned skip-add; see DESIGN.md "deployment" notes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "backend/conv_kernels_s8.hpp"
+#include "deploy/int8_ops.hpp"
+#include "models/lenet.hpp"
+
+namespace wa::deploy {
+
+/// One convolution stage with frozen quantization parameters.
+struct ConvStage {
+  nn::ConvAlgo algo = nn::ConvAlgo::kIm2row;
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t pad = 1;
+  float input_scale = 0.F;         // activation scale frozen from the observer
+  backend::QTensor weights_q;      // int8 weights (GEMM path)
+  Tensor weights_f;                // fp32 weights (Winograd path transforms live)
+  wino::Transforms transforms;     // Winograd only (possibly learned/dense)
+  backend::WinogradStageScales stage_scales;  // Winograd only
+  float output_scale = -1.F;       // frozen Qx(y) scale
+  Tensor bias;                     // may be empty
+  bool relu_after = false;
+};
+
+struct PoolStage {
+  std::int64_t kernel = 2;
+  std::int64_t stride = 2;
+};
+
+struct FlattenStage {};
+
+struct LinearStage {
+  float input_scale = 0.F;
+  backend::QTensor weights_q;
+  Tensor bias;
+  float output_scale = -1.F;
+  bool relu_after = false;
+};
+
+using Stage = std::variant<ConvStage, PoolStage, FlattenStage, LinearStage>;
+
+/// A compiled integer-only network.
+class Int8Pipeline {
+ public:
+  void push(Stage s) { stages_.push_back(std::move(s)); }
+  std::size_t size() const { return stages_.size(); }
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  /// Run a float input end-to-end; returns dequantized logits [N, classes].
+  /// Activations stay int8 between stages.
+  Tensor run(const Tensor& input) const;
+
+  /// Argmax class per batch row.
+  std::vector<std::int64_t> classify(const Tensor& input) const;
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+/// Compile a trained LeNet-5 (any conv algorithm, any flex/static
+/// transforms) into an integer pipeline. The model must have been trained
+/// or calibrated with qspec INT8 so its observers carry ranges; call
+/// model.set_training(false) first. Throws std::invalid_argument when a
+/// layer type is not supported or observers were never warmed up.
+Int8Pipeline compile_lenet(models::LeNet5& model);
+
+}  // namespace wa::deploy

@@ -1,0 +1,223 @@
+#include "latency/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wa::latency {
+
+DType dtype_for(const quant::QuantSpec& spec) {
+  if (spec.is_float()) return DType::kFp32;
+  if (spec.bits > 8) return DType::kInt16;  // 10..16-bit paths execute as int16
+  return DType::kInt8;
+}
+
+std::string to_string(DType d) {
+  switch (d) {
+    case DType::kFp32: return "fp32";
+    case DType::kInt16: return "int16";
+    case DType::kInt8: return "int8";
+  }
+  return "?";
+}
+
+CoreSpec cortex_a73() {
+  CoreSpec s;
+  s.name = "Cortex-A73";
+  s.clock_ghz = 2.4;
+  s.flops_per_cycle = 8;      // 2x 64-bit NEON FMA pipes
+  s.int8_speedup = 1.7;       // SMLAL-based int8 GEMM (no SDOT on A73)
+  s.int16_speedup = 1.25;
+  s.gemm_efficiency = 0.28;
+  s.transform_efficiency = 0.30;
+  s.transform_gbps = 2.0;
+  s.gemm_call_overhead_us = 0.3;
+  s.transform_tile_overhead_us = 0.22;
+  s.lowering_gbps = 5.5;
+  s.l2_kb = 2048;
+  s.l2_gbps = 16.0;
+  s.dram_gbps = 6.5;
+  return s;
+}
+
+CoreSpec cortex_a53() {
+  CoreSpec s;
+  s.name = "Cortex-A53";
+  s.clock_ghz = 1.8;
+  s.flops_per_cycle = 8;      // NEON present but in-order: efficiency is lower
+  s.int8_speedup = 1.05;      // Table 3: int8 im2row shows no speedup on A53
+  s.int16_speedup = 1.0;
+  s.gemm_efficiency = 0.24;
+  s.transform_efficiency = 0.30;
+  s.transform_gbps = 0.8;     // in-order core: gather/scatter hurts badly
+  s.gemm_call_overhead_us = 0.6;
+  s.transform_tile_overhead_us = 0.45;
+  s.lowering_gbps = 3.0;
+  s.l2_kb = 512;
+  s.l2_gbps = 8.0;
+  s.dram_gbps = 2.6;
+  return s;
+}
+
+double row_op_cost(const Tensor& mat) {
+  const auto c = wino::matrix_cost(mat);
+  // adds weigh 1, general entries weigh 2 (multiply + accumulate).
+  return static_cast<double>(c.plus_minus_one) + 2.0 * static_cast<double>(c.general);
+}
+
+double LatencyModel::element_bytes(DType d) {
+  switch (d) {
+    case DType::kFp32: return 4;
+    case DType::kInt16: return 2;
+    case DType::kInt8: return 1;
+  }
+  return 4;
+}
+
+double LatencyModel::effective_gflops(DType d, double efficiency) const {
+  double peak = spec_.clock_ghz * spec_.flops_per_cycle;
+  switch (d) {
+    case DType::kFp32: break;
+    case DType::kInt16: peak *= spec_.int16_speedup; break;
+    case DType::kInt8: peak *= spec_.int8_speedup; break;
+  }
+  return peak * efficiency;
+}
+
+double LatencyModel::bandwidth_gbps(double working_set_bytes) const {
+  return working_set_bytes <= spec_.l2_kb * 1024.0 ? spec_.l2_gbps : spec_.dram_gbps;
+}
+
+namespace {
+/// time in ms for `flops` at `gflops` effective, or `bytes` at `gbps`,
+/// whichever dominates (roofline).
+double roofline_ms(double flops, double gflops, double bytes, double gbps) {
+  const double compute_ms = flops / (gflops * 1e9) * 1e3;
+  const double memory_ms = bytes / (gbps * 1e9) * 1e3;
+  return std::max(compute_ms, memory_ms);
+}
+
+/// GEMM sustained-throughput derating for short reduction dimensions: with
+/// k accumulation steps there is little register/cache reuse and the kernel
+/// prologue dominates. This is why Winograd's [K, 3] x [3, P] input-layer
+/// GEMMs are slow in practice (Fig. 7's first column).
+double k_dim_efficiency(double k_dim) {
+  constexpr double k_half = 12.0;  // k at which half the peak is reached
+  return k_dim / (k_dim + k_half);
+}
+}  // namespace
+
+StageBreakdown LatencyModel::conv_cost(const LayerDesc& layer) const {
+  const auto& g = layer.geom;
+  g.validate();
+  StageBreakdown out;
+  const double esize = element_bytes(layer.dtype);
+  const double oh = static_cast<double>(g.out_height());
+  const double ow = static_cast<double>(g.out_width());
+  const double n = static_cast<double>(g.batch);
+  const double cin = static_cast<double>(g.in_channels);
+  const double cout = static_cast<double>(g.out_channels);
+  const double r = static_cast<double>(g.kernel);
+  const double groups = static_cast<double>(g.groups);
+
+  const double gemm_gflops = effective_gflops(layer.dtype, spec_.gemm_efficiency);
+  const double tf_gflops = effective_gflops(layer.dtype, spec_.transform_efficiency);
+
+  if (!nn::is_winograd(layer.algo)) {
+    // ---- GEMM-lowered (im2row / im2col / direct) -------------------------
+    const double patches = n * oh * ow;
+    const double patch_len = (cin / groups) * r * r;
+    // Lowering: read input once, write the patch matrix (r² duplication).
+    const double lower_bytes = (n * cin * g.height * g.width + patches * patch_len * groups) * esize;
+    // im2col's column-major patches stride badly on row-major tensors.
+    const double lower_penalty = layer.algo == nn::ConvAlgo::kIm2col ? 1.6 : 1.0;
+    out.lowering_ms = lower_bytes * lower_penalty / (spec_.lowering_gbps * 1e9) * 1e3;
+
+    const double flops = 2.0 * patches * patch_len * cout;
+    const double gemm_bytes =
+        (patches * patch_len * groups + cout * patch_len + patches * cout) * esize;
+    double eff = gemm_gflops * k_dim_efficiency(patch_len);
+    if (layer.algo == nn::ConvAlgo::kDirect) eff *= 0.45;
+    out.gemm_ms = roofline_ms(flops, eff, gemm_bytes, bandwidth_gbps(gemm_bytes));
+    return out;
+  }
+
+  // ---- Winograd F(m x m, r x r) -------------------------------------------
+  if (groups != 1) {
+    // Grouped Winograd executes as `groups` independent convolutions.
+    LayerDesc sub = layer;
+    sub.geom.in_channels = g.in_channels / g.groups;
+    sub.geom.out_channels = g.out_channels / g.groups;
+    sub.geom.groups = 1;
+    const StageBreakdown one = conv_cost(sub);
+    out.lowering_ms = one.lowering_ms * groups;
+    out.input_transform_ms = one.input_transform_ms * groups;
+    out.gemm_ms = one.gemm_ms * groups;
+    out.output_transform_ms = one.output_transform_ms * groups;
+    return out;
+  }
+
+  const int m = nn::winograd_m(layer.algo);
+  const int t = m + static_cast<int>(g.kernel) - 1;
+  const wino::Transforms tr = wino::make_transforms(m, static_cast<int>(g.kernel));
+  const double th = std::ceil(oh / m), tw = std::ceil(ow / m);
+  const double tiles = n * th * tw;  // includes the edge waste driving Fig. 7
+
+  // Transform op counts from matrix sparsity. Dense (learnt) transforms pay
+  // a multiply-add per entry AND lose the specialised shift/add kernels,
+  // which also costs extra coefficient traffic (appendix A.2).
+  const auto dense_cost = [&](const Tensor& mat) {
+    return 2.0 * static_cast<double>(mat.numel());
+  };
+  const double bt_row_cost = layer.dense_transforms ? dense_cost(tr.bt_mat) : row_op_cost(tr.bt_mat);
+  const double at_row_cost = layer.dense_transforms ? dense_cost(tr.at_mat) : row_op_cost(tr.at_mat);
+  // Dense transforms stream their (non-±1) coefficients and lose the
+  // specialised shift/add kernels: noticeably more traffic per tile.
+  const double dense_traffic = layer.dense_transforms ? 2.2 : 1.0;
+
+  // Per-(tile, channel) gather overhead, shrinking mildly with element size.
+  const double tile_ovh_ms =
+      spec_.transform_tile_overhead_us * 1e-3 * (0.5 + 0.5 * esize / 4.0);
+
+  // Input transform: V = Bᵀ d B per (channel, tile): two t×t matrix applies,
+  // (t + t) * row_cost ops; plus streaming the tiles in and V out.
+  {
+    const double flops = tiles * cin * 2.0 * t * bt_row_cost;
+    const double bytes = (tiles * cin * t * t * 2.0) * esize * dense_traffic;
+    out.input_transform_ms =
+        roofline_ms(flops, tf_gflops, bytes, spec_.transform_gbps) + tiles * cin * tile_ovh_ms;
+  }
+
+  // Hadamard/GEMM stage: t² GEMMs of [K, C] x [C, tiles]. Each slice is a
+  // separate (often tiny) GEMM call with fixed overhead. Winograd-domain
+  // pruning (src/sparse) skips masked products: flops and transformed-weight
+  // traffic scale with the surviving density, V/M traffic does not.
+  {
+    const double density = std::clamp(layer.hadamard_density, 0.0, 1.0);
+    const double flops = 2.0 * t * t * cout * cin * tiles * density;
+    const double u_bytes = t * t * cout * cin * esize * density;  // 4x blow-up at F4, compressed
+    const double v_bytes = t * t * cin * tiles * esize;
+    const double m_bytes = t * t * cout * tiles * esize;
+    const double bytes = u_bytes + v_bytes + m_bytes;
+    out.gemm_ms = roofline_ms(flops, gemm_gflops * spec_.winograd_gemm_derate * k_dim_efficiency(cin),
+                              bytes, bandwidth_gbps(bytes)) +
+                  t * t * spec_.gemm_call_overhead_us * 1e-3;
+  }
+
+  // Output transform: Y = Aᵀ M A per (filter, tile): (t + m) * row_cost ops.
+  {
+    const double flops = tiles * cout * (t + m) * at_row_cost;
+    const double bytes = (tiles * cout * (t * t + m * m)) * esize * dense_traffic;
+    out.output_transform_ms =
+        roofline_ms(flops, tf_gflops, bytes, spec_.transform_gbps) + tiles * cout * tile_ovh_ms;
+  }
+  return out;
+}
+
+double LatencyModel::network_cost_ms(const std::vector<LayerDesc>& layers) const {
+  double total = 0;
+  for (const auto& l : layers) total += conv_cost(l).total_ms();
+  return total;
+}
+
+}  // namespace wa::latency

@@ -1,0 +1,120 @@
+// Analytic latency model of Arm Cortex-A73 / Cortex-A53 cores.
+//
+// The paper measures convolution latencies on a HiKey 960 (Table 2 specs)
+// with Arm Compute Library kernels. That hardware is not available here, so
+// this module models the mechanisms those measurements exhibit:
+//
+//  * a roofline per stage — time = max(compute, traffic) — with distinct
+//    effective throughputs for GEMM vs transform (gather/scatter) code;
+//  * Winograd tile-edge waste: P = ceil(oh/m) * ceil(ow/m) tiles, which
+//    produces the F4/F6 alternation of Fig. 7 as output size varies;
+//  * transform cost derived from the *live* transform matrices: zeros are
+//    free, ±1 entries are adds, anything else multiplies — so the learnt
+//    (dense) "-flex" transforms automatically cost more (appendix A.2);
+//  * a two-level memory system: working sets that fall out of L2 pay DRAM
+//    bandwidth, which is what keeps Winograd gains small on the A53 in FP32
+//    and lets INT8 (4x smaller traffic) recover them (§6.2, Table 3).
+//
+// Absolute milliseconds are calibrated constants; the reproduction targets
+// are the orderings, crossovers and speedup ratios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/conv_kernels.hpp"
+#include "nn/conv_config.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace wa::latency {
+
+/// Numeric type executed by the kernels (the paper deploys FP32 and INT8;
+/// INT16 appears only as a wiNAS-Q search candidate).
+enum class DType { kFp32, kInt16, kInt8 };
+
+DType dtype_for(const quant::QuantSpec& spec);
+std::string to_string(DType d);
+
+struct CoreSpec {
+  std::string name;
+  double clock_ghz = 2.0;
+  double flops_per_cycle = 8;     // fp32 MAC lanes * 2
+  double int8_speedup = 1.5;      // effective MAC throughput multiplier at int8
+  double int16_speedup = 1.2;
+  double gemm_efficiency = 0.30;  // fraction of peak sustained by GEMM
+  double transform_efficiency = 0.30;  // transform arithmetic (rarely binds)
+  /// Winograd transforms gather/scatter across a wide memory area (A.2);
+  /// they are predominantly bandwidth-bound, especially on the A53.
+  double transform_gbps = 3.0;
+  /// Fixed overhead per GEMM kernel invocation. Winograd runs t² small GEMMs
+  /// per layer; with few input channels these GEMMs are tiny and the
+  /// overhead dominates — why input layers never benefit (Fig. 7).
+  double gemm_call_overhead_us = 0.4;
+  /// Fixed gather/scatter overhead per (tile, channel) transform: index
+  /// arithmetic, edge multiplexing, strided cache-line touches. Mostly — but
+  /// not entirely — independent of element width. This term is what makes
+  /// transforms 65-75% of the input-layer cost (Fig. 8).
+  double transform_tile_overhead_us = 0.15;
+  /// Winograd's t² sliced GEMMs sustain less of peak than one large im2row
+  /// GEMM (smaller tiles, strided operands). Multiplies gemm_efficiency.
+  double winograd_gemm_derate = 0.72;
+  double lowering_gbps = 4.0;     // effective copy bandwidth for im2row/im2col
+  double l2_kb = 1024;
+  double l2_gbps = 12.0;          // streaming bandwidth when resident in L2
+  double dram_gbps = 5.0;         // streaming bandwidth when spilling
+};
+
+/// High-performance out-of-order core (Table 2: 2.4 GHz, 64 KB L1, 2 MB L2).
+CoreSpec cortex_a73();
+/// High-efficiency in-order core (Table 2: 1.8 GHz, 32 KB L1, 512 KB L2).
+CoreSpec cortex_a53();
+
+/// Per-stage latency decomposition (Fig. 8's stacked bars).
+struct StageBreakdown {
+  double lowering_ms = 0;          // im2row/im2col patch materialisation
+  double input_transform_ms = 0;   // Bᵀ d B
+  double gemm_ms = 0;              // the GEMM / Hadamard stage
+  double output_transform_ms = 0;  // Aᵀ M A
+  double total_ms() const {
+    return lowering_ms + input_transform_ms + gemm_ms + output_transform_ms;
+  }
+};
+
+/// A convolution layer as the latency model sees it.
+struct LayerDesc {
+  backend::ConvGeometry geom;
+  nn::ConvAlgo algo = nn::ConvAlgo::kIm2row;
+  DType dtype = DType::kFp32;
+  /// Learnt transforms are dense: the A.2 overhead. Ignored for non-Winograd.
+  bool dense_transforms = false;
+  /// Surviving fraction of Hadamard products under Winograd-domain pruning
+  /// (Liu et al. 2018; src/sparse). Scales the Hadamard-stage flops and the
+  /// transformed-weight traffic of a sparsity-aware GEMM. 1.0 = dense.
+  double hadamard_density = 1.0;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(CoreSpec spec) : spec_(std::move(spec)) {}
+  const CoreSpec& spec() const { return spec_; }
+
+  /// Latency of one convolution layer (batch from geom; the paper uses 1).
+  StageBreakdown conv_cost(const LayerDesc& layer) const;
+
+  /// Sum over layers.
+  double network_cost_ms(const std::vector<LayerDesc>& layers) const;
+
+ private:
+  double effective_gflops(DType d, double efficiency) const;
+  double bandwidth_gbps(double working_set_bytes) const;
+  static double element_bytes(DType d);
+
+  CoreSpec spec_;
+};
+
+/// Cost in scalar ops of applying `mat` to one column vector, derived from
+/// its sparsity: zero entries free, ±1 entries one add, general entries one
+/// multiply-add. The basis of the dense-transform overhead.
+double row_op_cost(const Tensor& mat);
+
+}  // namespace wa::latency

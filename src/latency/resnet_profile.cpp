@@ -1,0 +1,58 @@
+#include "latency/resnet_profile.hpp"
+
+#include <cmath>
+
+namespace wa::latency {
+
+namespace {
+std::int64_t scaled(std::int64_t base, float mult) {
+  return std::max<std::int64_t>(1, std::llround(static_cast<double>(base) * mult));
+}
+
+backend::ConvGeometry conv3x3(std::int64_t cin, std::int64_t cout, std::int64_t hw) {
+  backend::ConvGeometry g;
+  g.batch = 1;
+  g.in_channels = cin;
+  g.out_channels = cout;
+  g.height = hw;
+  g.width = hw;
+  g.kernel = 3;
+  g.pad = 1;
+  return g;
+}
+
+backend::ConvGeometry conv1x1(std::int64_t cin, std::int64_t cout, std::int64_t hw) {
+  backend::ConvGeometry g = conv3x3(cin, cout, hw);
+  g.kernel = 1;
+  g.pad = 0;
+  return g;
+}
+}  // namespace
+
+std::vector<ProfiledLayer> resnet18_conv_layers(float width_mult, std::int64_t image) {
+  std::vector<ProfiledLayer> layers;
+  const std::int64_t stem = scaled(32, width_mult);
+  const std::int64_t ch[4] = {scaled(64, width_mult), scaled(128, width_mult),
+                              scaled(256, width_mult), scaled(512, width_mult)};
+
+  layers.push_back({"conv_in", conv3x3(3, stem, image), false});
+
+  std::int64_t in_ch = stem;
+  std::int64_t hw = image;
+  for (int stage = 1; stage <= 4; ++stage) {
+    const std::int64_t out_ch = ch[stage - 1];
+    if (stage > 1) hw /= 2;  // max-pool before the stage's first conv
+    for (int block = 0; block < 2; ++block) {
+      const std::string base = "stage" + std::to_string(stage) + ".block" + std::to_string(block);
+      layers.push_back({base + ".conv1", conv3x3(in_ch, out_ch, hw), true});
+      layers.push_back({base + ".conv2", conv3x3(out_ch, out_ch, hw), true});
+      if (in_ch != out_ch) {
+        layers.push_back({base + ".shortcut", conv1x1(in_ch, out_ch, hw), false});
+      }
+      in_ch = out_ch;
+    }
+  }
+  return layers;
+}
+
+}  // namespace wa::latency

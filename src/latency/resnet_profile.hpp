@@ -1,0 +1,29 @@
+// Static layer-geometry profile of the paper's modified ResNet-18.
+//
+// The latency benches (Fig. 8, Table 3) and wiNAS need every convolution's
+// tensor shapes without instantiating a trained model. Names match
+// models::ResNet18::searchable_layer_names() so per-layer assignments can be
+// moved between the searcher, the trainer and the latency model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/conv_kernels.hpp"
+
+namespace wa::latency {
+
+struct ProfiledLayer {
+  std::string name;
+  backend::ConvGeometry geom;
+  /// 3x3 convolutions eligible for Winograd (the wiNAS search space);
+  /// the input layer and 1x1 shortcuts are fixed to im2row.
+  bool searchable = false;
+};
+
+/// All convolutions of the modified ResNet-18 (input conv, 16 block convs,
+/// 3 projection shortcuts) for a given width multiplier and input size.
+/// Batch is 1 (the paper's deployment scenario).
+std::vector<ProfiledLayer> resnet18_conv_layers(float width_mult, std::int64_t image = 32);
+
+}  // namespace wa::latency

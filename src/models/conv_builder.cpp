@@ -1,0 +1,24 @@
+#include "models/conv_builder.hpp"
+
+namespace wa::models {
+
+ConvBuilder default_builder(Rng& rng) {
+  return [&rng](const nn::Conv2dOptions& opts, const std::string&) {
+    return core::make_conv(opts, rng);
+  };
+}
+
+ConvBuilder override_builder(std::map<std::string, LayerOverride> table, Rng& rng) {
+  return [table = std::move(table), &rng](const nn::Conv2dOptions& opts,
+                                          const std::string& layer_name) {
+    nn::Conv2dOptions effective = opts;
+    if (const auto it = table.find(layer_name); it != table.end()) {
+      effective.algo = it->second.algo;
+      effective.qspec = it->second.qspec;
+      effective.flex_transforms = it->second.flex;
+    }
+    return core::make_conv(effective, rng);
+  };
+}
+
+}  // namespace wa::models

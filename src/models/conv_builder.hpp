@@ -1,0 +1,38 @@
+// Builder hook for "searchable" 3x3 convolutions.
+//
+// Every model routes its Winograd-eligible 3x3 convolutions through a
+// ConvBuilder. The default builder materialises the layer the options
+// describe (im2row / F2 / F4 / F6, static or -flex); wiNAS supplies a
+// builder that returns MixedConv2d super-layers instead, and the Table 3
+// harness supplies one that looks up per-layer assignments found by the
+// search. Input layers and 1x1 convolutions do NOT go through the builder —
+// the paper fixes those to im2row.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/wa_conv2d.hpp"
+#include "nn/conv_config.hpp"
+#include "nn/module.hpp"
+
+namespace wa::models {
+
+using ConvBuilder = std::function<std::shared_ptr<nn::Module>(const nn::Conv2dOptions& opts,
+                                                              const std::string& layer_name)>;
+
+/// Builds exactly what the options say via core::make_conv.
+ConvBuilder default_builder(Rng& rng);
+
+/// Per-layer algorithm/bit-width override: looks up `layer_name` in the map
+/// and falls back to the provided options. Used to instantiate the
+/// wiNAS-found architectures of Fig. 9 / appendix A.3.
+struct LayerOverride {
+  nn::ConvAlgo algo = nn::ConvAlgo::kIm2row;
+  quant::QuantSpec qspec{32};
+  bool flex = false;
+};
+ConvBuilder override_builder(std::map<std::string, LayerOverride> table, Rng& rng);
+
+}  // namespace wa::models

@@ -1,0 +1,44 @@
+#include "models/lenet.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace wa::models {
+
+LeNet5::LeNet5(const LeNetConfig& cfg, const ConvBuilder& build, Rng& rng) {
+  nn::Conv2dOptions c1;
+  c1.in_channels = 1;
+  c1.out_channels = 6;
+  c1.kernel = 5;
+  c1.pad = 0;
+  c1.bias = true;
+  c1.algo = cfg.algo;
+  c1.qspec = cfg.qspec;
+  c1.flex_transforms = cfg.flex_transforms;
+  conv1_ = build(c1, "conv1");
+  register_child("conv1", conv1_);
+  pool1_ = register_module<nn::MaxPool2d>("pool1", 2, 2);
+
+  nn::Conv2dOptions c2 = c1;
+  c2.in_channels = 6;
+  c2.out_channels = 16;
+  conv2_ = build(c2, "conv2");
+  register_child("conv2", conv2_);
+  pool2_ = register_module<nn::MaxPool2d>("pool2", 2, 2);
+
+  flatten_ = register_module<nn::Flatten>("flatten");
+  // 28 -> 24 -> 12 -> 8 -> 4: 16 * 4 * 4 = 256 features.
+  fc1_ = register_module<nn::Linear>("fc1", 256, 120, cfg.qspec, rng);
+  fc2_ = register_module<nn::Linear>("fc2", 120, 84, cfg.qspec, rng);
+  fc3_ = register_module<nn::Linear>("fc3", 84, cfg.num_classes, cfg.qspec, rng);
+}
+
+ag::Variable LeNet5::forward(const ag::Variable& x) {
+  ag::Variable h = pool1_->forward(ag::relu(conv1_->forward(x)));
+  h = pool2_->forward(ag::relu(conv2_->forward(h)));
+  h = flatten_->forward(h);
+  h = ag::relu(fc1_->forward(h));
+  h = ag::relu(fc2_->forward(h));
+  return fc3_->forward(h);
+}
+
+}  // namespace wa::models

@@ -1,0 +1,35 @@
+// LeNet-5 with 5x5 filters for the MNIST-shaped experiments (paper Fig. 5).
+//
+// With r = 5 the Winograd input tiles are large quickly — F(6x6, 5x5) needs
+// 10x10 tiles with 9 polynomial points — which is exactly why the paper uses
+// this model to stress-test learnable transforms.
+#pragma once
+
+#include "models/conv_builder.hpp"
+#include "nn/layers.hpp"
+
+namespace wa::models {
+
+struct LeNetConfig {
+  int num_classes = 10;
+  nn::ConvAlgo algo = nn::ConvAlgo::kIm2row;
+  quant::QuantSpec qspec{32};
+  bool flex_transforms = false;
+};
+
+class LeNet5 : public nn::Module {
+ public:
+  LeNet5(const LeNetConfig& cfg, Rng& rng) : LeNet5(cfg, default_builder(rng), rng) {}
+  LeNet5(const LeNetConfig& cfg, const ConvBuilder& build, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  static std::vector<std::string> searchable_layer_names() { return {"conv1", "conv2"}; }
+
+ private:
+  std::shared_ptr<nn::Module> conv1_, conv2_;
+  std::shared_ptr<nn::MaxPool2d> pool1_, pool2_;
+  std::shared_ptr<nn::Flatten> flatten_;
+  std::shared_ptr<nn::Linear> fc1_, fc2_, fc3_;
+};
+
+}  // namespace wa::models

@@ -1,0 +1,138 @@
+#include "models/resnet.hpp"
+
+#include <cmath>
+
+#include "autograd/checkpoint.hpp"
+#include "autograd/ops.hpp"
+
+namespace wa::models {
+
+std::int64_t scaled_channels(std::int64_t base, float mult) {
+  return std::max<std::int64_t>(1, std::llround(static_cast<double>(base) * mult));
+}
+
+BasicBlock::BasicBlock(std::int64_t in_ch, std::int64_t out_ch, bool downsample,
+                       const nn::Conv2dOptions& conv_opts, const std::string& name,
+                       const ConvBuilder& build, Rng& rng)
+    : downsample_(downsample) {
+  nn::Conv2dOptions c1 = conv_opts;
+  c1.in_channels = in_ch;
+  c1.out_channels = out_ch;
+  conv1_ = build(c1, name + ".conv1");
+  register_child("conv1", conv1_);
+  bn1_ = register_module<nn::BatchNorm2d>("bn1", out_ch);
+
+  nn::Conv2dOptions c2 = conv_opts;
+  c2.in_channels = out_ch;
+  c2.out_channels = out_ch;
+  conv2_ = build(c2, name + ".conv2");
+  register_child("conv2", conv2_);
+  bn2_ = register_module<nn::BatchNorm2d>("bn2", out_ch);
+
+  if (downsample_) {
+    pool_ = register_module<nn::MaxPool2d>("pool", 2, 2);
+    pool_short_ = register_module<nn::MaxPool2d>("pool_short", 2, 2);
+  }
+  if (downsample_ || in_ch != out_ch) {
+    // Projection shortcut: 1x1 im2row at the block's quantization level
+    // (fixed — never part of the Winograd search space).
+    nn::Conv2dOptions sc;
+    sc.in_channels = in_ch;
+    sc.out_channels = out_ch;
+    sc.kernel = 1;
+    sc.pad = 0;
+    sc.qspec = conv_opts.qspec;
+    shortcut_ = register_module<nn::Conv2d>("shortcut", sc, rng);
+    bn_short_ = register_module<nn::BatchNorm2d>("bn_short", out_ch);
+  }
+}
+
+ag::Variable BasicBlock::forward(const ag::Variable& x) {
+  ag::Variable main = x;
+  if (downsample_) main = pool_->forward(main);
+  main = bn1_->forward(conv1_->forward(main));
+  main = ag::relu(main);
+  main = bn2_->forward(conv2_->forward(main));
+
+  ag::Variable skip = x;
+  if (downsample_) skip = pool_short_->forward(skip);
+  if (shortcut_) skip = bn_short_->forward(shortcut_->forward(skip));
+  return ag::relu(ag::add(main, skip));
+}
+
+std::vector<std::string> ResNet18::searchable_layer_names() {
+  std::vector<std::string> names;
+  for (int stage = 1; stage <= 4; ++stage) {
+    for (int block = 0; block < 2; ++block) {
+      for (int conv = 1; conv <= 2; ++conv) {
+        names.push_back("stage" + std::to_string(stage) + ".block" + std::to_string(block) +
+                        ".conv" + std::to_string(conv));
+      }
+    }
+  }
+  return names;
+}
+
+ResNet18::ResNet18(const ResNetConfig& cfg, const ConvBuilder& build, Rng& rng) : cfg_(cfg) {
+  const std::int64_t stem = scaled_channels(32, cfg.width_mult);  // paper: 64 -> 32
+  const std::int64_t stage_ch[4] = {
+      scaled_channels(64, cfg.width_mult), scaled_channels(128, cfg.width_mult),
+      scaled_channels(256, cfg.width_mult), scaled_channels(512, cfg.width_mult)};
+
+  // Input layer: always standard convolution (im2row) — Winograd does not
+  // pay off on 3-channel inputs (paper §6.2) and the paper fixes it.
+  nn::Conv2dOptions in_opts;
+  in_opts.in_channels = 3;
+  in_opts.out_channels = stem;
+  in_opts.qspec = cfg.qspec;
+  conv_in_ = register_module<nn::Conv2d>("conv_in", in_opts, rng);
+  bn_in_ = register_module<nn::BatchNorm2d>("bn_in", stem);
+
+  nn::Conv2dOptions block_opts;
+  block_opts.algo = cfg.algo;
+  block_opts.qspec = cfg.qspec;
+  block_opts.flex_transforms = cfg.flex_transforms;
+  block_opts.per_channel_weights = cfg.per_channel_weights;
+  block_opts.qspec_u = cfg.qspec_u;
+  block_opts.qspec_v = cfg.qspec_v;
+  block_opts.qspec_m = cfg.qspec_m;
+  block_opts.qspec_y = cfg.qspec_y;
+
+  std::int64_t in_ch = stem;
+  for (int stage = 1; stage <= 4; ++stage) {
+    nn::Conv2dOptions opts = block_opts;
+    if (stage == 4 && cfg.pin_last_stage_to_f2 && nn::is_winograd(cfg.algo)) {
+      opts.algo = nn::ConvAlgo::kWinograd2;  // §5.1: last two blocks stay F2
+    }
+    for (int block = 0; block < 2; ++block) {
+      const std::int64_t out_ch = stage_ch[stage - 1];
+      const bool down = stage > 1 && block == 0;  // stage 1 keeps 32x32
+      const std::string name = "stage" + std::to_string(stage) + ".block" + std::to_string(block);
+      auto blk = std::make_shared<BasicBlock>(in_ch, out_ch, down, opts, name, build, rng);
+      register_child(name, blk);
+      blocks_.push_back(blk);
+      in_ch = out_ch;
+    }
+  }
+
+  gap_ = register_module<nn::GlobalAvgPool>("gap");
+  fc_ = register_module<nn::Linear>("fc", in_ch, cfg.num_classes, cfg.qspec, rng);
+}
+
+ag::Variable ResNet18::forward(const ag::Variable& x) {
+  ag::Variable h = ag::relu(bn_in_->forward(conv_in_->forward(x)));
+  for (auto& b : blocks_) {
+    if (cfg_.grad_checkpoint && training()) {
+      // Recompute the block in backward instead of retaining its graph
+      // (paper §7). Eval passes build no graph, so they skip the wrapper.
+      BasicBlock* blk = b.get();
+      h = ag::checkpoint([blk](const ag::Variable& v) { return blk->forward(v); }, h,
+                         b->parameters());
+    } else {
+      h = b->forward(h);
+    }
+  }
+  return fc_->forward(gap_->forward(h));
+}
+
+}  // namespace wa::models

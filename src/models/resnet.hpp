@@ -1,0 +1,84 @@
+// ResNet-18 for 32x32 inputs, modified exactly as the paper describes:
+//  - the input convolution produces 32 (not 64) channels and always uses
+//    standard (im2row) convolution;
+//  - every stride-2 convolution is replaced by 2x2 max-pool followed by a
+//    dense 3x3 convolution (there is no strided Winograd);
+//  - a width multiplier in [0.125, 1.0] scales every channel count
+//    (215K .. 11M parameters);
+//  - when a Winograd algorithm is selected globally, the last two residual
+//    blocks stay at F2 (§5.1).
+// The sixteen block 3x3 convolutions are the "searchable" layers wiNAS
+// optimises; shortcut 1x1 convolutions are fixed to im2row.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "models/conv_builder.hpp"
+#include "nn/layers.hpp"
+
+namespace wa::models {
+
+struct ResNetConfig {
+  float width_mult = 0.25F;
+  int num_classes = 10;
+  nn::ConvAlgo algo = nn::ConvAlgo::kIm2row;  // applied to searchable 3x3 convs
+  quant::QuantSpec qspec{32};
+  bool flex_transforms = false;
+  /// Apply the paper's constraint: blocks of the last stage use F2 whenever
+  /// `algo` is a Winograd configuration.
+  bool pin_last_stage_to_f2 = true;
+  /// Per-output-channel weight scales (discussion-section extension).
+  bool per_channel_weights = false;
+  /// Per-stage bit-width overrides for the Winograd Qx stages (quantization
+  /// diversity, §3.2); forwarded to every Winograd-aware block conv.
+  std::optional<quant::QuantSpec> qspec_u, qspec_v, qspec_m, qspec_y;
+  /// Checkpoint each residual block during training (paper §7: "we had to
+  /// rely on gradient checkpointing to lower the memory peak"): block
+  /// intermediates are recomputed in backward instead of being retained.
+  bool grad_checkpoint = false;
+};
+
+/// One pre-activation-free basic block (conv-bn-relu-conv-bn + skip).
+class BasicBlock : public nn::Module {
+ public:
+  BasicBlock(std::int64_t in_ch, std::int64_t out_ch, bool downsample,
+             const nn::Conv2dOptions& conv_opts, const std::string& name,
+             const ConvBuilder& build, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+ private:
+  bool downsample_;
+  std::shared_ptr<nn::Module> conv1_, conv2_;
+  std::shared_ptr<nn::BatchNorm2d> bn1_, bn2_, bn_short_;
+  std::shared_ptr<nn::Conv2d> shortcut_;  // 1x1, im2row, when shape changes
+  std::shared_ptr<nn::MaxPool2d> pool_, pool_short_;
+};
+
+class ResNet18 : public nn::Module {
+ public:
+  ResNet18(const ResNetConfig& cfg, Rng& rng) : ResNet18(cfg, default_builder(rng), rng) {}
+  ResNet18(const ResNetConfig& cfg, const ConvBuilder& build, Rng& rng);
+
+  ag::Variable forward(const ag::Variable& x) override;
+
+  const ResNetConfig& config() const { return cfg_; }
+  /// Names of the 16 searchable 3x3 convolutions, in network order
+  /// ("stage1.block0.conv1", ...). Matches the layer names passed to the
+  /// ConvBuilder.
+  static std::vector<std::string> searchable_layer_names();
+
+ private:
+  ResNetConfig cfg_;
+  std::shared_ptr<nn::Conv2d> conv_in_;
+  std::shared_ptr<nn::BatchNorm2d> bn_in_;
+  std::vector<std::shared_ptr<BasicBlock>> blocks_;
+  std::shared_ptr<nn::GlobalAvgPool> gap_;
+  std::shared_ptr<nn::Linear> fc_;
+};
+
+/// max(1, round(base * mult)).
+std::int64_t scaled_channels(std::int64_t base, float mult);
+
+}  // namespace wa::models

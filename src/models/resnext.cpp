@@ -1,0 +1,118 @@
+#include "models/resnext.hpp"
+
+#include "autograd/ops.hpp"
+#include "models/resnet.hpp"  // scaled_channels
+
+namespace wa::models {
+
+ResNeXtBlock::ResNeXtBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t group_width,
+                           std::int64_t cardinality, bool downsample,
+                           const nn::Conv2dOptions& conv_opts, const std::string& name,
+                           const ConvBuilder& build, Rng& rng)
+    : downsample_(downsample) {
+  const std::int64_t d = group_width * cardinality;  // grouped conv width
+
+  nn::Conv2dOptions r1;
+  r1.in_channels = in_ch;
+  r1.out_channels = d;
+  r1.kernel = 1;
+  r1.pad = 0;
+  r1.qspec = conv_opts.qspec;
+  reduce_ = register_module<nn::Conv2d>("reduce", r1, rng);
+  bn1_ = register_module<nn::BatchNorm2d>("bn1", d);
+
+  nn::Conv2dOptions c3 = conv_opts;
+  c3.in_channels = d;
+  c3.out_channels = d;
+  c3.groups = cardinality;
+  conv3_ = build(c3, name + ".conv3");
+  register_child("conv3", conv3_);
+  bn2_ = register_module<nn::BatchNorm2d>("bn2", d);
+
+  nn::Conv2dOptions e1 = r1;
+  e1.in_channels = d;
+  e1.out_channels = out_ch;
+  expand_ = register_module<nn::Conv2d>("expand", e1, rng);
+  bn3_ = register_module<nn::BatchNorm2d>("bn3", out_ch);
+
+  if (downsample_) {
+    pool_ = register_module<nn::MaxPool2d>("pool", 2, 2);
+    pool_short_ = register_module<nn::MaxPool2d>("pool_short", 2, 2);
+  }
+  if (downsample_ || in_ch != out_ch) {
+    nn::Conv2dOptions sc = r1;
+    sc.in_channels = in_ch;
+    sc.out_channels = out_ch;
+    shortcut_ = register_module<nn::Conv2d>("shortcut", sc, rng);
+    bn_short_ = register_module<nn::BatchNorm2d>("bn_short", out_ch);
+  }
+}
+
+ag::Variable ResNeXtBlock::forward(const ag::Variable& x) {
+  ag::Variable main = x;
+  if (downsample_) main = pool_->forward(main);
+  main = ag::relu(bn1_->forward(reduce_->forward(main)));
+  main = ag::relu(bn2_->forward(conv3_->forward(main)));
+  main = bn3_->forward(expand_->forward(main));
+
+  ag::Variable skip = x;
+  if (downsample_) skip = pool_short_->forward(skip);
+  if (shortcut_) skip = bn_short_->forward(shortcut_->forward(skip));
+  return ag::relu(ag::add(main, skip));
+}
+
+std::vector<std::string> ResNeXt20::searchable_layer_names() {
+  std::vector<std::string> names;
+  for (int stage = 1; stage <= 3; ++stage) {
+    for (int block = 0; block < 2; ++block) {
+      names.push_back("stage" + std::to_string(stage) + ".block" + std::to_string(block) +
+                      ".conv3");
+    }
+  }
+  return names;
+}
+
+ResNeXt20::ResNeXt20(const ResNeXtConfig& cfg, const ConvBuilder& build, Rng& rng) {
+  const std::int64_t stem = scaled_channels(64, cfg.width_mult);
+  const std::int64_t stage_out[3] = {scaled_channels(256, cfg.width_mult),
+                                     scaled_channels(512, cfg.width_mult),
+                                     scaled_channels(1024, cfg.width_mult)};
+
+  nn::Conv2dOptions in_opts;
+  in_opts.in_channels = 3;
+  in_opts.out_channels = stem;
+  in_opts.qspec = cfg.qspec;
+  conv_in_ = register_module<nn::Conv2d>("conv_in", in_opts, rng);
+  bn_in_ = register_module<nn::BatchNorm2d>("bn_in", stem);
+
+  nn::Conv2dOptions block_opts;
+  block_opts.algo = cfg.algo;
+  block_opts.qspec = cfg.qspec;
+  block_opts.flex_transforms = cfg.flex_transforms;
+
+  std::int64_t in_ch = stem;
+  for (int stage = 1; stage <= 3; ++stage) {
+    // Group width doubles per stage, as in ResNeXt for CIFAR.
+    const std::int64_t gw = std::max<std::int64_t>(
+        1, scaled_channels(cfg.base_width, cfg.width_mult) << (stage - 1));
+    for (int block = 0; block < 2; ++block) {
+      const bool down = stage > 1 && block == 0;
+      const std::string name = "stage" + std::to_string(stage) + ".block" + std::to_string(block);
+      auto blk = std::make_shared<ResNeXtBlock>(in_ch, stage_out[stage - 1], gw, cfg.cardinality,
+                                                down, block_opts, name, build, rng);
+      register_child(name, blk);
+      blocks_.push_back(blk);
+      in_ch = stage_out[stage - 1];
+    }
+  }
+  gap_ = register_module<nn::GlobalAvgPool>("gap");
+  fc_ = register_module<nn::Linear>("fc", in_ch, cfg.num_classes, cfg.qspec, rng);
+}
+
+ag::Variable ResNeXt20::forward(const ag::Variable& x) {
+  ag::Variable h = ag::relu(bn_in_->forward(conv_in_->forward(x)));
+  for (auto& b : blocks_) h = b->forward(h);
+  return fc_->forward(gap_->forward(h));
+}
+
+}  // namespace wa::models

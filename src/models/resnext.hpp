@@ -1,0 +1,54 @@
+// ResNeXt-20 (8x16) for the appendix A.1 comparison (Table 5).
+//
+// Six bottleneck blocks (two per stage) -> six searchable grouped 3x3
+// convolutions, matching the paper's count. Cardinality 8, base width 16.
+#pragma once
+
+#include "models/conv_builder.hpp"
+#include "nn/layers.hpp"
+
+namespace wa::models {
+
+struct ResNeXtConfig {
+  int num_classes = 10;
+  int cardinality = 8;
+  int base_width = 16;
+  float width_mult = 0.25F;
+  nn::ConvAlgo algo = nn::ConvAlgo::kIm2row;
+  quant::QuantSpec qspec{32};
+  bool flex_transforms = false;
+};
+
+/// Bottleneck: 1x1 reduce -> grouped 3x3 (searchable) -> 1x1 expand + skip.
+class ResNeXtBlock : public nn::Module {
+ public:
+  ResNeXtBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t group_width,
+               std::int64_t cardinality, bool downsample, const nn::Conv2dOptions& conv_opts,
+               const std::string& name, const ConvBuilder& build, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+ private:
+  bool downsample_;
+  std::shared_ptr<nn::Conv2d> reduce_, expand_, shortcut_;
+  std::shared_ptr<nn::Module> conv3_;
+  std::shared_ptr<nn::BatchNorm2d> bn1_, bn2_, bn3_, bn_short_;
+  std::shared_ptr<nn::MaxPool2d> pool_, pool_short_;
+};
+
+class ResNeXt20 : public nn::Module {
+ public:
+  ResNeXt20(const ResNeXtConfig& cfg, Rng& rng) : ResNeXt20(cfg, default_builder(rng), rng) {}
+  ResNeXt20(const ResNeXtConfig& cfg, const ConvBuilder& build, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  static std::vector<std::string> searchable_layer_names();
+
+ private:
+  std::shared_ptr<nn::Conv2d> conv_in_;
+  std::shared_ptr<nn::BatchNorm2d> bn_in_;
+  std::vector<std::shared_ptr<ResNeXtBlock>> blocks_;
+  std::shared_ptr<nn::GlobalAvgPool> gap_;
+  std::shared_ptr<nn::Linear> fc_;
+};
+
+}  // namespace wa::models

@@ -1,0 +1,100 @@
+#include "models/squeezenet.hpp"
+
+#include <algorithm>
+
+#include "autograd/ops.hpp"
+#include "models/resnet.hpp"  // scaled_channels
+
+namespace wa::models {
+
+Fire::Fire(std::int64_t in_ch, std::int64_t squeeze_ch, std::int64_t expand_ch,
+           const nn::Conv2dOptions& expand3_opts, const std::string& name,
+           const ConvBuilder& build, Rng& rng)
+    : out_channels_(2 * expand_ch) {
+  nn::Conv2dOptions sq;
+  sq.in_channels = in_ch;
+  sq.out_channels = squeeze_ch;
+  sq.kernel = 1;
+  sq.pad = 0;
+  sq.qspec = expand3_opts.qspec;
+  squeeze_ = register_module<nn::Conv2d>("squeeze", sq, rng);
+
+  nn::Conv2dOptions e1 = sq;
+  e1.in_channels = squeeze_ch;
+  e1.out_channels = expand_ch;
+  expand1_ = register_module<nn::Conv2d>("expand1", e1, rng);
+
+  nn::Conv2dOptions e3 = expand3_opts;
+  e3.in_channels = squeeze_ch;
+  e3.out_channels = expand_ch;
+  expand3_ = build(e3, name + ".expand3");
+  register_child("expand3", expand3_);
+
+  bn_ = register_module<nn::BatchNorm2d>("bn", out_channels_);
+}
+
+ag::Variable Fire::forward(const ag::Variable& x) {
+  ag::Variable s = ag::relu(squeeze_->forward(x));
+  ag::Variable a = expand1_->forward(s);
+  ag::Variable b = expand3_->forward(s);
+  return ag::relu(bn_->forward(ag::concat({a, b}, 1)));
+}
+
+std::vector<std::string> SqueezeNet::searchable_layer_names() {
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) names.push_back("fire" + std::to_string(i) + ".expand3");
+  return names;
+}
+
+SqueezeNet::SqueezeNet(const SqueezeNetConfig& cfg, const ConvBuilder& build, Rng& rng) {
+  const float w = cfg.width_mult;
+  const std::int64_t stem = scaled_channels(64, w);
+
+  nn::Conv2dOptions in_opts;
+  in_opts.in_channels = 3;
+  in_opts.out_channels = stem;
+  in_opts.qspec = cfg.qspec;
+  conv_in_ = register_module<nn::Conv2d>("conv_in", in_opts, rng);
+  bn_in_ = register_module<nn::BatchNorm2d>("bn_in", stem);
+  pool_ = register_module<nn::MaxPool2d>("pool", 2, 2);
+
+  nn::Conv2dOptions expand3_opts;
+  expand3_opts.algo = cfg.algo;
+  expand3_opts.qspec = cfg.qspec;
+  expand3_opts.flex_transforms = cfg.flex_transforms;
+
+  // SqueezeNet v1.1-style ramp (squeeze, expand) scaled to CIFAR.
+  struct FireSpec {
+    std::int64_t squeeze, expand;
+  };
+  const FireSpec specs[8] = {{16, 64},  {16, 64},  {32, 128}, {32, 128},
+                             {48, 192}, {48, 192}, {64, 256}, {64, 256}};
+  std::int64_t in_ch = stem;
+  for (int i = 0; i < 8; ++i) {
+    const std::int64_t sq = scaled_channels(specs[i].squeeze, w);
+    const std::int64_t ex = scaled_channels(specs[i].expand, w);
+    auto fire = std::make_shared<Fire>(in_ch, sq, ex, expand3_opts, "fire" + std::to_string(i),
+                                       build, rng);
+    register_child("fire" + std::to_string(i), fire);
+    fires_.push_back(fire);
+    in_ch = fire->out_channels();
+  }
+  pool_after_ = {1, 3, 5};  // 32 -> 16 -> 8 -> 4
+
+  gap_ = register_module<nn::GlobalAvgPool>("gap");
+  fc_ = register_module<nn::Linear>("fc", in_ch, cfg.num_classes, cfg.qspec, rng);
+}
+
+ag::Variable SqueezeNet::forward(const ag::Variable& x) {
+  ag::Variable h = ag::relu(bn_in_->forward(conv_in_->forward(x)));
+  for (std::size_t i = 0; i < fires_.size(); ++i) {
+    h = fires_[i]->forward(h);
+    if (std::find(pool_after_.begin(), pool_after_.end(), static_cast<int>(i)) !=
+        pool_after_.end()) {
+      h = pool_->forward(h);
+    }
+  }
+  return fc_->forward(gap_->forward(h));
+}
+
+}  // namespace wa::models

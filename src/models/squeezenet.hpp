@@ -1,0 +1,54 @@
+// SqueezeNet (CIFAR-sized) for the appendix A.1 comparison (Table 4).
+//
+// Eight fire modules -> eight searchable expand-3x3 convolutions, matching
+// the paper's count. Squeeze and expand-1x1 convolutions are im2row.
+#pragma once
+
+#include "models/conv_builder.hpp"
+#include "nn/layers.hpp"
+
+namespace wa::models {
+
+struct SqueezeNetConfig {
+  int num_classes = 10;
+  float width_mult = 0.5F;
+  nn::ConvAlgo algo = nn::ConvAlgo::kIm2row;
+  quant::QuantSpec qspec{32};
+  bool flex_transforms = false;
+};
+
+/// Fire module: squeeze 1x1 -> relu -> {expand 1x1, expand 3x3} -> concat.
+class Fire : public nn::Module {
+ public:
+  Fire(std::int64_t in_ch, std::int64_t squeeze_ch, std::int64_t expand_ch,
+       const nn::Conv2dOptions& expand3_opts, const std::string& name, const ConvBuilder& build,
+       Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+  std::int64_t out_channels() const { return out_channels_; }
+
+ private:
+  std::int64_t out_channels_;
+  std::shared_ptr<nn::Conv2d> squeeze_, expand1_;
+  std::shared_ptr<nn::Module> expand3_;
+  std::shared_ptr<nn::BatchNorm2d> bn_;
+};
+
+class SqueezeNet : public nn::Module {
+ public:
+  SqueezeNet(const SqueezeNetConfig& cfg, Rng& rng) : SqueezeNet(cfg, default_builder(rng), rng) {}
+  SqueezeNet(const SqueezeNetConfig& cfg, const ConvBuilder& build, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  static std::vector<std::string> searchable_layer_names();
+
+ private:
+  std::shared_ptr<nn::Conv2d> conv_in_;
+  std::shared_ptr<nn::BatchNorm2d> bn_in_;
+  std::vector<std::shared_ptr<Fire>> fires_;
+  std::vector<int> pool_after_;  // fire indices followed by 2x2 max-pool
+  std::shared_ptr<nn::MaxPool2d> pool_;
+  std::shared_ptr<nn::GlobalAvgPool> gap_;
+  std::shared_ptr<nn::Linear> fc_;
+};
+
+}  // namespace wa::models

@@ -1,0 +1,179 @@
+#include "nas/mixed_conv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/wa_conv2d.hpp"
+
+namespace wa::nas {
+
+ag::Variable weighted_pair(const ag::Variable& a, const ag::Variable& b,
+                           const ag::Variable& alpha, std::size_t ia, std::size_t ib) {
+  check_same_shape(a.shape(), b.shape(), "weighted_pair");
+  const float za = alpha.value().at(static_cast<std::int64_t>(ia));
+  const float zb = alpha.value().at(static_cast<std::int64_t>(ib));
+  const float mx = std::max(za, zb);
+  const float ea = std::exp(za - mx), eb = std::exp(zb - mx);
+  const float pa = ea / (ea + eb), pb = 1.F - pa;
+
+  Tensor out = a.value() * pa + b.value() * pb;
+  auto an = a.node();
+  auto bn = b.node();
+  auto aln = alpha.node();
+  return ag::apply_op("weighted_pair", {a, b, alpha}, std::move(out),
+                      [an, bn, aln, ia, ib, pa, pb](ag::Node& n) {
+                        if (an->requires_grad) an->accum_grad(n.grad * pa);
+                        if (bn->requires_grad) bn->accum_grad(n.grad * pb);
+                        if (aln->requires_grad) {
+                          // d out / d z_a = p_a p_b (a − b); inner-product with n.grad.
+                          double dot_a = 0, dot_b = 0;
+                          auto g = n.grad.data();
+                          auto av = an->value.data();
+                          auto bv = bn->value.data();
+                          for (std::size_t i = 0; i < g.size(); ++i) {
+                            dot_a += static_cast<double>(g[i]) * av[i];
+                            dot_b += static_cast<double>(g[i]) * bv[i];
+                          }
+                          const float dz = static_cast<float>((dot_a - dot_b) * pa * pb);
+                          Tensor da = Tensor::zeros(aln->value.shape());
+                          da.at(static_cast<std::int64_t>(ia)) = dz;
+                          da.at(static_cast<std::int64_t>(ib)) = -dz;
+                          aln->accum_grad(da);
+                        }
+                      });
+}
+
+ag::Variable softmax_expectation(const ag::Variable& alpha, std::vector<double> values) {
+  const auto n = alpha.numel();
+  if (static_cast<std::int64_t>(values.size()) != n) {
+    throw std::invalid_argument("softmax_expectation: size mismatch");
+  }
+  // Stable softmax.
+  std::vector<double> p(static_cast<std::size_t>(n));
+  double mx = alpha.value().at(0);
+  for (std::int64_t i = 1; i < n; ++i) mx = std::max(mx, static_cast<double>(alpha.value().at(i)));
+  double denom = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[static_cast<std::size_t>(i)] = std::exp(static_cast<double>(alpha.value().at(i)) - mx);
+    denom += p[static_cast<std::size_t>(i)];
+  }
+  double expectation = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[static_cast<std::size_t>(i)] /= denom;
+    expectation += p[static_cast<std::size_t>(i)] * values[static_cast<std::size_t>(i)];
+  }
+  Tensor out(Shape{1});
+  out.at(0) = static_cast<float>(expectation);
+
+  auto aln = alpha.node();
+  return ag::apply_op("softmax_expectation", {alpha}, std::move(out),
+                      [aln, p, values, expectation, n](ag::Node& node) {
+                        if (!aln->requires_grad) return;
+                        const float g = node.grad.at(0);
+                        Tensor da(aln->value.shape());
+                        for (std::int64_t i = 0; i < n; ++i) {
+                          da.at(i) = g * static_cast<float>(
+                                             p[static_cast<std::size_t>(i)] *
+                                             (values[static_cast<std::size_t>(i)] - expectation));
+                        }
+                        aln->accum_grad(da);
+                      });
+}
+
+MixedConv2d::MixedConv2d(const nn::Conv2dOptions& base, std::vector<Candidate> candidates,
+                         Rng& rng)
+    : candidates_(std::move(candidates)) {
+  if (candidates_.size() < 2) {
+    throw std::invalid_argument("MixedConv2d: need at least two candidates");
+  }
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    nn::Conv2dOptions opts = base;
+    opts.algo = candidates_[i].algo;
+    opts.qspec = candidates_[i].qspec;
+    opts.flex_transforms = candidates_[i].flex;
+    auto op = core::make_conv(opts, rng);
+    register_child("op" + std::to_string(i) + "_" + candidates_[i].to_string(), op);
+    ops_.push_back(std::move(op));
+  }
+  alpha_ = register_parameter("alpha",
+                              Tensor::zeros({static_cast<std::int64_t>(candidates_.size())}));
+}
+
+void MixedConv2d::sample(Rng& rng) {
+  const auto probs = probabilities();
+  if (mode_ == Mode::kSingle) {
+    active_ = rng.categorical(probs);
+    return;
+  }
+  pair_a_ = rng.categorical(probs);
+  // Sample the second path from the renormalised remainder.
+  std::vector<double> rest = probs;
+  rest[pair_a_] = 0;
+  pair_b_ = rng.categorical(rest);
+}
+
+void MixedConv2d::set_active(std::size_t idx) {
+  if (idx >= ops_.size()) throw std::out_of_range("MixedConv2d::set_active");
+  active_ = idx;
+}
+
+ag::Variable MixedConv2d::forward(const ag::Variable& x) {
+  if (mode_ == Mode::kSingle) return ops_[active_]->forward(x);
+  ag::Variable a = ops_[pair_a_]->forward(x);
+  ag::Variable b = ops_[pair_b_]->forward(x);
+  return weighted_pair(a, b, alpha_, pair_a_, pair_b_);
+}
+
+std::vector<double> MixedConv2d::probabilities() const {
+  std::vector<double> p(candidates_.size());
+  double mx = alpha_.value().at(0);
+  for (std::int64_t i = 1; i < alpha_.numel(); ++i) {
+    mx = std::max(mx, static_cast<double>(alpha_.value().at(i)));
+  }
+  double denom = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = std::exp(static_cast<double>(alpha_.value().at(static_cast<std::int64_t>(i))) - mx);
+    denom += p[i];
+  }
+  for (auto& v : p) v /= denom;
+  return p;
+}
+
+ag::Variable MixedConv2d::expected_latency() {
+  std::vector<double> lats;
+  lats.reserve(candidates_.size());
+  for (const auto& c : candidates_) lats.push_back(c.latency_ms);
+  return softmax_expectation(alpha_, std::move(lats));
+}
+
+std::size_t MixedConv2d::best() const {
+  std::size_t arg = 0;
+  for (std::int64_t i = 1; i < alpha_.numel(); ++i) {
+    if (alpha_.value().at(i) > alpha_.value().at(static_cast<std::int64_t>(arg))) {
+      arg = static_cast<std::size_t>(i);
+    }
+  }
+  return arg;
+}
+
+std::vector<Candidate> winas_wa_candidates(const quant::QuantSpec& spec) {
+  std::vector<Candidate> c;
+  c.push_back({nn::ConvAlgo::kIm2row, spec, false, 0});
+  c.push_back({nn::ConvAlgo::kWinograd2, spec, true, 0});
+  c.push_back({nn::ConvAlgo::kWinograd4, spec, true, 0});
+  c.push_back({nn::ConvAlgo::kWinograd6, spec, true, 0});
+  return c;
+}
+
+std::vector<Candidate> winas_wa_q_candidates() {
+  std::vector<Candidate> c;
+  for (int bits : {32, 16, 8}) {
+    for (const auto& base : winas_wa_candidates(quant::QuantSpec{bits})) {
+      c.push_back(base);
+    }
+  }
+  return c;
+}
+
+}  // namespace wa::nas

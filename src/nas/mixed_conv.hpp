@@ -1,0 +1,82 @@
+// The wiNAS over-parameterised layer: one candidate op per convolution
+// algorithm (and, for wiNAS-WA-Q, per bit-width), with architecture
+// parameters deciding which gets sampled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "latency/cost_model.hpp"
+#include "models/conv_builder.hpp"
+#include "nn/conv_config.hpp"
+#include "nn/module.hpp"
+
+namespace wa::nas {
+
+/// One entry of the per-layer search space (paper Fig. 3).
+struct Candidate {
+  nn::ConvAlgo algo = nn::ConvAlgo::kIm2row;
+  quant::QuantSpec qspec{32};
+  bool flex = false;
+  double latency_ms = 0;  // cost-model latency for this layer's geometry
+
+  std::string to_string() const {
+    return nn::to_string(algo) + "@" + qspec.to_string();
+  }
+};
+
+/// Path-sampled mixture of candidate convolutions (ProxylessNAS-style).
+///
+/// Weight phase: exactly one sampled path executes (sample_path + forward).
+/// Arch phase: two paths are sampled and combined with softmax-renormalised
+/// weights p̃ so the architecture parameters receive gradients while at most
+/// two candidates are materialised per batch — the trick that lets
+/// ProxylessNAS search the whole network on one device.
+class MixedConv2d : public nn::Module {
+ public:
+  MixedConv2d(const nn::Conv2dOptions& base, std::vector<Candidate> candidates, Rng& rng);
+
+  enum class Mode { kSingle, kPair };
+  void set_mode(Mode m) { mode_ = m; }
+
+  /// Sample the active path (kSingle) or pair (kPair) from softmax(alpha).
+  void sample(Rng& rng);
+  void set_active(std::size_t idx);
+  std::size_t active() const { return active_; }
+
+  ag::Variable forward(const ag::Variable& x) override;
+
+  const std::vector<Candidate>& candidates() const { return candidates_; }
+  ag::Variable alpha() { return alpha_; }
+  std::vector<double> probabilities() const;
+  /// E{latency} = Σ_i p_i · latency_i as a differentiable scalar Variable
+  /// (gradient: p_i (lat_i − E), the softmax-expectation rule).
+  ag::Variable expected_latency();
+  /// argmax over alpha — the derived architecture choice.
+  std::size_t best() const;
+
+ private:
+  std::vector<Candidate> candidates_;
+  std::vector<std::shared_ptr<nn::Module>> ops_;
+  ag::Variable alpha_;  // [num_candidates] architecture parameters
+  Mode mode_ = Mode::kSingle;
+  std::size_t active_ = 0;
+  std::size_t pair_a_ = 0, pair_b_ = 1;
+};
+
+/// out = p̃_a · a + p̃_b · b where (p̃_a, p̃_b) is the softmax of
+/// (alpha[ia], alpha[ib]) renormalised over the pair. Gradients flow to a, b
+/// and alpha (only elements ia, ib).
+ag::Variable weighted_pair(const ag::Variable& a, const ag::Variable& b,
+                           const ag::Variable& alpha, std::size_t ia, std::size_t ib);
+
+/// Differentiable Σ_i softmax(alpha)_i * value_i (scalar output).
+ag::Variable softmax_expectation(const ag::Variable& alpha, std::vector<double> values);
+
+/// The candidate list used by wiNAS-WA (fixed bit-width) — im2row plus
+/// F2/F4/F6 winograd-aware layers — and wiNAS-WA-Q (crossed with
+/// {FP32, INT16, INT8}).
+std::vector<Candidate> winas_wa_candidates(const quant::QuantSpec& spec);
+std::vector<Candidate> winas_wa_q_candidates();
+
+}  // namespace wa::nas

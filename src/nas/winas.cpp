@@ -1,0 +1,185 @@
+#include "nas/winas.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "autograd/ops.hpp"
+#include "latency/resnet_profile.hpp"
+
+namespace wa::nas {
+
+namespace {
+
+/// Latency of a candidate on a given layer geometry.
+double candidate_latency(const latency::LatencyModel& model, const backend::ConvGeometry& geom,
+                         const Candidate& c) {
+  latency::LayerDesc desc;
+  desc.geom = geom;
+  desc.algo = c.algo;
+  desc.dtype = latency::dtype_for(c.qspec);
+  desc.dense_transforms = c.flex && nn::is_winograd(c.algo);
+  return model.conv_cost(desc).total_ms();
+}
+
+}  // namespace
+
+WinasSearch::WinasSearch(const WinasOptions& opts, const data::Dataset& train_set,
+                         const data::Dataset& val_set)
+    : opts_(opts), train_(train_set), val_(val_set), rng_(opts.seed) {
+  const latency::LatencyModel model(opts_.core);
+  std::map<std::string, backend::ConvGeometry> geometry;
+  for (const auto& l : latency::resnet18_conv_layers(opts_.width_mult)) {
+    geometry[l.name] = l.geom;
+  }
+
+  models::ConvBuilder builder = [this, &model, &geometry](const nn::Conv2dOptions& base,
+                                                          const std::string& name) {
+    auto candidates =
+        opts_.search_quant ? winas_wa_q_candidates() : winas_wa_candidates(opts_.fixed_spec);
+    const auto geo_it = geometry.find(name);
+    if (geo_it == geometry.end()) {
+      throw std::logic_error("wiNAS: no geometry for layer " + name);
+    }
+    for (auto& c : candidates) c.latency_ms = candidate_latency(model, geo_it->second, c);
+    auto mixed = std::make_shared<MixedConv2d>(base, std::move(candidates), rng_);
+    mixed_.push_back(mixed);
+    mixed_names_.push_back(name);
+    return mixed;
+  };
+
+  models::ResNetConfig cfg;
+  cfg.width_mult = opts_.width_mult;
+  cfg.num_classes = train_set.num_classes;
+  cfg.qspec = opts_.search_quant ? quant::QuantSpec{32} : opts_.fixed_spec;  // non-searchable layers
+  // The builder ignores cfg.algo: every searchable layer becomes a mixture.
+  net_ = std::make_shared<models::ResNet18>(cfg, builder, rng_);
+}
+
+void WinasSearch::set_mode(MixedConv2d::Mode mode) {
+  for (auto& m : mixed_) m->set_mode(mode);
+}
+
+void WinasSearch::sample_all(Rng& rng) {
+  for (auto& m : mixed_) m->sample(rng);
+}
+
+SearchResult WinasSearch::run() {
+  // Parameter split: architecture params (alphas) vs model weights.
+  std::vector<ag::Variable> alphas, weights;
+  for (auto& m : mixed_) alphas.push_back(m->alpha());
+  for (auto& p : net_->parameters()) {
+    bool is_alpha = false;
+    for (const auto& a : alphas) is_alpha = is_alpha || a.node().get() == p.node().get();
+    if (!is_alpha) weights.push_back(p);
+  }
+
+  train::SgdOptions sgd_opts;
+  sgd_opts.lr = opts_.weight_lr;
+  sgd_opts.nesterov = true;
+  train::Sgd weight_opt(weights, sgd_opts);
+
+  train::AdamOptions adam_opts;
+  adam_opts.lr = opts_.arch_lr;
+  adam_opts.beta1 = 0.F;  // only sampled paths move (paper §5.2)
+  train::Adam arch_opt(alphas, adam_opts);
+
+  data::DataLoader loader(train_, opts_.batch_size, /*shuffle=*/true, opts_.seed);
+  const std::int64_t steps = loader.batches();
+  train::CosineSchedule schedule(opts_.weight_lr,
+                                 static_cast<std::int64_t>(opts_.epochs) * steps);
+
+  std::int64_t global_step = 0;
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    loader.reset();
+    net_->set_training(true);
+    for (std::int64_t b = 0; b < steps; ++b) {
+      const auto batch = loader.get(b);
+      ag::Variable x(batch.images, false, "input");
+
+      if (b % 2 == 0) {
+        // ---- weight step: one sampled path, CE only -----------------------
+        weight_opt.set_lr(schedule.at(global_step));
+        set_mode(MixedConv2d::Mode::kSingle);
+        sample_all(rng_);
+        ag::Variable loss = ag::softmax_cross_entropy(net_->forward(x), batch.labels);
+        weight_opt.zero_grad();
+        arch_opt.zero_grad();
+        loss.backward();
+        weight_opt.step();
+      } else {
+        // ---- arch step: two paths, latency-aware loss ----------------------
+        set_mode(MixedConv2d::Mode::kPair);
+        sample_all(rng_);
+        ag::Variable loss = ag::softmax_cross_entropy(net_->forward(x), batch.labels);
+        for (auto& m : mixed_) {
+          ag::Variable reg = ag::sum(ag::mul(m->alpha(), m->alpha()));
+          loss = ag::add(loss, ag::scale(reg, opts_.lambda1));
+          loss = ag::add(loss, ag::scale(m->expected_latency(), opts_.lambda2));
+        }
+        arch_opt.zero_grad();
+        weight_opt.zero_grad();
+        loss.backward();
+        arch_opt.step();
+      }
+      ++global_step;
+    }
+    if (opts_.verbose) {
+      std::printf("  winas epoch %d done\n", epoch);
+      std::fflush(stdout);
+    }
+  }
+
+  // ---- derive -----------------------------------------------------------------
+  SearchResult result;
+  for (std::size_t i = 0; i < mixed_.size(); ++i) {
+    const std::size_t best = mixed_[i]->best();
+    LayerChoice choice;
+    choice.layer = mixed_names_[i];
+    choice.chosen = mixed_[i]->candidates()[best];
+    choice.probabilities = mixed_[i]->probabilities();
+    result.choices.push_back(choice);
+    models::LayerOverride ov;
+    ov.algo = choice.chosen.algo;
+    ov.qspec = choice.chosen.qspec;
+    ov.flex = choice.chosen.flex;
+    result.assignment[choice.layer] = ov;
+    result.expected_latency_ms += choice.chosen.latency_ms;
+    mixed_[i]->set_active(best);
+  }
+
+  // Evaluate the supernet along the argmax path.
+  set_mode(MixedConv2d::Mode::kSingle);
+  net_->set_training(false);
+  data::DataLoader val_loader(val_, opts_.batch_size, false);
+  double acc = 0;
+  std::int64_t n = 0;
+  for (std::int64_t b = 0; b < val_loader.batches(); ++b) {
+    const auto batch = val_loader.get(b);
+    ag::Variable x(batch.images, false);
+    acc += static_cast<double>(ag::accuracy(net_->forward(x).value(), batch.labels)) *
+           static_cast<double>(batch.labels.size());
+    n += static_cast<std::int64_t>(batch.labels.size());
+  }
+  result.final_val_acc = n > 0 ? static_cast<float>(acc / static_cast<double>(n)) : 0.F;
+  return result;
+}
+
+std::string format_architecture(const SearchResult& result) {
+  std::ostringstream os;
+  for (const auto& c : result.choices) {
+    os << "  " << c.layer << ": " << nn::to_string(c.chosen.algo) << " "
+       << c.chosen.qspec.to_string() << "  (p=";
+    double best_p = 0;
+    for (double p : c.probabilities) best_p = std::max(best_p, p);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", best_p);
+    os << buf << ")\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  expected latency (searchable layers): %.2f ms\n",
+                result.expected_latency_ms);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace wa::nas

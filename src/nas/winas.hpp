@@ -1,0 +1,91 @@
+// wiNAS: Winograd-aware neural architecture search (paper §4).
+//
+// Takes a fixed macro-architecture (ResNet-18 here, as in the paper),
+// replaces every searchable 3x3 convolution with a MixedConv2d over
+// {im2row, WA-F2, WA-F4, WA-F6} (x bit-widths for wiNAS-WA-Q) and runs the
+// two-stage alternating optimisation:
+//
+//   weight step:  L = CE          (SGD + Nesterov momentum, one sampled path)
+//   arch step:    L = CE + λ1‖a‖² + λ2·E{latency}
+//                 (Adam with β1 = 0, two sampled paths, latencies from the
+//                  Cortex-A73/A53 cost model)
+//
+// Deriving the architecture takes argmax(alpha) per layer.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "latency/cost_model.hpp"
+#include "models/resnet.hpp"
+#include "nas/mixed_conv.hpp"
+#include "train/optimizer.hpp"
+
+namespace wa::nas {
+
+struct WinasOptions {
+  /// Search space: false = wiNAS-WA (fixed bit-width), true = wiNAS-WA-Q.
+  bool search_quant = false;
+  quant::QuantSpec fixed_spec{8};
+
+  float lambda1 = 1e-3F;  // ‖a‖² regulariser
+  float lambda2 = 0.05F;  // latency pressure; the paper sweeps 0.1 .. 1e-3
+
+  int epochs = 4;            // paper: 100 (scaled down; env-overridable in benches)
+  std::int64_t batch_size = 32;
+  float weight_lr = 0.05F;   // SGD + Nesterov
+  float arch_lr = 5e-3F;     // Adam, beta1 = 0
+  std::uint64_t seed = 7;
+
+  float width_mult = 0.25F;
+  latency::CoreSpec core = latency::cortex_a73();
+  bool verbose = false;
+};
+
+struct LayerChoice {
+  std::string layer;
+  Candidate chosen;
+  std::vector<double> probabilities;
+};
+
+struct SearchResult {
+  std::vector<LayerChoice> choices;
+  /// Per-layer override table, directly usable with models::override_builder
+  /// to instantiate + retrain the found architecture.
+  std::map<std::string, models::LayerOverride> assignment;
+  double expected_latency_ms = 0;  // cost-model latency of the derived arch
+  float final_val_acc = 0;         // accuracy of the supernet (sampled argmax)
+};
+
+class WinasSearch {
+ public:
+  WinasSearch(const WinasOptions& opts, const data::Dataset& train_set,
+              const data::Dataset& val_set);
+
+  /// Run the alternating search and derive the architecture.
+  SearchResult run();
+
+  /// The supernet (exposed for tests).
+  models::ResNet18& supernet() { return *net_; }
+  const std::vector<std::shared_ptr<MixedConv2d>>& mixed_layers() const { return mixed_; }
+
+ private:
+  void set_mode(MixedConv2d::Mode mode);
+  void sample_all(Rng& rng);
+
+  WinasOptions opts_;
+  const data::Dataset& train_;
+  const data::Dataset& val_;
+  Rng rng_;
+  std::shared_ptr<models::ResNet18> net_;
+  std::vector<std::shared_ptr<MixedConv2d>> mixed_;
+  std::vector<std::string> mixed_names_;
+};
+
+/// Pretty-print a found architecture in the style of the paper's Fig. 9
+/// (one "algo bits" row per layer).
+std::string format_architecture(const SearchResult& result);
+
+}  // namespace wa::nas

@@ -1,0 +1,60 @@
+// Convolution algorithm selection and layer options.
+//
+// This enum is the wiNAS search space (paper Fig. 3): each 3x3 convolution is
+// implemented with im2row (lossless, GEMM-lowered) or a Winograd
+// configuration F2/F4/F6 trading latency against numerical error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "quant/quant.hpp"
+
+namespace wa::nn {
+
+enum class ConvAlgo {
+  kIm2row,     // GEMM lowering, row-major patches (the paper's main baseline)
+  kIm2col,     // GEMM lowering, column-major patches
+  kDirect,     // naive direct convolution (reference)
+  kWinograd2,  // F(2x2, rxr)
+  kWinograd4,  // F(4x4, rxr)
+  kWinograd6,  // F(6x6, rxr)
+};
+
+constexpr bool is_winograd(ConvAlgo a) {
+  return a == ConvAlgo::kWinograd2 || a == ConvAlgo::kWinograd4 || a == ConvAlgo::kWinograd6;
+}
+
+/// Output tile size m of a Winograd algo (throws for non-Winograd).
+int winograd_m(ConvAlgo a);
+
+std::string to_string(ConvAlgo a);
+
+/// Full configuration of one convolution layer.
+struct Conv2dOptions {
+  std::int64_t in_channels = 1;
+  std::int64_t out_channels = 1;
+  std::int64_t kernel = 3;
+  std::int64_t pad = 1;
+  std::int64_t groups = 1;
+  bool bias = false;  // the evaluated CNNs put batch-norm after every conv
+
+  ConvAlgo algo = ConvAlgo::kIm2row;
+  /// Bit-width of weights, activations and (for Winograd) every intermediate
+  /// Qx stage — the paper quantizes them all to the same level. Set
+  /// qspec.scheme = kAffine for asymmetric activation quantization (the
+  /// extension the paper's discussion recommends); weights stay symmetric.
+  quant::QuantSpec qspec{32};
+  /// Learn the Winograd transforms G/Bᵀ/Aᵀ (the paper's "-flex" suffix).
+  bool flex_transforms = false;
+  /// Quantize weights with one scale per output channel instead of one per
+  /// layer (Jacob et al. 2018; suggested by the paper's discussion section).
+  bool per_channel_weights = false;
+  /// Per-stage bit-width overrides for the Winograd Qx stages ("quantization
+  /// diversity", §3.2). Unset stages use qspec. Ignored by non-Winograd
+  /// algorithms.
+  std::optional<quant::QuantSpec> qspec_u, qspec_v, qspec_m, qspec_y;
+};
+
+}  // namespace wa::nn

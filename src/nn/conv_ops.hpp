@@ -1,0 +1,40 @@
+// Fused autograd ops for the standard (non-Winograd) layers:
+// im2row convolution, max/average pooling and batch normalization.
+#pragma once
+
+#include "autograd/variable.hpp"
+#include "backend/conv_kernels.hpp"
+
+namespace wa::nn {
+
+/// GEMM-lowered convolution (the paper's "im2row" baseline) with groups and
+/// optional bias. Forward uses backend::im2row_conv; backward is the exact
+/// adjoint (row2im scatter-add for the input gradient).
+/// Pass an undefined Variable for `bias` to omit it.
+ag::Variable conv2d_im2row(const ag::Variable& input, const ag::Variable& weight,
+                           const ag::Variable& bias, const backend::ConvGeometry& geom);
+
+/// Max pooling with square kernel/stride; saves argmax indices for backward.
+ag::Variable max_pool2d(const ag::Variable& input, std::int64_t kernel, std::int64_t stride);
+
+/// Mean over the spatial dimensions: [N,C,H,W] -> [N,C].
+ag::Variable global_avg_pool(const ag::Variable& input);
+
+/// Batch normalization state (running statistics live outside the graph).
+struct BatchNormState {
+  Tensor running_mean;  // [C]
+  Tensor running_var;   // [C]
+  float momentum = 0.1F;
+  float eps = 1e-5F;
+};
+
+/// Batch norm over N,H,W per channel. In training mode uses batch statistics
+/// and updates the running buffers; in eval mode uses the running buffers.
+ag::Variable batch_norm2d(const ag::Variable& input, const ag::Variable& gamma,
+                          const ag::Variable& beta, BatchNormState& state, bool training);
+
+/// Scatter-add the adjoint of im2row_lower: rows [N*oh*ow, C*r*r] back into
+/// an input-shaped tensor. Exposed for tests.
+Tensor row2im_accumulate(const Tensor& rows, const backend::ConvGeometry& geom);
+
+}  // namespace wa::nn

@@ -1,0 +1,120 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "autograd/ops.hpp"
+
+namespace wa::nn {
+
+int winograd_m(ConvAlgo a) {
+  switch (a) {
+    case ConvAlgo::kWinograd2: return 2;
+    case ConvAlgo::kWinograd4: return 4;
+    case ConvAlgo::kWinograd6: return 6;
+    default: throw std::invalid_argument("winograd_m: not a Winograd algorithm");
+  }
+}
+
+std::string to_string(ConvAlgo a) {
+  switch (a) {
+    case ConvAlgo::kIm2row: return "im2row";
+    case ConvAlgo::kIm2col: return "im2col";
+    case ConvAlgo::kDirect: return "direct";
+    case ConvAlgo::kWinograd2: return "F2";
+    case ConvAlgo::kWinograd4: return "F4";
+    case ConvAlgo::kWinograd6: return "F6";
+  }
+  return "unknown";
+}
+
+Tensor kaiming_normal(const Shape& shape, std::int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.F / static_cast<float>(std::max<std::int64_t>(fan_in, 1)));
+  return Tensor::randn(shape, rng, stddev);
+}
+
+Conv2d::Conv2d(Conv2dOptions opts, Rng& rng) : opts_(opts) {
+  if (is_winograd(opts.algo)) {
+    throw std::invalid_argument(
+        "nn::Conv2d handles only im2row/im2col/direct; use core::WinogradAwareConv2d (via "
+        "core::make_conv) for Winograd algorithms");
+  }
+  const std::int64_t cpg = opts.in_channels / opts.groups;
+  const std::int64_t fan_in = cpg * opts.kernel * opts.kernel;
+  weight_ = register_parameter(
+      "weight", kaiming_normal({opts.out_channels, cpg, opts.kernel, opts.kernel}, fan_in, rng));
+  if (opts.bias) {
+    bias_ = register_parameter("bias", Tensor::zeros({opts.out_channels}));
+  }
+}
+
+ag::Variable Conv2d::forward(const ag::Variable& input) {
+  backend::ConvGeometry g;
+  g.batch = input.shape()[0];
+  g.in_channels = opts_.in_channels;
+  g.height = input.shape()[2];
+  g.width = input.shape()[3];
+  g.out_channels = opts_.out_channels;
+  g.kernel = opts_.kernel;
+  g.pad = opts_.pad;
+  g.groups = opts_.groups;
+
+  ag::Variable x = quant::fake_quant_ste(input, in_obs_, opts_.qspec, training());
+  ag::Variable w = opts_.per_channel_weights
+                       ? quant::fake_quant_weights_ste(weight_, opts_.qspec, true)
+                       : quant::fake_quant_ste(weight_, w_obs_, opts_.qspec, training());
+  return conv2d_im2row(x, w, bias_, g);
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels) {
+  gamma_ = register_parameter("gamma", Tensor::ones({channels}));
+  beta_ = register_parameter("beta", Tensor::zeros({channels}));
+  running_mean_ = register_buffer("running_mean", Tensor::zeros({channels}));
+  running_var_ = register_buffer("running_var", Tensor::ones({channels}));
+  state_.running_mean = Tensor::zeros({channels});
+  state_.running_var = Tensor::ones({channels});
+}
+
+ag::Variable BatchNorm2d::forward(const ag::Variable& input) {
+  // Keep registered buffers in sync with the live state so checkpoints
+  // capture running statistics.
+  state_.running_mean = running_mean_.value();
+  state_.running_var = running_var_.value();
+  ag::Variable out = batch_norm2d(input, gamma_, beta_, state_, training());
+  running_mean_.value() = state_.running_mean;
+  running_var_.value() = state_.running_var;
+  return out;
+}
+
+ag::Variable ReLU::forward(const ag::Variable& input) { return ag::relu(input); }
+
+ag::Variable MaxPool2d::forward(const ag::Variable& input) {
+  return max_pool2d(input, kernel_, stride_);
+}
+
+ag::Variable GlobalAvgPool::forward(const ag::Variable& input) {
+  return global_avg_pool(input);
+}
+
+ag::Variable Flatten::forward(const ag::Variable& input) {
+  const auto& s = input.shape();
+  std::int64_t features = 1;
+  for (std::size_t i = 1; i < s.size(); ++i) features *= s[i];
+  return ag::reshape(input, {s[0], features});
+}
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, quant::QuantSpec qspec,
+               Rng& rng)
+    : qspec_(qspec) {
+  weight_ = register_parameter("weight",
+                               kaiming_normal({out_features, in_features}, in_features, rng));
+  bias_ = register_parameter("bias", Tensor::zeros({out_features}));
+}
+
+ag::Variable Linear::forward(const ag::Variable& input) {
+  ag::Variable x = quant::fake_quant_ste(input, in_obs_, qspec_, training());
+  ag::Variable w = quant::fake_quant_ste(weight_, w_obs_, qspec_, training());
+  return ag::linear(x, w, bias_);
+}
+
+}  // namespace wa::nn

@@ -1,0 +1,105 @@
+// Standard layers: convolution (GEMM-lowered), batch-norm, pooling, linear.
+#pragma once
+
+#include <memory>
+
+#include "nn/conv_config.hpp"
+#include "nn/conv_ops.hpp"
+#include "nn/module.hpp"
+#include "quant/fake_quant_op.hpp"
+#include "quant/observer.hpp"
+#include "tensor/rng.hpp"
+
+namespace wa::nn {
+
+/// Convolution layer for the non-Winograd algorithms (im2row / im2col /
+/// direct — numerically identical; the distinction matters for the latency
+/// model, not for training). Supports quantization-aware training: inputs go
+/// through an EMA-observed fake-quant, weights through a min-max one.
+class Conv2d : public Module {
+ public:
+  Conv2d(Conv2dOptions opts, Rng& rng);
+
+  ag::Variable forward(const ag::Variable& input) override;
+
+  const Conv2dOptions& options() const { return opts_; }
+  ag::Variable weight() { return weight_; }
+  ag::Variable bias() { return bias_; }
+  quant::RangeObserver& input_observer() { return in_obs_; }
+
+ private:
+  Conv2dOptions opts_;
+  ag::Variable weight_;
+  ag::Variable bias_;  // undefined when opts_.bias == false
+  quant::RangeObserver in_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver w_obs_{quant::RangeObserver::Mode::kMinMax};
+};
+
+/// Batch normalization over channels of NCHW input.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels);
+  ag::Variable forward(const ag::Variable& input) override;
+  BatchNormState& state() { return state_; }
+
+ private:
+  ag::Variable gamma_;
+  ag::Variable beta_;
+  ag::Variable running_mean_;  // registered as buffers so checkpoints keep them
+  ag::Variable running_var_;
+  BatchNormState state_;
+};
+
+class ReLU : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& input) override;
+};
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride) : kernel_(kernel), stride_(stride) {}
+  ag::Variable forward(const ag::Variable& input) override;
+
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t kernel_, stride_;
+};
+
+/// Global average pool + flatten: [N,C,H,W] -> [N,C].
+class GlobalAvgPool : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& input) override;
+};
+
+/// [N,C,H,W] -> [N, C*H*W].
+class Flatten : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& input) override;
+};
+
+/// Fully connected layer with optional quantization-aware training.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, quant::QuantSpec qspec, Rng& rng);
+  ag::Variable forward(const ag::Variable& input) override;
+
+  const quant::QuantSpec& qspec() const { return qspec_; }
+  ag::Variable weight() { return weight_; }
+  ag::Variable bias() { return bias_; }
+  quant::RangeObserver& input_observer() { return in_obs_; }
+
+ private:
+  quant::QuantSpec qspec_;
+  ag::Variable weight_;
+  ag::Variable bias_;
+  quant::RangeObserver in_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver w_obs_{quant::RangeObserver::Mode::kMinMax};
+};
+
+/// Kaiming-normal initialization for conv/fc weights (He et al. 2015),
+/// gain for ReLU networks.
+Tensor kaiming_normal(const Shape& shape, std::int64_t fan_in, Rng& rng);
+
+}  // namespace wa::nn

@@ -1,0 +1,84 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace wa::nn {
+
+ag::Variable Module::register_parameter(const std::string& name, Tensor init) {
+  ag::Variable v(std::move(init), /*requires_grad=*/true, name);
+  params_.emplace_back(name, v);
+  return v;
+}
+
+ag::Variable Module::register_buffer(const std::string& name, Tensor init) {
+  ag::Variable v(std::move(init), /*requires_grad=*/false, name);
+  buffers_.emplace_back(name, v);
+  return v;
+}
+
+std::vector<ag::Variable> Module::parameters() const {
+  std::vector<ag::Variable> out;
+  for (const auto& [name, p] : params_) {
+    if (p.requires_grad()) out.push_back(p);
+  }
+  for (const auto& [name, c] : children_) {
+    auto sub = c->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::map<std::string, ag::Variable> Module::named_parameters(const std::string& prefix) const {
+  std::map<std::string, ag::Variable> out;
+  for (const auto& [name, p] : params_) out.emplace(prefix + name, p);
+  for (const auto& [name, b] : buffers_) out.emplace(prefix + name, b);
+  for (const auto& [name, c] : children_) {
+    auto sub = c->named_parameters(prefix + name + ".");
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::int64_t Module::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  on_set_training(training);
+  for (auto& [name, c] : children_) c->set_training(training);
+}
+
+void Module::load_state(const std::map<std::string, Tensor>& state, const std::string& prefix) {
+  for (auto& [name, p] : named_parameters(prefix)) {
+    const auto it = state.find(name);
+    if (it == state.end()) {
+      throw std::runtime_error("load_state: missing key '" + name + "'");
+    }
+    check_same_shape(p.value().shape(), it->second.shape(), ("load_state: " + name).c_str());
+    p.value() = it->second;
+  }
+}
+
+std::size_t Module::load_state_intersect(const std::map<std::string, Tensor>& state,
+                                          const std::string& prefix) {
+  std::size_t loaded = 0;
+  for (auto& [name, p] : named_parameters(prefix)) {
+    const auto it = state.find(name);
+    if (it == state.end()) continue;
+    if (p.value().shape() != it->second.shape()) continue;
+    p.value() = it->second;
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::map<std::string, Tensor> Module::state_dict(const std::string& prefix) const {
+  std::map<std::string, Tensor> out;
+  for (const auto& [name, p] : named_parameters(prefix)) out.emplace(name, p.value());
+  return out;
+}
+
+}  // namespace wa::nn

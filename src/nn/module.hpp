@@ -1,0 +1,104 @@
+// Module base class: parameter registration, recursive traversal,
+// train/eval mode and checkpoint (de)serialization.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace wa::nn {
+
+/// Base class for trainable network components.
+///
+/// Subclasses register their leaf parameters and child modules in their
+/// constructor; the base class then provides recursive parameter collection
+/// (for optimizers and checkpoints) and training-mode propagation (for
+/// batch-norm statistics and quantization observers).
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual ag::Variable forward(const ag::Variable& input) = 0;
+
+  /// All trainable parameters, depth first.
+  std::vector<ag::Variable> parameters() const;
+  /// Parameters keyed by dotted path, e.g. "stage1.block0.conv1.weight".
+  std::map<std::string, ag::Variable> named_parameters(const std::string& prefix = "") const;
+
+  /// Total trainable scalar count.
+  std::int64_t parameter_count() const;
+
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// Copy values from a checkpoint map (missing keys throw, shape mismatch
+  /// throws; extra keys in the map are ignored so partially-matching models
+  /// — e.g. the Fig. 6 direct->winograd adaptation — can reuse weights).
+  void load_state(const std::map<std::string, Tensor>& state, const std::string& prefix = "");
+  /// Copy values for keys present in BOTH the map and this model; returns the
+  /// number of tensors loaded. This is how a pre-trained direct-convolution
+  /// model seeds a Winograd-aware one (Fig. 6 adaptation): conv/bn/fc weights
+  /// transfer, the Cook-Toom-initialised transforms and observers stay fresh.
+  std::size_t load_state_intersect(const std::map<std::string, Tensor>& state,
+                                   const std::string& prefix = "");
+  /// Snapshot all parameter values.
+  std::map<std::string, Tensor> state_dict(const std::string& prefix = "") const;
+
+  /// Immediate children in registration order. Used by deployment compilers
+  /// that walk a trained model to extract layers and frozen scales.
+  const std::vector<std::pair<std::string, std::shared_ptr<Module>>>& named_children() const {
+    return children_;
+  }
+
+ protected:
+  ag::Variable register_parameter(const std::string& name, Tensor init);
+  /// Register a non-trainable buffer-like parameter (e.g. static Winograd
+  /// transforms): saved/loaded with the state but excluded from parameters().
+  ag::Variable register_buffer(const std::string& name, Tensor init);
+  template <typename M, typename... Args>
+  std::shared_ptr<M> register_module(const std::string& name, Args&&... args) {
+    auto mod = std::make_shared<M>(std::forward<Args>(args)...);
+    children_.emplace_back(name, mod);
+    return mod;
+  }
+  void register_child(const std::string& name, std::shared_ptr<Module> child) {
+    children_.emplace_back(name, std::move(child));
+  }
+
+  /// Hook for subclasses that need to react to train/eval switches
+  /// (batch-norm, quantization observers).
+  virtual void on_set_training(bool) {}
+
+ private:
+  std::vector<std::pair<std::string, ag::Variable>> params_;
+  std::vector<std::pair<std::string, ag::Variable>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+/// Run modules in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  void append(const std::string& name, std::shared_ptr<Module> m) {
+    register_child(name, m);
+    steps_.push_back(std::move(m));
+  }
+  ag::Variable forward(const ag::Variable& input) override {
+    ag::Variable x = input;
+    for (auto& s : steps_) x = s->forward(x);
+    return x;
+  }
+  std::size_t size() const { return steps_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Module>> steps_;
+};
+
+}  // namespace wa::nn

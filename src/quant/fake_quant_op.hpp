@@ -1,0 +1,34 @@
+// Differentiable fake-quantization (straight-through estimator).
+#pragma once
+
+#include "autograd/variable.hpp"
+#include "quant/observer.hpp"
+#include "quant/quant.hpp"
+
+namespace wa::quant {
+
+/// Fake-quantize a Variable. Forward: clamp(round(x/s), ±qmax) * s with s
+/// from the observer (which is updated from x when `training` is true).
+/// Backward: straight-through, except elements that saturated the clamp get
+/// zero gradient (the clipped-STE of Jacob et al. 2018). Honours
+/// spec.scheme: affine specs quantize with the observer's zero-point.
+///
+/// With spec.is_float() this is the identity and adds no graph node.
+wa::ag::Variable fake_quant_ste(const wa::ag::Variable& x, RangeObserver& observer,
+                                const QuantSpec& spec, bool training);
+
+/// Fake-quantize with explicit parameters (per-channel and/or affine).
+/// No observer involvement: the caller owns parameter selection.
+wa::ag::Variable fake_quant_qparams_ste(const wa::ag::Variable& x, const QParams& params,
+                                        const QuantSpec& spec);
+
+/// Weight-tensor fake-quantization. Weights take their parameters from the
+/// current values (min-max, no moving average), per-tensor or per-output-
+/// channel (channel_dim 0) — the per-channel extension the paper's
+/// discussion recommends. Always symmetric, the near-universal convention
+/// for weights (a weight zero-point would put the zero offset inside every
+/// accumulation).
+wa::ag::Variable fake_quant_weights_ste(const wa::ag::Variable& w, const QuantSpec& spec,
+                                        bool per_channel);
+
+}  // namespace wa::quant

@@ -1,0 +1,93 @@
+// Range observers deciding the quantization scale of each tensor.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/qparams.hpp"
+#include "quant/quant.hpp"
+
+namespace wa::quant {
+
+/// Tracks the dynamic range of a quantized tensor site.
+///
+/// Weights use Mode::kMinMax (the scale follows the current values exactly);
+/// activations and Winograd intermediates use Mode::kEma — an exponential
+/// moving average over batches, the "moving averages" the paper warms up
+/// before evaluating post-training Winograd swaps (Table 1 footnote).
+///
+/// min and max are tracked separately so the same observer serves both the
+/// paper's symmetric scheme (scale from abs-max) and the affine extension
+/// (scale and zero-point from the full interval).
+class RangeObserver {
+ public:
+  enum class Mode { kMinMax, kEma };
+
+  explicit RangeObserver(Mode mode = Mode::kEma, float ema_momentum = 0.95F)
+      : mode_(mode), momentum_(ema_momentum) {}
+
+  /// Update the tracked range from a batch (training / calibration).
+  void observe(const Tensor& x) {
+    if (x.empty()) return;
+    const float lo = x.min();
+    const float hi = x.max();
+    if (mode_ == Mode::kMinMax || !initialized_) {
+      min_ = lo;
+      max_ = hi;
+      initialized_ = true;
+    } else {
+      min_ = momentum_ * min_ + (1.F - momentum_) * lo;
+      max_ = momentum_ * max_ + (1.F - momentum_) * hi;
+    }
+  }
+
+  /// Scale for the tracked range at the given bit-width. When nothing has
+  /// been observed yet the batch itself must be observed first; calling with
+  /// no observations returns a scale for range 1.0 rather than throwing so
+  /// that a cold evaluation pass is well-defined.
+  float scale(const QuantSpec& spec) const {
+    return scale_for(initialized_ ? tracked_abs_max() : 1.F, spec);
+  }
+
+  /// Per-tensor quantization parameters for the tracked range, honouring
+  /// spec.scheme (symmetric zero-point 0, or affine with a learned offset).
+  QParams qparams(const QuantSpec& spec) const {
+    if (!spec.is_affine()) return QParams::per_tensor(scale(spec));
+    const float lo = std::min(initialized_ ? min_ : -1.F, 0.F);
+    const float hi = std::max(initialized_ ? max_ : 1.F, 0.F);
+    const QRange range = range_of(spec);
+    const float span = hi - lo;
+    QParams p;
+    p.channel_dim = -1;
+    p.scales.assign(1, span > 1e-12F
+                           ? span / static_cast<float>(range.qmax - range.qmin)
+                           : 1e-12F);
+    const float z = -lo / p.scales[0] + static_cast<float>(range.qmin);
+    p.zero_points.assign(
+        1, static_cast<std::int32_t>(std::lround(std::clamp(
+               z, static_cast<float>(range.qmin), static_cast<float>(range.qmax)))));
+    return p;
+  }
+
+  float tracked_abs_max() const { return std::max(std::fabs(min_), std::fabs(max_)); }
+  float tracked_min() const { return min_; }
+  float tracked_max() const { return max_; }
+  bool initialized() const { return initialized_; }
+  Mode mode() const { return mode_; }
+  void reset() {
+    min_ = 0.F;
+    max_ = 0.F;
+    initialized_ = false;
+  }
+  /// Switch tracking mode (used when freezing ranges for deployment).
+  void set_mode(Mode m) { mode_ = m; }
+
+ private:
+  Mode mode_;
+  float momentum_;
+  float min_ = 0.F;
+  float max_ = 0.F;
+  bool initialized_ = false;
+};
+
+}  // namespace wa::quant

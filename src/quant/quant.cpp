@@ -1,0 +1,86 @@
+#include "quant/quant.hpp"
+
+#include <cmath>
+
+namespace wa::quant {
+
+float scale_for(float abs_max, const QuantSpec& spec) {
+  if (spec.is_float()) return 1.F;
+  const float qmax = static_cast<float>(spec.qmax());
+  // A zero range would make the scale zero and divisions undefined;
+  // fall back to a tiny epsilon so fake-quant of an all-zero tensor is a no-op.
+  const float safe = abs_max > 1e-12F ? abs_max : 1e-12F;
+  return safe / qmax;
+}
+
+std::int64_t fake_quant_(Tensor& x, float scale, const QuantSpec& spec,
+                         std::vector<std::uint8_t>* clip_mask) {
+  if (spec.is_float()) {
+    if (clip_mask) clip_mask->assign(static_cast<std::size_t>(x.numel()), 1);
+    return 0;
+  }
+  const float qmax = static_cast<float>(spec.qmax());
+  const float inv = 1.F / scale;
+  std::int64_t clipped = 0;
+  auto d = x.data();
+  if (clip_mask) clip_mask->assign(d.size(), 1);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    float q = std::nearbyint(d[i] * inv);
+    if (q > qmax) {
+      q = qmax;
+      ++clipped;
+      if (clip_mask) (*clip_mask)[i] = 0;
+    } else if (q < -qmax) {
+      q = -qmax;
+      ++clipped;
+      if (clip_mask) (*clip_mask)[i] = 0;
+    }
+    d[i] = q * scale;
+  }
+  return clipped;
+}
+
+Tensor fake_quant(const Tensor& x, float scale, const QuantSpec& spec) {
+  Tensor out = x;
+  fake_quant_(out, scale, spec);
+  return out;
+}
+
+std::vector<std::int32_t> quantize_levels(const Tensor& x, float scale, const QuantSpec& spec) {
+  const auto qmax = static_cast<float>(spec.qmax());
+  const float inv = 1.F / scale;
+  std::vector<std::int32_t> q(static_cast<std::size_t>(x.numel()));
+  auto d = x.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    float v = std::nearbyint(d[i] * inv);
+    v = std::min(qmax, std::max(-qmax, v));
+    q[i] = static_cast<std::int32_t>(v);
+  }
+  return q;
+}
+
+Tensor dequantize_levels(const std::vector<std::int32_t>& q, const Shape& shape, float scale) {
+  Tensor t(shape);
+  if (static_cast<std::int64_t>(q.size()) != t.numel()) {
+    throw std::invalid_argument("dequantize_levels: count mismatch");
+  }
+  auto d = t.data();
+  for (std::size_t i = 0; i < q.size(); ++i) d[i] = static_cast<float>(q[i]) * scale;
+  return t;
+}
+
+float quantization_rmse(const Tensor& x, const QuantSpec& spec) {
+  if (spec.is_float() || x.empty()) return 0.F;
+  const float s = scale_for(x.abs_max(), spec);
+  Tensor q = fake_quant(x, s, spec);
+  double acc = 0;
+  auto a = x.data();
+  auto b = q.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc / static_cast<double>(a.size())));
+}
+
+}  // namespace wa::quant

@@ -1,0 +1,56 @@
+#include "quant/requant.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wa::quant {
+
+FixedPointMultiplier quantize_multiplier(double multiplier) {
+  if (multiplier <= 0) throw std::invalid_argument("quantize_multiplier: non-positive multiplier");
+  FixedPointMultiplier out;
+  int exp = 0;
+  const double q = std::frexp(multiplier, &exp);  // multiplier = q * 2^exp, q in [0.5, 1)
+  auto q31 = static_cast<std::int64_t>(std::llround(q * (1LL << 31)));
+  if (q31 == (1LL << 31)) {  // rounding overflowed to 2^31; renormalize
+    q31 /= 2;
+    ++exp;
+  }
+  out.m0 = static_cast<std::int32_t>(q31);
+  out.shift = -exp;  // total effect: * m0 * 2^-31 * 2^-shift = q * 2^exp
+  return out;
+}
+
+std::int32_t apply_multiplier(std::int32_t acc, const FixedPointMultiplier& m) {
+  // Saturating rounding doubling high mul (SQRDMULH semantics).
+  const bool overflow = acc == m.m0 && acc == std::numeric_limits<std::int32_t>::min();
+  const std::int64_t prod = static_cast<std::int64_t>(acc) * m.m0;
+  const std::int32_t nudge = prod >= 0 ? (1 << 30) : (1 - (1 << 30));
+  std::int32_t high = static_cast<std::int32_t>((prod + nudge) / (1LL << 31));
+  if (overflow) high = std::numeric_limits<std::int32_t>::max();
+
+  int shift = m.shift;
+  if (shift <= 0) {
+    // Negative (left) shift: scale up, saturating.
+    const std::int64_t shifted = static_cast<std::int64_t>(high) << (-shift);
+    if (shifted > std::numeric_limits<std::int32_t>::max()) {
+      return std::numeric_limits<std::int32_t>::max();
+    }
+    if (shifted < std::numeric_limits<std::int32_t>::min()) {
+      return std::numeric_limits<std::int32_t>::min();
+    }
+    return static_cast<std::int32_t>(shifted);
+  }
+  // Rounding right shift.
+  const std::int32_t mask = (1 << shift) - 1;
+  const std::int32_t remainder = high & mask;
+  const std::int32_t threshold = (mask >> 1) + (high < 0 ? 1 : 0);
+  return (high >> shift) + (remainder > threshold ? 1 : 0);
+}
+
+std::int32_t saturate(std::int32_t v, int bits) {
+  const std::int32_t qmax = (1 << (bits - 1)) - 1;
+  return v > qmax ? qmax : (v < -qmax ? -qmax : v);
+}
+
+}  // namespace wa::quant

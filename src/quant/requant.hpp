@@ -1,0 +1,31 @@
+// Fixed-point requantization (Jacob et al. 2018, §2.2).
+//
+// Integer-only inference multiplies int8 values accumulating into int32, then
+// rescales by a real multiplier M = s_in * s_w / s_out in fixed point:
+// M = M0 * 2^-shift with M0 in [0.5, 1) stored as int32. This is the scheme
+// the deployment backend (src/backend) uses, mirroring what production
+// libraries (Arm Compute Library, gemmlowp) implement.
+#pragma once
+
+#include <cstdint>
+
+namespace wa::quant {
+
+struct FixedPointMultiplier {
+  std::int32_t m0 = 0;  // quantized multiplier in Q31, in [2^30, 2^31)
+  int shift = 0;        // right shift applied after the Q31 multiply
+};
+
+/// Decompose a positive real multiplier into (m0, shift).
+/// Requires 0 < multiplier < 1 (the usual regime: s_in*s_w << s_out) but also
+/// handles multiplier >= 1 by allowing negative shifts.
+FixedPointMultiplier quantize_multiplier(double multiplier);
+
+/// Saturating rounding doubling high multiply + rounding right shift:
+/// round(acc * m0 * 2^-31 * 2^-shift), matching gemmlowp semantics.
+std::int32_t apply_multiplier(std::int32_t acc, const FixedPointMultiplier& m);
+
+/// Clamp an int32 to the symmetric range of a bit-width (e.g. ±127 for 8).
+std::int32_t saturate(std::int32_t v, int bits);
+
+}  // namespace wa::quant

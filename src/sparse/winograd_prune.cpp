@@ -1,0 +1,130 @@
+#include "sparse/winograd_prune.hpp"
+
+#include <algorithm>
+#include <span>
+#include <cmath>
+#include <stdexcept>
+
+#include "winograd/small_mat.hpp"
+
+namespace wa::sparse {
+
+Tensor transformed_weights(core::WinogradAwareConv2d& layer) {
+  const auto& o = layer.options();
+  const std::int64_t r = o.kernel;
+  const std::int64_t t = layer.input_tile();
+  const std::int64_t groups = o.groups;
+  const std::int64_t kg = o.out_channels / groups;
+  const std::int64_t cg = o.in_channels / groups;
+  const Tensor& w = layer.weight().value();
+  const float* gm = layer.g_mat().value().raw();
+
+  Tensor u(Shape{groups, t * t, kg, cg});
+  for (std::int64_t grp = 0; grp < groups; ++grp) {
+    for (std::int64_t k = 0; k < kg; ++k) {
+      float tmp[wino::kSmallMatCap], gg[wino::kSmallMatCap];
+      for (std::int64_t c = 0; c < cg; ++c) {
+        const float* filt = w.raw() + ((grp * kg + k) * cg + c) * r * r;
+        wino::smm_sandwich(gm, static_cast<int>(t), static_cast<int>(r), filt, tmp, gg);
+        for (std::int64_t ab = 0; ab < t * t; ++ab) {
+          u.raw()[((grp * t * t + ab) * kg + k) * cg + c] = gg[ab];
+        }
+      }
+    }
+  }
+  return u;
+}
+
+namespace {
+
+/// Zero the mask at the `count` smallest-magnitude offsets within
+/// [begin, begin + len) of u's storage (ties broken by index).
+void prune_slice(const std::span<const float> u, std::span<float> mask, std::size_t begin,
+                 std::size_t len, std::size_t count) {
+  if (count == 0) return;
+  std::vector<std::size_t> idx(len);
+  for (std::size_t i = 0; i < len; ++i) idx[i] = begin + i;
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(count - 1), idx.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const float ma = std::fabs(u[a]), mb = std::fabs(u[b]);
+                     return ma < mb || (ma == mb && a < b);
+                   });
+  for (std::size_t i = 0; i < count; ++i) mask[idx[i]] = 0.F;
+}
+
+}  // namespace
+
+Tensor magnitude_mask(const Tensor& u, double sparsity, PruneScheme scheme) {
+  if (sparsity < 0.0 || sparsity >= 1.0) {
+    throw std::invalid_argument("magnitude_mask: sparsity must be in [0, 1)");
+  }
+  if (u.empty()) throw std::invalid_argument("magnitude_mask: empty tensor");
+  Tensor mask = Tensor::ones(u.shape());
+  const auto d = u.data();
+  auto md = mask.data();
+  if (scheme == PruneScheme::kGlobal) {
+    const auto total = static_cast<std::size_t>(u.numel());
+    prune_slice(d, md, 0, total,
+                static_cast<std::size_t>(std::floor(sparsity * static_cast<double>(total))));
+    return mask;
+  }
+  // Per-position: one scope per (group, xy) slice of [groups, t², K/g, C/g].
+  if (u.dim() != 4) {
+    throw std::invalid_argument("magnitude_mask: per-position scheme expects a 4-d U tensor");
+  }
+  const auto slices = static_cast<std::size_t>(u.size(0) * u.size(1));
+  const auto len = static_cast<std::size_t>(u.size(2) * u.size(3));
+  const auto per_slice = static_cast<std::size_t>(
+      std::floor(sparsity * static_cast<double>(len)));
+  for (std::size_t s = 0; s < slices; ++s) prune_slice(d, md, s * len, len, per_slice);
+  return mask;
+}
+
+PruneReport prune_winograd_layer(core::WinogradAwareConv2d& layer, double sparsity,
+                                 const std::string& name, PruneScheme scheme) {
+  const Tensor u = transformed_weights(layer);
+  Tensor mask = magnitude_mask(u, sparsity, scheme);
+  PruneReport report;
+  report.layer = name;
+  report.target_sparsity = sparsity;
+  report.achieved_density =
+      static_cast<double>(mask.sum()) / static_cast<double>(mask.numel());
+  layer.set_winograd_mask(std::move(mask));
+  return report;
+}
+
+namespace {
+
+void collect(nn::Module& mod, const std::string& prefix,
+             std::vector<std::pair<std::string, core::WinogradAwareConv2d*>>& out) {
+  if (auto* wa = dynamic_cast<core::WinogradAwareConv2d*>(&mod)) {
+    out.emplace_back(prefix, wa);
+  }
+  for (const auto& [name, child] : mod.named_children()) {
+    collect(*child, prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+}  // namespace
+
+std::vector<PruneReport> prune_model(nn::Module& root, double sparsity, PruneScheme scheme) {
+  std::vector<std::pair<std::string, core::WinogradAwareConv2d*>> layers;
+  collect(root, "", layers);
+  std::vector<PruneReport> reports;
+  reports.reserve(layers.size());
+  for (auto& [name, layer] : layers) {
+    reports.push_back(prune_winograd_layer(*layer, sparsity, name, scheme));
+  }
+  return reports;
+}
+
+double model_hadamard_density(const nn::Module& root) {
+  std::vector<std::pair<std::string, core::WinogradAwareConv2d*>> layers;
+  collect(const_cast<nn::Module&>(root), "", layers);
+  if (layers.empty()) return 1.0;
+  double acc = 0;
+  for (const auto& [name, layer] : layers) acc += layer->winograd_density();
+  return acc / static_cast<double>(layers.size());
+}
+
+}  // namespace wa::sparse

@@ -1,0 +1,72 @@
+// Winograd-domain pruning (after Liu, Pool, Han & Dally, ICLR 2018).
+//
+// The paper's related-work section cites "a technique that enables up to
+// 90% sparsity in the Hadamard product stage of the Winograd algorithm,
+// effectively reducing by 10x the number of multiplications with no
+// accuracy loss in FP32 models". Spatial-domain sparsity does not survive
+// the transform (G ĝ Gᵀ densifies a sparse filter), so the pruning must
+// happen directly on the transformed weights U — which is what this module
+// does, as an optional extension composable with winograd-aware quantized
+// training:
+//
+//   1. train a (winograd-aware) model as usual;
+//   2. prune_model() thresholds each layer's U by magnitude to a target
+//      sparsity and installs the mask;
+//   3. fine-tune — masked Hadamard products stay pruned through the STE;
+//   4. the latency model prices the surviving density via
+//      LayerDesc::hadamard_density.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wa_conv2d.hpp"
+#include "nn/module.hpp"
+
+namespace wa::sparse {
+
+/// Transformed weights U = G g Gᵀ of a layer, [groups, t², K/g, C/g],
+/// computed from the layer's current weights and (possibly learned)
+/// transforms in FP32 — the tensor the pruning mask thresholds.
+Tensor transformed_weights(core::WinogradAwareConv2d& layer);
+
+/// How the magnitude threshold is scoped.
+///
+/// Winograd-domain weights have strongly position-dependent magnitudes: the
+/// Cook-Toom rows scale each tile position (xy) differently, and positions
+/// with systematically small U entries meet systematically LARGE V entries
+/// at the same position (the B columns amplify inversely). A global
+/// threshold therefore wipes out whole tile positions and wrecks the
+/// output; thresholding within each position prunes genuinely redundant
+/// products. kPerPosition is the default for exactly that reason.
+enum class PruneScheme { kPerPosition, kGlobal };
+
+/// 0/1 mask keeping the largest-magnitude `1 - sparsity` fraction of
+/// entries — exactly floor(sparsity * slice_size) pruned per scope (ties
+/// broken by index, deterministic). `u` is [groups, t², K/g, C/g]; scope is
+/// each (group, xy) slice for kPerPosition, the whole tensor for kGlobal.
+/// Throws std::invalid_argument for sparsity outside [0, 1).
+Tensor magnitude_mask(const Tensor& u, double sparsity,
+                      PruneScheme scheme = PruneScheme::kPerPosition);
+
+struct PruneReport {
+  std::string layer;
+  double target_sparsity = 0;
+  double achieved_density = 1;  // surviving fraction of Hadamard products
+};
+
+/// Prune one layer in the Winograd domain and install the mask.
+PruneReport prune_winograd_layer(core::WinogradAwareConv2d& layer, double sparsity,
+                                 const std::string& name = "",
+                                 PruneScheme scheme = PruneScheme::kPerPosition);
+
+/// Recursively prune every WinogradAwareConv2d reachable from `root`.
+/// Returns one report per pruned layer (depth-first, registration order).
+std::vector<PruneReport> prune_model(nn::Module& root, double sparsity,
+                                     PruneScheme scheme = PruneScheme::kPerPosition);
+
+/// Mean surviving density across all Winograd-aware layers under `root`
+/// (1.0 when none are masked; layers without masks count as dense).
+double model_hadamard_density(const nn::Module& root);
+
+}  // namespace wa::sparse

@@ -1,0 +1,114 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace wa {
+
+namespace {
+
+// Panel sizes tuned for small L1/L2; correctness does not depend on them.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+// Element (r, c) of op(A) where op(A) is [m_rows x k_cols]; the backing
+// storage is [m_rows x k_cols] row-major when !trans, [k_cols x m_rows]
+// row-major when trans.
+inline float load(const float* p, bool trans, std::int64_t m_rows, std::int64_t k_cols,
+                  std::int64_t r, std::int64_t c) {
+  return trans ? p[c * m_rows + r] : p[r * k_cols + c];
+}
+
+// Core kernel on a packed row-major A-panel [mb x K] and row-major B [K x N].
+void gemm_packed_nn(std::int64_t mb, std::int64_t n, std::int64_t k, float alpha, const float* a,
+                    std::int64_t lda, const float* b, std::int64_t ldb, float beta, float* c,
+                    std::int64_t ldc) {
+  for (std::int64_t i = 0; i < mb; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.F) {
+      std::fill(crow, crow + n, 0.F);
+    } else if (beta != 1.F) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * a[i * lda + kk];
+      if (av == 0.F) continue;
+      const float* brow = b + kk * ldb;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_f32(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+              float alpha, const float* a, const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+
+  // Fast path: no transposes. Iterate k in the middle so B rows stream.
+  if (!trans_a && !trans_b) {
+#pragma omp parallel for schedule(static) if (m >= 8)
+    for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+      const std::int64_t mb = std::min(kBlockM, m - i0);
+      gemm_packed_nn(mb, n, k, alpha, a + i0 * k, k, b, n, beta, c + i0 * n, n);
+    }
+    return;
+  }
+
+  // General path: pack op(A) panel and op(B) into temporaries per block.
+#pragma omp parallel if (m >= 8)
+  {
+    std::vector<float> apack(static_cast<std::size_t>(kBlockM * kBlockK));
+    std::vector<float> bpack;
+    if (trans_b) bpack.resize(static_cast<std::size_t>(kBlockK * kBlockN));
+
+#pragma omp for schedule(static)
+    for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+      const std::int64_t mb = std::min(kBlockM, m - i0);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t nb = std::min(kBlockN, n - j0);
+        for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+          const std::int64_t kb = std::min(kBlockK, k - k0);
+          // Pack op(A)[i0:i0+mb, k0:k0+kb] row-major.
+          for (std::int64_t i = 0; i < mb; ++i) {
+            for (std::int64_t kk = 0; kk < kb; ++kk) {
+              apack[static_cast<std::size_t>(i * kb + kk)] =
+                  load(a, trans_a, m, k, i0 + i, k0 + kk);
+            }
+          }
+          const float* bptr;
+          std::int64_t ldb;
+          if (!trans_b) {
+            bptr = b + k0 * n + j0;
+            ldb = n;
+          } else {
+            // Pack op(B)[k0:k0+kb, j0:j0+nb] row-major from B stored [N,K].
+            for (std::int64_t kk = 0; kk < kb; ++kk) {
+              for (std::int64_t j = 0; j < nb; ++j) {
+                bpack[static_cast<std::size_t>(kk * nb + j)] = b[(j0 + j) * k + (k0 + kk)];
+              }
+            }
+            bptr = bpack.data();
+            ldb = nb;
+          }
+          const float eff_beta = (k0 == 0) ? beta : 1.F;
+          gemm_packed_nn(mb, nb, kb, alpha, apack.data(), kb, bptr, ldb, eff_beta,
+                         c + i0 * n + j0, n);
+        }
+      }
+    }
+  }
+}
+
+void gemm_batched_f32(bool trans_a, bool trans_b, std::int64_t batch, std::int64_t m,
+                      std::int64_t n, std::int64_t k, const float* a, std::int64_t stride_a,
+                      const float* b, std::int64_t stride_b, float* c, std::int64_t stride_c) {
+#pragma omp parallel for schedule(static) if (batch >= 2)
+  for (std::int64_t i = 0; i < batch; ++i) {
+    gemm_f32(trans_a, trans_b, m, n, k, 1.F, a + i * stride_a, b + i * stride_b, 0.F,
+             c + i * stride_c);
+  }
+}
+
+}  // namespace wa

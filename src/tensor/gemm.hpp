@@ -1,0 +1,24 @@
+// Single-precision GEMM kernels used by every convolution lowering.
+#pragma once
+
+#include <cstdint>
+
+namespace wa {
+
+/// C = alpha * op(A) * op(B) + beta * C.
+///
+/// op(A) is [M,K]; A itself is stored row-major as [M,K] when !trans_a and
+/// [K,M] when trans_a (likewise for B with [K,N]). C is row-major [M,N].
+/// The kernel is cache-blocked and parallelised with OpenMP over row panels;
+/// it is deliberately dependency-free (no BLAS) so the whole repo builds
+/// offline, while staying fast enough to train the scaled-down experiments.
+void gemm_f32(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+              float alpha, const float* a, const float* b, float beta, float* c);
+
+/// Strided batched GEMM: for each batch i, C_i = op(A_i) * op(B_i).
+/// A, B, C advance by the given element strides per batch.
+void gemm_batched_f32(bool trans_a, bool trans_b, std::int64_t batch, std::int64_t m,
+                      std::int64_t n, std::int64_t k, const float* a, std::int64_t stride_a,
+                      const float* b, std::int64_t stride_b, float* c, std::int64_t stride_c);
+
+}  // namespace wa

@@ -1,0 +1,22 @@
+// Minimal binary (de)serialization for tensors and named tensor maps.
+// Used for model checkpoints (e.g. the Fig. 6 adaptation experiment trains
+// from a saved direct-convolution model).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace wa {
+
+/// Write a single tensor: magic, rank, dims (int64 little-endian), raw fp32.
+void save_tensor(std::ostream& os, const Tensor& t);
+Tensor load_tensor(std::istream& is);
+
+/// Named tensor map (checkpoint). Keys are parameter paths like
+/// "layer3.conv1.weight".
+void save_tensor_map(const std::string& path, const std::map<std::string, Tensor>& m);
+std::map<std::string, Tensor> load_tensor_map(const std::string& path);
+
+}  // namespace wa

@@ -1,0 +1,16 @@
+#include "tensor/rng.hpp"
+
+namespace wa {
+
+namespace {
+Rng& mutable_global() {
+  static Rng rng(0x5eed);
+  return rng;
+}
+}  // namespace
+
+Rng& global_rng() { return mutable_global(); }
+
+void seed_global_rng(std::uint64_t seed) { mutable_global() = Rng(seed); }
+
+}  // namespace wa

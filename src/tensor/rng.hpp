@@ -1,0 +1,54 @@
+// Deterministic random number generation for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace wa {
+
+/// Seeded Mersenne-Twister wrapper. All stochastic components in the library
+/// (weight init, data generation, augmentation, NAS path sampling) draw from
+/// an explicitly passed Rng so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : gen_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.F, float hi = 1.F) {
+    return std::uniform_real_distribution<float>(lo, hi)(gen_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  float normal(float mean = 0.F, float stddev = 1.F) {
+    return std::normal_distribution<float>(mean, stddev)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  /// Sample an index from an (unnormalised, non-negative) weight vector.
+  std::size_t categorical(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// Process-wide default generator, used only where plumbing a generator
+/// through is not worth it (e.g. quick examples). Tests and benches pass
+/// explicit Rng instances.
+Rng& global_rng();
+
+/// Reseed the global generator (affects global_rng() only).
+void seed_global_rng(std::uint64_t seed);
+
+}  // namespace wa

@@ -1,0 +1,57 @@
+// Shape utilities for dense row-major tensors.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wa {
+
+/// Dimensions of a dense row-major tensor. Index 0 is the outermost axis.
+using Shape = std::vector<std::int64_t>;
+
+/// Total number of elements described by a shape. Empty shape => scalar (1).
+inline std::int64_t numel(const Shape& s) {
+  std::int64_t n = 1;
+  for (auto d : s) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+/// Row-major strides (in elements) for a shape.
+inline Shape strides_for(const Shape& s) {
+  Shape st(s.size(), 1);
+  for (int i = static_cast<int>(s.size()) - 2; i >= 0; --i) {
+    st[static_cast<std::size_t>(i)] =
+        st[static_cast<std::size_t>(i) + 1] * s[static_cast<std::size_t>(i) + 1];
+  }
+  return st;
+}
+
+inline std::string to_string(const Shape& s) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << s[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+inline bool same_shape(const Shape& a, const Shape& b) { return a == b; }
+
+/// Throws std::invalid_argument with a readable message if shapes differ.
+inline void check_same_shape(const Shape& a, const Shape& b, const char* what) {
+  if (a != b) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                to_string(a) + " vs " + to_string(b));
+  }
+}
+
+}  // namespace wa

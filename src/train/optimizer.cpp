@@ -1,0 +1,70 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace wa::train {
+
+Sgd::Sgd(std::vector<ag::Variable> params, SgdOptions opts)
+    : Optimizer(std::move(params)), opts_(opts) {
+  lr_ = opts.lr;
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(Tensor::zeros(p.value().shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto val = p.value().data();
+    auto grad = p.grad().data();
+    auto vel = velocity_[i].data();
+    for (std::size_t j = 0; j < val.size(); ++j) {
+      float g = grad[j] + opts_.weight_decay * val[j];
+      vel[j] = opts_.momentum * vel[j] + g;
+      // Nesterov: look ahead along the updated velocity.
+      const float update = opts_.nesterov ? g + opts_.momentum * vel[j] : vel[j];
+      val[j] -= lr_ * update;
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable> params, AdamOptions opts)
+    : Optimizer(std::move(params)), opts_(opts) {
+  lr_ = opts.lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(Tensor::zeros(p.value().shape()));
+    v_.emplace_back(Tensor::zeros(p.value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.F - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.F - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto val = p.value().data();
+    auto grad = p.grad().data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t j = 0; j < val.size(); ++j) {
+      const float g = grad[j] + opts_.weight_decay * val[j];
+      m[j] = opts_.beta1 * m[j] + (1.F - opts_.beta1) * g;
+      v[j] = opts_.beta2 * v[j] + (1.F - opts_.beta2) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      val[j] -= lr_ * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+float CosineSchedule::at(std::int64_t step) const {
+  if (total_ <= 1) return min_;
+  const float progress =
+      static_cast<float>(std::min(step, total_ - 1)) / static_cast<float>(total_ - 1);
+  return min_ + 0.5F * (base_ - min_) * (1.F + std::cos(std::numbers::pi_v<float> * progress));
+}
+
+}  // namespace wa::train

@@ -1,0 +1,81 @@
+// Optimizers: SGD with (Nesterov) momentum, and Adam.
+//
+// The paper trains winograd-aware networks with Adam (§5.1) and uses
+// mini-batch SGD with Nesterov momentum for wiNAS model weights plus
+// Adam with β1 = 0 for the architecture parameters (§5.2).
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace wa::train {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  const std::vector<ag::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Variable> params_;
+  float lr_ = 0.01F;
+};
+
+struct SgdOptions {
+  float lr = 0.05F;
+  float momentum = 0.9F;
+  bool nesterov = true;
+  float weight_decay = 0.F;  // the λ0‖w‖² term of the paper's Eq. 2
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> params, SgdOptions opts);
+  void step() override;
+
+ private:
+  SgdOptions opts_;
+  std::vector<Tensor> velocity_;
+};
+
+struct AdamOptions {
+  float lr = 1e-3F;
+  float beta1 = 0.9F;  // wiNAS arch updates use beta1 = 0 (only sampled paths move)
+  float beta2 = 0.999F;
+  float eps = 1e-8F;
+  float weight_decay = 0.F;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> params, AdamOptions opts);
+  void step() override;
+
+ private:
+  AdamOptions opts_;
+  std::vector<Tensor> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+/// Cosine annealing from `base_lr` to `min_lr` over `total_steps`
+/// (Loshchilov & Hutter 2017, no restarts — as used in the paper).
+class CosineSchedule {
+ public:
+  CosineSchedule(float base_lr, std::int64_t total_steps, float min_lr = 0.F)
+      : base_(base_lr), min_(min_lr), total_(total_steps) {}
+  float at(std::int64_t step) const;
+
+ private:
+  float base_, min_;
+  std::int64_t total_;
+};
+
+}  // namespace wa::train

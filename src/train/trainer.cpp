@@ -1,0 +1,99 @@
+#include "train/trainer.hpp"
+
+#include <cstdio>
+
+#include "autograd/ops.hpp"
+
+namespace wa::train {
+
+Trainer::Trainer(nn::Module& model, const data::Dataset& train_set, const data::Dataset& val_set,
+                 TrainerOptions opts)
+    : model_(model), train_set_(train_set), val_set_(val_set), opts_(opts) {
+  if (opts_.use_adam) {
+    AdamOptions ao;
+    ao.lr = opts_.lr;
+    ao.weight_decay = opts_.weight_decay;
+    optimizer_ = std::make_unique<Adam>(model.parameters(), ao);
+  } else {
+    SgdOptions so;
+    so.lr = opts_.lr;
+    so.weight_decay = opts_.weight_decay;
+    optimizer_ = std::make_unique<Sgd>(model.parameters(), so);
+  }
+}
+
+std::vector<EpochStats> Trainer::fit() {
+  data::DataLoader loader(train_set_, opts_.batch_size, /*shuffle=*/true, opts_.seed);
+  const std::int64_t steps_per_epoch = loader.batches();
+  CosineSchedule schedule(opts_.lr, static_cast<std::int64_t>(opts_.epochs) * steps_per_epoch);
+
+  std::vector<EpochStats> history;
+  std::int64_t global_step = 0;
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    loader.reset();
+    model_.set_training(true);
+    double loss_acc = 0;
+    double acc_acc = 0;
+    for (std::int64_t b = 0; b < steps_per_epoch; ++b) {
+      const auto batch = loader.get(b);
+      if (opts_.cosine) optimizer_->set_lr(schedule.at(global_step));
+      ++global_step;
+
+      ag::Variable x(batch.images, /*requires_grad=*/false, "input");
+      ag::Variable logits = model_.forward(x);
+      ag::Variable loss = ag::softmax_cross_entropy(logits, batch.labels);
+      optimizer_->zero_grad();
+      loss.backward();
+      optimizer_->step();
+
+      loss_acc += loss.value().at(0);
+      acc_acc += ag::accuracy(logits.value(), batch.labels);
+    }
+
+    EpochStats st;
+    st.epoch = epoch;
+    st.train_loss = static_cast<float>(loss_acc / static_cast<double>(steps_per_epoch));
+    st.train_acc = static_cast<float>(acc_acc / static_cast<double>(steps_per_epoch));
+    st.val_acc = evaluate(val_set_);
+    st.lr = optimizer_->lr();
+    if (opts_.verbose) {
+      std::printf("  epoch %2d  loss %.4f  train_acc %.3f  val_acc %.3f  lr %.2e\n", epoch,
+                  st.train_loss, st.train_acc, st.val_acc, st.lr);
+      std::fflush(stdout);
+    }
+    if (opts_.on_epoch) opts_.on_epoch(st);
+    history.push_back(st);
+  }
+  return history;
+}
+
+float Trainer::evaluate(const data::Dataset& ds) {
+  model_.set_training(false);
+  data::DataLoader loader(ds, opts_.batch_size, /*shuffle=*/false);
+  double acc = 0;
+  std::int64_t count = 0;
+  for (std::int64_t b = 0; b < loader.batches(); ++b) {
+    const auto batch = loader.get(b);
+    ag::Variable x(batch.images, false, "input");
+    const Tensor logits = model_.forward(x).value();
+    acc += static_cast<double>(ag::accuracy(logits, batch.labels)) *
+           static_cast<double>(batch.labels.size());
+    count += static_cast<std::int64_t>(batch.labels.size());
+  }
+  return count > 0 ? static_cast<float>(acc / static_cast<double>(count)) : 0.F;
+}
+
+void Trainer::warmup_observers(int max_batches) {
+  model_.set_training(true);
+  data::DataLoader loader(train_set_, opts_.batch_size, false);
+  const std::int64_t n =
+      max_batches < 0 ? loader.batches()
+                      : std::min<std::int64_t>(max_batches, loader.batches());
+  for (std::int64_t b = 0; b < n; ++b) {
+    const auto batch = loader.get(b);
+    ag::Variable x(batch.images, false, "input");
+    model_.forward(x);  // forward only: observers update, weights untouched
+  }
+}
+
+}  // namespace wa::train

@@ -1,0 +1,63 @@
+// Training / evaluation loop shared by every experiment harness.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/module.hpp"
+#include "train/optimizer.hpp"
+
+namespace wa::train {
+
+struct EpochStats {
+  int epoch = 0;
+  float train_loss = 0.F;
+  float train_acc = 0.F;
+  float val_acc = 0.F;
+  float lr = 0.F;
+};
+
+struct TrainerOptions {
+  std::int64_t batch_size = 32;
+  int epochs = 5;
+  bool use_adam = true;  // the paper uses Adam for winograd-aware training
+  float lr = 1e-3F;
+  float weight_decay = 0.F;
+  bool cosine = true;
+  std::uint64_t seed = 0;
+  bool verbose = false;
+  /// Optional per-epoch callback (e.g. to record Fig. 5/6 curves).
+  std::function<void(const EpochStats&)> on_epoch;
+};
+
+/// Minimal trainer: cross-entropy objective, accuracy metric. The model is
+/// switched to training mode for train batches (batch-norm batch stats,
+/// observer updates) and eval mode for validation.
+class Trainer {
+ public:
+  Trainer(nn::Module& model, const data::Dataset& train_set, const data::Dataset& val_set,
+          TrainerOptions opts);
+
+  /// Train for opts.epochs; returns per-epoch statistics.
+  std::vector<EpochStats> fit();
+
+  /// Accuracy on a dataset (eval mode).
+  float evaluate(const data::Dataset& ds);
+
+  /// One pass over the training set without touching weights, to warm up
+  /// quantization observers ("warmup of all the moving averages" — Table 1).
+  void warmup_observers(int max_batches = -1);
+
+ private:
+  nn::Module& model_;
+  const data::Dataset& train_set_;
+  const data::Dataset& val_set_;
+  TrainerOptions opts_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+}  // namespace wa::train

@@ -1,0 +1,112 @@
+#include "winograd/error_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wa::wino {
+
+namespace {
+
+double frob_sq(const Tensor& m) {
+  double acc = 0;
+  for (const float v : m.data()) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+// y = M x Mᵀ for square-ish operands (same helper as the reference path).
+Tensor sandwich(const Tensor& m, const Tensor& x) { return matmul_nt(matmul(m, x), m); }
+
+}  // namespace
+
+double amplification_factor(const Transforms& tr) {
+  // Each stage of the 2-D pipeline applies its matrix on both sides, so the
+  // worst-case amplification of that stage is bounded by ‖M‖², and the
+  // pipeline's by the product over the three stages.
+  return frob_sq(tr.g_mat) * frob_sq(tr.bt_mat) * frob_sq(tr.at_mat);
+}
+
+double range_expansion(const Transforms& tr, int trials, Rng& rng) {
+  if (trials <= 0) throw std::invalid_argument("range_expansion: trials must be positive");
+  double acc = 0;
+  for (int t = 0; t < trials; ++t) {
+    const Tensor tile = Tensor::randn(Shape{tr.tile, tr.tile}, rng);
+    const Tensor filter = Tensor::randn(Shape{tr.r, tr.r}, rng);
+    const double in_range = std::max<double>(tile.abs_max(), 1e-12);
+    const Tensor u = sandwich(tr.g_mat, filter);
+    const Tensor v = sandwich(tr.bt_mat, tile);
+    const Tensor h = u * v;
+    const Tensor y = sandwich(tr.at_mat, h);
+    const double worst = std::max({static_cast<double>(u.abs_max()),
+                                   static_cast<double>(v.abs_max()),
+                                   static_cast<double>(h.abs_max()),
+                                   static_cast<double>(y.abs_max())});
+    acc += worst / in_range;
+  }
+  return acc / trials;
+}
+
+std::vector<ErrorGrowthRow> error_growth_table(int r, const std::vector<int>& ms, int trials,
+                                               Rng& rng) {
+  std::vector<ErrorGrowthRow> rows;
+  rows.reserve(ms.size());
+  for (const int m : ms) {
+    const Transforms tr = make_transforms(m, r);
+    ErrorGrowthRow row;
+    row.m = m;
+    row.r = r;
+    row.tile = tr.tile;
+    row.amplification = amplification_factor(tr);
+    row.range_expand = range_expansion(tr, trials, rng);
+    row.fp32 = winograd_error(tr, quant::QuantSpec{32}, trials, rng);
+    row.int16 = winograd_error(tr, quant::QuantSpec{16}, trials, rng);
+    row.int10 = winograd_error(tr, quant::QuantSpec{10}, trials, rng);
+    row.int8 = winograd_error(tr, quant::QuantSpec{8}, trials, rng);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<double> canonical_point_pool() {
+  return {0, 1, -1, 2, -2, 0.5, -0.5, 4, -4, 0.25, -0.25, 3, -3};
+}
+
+std::vector<PointSearchEntry> exhaustive_point_search(int m, int r,
+                                                      const std::vector<double>& pool,
+                                                      const quant::QuantSpec& spec, int trials,
+                                                      Rng& rng, std::size_t top_k) {
+  const int finite = m + r - 2;  // n - 1 finite points, ∞ implicit
+  if (finite <= 0 || finite > static_cast<int>(pool.size())) {
+    throw std::invalid_argument("exhaustive_point_search: pool too small for F(" +
+                                std::to_string(m) + "," + std::to_string(r) + ")");
+  }
+
+  // Enumerate C(|pool|, finite) subsets with the classic index-vector walk.
+  std::vector<std::size_t> idx(static_cast<std::size_t>(finite));
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::vector<std::vector<double>> candidates;
+  for (;;) {
+    std::vector<double> cand(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) cand[i] = pool[idx[i]];
+    candidates.push_back(std::move(cand));
+    // Advance.
+    std::size_t i = idx.size();
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + pool.size() - idx.size()) break;
+      if (i == 0) {
+        i = idx.size();  // done
+        break;
+      }
+    }
+    if (i == idx.size()) break;
+    ++idx[i];
+    for (std::size_t j = i + 1; j < idx.size(); ++j) idx[j] = idx[j - 1] + 1;
+  }
+
+  auto ranked = search_points(m, r, candidates, spec, trials, rng);
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace wa::wino

@@ -1,0 +1,70 @@
+// Numerical-error analysis of Winograd convolution.
+//
+// The paper's motivation (§1, §3.1, Table 1) rests on the claim — shown
+// formally by Barabasz et al. (2018) — that the floating-point error of a
+// Winograd convolution grows at least exponentially with tile size, and
+// that quantization compounds it until large-tile configurations are
+// unusable. This module quantifies both effects:
+//
+//  * an analytic amplification factor from the transform matrices
+//    themselves (norm product of the three bilinear stages), which tracks
+//    the exponential growth without any sampling; and
+//  * Monte-Carlo error tables over tile size x bit-width, the data behind
+//    bench/ablation_error_growth;
+//  * point-set search extensions: exhaustive subset enumeration over a pool
+//    of canonical points, scored at a target bit-width ("polynomial points
+//    specifically tailored for quantized Winograd", paper §7).
+#pragma once
+
+#include <vector>
+
+#include "winograd/point_search.hpp"
+#include "winograd/winograd_ref.hpp"
+
+namespace wa::wino {
+
+/// Analytic error-amplification proxy of a 2-D Winograd configuration:
+/// the product of squared Frobenius norms ‖G‖²·‖Bᵀ‖²·‖Aᵀ‖² (each transform
+/// is applied on both sides of its operand in the 2-D lift). Input-
+/// independent; grows exponentially in t for the Cook-Toom construction,
+/// mirroring the Barabasz et al. bound.
+double amplification_factor(const Transforms& tr);
+
+/// Dynamic-range expansion of the pipeline's intermediates relative to the
+/// input: max over stages of E[abs-max(stage)] / E[abs-max(input)], sampled
+/// on N(0,1) tiles. This is what squeezes the integer grid in quantized
+/// pipelines — a range expansion of R costs log2(R) effective bits.
+double range_expansion(const Transforms& tr, int trials, Rng& rng);
+
+/// One row of the error-growth table (bench/ablation_error_growth).
+struct ErrorGrowthRow {
+  int m = 0;
+  int r = 0;
+  int tile = 0;
+  double amplification = 0;   // analytic, input-independent
+  double range_expand = 0;    // sampled dynamic-range expansion
+  ErrorStats fp32;
+  ErrorStats int16;
+  ErrorStats int10;
+  ErrorStats int8;
+};
+
+/// Error table across output tile sizes `ms` for filter size `r`, using the
+/// default Cook-Toom points. Monte-Carlo with `trials` random tiles each.
+std::vector<ErrorGrowthRow> error_growth_table(int r, const std::vector<int>& ms, int trials,
+                                               Rng& rng);
+
+/// Canonical pool of "good" finite points in the literature: 0, ±1 and
+/// reciprocal pairs ±2^k, ±3 ... ordered by magnitude. Size >= 12.
+std::vector<double> canonical_point_pool();
+
+/// Exhaustively enumerate size-(n-1) subsets of `pool` (n = m+r-1 total
+/// points with ∞ implicit), synthesize transforms for each, score at `spec`
+/// (relative RMSE via winograd_error) and return the top `top_k` entries,
+/// best first. Complexity C(|pool|, n-1) — fine for the pool above.
+std::vector<PointSearchEntry> exhaustive_point_search(int m, int r,
+                                                      const std::vector<double>& pool,
+                                                      const quant::QuantSpec& spec, int trials,
+                                                      Rng& rng, std::size_t top_k = 8);
+
+}  // namespace wa::wino

@@ -1,0 +1,63 @@
+#include "winograd/point_search.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace wa::wino {
+
+std::vector<std::vector<double>> candidate_point_sets(int n) {
+  const int finite = n - 1;
+  // Pools ordered by different heuristics; each prefix of length `finite`
+  // with distinct values is a candidate.
+  const std::vector<std::vector<double>> pools = {
+      {0, 1, -1, 2, -2, 0.5, -0.5, 4, -0.25, -4, 0.25},          // default (mixed magnitudes)
+      {0, 1, -1, 2, -2, 3, -3, 4, -4, 5, -5},                    // integer ladder
+      {0, 0.5, -0.5, 1, -1, 2, -2, 0.25, -0.25, 4, -4},          // reciprocal-first
+      {0, 1, -0.5, 2, -1, 0.5, -2, 3, -1.0 / 3, -3, 1.0 / 3},    // point/reciprocal interleave
+      {0, 1, -1, 1.5, -1.5, 2.0 / 3, -2.0 / 3, 3, -1.0 / 3, 4, -0.25},  // fractional ladder
+  };
+  std::vector<std::vector<double>> out;
+  std::set<std::vector<double>> seen;
+  for (const auto& pool : pools) {
+    if (static_cast<int>(pool.size()) < finite) continue;
+    std::vector<double> cand(pool.begin(), pool.begin() + finite);
+    if (std::set<double>(cand.begin(), cand.end()).size() != cand.size()) continue;
+    if (seen.insert(cand).second) out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+std::vector<PointSearchEntry> search_points(int m, int r,
+                                            const std::vector<std::vector<double>>& candidates,
+                                            const quant::QuantSpec& spec, int trials, Rng& rng) {
+  std::vector<PointSearchEntry> entries;
+  entries.reserve(candidates.size());
+  for (const auto& pts : candidates) {
+    PointSearchEntry e;
+    e.points = pts;
+    const Transforms tr = make_transforms(m, r, pts);
+    e.fp32 = winograd_error(tr, quant::QuantSpec{32}, trials, rng);
+    e.quantized = winograd_error(tr, spec, trials, rng);
+    e.score = spec.is_float() ? e.fp32.rel_rmse : e.quantized.rel_rmse;
+    entries.push_back(std::move(e));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const PointSearchEntry& a, const PointSearchEntry& b) {
+                     return a.score < b.score;
+                   });
+  return entries;
+}
+
+std::string points_to_string(const std::vector<double>& pts) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i) os << ", ";
+    os << pts[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace wa::wino

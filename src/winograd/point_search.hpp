@@ -1,0 +1,35 @@
+// Polynomial-point search: the paper's discussion section notes that good
+// starting points matter even when the transforms are learnt. This utility
+// scores candidate point sets by the numerical error of the resulting
+// pipeline at a given bit-width and returns them ranked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "winograd/winograd_ref.hpp"
+
+namespace wa::wino {
+
+struct PointSearchEntry {
+  std::vector<double> points;
+  ErrorStats fp32;
+  ErrorStats quantized;
+  /// Score used for ranking (relative RMSE at the target bit-width).
+  double score = 0;
+};
+
+/// Generate a family of plausible candidate sets for n total points:
+/// the default set plus variants swapping outer points for reciprocals /
+/// larger magnitudes. Deterministic.
+std::vector<std::vector<double>> candidate_point_sets(int n);
+
+/// Rank candidate sets (best first) for F(m, r) under `spec`.
+std::vector<PointSearchEntry> search_points(int m, int r,
+                                            const std::vector<std::vector<double>>& candidates,
+                                            const quant::QuantSpec& spec, int trials, Rng& rng);
+
+/// Human-readable "0, ±1, ±2, ..." rendering of a point set.
+std::string points_to_string(const std::vector<double>& pts);
+
+}  // namespace wa::wino

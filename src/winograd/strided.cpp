@@ -1,0 +1,155 @@
+#include "winograd/strided.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "winograd/winograd_ref.hpp"
+
+namespace wa::wino {
+
+PolyphaseFilters polyphase_split(const Tensor& filter) {
+  if (filter.dim() != 2) throw std::invalid_argument("polyphase_split: expects a 2-D filter");
+  const std::int64_t r = filter.size(0), c = filter.size(1);
+  PolyphaseFilters out;
+  for (int s = 0; s < 2; ++s) {
+    for (int t = 0; t < 2; ++t) {
+      const std::int64_t rows = (r - s + 1) / 2;
+      const std::int64_t cols = (c - t + 1) / 2;
+      Tensor g(Shape{rows, cols});
+      for (std::int64_t a = 0; a < rows; ++a) {
+        for (std::int64_t b = 0; b < cols; ++b) {
+          g(a, b) = filter(2 * a + s, 2 * b + t);
+        }
+      }
+      out.g[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] = std::move(g);
+    }
+  }
+  return out;
+}
+
+Tensor subsample2(const Tensor& x, int row_phase, int col_phase) {
+  if (x.dim() != 2) throw std::invalid_argument("subsample2: expects a 2-D tensor");
+  if ((row_phase != 0 && row_phase != 1) || (col_phase != 0 && col_phase != 1)) {
+    throw std::invalid_argument("subsample2: phases must be 0 or 1");
+  }
+  const std::int64_t rows = (x.size(0) - row_phase + 1) / 2;
+  const std::int64_t cols = (x.size(1) - col_phase + 1) / 2;
+  Tensor out(Shape{rows, cols});
+  for (std::int64_t u = 0; u < rows; ++u) {
+    for (std::int64_t v = 0; v < cols; ++v) {
+      out(u, v) = x(2 * u + row_phase, 2 * v + col_phase);
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_stride2_direct(const Tensor& input, const Tensor& filter) {
+  if (input.dim() != 2 || filter.dim() != 2) {
+    throw std::invalid_argument("conv2d_stride2_direct: expects 2-D tensors");
+  }
+  const std::int64_t h = input.size(0), w = input.size(1);
+  const std::int64_t r = filter.size(0), c = filter.size(1);
+  if (h < r || w < c) throw std::invalid_argument("conv2d_stride2_direct: input too small");
+  const std::int64_t oh = (h - r) / 2 + 1;
+  const std::int64_t ow = (w - c) / 2 + 1;
+  Tensor out(Shape{oh, ow});
+  for (std::int64_t i = 0; i < oh; ++i) {
+    for (std::int64_t j = 0; j < ow; ++j) {
+      double acc = 0;
+      for (std::int64_t a = 0; a < r; ++a) {
+        for (std::int64_t b = 0; b < c; ++b) {
+          acc += static_cast<double>(input(2 * i + a, 2 * j + b)) * filter(a, b);
+        }
+      }
+      out(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Valid correlation handling rectangular filters (correlate_2d is the
+/// square-path reference; this generalizes the same loop).
+Tensor correlate_rect(const Tensor& x, const Tensor& g) {
+  const std::int64_t oh = x.size(0) - g.size(0) + 1;
+  const std::int64_t ow = x.size(1) - g.size(1) + 1;
+  Tensor out(Shape{oh, ow});
+  for (std::int64_t i = 0; i < oh; ++i) {
+    for (std::int64_t j = 0; j < ow; ++j) {
+      double acc = 0;
+      for (std::int64_t a = 0; a < g.size(0); ++a) {
+        for (std::int64_t b = 0; b < g.size(1); ++b) {
+          acc += static_cast<double>(x(i + a, j + b)) * g(a, b);
+        }
+      }
+      out(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor conv2d_stride2_polyphase(const Tensor& input, const Tensor& filter,
+                                bool winograd_square_path, int m_out) {
+  if (input.dim() != 2 || filter.dim() != 2) {
+    throw std::invalid_argument("conv2d_stride2_polyphase: expects 2-D tensors");
+  }
+  const std::int64_t h = input.size(0), w = input.size(1);
+  const std::int64_t r = filter.size(0), c = filter.size(1);
+  if (h < r || w < c) throw std::invalid_argument("conv2d_stride2_polyphase: input too small");
+  const std::int64_t oh = (h - r) / 2 + 1;
+  const std::int64_t ow = (w - c) / 2 + 1;
+
+  const PolyphaseFilters phases = polyphase_split(filter);
+  Tensor out = Tensor::zeros({oh, ow});
+  for (int s = 0; s < 2; ++s) {
+    for (int t = 0; t < 2; ++t) {
+      const Tensor& g = phases.g[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)];
+      if (g.empty()) continue;  // r=1 edge: odd phases carry no taps
+      const Tensor x_st = subsample2(input, s, t);
+      Tensor partial;
+      const bool square = g.size(0) == g.size(1) && g.size(0) > 1;
+      if (winograd_square_path && square && s == 0 && t == 0) {
+        const Transforms tr = make_transforms(m_out, static_cast<int>(g.size(0)));
+        partial = winograd_conv_2d(tr, x_st, g);
+      } else {
+        partial = correlate_rect(x_st, g);
+      }
+      // Each phase produces at least oh x ow outputs; accumulate the shared
+      // top-left region (the extra rows/cols belong to outputs the strided
+      // correlation never emits).
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          out(i, j) += partial(i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Stride2Cost stride2_cost(std::int64_t h, std::int64_t w, std::int64_t r, int m_out) {
+  if (r < 2 || h < r || w < r) throw std::invalid_argument("stride2_cost: bad geometry");
+  Stride2Cost cost;
+  const std::int64_t oh = (h - r) / 2 + 1;
+  const std::int64_t ow = (w - r) / 2 + 1;
+  cost.direct_macs = oh * ow * r * r;
+  // The four phase filters cover all r² taps once; each contributes one MAC
+  // per output, so the polyphase rewrite moves no extra multiplications.
+  cost.polyphase_direct_macs = cost.direct_macs;
+  // Square component through F(m, k): (m + k - 1)² multiplications per m²
+  // outputs instead of k² · m².
+  const std::int64_t k = (r + 1) / 2;
+  const double tiles = std::ceil(static_cast<double>(oh) / m_out) *
+                       std::ceil(static_cast<double>(ow) / m_out);
+  const double square_direct = static_cast<double>(oh * ow) * static_cast<double>(k * k);
+  const double square_wino =
+      tiles * static_cast<double>((m_out + k - 1) * (m_out + k - 1));
+  cost.polyphase_winograd_macs =
+      static_cast<double>(cost.polyphase_direct_macs) - square_direct + square_wino;
+  return cost;
+}
+
+}  // namespace wa::wino

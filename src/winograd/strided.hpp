@@ -1,0 +1,77 @@
+// Stride-2 convolution via polyphase decomposition — with a Winograd path.
+//
+// The paper sidesteps strided convolutions entirely: "there is no known
+// equivalent for strided Winograd convolutions, which remains an open
+// research question" (§5.1), and replaces every stride-2 convolution with
+// max-pool + dense convolution. This module implements the decomposition
+// answer to that question:
+//
+//   a stride-2 correlation splits exactly into four phase-separated
+//   stride-1 correlations —
+//       y = Σ_{s,t ∈ {0,1}}  corr1(x_st, g_st),
+//       x_st[u,v] = x[2u+s, 2v+t],   g_st[a,b] = g[2a+s, 2b+t]
+//   — and the SQUARE polyphase component (g_00: 2x2 taps for r=3, 3x3 for
+//   r=5) is an ordinary stride-1 convolution that Winograd accelerates.
+//
+// For a 5x5 stride-2 layer this routes a full 3x3 convolution — the
+// dominant cost — through F(m, 3); for 3x3 stride-2 the 2x2 component goes
+// through F(m, 2). The remaining rectangular components are cheap direct
+// correlations. stride2_cost() quantifies the multiplication savings.
+//
+// Scope: single-channel 2-D analysis kernels (like winograd_ref), valid
+// padding. They establish correctness and the op-count argument; lifting
+// them into the NCHW layer stack follows the same pattern as
+// backend::winograd_conv.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace wa::wino {
+
+/// The four polyphase components of an r x r filter. g[s][t] holds the taps
+/// at rows ≡ s, cols ≡ t (mod 2); shape ⌈(r-s)/2⌉ x ⌈(r-t)/2⌉.
+struct PolyphaseFilters {
+  std::array<std::array<Tensor, 2>, 2> g;
+};
+
+/// Split a filter into its polyphase components. Throws for non-2-D input.
+PolyphaseFilters polyphase_split(const Tensor& filter);
+
+/// Subsample a 2-D tensor: out[u, v] = x[2u + row_phase, 2v + col_phase].
+Tensor subsample2(const Tensor& x, int row_phase, int col_phase);
+
+/// Reference stride-2 valid correlation (single channel):
+/// y[i, j] = Σ_{a,b} x[2i + a, 2j + b] · g[a, b].
+Tensor conv2d_stride2_direct(const Tensor& input, const Tensor& filter);
+
+/// Stride-2 correlation via the polyphase decomposition. When
+/// `winograd_square_path` is true the square g_00 component runs through
+/// F(m_out x m_out, k x k) Winograd (k = ⌈r/2⌉); the rectangular
+/// components always use direct correlation. Bit-equal to
+/// conv2d_stride2_direct up to FP accumulation order.
+Tensor conv2d_stride2_polyphase(const Tensor& input, const Tensor& filter,
+                                bool winograd_square_path = true, int m_out = 2);
+
+/// Multiplication counts for one stride-2 layer (per channel pair).
+struct Stride2Cost {
+  std::int64_t direct_macs = 0;             // plain stride-2 loop
+  std::int64_t polyphase_direct_macs = 0;   // 4 phase correlations, all direct
+  double polyphase_winograd_macs = 0;       // square component via F(m, k)
+  double winograd_speedup() const {
+    return polyphase_winograd_macs > 0
+               ? static_cast<double>(direct_macs) / polyphase_winograd_macs
+               : 0.0;
+  }
+};
+
+/// Cost of convolving an h x w input with an r x r stride-2 filter, with the
+/// square polyphase component through F(m_out, ⌈r/2⌉). Transform costs are
+/// excluded on both sides (the same convention the paper uses for its
+/// "multiplications per output" accounting in §3.1).
+Stride2Cost stride2_cost(std::int64_t h, std::int64_t w, std::int64_t r, int m_out = 2);
+
+}  // namespace wa::wino

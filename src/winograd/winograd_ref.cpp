@@ -1,0 +1,159 @@
+#include "winograd/winograd_ref.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wa::wino {
+
+std::vector<double> correlate_1d_d(const std::vector<double>& d, const std::vector<double>& g) {
+  if (d.size() < g.size()) throw std::invalid_argument("correlate_1d_d: signal shorter than filter");
+  std::vector<double> out(d.size() - g.size() + 1, 0.0);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    for (std::size_t i = 0; i < g.size(); ++i) out[j] += d[j + i] * g[i];
+  }
+  return out;
+}
+
+namespace {
+std::vector<double> matvec(const MatD& m, const std::vector<double>& v) {
+  std::vector<double> out(m.size(), 0.0);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i].size() != v.size()) throw std::invalid_argument("matvec: dimension mismatch");
+    for (std::size_t j = 0; j < v.size(); ++j) out[i] += m[i][j] * v[j];
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<double> winograd_1d_d(const TransformsD& td, const std::vector<double>& d,
+                                  const std::vector<double>& g) {
+  const auto n = static_cast<std::size_t>(td.m + td.r - 1);
+  if (d.size() != n || g.size() != static_cast<std::size_t>(td.r)) {
+    throw std::invalid_argument("winograd_1d_d: tile/filter size mismatch");
+  }
+  const auto u = matvec(td.g_mat, g);   // n
+  const auto v = matvec(td.bt_mat, d);  // n
+  std::vector<double> h(n);
+  for (std::size_t i = 0; i < n; ++i) h[i] = u[i] * v[i];
+  return matvec(td.at_mat, h);  // m
+}
+
+Tensor correlate_2d(const Tensor& input, const Tensor& filter) {
+  if (input.dim() != 2 || filter.dim() != 2) {
+    throw std::invalid_argument("correlate_2d: expects 2-D tensors");
+  }
+  const std::int64_t h = input.size(0), w = input.size(1);
+  const std::int64_t r = filter.size(0), s = filter.size(1);
+  if (h < r || w < s) throw std::invalid_argument("correlate_2d: input smaller than filter");
+  Tensor out(Shape{h - r + 1, w - s + 1});
+  for (std::int64_t i = 0; i < out.size(0); ++i) {
+    for (std::int64_t j = 0; j < out.size(1); ++j) {
+      double acc = 0;
+      for (std::int64_t fi = 0; fi < r; ++fi) {
+        for (std::int64_t fj = 0; fj < s; ++fj) {
+          acc += static_cast<double>(input(i + fi, j + fj)) * filter(fi, fj);
+        }
+      }
+      out(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+namespace {
+// y = M x Mᵀ applied to square tile x (all 2-D float tensors).
+Tensor sandwich(const Tensor& m, const Tensor& x) {
+  return matmul_nt(matmul(m, x), m);
+}
+}  // namespace
+
+Tensor winograd_conv_2d(const Transforms& tr, const Tensor& input, const Tensor& filter) {
+  if (filter.size(0) != tr.r || filter.size(1) != tr.r) {
+    throw std::invalid_argument("winograd_conv_2d: filter does not match transforms");
+  }
+  const std::int64_t h = input.size(0), w = input.size(1);
+  const std::int64_t out_h = h - tr.r + 1, out_w = w - tr.r + 1;
+  if (out_h <= 0 || out_w <= 0) throw std::invalid_argument("winograd_conv_2d: input too small");
+
+  const Tensor u = sandwich(tr.g_mat, filter);  // [t, t]
+  Tensor out(Shape{out_h, out_w});
+
+  const std::int64_t tiles_h = (out_h + tr.m - 1) / tr.m;
+  const std::int64_t tiles_w = (out_w + tr.m - 1) / tr.m;
+  Tensor patch(Shape{tr.tile, tr.tile});
+  for (std::int64_t th = 0; th < tiles_h; ++th) {
+    for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
+      const std::int64_t i0 = th * tr.m, j0 = tw * tr.m;
+      patch.fill(0.F);
+      for (std::int64_t i = 0; i < tr.tile; ++i) {
+        for (std::int64_t j = 0; j < tr.tile; ++j) {
+          if (i0 + i < h && j0 + j < w) patch(i, j) = input(i0 + i, j0 + j);
+        }
+      }
+      const Tensor v = sandwich(tr.bt_mat, patch);
+      const Tensor y = sandwich(tr.at_mat, u * v);
+      for (std::int64_t i = 0; i < tr.m && i0 + i < out_h; ++i) {
+        for (std::int64_t j = 0; j < tr.m && j0 + j < out_w; ++j) {
+          out(i0 + i, j0 + j) = y(i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor winograd_tile_quantized(const Transforms& tr, const Tensor& tile, const Tensor& filter,
+                               const quant::QuantSpec& spec) {
+  if (tile.size(0) != tr.tile || tile.size(1) != tr.tile) {
+    throw std::invalid_argument("winograd_tile_quantized: tile size mismatch");
+  }
+  auto q = [&spec](Tensor t) {
+    const float s = quant::scale_for(t.abs_max(), spec);
+    quant::fake_quant_(t, s, spec);
+    return t;
+  };
+  const Tensor d_q = q(tile);
+  const Tensor g_q = q(filter);
+  const Tensor u = q(sandwich(tr.g_mat, g_q));
+  const Tensor v = q(sandwich(tr.bt_mat, d_q));
+  const Tensor h = q(u * v);
+  return q(sandwich(tr.at_mat, h));
+}
+
+ErrorStats winograd_error(const Transforms& tr, const quant::QuantSpec& spec, int trials,
+                          Rng& rng) {
+  ErrorStats st;
+  double sq_err = 0, sq_ref = 0;
+  std::int64_t count = 0;
+  for (int t = 0; t < trials; ++t) {
+    const Tensor tile = Tensor::randn(Shape{tr.tile, tr.tile}, rng);
+    const Tensor filter = Tensor::randn(Shape{tr.r, tr.r}, rng);
+    // Direct result on the quantized representation of inputs, so the
+    // comparison isolates the error of the *algorithm*, not of input quant.
+    Tensor tile_q = tile, filt_q = filter;
+    if (!spec.is_float()) {
+      quant::fake_quant_(tile_q, quant::scale_for(tile_q.abs_max(), spec), spec);
+      quant::fake_quant_(filt_q, quant::scale_for(filt_q.abs_max(), spec), spec);
+    }
+    const Tensor ref = correlate_2d(tile_q, filt_q);
+    const Tensor wino = spec.is_float() ? winograd_conv_2d(tr, tile_q, filt_q)
+                                        : winograd_tile_quantized(tr, tile_q, filt_q, spec)
+                                              .slice0(0, ref.size(0))
+                                              .reshape(ref.shape());
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      const double e = static_cast<double>(wino.at(i)) - ref.at(i);
+      st.max_abs = std::max(st.max_abs, std::fabs(e));
+      sq_err += e * e;
+      sq_ref += static_cast<double>(ref.at(i)) * ref.at(i);
+      ++count;
+    }
+  }
+  if (count > 0) {
+    st.rmse = std::sqrt(sq_err / static_cast<double>(count));
+    const double ref_rms = std::sqrt(sq_ref / static_cast<double>(count));
+    st.rel_rmse = ref_rms > 0 ? st.rmse / ref_rms : 0;
+  }
+  return st;
+}
+
+}  // namespace wa::wino

@@ -1,0 +1,52 @@
+// Reference Winograd convolutions and numerical-error analysis.
+//
+// These are the "ground truth" implementations the fast kernels and the
+// Winograd-aware layer are tested against, plus the error analyzer behind
+// the paper's Table 1 motivation (error grows with tile size, explodes under
+// quantization).
+#pragma once
+
+#include <vector>
+
+#include "quant/quant.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace wa::wino {
+
+/// 1-D valid correlation in double: out[j] = sum_i d[j+i] * g[i].
+std::vector<double> correlate_1d_d(const std::vector<double>& d, const std::vector<double>& g);
+
+/// 1-D Winograd F(m, r) over one tile (d.size() == m+r-1) in double.
+std::vector<double> winograd_1d_d(const TransformsD& td, const std::vector<double>& d,
+                                  const std::vector<double>& g);
+
+/// 2-D valid correlation (single channel): input [H,W], filter [r,r]
+/// -> [H-r+1, W-r+1].
+Tensor correlate_2d(const Tensor& input, const Tensor& filter);
+
+/// 2-D Winograd convolution of a full single-channel image using transforms
+/// `tr`, tiled with stride m and zero padding at the right/bottom edges.
+/// Matches correlate_2d on the valid region (exactly, up to FP error).
+Tensor winograd_conv_2d(const Transforms& tr, const Tensor& input, const Tensor& filter);
+
+/// One t×t tile through the Winograd pipeline with optional fake-quantization
+/// of every intermediate (the inference-time analog of the Qx stages in the
+/// paper's Fig. 2). Scales are taken per-stage from the tensor's own abs-max.
+Tensor winograd_tile_quantized(const Transforms& tr, const Tensor& tile, const Tensor& filter,
+                               const quant::QuantSpec& spec);
+
+struct ErrorStats {
+  double max_abs = 0;   // max |winograd - direct| over all trials
+  double rmse = 0;      // root mean squared error
+  double rel_rmse = 0;  // rmse / rms(direct)
+};
+
+/// Monte-Carlo comparison of the (optionally quantized) Winograd pipeline
+/// against direct correlation on random N(0,1) tiles/filters.
+/// This exposes the paper's core observation: error grows with tile size and
+/// explodes at low bit-widths.
+ErrorStats winograd_error(const Transforms& tr, const quant::QuantSpec& spec, int trials, Rng& rng);
+
+}  // namespace wa::wino

@@ -1,0 +1,158 @@
+// Unit and property tests for the reverse-mode autograd engine.
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+
+namespace wa::ag {
+namespace {
+
+Variable leaf(Tensor t, const std::string& name = "leaf") {
+  return Variable(std::move(t), /*requires_grad=*/true, name);
+}
+
+TEST(Variable, LeafHasNoBackwardFn) {
+  Variable v = leaf(Tensor::ones({2, 2}));
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.node()->parents.size(), 0u);
+}
+
+TEST(Variable, BackwardSeedsOnes) {
+  Variable v = leaf(Tensor::ones({3}));
+  Variable s = sum(v);
+  s.backward();
+  EXPECT_TRUE(Tensor::allclose(v.grad(), Tensor::ones({3}), 0.F));
+}
+
+TEST(Variable, GradAccumulatesAcrossUses) {
+  Variable v = leaf(Tensor::ones({2}));
+  Variable s = sum(add(v, v));  // d/dv = 2
+  s.backward();
+  EXPECT_TRUE(Tensor::allclose(v.grad(), Tensor::full({2}, 2.F), 0.F));
+}
+
+TEST(Variable, ZeroGradClears) {
+  Variable v = leaf(Tensor::ones({2}));
+  sum(v).backward();
+  v.zero_grad();
+  EXPECT_FLOAT_EQ(v.grad().sum(), 0.F);
+}
+
+TEST(Variable, NoGradLeafGetsNoGradient) {
+  Variable a(Tensor::ones({2}), /*requires_grad=*/false);
+  Variable b = leaf(Tensor::ones({2}));
+  Variable s = sum(add(a, b));
+  s.backward();
+  EXPECT_FLOAT_EQ(a.grad().sum(), 0.F);
+  EXPECT_FLOAT_EQ(b.grad().sum(), 2.F);
+}
+
+TEST(Variable, DiamondGraphTopoOrder) {
+  // f = sum((a+a) * a) = sum(2a²): gradient 4a elementwise.
+  Variable a = leaf(Tensor::full({3}, 2.F));
+  Variable s = sum(mul(add(a, a), a));
+  s.backward();
+  EXPECT_TRUE(Tensor::allclose(a.grad(), Tensor::full({3}, 8.F), 1e-5F));
+}
+
+TEST(Ops, AddShapeMismatchThrows) {
+  EXPECT_THROW(add(leaf(Tensor::ones({2})), leaf(Tensor::ones({3}))), std::invalid_argument);
+}
+
+TEST(Ops, ReluForward) {
+  Variable x = leaf(Tensor(Shape{4}, {-1.F, 0.F, 2.F, -3.F}));
+  Variable y = relu(x);
+  EXPECT_FLOAT_EQ(y.value().at(0), 0.F);
+  EXPECT_FLOAT_EQ(y.value().at(2), 2.F);
+}
+
+TEST(Ops, SoftmaxCrossEntropyUniformLogits) {
+  Variable logits = leaf(Tensor::zeros({2, 4}));
+  Variable loss = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(loss.value().at(0), std::log(4.F), 1e-5F);
+}
+
+TEST(Ops, SoftmaxCrossEntropyLabelOutOfRangeThrows) {
+  Variable logits = leaf(Tensor::zeros({1, 3}));
+  EXPECT_THROW(softmax_cross_entropy(logits, {5}), std::out_of_range);
+}
+
+TEST(Ops, AccuracyCountsArgmaxHits) {
+  Tensor logits = Tensor::from_rows({{1.F, 2.F}, {3.F, 0.F}, {0.F, 1.F}});
+  EXPECT_FLOAT_EQ(accuracy(logits, {1, 0, 0}), 2.F / 3.F);
+}
+
+// ---- grad-check property suite -------------------------------------------
+
+struct OpCase {
+  std::string name;
+  std::function<Variable(std::vector<Variable>&)> fn;
+  std::vector<Shape> input_shapes;
+};
+
+class GradCheckSuite : public ::testing::TestWithParam<int> {};
+
+std::vector<OpCase> op_cases() {
+  std::vector<OpCase> cases;
+  cases.push_back({"add", [](std::vector<Variable>& in) { return sum(add(in[0], in[1])); },
+                   {{3, 4}, {3, 4}}});
+  cases.push_back({"sub_mul",
+                   [](std::vector<Variable>& in) { return sum(mul(sub(in[0], in[1]), in[1])); },
+                   {{2, 5}, {2, 5}}});
+  cases.push_back({"scale", [](std::vector<Variable>& in) { return sum(scale(in[0], 2.5F)); },
+                   {{4}}});
+  cases.push_back({"matmul", [](std::vector<Variable>& in) { return sum(matmul(in[0], in[1])); },
+                   {{3, 4}, {4, 2}}});
+  cases.push_back({"linear",
+                   [](std::vector<Variable>& in) { return sum(linear(in[0], in[1], in[2])); },
+                   {{2, 3}, {4, 3}, {4}}});
+  cases.push_back({"relu_mean", [](std::vector<Variable>& in) { return mean(relu(in[0])); },
+                   {{3, 3}}});
+  cases.push_back({"reshape",
+                   [](std::vector<Variable>& in) { return sum(reshape(in[0], {6})); },
+                   {{2, 3}}});
+  cases.push_back({"concat",
+                   [](std::vector<Variable>& in) {
+                     return sum(concat({in[0], in[1]}, 1));
+                   },
+                   {{2, 2}, {2, 3}}});
+  cases.push_back({"softmax_ce",
+                   [](std::vector<Variable>& in) {
+                     return softmax_cross_entropy(in[0], {1, 0, 2});
+                   },
+                   {{3, 4}}});
+  cases.push_back({"composite",
+                   [](std::vector<Variable>& in) {
+                     Variable h = relu(matmul(in[0], in[1]));
+                     return mean(mul(h, h));
+                   },
+                   {{3, 3}, {3, 3}}});
+  return cases;
+}
+
+TEST_P(GradCheckSuite, AnalyticMatchesNumeric) {
+  const OpCase c = op_cases()[static_cast<std::size_t>(GetParam())];
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 11);
+  std::vector<Variable> inputs;
+  inputs.reserve(c.input_shapes.size());
+  for (const auto& s : c.input_shapes) {
+    inputs.push_back(leaf(Tensor::randn(s, rng), c.name));
+  }
+  const auto res = grad_check(c.fn, inputs);
+  EXPECT_TRUE(res.ok) << c.name << ": " << res.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GradCheckSuite,
+                         ::testing::Range(0, static_cast<int>(op_cases().size())),
+                         [](const auto& info) { return op_cases()[static_cast<std::size_t>(info.param)].name; });
+
+TEST(ReverseTopo, VisitsEachNodeOnce) {
+  Variable a = leaf(Tensor::ones({2}));
+  Variable b = add(a, a);
+  Variable c = add(b, b);
+  auto order = reverse_topo_order(c);
+  EXPECT_EQ(order.size(), 3u);  // c, b, a
+}
+
+}  // namespace
+}  // namespace wa::ag

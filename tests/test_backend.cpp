@@ -1,0 +1,203 @@
+// Equivalence tests across the deployment convolution kernels.
+#include <gtest/gtest.h>
+
+#include "backend/conv_kernels.hpp"
+#include "backend/conv_kernels_s8.hpp"
+#include "backend/qtensor.hpp"
+
+namespace wa::backend {
+namespace {
+
+ConvGeometry geo(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w, std::int64_t k,
+                 std::int64_t kernel = 3, std::int64_t pad = 1, std::int64_t groups = 1) {
+  ConvGeometry g;
+  g.batch = n;
+  g.in_channels = c;
+  g.height = h;
+  g.width = w;
+  g.out_channels = k;
+  g.kernel = kernel;
+  g.pad = pad;
+  g.groups = groups;
+  return g;
+}
+
+TEST(ConvGeometry, Validation) {
+  EXPECT_NO_THROW(geo(1, 3, 8, 8, 4).validate());
+  EXPECT_THROW(geo(0, 3, 8, 8, 4).validate(), std::invalid_argument);
+  EXPECT_THROW(geo(1, 3, 8, 8, 4, 3, 1, 2).validate(), std::invalid_argument);  // 3 % 2 != 0
+  ConvGeometry g = geo(1, 3, 1, 1, 4, 3, 0);
+  EXPECT_THROW(g.validate(), std::invalid_argument);  // empty output
+}
+
+TEST(ConvGeometry, OutputDims) {
+  const auto g = geo(1, 3, 32, 32, 8);
+  EXPECT_EQ(g.out_height(), 32);
+  EXPECT_EQ(g.out_width(), 32);
+  const auto valid = geo(1, 3, 32, 32, 8, 3, 0);
+  EXPECT_EQ(valid.out_height(), 30);
+}
+
+TEST(DirectConv, IdentityKernelPassesThrough) {
+  // 1x1 kernel with single 1.0 weight: output == input channel mix.
+  auto g = geo(1, 1, 4, 4, 1, 1, 0);
+  Rng rng(1);
+  Tensor in = Tensor::randn({1, 1, 4, 4}, rng);
+  Tensor w = Tensor::ones({1, 1, 1, 1});
+  Tensor out = direct_conv(in, w, g);
+  EXPECT_TRUE(Tensor::allclose(in, out, 0.F));
+}
+
+TEST(DirectConv, ShapeMismatchThrows) {
+  auto g = geo(1, 2, 4, 4, 1);
+  EXPECT_THROW(direct_conv(Tensor::ones({1, 3, 4, 4}), Tensor::ones({1, 2, 3, 3}), g),
+               std::invalid_argument);
+  EXPECT_THROW(direct_conv(Tensor::ones({1, 2, 4, 4}), Tensor::ones({1, 2, 5, 5}), g),
+               std::invalid_argument);
+}
+
+struct KernelCase {
+  std::int64_t n, c, h, w, k, kernel, pad, groups;
+};
+
+class KernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelEquivalence, Im2RowIm2ColMatchDirect) {
+  const auto p = GetParam();
+  const auto g = geo(p.n, p.c, p.h, p.w, p.k, p.kernel, p.pad, p.groups);
+  Rng rng(static_cast<std::uint64_t>(p.c * 31 + p.h));
+  const Tensor in = Tensor::randn({p.n, p.c, p.h, p.w}, rng);
+  const Tensor w = Tensor::randn({p.k, p.c / p.groups, p.kernel, p.kernel}, rng, 0.2F);
+  const Tensor ref = direct_conv(in, w, g);
+  EXPECT_LE(Tensor::max_abs_diff(ref, im2row_conv(in, w, g)), 2e-3F);
+  EXPECT_LE(Tensor::max_abs_diff(ref, im2col_conv(in, w, g)), 2e-3F);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, KernelEquivalence,
+    ::testing::Values(KernelCase{1, 1, 5, 5, 1, 3, 1, 1}, KernelCase{2, 3, 8, 8, 4, 3, 1, 1},
+                      KernelCase{1, 4, 7, 9, 6, 3, 1, 1}, KernelCase{1, 3, 8, 8, 4, 5, 2, 1},
+                      KernelCase{1, 8, 6, 6, 8, 3, 1, 4},   // grouped (ResNeXt-style)
+                      KernelCase{2, 4, 8, 8, 4, 1, 0, 1},   // 1x1 (SqueezeNet squeeze)
+                      KernelCase{1, 2, 16, 16, 3, 3, 0, 1}  // no padding
+                      ));
+
+class WinogradKernelEquivalence : public ::testing::TestWithParam<std::pair<int, KernelCase>> {};
+
+TEST_P(WinogradKernelEquivalence, WinogradMatchesDirect) {
+  const auto [m, p] = GetParam();
+  const auto g = geo(p.n, p.c, p.h, p.w, p.k, p.kernel, p.pad, 1);
+  const auto tr = wino::make_transforms(m, static_cast<int>(p.kernel));
+  Rng rng(static_cast<std::uint64_t>(m * 17 + p.h));
+  const Tensor in = Tensor::randn({p.n, p.c, p.h, p.w}, rng);
+  const Tensor w = Tensor::randn({p.k, p.c, p.kernel, p.kernel}, rng, 0.2F);
+  const Tensor ref = direct_conv(in, w, g);
+  const Tensor got = winograd_conv(in, w, g, tr);
+  const float tol = 2e-3F * static_cast<float>(m) * static_cast<float>(std::max<std::int64_t>(p.c, 1));
+  EXPECT_LE(Tensor::max_abs_diff(ref, got), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, WinogradKernelEquivalence,
+    ::testing::Values(std::pair{2, KernelCase{1, 2, 8, 8, 3, 3, 1, 1}},
+                      std::pair{4, KernelCase{1, 2, 8, 8, 3, 3, 1, 1}},
+                      std::pair{6, KernelCase{1, 2, 16, 16, 3, 3, 1, 1}},
+                      std::pair{4, KernelCase{2, 3, 9, 11, 4, 3, 1, 1}},  // ragged tiles
+                      std::pair{2, KernelCase{1, 4, 6, 6, 2, 3, 0, 1}},   // no padding
+                      std::pair{2, KernelCase{1, 1, 10, 10, 1, 5, 2, 1}}  // 5x5 filter
+                      ));
+
+TEST(WinogradConv, RejectsGroupsAndKernelMismatch) {
+  const auto tr = wino::make_transforms(2, 3);
+  auto g = geo(1, 4, 8, 8, 4, 3, 1, 2);
+  EXPECT_THROW(winograd_conv(Tensor::ones({1, 4, 8, 8}), Tensor::ones({4, 2, 3, 3}), g, tr),
+               std::invalid_argument);
+  auto g2 = geo(1, 2, 8, 8, 2, 5, 2, 1);
+  EXPECT_THROW(winograd_conv(Tensor::ones({1, 2, 8, 8}), Tensor::ones({2, 2, 5, 5}), g2, tr),
+               std::invalid_argument);
+}
+
+TEST(WinogradTransformWeights, ShapeAndAmortization) {
+  const auto tr = wino::make_transforms(4, 3);
+  Rng rng(3);
+  const Tensor w = Tensor::randn({8, 4, 3, 3}, rng);
+  const Tensor u = winograd_transform_weights(w, tr);
+  EXPECT_EQ(u.shape(), (Shape{36, 8, 4}));  // t*t = 36: the 4x memory blow-up of F4
+}
+
+// ---- int8 kernels -----------------------------------------------------------
+
+TEST(QTensor, QuantizeDequantizeRoundTrip) {
+  Rng rng(4);
+  Tensor t = Tensor::randn({2, 3, 4, 4}, rng);
+  const QTensor q = quantize_s8(t);
+  const Tensor back = dequantize(q);
+  EXPECT_LE(Tensor::max_abs_diff(t, back), q.scale / 2.F + 1e-6F);
+}
+
+TEST(GemmS8, MatchesFloatGemmOnSmallInts) {
+  const std::int64_t m = 3, n = 4, k = 5;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m * k)), b(static_cast<std::size_t>(k * n));
+  Rng rng(5);
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.randint(-20, 20));
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.randint(-20, 20));
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+  gemm_s8_s32(m, n, k, a.data(), b.data(), c.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int32_t want = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        want += static_cast<std::int32_t>(a[static_cast<std::size_t>(i * k + kk)]) *
+                b[static_cast<std::size_t>(kk * n + j)];
+      }
+      EXPECT_EQ(c[static_cast<std::size_t>(i * n + j)], want);
+    }
+  }
+}
+
+TEST(Im2RowS8, CloseToFloatReference) {
+  const auto g = geo(1, 3, 8, 8, 4);
+  Rng rng(6);
+  const Tensor in = Tensor::randn({1, 3, 8, 8}, rng);
+  const Tensor w = Tensor::randn({4, 3, 3, 3}, rng, 0.3F);
+  const Tensor ref = im2row_conv(in, w, g);
+
+  const QTensor qin = quantize_s8(in);
+  const QTensor qw = quantize_s8(w);
+  const QTensor qout = im2row_conv_s8(qin, qw, g);
+  const Tensor got = dequantize(qout);
+  // int8 end-to-end: expect small relative error vs the fp32 result.
+  EXPECT_LE(Tensor::max_abs_diff(ref, got) / std::max(ref.abs_max(), 1e-6F), 0.06F);
+}
+
+TEST(WinogradS8, F2CloseToFloatReference) {
+  const auto g = geo(1, 4, 8, 8, 4);
+  const auto tr = wino::make_transforms(2, 3);
+  Rng rng(7);
+  const Tensor in = Tensor::randn({1, 4, 8, 8}, rng);
+  const Tensor w = Tensor::randn({4, 4, 3, 3}, rng, 0.3F);
+  const Tensor ref = im2row_conv(in, w, g);
+  const QTensor qout = winograd_conv_s8(quantize_s8(in), w, g, tr);
+  const Tensor got = dequantize(qout);
+  EXPECT_LE(Tensor::max_abs_diff(ref, got) / std::max(ref.abs_max(), 1e-6F), 0.12F);
+}
+
+TEST(WinogradS8, F6WorseThanF2AtInt8) {
+  // The deployment kernels show the same error-vs-tile-size behaviour the
+  // training study is built around.
+  const auto g = geo(1, 4, 16, 16, 4);
+  Rng rng(8);
+  const Tensor in = Tensor::randn({1, 4, 16, 16}, rng);
+  const Tensor w = Tensor::randn({4, 4, 3, 3}, rng, 0.3F);
+  const Tensor ref = im2row_conv(in, w, g);
+
+  auto rel_err = [&](int m) {
+    const auto tr = wino::make_transforms(m, 3);
+    const Tensor got = dequantize(winograd_conv_s8(quantize_s8(in), w, g, tr));
+    return Tensor::max_abs_diff(ref, got) / std::max(ref.abs_max(), 1e-6F);
+  };
+  EXPECT_GT(rel_err(6), rel_err(2));
+}
+
+}  // namespace
+}  // namespace wa::backend

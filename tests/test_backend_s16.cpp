@@ -1,0 +1,237 @@
+// Tests for the INT16 deployment kernels and batch-norm folding — the
+// backend extensions the paper could not evaluate ("INT16 measurements are
+// not currently supported in Arm Compute Library", §5.3).
+#include <gtest/gtest.h>
+
+#include "backend/bn_fold.hpp"
+#include "backend/conv_kernels.hpp"
+#include "backend/conv_kernels_s16.hpp"
+#include "backend/conv_kernels_s8.hpp"
+#include "tensor/rng.hpp"
+
+namespace wa::backend {
+namespace {
+
+ConvGeometry geo(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w, std::int64_t k,
+                 std::int64_t kernel = 3, std::int64_t pad = 1) {
+  ConvGeometry g;
+  g.batch = n;
+  g.in_channels = c;
+  g.height = h;
+  g.width = w;
+  g.out_channels = k;
+  g.kernel = kernel;
+  g.pad = pad;
+  return g;
+}
+
+float rel_err(const Tensor& ref, const Tensor& got) {
+  return Tensor::max_abs_diff(ref, got) / std::max(ref.abs_max(), 1e-6F);
+}
+
+// ---- int16 GEMM -------------------------------------------------------------
+
+TEST(GemmS16, MatchesScalarReference) {
+  Rng rng(1);
+  const std::int64_t m = 5, n = 7, k = 9;
+  std::vector<std::int16_t> a(static_cast<std::size_t>(m * k)), b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<std::int16_t>(rng.randint(-1000, 1000));
+  for (auto& v : b) v = static_cast<std::int16_t>(rng.randint(-1000, 1000));
+  std::vector<std::int64_t> c(static_cast<std::size_t>(m * n));
+  gemm_s16_s64(m, n, k, a.data(), b.data(), c.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int64_t>(a[static_cast<std::size_t>(i * k + kk)]) *
+               b[static_cast<std::size_t>(kk * n + j)];
+      }
+      EXPECT_EQ(c[static_cast<std::size_t>(i * n + j)], acc);
+    }
+  }
+}
+
+TEST(GemmS16, DeepReductionNeedsInt64) {
+  // Extreme values times a deep reduction overflow int32; the int64
+  // accumulator must carry it exactly.
+  const std::int64_t k = 4096;
+  std::vector<std::int16_t> a(static_cast<std::size_t>(k), 32000);
+  std::vector<std::int16_t> b(static_cast<std::size_t>(k), 32000);
+  std::vector<std::int64_t> c(1);
+  gemm_s16_s64(1, 1, k, a.data(), b.data(), c.data());
+  EXPECT_EQ(c[0], 32000LL * 32000LL * k);  // ~4.2e12, far beyond int32
+}
+
+// ---- quantize round trips ----------------------------------------------------
+
+TEST(QTensor16, RoundTripWithinHalfScale) {
+  Rng rng(2);
+  const Tensor x = Tensor::randn({4, 4, 6, 6}, rng, 2.F);
+  const QTensor16 q = quantize_s16(x);
+  EXPECT_LE(Tensor::max_abs_diff(x, dequantize(q)), q.scale * 0.501F);
+}
+
+TEST(QTensor16, Int16BeatsInt8Precision) {
+  Rng rng(3);
+  const Tensor x = Tensor::randn({128}, rng);
+  const Tensor r16 = dequantize(quantize_s16(x));
+  const Tensor r8 = dequantize(quantize_s8(x));
+  EXPECT_LT(Tensor::max_abs_diff(x, r16), Tensor::max_abs_diff(x, r8) / 10.F);
+}
+
+// ---- int16 convolutions -------------------------------------------------------
+
+class S16ConvShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(S16ConvShapes, Im2rowMatchesFp32Closely) {
+  const auto [h, c, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(h * 100 + c));
+  const auto g = geo(2, c, h, h, k);
+  const Tensor x = Tensor::randn({g.batch, g.in_channels, g.height, g.width}, rng);
+  const Tensor w = Tensor::randn({g.out_channels, g.in_channels, g.kernel, g.kernel}, rng, 0.3F);
+  const Tensor ref = im2row_conv(x, w, g);
+  const QTensor16 out = im2row_conv_s16(quantize_s16(x), quantize_s16(w), g);
+  // int16 keeps ~4 decimal digits; 1% relative error is generous headroom.
+  EXPECT_LT(rel_err(ref, dequantize(out)), 0.01F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, S16ConvShapes,
+                         ::testing::Values(std::tuple{8, 3, 4}, std::tuple{10, 8, 8},
+                                           std::tuple{6, 16, 4}));
+
+TEST(S16Conv, WinogradF2MatchesFp32Closely) {
+  Rng rng(4);
+  const auto g = geo(1, 4, 8, 8, 4);
+  const Tensor x = Tensor::randn({1, 4, 8, 8}, rng);
+  const Tensor w = Tensor::randn({4, 4, 3, 3}, rng, 0.3F);
+  const Tensor ref = im2row_conv(x, w, g);
+  const auto tr = wino::make_transforms(2, 3);
+  const QTensor16 out = winograd_conv_s16(quantize_s16(x), w, g, tr);
+  EXPECT_LT(rel_err(ref, dequantize(out)), 0.01F);
+}
+
+TEST(S16Conv, WinogradF4BeatsInt8Winograd) {
+  // The point of INT16 deployment: F4 in int16 carries far less numerical
+  // error than F4 in int8 (Fig. 4's INT16 rows work, INT8 needs flex).
+  Rng rng(5);
+  const auto g = geo(1, 8, 12, 12, 8);
+  const Tensor x = Tensor::randn({1, 8, 12, 12}, rng);
+  const Tensor w = Tensor::randn({8, 8, 3, 3}, rng, 0.3F);
+  const Tensor ref = im2row_conv(x, w, g);
+  const auto tr = wino::make_transforms(4, 3);
+  const float e16 = rel_err(ref, dequantize(winograd_conv_s16(quantize_s16(x), w, g, tr)));
+  const float e8 = rel_err(ref, dequantize(winograd_conv_s8(quantize_s8(x), w, g, tr)));
+  EXPECT_LT(e16, e8 / 4.F);
+}
+
+TEST(S16Conv, RejectsGroupedAndMismatchedKernels) {
+  Rng rng(6);
+  auto g = geo(1, 4, 8, 8, 4);
+  const Tensor x = Tensor::randn({1, 4, 8, 8}, rng);
+  const Tensor w = Tensor::randn({4, 4, 3, 3}, rng);
+  const auto tr5 = wino::make_transforms(2, 5);
+  EXPECT_THROW(winograd_conv_s16(quantize_s16(x), w, g, tr5), std::invalid_argument);
+  g.groups = 2;
+  EXPECT_THROW(im2row_conv_s16(quantize_s16(x), quantize_s16(w), g), std::invalid_argument);
+}
+
+// ---- int8 conv bias path -------------------------------------------------------
+
+TEST(S8ConvBias, Im2rowBiasMatchesFp32) {
+  Rng rng(7);
+  const auto g = geo(1, 4, 8, 8, 6);
+  const Tensor x = Tensor::randn({1, 4, 8, 8}, rng);
+  const Tensor w = Tensor::randn({6, 4, 3, 3}, rng, 0.3F);
+  const Tensor b = Tensor::randn({6}, rng);
+  Tensor ref = im2row_conv(x, w, g);
+  for (std::int64_t k = 0; k < 6; ++k)
+    for (std::int64_t i = 0; i < ref.size(2); ++i)
+      for (std::int64_t j = 0; j < ref.size(3); ++j) ref(0, k, i, j) += b.at(k);
+  const QTensor out = im2row_conv_s8(quantize_s8(x), quantize_s8(w), g, -1.F, &b);
+  EXPECT_LT(rel_err(ref, dequantize(out)), 0.05F);
+}
+
+TEST(S8ConvBias, WinogradBiasMatchesFp32) {
+  Rng rng(8);
+  const auto g = geo(1, 4, 8, 8, 4);
+  const Tensor x = Tensor::randn({1, 4, 8, 8}, rng);
+  const Tensor w = Tensor::randn({4, 4, 3, 3}, rng, 0.3F);
+  const Tensor b = Tensor::randn({4}, rng);
+  Tensor ref = im2row_conv(x, w, g);
+  for (std::int64_t k = 0; k < 4; ++k)
+    for (std::int64_t i = 0; i < ref.size(2); ++i)
+      for (std::int64_t j = 0; j < ref.size(3); ++j) ref(0, k, i, j) += b.at(k);
+  const auto tr = wino::make_transforms(2, 3);
+  const QTensor out = winograd_conv_s8(quantize_s8(x), w, g, tr, {}, &b);
+  EXPECT_LT(rel_err(ref, dequantize(out)), 0.06F);
+}
+
+TEST(S8ConvBias, MismatchedBiasThrows) {
+  Rng rng(9);
+  const auto g = geo(1, 2, 6, 6, 4);
+  const Tensor x = Tensor::randn({1, 2, 6, 6}, rng);
+  const Tensor w = Tensor::randn({4, 2, 3, 3}, rng);
+  const Tensor bad = Tensor::randn({3}, rng);
+  EXPECT_THROW(im2row_conv_s8(quantize_s8(x), quantize_s8(w), g, -1.F, &bad),
+               std::invalid_argument);
+}
+
+// ---- batch-norm folding ---------------------------------------------------------
+
+TEST(BnFold, FoldedConvMatchesConvPlusBn) {
+  Rng rng(10);
+  const auto g = geo(2, 3, 8, 8, 5);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor w = Tensor::randn({5, 3, 3, 3}, rng, 0.4F);
+  const Tensor gamma = Tensor::rand({5}, rng, 0.5F, 1.5F);
+  const Tensor beta = Tensor::randn({5}, rng);
+  const Tensor mean = Tensor::randn({5}, rng, 0.2F);
+  Tensor var = Tensor::rand({5}, rng, 0.25F, 2.F);
+
+  // Reference: conv, then affine batch-norm with the running stats.
+  Tensor ref = im2row_conv(x, w, g);
+  for (std::int64_t k = 0; k < 5; ++k) {
+    const float inv_std = 1.F / std::sqrt(var.at(k) + 1e-5F);
+    for (std::int64_t n = 0; n < 2; ++n)
+      for (std::int64_t i = 0; i < ref.size(2); ++i)
+        for (std::int64_t j = 0; j < ref.size(3); ++j) {
+          ref(n, k, i, j) = gamma.at(k) * (ref(n, k, i, j) - mean.at(k)) * inv_std + beta.at(k);
+        }
+  }
+
+  const FoldedConv folded = fold_batchnorm(w, Tensor(), gamma, beta, mean, var);
+  Tensor got = im2row_conv(x, folded.weights, g);
+  for (std::int64_t k = 0; k < 5; ++k)
+    for (std::int64_t n = 0; n < 2; ++n)
+      for (std::int64_t i = 0; i < got.size(2); ++i)
+        for (std::int64_t j = 0; j < got.size(3); ++j) got(n, k, i, j) += folded.bias.at(k);
+
+  EXPECT_LE(Tensor::max_abs_diff(ref, got), 1e-4F);
+}
+
+TEST(BnFold, ExistingBiasFoldsThrough) {
+  Rng rng(11);
+  const Tensor w = Tensor::randn({2, 1, 3, 3}, rng);
+  const Tensor b = Tensor({2}, {1.F, -2.F});
+  const Tensor gamma = Tensor({2}, {2.F, 0.5F});
+  const Tensor beta = Tensor({2}, {0.F, 1.F});
+  const Tensor mean = Tensor({2}, {0.5F, -0.5F});
+  const Tensor var = Tensor({2}, {1.F, 4.F});
+  const FoldedConv f = fold_batchnorm(w, b, gamma, beta, mean, var, 0.F);
+  // channel 0: s = 2/1 = 2 -> bias = 0 + 2*(1 - 0.5) = 1
+  EXPECT_NEAR(f.bias.at(0), 1.F, 1e-6F);
+  // channel 1: s = 0.5/2 = 0.25 -> bias = 1 + 0.25*(-2 + 0.5) = 0.625
+  EXPECT_NEAR(f.bias.at(1), 0.625F, 1e-6F);
+}
+
+TEST(BnFold, ShapeMismatchThrows) {
+  Rng rng(12);
+  const Tensor w = Tensor::randn({2, 1, 3, 3}, rng);
+  const Tensor ok = Tensor::ones({2});
+  const Tensor bad = Tensor::ones({3});
+  EXPECT_THROW(fold_batchnorm(w, Tensor(), bad, ok, ok, ok), std::invalid_argument);
+  EXPECT_THROW(fold_batchnorm(w, bad, ok, ok, ok, ok), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wa::backend

@@ -1,0 +1,204 @@
+// Tests for gradient checkpointing (recompute-in-backward) and the no-grad
+// tape mode it is built on.
+#include <gtest/gtest.h>
+
+#include "autograd/checkpoint.hpp"
+#include "autograd/ops.hpp"
+#include "models/resnet.hpp"
+#include "nn/layers.hpp"
+#include "tensor/rng.hpp"
+
+namespace wa::ag {
+namespace {
+
+TEST(NoGradGuard, SuppressesTapeRecording) {
+  Rng rng(1);
+  Variable a(Tensor::randn({3, 3}, rng), true);
+  EXPECT_TRUE(grad_mode_enabled());
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(grad_mode_enabled());
+    Variable b = relu(matmul(a, a));
+    EXPECT_FALSE(b.requires_grad());
+    EXPECT_TRUE(b.node()->parents.empty());
+  }
+  EXPECT_TRUE(grad_mode_enabled());
+  Variable c = relu(matmul(a, a));
+  EXPECT_TRUE(c.requires_grad());
+}
+
+TEST(NoGradGuard, NestsAndRestores) {
+  NoGradGuard outer;
+  {
+    NoGradGuard inner;
+    EXPECT_FALSE(grad_mode_enabled());
+  }
+  EXPECT_FALSE(grad_mode_enabled());  // still inside the outer guard
+}
+
+TEST(GraphStats, CountsReachableNodesAndBytes) {
+  Rng rng(2);
+  Variable a(Tensor::randn({4, 4}, rng), true);
+  Variable b = relu(matmul(a, a));
+  const GraphStats st = graph_stats(b);
+  EXPECT_EQ(st.nodes, 3u);  // a, matmul, relu
+  EXPECT_EQ(st.value_bytes, 3 * 16 * 4);
+  EXPECT_EQ(st.grad_bytes, 0);  // no backward yet
+}
+
+TEST(Checkpoint, MatchesPlainBackwardBitExactly) {
+  // A stateless segment: y = relu(x W1) W2. Checkpointed and plain versions
+  // must produce identical outputs AND identical gradients for x, W1, W2.
+  Rng rng(3);
+  const Tensor x0 = Tensor::randn({5, 8}, rng);
+  const Tensor w1 = Tensor::randn({8, 8}, rng, 0.5F);
+  const Tensor w2 = Tensor::randn({8, 4}, rng, 0.5F);
+
+  auto run = [&](bool use_checkpoint) {
+    Variable x(x0, true, "x");
+    Variable a(w1, true, "w1");
+    Variable b(w2, true, "w2");
+    auto segment = [&a, &b](const Variable& v) { return matmul(relu(matmul(v, a)), b); };
+    Variable y = use_checkpoint ? checkpoint(segment, x, {a, b}) : segment(x);
+    sum(y).backward();
+    return std::tuple{y.value(), x.grad(), a.grad(), b.grad()};
+  };
+
+  const auto [y_plain, dx_plain, da_plain, db_plain] = run(false);
+  const auto [y_ckpt, dx_ckpt, da_ckpt, db_ckpt] = run(true);
+  EXPECT_TRUE(Tensor::allclose(y_plain, y_ckpt, 0.F));
+  EXPECT_TRUE(Tensor::allclose(dx_plain, dx_ckpt, 0.F));
+  EXPECT_TRUE(Tensor::allclose(da_plain, da_ckpt, 0.F));
+  EXPECT_TRUE(Tensor::allclose(db_plain, db_ckpt, 0.F));
+}
+
+TEST(Checkpoint, ShrinksTheRetainedGraph) {
+  Rng rng(4);
+  Variable x(Tensor::randn({4, 16}, rng), true);
+  Variable w(Tensor::randn({16, 16}, rng, 0.3F), true);
+  auto deep = [&w](const Variable& v) {
+    Variable h = v;
+    for (int i = 0; i < 6; ++i) h = relu(matmul(h, w));
+    return h;
+  };
+  const GraphStats plain = graph_stats(deep(x));
+  const GraphStats ckpt = graph_stats(checkpoint(deep, x, {w}));
+  EXPECT_GT(plain.nodes, 12u);  // 6 matmuls + 6 relus + leaves
+  EXPECT_EQ(ckpt.nodes, 3u);    // x, w, checkpoint node
+  // Both graphs retain the leaves (x, w); the checkpoint drops all twelve
+  // interior activations.
+  EXPECT_LT(ckpt.value_bytes, plain.value_bytes / 2);
+}
+
+TEST(Checkpoint, GradientsFlowToParamsOnlyUsedInside) {
+  // Input does not require grad; only the enclosed parameter does.
+  Rng rng(5);
+  Variable x(Tensor::randn({2, 4}, rng), false);
+  Variable w(Tensor::randn({4, 4}, rng), true);
+  Variable y = checkpoint([&w](const Variable& v) { return matmul(v, w); }, x, {w});
+  EXPECT_TRUE(y.requires_grad());
+  sum(y).backward();
+  EXPECT_GT(w.grad().abs_max(), 0.F);
+}
+
+TEST(Checkpoint, NoGradInputsProduceNoGraph) {
+  Rng rng(6);
+  Variable x(Tensor::randn({2, 4}, rng), false);
+  Variable w(Tensor::randn({4, 4}, rng), false);
+  Variable y = checkpoint([&w](const Variable& v) { return matmul(v, w); }, x, {w});
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(Checkpoint, NestedCheckpointsCompose) {
+  Rng rng(7);
+  Variable x(Tensor::randn({3, 6}, rng), true);
+  Variable w(Tensor::randn({6, 6}, rng, 0.4F), true);
+  auto inner = [&w](const Variable& v) { return relu(matmul(v, w)); };
+  auto outer = [&](const Variable& v) {
+    return matmul(checkpoint(inner, v, {w}), w);
+  };
+  Variable plain_y = matmul(inner(x), w);
+  sum(plain_y).backward();
+  const Tensor dx_plain = x.grad();
+  const Tensor dw_plain = w.grad();
+
+  Variable x2(x.value(), true);
+  Variable y = checkpoint(outer, x2, {w});
+  w.zero_grad();
+  sum(y).backward();
+  EXPECT_TRUE(Tensor::allclose(dx_plain, x2.grad(), 0.F));
+  EXPECT_TRUE(Tensor::allclose(dw_plain, w.grad(), 0.F));
+}
+
+TEST(Checkpoint, UndefinedInputThrows) {
+  EXPECT_THROW(checkpoint([](const Variable& v) { return v; }, Variable()),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, NonDeterministicSegmentDetected) {
+  Rng rng(8);
+  Variable x(Tensor::randn({2, 2}, rng), true);
+  int calls = 0;
+  auto shifty = [&calls](const Variable& v) {
+    ++calls;
+    return calls > 1 ? reshape(concat({v, v}, 0), {4, 2}) : v;
+  };
+  Variable y = checkpoint(shifty, x);
+  EXPECT_THROW(sum(y).backward(), std::logic_error);
+}
+
+TEST(Checkpoint, ConvLayerSegmentMatchesPlain) {
+  // A real module segment (FP32 conv, stateless in eval mode).
+  Rng rng(9);
+  nn::Conv2dOptions opts;
+  opts.in_channels = 3;
+  opts.out_channels = 4;
+  nn::Conv2d conv(opts, rng);
+  conv.set_training(false);
+
+  const Tensor x0 = Tensor::randn({2, 3, 8, 8}, rng);
+  auto segment = [&conv](const Variable& v) { return relu(conv.forward(v)); };
+
+  Variable xa(x0, true);
+  sum(segment(xa)).backward();
+  const Tensor dx_plain = xa.grad();
+  const Tensor dw_plain = conv.weight().grad();
+
+  conv.weight().zero_grad();
+  Variable xb(x0, true);
+  sum(checkpoint(segment, xb, conv.parameters())).backward();
+  EXPECT_TRUE(Tensor::allclose(dx_plain, xb.grad(), 0.F));
+  EXPECT_TRUE(Tensor::allclose(dw_plain, conv.weight().grad(), 0.F));
+}
+
+TEST(Checkpoint, ResNetBlockCheckpointingMatchesPlainGradients) {
+  // Whole-model contract (FP32: batch-norm uses batch statistics, so the
+  // recomputation is bit-identical). Same seed, same batch, with and
+  // without grad_checkpoint: every parameter gradient must match.
+  const Tensor x0 = [] {
+    Rng r(11);
+    return Tensor::randn({2, 3, 16, 16}, r);
+  }();
+  auto grads = [&](bool ckpt) {
+    Rng rng(10);
+    models::ResNetConfig cfg;
+    cfg.width_mult = 0.125F;
+    cfg.grad_checkpoint = ckpt;
+    models::ResNet18 net(cfg, rng);
+    Variable x(x0, false);
+    Variable loss = softmax_cross_entropy(net.forward(x), {1, 3});
+    loss.backward();
+    std::vector<Tensor> out;
+    for (auto& p : net.parameters()) out.push_back(p.grad());
+    return out;
+  };
+  const auto plain = grads(false);
+  const auto ckpt = grads(true);
+  ASSERT_EQ(plain.size(), ckpt.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(plain[i], ckpt[i], 1e-6F)) << "param " << i;
+  }
+}
+
+}  // namespace
+}  // namespace wa::ag

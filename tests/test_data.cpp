@@ -1,0 +1,135 @@
+// Tests for the synthetic dataset generators and loader.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hpp"
+
+namespace wa::data {
+namespace {
+
+TEST(Specs, MatchPaperGeometry) {
+  const auto c10 = cifar10_like();
+  EXPECT_EQ(c10.channels, 3);
+  EXPECT_EQ(c10.height, 32);
+  EXPECT_EQ(c10.num_classes, 10);
+  const auto c100 = cifar100_like();
+  EXPECT_EQ(c100.num_classes, 100);
+  const auto mn = mnist_like();
+  EXPECT_EQ(mn.channels, 1);
+  EXPECT_EQ(mn.height, 28);
+}
+
+TEST(Generate, ShapesAndLabels) {
+  auto spec = cifar10_like();
+  spec.train_size = 64;
+  spec.test_size = 32;
+  const auto train = generate(spec, true);
+  const auto test = generate(spec, false);
+  EXPECT_EQ(train.images.shape(), (Shape{64, 3, 32, 32}));
+  EXPECT_EQ(test.images.shape(), (Shape{32, 3, 32, 32}));
+  for (auto l : train.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+  }
+}
+
+TEST(Generate, Deterministic) {
+  auto spec = cifar10_like();
+  spec.train_size = 16;
+  const auto a = generate(spec, true);
+  const auto b = generate(spec, true);
+  EXPECT_TRUE(Tensor::allclose(a.images, b.images, 0.F));
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Generate, TrainTestDiffer) {
+  auto spec = cifar10_like();
+  spec.train_size = 16;
+  spec.test_size = 16;
+  const auto train = generate(spec, true);
+  const auto test = generate(spec, false);
+  EXPECT_GT(Tensor::max_abs_diff(train.images, test.images), 1e-3F);
+}
+
+TEST(Generate, SeedChangesData) {
+  auto spec = cifar10_like();
+  spec.train_size = 8;
+  const auto a = generate(spec, true);
+  spec.seed += 1;
+  const auto b = generate(spec, true);
+  EXPECT_GT(Tensor::max_abs_diff(a.images, b.images), 1e-3F);
+}
+
+TEST(Generate, ClassesAreSeparable) {
+  // Same-class samples must correlate more than cross-class ones, otherwise
+  // no network could learn — the datasets would not exercise training at all.
+  auto spec = cifar10_like();
+  spec.train_size = 200;
+  spec.noise = 0.1F;
+  spec.jitter = 0.5F;
+  const auto ds = generate(spec, true);
+  const std::int64_t stride = ds.images.numel() / ds.size();
+  auto corr = [&](std::int64_t i, std::int64_t j) {
+    double dot = 0, ni = 0, nj = 0;
+    const float* a = ds.images.raw() + i * stride;
+    const float* b = ds.images.raw() + j * stride;
+    for (std::int64_t k = 0; k < stride; ++k) {
+      dot += static_cast<double>(a[k]) * b[k];
+      ni += static_cast<double>(a[k]) * a[k];
+      nj += static_cast<double>(b[k]) * b[k];
+    }
+    return dot / std::sqrt(ni * nj + 1e-12);
+  };
+  double same = 0, cross = 0;
+  int same_n = 0, cross_n = 0;
+  for (std::int64_t i = 0; i < 60; ++i) {
+    for (std::int64_t j = i + 1; j < 60; ++j) {
+      if (ds.labels[static_cast<std::size_t>(i)] == ds.labels[static_cast<std::size_t>(j)]) {
+        same += corr(i, j);
+        ++same_n;
+      } else {
+        cross += corr(i, j);
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same / same_n, cross / cross_n + 0.2);
+}
+
+TEST(DataLoader, BatchCountAndSizes) {
+  auto spec = cifar10_like();
+  spec.train_size = 10;
+  const auto ds = generate(spec, true);
+  DataLoader loader(ds, 4, false);
+  EXPECT_EQ(loader.batches(), 3);
+  EXPECT_EQ(loader.get(0).images.size(0), 4);
+  EXPECT_EQ(loader.get(2).images.size(0), 2);  // ragged tail
+  EXPECT_THROW(loader.get(5), std::out_of_range);
+}
+
+TEST(DataLoader, ShuffleChangesOrderButNotContent) {
+  auto spec = cifar10_like();
+  spec.train_size = 32;
+  const auto ds = generate(spec, true);
+  DataLoader a(ds, 32, false);
+  DataLoader b(ds, 32, true, 123);
+  const auto ba = a.get(0);
+  const auto bb = b.get(0);
+  std::multiset<std::int64_t> la(ba.labels.begin(), ba.labels.end());
+  std::multiset<std::int64_t> lb(bb.labels.begin(), bb.labels.end());
+  EXPECT_EQ(la, lb);  // same multiset of labels
+  EXPECT_GT(Tensor::max_abs_diff(ba.images, bb.images), 1e-4F);  // different order
+}
+
+TEST(DataLoader, RejectsBadBatchSize) {
+  auto spec = cifar10_like();
+  spec.train_size = 4;
+  const auto ds = generate(spec, true);
+  EXPECT_THROW(DataLoader(ds, 0, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wa::data

@@ -1,0 +1,122 @@
+// Tests for the numerical-error analysis utilities (src/winograd/
+// error_analysis): analytic amplification, dynamic-range expansion, the
+// error-growth table, and the exhaustive quantization-aware point search.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "winograd/error_analysis.hpp"
+
+namespace wa::wino {
+namespace {
+
+TEST(Amplification, GrowsWithTileSize) {
+  // Barabasz et al.: error grows at least exponentially with tile size.
+  // The analytic norm-product proxy must be strictly increasing — and
+  // super-linearly so — in m for the default points.
+  const double a2 = amplification_factor(make_transforms(2, 3));
+  const double a4 = amplification_factor(make_transforms(4, 3));
+  const double a6 = amplification_factor(make_transforms(6, 3));
+  EXPECT_GT(a4, 2 * a2);
+  EXPECT_GT(a6, 2 * a4);
+}
+
+TEST(Amplification, LargerFiltersAmplifyMore) {
+  const double r3 = amplification_factor(make_transforms(4, 3));
+  const double r5 = amplification_factor(make_transforms(4, 5));
+  EXPECT_GT(r5, r3);
+}
+
+TEST(Amplification, PositiveAndFiniteForAllSupportedConfigs) {
+  for (const int r : {3, 5}) {
+    for (const int m : {2, 4, 6}) {
+      const double a = amplification_factor(make_transforms(m, r));
+      EXPECT_GT(a, 0.0) << "F(" << m << "," << r << ")";
+      EXPECT_TRUE(std::isfinite(a)) << "F(" << m << "," << r << ")";
+    }
+  }
+}
+
+TEST(RangeExpansion, AtLeastOneAndGrowsWithTile) {
+  Rng rng(1);
+  const double e2 = range_expansion(make_transforms(2, 3), 64, rng);
+  const double e6 = range_expansion(make_transforms(6, 3), 64, rng);
+  EXPECT_GE(e2, 1.0);  // some intermediate always at least matches the input
+  EXPECT_GT(e6, e2);   // bigger tiles stretch the dynamic range further
+}
+
+TEST(RangeExpansion, RejectsNonPositiveTrials) {
+  Rng rng(2);
+  EXPECT_THROW(range_expansion(make_transforms(2, 3), 0, rng), std::invalid_argument);
+}
+
+TEST(ErrorGrowthTable, RowsMatchRequestAndInt8Dominates) {
+  Rng rng(3);
+  const auto rows = error_growth_table(3, {2, 4}, 50, rng);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].m, 2);
+  EXPECT_EQ(rows[0].tile, 4);
+  EXPECT_EQ(rows[1].tile, 6);
+  for (const auto& row : rows) {
+    // Coarser quantization always hurts at least as much.
+    EXPECT_LE(row.fp32.rel_rmse, row.int16.rel_rmse + 1e-12);
+    EXPECT_LE(row.int16.rel_rmse, row.int8.rel_rmse + 1e-12);
+  }
+  // The Table 1 pattern: int8 error at F4 well above F2.
+  EXPECT_GT(rows[1].int8.rel_rmse, rows[0].int8.rel_rmse);
+}
+
+TEST(PointPool, CanonicalPoolIsDistinctAndContainsDefaults) {
+  const auto pool = canonical_point_pool();
+  EXPECT_GE(pool.size(), 12u);
+  EXPECT_EQ(std::set<double>(pool.begin(), pool.end()).size(), pool.size());
+  for (const double p : {0.0, 1.0, -1.0, 2.0, -2.0}) {
+    EXPECT_NE(std::find(pool.begin(), pool.end(), p), pool.end()) << p;
+  }
+}
+
+TEST(ExhaustiveSearch, EnumeratesAllSubsets) {
+  // Pool of 5, F(2,3) needs 3 finite points: C(5,3) = 10 candidates. The
+  // search keeps top_k, so ask for more than exist and count.
+  Rng rng(4);
+  const std::vector<double> pool = {0, 1, -1, 2, -2};
+  const auto ranked = exhaustive_point_search(2, 3, pool, quant::QuantSpec{32}, 8, rng, 100);
+  EXPECT_EQ(ranked.size(), 10u);
+}
+
+TEST(ExhaustiveSearch, RankedByScoreAscending) {
+  Rng rng(5);
+  const auto ranked = exhaustive_point_search(2, 3, canonical_point_pool(),
+                                              quant::QuantSpec{8}, 16, rng, 20);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].score, ranked[i].score);
+  }
+}
+
+TEST(ExhaustiveSearch, TopKTruncates) {
+  Rng rng(6);
+  const auto ranked = exhaustive_point_search(2, 3, canonical_point_pool(),
+                                              quant::QuantSpec{8}, 8, rng, 3);
+  EXPECT_EQ(ranked.size(), 3u);
+}
+
+TEST(ExhaustiveSearch, PoolTooSmallThrows) {
+  Rng rng(7);
+  const std::vector<double> tiny = {0, 1};
+  EXPECT_THROW(exhaustive_point_search(4, 3, tiny, quant::QuantSpec{8}, 4, rng),
+               std::invalid_argument);
+}
+
+TEST(ExhaustiveSearch, GoodPointsBeatNaiveLadderAtInt8) {
+  // The integer ladder {0,1,-1,2,-2,3,-3} is known-bad for F6 (huge powers);
+  // the best pool subset must beat it comfortably at INT8.
+  Rng rng(8);
+  const std::vector<double> ladder = {0, 1, -1, 2, -2, 3, -3};
+  const auto naive = search_points(6, 3, {ladder}, quant::QuantSpec{8}, 24, rng);
+  const auto best = exhaustive_point_search(6, 3, canonical_point_pool(),
+                                            quant::QuantSpec{8}, 24, rng, 1);
+  EXPECT_LT(best[0].score, naive[0].score);
+}
+
+}  // namespace
+}  // namespace wa::wino

@@ -1,0 +1,197 @@
+// Tests for the wiNAS search machinery.
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "nas/mixed_conv.hpp"
+#include "nas/winas.hpp"
+
+namespace wa::nas {
+namespace {
+
+ag::Variable leaf(Tensor t) { return ag::Variable(std::move(t), true); }
+
+TEST(WeightedPair, ForwardIsConvexCombination) {
+  ag::Variable a(Tensor::full({4}, 1.F), false);
+  ag::Variable b(Tensor::full({4}, 3.F), false);
+  ag::Variable alpha = leaf(Tensor::zeros({2}));  // equal weights
+  ag::Variable out = weighted_pair(a, b, alpha, 0, 1);
+  EXPECT_NEAR(out.value().at(0), 2.F, 1e-5F);
+}
+
+TEST(WeightedPair, GradCheckAllInputs) {
+  Rng rng(1);
+  std::vector<ag::Variable> inputs{leaf(Tensor::randn({5}, rng)), leaf(Tensor::randn({5}, rng)),
+                                   leaf(Tensor::randn({3}, rng))};
+  auto fn = [](std::vector<ag::Variable>& in) {
+    ag::Variable y = weighted_pair(in[0], in[1], in[2], 0, 2);
+    return ag::sum(ag::mul(y, y));
+  };
+  const auto res = ag::grad_check(fn, inputs, 1e-3F, 5e-2F);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(SoftmaxExpectation, UniformAlphaGivesMean) {
+  ag::Variable alpha = leaf(Tensor::zeros({4}));
+  ag::Variable e = softmax_expectation(alpha, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(e.value().at(0), 2.5F, 1e-5F);
+}
+
+TEST(SoftmaxExpectation, GradCheck) {
+  Rng rng(2);
+  std::vector<ag::Variable> inputs{leaf(Tensor::randn({4}, rng))};
+  auto fn = [](std::vector<ag::Variable>& in) {
+    return softmax_expectation(in[0], {0.5, 1.5, 4.0, 2.0});
+  };
+  const auto res = ag::grad_check(fn, inputs, 1e-3F, 5e-2F);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(SoftmaxExpectation, GradientPushesTowardCheaper) {
+  // Minimising E{latency} should raise the probability of the cheapest op.
+  ag::Variable alpha = leaf(Tensor::zeros({3}));
+  for (int step = 0; step < 50; ++step) {
+    alpha.zero_grad();
+    softmax_expectation(alpha, {5.0, 1.0, 3.0}).backward();
+    alpha.sgd_step(0.5F);
+  }
+  EXPECT_EQ(alpha.value().argmax(), 1);
+}
+
+TEST(CandidateSets, SizesAndContents) {
+  const auto wa = winas_wa_candidates(quant::QuantSpec{8});
+  EXPECT_EQ(wa.size(), 4u);
+  EXPECT_EQ(wa[0].algo, nn::ConvAlgo::kIm2row);
+  EXPECT_TRUE(wa[1].flex);  // WA layers learn their transforms
+  const auto waq = winas_wa_q_candidates();
+  EXPECT_EQ(waq.size(), 12u);  // {im2row,F2,F4,F6} x {fp32,int16,int8}
+}
+
+nn::Conv2dOptions small_opts() {
+  nn::Conv2dOptions o;
+  o.in_channels = 4;
+  o.out_channels = 4;
+  return o;
+}
+
+std::vector<Candidate> two_candidates() {
+  auto c = winas_wa_candidates(quant::QuantSpec{32});
+  c.resize(2);
+  c[0].latency_ms = 3.0;
+  c[1].latency_ms = 1.0;
+  return c;
+}
+
+TEST(MixedConv2d, RequiresTwoCandidates) {
+  Rng rng(3);
+  auto c = two_candidates();
+  c.resize(1);
+  EXPECT_THROW(MixedConv2d(small_opts(), c, rng), std::invalid_argument);
+}
+
+TEST(MixedConv2d, SingleModeRunsActiveOpOnly) {
+  Rng rng(4);
+  MixedConv2d mixed(small_opts(), two_candidates(), rng);
+  ag::Variable x(Tensor::randn({1, 4, 8, 8}, rng), false);
+  mixed.set_active(0);
+  const Tensor y0 = mixed.forward(x).value();
+  mixed.set_active(1);
+  const Tensor y1 = mixed.forward(x).value();
+  EXPECT_EQ(y0.shape(), y1.shape());
+  EXPECT_GT(Tensor::max_abs_diff(y0, y1), 1e-4F);  // different weights -> different out
+}
+
+TEST(MixedConv2d, PairModeGradsFlowToAlpha) {
+  Rng rng(5);
+  MixedConv2d mixed(small_opts(), two_candidates(), rng);
+  mixed.set_mode(MixedConv2d::Mode::kPair);
+  mixed.sample(rng);
+  ag::Variable x(Tensor::randn({1, 4, 8, 8}, rng), false);
+  ag::Variable y = mixed.forward(x);
+  ag::mean(ag::mul(y, y)).backward();
+  EXPECT_GT(mixed.alpha().grad().abs_max(), 0.F);
+}
+
+TEST(MixedConv2d, ProbabilitiesSumToOne) {
+  Rng rng(6);
+  MixedConv2d mixed(small_opts(), two_candidates(), rng);
+  const auto p = mixed.probabilities();
+  double sum = 0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MixedConv2d, BestFollowsAlpha) {
+  Rng rng(7);
+  MixedConv2d mixed(small_opts(), two_candidates(), rng);
+  mixed.alpha().value().at(1) = 5.F;
+  EXPECT_EQ(mixed.best(), 1u);
+}
+
+TEST(MixedConv2d, LatencyPressureSelectsCheapOp) {
+  // Pure-latency optimisation (no data): alpha must converge to the cheaper
+  // candidate — the λ2 mechanism of Eq. 3 in isolation.
+  Rng rng(8);
+  MixedConv2d mixed(small_opts(), two_candidates(), rng);
+  for (int i = 0; i < 100; ++i) {
+    mixed.alpha().zero_grad();
+    mixed.expected_latency().backward();
+    mixed.alpha().sgd_step(0.5F);
+  }
+  EXPECT_EQ(mixed.best(), 1u);  // candidate 1 has latency 1.0 vs 3.0
+}
+
+// ---- end-to-end (small) search -------------------------------------------------
+
+class WinasEndToEnd : public ::testing::Test {
+ protected:
+  static data::Dataset train_set_, val_set_;
+  static void SetUpTestSuite() {
+    auto spec = data::cifar10_like();
+    spec.train_size = 96;
+    spec.test_size = 48;
+    train_set_ = data::generate(spec, true);
+    val_set_ = data::generate(spec, false);
+  }
+};
+data::Dataset WinasEndToEnd::train_set_;
+data::Dataset WinasEndToEnd::val_set_;
+
+TEST_F(WinasEndToEnd, SearchProducesFullAssignment) {
+  WinasOptions opts;
+  opts.epochs = 1;
+  opts.width_mult = 0.125F;
+  opts.fixed_spec = quant::QuantSpec{32};
+  WinasSearch search(opts, train_set_, val_set_);
+  EXPECT_EQ(search.mixed_layers().size(), 16u);
+  const auto result = search.run();
+  EXPECT_EQ(result.choices.size(), 16u);
+  EXPECT_EQ(result.assignment.size(), 16u);
+  EXPECT_GT(result.expected_latency_ms, 0.0);
+  // The derived table names match the ResNet-18 searchable layers.
+  for (const auto& name : models::ResNet18::searchable_layer_names()) {
+    EXPECT_TRUE(result.assignment.contains(name)) << name;
+  }
+  // The report is printable.
+  EXPECT_FALSE(format_architecture(result).empty());
+}
+
+TEST_F(WinasEndToEnd, HighLambdaPrefersFasterOps) {
+  // λ2 = 10 (huge): latency dominates the arch loss, so the found network
+  // must be no slower than the one found with λ2 = 0.
+  WinasOptions fast_opts;
+  fast_opts.epochs = 1;
+  fast_opts.width_mult = 0.125F;
+  fast_opts.fixed_spec = quant::QuantSpec{32};
+  fast_opts.lambda2 = 10.F;
+  fast_opts.seed = 11;
+  const auto fast = WinasSearch(fast_opts, train_set_, val_set_).run();
+
+  WinasOptions acc_opts = fast_opts;
+  acc_opts.lambda2 = 0.F;
+  const auto free = WinasSearch(acc_opts, train_set_, val_set_).run();
+  EXPECT_LE(fast.expected_latency_ms, free.expected_latency_ms + 1e-9);
+}
+
+}  // namespace
+}  // namespace wa::nas

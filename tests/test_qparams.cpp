@@ -1,0 +1,301 @@
+// Tests for generalized quantization parameters: affine (asymmetric)
+// quantization, per-channel granularity, and the observers/STE ops built on
+// them. These are the extensions the paper's discussion section recommends
+// ("per-channel affine quantization, as in Jacob et al. (2018)").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "quant/fake_quant_op.hpp"
+#include "quant/observer.hpp"
+#include "quant/qparams.hpp"
+#include "tensor/rng.hpp"
+
+namespace wa::quant {
+namespace {
+
+TEST(QRange, SymmetricExcludesNegativeExtreme) {
+  const QRange r = range_of(QuantSpec{8});
+  EXPECT_EQ(r.qmin, -127);
+  EXPECT_EQ(r.qmax, 127);
+}
+
+TEST(QRange, AffineUsesFullTwosComplementRange) {
+  QuantSpec spec{8, QuantScheme::kAffine};
+  const QRange r = range_of(spec);
+  EXPECT_EQ(r.qmin, -128);
+  EXPECT_EQ(r.qmax, 127);
+}
+
+TEST(ChooseQParams, PerTensorSymmetricMatchesScaleFor) {
+  Rng rng(1);
+  const Tensor x = Tensor::randn({4, 8}, rng, 2.F);
+  const QParams p = choose_qparams(x, QuantSpec{8});
+  ASSERT_EQ(p.num_channels(), 1);
+  EXPECT_FALSE(p.per_channel());
+  EXPECT_FLOAT_EQ(p.scales[0], scale_for(x.abs_max(), QuantSpec{8}));
+  EXPECT_EQ(p.zero_points[0], 0);
+}
+
+TEST(ChooseQParams, AffineRepresentsZeroExactly) {
+  // A strictly positive tensor: affine must still map 0.0 onto an integer
+  // level so zero padding quantizes exactly (Jacob et al. 2018 §2.1).
+  Tensor x({2, 3}, {1.F, 2.F, 3.F, 4.F, 5.F, 6.F});
+  QuantSpec spec{8, QuantScheme::kAffine};
+  const QParams p = choose_qparams(x, spec);
+  const float s = p.scales[0];
+  const auto z = p.zero_points[0];
+  // Quantizing 0.0 and dequantizing must return exactly 0.0.
+  const float q0 = std::nearbyint(0.F / s) + static_cast<float>(z);
+  EXPECT_FLOAT_EQ((q0 - static_cast<float>(z)) * s, 0.F);
+  const QRange r = range_of(spec);
+  EXPECT_GE(z, r.qmin);
+  EXPECT_LE(z, r.qmax);
+}
+
+TEST(ChooseQParams, AffineBeatsSymmetricOnSkewedData) {
+  // All-positive data wastes half the symmetric range; affine reclaims it.
+  Rng rng(2);
+  Tensor x = Tensor::rand({64, 64}, rng, 0.F, 1.F);
+  const float sym = quantization_rmse_qparams(x, QuantSpec{8});
+  const float aff = quantization_rmse_qparams(x, QuantSpec{8, QuantScheme::kAffine});
+  EXPECT_LT(aff, sym * 0.75F);
+}
+
+TEST(ChooseQParams, PerChannelTracksEachSliceRange) {
+  // Channel 0 in [-1, 1], channel 1 in [-100, 100]: per-tensor forces one
+  // scale; per-channel gives each slice its own.
+  Tensor x({2, 4}, {-1.F, 0.5F, 1.F, -0.25F, -100.F, 50.F, 100.F, -25.F});
+  const QParams p = choose_qparams(x, QuantSpec{8}, 0);
+  ASSERT_EQ(p.num_channels(), 2);
+  EXPECT_TRUE(p.per_channel());
+  EXPECT_FLOAT_EQ(p.scales[0], scale_for(1.F, QuantSpec{8}));
+  EXPECT_FLOAT_EQ(p.scales[1], scale_for(100.F, QuantSpec{8}));
+}
+
+TEST(ChooseQParams, PerChannelReducesRmseWithDisparateChannels) {
+  Rng rng(3);
+  Tensor x(Shape{8, 16, 3, 3});
+  auto d = x.data();
+  for (std::int64_t k = 0; k < 8; ++k) {
+    const float scale = std::pow(4.F, static_cast<float>(k % 4));
+    for (std::int64_t i = 0; i < 16 * 9; ++i) {
+      d[static_cast<std::size_t>(k * 16 * 9 + i)] = rng.normal(0.F, scale);
+    }
+  }
+  const float per_tensor = quantization_rmse_qparams(x, QuantSpec{8});
+  const float per_channel = quantization_rmse_qparams(x, QuantSpec{8}, 0);
+  EXPECT_LT(per_channel, per_tensor * 0.5F);
+}
+
+TEST(ChooseQParams, InnerAxisGranularityWorks) {
+  // channel_dim does not have to be the leading axis.
+  Tensor x({2, 3}, {1.F, 10.F, 100.F, -1.F, -10.F, -100.F});
+  const QParams p = choose_qparams(x, QuantSpec{8}, 1);
+  ASSERT_EQ(p.num_channels(), 3);
+  EXPECT_FLOAT_EQ(p.scales[0], scale_for(1.F, QuantSpec{8}));
+  EXPECT_FLOAT_EQ(p.scales[2], scale_for(100.F, QuantSpec{8}));
+}
+
+TEST(ChooseQParams, BadAxisThrows) {
+  Rng rng(4);
+  const Tensor x = Tensor::randn({2, 2}, rng);
+  EXPECT_THROW(choose_qparams(x, QuantSpec{8}, 2), std::invalid_argument);
+}
+
+TEST(ChooseQParams, FloatSpecIsIdentity) {
+  Rng rng(5);
+  const Tensor x = Tensor::randn({3, 3}, rng);
+  const QParams p = choose_qparams(x, QuantSpec{32}, 0);
+  EXPECT_EQ(p.num_channels(), 1);
+  EXPECT_FLOAT_EQ(p.scales[0], 1.F);
+  Tensor y = x;
+  EXPECT_EQ(fake_quant_qparams_(y, p, QuantSpec{32}), 0);
+  EXPECT_TRUE(Tensor::allclose(x, y));
+}
+
+TEST(FakeQuantQParams, RoundTripStaysWithinHalfScale) {
+  Rng rng(6);
+  const Tensor x = Tensor::randn({16, 16}, rng);
+  for (const auto scheme : {QuantScheme::kSymmetric, QuantScheme::kAffine}) {
+    QuantSpec spec{8, scheme};
+    const QParams p = choose_qparams(x, spec);
+    const Tensor q = fake_quant_qparams(x, p, spec);
+    EXPECT_LE(Tensor::max_abs_diff(x, q), p.scales[0] * 0.501F) << spec.to_string();
+  }
+}
+
+TEST(FakeQuantQParams, ClipMaskMarksSaturatedElements) {
+  Tensor x({4}, {0.1F, -0.2F, 5.F, -5.F});
+  QParams p = QParams::per_tensor(0.01F);  // range ±1.27: the 5s saturate
+  std::vector<std::uint8_t> mask;
+  const auto clipped = fake_quant_qparams_(x, p, QuantSpec{8}, &mask);
+  EXPECT_EQ(clipped, 2);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1], 1);
+  EXPECT_EQ(mask[2], 0);
+  EXPECT_EQ(mask[3], 0);
+}
+
+TEST(FakeQuantQParams, ChannelCountMismatchThrows) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({4, 4}, rng);
+  QParams p;
+  p.channel_dim = 0;
+  p.scales = {1.F, 1.F};  // axis has 4 channels
+  p.zero_points = {0, 0};
+  EXPECT_THROW(fake_quant_qparams_(x, p, QuantSpec{8}), std::invalid_argument);
+}
+
+TEST(FakeQuantQParams, MalformedParamsThrow) {
+  Rng rng(8);
+  Tensor x = Tensor::randn({4}, rng);
+  QParams p;  // empty scales
+  EXPECT_THROW(fake_quant_qparams_(x, p, QuantSpec{8}), std::invalid_argument);
+}
+
+TEST(QuantizeLevels, RoundTripPerChannelAffine) {
+  Rng rng(9);
+  const Tensor x = Tensor::rand({3, 8}, rng, -2.F, 5.F);
+  QuantSpec spec{8, QuantScheme::kAffine};
+  const QParams p = choose_qparams(x, spec, 0);
+  const auto q = quantize_levels_qparams(x, p, spec);
+  const Tensor back = dequantize_levels_qparams(q, x.shape(), p);
+  float max_scale = 0.F;
+  for (float s : p.scales) max_scale = std::max(max_scale, s);
+  EXPECT_LE(Tensor::max_abs_diff(x, back), max_scale * 0.501F);
+}
+
+TEST(QuantizeLevels, LevelsStayInRange) {
+  Rng rng(10);
+  const Tensor x = Tensor::randn({64}, rng, 10.F);
+  for (int bits : {2, 4, 8, 16}) {
+    QuantSpec spec{bits, QuantScheme::kAffine};
+    const QParams p = choose_qparams(x, spec);
+    const QRange r = range_of(spec);
+    for (auto v : quantize_levels_qparams(x, p, spec)) {
+      EXPECT_GE(v, r.qmin);
+      EXPECT_LE(v, r.qmax);
+    }
+  }
+}
+
+// ---- parameterized sweep: error shrinks as bits grow, both schemes --------
+
+class QParamsBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QParamsBitSweep, MoreBitsNeverHurt) {
+  const int bits = GetParam();
+  Rng rng(42);
+  const Tensor x = Tensor::randn({32, 32}, rng, 3.F);
+  for (const auto scheme : {QuantScheme::kSymmetric, QuantScheme::kAffine}) {
+    const float coarse = quantization_rmse_qparams(x, QuantSpec{bits, scheme});
+    const float fine = quantization_rmse_qparams(x, QuantSpec{bits + 2, scheme});
+    EXPECT_LT(fine, coarse) << "scheme " << static_cast<int>(scheme) << " bits " << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits2To12, QParamsBitSweep, ::testing::Values(2, 4, 6, 8, 10, 12));
+
+// ---- observer min/max + affine qparams -------------------------------------
+
+TEST(Observer, TracksMinAndMaxSeparately) {
+  RangeObserver obs(RangeObserver::Mode::kMinMax);
+  Tensor x({4}, {-3.F, -1.F, 0.5F, 2.F});
+  obs.observe(x);
+  EXPECT_FLOAT_EQ(obs.tracked_min(), -3.F);
+  EXPECT_FLOAT_EQ(obs.tracked_max(), 2.F);
+  EXPECT_FLOAT_EQ(obs.tracked_abs_max(), 3.F);
+}
+
+TEST(Observer, EmaBlendsBothEnds) {
+  RangeObserver obs(RangeObserver::Mode::kEma, 0.5F);
+  obs.observe(Tensor({2}, {-4.F, 4.F}));
+  obs.observe(Tensor({2}, {-2.F, 8.F}));
+  EXPECT_FLOAT_EQ(obs.tracked_min(), -3.F);  // 0.5*-4 + 0.5*-2
+  EXPECT_FLOAT_EQ(obs.tracked_max(), 6.F);   // 0.5*4  + 0.5*8
+}
+
+TEST(Observer, AffineQParamsCoverObservedInterval) {
+  RangeObserver obs(RangeObserver::Mode::kMinMax);
+  obs.observe(Tensor({2}, {0.F, 10.F}));  // relu-style skew
+  QuantSpec spec{8, QuantScheme::kAffine};
+  const QParams p = obs.qparams(spec);
+  // Interval [0, 10] over 255 levels.
+  EXPECT_NEAR(p.scales[0], 10.F / 255.F, 1e-6F);
+  EXPECT_EQ(p.zero_points[0], -128);  // real 0 sits at qmin
+}
+
+TEST(Observer, SymmetricQParamsHaveZeroPointZero) {
+  RangeObserver obs(RangeObserver::Mode::kMinMax);
+  obs.observe(Tensor({2}, {-1.F, 3.F}));
+  const QParams p = obs.qparams(QuantSpec{8});
+  EXPECT_EQ(p.zero_points[0], 0);
+  EXPECT_FLOAT_EQ(p.scales[0], scale_for(3.F, QuantSpec{8}));
+}
+
+TEST(Observer, ResetClearsRange) {
+  RangeObserver obs;
+  obs.observe(Tensor({1}, {7.F}));
+  obs.reset();
+  EXPECT_FALSE(obs.initialized());
+  EXPECT_FLOAT_EQ(obs.scale(QuantSpec{8}), scale_for(1.F, QuantSpec{8}));
+}
+
+// ---- STE ops ----------------------------------------------------------------
+
+TEST(FakeQuantSte, AffineForwardMatchesQParamsPath) {
+  Rng rng(11);
+  const Tensor x = Tensor::rand({4, 4}, rng, 0.F, 2.F);
+  QuantSpec spec{8, QuantScheme::kAffine};
+  RangeObserver obs(RangeObserver::Mode::kMinMax);
+  ag::Variable v(x, true);
+  const ag::Variable out = fake_quant_ste(v, obs, spec, /*training=*/true);
+  const Tensor expect = fake_quant_qparams(x, obs.qparams(spec), spec);
+  EXPECT_TRUE(Tensor::allclose(out.value(), expect));
+}
+
+TEST(FakeQuantSte, PerChannelWeightsMatchReference) {
+  Rng rng(12);
+  const Tensor w = Tensor::randn({8, 4, 3, 3}, rng);
+  ag::Variable wv(w, true);
+  const ag::Variable out = fake_quant_weights_ste(wv, QuantSpec{8}, /*per_channel=*/true);
+  const QParams p = choose_qparams(w, QuantSpec{8}, 0);
+  EXPECT_TRUE(Tensor::allclose(out.value(), fake_quant_qparams(w, p, QuantSpec{8})));
+}
+
+TEST(FakeQuantSte, WeightsAffineSpecIsForcedSymmetric) {
+  // Weight quantization stays symmetric even when the layer spec is affine.
+  Rng rng(13);
+  const Tensor w = Tensor::rand({4, 2, 3, 3}, rng, 0.F, 1.F);  // skewed positive
+  ag::Variable wv(w, true);
+  QuantSpec affine{8, QuantScheme::kAffine};
+  const ag::Variable out = fake_quant_weights_ste(wv, affine, false);
+  const QParams p = choose_qparams(w, QuantSpec{8}, -1);
+  EXPECT_TRUE(Tensor::allclose(out.value(), fake_quant_qparams(w, p, QuantSpec{8})));
+}
+
+TEST(FakeQuantSte, GradientPassesWhereUnclippedPerChannel) {
+  Rng rng(14);
+  const Tensor w = Tensor::randn({4, 2, 3, 3}, rng);
+  ag::Variable wv(w, true);
+  ag::Variable out = fake_quant_weights_ste(wv, QuantSpec{8}, true);
+  out.backward();
+  // Per-channel minmax scale never clips the extreme value; all gradients 1.
+  for (auto g : wv.grad().data()) EXPECT_FLOAT_EQ(g, 1.F);
+}
+
+TEST(FakeQuantSte, GradientBlockedWhereClipped) {
+  Tensor x({3}, {0.1F, 9.F, -9.F});
+  ag::Variable xv(x, true);
+  QParams p = QParams::per_tensor(0.01F);  // representable range ±1.27
+  ag::Variable out = fake_quant_qparams_ste(xv, p, QuantSpec{8});
+  out.backward();
+  EXPECT_FLOAT_EQ(xv.grad().at(0), 1.F);
+  EXPECT_FLOAT_EQ(xv.grad().at(1), 0.F);
+  EXPECT_FLOAT_EQ(xv.grad().at(2), 0.F);
+}
+
+}  // namespace
+}  // namespace wa::quant

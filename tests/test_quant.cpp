@@ -1,0 +1,178 @@
+// Tests for symmetric uniform quantization, observers, STE and requantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "quant/fake_quant_op.hpp"
+#include "quant/observer.hpp"
+#include "quant/quant.hpp"
+#include "quant/requant.hpp"
+
+namespace wa::quant {
+namespace {
+
+TEST(QuantSpec, QmaxPerBits) {
+  EXPECT_EQ(QuantSpec{8}.qmax(), 127);
+  EXPECT_EQ(QuantSpec{10}.qmax(), 511);
+  EXPECT_EQ(QuantSpec{16}.qmax(), 32767);
+  EXPECT_TRUE(QuantSpec{32}.is_float());
+  EXPECT_FALSE(QuantSpec{8}.is_float());
+}
+
+TEST(QuantSpec, ToString) {
+  EXPECT_EQ(QuantSpec{8}.to_string(), "int8");
+  EXPECT_EQ(QuantSpec{32}.to_string(), "fp32");
+}
+
+TEST(ScaleFor, MapsAbsMaxToQmax) {
+  const float s = scale_for(12.7F, QuantSpec{8});
+  EXPECT_NEAR(12.7F / s, 127.F, 1e-4F);
+}
+
+TEST(ScaleFor, DegenerateRangeIsSafe) {
+  const float s = scale_for(0.F, QuantSpec{8});
+  EXPECT_GT(s, 0.F);
+}
+
+TEST(FakeQuant, Fp32IsIdentity) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({16}, rng);
+  Tensor y = fake_quant(x, 1.F, QuantSpec{32});
+  EXPECT_TRUE(Tensor::allclose(x, y, 0.F));
+}
+
+TEST(FakeQuant, RoundTripOnGrid) {
+  // Values already on the grid pass through exactly.
+  const float s = 0.5F;
+  Tensor x(Shape{4}, {-1.F, -0.5F, 0.F, 1.5F});
+  Tensor y = fake_quant(x, s, QuantSpec{8});
+  EXPECT_TRUE(Tensor::allclose(x, y, 0.F));
+}
+
+TEST(FakeQuant, ClipsAndCounts) {
+  const float s = 1.F;  // representable range ±127
+  Tensor x(Shape{3}, {500.F, -500.F, 3.F});
+  std::vector<std::uint8_t> mask;
+  const auto clipped = fake_quant_(x, s, QuantSpec{8}, &mask);
+  EXPECT_EQ(clipped, 2);
+  EXPECT_FLOAT_EQ(x.at(0), 127.F);
+  EXPECT_FLOAT_EQ(x.at(1), -127.F);
+  EXPECT_FLOAT_EQ(x.at(2), 3.F);
+  EXPECT_EQ(mask[0], 0);
+  EXPECT_EQ(mask[1], 0);
+  EXPECT_EQ(mask[2], 1);
+}
+
+TEST(FakeQuant, ErrorBoundedByHalfScale) {
+  Rng rng(2);
+  Tensor x = Tensor::randn({256}, rng);
+  const float s = scale_for(x.abs_max(), QuantSpec{8});
+  Tensor y = fake_quant(x, s, QuantSpec{8});
+  EXPECT_LE(Tensor::max_abs_diff(x, y), s / 2.F + 1e-6F);
+}
+
+class BitWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitWidthSweep, RmseShrinksWithMoreBits) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({512}, rng);
+  const int bits = GetParam();
+  const float coarse = quantization_rmse(x, QuantSpec{bits});
+  const float fine = quantization_rmse(x, QuantSpec{bits + 2});
+  EXPECT_LT(fine, coarse);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BitWidthSweep, ::testing::Values(4, 6, 8, 10, 12));
+
+TEST(QuantizeLevels, RoundTrip) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({64}, rng);
+  const float s = scale_for(x.abs_max(), QuantSpec{8});
+  auto q = quantize_levels(x, s, QuantSpec{8});
+  Tensor y = dequantize_levels(q, x.shape(), s);
+  EXPECT_LE(Tensor::max_abs_diff(x, y), s / 2.F + 1e-6F);
+}
+
+TEST(Observer, MinMaxTracksCurrentBatch) {
+  RangeObserver obs(RangeObserver::Mode::kMinMax);
+  obs.observe(Tensor(Shape{2}, {1.F, -3.F}));
+  EXPECT_FLOAT_EQ(obs.tracked_abs_max(), 3.F);
+  obs.observe(Tensor(Shape{2}, {0.5F, -0.25F}));
+  EXPECT_FLOAT_EQ(obs.tracked_abs_max(), 0.5F);  // follows, does not average
+}
+
+TEST(Observer, EmaSmoothsUpdates) {
+  RangeObserver obs(RangeObserver::Mode::kEma, 0.9F);
+  obs.observe(Tensor(Shape{1}, {10.F}));  // first observation initializes
+  obs.observe(Tensor(Shape{1}, {0.F}));
+  EXPECT_NEAR(obs.tracked_abs_max(), 9.F, 1e-5F);
+}
+
+TEST(Observer, ColdScaleIsFinite) {
+  RangeObserver obs;
+  EXPECT_GT(obs.scale(QuantSpec{8}), 0.F);
+}
+
+TEST(FakeQuantSte, GradientPassesInsideRange) {
+  Rng rng(5);
+  RangeObserver obs(RangeObserver::Mode::kMinMax);
+  auto fn = [&obs](std::vector<ag::Variable>& in) {
+    // Observe on the fly; all values stay within range, so STE == identity.
+    return ag::sum(fake_quant_ste(in[0], obs, QuantSpec{16}, /*training=*/true));
+  };
+  std::vector<ag::Variable> inputs{ag::Variable(Tensor::randn({8}, rng), true)};
+  const auto res = ag::grad_check(fn, inputs, 1e-2F, 6e-2F);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(FakeQuantSte, ClippedElementsGetZeroGrad) {
+  RangeObserver obs(RangeObserver::Mode::kMinMax);
+  obs.observe(Tensor(Shape{2}, {1.F, 1.F}));  // range = 1 -> anything above clips
+  obs.set_mode(RangeObserver::Mode::kEma);    // freeze-ish: next observe barely moves it
+  ag::Variable x(Tensor(Shape{2}, {100.F, 0.5F}), true);
+  ag::Variable y = fake_quant_ste(x, obs, QuantSpec{8}, /*training=*/false);
+  ag::sum(y).backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 0.F);  // clipped -> no gradient
+  EXPECT_FLOAT_EQ(x.grad().at(1), 1.F);
+}
+
+TEST(FakeQuantSte, Fp32AddsNoNode) {
+  RangeObserver obs;
+  ag::Variable x(Tensor::ones({2}), true);
+  ag::Variable y = fake_quant_ste(x, obs, QuantSpec{32}, true);
+  EXPECT_EQ(y.node().get(), x.node().get());
+}
+
+TEST(Requant, MultiplierRoundTrip) {
+  for (double mult : {0.0003, 0.02, 0.25, 0.7, 0.99}) {
+    const auto fp = quantize_multiplier(mult);
+    // Apply to a spread of accumulators and compare to float math.
+    for (std::int32_t acc : {-100000, -1234, -1, 0, 1, 999, 123456}) {
+      const auto got = apply_multiplier(acc, fp);
+      const auto want = static_cast<std::int32_t>(std::llround(acc * mult));
+      EXPECT_NEAR(got, want, 1) << "mult=" << mult << " acc=" << acc;
+    }
+  }
+}
+
+TEST(Requant, MultiplierAboveOne) {
+  const auto fp = quantize_multiplier(3.5);
+  EXPECT_NEAR(apply_multiplier(1000, fp), 3500, 1);
+}
+
+TEST(Requant, NonPositiveMultiplierThrows) {
+  EXPECT_THROW(quantize_multiplier(0.0), std::invalid_argument);
+  EXPECT_THROW(quantize_multiplier(-1.0), std::invalid_argument);
+}
+
+TEST(Requant, SaturateClampsToBits) {
+  EXPECT_EQ(saturate(300, 8), 127);
+  EXPECT_EQ(saturate(-300, 8), -127);
+  EXPECT_EQ(saturate(100, 8), 100);
+  EXPECT_EQ(saturate(40000, 16), 32767);
+}
+
+}  // namespace
+}  // namespace wa::quant

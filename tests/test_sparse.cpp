@@ -1,0 +1,210 @@
+// Tests for Winograd-domain pruning (src/sparse) and the pruning-mask path
+// through the Winograd-aware op.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backend/conv_kernels.hpp"
+#include "latency/cost_model.hpp"
+#include "models/resnet.hpp"
+#include "sparse/winograd_prune.hpp"
+
+namespace wa::sparse {
+namespace {
+
+core::WinogradAwareConv2d make_layer(Rng& rng, int m = 4, std::int64_t cin = 4,
+                                     std::int64_t cout = 4, std::int64_t groups = 1) {
+  nn::Conv2dOptions opts;
+  opts.in_channels = cin;
+  opts.out_channels = cout;
+  opts.groups = groups;
+  opts.algo = m == 2   ? nn::ConvAlgo::kWinograd2
+              : m == 4 ? nn::ConvAlgo::kWinograd4
+                       : nn::ConvAlgo::kWinograd6;
+  return core::WinogradAwareConv2d(opts, rng);
+}
+
+TEST(TransformedWeights, MatchesBackendTransform) {
+  Rng rng(1);
+  auto layer = make_layer(rng);
+  const Tensor u = transformed_weights(layer);
+  EXPECT_EQ(u.shape(), (Shape{1, 36, 4, 4}));
+  // Same values as the deployment-side weight transform, modulo layout.
+  const wino::Transforms tr = wino::make_transforms(4, 3);
+  const Tensor u_backend = backend::winograd_transform_weights(layer.weight().value(), tr);
+  for (std::int64_t ab = 0; ab < 36; ++ab)
+    for (std::int64_t k = 0; k < 4; ++k)
+      for (std::int64_t c = 0; c < 4; ++c)
+        EXPECT_NEAR(u.at(((0 * 36 + ab) * 4 + k) * 4 + c), u_backend(ab, k, c), 1e-5F);
+}
+
+TEST(MagnitudeMask, GlobalSchemeKeepsExactCount) {
+  Rng rng(2);
+  const Tensor u = Tensor::randn({2, 16, 4, 4}, rng);
+  for (const double sparsity : {0.0, 0.25, 0.5, 0.9}) {
+    const Tensor mask = magnitude_mask(u, sparsity, PruneScheme::kGlobal);
+    const auto pruned = static_cast<std::int64_t>(mask.numel() - mask.sum());
+    EXPECT_EQ(pruned, static_cast<std::int64_t>(std::floor(sparsity * 512))) << sparsity;
+  }
+}
+
+TEST(MagnitudeMask, PerPositionPrunesSameCountEverySlice) {
+  Rng rng(20);
+  const Tensor u = Tensor::randn({1, 16, 4, 4}, rng);
+  const Tensor mask = magnitude_mask(u, 0.5);  // 8 of 16 per slice
+  for (std::int64_t xy = 0; xy < 16; ++xy) {
+    double kept = 0;
+    for (std::int64_t i = 0; i < 16; ++i) kept += mask.at(xy * 16 + i);
+    EXPECT_DOUBLE_EQ(kept, 8.0) << "slice " << xy;
+  }
+}
+
+TEST(MagnitudeMask, GlobalPrunesTheSmallestEntries) {
+  Tensor u({1, 4, 1, 1}, {0.1F, -5.F, 0.2F, 3.F});
+  const Tensor mask = magnitude_mask(u, 0.5, PruneScheme::kGlobal);
+  EXPECT_FLOAT_EQ(mask.at(0), 0.F);
+  EXPECT_FLOAT_EQ(mask.at(1), 1.F);
+  EXPECT_FLOAT_EQ(mask.at(2), 0.F);
+  EXPECT_FLOAT_EQ(mask.at(3), 1.F);
+}
+
+TEST(MagnitudeMask, RejectsBadSparsity) {
+  Rng rng(3);
+  const Tensor u = Tensor::randn({4}, rng);
+  EXPECT_THROW(magnitude_mask(u, -0.1), std::invalid_argument);
+  EXPECT_THROW(magnitude_mask(u, 1.0), std::invalid_argument);
+  EXPECT_THROW(magnitude_mask(Tensor(), 0.5), std::invalid_argument);
+}
+
+TEST(WaLayerMask, RejectsWrongShapeAndNonBinary) {
+  Rng rng(4);
+  auto layer = make_layer(rng);
+  EXPECT_THROW(layer.set_winograd_mask(Tensor::ones({1, 36, 4, 3})), std::invalid_argument);
+  Tensor bad = Tensor::ones({1, 36, 4, 4});
+  bad.at(0) = 0.5F;
+  EXPECT_THROW(layer.set_winograd_mask(std::move(bad)), std::invalid_argument);
+}
+
+TEST(WaLayerMask, FullMaskIsIdentityZeroMaskKillsOutput) {
+  Rng rng(5);
+  auto layer = make_layer(rng);
+  layer.set_training(false);
+  const Tensor x = Tensor::randn({1, 4, 8, 8}, rng);
+  const Tensor dense = layer.forward(ag::Variable(x, false)).value();
+
+  layer.set_winograd_mask(Tensor::ones({1, 36, 4, 4}));
+  EXPECT_TRUE(Tensor::allclose(dense, layer.forward(ag::Variable(x, false)).value()));
+  EXPECT_DOUBLE_EQ(layer.winograd_density(), 1.0);
+
+  layer.set_winograd_mask(Tensor::zeros({1, 36, 4, 4}));
+  const Tensor zeroed = layer.forward(ag::Variable(x, false)).value();
+  EXPECT_FLOAT_EQ(zeroed.abs_max(), 0.F);
+  EXPECT_DOUBLE_EQ(layer.winograd_density(), 0.0);
+
+  layer.clear_winograd_mask();
+  EXPECT_TRUE(Tensor::allclose(dense, layer.forward(ag::Variable(x, false)).value()));
+}
+
+TEST(WaLayerMask, MagnitudeOrderingIsTheRightImportanceProxy) {
+  // Without fine-tuning, pruning is lossy (the dropped products are not
+  // tiny: V entries at the same tile position can be large — this is why
+  // the workflow retrains). The invariant that must hold regardless is the
+  // ordering: dropping the SMALLEST |U| entries per position hurts less
+  // than dropping the LARGEST ones.
+  Rng rng(6);
+  auto layer = make_layer(rng);
+  layer.set_training(false);
+  const Tensor x = Tensor::randn({1, 4, 8, 8}, rng);
+  const Tensor dense = layer.forward(ag::Variable(x, false)).value();
+
+  const Tensor u = transformed_weights(layer);
+  const Tensor keep_large = magnitude_mask(u, 0.3);  // drops the smallest 30%
+  // Inverting the importance ranking (1/|u|) makes the mask drop the
+  // LARGEST 30% per slice instead.
+  const Tensor inverted = u.map([](float v) { return 1.F / (std::fabs(v) + 1e-12F); });
+  const Tensor drop_large = magnitude_mask(inverted, 0.3);
+
+  auto error_with = [&](Tensor mask) {
+    layer.set_winograd_mask(std::move(mask));
+    const Tensor out = layer.forward(ag::Variable(x, false)).value();
+    layer.clear_winograd_mask();
+    return Tensor::max_abs_diff(dense, out);
+  };
+  const float err_smallest = error_with(keep_large);
+  const float err_largest = error_with(drop_large);
+  EXPECT_GT(err_smallest, 0.F);            // something was actually pruned
+  EXPECT_LT(err_smallest, err_largest);    // magnitude ordering is meaningful
+}
+
+TEST(WaLayerMask, MaskedGradientsStayZero) {
+  // Fine-tuning must preserve the sparsity pattern: gradients through
+  // masked U entries are dropped, so a weight step cannot resurrect them
+  // through the masked positions.
+  Rng rng(7);
+  auto layer = make_layer(rng, 2);
+  prune_winograd_layer(layer, 0.5);
+  const Tensor mask = layer.winograd_mask();
+
+  ag::Variable x(Tensor::randn({1, 4, 8, 8}, rng), false);
+  ag::Variable out = layer.forward(x);
+  out.backward();
+
+  // The forward's masked U entries contribute nothing, so pruned positions
+  // must leave the output invariant: flip the weights only where ALL their
+  // Winograd-domain images are masked — infeasible to construct in general,
+  // so instead check the op-level contract: a layer with a zero mask gets
+  // exactly zero weight gradient.
+  auto layer2 = make_layer(rng, 2);
+  layer2.set_winograd_mask(Tensor::zeros({1, 16, 4, 4}));
+  ag::Variable out2 = layer2.forward(x);
+  out2.backward();
+  EXPECT_FLOAT_EQ(layer2.weight().grad().abs_max(), 0.F);
+}
+
+TEST(PruneModel, WalksAllWinogradLayersInResNet) {
+  Rng rng(8);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.125F;
+  cfg.algo = nn::ConvAlgo::kWinograd4;
+  models::ResNet18 net(cfg, rng);
+  const auto reports = prune_model(net, 0.6);
+  EXPECT_EQ(reports.size(), 16u);  // all block convs are winograd-aware
+  for (const auto& r : reports) {
+    EXPECT_NEAR(r.achieved_density, 0.4, 0.02) << r.layer;
+    EXPECT_FALSE(r.layer.empty());
+  }
+  EXPECT_NEAR(model_hadamard_density(net), 0.4, 0.02);
+}
+
+TEST(PruneModel, DensityOneWithoutMasks) {
+  Rng rng(9);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.125F;
+  models::ResNet18 net(cfg, rng);  // im2row model: no winograd layers at all
+  EXPECT_DOUBLE_EQ(model_hadamard_density(net), 1.0);
+}
+
+TEST(CostModel, HadamardDensityCutsGemmTime) {
+  latency::LatencyModel model(latency::cortex_a73());
+  latency::LayerDesc desc;
+  desc.geom.batch = 1;
+  desc.geom.in_channels = 128;
+  desc.geom.out_channels = 128;
+  desc.geom.height = 16;
+  desc.geom.width = 16;
+  desc.algo = nn::ConvAlgo::kWinograd4;
+  const double dense = model.conv_cost(desc).gemm_ms;
+  desc.hadamard_density = 0.1;
+  const double sparse = model.conv_cost(desc).gemm_ms;
+  EXPECT_LT(sparse, dense * 0.7);
+  // Transforms are untouched by Hadamard sparsity.
+  desc.hadamard_density = 1.0;
+  const auto a = model.conv_cost(desc);
+  desc.hadamard_density = 0.1;
+  const auto b = model.conv_cost(desc);
+  EXPECT_DOUBLE_EQ(a.input_transform_ms, b.input_transform_ms);
+  EXPECT_DOUBLE_EQ(a.output_transform_ms, b.output_transform_ms);
+}
+
+}  // namespace
+}  // namespace wa::sparse

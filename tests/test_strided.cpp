@@ -1,0 +1,118 @@
+// Tests for stride-2 convolution via polyphase decomposition with a
+// Winograd fast path (the paper's "open research question", §5.1).
+#include <gtest/gtest.h>
+
+#include "winograd/strided.hpp"
+
+namespace wa::wino {
+namespace {
+
+TEST(PolyphaseSplit, ComponentsCoverEveryTapOnce) {
+  Rng rng(1);
+  const Tensor g = Tensor::randn({5, 5}, rng);
+  const auto phases = polyphase_split(g);
+  EXPECT_EQ(phases.g[0][0].shape(), (Shape{3, 3}));
+  EXPECT_EQ(phases.g[0][1].shape(), (Shape{3, 2}));
+  EXPECT_EQ(phases.g[1][0].shape(), (Shape{2, 3}));
+  EXPECT_EQ(phases.g[1][1].shape(), (Shape{2, 2}));
+  std::int64_t taps = 0;
+  for (int s = 0; s < 2; ++s)
+    for (int t = 0; t < 2; ++t) taps += phases.g[s][t].numel();
+  EXPECT_EQ(taps, 25);
+  // Spot-check the mapping g_st[a,b] = g[2a+s, 2b+t].
+  EXPECT_FLOAT_EQ(phases.g[1][0](1, 2), g(3, 4));
+  EXPECT_FLOAT_EQ(phases.g[0][1](2, 0), g(4, 1));
+}
+
+TEST(PolyphaseSplit, RejectsNon2d) {
+  Rng rng(2);
+  EXPECT_THROW(polyphase_split(Tensor::randn({3, 3, 3}, rng)), std::invalid_argument);
+}
+
+TEST(Subsample2, ExtractsPhases) {
+  const Tensor x({3, 4}, {0, 1, 2, 3, 10, 11, 12, 13, 20, 21, 22, 23});
+  const Tensor even = subsample2(x, 0, 0);
+  EXPECT_EQ(even.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(even(1, 1), 22.F);
+  const Tensor odd = subsample2(x, 1, 1);
+  EXPECT_EQ(odd.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(odd(0, 0), 11.F);
+  EXPECT_THROW(subsample2(x, 2, 0), std::invalid_argument);
+}
+
+TEST(Stride2Direct, MatchesHandComputedExample) {
+  // 4x4 input, 3x3 ones filter, stride 2 -> single output = sum of the
+  // top-left 3x3 block.
+  Rng rng(3);
+  Tensor x = Tensor::randn({4, 4}, rng);
+  const Tensor g = Tensor::ones({3, 3});
+  const Tensor y = conv2d_stride2_direct(x, g);
+  EXPECT_EQ(y.shape(), (Shape{1, 1}));
+  double expect = 0;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) expect += x(i, j);
+  EXPECT_NEAR(y(0, 0), expect, 1e-5);
+}
+
+class PolyphaseEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, std::int64_t, bool>> {};
+
+TEST_P(PolyphaseEquivalence, MatchesDirectStride2) {
+  const auto [h, w, r, winograd] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(h * 1000 + w * 10 + r));
+  const Tensor x = Tensor::randn({h, w}, rng);
+  const Tensor g = Tensor::randn({r, r}, rng);
+  const Tensor ref = conv2d_stride2_direct(x, g);
+  const Tensor got = conv2d_stride2_polyphase(x, g, winograd);
+  EXPECT_EQ(ref.shape(), got.shape());
+  EXPECT_LE(Tensor::max_abs_diff(ref, got), 1e-3F)
+      << h << "x" << w << " r=" << r << " wino=" << winograd;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PolyphaseEquivalence,
+    ::testing::Values(std::tuple{8, 8, 3, false}, std::tuple{8, 8, 3, true},
+                      std::tuple{9, 11, 3, true}, std::tuple{12, 12, 3, true},
+                      std::tuple{11, 11, 5, false}, std::tuple{11, 11, 5, true},
+                      std::tuple{16, 13, 5, true}, std::tuple{7, 7, 5, true},
+                      std::tuple{6, 6, 1, true}));
+
+TEST(PolyphaseEquivalence, LargerOutputTileStillMatches) {
+  Rng rng(4);
+  const Tensor x = Tensor::randn({20, 20}, rng);
+  const Tensor g = Tensor::randn({5, 5}, rng);
+  const Tensor ref = conv2d_stride2_direct(x, g);
+  const Tensor got = conv2d_stride2_polyphase(x, g, true, /*m_out=*/4);
+  EXPECT_LE(Tensor::max_abs_diff(ref, got), 1e-3F);
+}
+
+TEST(PolyphaseEquivalence, TooSmallInputThrows) {
+  Rng rng(5);
+  const Tensor x = Tensor::randn({2, 2}, rng);
+  const Tensor g = Tensor::randn({3, 3}, rng);
+  EXPECT_THROW(conv2d_stride2_polyphase(x, g), std::invalid_argument);
+  EXPECT_THROW(conv2d_stride2_direct(x, g), std::invalid_argument);
+}
+
+TEST(Stride2Cost, WinogradPathSavesMultiplications) {
+  // 5x5 stride-2 on a 32x32 input: the 3x3 polyphase component through
+  // F(2x2, 3x3) replaces 9 mults per output with 4 on that component.
+  const Stride2Cost c = stride2_cost(32, 32, 5);
+  EXPECT_EQ(c.polyphase_direct_macs, c.direct_macs);  // rewrite is free
+  EXPECT_LT(c.polyphase_winograd_macs, static_cast<double>(c.direct_macs));
+  EXPECT_GT(c.winograd_speedup(), 1.15);
+}
+
+TEST(Stride2Cost, BiggerTilesSaveMore) {
+  const Stride2Cost m2 = stride2_cost(64, 64, 5, 2);
+  const Stride2Cost m4 = stride2_cost(64, 64, 5, 4);
+  EXPECT_LT(m4.polyphase_winograd_macs, m2.polyphase_winograd_macs);
+}
+
+TEST(Stride2Cost, RejectsBadGeometry) {
+  EXPECT_THROW(stride2_cost(2, 2, 3), std::invalid_argument);
+  EXPECT_THROW(stride2_cost(8, 8, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wa::wino

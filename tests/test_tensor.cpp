@@ -1,0 +1,206 @@
+// Unit tests for the dense tensor substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "tensor/io.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wa {
+namespace {
+
+TEST(Shape, NumelAndStrides) {
+  EXPECT_EQ(numel({2, 3, 4}), 24);
+  EXPECT_EQ(numel({}), 1);
+  EXPECT_EQ(strides_for({2, 3, 4}), (Shape{12, 4, 1}));
+  EXPECT_THROW(numel({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t(Shape{2, 3}, 1.5F);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_FLOAT_EQ(t(1, 2), 1.5F);
+  t.fill(0.F);
+  EXPECT_FLOAT_EQ(t.sum(), 0.F);
+}
+
+TEST(Tensor, ValueMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1.F, 2.F}), std::invalid_argument);
+}
+
+TEST(Tensor, FromRows) {
+  Tensor t = Tensor::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(t.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(t(1, 0), 4.F);
+  EXPECT_THROW(Tensor::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Tensor, IndexingRoundTrip4d) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t(1, 2, 3, 4) = 42.F;
+  EXPECT_FLOAT_EQ(t.at(t.numel() - 1), 42.F);
+}
+
+TEST(Tensor, ArithmeticAndReductions) {
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{4, 4}, rng);
+  Tensor b = Tensor::ones(Shape{4, 4});
+  Tensor c = a + b;
+  EXPECT_NEAR(c.sum(), a.sum() + 16.F, 1e-4F);
+  Tensor d = c - b;
+  EXPECT_TRUE(Tensor::allclose(a, d, 1e-6F));
+  EXPECT_GE(a.abs_max(), std::fabs(a.mean()));
+  EXPECT_LE(a.min(), a.max());
+}
+
+TEST(Tensor, HadamardMatchesManual) {
+  Tensor a = Tensor::from_rows({{1, 2}, {3, 4}});
+  Tensor b = Tensor::from_rows({{5, 6}, {7, 8}});
+  Tensor c = a * b;
+  EXPECT_FLOAT_EQ(c(0, 0), 5.F);
+  EXPECT_FLOAT_EQ(c(1, 1), 32.F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::arange(12).reshape({3, 4});
+  EXPECT_FLOAT_EQ(t(2, 3), 11.F);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, TransposeIsInvolution) {
+  Rng rng(2);
+  Tensor t = Tensor::randn(Shape{3, 5}, rng);
+  EXPECT_TRUE(Tensor::allclose(t, t.transposed().transposed(), 0.F));
+  EXPECT_FLOAT_EQ(t.transposed()(4, 2), t(2, 4));
+}
+
+TEST(Tensor, ConcatAxis0And1) {
+  Tensor a = Tensor::from_rows({{1, 2}});
+  Tensor b = Tensor::from_rows({{3, 4}});
+  Tensor c0 = Tensor::concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c0(1, 1), 4.F);
+  Tensor c1 = Tensor::concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{1, 4}));
+  EXPECT_FLOAT_EQ(c1(0, 2), 3.F);
+}
+
+TEST(Tensor, ConcatChannelsAxis1For4d) {
+  Tensor a(Shape{2, 1, 2, 2}, 1.F);
+  Tensor b(Shape{2, 3, 2, 2}, 2.F);
+  Tensor c = Tensor::concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), (Shape{2, 4, 2, 2}));
+  EXPECT_FLOAT_EQ(c(0, 0, 0, 0), 1.F);
+  EXPECT_FLOAT_EQ(c(1, 3, 1, 1), 2.F);
+}
+
+TEST(Tensor, Slice0) {
+  Tensor t = Tensor::arange(12).reshape({4, 3});
+  Tensor s = t.slice0(1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(s(0, 0), 3.F);
+  EXPECT_THROW(t.slice0(3, 5), std::out_of_range);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  Tensor t(Shape{4}, 1.F);
+  EXPECT_EQ(t.argmax(), 0);
+  t.at(2) = 5.F;
+  EXPECT_EQ(t.argmax(), 2);
+}
+
+TEST(Matmul, MatchesManualSmall) {
+  Tensor a = Tensor::from_rows({{1, 2}, {3, 4}});
+  Tensor b = Tensor::from_rows({{5, 6}, {7, 8}});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.F);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.F);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.F);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.F);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+// Property: all transpose variants agree with explicit transposition.
+class GemmProperty : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmProperty, TransposeVariantsAgree) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 73 + n * 7 + k));
+  Tensor a = Tensor::randn(Shape{m, k}, rng);
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+  Tensor ref = matmul(a, b);
+  EXPECT_TRUE(Tensor::allclose(ref, matmul_tn(a.transposed(), b), 1e-3F));
+  EXPECT_TRUE(Tensor::allclose(ref, matmul_nt(a, b.transposed()), 1e-3F));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmProperty,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                                           std::tuple{7, 5, 3}, std::tuple{16, 16, 16},
+                                           std::tuple{33, 65, 17}, std::tuple{128, 64, 96},
+                                           std::tuple{1, 128, 256}, std::tuple{100, 1, 100}));
+
+TEST(Gemm, AlphaBetaAccumulate) {
+  Rng rng(3);
+  Tensor a = Tensor::randn(Shape{4, 5}, rng);
+  Tensor b = Tensor::randn(Shape{5, 6}, rng);
+  Tensor c = Tensor::ones(Shape{4, 6});
+  Tensor expect = matmul(a, b) * 2.F + c * 0.5F;
+  gemm_f32(false, false, 4, 6, 5, 2.F, a.raw(), b.raw(), 0.5F, c.raw());
+  EXPECT_TRUE(Tensor::allclose(expect, c, 1e-4F));
+}
+
+TEST(GemmBatched, MatchesLoop) {
+  Rng rng(4);
+  const std::int64_t batch = 3, m = 4, n = 5, k = 6;
+  Tensor a = Tensor::randn(Shape{batch, m, k}, rng);
+  Tensor b = Tensor::randn(Shape{batch, k, n}, rng);
+  Tensor c(Shape{batch, m, n});
+  gemm_batched_f32(false, false, batch, m, n, k, a.raw(), m * k, b.raw(), k * n, c.raw(), m * n);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    Tensor ai = a.slice0(i, i + 1).reshape({m, k});
+    Tensor bi = b.slice0(i, i + 1).reshape({k, n});
+    Tensor ci = c.slice0(i, i + 1).reshape({m, n});
+    EXPECT_TRUE(Tensor::allclose(ci, matmul(ai, bi), 1e-4F));
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.normal(), b.normal());
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.categorical({0.0, 1.0, 0.0}) == 1) ++hits;
+  }
+  EXPECT_EQ(hits, 1000);
+}
+
+TEST(TensorIo, MapRoundTrip) {
+  Rng rng(5);
+  std::map<std::string, Tensor> m;
+  m["a.weight"] = Tensor::randn(Shape{3, 4}, rng);
+  m["b.bias"] = Tensor::randn(Shape{7}, rng);
+  const std::string path = ::testing::TempDir() + "/ckpt.bin";
+  save_tensor_map(path, m);
+  auto loaded = load_tensor_map(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(Tensor::allclose(loaded.at("a.weight"), m.at("a.weight"), 0.F));
+  EXPECT_TRUE(Tensor::allclose(loaded.at("b.bias"), m.at("b.bias"), 0.F));
+}
+
+TEST(TensorIo, MissingFileThrows) {
+  EXPECT_THROW(load_tensor_map("/nonexistent/path/x.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wa

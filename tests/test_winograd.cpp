@@ -1,0 +1,211 @@
+// Property tests for the Cook-Toom construction and Winograd references.
+//
+// The central identity — Aᵀ[(G g) ⊙ (Bᵀ d)] equals direct correlation — is
+// checked in FP64 for every F(m, r) the paper uses (3×3 filters with m ∈
+// {2,4,6}; 5×5 filters for the LeNet experiments) plus extras, and the 2-D
+// lift against direct 2-D correlation. The error analyzer is then checked to
+// reproduce the paper's motivating observations (error grows with tile size,
+// explodes under quantization).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "winograd/cook_toom.hpp"
+#include "winograd/point_search.hpp"
+#include "winograd/winograd_ref.hpp"
+
+namespace wa::wino {
+namespace {
+
+// ---- construction ---------------------------------------------------------
+
+TEST(CookToom, RejectsBadInputs) {
+  EXPECT_THROW(cook_toom_1d(2, 3, {0.0}), std::invalid_argument);        // wrong count
+  EXPECT_THROW(cook_toom_1d(2, 3, {0.0, 1.0, 1.0}), std::invalid_argument);  // duplicate
+  EXPECT_THROW(cook_toom_1d(0, 3, {}), std::invalid_argument);
+}
+
+TEST(CookToom, F23MatrixShapes) {
+  const auto td = cook_toom_1d(2, 3, default_points(4));
+  EXPECT_EQ(td.g_mat.size(), 4u);
+  EXPECT_EQ(td.g_mat[0].size(), 3u);
+  EXPECT_EQ(td.bt_mat.size(), 4u);
+  EXPECT_EQ(td.bt_mat[0].size(), 4u);
+  EXPECT_EQ(td.at_mat.size(), 2u);
+  EXPECT_EQ(td.at_mat[0].size(), 4u);
+}
+
+TEST(DefaultPoints, DistinctAndSized) {
+  for (int n : {4, 6, 8, 10, 12}) {
+    const auto pts = default_points(n);
+    EXPECT_EQ(static_cast<int>(pts.size()), n - 1);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      for (std::size_t j = i + 1; j < pts.size(); ++j) EXPECT_NE(pts[i], pts[j]);
+  }
+}
+
+TEST(PolyMul, MatchesManual) {
+  // (1 + x)(2 - x) = 2 + x - x².
+  const auto p = poly_mul({1, 1}, {2, -1});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 2);
+  EXPECT_DOUBLE_EQ(p[1], 1);
+  EXPECT_DOUBLE_EQ(p[2], -1);
+}
+
+// ---- 1-D identity in FP64 --------------------------------------------------
+
+class Winograd1dIdentity : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Winograd1dIdentity, MatchesDirectCorrelation) {
+  const auto [m, r] = GetParam();
+  const auto td = cook_toom_1d(m, r, default_points(m + r - 1));
+  Rng rng(static_cast<std::uint64_t>(m * 100 + r));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> d(static_cast<std::size_t>(m + r - 1));
+    std::vector<double> g(static_cast<std::size_t>(r));
+    for (auto& v : d) v = rng.normal();
+    for (auto& v : g) v = rng.normal();
+    const auto direct = correlate_1d_d(d, g);
+    const auto wino = winograd_1d_d(td, d, g);
+    ASSERT_EQ(direct.size(), wino.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_NEAR(direct[i], wino[i], 1e-9) << "F(" << m << "," << r << ") output " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, Winograd1dIdentity,
+    ::testing::Values(std::pair{2, 3}, std::pair{4, 3}, std::pair{6, 3},  // the paper's F2/F4/F6
+                      std::pair{2, 5}, std::pair{4, 5}, std::pair{6, 5},  // LeNet 5x5 configs
+                      std::pair{1, 3}, std::pair{3, 3}, std::pair{5, 3},
+                      std::pair{2, 2}, std::pair{4, 4}, std::pair{8, 3}),
+    [](const auto& info) {
+      return "F" + std::to_string(info.param.first) + "x" + std::to_string(info.param.second);
+    });
+
+// ---- 2-D equivalence --------------------------------------------------------
+
+class Winograd2dEquivalence : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Winograd2dEquivalence, FullImageMatchesDirect) {
+  const auto [m, r, h, w] = GetParam();
+  const Transforms tr = make_transforms(m, r);
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + r * 100 + h * 10 + w));
+  const Tensor input = Tensor::randn({h, w}, rng);
+  const Tensor filter = Tensor::randn({r, r}, rng);
+  const Tensor direct = correlate_2d(input, filter);
+  const Tensor wino = winograd_conv_2d(tr, input, filter);
+  // FP32 tolerance scales with tile size (that is the paper's point!), but
+  // remains small in absolute terms for sane input magnitudes.
+  const float tol = 1e-3F * static_cast<float>(m + r);
+  EXPECT_LE(Tensor::max_abs_diff(direct, wino), tol)
+      << "F(" << m << "," << r << ") on " << h << "x" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Winograd2dEquivalence,
+                         ::testing::Values(std::tuple{2, 3, 8, 8}, std::tuple{2, 3, 9, 11},
+                                           std::tuple{4, 3, 12, 12}, std::tuple{4, 3, 10, 13},
+                                           std::tuple{6, 3, 16, 16}, std::tuple{6, 3, 13, 17},
+                                           std::tuple{2, 5, 12, 12}, std::tuple{4, 5, 14, 15},
+                                           std::tuple{6, 5, 20, 20}));
+
+TEST(Winograd2d, TileEdgePaddingIsZeroNotGarbage) {
+  // Output sizes that do not divide by m exercise the edge-waste path.
+  const Transforms tr = make_transforms(4, 3);
+  Rng rng(7);
+  const Tensor input = Tensor::randn({7, 7}, rng);  // out 5x5, tiles of 4 -> ragged
+  const Tensor filter = Tensor::randn({3, 3}, rng);
+  EXPECT_LE(Tensor::max_abs_diff(correlate_2d(input, filter), winograd_conv_2d(tr, input, filter)),
+            5e-3F);
+}
+
+TEST(Winograd2d, RejectsMismatchedFilter) {
+  const Transforms tr = make_transforms(2, 3);
+  EXPECT_THROW(winograd_conv_2d(tr, Tensor::ones({8, 8}), Tensor::ones({5, 5})),
+               std::invalid_argument);
+}
+
+// ---- numerical error behaviour (the paper's Table 1 motivation) -------------
+
+TEST(NumericalError, GrowsWithTileSizeFp32) {
+  Rng rng(11);
+  const auto e2 = winograd_error(make_transforms(2, 3), quant::QuantSpec{32}, 200, rng);
+  const auto e4 = winograd_error(make_transforms(4, 3), quant::QuantSpec{32}, 200, rng);
+  const auto e6 = winograd_error(make_transforms(6, 3), quant::QuantSpec{32}, 200, rng);
+  EXPECT_LT(e2.rel_rmse, e4.rel_rmse);
+  EXPECT_LT(e4.rel_rmse, e6.rel_rmse);
+  EXPECT_LT(e6.rel_rmse, 1e-3);  // still fine in fp32 — exactly the paper's story
+}
+
+TEST(NumericalError, ExplodesUnderInt8ForLargeTiles) {
+  Rng rng(12);
+  const auto f2 = winograd_error(make_transforms(2, 3), quant::QuantSpec{8}, 200, rng);
+  const auto f6 = winograd_error(make_transforms(6, 3), quant::QuantSpec{8}, 200, rng);
+  EXPECT_GT(f6.rel_rmse, 3.0 * f2.rel_rmse);
+  EXPECT_GT(f6.rel_rmse, 0.05);  // F6@int8 is badly wrong, cf. Table 1 (11% acc)
+}
+
+TEST(NumericalError, Int16MildForF2) {
+  Rng rng(13);
+  const auto f2 = winograd_error(make_transforms(2, 3), quant::QuantSpec{16}, 100, rng);
+  EXPECT_LT(f2.rel_rmse, 0.01);
+}
+
+TEST(NumericalError, FiveByFiveWorseThanThreeByThree) {
+  // Larger filters need more points -> worse conditioning (Fig. 5 story).
+  Rng rng(14);
+  const auto f33 = winograd_error(make_transforms(4, 3), quant::QuantSpec{8}, 150, rng);
+  const auto f55 = winograd_error(make_transforms(4, 5), quant::QuantSpec{8}, 150, rng);
+  EXPECT_GT(f55.rel_rmse, f33.rel_rmse);
+}
+
+// ---- transform sparsity (A.2 dense-transform overhead) ----------------------
+
+TEST(MatrixCost, DefaultF2TransformsAreSparse) {
+  const Transforms tr = make_transforms(2, 3);
+  const auto bt = matrix_cost(tr.bt_mat);
+  const auto at = matrix_cost(tr.at_mat);
+  EXPECT_GT(bt.zeros, 0);
+  EXPECT_GT(at.zeros, 0);
+  // F2's Bᵀ/Aᵀ are ±1/0 only: no general multiplies at all.
+  EXPECT_EQ(bt.general, 0);
+  EXPECT_EQ(at.general, 0);
+}
+
+TEST(MatrixCost, DenseMatrixCostsMultiplies) {
+  Rng rng(15);
+  const auto c = matrix_cost(Tensor::randn({4, 4}, rng));
+  EXPECT_EQ(c.zeros, 0);
+  EXPECT_EQ(c.general, 16);
+  EXPECT_DOUBLE_EQ(c.multiply_fraction(), 1.0);
+}
+
+// ---- point search ------------------------------------------------------------
+
+TEST(PointSearch, CandidatesAreValid) {
+  for (int n : {4, 6, 8, 10}) {
+    const auto cands = candidate_point_sets(n);
+    EXPECT_GE(cands.size(), 2u) << "n=" << n;
+    for (const auto& c : cands) {
+      EXPECT_NO_THROW(make_transforms(n - 2, 3, c));  // m = n - r + 1 with r=3
+    }
+  }
+}
+
+TEST(PointSearch, RanksByQuantizedError) {
+  Rng rng(16);
+  const auto ranked = search_points(4, 3, candidate_point_sets(6), quant::QuantSpec{8}, 60, rng);
+  ASSERT_GE(ranked.size(), 2u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].score, ranked[i].score);
+  }
+}
+
+TEST(PointSearch, PointsToStringReadable) {
+  EXPECT_EQ(points_to_string({0, 1, -1}), "{0, 1, -1}");
+}
+
+}  // namespace
+}  // namespace wa::wino
