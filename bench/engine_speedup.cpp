@@ -1,0 +1,109 @@
+// Engine speedup harness: the seed per-call Winograd paths (U = G g Gᵀ
+// rebuilt every forward, per-call heap allocations) against the cached-U,
+// arena-backed prepared paths, on the layer shapes of the Fig. 7 latency
+// grid (batch 1, 3x3, pad 1, output size == input size).
+//
+// This is the repo's regression trail for the LANCE-style precomputation:
+// the prepared path must stay >= 1.3x on the grid's Winograd-favourable
+// shapes (small/medium tile counts, where the weight transform and the
+// allocator traffic are a real fraction of the forward).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "backend/conv_kernels.hpp"
+#include "backend/conv_kernels_s8.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace {
+
+using namespace wa;
+
+backend::ConvGeometry geom(std::int64_t cin, std::int64_t cout, std::int64_t hw) {
+  backend::ConvGeometry g;
+  g.batch = 1;
+  g.in_channels = cin;
+  g.out_channels = cout;
+  g.height = hw;
+  g.width = hw;
+  g.kernel = 3;
+  g.pad = 1;
+  return g;
+}
+
+/// Median-of-reps wall time of f(), warmed up once.
+double time_ms(const std::function<void()>& f) {
+  using clock = std::chrono::steady_clock;
+  f();  // warm-up (arena growth, page faults)
+  std::vector<double> runs;
+  double total = 0.0;
+  while (runs.size() < 21 && (total < 300.0 || runs.size() < 5)) {
+    const auto t0 = clock::now();
+    f();
+    const double ms = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    runs.push_back(ms);
+    total += ms;
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[runs.size() / 2];
+}
+
+struct GridPoint {
+  std::int64_t cin, cout, hw;
+  int m;  // Winograd output tile (F2 / F4)
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Engine speedup — seed per-call path vs cached-U + arena (Fig. 7 shapes)\n");
+  std::printf("%-22s %-4s | %12s %12s %7s | %12s %12s %7s\n", "shape", "cfg", "int8/call",
+              "int8/cached", "ratio", "fp32/call", "fp32/cached", "ratio");
+
+  const std::vector<GridPoint> grid = {
+      {3, 32, 8, 2},    {3, 32, 16, 2},   {32, 64, 8, 2},   {32, 64, 16, 2},
+      {32, 64, 24, 2},  {128, 192, 8, 2}, {128, 192, 16, 2}, {128, 192, 8, 4},
+      {128, 192, 16, 4}, {256, 512, 8, 4},
+  };
+
+  Rng rng(42);
+  double worst_int8 = 1e9, worst_fp32 = 1e9;
+  double geo_int8 = 1.0, geo_fp32 = 1.0;
+  for (const auto& p : grid) {
+    const auto g = geom(p.cin, p.cout, p.hw);
+    const auto tr = wino::make_transforms(p.m, 3);
+    const Tensor w = Tensor::randn({p.cout, p.cin, 3, 3}, rng, 0.3F);
+    const Tensor x = Tensor::randn({1, p.cin, p.hw, p.hw}, rng);
+    const backend::QTensor qx = backend::quantize_s8(x);
+
+    const auto prepared = backend::prepare_winograd_weights_s8(w, tr);
+    backend::WinogradStageScales scales;
+    scales.weights_transformed = prepared.scale;
+    const Tensor u = backend::winograd_transform_weights(w, tr);
+
+    const double s8_seed = time_ms([&] { backend::winograd_conv_s8(qx, w, g, tr, scales); });
+    const double s8_cached =
+        time_ms([&] { backend::winograd_conv_s8_prepared(qx, prepared, g, tr, scales); });
+    const double f32_seed = time_ms([&] { backend::winograd_conv(x, w, g, tr); });
+    const double f32_cached = time_ms([&] { backend::winograd_conv_prepared(x, u, g, tr); });
+
+    const double r8 = s8_seed / s8_cached;
+    const double r32 = f32_seed / f32_cached;
+    worst_int8 = std::min(worst_int8, r8);
+    worst_fp32 = std::min(worst_fp32, r32);
+    geo_int8 *= r8;
+    geo_fp32 *= r32;
+    std::printf("%4lld->%-4lld out=%-6lld F%-3d | %9.3f ms %9.3f ms %6.2fx | %9.3f ms %9.3f ms %6.2fx\n",
+                static_cast<long long>(p.cin), static_cast<long long>(p.cout),
+                static_cast<long long>(p.hw), p.m, s8_seed, s8_cached, r8, f32_seed, f32_cached,
+                r32);
+  }
+  const double n = static_cast<double>(grid.size());
+  std::printf("\ngeomean ratio: int8 %.2fx, fp32 %.2fx   worst: int8 %.2fx, fp32 %.2fx\n",
+              std::pow(geo_int8, 1.0 / n), std::pow(geo_fp32, 1.0 / n), worst_int8, worst_fp32);
+  std::printf("(target: >= 1.3x on the transform-bound shapes; GEMM-bound shapes trend to 1x)\n");
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "backend/perf_counters.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/gemm.hpp"
 #include "winograd/small_mat.hpp"
 
@@ -204,9 +206,11 @@ Tensor winograd_transform_weights(const Tensor& weights, const wino::Transforms&
   const std::int64_t k = weights.size(0), c = weights.size(1);
   const std::int64_t t = tr.tile;
   if (t > wino::kMaxTile) throw std::invalid_argument("winograd_transform_weights: tile too large");
+  count_weight_transform();
   Tensor u(Shape{t * t, k, c});
-  float tmp[wino::kSmallMatCap], gg[wino::kSmallMatCap];
+#pragma omp parallel for schedule(static)
   for (std::int64_t ki = 0; ki < k; ++ki) {
+    float tmp[wino::kSmallMatCap], gg[wino::kSmallMatCap];
     for (std::int64_t ci = 0; ci < c; ++ci) {
       const float* filt = weights.raw() + (ki * c + ci) * tr.r * tr.r;
       wino::smm_sandwich(tr.g_mat.raw(), tr.tile, tr.r, filt, tmp, gg);
@@ -219,67 +223,83 @@ Tensor winograd_transform_weights(const Tensor& weights, const wino::Transforms&
 Tensor winograd_conv(const Tensor& input, const Tensor& weights, const ConvGeometry& g,
                      const wino::Transforms& tr) {
   check_shapes(input, weights, g, "winograd_conv");
+  // U: [t*t, K, C] (amortizable across inferences — winograd_conv_prepared
+  // is the serving path that actually amortizes it).
+  return winograd_conv_prepared(input, winograd_transform_weights(weights, tr), g, tr);
+}
+
+Tensor winograd_conv_prepared(const Tensor& input, const Tensor& u, const ConvGeometry& g,
+                              const wino::Transforms& tr) {
+  g.validate();
   if (g.groups != 1) throw std::invalid_argument("winograd_conv: groups must be 1 (split upstream)");
   if (g.kernel != tr.r) throw std::invalid_argument("winograd_conv: kernel != transform r");
+  if (input.shape() != Shape{g.batch, g.in_channels, g.height, g.width}) {
+    throw std::invalid_argument("winograd_conv_prepared: input shape " +
+                                to_string(input.shape()) + " does not match geometry");
+  }
+  if (u.shape() != Shape{tr.tile * tr.tile, g.out_channels, g.in_channels}) {
+    throw std::invalid_argument("winograd_conv_prepared: U shape " + to_string(u.shape()) +
+                                " does not match geometry");
+  }
 
   const std::int64_t oh = g.out_height(), ow = g.out_width();
   const std::int64_t t = tr.tile, m = tr.m;
   const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
   const std::int64_t tiles = g.batch * th * tw;
 
-  // 1) U: [t*t, K, C] (amortizable across inferences).
-  const Tensor u = winograd_transform_weights(weights, tr);
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
 
-  // 2) V: [t*t, C, tiles] — transform every input tile.
-  Tensor v(Shape{t * t, g.in_channels, tiles});
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t c = 0; c < g.in_channels; ++c) {
-      float patch[wino::kSmallMatCap], tmp[wino::kSmallMatCap], bt[wino::kSmallMatCap];
-      for (std::int64_t ti = 0; ti < th; ++ti) {
-        for (std::int64_t tj = 0; tj < tw; ++tj) {
-          const std::int64_t i0 = ti * m - g.pad, j0 = tj * m - g.pad;
-          for (std::int64_t a = 0; a < t; ++a) {
-            for (std::int64_t b = 0; b < t; ++b) {
-              const std::int64_t ii = i0 + a, jj = j0 + b;
-              patch[a * t + b] = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
-                                     ? input(n, c, ii, jj)
-                                     : 0.F;
-            }
+  // 1) V: [t*t, C, tiles] — scatter every input tile, in the arena.
+  float* v = arena.alloc<float>(t * t * g.in_channels * tiles);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t nc = 0; nc < g.batch * g.in_channels; ++nc) {
+    const std::int64_t n = nc / g.in_channels, c = nc % g.in_channels;
+    float patch[wino::kSmallMatCap], tmp[wino::kSmallMatCap], bt[wino::kSmallMatCap];
+    for (std::int64_t ti = 0; ti < th; ++ti) {
+      for (std::int64_t tj = 0; tj < tw; ++tj) {
+        const std::int64_t i0 = ti * m - g.pad, j0 = tj * m - g.pad;
+        for (std::int64_t a = 0; a < t; ++a) {
+          for (std::int64_t b = 0; b < t; ++b) {
+            const std::int64_t ii = i0 + a, jj = j0 + b;
+            patch[a * t + b] = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
+                                   ? input(n, c, ii, jj)
+                                   : 0.F;
           }
-          wino::smm_sandwich(tr.bt_mat.raw(), tr.tile, tr.tile, patch, tmp, bt);
-          const std::int64_t tile_idx = (n * th + ti) * tw + tj;
-          for (std::int64_t a = 0; a < t * t; ++a) v(a, c, tile_idx) = bt[a];
         }
+        wino::smm_sandwich(tr.bt_mat.raw(), tr.tile, tr.tile, patch, tmp, bt);
+        const std::int64_t tile_idx = (n * th + ti) * tw + tj;
+        for (std::int64_t a = 0; a < t * t; ++a) v[(a * g.in_channels + c) * tiles + tile_idx] = bt[a];
       }
     }
   }
 
-  // 3) M: t² GEMMs [K, C] x [C, tiles] -> [t*t, K, tiles].
-  Tensor mm(Shape{t * t, g.out_channels, tiles});
+  // 2) M: t² GEMMs [K, C] x [C, tiles] -> [t*t, K, tiles].
+  float* mm = arena.alloc<float>(t * t * g.out_channels * tiles);
   gemm_batched_f32(false, false, t * t, g.out_channels, tiles, g.in_channels, u.raw(),
-                   g.out_channels * g.in_channels, v.raw(), g.in_channels * tiles, mm.raw(),
+                   g.out_channels * g.in_channels, v, g.in_channels * tiles, mm,
                    g.out_channels * tiles);
 
-  // 4) Y = Aᵀ M A per (k, tile), scattered into the valid output region.
+  // 3) Y = Aᵀ M A per (k, tile), gathered into the valid output region.
   Tensor out(Shape{g.batch, g.out_channels, oh, ow});
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t k = 0; k < g.out_channels; ++k) {
-      float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
-      for (std::int64_t ti = 0; ti < th; ++ti) {
-        for (std::int64_t tj = 0; tj < tw; ++tj) {
-          const std::int64_t tile_idx = (n * th + ti) * tw + tj;
-          for (std::int64_t a = 0; a < t * t; ++a) mtile[a] = mm(a, k, tile_idx);
-          wino::smm_sandwich(tr.at_mat.raw(), tr.m, tr.tile, mtile, tmp, y);  // [m, m]
-          for (std::int64_t a = 0; a < m; ++a) {
-            const std::int64_t oi = ti * m + a;
-            if (oi >= oh) break;
-            for (std::int64_t b = 0; b < m; ++b) {
-              const std::int64_t oj = tj * m + b;
-              if (oj >= ow) break;
-              out(n, k, oi, oj) = y[a * m + b];
-            }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t nk = 0; nk < g.batch * g.out_channels; ++nk) {
+    const std::int64_t n = nk / g.out_channels, k = nk % g.out_channels;
+    float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
+    for (std::int64_t ti = 0; ti < th; ++ti) {
+      for (std::int64_t tj = 0; tj < tw; ++tj) {
+        const std::int64_t tile_idx = (n * th + ti) * tw + tj;
+        for (std::int64_t a = 0; a < t * t; ++a) {
+          mtile[a] = mm[(a * g.out_channels + k) * tiles + tile_idx];
+        }
+        wino::smm_sandwich(tr.at_mat.raw(), tr.m, tr.tile, mtile, tmp, y);  // [m, m]
+        for (std::int64_t a = 0; a < m; ++a) {
+          const std::int64_t oi = ti * m + a;
+          if (oi >= oh) break;
+          for (std::int64_t b = 0; b < m; ++b) {
+            const std::int64_t oj = tj * m + b;
+            if (oj >= ow) break;
+            out(n, k, oi, oj) = y[a * m + b];
           }
         }
       }

@@ -48,6 +48,14 @@ Tensor im2col_conv(const Tensor& input, const Tensor& weights, const ConvGeometr
 Tensor winograd_conv(const Tensor& input, const Tensor& weights, const ConvGeometry& g,
                      const wino::Transforms& tr);
 
+/// Winograd convolution from pre-transformed weights `u` [t*t, K, C]
+/// (winograd_transform_weights output). This is the serving path: U is
+/// computed once at load and reused across forwards, and every intermediate
+/// (V, M) lives in the calling thread's ScratchArena instead of fresh
+/// heap allocations.
+Tensor winograd_conv_prepared(const Tensor& input, const Tensor& u, const ConvGeometry& g,
+                              const wino::Transforms& tr);
+
 /// Transform weights [K, C, r, r] to the Winograd domain: [t*t, K, C],
 /// laid out so that slice (xy) is the [K, C] GEMM operand. This is the
 /// "GgGᵀ, amortized across inferences" precomputation.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tensor/arena.hpp"
 #include "winograd/small_mat.hpp"
 
 namespace wa::backend {
@@ -29,32 +30,60 @@ std::int8_t clamp_s8(float v) {
 }
 }  // namespace
 
+Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights) {
+  if (weights.shape.empty()) throw std::invalid_argument("prepare_im2row_weights_s8: empty weights");
+  Im2rowWeightsS8 w;
+  w.out_channels = weights.shape[0];
+  w.patch = weights.numel() / w.out_channels;
+  w.scale = weights.scale;
+  w.wt.resize(static_cast<std::size_t>(w.patch * w.out_channels));
+  for (std::int64_t k = 0; k < w.out_channels; ++k)
+    for (std::int64_t p = 0; p < w.patch; ++p)
+      w.wt[static_cast<std::size_t>(p * w.out_channels + k)] =
+          weights.data[static_cast<std::size_t>(k * w.patch + p)];
+  return w;
+}
+
 QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvGeometry& g,
                        float out_scale, const Tensor* bias) {
+  return im2row_conv_s8_prepared(input, prepare_im2row_weights_s8(weights), g, out_scale, bias);
+}
+
+QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& weights,
+                                const ConvGeometry& g, float out_scale, const Tensor* bias) {
   g.validate();
   if (g.groups != 1) throw std::invalid_argument("im2row_conv_s8: groups must be 1");
-  const std::int64_t oh = g.out_height(), ow = g.out_width();
   const std::int64_t patch = g.in_channels * g.kernel * g.kernel;
+  if (weights.patch != patch || weights.out_channels != g.out_channels) {
+    throw std::invalid_argument("im2row_conv_s8: prepared weights do not match geometry");
+  }
+  const std::int64_t oh = g.out_height(), ow = g.out_width();
   const std::int64_t rows = g.batch * oh * ow;
+  if (input.shape != Shape{g.batch, g.in_channels, g.height, g.width}) {
+    throw std::invalid_argument("im2row_conv_s8: input shape " + to_string(input.shape) +
+                                " does not match geometry");
+  }
+
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
 
   // Lower patches directly in int8 (zero padding stays zero-level: symmetric
   // quantization has no zero-point offset).
-  std::vector<std::int8_t> lowered(static_cast<std::size_t>(rows * patch), 0);
+  std::int8_t* lowered = arena.alloc<std::int8_t>(rows * patch);
 #pragma omp parallel for collapse(2) schedule(static)
   for (std::int64_t n = 0; n < g.batch; ++n) {
     for (std::int64_t i = 0; i < oh; ++i) {
       for (std::int64_t j = 0; j < ow; ++j) {
-        std::int8_t* dst = lowered.data() + ((n * oh + i) * ow + j) * patch;
+        std::int8_t* dst = lowered + ((n * oh + i) * ow + j) * patch;
         for (std::int64_t c = 0; c < g.in_channels; ++c) {
           for (std::int64_t fi = 0; fi < g.kernel; ++fi) {
             const std::int64_t ii = i + fi - g.pad;
             for (std::int64_t fj = 0; fj < g.kernel; ++fj) {
               const std::int64_t jj = j + fj - g.pad;
-              if (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width) {
-                *dst = input.data[static_cast<std::size_t>(
-                    ((n * g.in_channels + c) * g.height + ii) * g.width + jj)];
-              }
-              ++dst;
+              *dst++ = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
+                           ? input.data[static_cast<std::size_t>(
+                                 ((n * g.in_channels + c) * g.height + ii) * g.width + jj)]
+                           : std::int8_t{0};
             }
           }
         }
@@ -62,15 +91,8 @@ QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvG
     }
   }
 
-  // Weights as [patch, K] so the GEMM is [rows, patch] x [patch, K].
-  std::vector<std::int8_t> wt(static_cast<std::size_t>(patch * g.out_channels));
-  for (std::int64_t k = 0; k < g.out_channels; ++k)
-    for (std::int64_t p = 0; p < patch; ++p)
-      wt[static_cast<std::size_t>(p * g.out_channels + k)] =
-          weights.data[static_cast<std::size_t>(k * patch + p)];
-
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(rows * g.out_channels));
-  gemm_s8_s32(rows, g.out_channels, patch, lowered.data(), wt.data(), acc.data());
+  std::int32_t* acc = arena.alloc<std::int32_t>(rows * g.out_channels);
+  gemm_s8_s32(rows, g.out_channels, patch, lowered, weights.wt.data(), acc);
 
   // Requantize to int8 with a fixed-point multiplier. A bias, when present,
   // joins the accumulators as int32 levels at the accumulator scale
@@ -80,8 +102,9 @@ QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvG
     if (bias->numel() != g.out_channels) {
       throw std::invalid_argument("im2row_conv_s8: bias/channel mismatch");
     }
+#pragma omp parallel for schedule(static)
     for (std::int64_t row = 0; row < rows; ++row) {
-      std::int32_t* arow = acc.data() + row * g.out_channels;
+      std::int32_t* arow = acc + row * g.out_channels;
       for (std::int64_t k = 0; k < g.out_channels; ++k) {
         arow[k] += static_cast<std::int32_t>(std::nearbyint(bias->at(k) / acc_scale));
       }
@@ -90,7 +113,7 @@ QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvG
   float oscale = out_scale;
   if (oscale <= 0.F) {
     std::int32_t amax = 0;
-    for (std::int32_t v : acc) amax = std::max(amax, std::abs(v));
+    for (std::int64_t i = 0; i < rows * g.out_channels; ++i) amax = std::max(amax, std::abs(acc[i]));
     oscale = std::max(acc_scale * static_cast<float>(amax), 1e-12F) / 127.F;
   }
   const auto mult = quant::quantize_multiplier(static_cast<double>(acc_scale) / oscale);
@@ -99,10 +122,11 @@ QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvG
   out.shape = Shape{g.batch, g.out_channels, oh, ow};
   out.scale = oscale;
   out.data.resize(static_cast<std::size_t>(rows * g.out_channels));
+#pragma omp parallel for collapse(2) schedule(static)
   for (std::int64_t n = 0; n < g.batch; ++n) {
     for (std::int64_t i = 0; i < oh; ++i) {
       for (std::int64_t j = 0; j < ow; ++j) {
-        const std::int32_t* src = acc.data() + ((n * oh + i) * ow + j) * g.out_channels;
+        const std::int32_t* src = acc + ((n * oh + i) * ow + j) * g.out_channels;
         for (std::int64_t k = 0; k < g.out_channels; ++k) {
           const std::int32_t q = quant::saturate(quant::apply_multiplier(src[k], mult), 8);
           out.data[static_cast<std::size_t>(((n * g.out_channels + k) * oh + i) * ow + j)] =
@@ -114,64 +138,106 @@ QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvG
   return out;
 }
 
+WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
+                                              const wino::Transforms& tr, float scale) {
+  // U in FP32, then int8 at a single per-layer scale (the training-time Qx).
+  const Tensor u_f = winograd_transform_weights(weights_fp32, tr);  // [t*t, K, C]
+  WinogradWeightsS8 w;
+  w.out_channels = weights_fp32.size(0);
+  w.in_channels = weights_fp32.size(1);
+  w.tile = tr.tile;
+  w.scale = scale > 0.F ? scale : quant::scale_for(u_f.abs_max(), quant::QuantSpec{8});
+  w.u_q.resize(static_cast<std::size_t>(u_f.numel()));
+  for (std::int64_t i = 0; i < u_f.numel(); ++i) {
+    w.u_q[static_cast<std::size_t>(i)] = clamp_s8(u_f.at(i) / w.scale);
+  }
+  return w;
+}
+
 QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const ConvGeometry& g,
                          const wino::Transforms& tr, const WinogradStageScales& scales,
                          const Tensor* bias) {
+  return winograd_conv_s8_prepared(
+      input, prepare_winograd_weights_s8(weights_fp32, tr, scales.weights_transformed), g, tr,
+      scales, bias);
+}
+
+QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8& weights,
+                                  const ConvGeometry& g, const wino::Transforms& tr,
+                                  const WinogradStageScales& scales, const Tensor* bias) {
   g.validate();
   if (g.groups != 1) throw std::invalid_argument("winograd_conv_s8: groups must be 1");
   if (g.kernel != tr.r) throw std::invalid_argument("winograd_conv_s8: kernel != transform r");
+  if (weights.out_channels != g.out_channels || weights.in_channels != g.in_channels ||
+      weights.tile != tr.tile) {
+    throw std::invalid_argument("winograd_conv_s8: prepared weights do not match geometry");
+  }
+  if (input.shape != Shape{g.batch, g.in_channels, g.height, g.width}) {
+    throw std::invalid_argument("winograd_conv_s8: input shape " + to_string(input.shape) +
+                                " does not match geometry");
+  }
+  if (scales.weights_transformed > 0.F && scales.weights_transformed != weights.scale) {
+    // The U levels were baked at prepare time; a different frozen scale here
+    // would silently disagree with them.
+    throw std::invalid_argument(
+        "winograd_conv_s8: weights_transformed scale does not match the prepared weights");
+  }
   const std::int64_t oh = g.out_height(), ow = g.out_width();
   const std::int64_t t = tr.tile, m = tr.m;
   const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
   const std::int64_t tiles = g.batch * th * tw;
+  const float su = weights.scale;
 
-  // U in FP32, then int8 at a single per-layer scale (the training-time Qx).
-  const Tensor u_f = winograd_transform_weights(weights_fp32, tr);  // [t*t, K, C]
-  const float su = scales.weights_transformed > 0.F
-                       ? scales.weights_transformed
-                       : quant::scale_for(u_f.abs_max(), quant::QuantSpec{8});
-  std::vector<std::int8_t> u_q(static_cast<std::size_t>(u_f.numel()));
-  for (std::int64_t i = 0; i < u_f.numel(); ++i) u_q[static_cast<std::size_t>(i)] = clamp_s8(u_f.at(i) / su);
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
 
-  // V: dequantize input tile, transform in FP32, requantize to int8.
-  const Tensor in_f = dequantize(input);
-  Tensor v_f(Shape{t * t, g.in_channels, tiles});
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t c = 0; c < g.in_channels; ++c) {
-      float patch[wino::kSmallMatCap], tmp[wino::kSmallMatCap], bt[wino::kSmallMatCap];
-      for (std::int64_t ti = 0; ti < th; ++ti) {
-        for (std::int64_t tj = 0; tj < tw; ++tj) {
-          const std::int64_t i0 = ti * m - g.pad, j0 = tj * m - g.pad;
-          for (std::int64_t a = 0; a < t; ++a) {
-            for (std::int64_t b = 0; b < t; ++b) {
-              const std::int64_t ii = i0 + a, jj = j0 + b;
-              patch[a * t + b] = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
-                                     ? in_f(n, c, ii, jj)
-                                     : 0.F;
-            }
+  // V: dequantize each input tile on the fly (levels * scale — no full fp32
+  // copy of the activation), transform in FP32, requantize to int8.
+  float* v_f = arena.alloc<float>(t * t * g.in_channels * tiles);
+  const float in_scale = input.scale;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t nc = 0; nc < g.batch * g.in_channels; ++nc) {
+    const std::int64_t n = nc / g.in_channels, c = nc % g.in_channels;
+    const std::int8_t* plane = input.data.data() + (n * g.in_channels + c) * g.height * g.width;
+    float patch[wino::kSmallMatCap], tmp[wino::kSmallMatCap], bt[wino::kSmallMatCap];
+    for (std::int64_t ti = 0; ti < th; ++ti) {
+      for (std::int64_t tj = 0; tj < tw; ++tj) {
+        const std::int64_t i0 = ti * m - g.pad, j0 = tj * m - g.pad;
+        for (std::int64_t a = 0; a < t; ++a) {
+          for (std::int64_t b = 0; b < t; ++b) {
+            const std::int64_t ii = i0 + a, jj = j0 + b;
+            patch[a * t + b] = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
+                                   ? static_cast<float>(plane[ii * g.width + jj]) * in_scale
+                                   : 0.F;
           }
-          wino::smm_sandwich(tr.bt_mat.raw(), tr.tile, tr.tile, patch, tmp, bt);
-          const std::int64_t tile_idx = (n * th + ti) * tw + tj;
-          for (std::int64_t a = 0; a < t * t; ++a) v_f(a, c, tile_idx) = bt[a];
+        }
+        wino::smm_sandwich(tr.bt_mat.raw(), tr.tile, tr.tile, patch, tmp, bt);
+        const std::int64_t tile_idx = (n * th + ti) * tw + tj;
+        for (std::int64_t a = 0; a < t * t; ++a) {
+          v_f[(a * g.in_channels + c) * tiles + tile_idx] = bt[a];
         }
       }
     }
   }
-  const float sv = scales.input_transformed > 0.F
-                       ? scales.input_transformed
-                       : quant::scale_for(v_f.abs_max(), quant::QuantSpec{8});
-  std::vector<std::int8_t> v_q(static_cast<std::size_t>(v_f.numel()));
-  for (std::int64_t i = 0; i < v_f.numel(); ++i) v_q[static_cast<std::size_t>(i)] = clamp_s8(v_f.at(i) / sv);
+  float sv = scales.input_transformed;
+  if (sv <= 0.F) {
+    float amax = 0.F;
+    for (std::int64_t i = 0; i < t * t * g.in_channels * tiles; ++i) {
+      amax = std::max(amax, std::fabs(v_f[i]));
+    }
+    sv = quant::scale_for(amax, quant::QuantSpec{8});
+  }
+  std::int8_t* v_q = arena.alloc<std::int8_t>(t * t * g.in_channels * tiles);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < t * t * g.in_channels * tiles; ++i) v_q[i] = clamp_s8(v_f[i] / sv);
 
   // Hadamard stage: t² int8 GEMMs accumulating in int32.
-  std::vector<std::int32_t> m_acc(static_cast<std::size_t>(t * t * g.out_channels * tiles));
+  std::int32_t* m_acc = arena.alloc<std::int32_t>(t * t * g.out_channels * tiles);
 #pragma omp parallel for schedule(static)
   for (std::int64_t xy = 0; xy < t * t; ++xy) {
     gemm_s8_s32(g.out_channels, tiles, g.in_channels,
-                u_q.data() + xy * g.out_channels * g.in_channels,
-                v_q.data() + xy * g.in_channels * tiles,
-                m_acc.data() + xy * g.out_channels * tiles);
+                weights.u_q.data() + xy * g.out_channels * g.in_channels,
+                v_q + xy * g.in_channels * tiles, m_acc + xy * g.out_channels * tiles);
   }
 
   // M requantized to int8 (scale sm), then output transform in FP32.
@@ -179,54 +245,57 @@ QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const
   float sm = scales.hadamard;
   if (sm <= 0.F) {
     std::int32_t amax = 0;
-    for (std::int32_t v : m_acc) amax = std::max(amax, std::abs(v));
+    for (std::int64_t i = 0; i < t * t * g.out_channels * tiles; ++i) {
+      amax = std::max(amax, std::abs(m_acc[i]));
+    }
     sm = std::max(m_acc_scale * static_cast<float>(amax), 1e-12F) / 127.F;
   }
   const auto m_mult = quant::quantize_multiplier(static_cast<double>(m_acc_scale) / sm);
 
-  Tensor out_f(Shape{g.batch, g.out_channels, oh, ow});
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t k = 0; k < g.out_channels; ++k) {
-      float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
-      for (std::int64_t ti = 0; ti < th; ++ti) {
-        for (std::int64_t tj = 0; tj < tw; ++tj) {
-          const std::int64_t tile_idx = (n * th + ti) * tw + tj;
-          for (std::int64_t ab = 0; ab < t * t; ++ab) {
-            const std::int32_t acc =
-                m_acc[static_cast<std::size_t>((ab * g.out_channels + k) * tiles + tile_idx)];
-            const std::int32_t q = quant::saturate(quant::apply_multiplier(acc, m_mult), 8);
-            mtile[ab] = static_cast<float>(q) * sm;
-          }
-          wino::smm_sandwich(tr.at_mat.raw(), tr.m, tr.tile, mtile, tmp, y);
-          for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a)
-            for (std::int64_t b = 0; b < m && tj * m + b < ow; ++b)
-              out_f(n, k, ti * m + a, tj * m + b) = y[a * m + b];
+  float* out_f = arena.alloc<float>(g.batch * g.out_channels * oh * ow);
+  const bool has_bias = bias != nullptr && !bias->empty();
+  if (has_bias && bias->numel() != g.out_channels) {
+    throw std::invalid_argument("winograd_conv_s8: bias/channel mismatch");
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t nk = 0; nk < g.batch * g.out_channels; ++nk) {
+    const std::int64_t n = nk / g.out_channels, k = nk % g.out_channels;
+    // The output transform runs in FP32, so the bias joins there, before the
+    // final requantization — same semantics as the training-time pipeline.
+    const float bv = has_bias ? bias->at(k) : 0.F;
+    float* oplane = out_f + nk * oh * ow;
+    float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
+    for (std::int64_t ti = 0; ti < th; ++ti) {
+      for (std::int64_t tj = 0; tj < tw; ++tj) {
+        const std::int64_t tile_idx = (n * th + ti) * tw + tj;
+        for (std::int64_t ab = 0; ab < t * t; ++ab) {
+          const std::int32_t acc = m_acc[(ab * g.out_channels + k) * tiles + tile_idx];
+          const std::int32_t q = quant::saturate(quant::apply_multiplier(acc, m_mult), 8);
+          mtile[ab] = static_cast<float>(q) * sm;
         }
+        wino::smm_sandwich(tr.at_mat.raw(), tr.m, tr.tile, mtile, tmp, y);
+        for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a)
+          for (std::int64_t b = 0; b < m && tj * m + b < ow; ++b)
+            oplane[(ti * m + a) * ow + tj * m + b] = y[a * m + b] + bv;
       }
     }
   }
 
-  // The output transform runs in FP32, so the bias joins there, before the
-  // final requantization — same semantics as the training-time pipeline.
-  if (bias != nullptr && !bias->empty()) {
-    if (bias->numel() != g.out_channels) {
-      throw std::invalid_argument("winograd_conv_s8: bias/channel mismatch");
+  float so = scales.output;
+  if (so <= 0.F) {
+    float amax = 0.F;
+    for (std::int64_t i = 0; i < g.batch * g.out_channels * oh * ow; ++i) {
+      amax = std::max(amax, std::fabs(out_f[i]));
     }
-    for (std::int64_t n = 0; n < g.batch; ++n)
-      for (std::int64_t k = 0; k < g.out_channels; ++k)
-        for (std::int64_t i = 0; i < oh; ++i)
-          for (std::int64_t j = 0; j < ow; ++j) out_f(n, k, i, j) += bias->at(k);
+    so = quant::scale_for(amax, quant::QuantSpec{8});
   }
-
-  const float so = scales.output > 0.F ? scales.output
-                                       : quant::scale_for(out_f.abs_max(), quant::QuantSpec{8});
   QTensor out;
-  out.shape = out_f.shape();
+  out.shape = Shape{g.batch, g.out_channels, oh, ow};
   out.scale = so;
-  out.data.resize(static_cast<std::size_t>(out_f.numel()));
-  for (std::int64_t i = 0; i < out_f.numel(); ++i) {
-    out.data[static_cast<std::size_t>(i)] = clamp_s8(out_f.at(i) / so);
+  out.data.resize(static_cast<std::size_t>(g.batch * g.out_channels * oh * ow));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < g.batch * g.out_channels * oh * ow; ++i) {
+    out.data[static_cast<std::size_t>(i)] = clamp_s8(out_f[i] / so);
   }
   return out;
 }

@@ -23,6 +23,24 @@ void gemm_s8_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8
 QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvGeometry& g,
                        float out_scale = -1.F, const Tensor* bias = nullptr);
 
+/// im2row weights repacked once at load: [K, C*r*r] -> [C*r*r, K] so the
+/// per-forward GEMM consumes them directly.
+struct Im2rowWeightsS8 {
+  std::vector<std::int8_t> wt;  // [patch, K]
+  float scale = 1.F;
+  std::int64_t out_channels = 0;
+  std::int64_t patch = 0;
+  bool empty() const { return wt.empty(); }
+};
+
+Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights);
+
+/// im2row convolution from prepared weights; the lowered patch matrix and
+/// int32 accumulators live in the calling thread's ScratchArena.
+QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& weights,
+                                const ConvGeometry& g, float out_scale = -1.F,
+                                const Tensor* bias = nullptr);
+
 /// Winograd int8 convolution: transforms in FP32 with per-stage int8
 /// requantization; Hadamard stage as t² int8 GEMMs with int32 accumulators.
 /// Per-stage scales can be provided (e.g. frozen from winograd-aware
@@ -37,5 +55,32 @@ struct WinogradStageScales {
 QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const ConvGeometry& g,
                          const wino::Transforms& tr, const WinogradStageScales& scales = {},
                          const Tensor* bias = nullptr);
+
+/// Winograd weights transformed AND quantized once at load: U = Qx(G g Gᵀ)
+/// as int8 levels [t*t, K, C] at `scale`. This is the LANCE-style
+/// precomputation — per forward only the input/Hadamard/output stages run.
+struct WinogradWeightsS8 {
+  std::vector<std::int8_t> u_q;  // [t*t, K, C]
+  float scale = 1.F;
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  std::int64_t tile = 0;
+  bool empty() const { return u_q.empty(); }
+};
+
+/// Build the cached transformed weights. `scale` <= 0 derives the scale from
+/// the transformed weights' abs-max (what a cold calibration would do);
+/// deployment passes the frozen training-time U-stage scale.
+WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
+                                              const wino::Transforms& tr, float scale = -1.F);
+
+/// Winograd int8 convolution from cached transformed weights. Identical
+/// numerics to winograd_conv_s8 with the same scales, but U is reused, the
+/// input tiles are dequantized on the fly (no full fp32 copy of the
+/// activation), and V / M / Y intermediates live in the ScratchArena.
+QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8& weights,
+                                  const ConvGeometry& g, const wino::Transforms& tr,
+                                  const WinogradStageScales& scales = {},
+                                  const Tensor* bias = nullptr);
 
 }  // namespace wa::backend

@@ -1,0 +1,7 @@
+#include "backend/perf_counters.hpp"
+
+namespace wa::backend {
+
+std::atomic<std::uint64_t> PerfCounters::weight_transforms{0};
+
+}  // namespace wa::backend

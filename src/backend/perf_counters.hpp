@@ -1,0 +1,25 @@
+// Hot-path instrumentation counters.
+//
+// The counters are cheap relaxed atomics bumped by the deployment kernels so
+// tests (and benches) can assert amortisation properties that latency alone
+// cannot pin down — e.g. that a prepared pipeline never recomputes
+// U = G g Gᵀ after load, no matter how many forwards run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace wa::backend {
+
+struct PerfCounters {
+  /// Full weight-transform computations (U = G g Gᵀ over all filters of one
+  /// layer). Cached-weight inference paths must keep this flat across
+  /// repeated forwards.
+  static std::atomic<std::uint64_t> weight_transforms;
+};
+
+inline void count_weight_transform() {
+  PerfCounters::weight_transforms.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace wa::backend

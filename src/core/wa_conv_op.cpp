@@ -1,9 +1,11 @@
 #include "core/wa_conv_op.hpp"
 
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "backend/perf_counters.hpp"
 #include "winograd/small_mat.hpp"
 #include "quant/quant.hpp"
 #include "tensor/gemm.hpp"
@@ -53,6 +55,39 @@ void apply_mask(Tensor& t, const std::vector<std::uint8_t>& mask) {
   }
 }
 
+/// FNV-1a over arbitrary bytes, word-at-a-time (the U-cache key).
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    h = (h ^ word) * kPrime;
+  }
+  for (; i < bytes; ++i) h = (h ^ p[i]) * kPrime;
+  return h;
+}
+
+/// Content key of everything stage 1 depends on.
+std::uint64_t u_cache_key(const Tensor& w, const Tensor& g, const Tensor* u_mask,
+                          const WaQuantStages& stages) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a(w.raw(), static_cast<std::size_t>(w.numel()) * sizeof(float), h);
+  h = fnv1a(g.raw(), static_cast<std::size_t>(g.numel()) * sizeof(float), h);
+  if (u_mask != nullptr && !u_mask->empty()) {
+    h = fnv1a(u_mask->raw(), static_cast<std::size_t>(u_mask->numel()) * sizeof(float), h);
+  }
+  const quant::QuantSpec& spec = stages.u_spec();
+  const struct {
+    float mn, mx;
+    std::int32_t init, bits, scheme;
+  } qx{stages.u.tracked_min(), stages.u.tracked_max(),
+       static_cast<std::int32_t>(stages.u.initialized()), spec.bits,
+       static_cast<std::int32_t>(spec.scheme)};
+  return fnv1a(&qx, sizeof(qx), h);
+}
+
 }  // namespace
 
 ag::Variable winograd_aware_conv2d(const ag::Variable& input, const ag::Variable& weight,
@@ -92,38 +127,60 @@ ag::Variable winograd_aware_conv2d(const ag::Variable& input, const ag::Variable
   auto saved = std::make_shared<Saved>();
 
   // ---- 1) weight transform U = Qx(G g Gᵀ) --------------------------------
-  Tensor u(Shape{groups, tt, kg, cg});
+  // In eval the whole stage is deterministic in (w, G, mask, observer state),
+  // so it is cached per layer and reused across forwards — a plain memcpy
+  // instead of the transform + fake-quant passes.
+  const bool use_u_cache = !training;
+  const std::uint64_t ckey =
+      use_u_cache ? u_cache_key(w, g_mat.value(), u_mask, stages) : 0;
+  Tensor u;
+  if (use_u_cache && stages.u_cache.valid && stages.u_cache.key == ckey) {
+    u = stages.u_cache.u;
+    saved->mask_u = stages.u_cache.mask_u;
+  } else {
+    u = Tensor(Shape{groups, tt, kg, cg});
+    backend::count_weight_transform();
 #pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t grp = 0; grp < groups; ++grp) {
-    for (std::int64_t k = 0; k < kg; ++k) {
-      float tmp[kSmallMatCap], gg[kSmallMatCap];
-      for (std::int64_t c = 0; c < cg; ++c) {
-        const float* filt = w.raw() + ((grp * kg + k) * cg + c) * r * r;
-        smm_sandwich(gm, ti_, ri_, filt, tmp, gg);  // [t, t]
-        for (std::int64_t ab = 0; ab < tt; ++ab) {
-          u.raw()[((grp * tt + ab) * kg + k) * cg + c] = gg[ab];
+    for (std::int64_t grp = 0; grp < groups; ++grp) {
+      for (std::int64_t k = 0; k < kg; ++k) {
+        float tmp[kSmallMatCap], gg[kSmallMatCap];
+        for (std::int64_t c = 0; c < cg; ++c) {
+          const float* filt = w.raw() + ((grp * kg + k) * cg + c) * r * r;
+          smm_sandwich(gm, ti_, ri_, filt, tmp, gg);  // [t, t]
+          for (std::int64_t ab = 0; ab < tt; ++ab) {
+            u.raw()[((grp * tt + ab) * kg + k) * cg + c] = gg[ab];
+          }
         }
       }
     }
-  }
-  fake_quant_stage(u, stages.u, stages.u_spec(), training, &saved->mask_u);
-  if (u_mask != nullptr && !u_mask->empty()) {
-    // Winograd-domain pruning: zero masked U entries and fold the mask into
-    // the STE mask so backward drops their gradients too (the pruned
-    // positions stay pruned through fine-tuning).
-    if (u_mask->shape() != u.shape()) {
-      throw std::invalid_argument("winograd_aware_conv2d: u_mask shape " +
-                                  to_string(u_mask->shape()) + " does not match U " +
-                                  to_string(u.shape()));
-    }
-    auto ud = u.data();
-    const auto md = u_mask->data();
-    if (saved->mask_u.empty()) saved->mask_u.assign(ud.size(), 1);
-    for (std::size_t i = 0; i < ud.size(); ++i) {
-      if (md[i] == 0.F) {
-        ud[i] = 0.F;
-        saved->mask_u[i] = 0;
+    fake_quant_stage(u, stages.u, stages.u_spec(), training, &saved->mask_u);
+    if (u_mask != nullptr && !u_mask->empty()) {
+      // Winograd-domain pruning: zero masked U entries and fold the mask into
+      // the STE mask so backward drops their gradients too (the pruned
+      // positions stay pruned through fine-tuning).
+      if (u_mask->shape() != u.shape()) {
+        throw std::invalid_argument("winograd_aware_conv2d: u_mask shape " +
+                                    to_string(u_mask->shape()) + " does not match U " +
+                                    to_string(u.shape()));
       }
+      auto ud = u.data();
+      const auto md = u_mask->data();
+      if (saved->mask_u.empty()) saved->mask_u.assign(ud.size(), 1);
+      for (std::size_t i = 0; i < ud.size(); ++i) {
+        if (md[i] == 0.F) {
+          ud[i] = 0.F;
+          saved->mask_u[i] = 0;
+        }
+      }
+    }
+    if (use_u_cache) {
+      stages.u_cache.u = u;
+      stages.u_cache.mask_u = saved->mask_u;
+      stages.u_cache.key = ckey;
+      stages.u_cache.valid = true;
+    } else {
+      // Training step: weights are moving, drop the stale entry.
+      stages.u_cache.invalidate();
     }
   }
 

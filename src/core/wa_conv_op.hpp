@@ -49,6 +49,21 @@ struct WaQuantStages {
   const quant::QuantSpec& v_spec() const { return spec_v ? *spec_v : spec; }
   const quant::QuantSpec& m_spec() const { return spec_m ? *spec_m : spec; }
   const quant::QuantSpec& y_spec() const { return spec_y ? *spec_y : spec; }
+
+  /// Inference-time cache of stage 1, U = Qx(G g Gᵀ) (plus the pruning mask
+  /// fold). Populated on the first eval forward and keyed on a content hash
+  /// of everything that determines U — weights, G, mask, U-observer state and
+  /// spec — so weight updates (optimizer steps, manual edits, gradcheck
+  /// perturbations) invalidate it automatically. Never consulted during
+  /// training: the U observer must keep observing there.
+  struct UCache {
+    Tensor u;                          // post-Qx (and post-mask) U
+    std::vector<std::uint8_t> mask_u;  // STE/prune mask matching `u`
+    std::uint64_t key = 0;
+    bool valid = false;
+    void invalidate() { valid = false; }
+  };
+  UCache u_cache;
 };
 
 /// Winograd-aware convolution.

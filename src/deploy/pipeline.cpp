@@ -40,11 +40,11 @@ QTensor run_conv(const ConvStage& st, QTensor x) {
   const backend::ConvGeometry g = conv_geometry(st, x.shape);
   QTensor y;
   if (nn::is_winograd(st.algo)) {
-    y = backend::winograd_conv_s8(x, st.weights_f, g, st.transforms, st.stage_scales,
-                                  st.bias.empty() ? nullptr : &st.bias);
+    y = backend::winograd_conv_s8_prepared(x, st.wino_cache, g, st.transforms, st.stage_scales,
+                                           st.bias.empty() ? nullptr : &st.bias);
   } else {
-    y = backend::im2row_conv_s8(x, st.weights_q, g, st.output_scale,
-                                st.bias.empty() ? nullptr : &st.bias);
+    y = backend::im2row_conv_s8_prepared(x, st.im2row_cache, g, st.output_scale,
+                                         st.bias.empty() ? nullptr : &st.bias);
   }
   return st.relu_after ? relu_s8(std::move(y)) : y;
 }
@@ -56,6 +56,26 @@ QTensor run_linear(const LinearStage& st, QTensor x) {
 }
 
 }  // namespace
+
+void ConvStage::prepare() {
+  if (nn::is_winograd(algo)) {
+    wino_cache =
+        backend::prepare_winograd_weights_s8(weights_f, transforms, stage_scales.weights_transformed);
+    // The derived scale is now frozen: per-forward scale rediscovery would
+    // otherwise disagree with the cached levels.
+    stage_scales.weights_transformed = wino_cache.scale;
+  } else {
+    im2row_cache = backend::prepare_im2row_weights_s8(weights_q);
+  }
+}
+
+void Int8Pipeline::push(Stage s) {
+  // Finalise weight caches at load so no forward ever pays for them.
+  if (auto* conv = std::get_if<ConvStage>(&s)) {
+    if (!conv->prepared()) conv->prepare();
+  }
+  stages_.push_back(std::move(s));
+}
 
 Tensor Int8Pipeline::run(const Tensor& input) const {
   if (stages_.empty()) throw std::invalid_argument("Int8Pipeline::run: empty pipeline");
@@ -81,6 +101,18 @@ Tensor Int8Pipeline::run(const Tensor& input) const {
         stage);
   }
   return backend::dequantize(cur);
+}
+
+Tensor Int8Pipeline::run_batched(const Tensor& input, std::int64_t micro_batch) const {
+  if (input.dim() < 1) throw std::invalid_argument("Int8Pipeline::run_batched: scalar input");
+  const std::int64_t n = input.size(0);
+  if (micro_batch <= 0 || micro_batch >= n) return run(input);
+  std::vector<Tensor> chunks;
+  chunks.reserve(static_cast<std::size_t>((n + micro_batch - 1) / micro_batch));
+  for (std::int64_t b0 = 0; b0 < n; b0 += micro_batch) {
+    chunks.push_back(run(input.slice0(b0, std::min(n, b0 + micro_batch))));
+  }
+  return Tensor::concat(chunks, 0);
 }
 
 std::vector<std::int64_t> Int8Pipeline::classify(const Tensor& input) const {

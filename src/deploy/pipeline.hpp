@@ -39,6 +39,14 @@ struct ConvStage {
   float output_scale = -1.F;       // frozen Qx(y) scale
   Tensor bias;                     // may be empty
   bool relu_after = false;
+
+  // Weight caches built once at load (Int8Pipeline::push calls prepare()):
+  // the Winograd path never recomputes U = G g Gᵀ per forward, the GEMM path
+  // never re-transposes its weight matrix per forward.
+  backend::WinogradWeightsS8 wino_cache;
+  backend::Im2rowWeightsS8 im2row_cache;
+  bool prepared() const { return !wino_cache.empty() || !im2row_cache.empty(); }
+  void prepare();
 };
 
 struct PoolStage {
@@ -58,16 +66,32 @@ struct LinearStage {
 
 using Stage = std::variant<ConvStage, PoolStage, FlattenStage, LinearStage>;
 
-/// A compiled integer-only network.
+/// A compiled integer-only network: the deployment-side inference engine.
+///
+/// push() finalises each stage at load time (weight transform + quantize +
+/// repack happen exactly once); run() then executes the scatter -> batched
+/// GEMM -> gather hot path allocation-free out of per-thread scratch arenas.
 class Int8Pipeline {
  public:
-  void push(Stage s) { stages_.push_back(std::move(s)); }
+  void push(Stage s);
   std::size_t size() const { return stages_.size(); }
   const std::vector<Stage>& stages() const { return stages_; }
 
   /// Run a float input end-to-end; returns dequantized logits [N, classes].
   /// Activations stay int8 between stages.
   Tensor run(const Tensor& input) const;
+
+  /// run() with the batch split into micro-batches of at most `micro_batch`
+  /// inputs. Caps the activation working set so a serving-sized batch stays
+  /// inside the cache hierarchy (and inside a bounded arena) instead of
+  /// scaling every intermediate with the full batch. micro_batch <= 0 runs
+  /// the whole batch at once.
+  ///
+  /// Bit-identical to run() when every stage scale is frozen (> 0). A stage
+  /// left with a dynamic scale (e.g. the final logits stage of
+  /// compile_lenet) derives it from each micro-batch's own statistics, so
+  /// outputs can differ from run() within quantization rounding.
+  Tensor run_batched(const Tensor& input, std::int64_t micro_batch) const;
 
   /// Argmax class per batch row.
   std::vector<std::int64_t> classify(const Tensor& input) const;

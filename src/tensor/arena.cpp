@@ -1,0 +1,77 @@
+#include "tensor/arena.hpp"
+
+#include <algorithm>
+
+namespace wa {
+
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t a) { return (v + a - 1) & ~(a - 1); }
+
+}  // namespace
+
+ScratchArena::Block ScratchArena::make_block(std::size_t size) {
+  Block b;
+  b.storage = std::make_unique<std::byte[]>(size + kAlign);
+  b.base = reinterpret_cast<std::byte*>(
+      align_up(reinterpret_cast<std::size_t>(b.storage.get()), kAlign));
+  b.size = size;
+  return b;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+void ScratchArena::release() {
+  blocks_.clear();
+  cur_block_ = 0;
+  cur_offset_ = 0;
+}
+
+std::byte* ScratchArena::alloc_bytes(std::size_t bytes) {
+  bytes = align_up(std::max<std::size_t>(bytes, 1), kAlign);
+  while (true) {
+    if (cur_block_ < blocks_.size()) {
+      Block& b = blocks_[cur_block_];
+      if (b.size - cur_offset_ >= bytes) {
+        std::byte* p = b.base + cur_offset_;
+        cur_offset_ += bytes;
+        return p;
+      }
+      if (cur_block_ + 1 < blocks_.size() && blocks_[cur_block_ + 1].size >= bytes) {
+        ++cur_block_;
+        cur_offset_ = 0;
+        continue;
+      }
+      // The remaining blocks are too small for this request and hold no live
+      // allocations (they sit past the bump frontier): replace them with one
+      // block big enough that the next pass over the same shapes stays in it.
+      blocks_.resize(cur_block_ + 1);
+    }
+    blocks_.push_back(make_block(std::max({bytes, kMinBlock, capacity() * 2})));
+    cur_block_ = blocks_.size() - 1;
+    cur_offset_ = 0;
+  }
+}
+
+void ScratchArena::rewind(std::size_t block, std::size_t offset) {
+  cur_block_ = block;
+  cur_offset_ = offset;
+  // Fully rewound with fragmented blocks: coalesce so future passes bump
+  // through one contiguous region instead of hopping blocks.
+  if (cur_block_ == 0 && cur_offset_ == 0 && blocks_.size() > 1) {
+    const std::size_t total = capacity();
+    blocks_.clear();
+    blocks_.push_back(make_block(total));
+  }
+}
+
+ScratchArena& ScratchArena::for_thread() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace wa

@@ -1,0 +1,78 @@
+// Reusable per-thread scratch memory for inference hot paths.
+//
+// The deployment kernels (scatter -> batched GEMM -> gather) used to allocate
+// fresh std::vector / Tensor storage on every call; at serving batch sizes
+// the allocator traffic dominates the small-tile transforms. A ScratchArena
+// is a bump allocator whose capacity persists across calls: the first forward
+// pays for the pages, every later forward reuses them.
+//
+// Usage contract: open a Scope, alloc<> freely inside it, and let the Scope
+// rewind everything on exit. Pointers obtained inside a Scope are invalid
+// after it closes. Scopes nest (inner rewinds to its own mark). The
+// per-thread arena from for_thread() makes OpenMP workers allocation-free
+// without sharing or locks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace wa {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Uninitialised storage for n elements of T, 64-byte aligned.
+  template <typename T>
+  T* alloc(std::int64_t n) {
+    static_assert(alignof(T) <= kAlign);
+    return reinterpret_cast<T*>(
+        alloc_bytes(static_cast<std::size_t>(n < 0 ? 0 : n) * sizeof(T)));
+  }
+
+  /// Bytes currently reserved across all blocks (persists over rewinds).
+  std::size_t capacity() const;
+  /// Free every block (capacity drops to zero; no Scope may be open).
+  void release();
+
+  /// RAII frame: rewinds the arena to its construction point on destruction.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena) : arena_(arena), block_(arena.cur_block_), offset_(arena.cur_offset_) {}
+    ~Scope() { arena_.rewind(block_, offset_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    std::size_t block_;
+    std::size_t offset_;
+  };
+
+  /// The calling thread's arena (one per thread, created on first use).
+  static ScratchArena& for_thread();
+
+ private:
+  static constexpr std::size_t kAlign = 64;
+  static constexpr std::size_t kMinBlock = std::size_t{1} << 20;  // 1 MiB
+
+  struct Block {
+    std::unique_ptr<std::byte[]> storage;
+    std::byte* base = nullptr;  // 64-byte aligned start inside storage
+    std::size_t size = 0;
+  };
+
+  static Block make_block(std::size_t size);
+  std::byte* alloc_bytes(std::size_t bytes);
+  void rewind(std::size_t block, std::size_t offset);
+
+  std::vector<Block> blocks_;
+  std::size_t cur_block_ = 0;
+  std::size_t cur_offset_ = 0;
+};
+
+}  // namespace wa

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace wa {
 
 namespace {
@@ -46,56 +50,86 @@ void gemm_f32(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::i
               float alpha, const float* a, const float* b, float beta, float* c) {
   if (m <= 0 || n <= 0) return;
 
+  // Degenerate reduction: C = beta * C on every path (the general path's
+  // k-loop would otherwise never run and leave C untouched).
+  if (k <= 0) {
+#pragma omp parallel for schedule(static) if (m * n >= 4096)
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      if (beta == 0.F) {
+        std::fill(crow, crow + n, 0.F);
+      } else if (beta != 1.F) {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    return;
+  }
+
+  // Row-panel size: cap at kBlockM for cache locality but shrink so every
+  // thread gets at least one panel (a fixed 64-row panel would serialise any
+  // m in [8, 64) — exactly the out-channels-per-group range of the Winograd
+  // GEMMs).
+  std::int64_t threads = 1;
+#ifdef _OPENMP
+  threads = omp_get_max_threads();
+#endif
+  const std::int64_t panel =
+      std::clamp((m + threads - 1) / threads, std::int64_t{8}, kBlockM);
+
   // Fast path: no transposes. Iterate k in the middle so B rows stream.
   if (!trans_a && !trans_b) {
 #pragma omp parallel for schedule(static) if (m >= 8)
-    for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-      const std::int64_t mb = std::min(kBlockM, m - i0);
+    for (std::int64_t i0 = 0; i0 < m; i0 += panel) {
+      const std::int64_t mb = std::min(panel, m - i0);
       gemm_packed_nn(mb, n, k, alpha, a + i0 * k, k, b, n, beta, c + i0 * n, n);
     }
     return;
   }
 
   // General path: pack op(A) panel and op(B) into temporaries per block.
-#pragma omp parallel if (m >= 8)
+  // Work is distributed over flattened (row-panel, column-panel) blocks so
+  // small-m GEMMs still parallelise across columns.
+  const std::int64_t mblocks = (m + panel - 1) / panel;
+  const std::int64_t nblocks = (n + kBlockN - 1) / kBlockN;
+#pragma omp parallel if (mblocks * nblocks >= 2)
   {
-    std::vector<float> apack(static_cast<std::size_t>(kBlockM * kBlockK));
+    std::vector<float> apack(static_cast<std::size_t>(panel * kBlockK));
     std::vector<float> bpack;
     if (trans_b) bpack.resize(static_cast<std::size_t>(kBlockK * kBlockN));
 
 #pragma omp for schedule(static)
-    for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-      const std::int64_t mb = std::min(kBlockM, m - i0);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t nb = std::min(kBlockN, n - j0);
-        for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-          const std::int64_t kb = std::min(kBlockK, k - k0);
-          // Pack op(A)[i0:i0+mb, k0:k0+kb] row-major.
-          for (std::int64_t i = 0; i < mb; ++i) {
-            for (std::int64_t kk = 0; kk < kb; ++kk) {
-              apack[static_cast<std::size_t>(i * kb + kk)] =
-                  load(a, trans_a, m, k, i0 + i, k0 + kk);
-            }
+    for (std::int64_t blk = 0; blk < mblocks * nblocks; ++blk) {
+      const std::int64_t i0 = (blk / nblocks) * panel;
+      const std::int64_t j0 = (blk % nblocks) * kBlockN;
+      const std::int64_t mb = std::min(panel, m - i0);
+      const std::int64_t nb = std::min(kBlockN, n - j0);
+      for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t kb = std::min(kBlockK, k - k0);
+        // Pack op(A)[i0:i0+mb, k0:k0+kb] row-major.
+        for (std::int64_t i = 0; i < mb; ++i) {
+          for (std::int64_t kk = 0; kk < kb; ++kk) {
+            apack[static_cast<std::size_t>(i * kb + kk)] =
+                load(a, trans_a, m, k, i0 + i, k0 + kk);
           }
-          const float* bptr;
-          std::int64_t ldb;
-          if (!trans_b) {
-            bptr = b + k0 * n + j0;
-            ldb = n;
-          } else {
-            // Pack op(B)[k0:k0+kb, j0:j0+nb] row-major from B stored [N,K].
-            for (std::int64_t kk = 0; kk < kb; ++kk) {
-              for (std::int64_t j = 0; j < nb; ++j) {
-                bpack[static_cast<std::size_t>(kk * nb + j)] = b[(j0 + j) * k + (k0 + kk)];
-              }
-            }
-            bptr = bpack.data();
-            ldb = nb;
-          }
-          const float eff_beta = (k0 == 0) ? beta : 1.F;
-          gemm_packed_nn(mb, nb, kb, alpha, apack.data(), kb, bptr, ldb, eff_beta,
-                         c + i0 * n + j0, n);
         }
+        const float* bptr;
+        std::int64_t ldb;
+        if (!trans_b) {
+          bptr = b + k0 * n + j0;
+          ldb = n;
+        } else {
+          // Pack op(B)[k0:k0+kb, j0:j0+nb] row-major from B stored [N,K].
+          for (std::int64_t kk = 0; kk < kb; ++kk) {
+            for (std::int64_t j = 0; j < nb; ++j) {
+              bpack[static_cast<std::size_t>(kk * nb + j)] = b[(j0 + j) * k + (k0 + kk)];
+            }
+          }
+          bptr = bpack.data();
+          ldb = nb;
+        }
+        const float eff_beta = (k0 == 0) ? beta : 1.F;
+        gemm_packed_nn(mb, nb, kb, alpha, apack.data(), kb, bptr, ldb, eff_beta,
+                       c + i0 * n + j0, n);
       }
     }
   }

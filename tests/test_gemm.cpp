@@ -1,0 +1,153 @@
+// Edge-case coverage for the dependency-free GEMM kernels: degenerate k with
+// beta scaling, all four transpose layouts, panel-parallel row ranges and
+// batched strides.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wa {
+namespace {
+
+/// Naive reference: C = alpha * op(A) * op(B) + beta * C.
+void ref_gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+              float alpha, const float* a, const float* b, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.F;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? a[kk * m + i] : a[i * k + kk];
+        const float bv = trans_b ? b[j * k + kk] : b[kk * n + j];
+        acc += av * bv;
+      }
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+  }
+}
+
+std::vector<float> filled(std::int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(Gemm, KZeroAppliesBetaOnEveryPath) {
+  // With an empty reduction the product term vanishes and C = beta * C must
+  // still happen — on the no-transpose fast path AND the packed general path
+  // (the seed's general path skipped its k-loop and left C untouched).
+  for (const bool trans_a : {false, true}) {
+    for (const bool trans_b : {false, true}) {
+      std::vector<float> c(12, 2.F);
+      gemm_f32(trans_a, trans_b, 3, 4, 0, 1.F, nullptr, nullptr, 0.5F, c.data());
+      for (const float v : c) {
+        EXPECT_FLOAT_EQ(v, 1.F) << "trans_a=" << trans_a << " trans_b=" << trans_b;
+      }
+      gemm_f32(trans_a, trans_b, 3, 4, 0, 1.F, nullptr, nullptr, 0.F, c.data());
+      for (const float v : c) EXPECT_FLOAT_EQ(v, 0.F);
+    }
+  }
+}
+
+TEST(Gemm, AllTransposeCombosMatchReference) {
+  Rng rng(7);
+  const std::int64_t m = 9, n = 11, k = 13;
+  const auto a = filled(m * k, rng);
+  const auto b = filled(k * n, rng);
+  const auto c0 = filled(m * n, rng);
+  for (const bool trans_a : {false, true}) {
+    for (const bool trans_b : {false, true}) {
+      std::vector<float> got = c0, want = c0;
+      gemm_f32(trans_a, trans_b, m, n, k, 1.3F, a.data(), b.data(), 0.7F, got.data());
+      ref_gemm(trans_a, trans_b, m, n, k, 1.3F, a.data(), b.data(), 0.7F, want.data());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], want[i], 1e-4F)
+            << "trans_a=" << trans_a << " trans_b=" << trans_b << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Gemm, MidSizeRowsUseParallelPanelsCorrectly) {
+  // m in [8, 64) is the out-channels-per-group range of the Winograd GEMMs;
+  // the row-panel split must not change results there.
+  Rng rng(8);
+  const std::int64_t m = 32, n = 300, k = 40;
+  const auto a = filled(m * k, rng);
+  const auto b = filled(k * n, rng);
+  std::vector<float> got(static_cast<std::size_t>(m * n), 3.F);
+  std::vector<float> want = got;
+  gemm_f32(false, false, m, n, k, 1.F, a.data(), b.data(), 1.F, got.data());
+  ref_gemm(false, false, m, n, k, 1.F, a.data(), b.data(), 1.F, want.data());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-3F);
+  // And the packed general path over flattened (row, column) blocks.
+  std::vector<float> got_t(static_cast<std::size_t>(m * n), 3.F);
+  std::vector<float> at(static_cast<std::size_t>(k * m));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      at[static_cast<std::size_t>(kk * m + i)] = a[static_cast<std::size_t>(i * k + kk)];
+  gemm_f32(true, false, m, n, k, 1.F, at.data(), b.data(), 1.F, got_t.data());
+  for (std::size_t i = 0; i < got_t.size(); ++i) EXPECT_NEAR(got_t[i], want[i], 1e-3F);
+}
+
+TEST(Gemm, BatchedStridesAdvancePerBatch) {
+  Rng rng(9);
+  const std::int64_t batch = 3, m = 4, n = 5, k = 6;
+  const auto a = filled(batch * m * k, rng);
+  const auto b = filled(batch * k * n, rng);
+  std::vector<float> got(static_cast<std::size_t>(batch * m * n));
+  gemm_batched_f32(false, false, batch, m, n, k, a.data(), m * k, b.data(), k * n, got.data(),
+                   m * n);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    std::vector<float> want(static_cast<std::size_t>(m * n), 0.F);
+    ref_gemm(false, false, m, n, k, 1.F, a.data() + i * m * k, b.data() + i * k * n, 0.F,
+             want.data());
+    for (std::int64_t j = 0; j < m * n; ++j) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(i * m * n + j)],
+                  want[static_cast<std::size_t>(j)], 1e-4F)
+          << "batch " << i;
+    }
+  }
+}
+
+TEST(Gemm, BatchedZeroStrideBroadcasts) {
+  // stride 0 shares one operand across the batch (e.g. one weight matrix
+  // against per-batch activations).
+  Rng rng(10);
+  const std::int64_t batch = 4, m = 3, n = 7, k = 5;
+  const auto a = filled(m * k, rng);  // shared
+  const auto b = filled(batch * k * n, rng);
+  std::vector<float> got(static_cast<std::size_t>(batch * m * n));
+  gemm_batched_f32(false, false, batch, m, n, k, a.data(), 0, b.data(), k * n, got.data(), m * n);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    std::vector<float> want(static_cast<std::size_t>(m * n), 0.F);
+    ref_gemm(false, false, m, n, k, 1.F, a.data(), b.data() + i * k * n, 0.F, want.data());
+    for (std::int64_t j = 0; j < m * n; ++j) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(i * m * n + j)],
+                  want[static_cast<std::size_t>(j)], 1e-4F);
+    }
+  }
+}
+
+TEST(Gemm, TransposedBatchMatchesReference) {
+  Rng rng(11);
+  const std::int64_t batch = 2, m = 6, n = 4, k = 8;
+  const auto a = filled(batch * k * m, rng);  // stored [k, m] per batch
+  const auto b = filled(batch * n * k, rng);  // stored [n, k] per batch
+  std::vector<float> got(static_cast<std::size_t>(batch * m * n));
+  gemm_batched_f32(true, true, batch, m, n, k, a.data(), k * m, b.data(), n * k, got.data(),
+                   m * n);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    std::vector<float> want(static_cast<std::size_t>(m * n), 0.F);
+    ref_gemm(true, true, m, n, k, 1.F, a.data() + i * k * m, b.data() + i * n * k, 0.F,
+             want.data());
+    for (std::int64_t j = 0; j < m * n; ++j) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(i * m * n + j)],
+                  want[static_cast<std::size_t>(j)], 1e-4F);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wa
