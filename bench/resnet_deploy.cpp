@@ -1,0 +1,106 @@
+// Per-stage latency breakdown of the compiled int8 ResNet-18 pipeline — the
+// deployment-side view of the paper's Tables 2-3 workload.
+//
+// Builds the paper's pool-instead-of-stride ResNet-18 at a given width,
+// calibrates its observers on synthetic CIFAR-shaped batches, compiles it
+// with compile_resnet18, and reports where a forward pass spends its time,
+// stage by stage. Also prints the perf counters before/after the timed runs
+// to document that no weight transform or repack happens per forward.
+//
+//   build/bench/resnet_deploy [width_mult=0.25] [batch=1] [algo=im2row|f2]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "backend/perf_counters.hpp"
+#include "data/synthetic.hpp"
+#include "deploy/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wa;
+  const float width = argc > 1 ? static_cast<float>(std::atof(argv[1])) : 0.25F;
+  const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 1;
+  const bool f2 = argc > 3 && std::strcmp(argv[3], "f2") == 0;
+
+  Rng rng(42);
+  models::ResNetConfig cfg;
+  cfg.width_mult = width;
+  cfg.qspec = quant::QuantSpec{8};
+  if (f2) cfg.algo = nn::ConvAlgo::kWinograd2;
+  models::ResNet18 net(cfg, rng);
+
+  // Calibrate: a few training-mode passes warm every observer (layer inputs,
+  // Winograd Qx stages, residual-join branches) and the batch-norm stats.
+  auto spec = data::cifar10_like();
+  spec.train_size = 64;
+  const auto calib = data::generate(spec, true);
+  net.set_training(true);
+  data::DataLoader loader(calib, 16, false);
+  for (std::int64_t b = 0; b < loader.batches(); ++b) {
+    net.forward(ag::Variable(loader.get(b).images, false));
+  }
+
+  deploy::Int8Pipeline pipe = deploy::compile_resnet18(net);
+  std::printf("resnet-18 width %.3f, algo %s, batch %lld: %zu pipeline stages\n\n",
+              static_cast<double>(width), f2 ? "F2" : "im2row", static_cast<long long>(batch),
+              pipe.size());
+
+  const Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+  pipe.run(x);  // warm-up (first-touch arena growth)
+
+  const std::uint64_t transforms0 = backend::PerfCounters::weight_transforms.load();
+  const std::uint64_t repacks0 = backend::PerfCounters::weight_repacks.load();
+
+  constexpr int kReps = 10;
+  std::vector<deploy::StageTiming> acc;
+  double total_ms = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<deploy::StageTiming> t;
+    const auto t0 = std::chrono::steady_clock::now();
+    pipe.run(x, &t);
+    const auto t1 = std::chrono::steady_clock::now();
+    total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (acc.empty()) {
+      acc = std::move(t);
+    } else {
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i].ms += t[i].ms;
+    }
+  }
+
+  std::printf("%-28s %10s %7s\n", "stage", "ms/fwd", "share");
+  std::printf("%-28s %10s %7s\n", "-----", "------", "-----");
+  double sum = 0.0;
+  for (const auto& s : acc) sum += s.ms;
+  std::map<std::string, double> by_kind;
+  for (const auto& s : acc) {
+    const double ms = s.ms / kReps;
+    std::printf("%-28s %10.4f %6.1f%%\n", s.label.c_str(), ms, 100.0 * s.ms / sum);
+    // Aggregate by coarse kind: strip the network position from the label.
+    std::string kind = "other";
+    if (s.label.find(".add") != std::string::npos) kind = "skip-add";
+    else if (s.label.find(".bn") != std::string::npos) kind = "batch-norm";
+    else if (s.label.find("pool") != std::string::npos) kind = "max-pool";
+    else if (s.label.find("shortcut") != std::string::npos) kind = "1x1 shortcut conv";
+    else if (s.label.find("conv") != std::string::npos) kind = "3x3 conv";
+    else if (s.label == "gap") kind = "avg-pool";
+    else if (s.label == "fc") kind = "linear";
+    by_kind[kind] += ms;
+  }
+  std::printf("\n%-28s %10.4f ms total (avg over %d forwards)\n\n", "", total_ms / kReps, kReps);
+
+  std::printf("by stage kind:\n");
+  for (const auto& [kind, ms] : by_kind) {
+    std::printf("  %-22s %10.4f ms  %5.1f%%\n", kind.c_str(), ms, 100.0 * ms * kReps / sum);
+  }
+
+  std::printf("\nperf counters over the %d timed forwards: weight_transforms +%llu, "
+              "weight_repacks +%llu (both must be 0: everything was prepared at load)\n",
+              kReps,
+              static_cast<unsigned long long>(backend::PerfCounters::weight_transforms.load() -
+                                              transforms0),
+              static_cast<unsigned long long>(backend::PerfCounters::weight_repacks.load() -
+                                              repacks0));
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "backend/perf_counters.hpp"
 #include "tensor/arena.hpp"
 #include "winograd/small_mat.hpp"
 
@@ -32,6 +33,7 @@ std::int8_t clamp_s8(float v) {
 
 Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights) {
   if (weights.shape.empty()) throw std::invalid_argument("prepare_im2row_weights_s8: empty weights");
+  count_weight_repack();
   Im2rowWeightsS8 w;
   w.out_channels = weights.shape[0];
   w.patch = weights.numel() / w.out_channels;

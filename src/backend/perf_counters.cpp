@@ -3,5 +3,6 @@
 namespace wa::backend {
 
 std::atomic<std::uint64_t> PerfCounters::weight_transforms{0};
+std::atomic<std::uint64_t> PerfCounters::weight_repacks{0};
 
 }  // namespace wa::backend

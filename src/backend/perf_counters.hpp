@@ -16,10 +16,18 @@ struct PerfCounters {
   /// layer). Cached-weight inference paths must keep this flat across
   /// repeated forwards.
   static std::atomic<std::uint64_t> weight_transforms;
+  /// Weight-layout repacks (e.g. [O, F] -> [F, O] transposes for the GEMM
+  /// kernels). A compiled pipeline pays these once at load (push/prepare);
+  /// run-time forwards must keep this flat too.
+  static std::atomic<std::uint64_t> weight_repacks;
 };
 
 inline void count_weight_transform() {
   PerfCounters::weight_transforms.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_weight_repack() {
+  PerfCounters::weight_repacks.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace wa::backend

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "backend/conv_kernels_s8.hpp"
+#include "backend/perf_counters.hpp"
 #include "quant/requant.hpp"
 
 namespace wa::deploy {
@@ -78,22 +79,36 @@ QTensor flatten_s8(QTensor x) {
 
 QTensor linear_s8(const QTensor& x, const QTensor& weights, const Tensor& bias,
                   float out_scale) {
-  if (x.shape.size() != 2 || weights.shape.size() != 2) {
-    throw std::invalid_argument("linear_s8: expects 2-d input and weights");
-  }
-  const std::int64_t n = x.shape[0], f = x.shape[1];
-  const std::int64_t o = weights.shape[0];
-  if (weights.shape[1] != f) throw std::invalid_argument("linear_s8: feature mismatch");
+  return linear_s8_prepared(x, prepare_linear_weights_s8(weights), bias, out_scale);
+}
 
+LinearWeightsS8 prepare_linear_weights_s8(const QTensor& weights) {
+  if (weights.shape.size() != 2) {
+    throw std::invalid_argument("prepare_linear_weights_s8: expects 2-d [O, F] weights");
+  }
+  backend::count_weight_repack();
+  LinearWeightsS8 w;
+  w.out_features = weights.shape[0];
+  w.in_features = weights.shape[1];
+  w.scale = weights.scale;
   // Weights arrive [O, F]; transpose to [F, O] for the row-major GEMM.
-  std::vector<std::int8_t> wt(static_cast<std::size_t>(f * o));
-  for (std::int64_t oo = 0; oo < o; ++oo)
-    for (std::int64_t ff = 0; ff < f; ++ff)
-      wt[static_cast<std::size_t>(ff * o + oo)] =
-          weights.data[static_cast<std::size_t>(oo * f + ff)];
+  w.wt.resize(static_cast<std::size_t>(w.in_features * w.out_features));
+  for (std::int64_t oo = 0; oo < w.out_features; ++oo)
+    for (std::int64_t ff = 0; ff < w.in_features; ++ff)
+      w.wt[static_cast<std::size_t>(ff * w.out_features + oo)] =
+          weights.data[static_cast<std::size_t>(oo * w.in_features + ff)];
+  return w;
+}
+
+QTensor linear_s8_prepared(const QTensor& x, const LinearWeightsS8& weights, const Tensor& bias,
+                           float out_scale) {
+  if (x.shape.size() != 2) throw std::invalid_argument("linear_s8: expects 2-d input");
+  const std::int64_t n = x.shape[0], f = x.shape[1];
+  const std::int64_t o = weights.out_features;
+  if (weights.in_features != f) throw std::invalid_argument("linear_s8: feature mismatch");
 
   std::vector<std::int32_t> acc(static_cast<std::size_t>(n * o));
-  backend::gemm_s8_s32(n, o, f, x.data.data(), wt.data(), acc.data());
+  backend::gemm_s8_s32(n, o, f, x.data.data(), weights.wt.data(), acc.data());
 
   const float acc_scale = x.scale * weights.scale;
   if (!bias.empty()) {
@@ -121,6 +136,119 @@ QTensor linear_s8(const QTensor& x, const QTensor& weights, const Tensor& bias,
   for (std::size_t i = 0; i < out.data.size(); ++i) {
     out.data[i] = static_cast<std::int8_t>(
         quant::saturate(quant::apply_multiplier(acc[i], mult), 8));
+  }
+  return out;
+}
+
+RequantRatio make_requant_ratio(float from_scale, float to_scale) {
+  if (from_scale <= 0.F || to_scale <= 0.F) {
+    throw std::invalid_argument("make_requant_ratio: scales must be positive");
+  }
+  RequantRatio r;
+  const double ratio = static_cast<double>(from_scale) / static_cast<double>(to_scale);
+  r.identity = std::fabs(ratio - 1.0) < 1e-9;
+  if (!r.identity) r.mult = quant::quantize_multiplier(ratio);
+  return r;
+}
+
+QTensor add_s8(const QTensor& lhs, const QTensor& rhs, const RequantRatio& lhs_ratio,
+               const RequantRatio& rhs_ratio, float out_scale, bool relu) {
+  if (lhs.shape != rhs.shape) {
+    throw std::invalid_argument("add_s8: branch shapes " + to_string(lhs.shape) + " vs " +
+                                to_string(rhs.shape) + " do not match");
+  }
+  QTensor out;
+  out.shape = lhs.shape;
+  out.scale = out_scale;
+  out.data.resize(lhs.data.size());
+  for (std::size_t i = 0; i < lhs.data.size(); ++i) {
+    // 64-bit join: each requantized branch can sit at the int32 saturation
+    // rail, and rail + rail overflows int32.
+    std::int64_t acc = static_cast<std::int64_t>(apply_ratio(lhs.data[i], lhs_ratio)) +
+                       apply_ratio(rhs.data[i], rhs_ratio);
+    if (relu && acc < 0) acc = 0;
+    out.data[i] = static_cast<std::int8_t>(acc > 127 ? 127 : (acc < -127 ? -127 : acc));
+  }
+  return out;
+}
+
+ChannelAffineS8 prepare_channel_affine_s8(const Tensor& scale, const Tensor& bias,
+                                          float in_scale, float out_scale) {
+  if (scale.numel() != bias.numel()) {
+    throw std::invalid_argument("prepare_channel_affine_s8: scale/bias size mismatch");
+  }
+  if (in_scale <= 0.F || out_scale <= 0.F) {
+    throw std::invalid_argument("prepare_channel_affine_s8: scales must be positive");
+  }
+  ChannelAffineS8 p;
+  p.out_scale = out_scale;
+  const std::int64_t c = scale.numel();
+  p.m0.resize(static_cast<std::size_t>(c));
+  p.exp.resize(static_cast<std::size_t>(c));
+  p.bias_q.resize(static_cast<std::size_t>(c));
+  for (std::int64_t k = 0; k < c; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    const double ratio = static_cast<double>(scale.at(k)) * in_scale / out_scale;
+    const double mag = std::fabs(ratio);
+    std::int64_t m = 0;
+    int e = 0;
+    if (mag >= 1e-30) {  // below that the channel collapsed — only the bias survives
+      const auto fp = quant::quantize_multiplier(mag);
+      m = fp.m0;              // mag = m * 2^-(31 + fp.shift)
+      e = 31 + fp.shift;
+      if (e < 0) {
+        // Absurdly hot channel (ratio >= 2^31): any nonzero input saturates
+        // the int8 output anyway, so pin the multiplier at the int32 rail.
+        m = std::numeric_limits<std::int32_t>::max();
+        e = 0;
+      } else if (e > 46) {
+        // Keep 2^exp (and the pre-scaled bias) comfortably inside int64.
+        m = std::llround(std::ldexp(static_cast<double>(m), 46 - e));
+        e = 46;
+      }
+    }
+    p.m0[i] = static_cast<std::int32_t>(std::min<std::int64_t>(
+        m, std::numeric_limits<std::int32_t>::max()));
+    if (ratio < 0) p.m0[i] = -p.m0[i];
+    p.exp[i] = static_cast<std::int8_t>(e);
+    const double b = static_cast<double>(bias.at(k)) / out_scale * std::ldexp(1.0, e);
+    p.bias_q[i] = std::llround(std::min(1e17, std::max(-1e17, b)));
+  }
+  return p;
+}
+
+QTensor channel_affine_s8(const QTensor& x, const ChannelAffineS8& p, bool relu) {
+  if (x.shape.size() != 4 && x.shape.size() != 2) {
+    throw std::invalid_argument("channel_affine_s8: expects [N,C,H,W] or [N,C]");
+  }
+  const std::int64_t n = x.shape[0], c = x.shape[1];
+  const std::int64_t hw = x.shape.size() == 4 ? x.shape[2] * x.shape[3] : 1;
+  if (c != static_cast<std::int64_t>(p.m0.size())) {
+    throw std::invalid_argument("channel_affine_s8: input has " + std::to_string(c) +
+                                " channels, affine has " + std::to_string(p.m0.size()));
+  }
+  QTensor out;
+  out.shape = x.shape;
+  out.scale = p.out_scale;
+  out.data.resize(x.data.size());
+#pragma omp parallel for collapse(2) schedule(static) if (n * c >= 16)
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const auto k = static_cast<std::size_t>(ci);
+      const std::int64_t m = p.m0[k];
+      const int e = p.exp[k];
+      const std::int64_t bq = p.bias_q[k];
+      const std::int64_t half = e == 0 ? 0 : std::int64_t{1} << (e - 1);
+      const std::int8_t* src = x.data.data() + (ni * c + ci) * hw;
+      std::int8_t* dst = out.data.data() + (ni * c + ci) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const std::int64_t v = m * src[i] + bq;
+        // Round half away from zero, one single rounding for the whole affine.
+        std::int64_t q = e == 0 ? v : (v >= 0 ? v + half : v - half) / (std::int64_t{1} << e);
+        if (relu && q < 0) q = 0;
+        dst[i] = static_cast<std::int8_t>(q > 127 ? 127 : (q < -127 ? -127 : q));
+      }
+    }
   }
   return out;
 }

@@ -3,9 +3,14 @@
 // Everything between convolutions runs directly on int8 levels: with
 // symmetric per-layer quantization real 0.0 is exactly level 0, so ReLU and
 // max-pool are order-preserving level operations and never need the scale.
+// Ops that cross scale domains (skip-add, deployed batch-norm) rescale with
+// fixed-point multipliers, never float math on the activations.
 #pragma once
 
+#include <vector>
+
 #include "backend/qtensor.hpp"
+#include "quant/requant.hpp"
 
 namespace wa::deploy {
 
@@ -23,8 +28,75 @@ backend::QTensor flatten_s8(backend::QTensor x);
 
 /// Fully connected: y = x [N,F] * Wᵀ [O,F] + b, int8 x int8 -> int32 with
 /// fixed-point requantization to int8 at `out_scale` (derived from the
-/// accumulator abs-max when non-positive). `bias` may be empty.
+/// accumulator abs-max when non-positive). `bias` may be empty. Repacks the
+/// weight matrix on every call — load-time code should prepare once and use
+/// linear_s8_prepared instead.
 backend::QTensor linear_s8(const backend::QTensor& x, const backend::QTensor& weights,
                            const Tensor& bias, float out_scale = -1.F);
+
+/// Linear weights repacked once at load: [O, F] -> [F, O] so the per-forward
+/// GEMM consumes them directly (the conv layers got the same treatment in
+/// prepare_im2row_weights_s8).
+struct LinearWeightsS8 {
+  std::vector<std::int8_t> wt;  // [F, O]
+  float scale = 1.F;
+  std::int64_t out_features = 0;
+  std::int64_t in_features = 0;
+  bool empty() const { return wt.empty(); }
+};
+
+LinearWeightsS8 prepare_linear_weights_s8(const backend::QTensor& weights);
+
+/// linear_s8 from prepared weights: no repack at run time.
+backend::QTensor linear_s8_prepared(const backend::QTensor& x, const LinearWeightsS8& weights,
+                                    const Tensor& bias, float out_scale = -1.F);
+
+/// Level remap from one scale domain to another, frozen as a fixed-point
+/// multiplier at load time. `identity` short-circuits the exact ratio-1 case
+/// (the Q31 round trip is not bit-exact for a multiplier of exactly 1.0).
+struct RequantRatio {
+  quant::FixedPointMultiplier mult;
+  bool identity = true;
+};
+
+RequantRatio make_requant_ratio(float from_scale, float to_scale);
+
+inline std::int32_t apply_ratio(std::int32_t v, const RequantRatio& r) {
+  return r.identity ? v : quant::apply_multiplier(v, r.mult);
+}
+
+/// Level-aligned residual add: both operands are requantized onto
+/// `out_scale` via their prepared ratios, summed in int64 (each requantized
+/// branch can sit at the int32 saturation rail, so an int32 join could
+/// wrap), optionally ReLU-ed, and saturated to int8. Shapes must match
+/// exactly.
+backend::QTensor add_s8(const backend::QTensor& lhs, const backend::QTensor& rhs,
+                        const RequantRatio& lhs_ratio, const RequantRatio& rhs_ratio,
+                        float out_scale, bool relu);
+
+/// Per-channel integer affine y_c = A_c * x_c + B_c — deployed batch-norm.
+/// Prepared once at load as a fused Q-format multiply-add: per channel a
+/// signed multiplier m0 (gamma can go negative during training) and a bias
+/// pre-scaled into the same 2^exp domain, so the whole affine pays exactly
+/// one rounding — round((m0 * x + bias_q) * 2^-exp) — instead of rounding
+/// the multiply and the bias separately (which can drift past one output
+/// level when |A_c| * s_in / s_out > 1).
+struct ChannelAffineS8 {
+  std::vector<std::int32_t> m0;      // signed multiplier, magnitude in Q(exp)
+  std::vector<std::int8_t> exp;      // per-channel right shift, 0..46
+  std::vector<std::int64_t> bias_q;  // round(B_c / out_scale * 2^exp)
+  float out_scale = 1.F;
+  bool empty() const { return m0.empty(); }
+};
+
+/// `scale`/`bias` are the per-channel A/B in real units (e.g. from
+/// batch-norm: A = gamma / sqrt(var + eps), B = beta - A * mean).
+ChannelAffineS8 prepare_channel_affine_s8(const Tensor& scale, const Tensor& bias,
+                                          float in_scale, float out_scale);
+
+/// Apply a prepared per-channel affine to [N,C,H,W] or [N,C] levels,
+/// optionally fusing ReLU, saturating to int8 at p.out_scale.
+backend::QTensor channel_affine_s8(const backend::QTensor& x, const ChannelAffineS8& p,
+                                   bool relu);
 
 }  // namespace wa::deploy

@@ -1,8 +1,12 @@
 #include "deploy/pipeline.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <map>
+#include <set>
 #include <stdexcept>
 
+#include "backend/bn_fold.hpp"
 #include "core/wa_conv2d.hpp"
 
 namespace wa::deploy {
@@ -23,6 +27,25 @@ QTensor rescale_s8(QTensor x, float target_scale) {
   return x;
 }
 
+std::string stage_type_name(const Stage& s) {
+  return std::visit(
+      [](const auto& st) -> std::string {
+        using T = std::decay_t<decltype(st)>;
+        if constexpr (std::is_same_v<T, ConvStage>) return "conv";
+        else if constexpr (std::is_same_v<T, PoolStage>) return "max-pool";
+        else if constexpr (std::is_same_v<T, FlattenStage>) return "flatten";
+        else if constexpr (std::is_same_v<T, AvgPoolStage>) return "avg-pool";
+        else if constexpr (std::is_same_v<T, LinearStage>) return "linear";
+        else if constexpr (std::is_same_v<T, BnStage>) return "batch-norm";
+        else return "add";
+      },
+      s);
+}
+
+void expect(bool cond, const std::string& where, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(where + ": " + msg);
+}
+
 backend::ConvGeometry conv_geometry(const ConvStage& st, const Shape& in_shape) {
   backend::ConvGeometry g;
   g.batch = in_shape[0];
@@ -35,7 +58,20 @@ backend::ConvGeometry conv_geometry(const ConvStage& st, const Shape& in_shape) 
   return g;
 }
 
-QTensor run_conv(const ConvStage& st, QTensor x) {
+QTensor run_conv(const ConvStage& st, QTensor x, const std::string& where) {
+  // Validate the activation against the stage BEFORE building the geometry:
+  // a mis-assembled pipeline (e.g. a conv fed a flattened [N, F] tensor)
+  // must fail loudly here, not read past the end of the shape array.
+  expect(x.shape.size() == 4, where,
+         "convolution expects a 4-d [N,C,H,W] activation, got " + to_string(x.shape));
+  expect(x.shape[1] == st.in_channels, where,
+         "activation has " + std::to_string(x.shape[1]) + " channels, stage expects " +
+             std::to_string(st.in_channels));
+  const std::int64_t oh = x.shape[2] + 2 * st.pad - st.kernel + 1;
+  const std::int64_t ow = x.shape[3] + 2 * st.pad - st.kernel + 1;
+  expect(oh >= 1 && ow >= 1, where,
+         "activation " + to_string(x.shape) + " is smaller than the " +
+             std::to_string(st.kernel) + "x" + std::to_string(st.kernel) + " kernel");
   x = rescale_s8(std::move(x), st.input_scale);
   const backend::ConvGeometry g = conv_geometry(st, x.shape);
   QTensor y;
@@ -49,10 +85,35 @@ QTensor run_conv(const ConvStage& st, QTensor x) {
   return st.relu_after ? relu_s8(std::move(y)) : y;
 }
 
-QTensor run_linear(const LinearStage& st, QTensor x) {
+QTensor run_linear(const LinearStage& st, QTensor x, const std::string& where) {
+  expect(x.shape.size() == 2, where,
+         "linear expects a 2-d [N, F] activation, got " + to_string(x.shape) +
+             " (flatten or avg-pool first)");
+  expect(x.shape[1] == st.packed.in_features, where,
+         "activation has " + std::to_string(x.shape[1]) + " features, stage expects " +
+             std::to_string(st.packed.in_features));
   x = rescale_s8(std::move(x), st.input_scale);
-  QTensor y = linear_s8(x, st.weights_q, st.bias, st.output_scale);
+  QTensor y = linear_s8_prepared(x, st.packed, st.bias, st.output_scale);
   return st.relu_after ? relu_s8(std::move(y)) : y;
+}
+
+QTensor run_bn(const BnStage& st, QTensor x, const std::string& where) {
+  expect(x.shape.size() == 4 || x.shape.size() == 2, where,
+         "batch-norm expects [N,C,H,W] or [N,C], got " + to_string(x.shape));
+  expect(x.shape[1] == st.scale.numel(), where,
+         "activation has " + std::to_string(x.shape[1]) + " channels, batch-norm has " +
+             std::to_string(st.scale.numel()));
+  x = rescale_s8(std::move(x), st.input_scale);
+  return channel_affine_s8(x, st.affine, st.relu_after);
+}
+
+QTensor run_add(const AddStage& st, QTensor lhs, QTensor rhs, const std::string& where) {
+  expect(lhs.shape == rhs.shape, where,
+         "skip-add branch shapes " + to_string(lhs.shape) + " vs " + to_string(rhs.shape) +
+             " do not match");
+  lhs = rescale_s8(std::move(lhs), st.lhs_scale);
+  rhs = rescale_s8(std::move(rhs), st.rhs_scale);
+  return add_s8(lhs, rhs, st.lhs_ratio, st.rhs_ratio, st.output_scale, st.relu_after);
 }
 
 }  // namespace
@@ -64,43 +125,166 @@ void ConvStage::prepare() {
     // The derived scale is now frozen: per-forward scale rediscovery would
     // otherwise disagree with the cached levels.
     stage_scales.weights_transformed = wino_cache.scale;
+    weights_f = Tensor();  // only the cached U is consulted from here on
   } else {
     im2row_cache = backend::prepare_im2row_weights_s8(weights_q);
+    weights_q = backend::QTensor{};  // only the packed copy is consulted
   }
 }
 
-void Int8Pipeline::push(Stage s) {
-  // Finalise weight caches at load so no forward ever pays for them.
-  if (auto* conv = std::get_if<ConvStage>(&s)) {
-    if (!conv->prepared()) conv->prepare();
-  }
-  stages_.push_back(std::move(s));
+void LinearStage::prepare() {
+  packed = prepare_linear_weights_s8(weights_q);
+  weights_q = backend::QTensor{};  // only the packed copy is consulted
 }
 
-Tensor Int8Pipeline::run(const Tensor& input) const {
-  if (stages_.empty()) throw std::invalid_argument("Int8Pipeline::run: empty pipeline");
-  const auto* first = std::get_if<ConvStage>(&stages_.front());
+void BnStage::prepare() {
+  if (input_scale <= 0.F || output_scale <= 0.F) {
+    throw std::invalid_argument("BnStage: input and output scales must be frozen (> 0)");
+  }
+  affine = prepare_channel_affine_s8(scale, bias, input_scale, output_scale);
+}
+
+void AddStage::prepare() {
+  if (output_scale <= 0.F) {
+    throw std::invalid_argument("AddStage: output scale must be frozen (> 0)");
+  }
+  lhs_ratio = make_requant_ratio(lhs_scale, output_scale);
+  rhs_ratio = make_requant_ratio(rhs_scale, output_scale);
+  prepared_ = true;
+}
+
+void Int8Pipeline::push(Stage s, StageIO io) {
+  const std::string where =
+      "Int8Pipeline::push(" +
+      (io.label.empty() ? "stage " + std::to_string(nodes_.size()) : io.label) + ")";
+  const bool is_add = std::holds_alternative<AddStage>(s);
+  expect(!is_add || !io.input2.empty(), where,
+         "an AddStage needs a second operand — set io.input2 to a published slot");
+  expect(is_add || io.input2.empty(), where,
+         "io.input2 is only meaningful for an AddStage");
+
+  // Graph sanity at load time: named inputs must be published by an earlier
+  // stage, outputs must be fresh, and an implicit input needs the previous
+  // stage to actually chain (not publish to a slot).
+  std::set<std::string> published;
+  for (const Node& n : nodes_) {
+    if (!n.io.output.empty()) published.insert(n.io.output);
+  }
+  for (const std::string* in : {&io.input, &io.input2}) {
+    expect(in->empty() || published.count(*in) > 0, where,
+           "input slot '" + *in + "' is not produced by any earlier stage");
+  }
+  expect(io.output.empty() || published.count(io.output) == 0, where,
+         "output slot '" + io.output + "' is already taken");
+  if (io.input.empty() && !nodes_.empty() && !nodes_.back().io.output.empty()) {
+    throw std::invalid_argument(where +
+                                ": no implicit input — the previous stage publishes to slot '" +
+                                nodes_.back().io.output + "'; name it as io.input");
+  }
+  if (!io.input.empty() && !nodes_.empty() && nodes_.back().io.output.empty()) {
+    // The mirror case: reading a named slot here would silently discard the
+    // previous stage's chained output (its work would run and be dropped).
+    throw std::invalid_argument(where + ": reading slot '" + io.input +
+                                "' would drop the previous stage's chained output — publish "
+                                "that output to a slot (io.output) or consume it implicitly");
+  }
+
+  // Finalise weight caches / fixed-point multipliers at load so no forward
+  // ever pays for them.
+  std::visit(
+      [](auto& st) {
+        using T = std::decay_t<decltype(st)>;
+        if constexpr (std::is_same_v<T, ConvStage> || std::is_same_v<T, LinearStage> ||
+                      std::is_same_v<T, BnStage> || std::is_same_v<T, AddStage>) {
+          if (!st.prepared()) st.prepare();
+        }
+      },
+      s);
+  nodes_.push_back({std::move(s), std::move(io)});
+}
+
+Tensor Int8Pipeline::run(const Tensor& input, std::vector<StageTiming>* timings) const {
+  if (nodes_.empty()) throw std::invalid_argument("Int8Pipeline::run: empty pipeline");
+  const auto* first = std::get_if<ConvStage>(&nodes_.front().op);
   if (first == nullptr) {
     throw std::invalid_argument("Int8Pipeline::run: pipeline must start with a convolution");
   }
+  if (timings != nullptr) {
+    timings->clear();
+    timings->reserve(nodes_.size());
+  }
+
+  // Reference-count the named slots so each is released at its last read.
+  std::map<std::string, int> refs;
+  for (const Node& n : nodes_) {
+    if (!n.io.input.empty()) ++refs[n.io.input];
+    if (!n.io.input2.empty()) ++refs[n.io.input2];
+  }
+  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    // Only the final stage may publish without a reader (it is the result).
+    const std::string& out = nodes_[i].io.output;
+    expect(out.empty() || refs.count(out) > 0,
+           nodes_[i].io.label.empty() ? "stage " + std::to_string(i) : nodes_[i].io.label,
+           "published slot '" + out + "' is never consumed — dead dataflow");
+  }
+  std::map<std::string, QTensor> slots;
+  auto fetch = [&](const std::string& name, const std::string& where) -> QTensor {
+    auto it = slots.find(name);
+    expect(it != slots.end(), where, "activation slot '" + name + "' is not live");
+    if (--refs[name] <= 0) {
+      QTensor t = std::move(it->second);
+      slots.erase(it);
+      return t;
+    }
+    return it->second;  // later consumers still need it
+  };
+
   QTensor cur = backend::quantize_s8(input, first->input_scale);
-  for (const Stage& stage : stages_) {
-    cur = std::visit(
-        [&cur](const auto& st) -> QTensor {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    const std::string where = node.io.label.empty()
+                                  ? "stage " + std::to_string(i) + " (" + stage_type_name(node.op) + ")"
+                                  : node.io.label;
+    const auto t0 = std::chrono::steady_clock::now();
+    QTensor in = node.io.input.empty() ? std::move(cur) : fetch(node.io.input, where);
+    QTensor out = std::visit(
+        [&](const auto& st) -> QTensor {
           using T = std::decay_t<decltype(st)>;
           if constexpr (std::is_same_v<T, ConvStage>) {
-            return run_conv(st, std::move(cur));
+            return run_conv(st, std::move(in), where);
           } else if constexpr (std::is_same_v<T, PoolStage>) {
-            return max_pool_s8(cur, st.kernel, st.stride);
+            expect(in.shape.size() == 4, where,
+                   "max-pool expects [N,C,H,W], got " + to_string(in.shape));
+            return max_pool_s8(in, st.kernel, st.stride);
           } else if constexpr (std::is_same_v<T, FlattenStage>) {
-            return flatten_s8(std::move(cur));
+            return flatten_s8(std::move(in));
+          } else if constexpr (std::is_same_v<T, AvgPoolStage>) {
+            expect(in.shape.size() == 4, where,
+                   "avg-pool expects [N,C,H,W], got " + to_string(in.shape));
+            return global_avg_pool_s8(in);
+          } else if constexpr (std::is_same_v<T, LinearStage>) {
+            return run_linear(st, std::move(in), where);
+          } else if constexpr (std::is_same_v<T, BnStage>) {
+            return run_bn(st, std::move(in), where);
           } else {
-            return run_linear(st, std::move(cur));
+            QTensor rhs = fetch(node.io.input2, where);
+            return run_add(st, std::move(in), std::move(rhs), where);
           }
         },
-        stage);
+        node.op);
+    if (timings != nullptr) {
+      const auto t1 = std::chrono::steady_clock::now();
+      timings->push_back({where, std::chrono::duration<double, std::milli>(t1 - t0).count()});
+    }
+    if (node.io.output.empty()) {
+      cur = std::move(out);
+    } else {
+      slots[node.io.output] = std::move(out);
+      cur = QTensor{};
+    }
   }
-  return backend::dequantize(cur);
+  const Node& last = nodes_.back();
+  return backend::dequantize(last.io.output.empty() ? cur : slots[last.io.output]);
 }
 
 Tensor Int8Pipeline::run_batched(const Tensor& input, std::int64_t micro_batch) const {
@@ -129,13 +313,15 @@ std::vector<std::int64_t> Int8Pipeline::classify(const Tensor& input) const {
   return out;
 }
 
+// ---- compilers --------------------------------------------------------------
+
 namespace {
 
 const quant::QuantSpec kInt8{8};
 
 float observer_scale_checked(const quant::RangeObserver& obs, const std::string& where) {
   if (!obs.initialized()) {
-    throw std::invalid_argument("compile_lenet: observer never calibrated at " + where +
+    throw std::invalid_argument("compile: observer never calibrated at " + where +
                                 " — train or run a calibration pass first");
   }
   return obs.scale(kInt8);
@@ -182,10 +368,11 @@ ConvStage compile_conv(nn::Module& layer, const std::string& name, bool relu_aft
     st.stage_scales.input_transformed = observer_scale_checked(stg.v, name + ".v");
     st.stage_scales.hadamard = observer_scale_checked(stg.m, name + ".m");
     st.stage_scales.output = observer_scale_checked(stg.y, name + ".y");
+    st.output_scale = st.stage_scales.output;
     if (wa->options().bias) st.bias = wa->bias().value();
     return st;
   }
-  throw std::invalid_argument("compile_lenet: unsupported conv layer type at " + name);
+  throw std::invalid_argument("compile: unsupported conv layer type at " + name);
 }
 
 }  // namespace
@@ -240,14 +427,215 @@ Int8Pipeline compile_lenet(models::LeNet5& model) {
   l2.output_scale = l3.input_scale;
   // l3 keeps output_scale < 0: logits requantize from their own range.
 
-  pipe.push(std::move(c1));
-  pipe.push(PoolStage{pool1->kernel(), pool1->stride()});
-  pipe.push(std::move(c2));
-  pipe.push(PoolStage{pool2->kernel(), pool2->stride()});
-  pipe.push(FlattenStage{});
-  pipe.push(std::move(l1));
-  pipe.push(std::move(l2));
-  pipe.push(std::move(l3));
+  auto labelled = [](const char* label) {
+    StageIO io;
+    io.label = label;
+    return io;
+  };
+  pipe.push(std::move(c1), labelled("conv1"));
+  pipe.push(PoolStage{pool1->kernel(), pool1->stride()}, labelled("pool1"));
+  pipe.push(std::move(c2), labelled("conv2"));
+  pipe.push(PoolStage{pool2->kernel(), pool2->stride()}, labelled("pool2"));
+  pipe.push(FlattenStage{}, labelled("flatten"));
+  pipe.push(std::move(l1), labelled("fc1"));
+  pipe.push(std::move(l2), labelled("fc2"));
+  pipe.push(std::move(l3), labelled("fc3"));
+  return pipe;
+}
+
+// ---- compile_resnet18 -------------------------------------------------------
+
+namespace {
+
+quant::RangeObserver& conv_input_observer(nn::Module& m, const std::string& name) {
+  if (auto* c = dynamic_cast<nn::Conv2d*>(&m)) return c->input_observer();
+  if (auto* w = dynamic_cast<core::WinogradAwareConv2d*>(&m)) return w->input_observer();
+  throw std::invalid_argument("compile: unsupported conv layer type at " + name);
+}
+
+/// Per-channel batch-norm coefficients in real units: A = gamma * inv_std,
+/// B = beta - A * mean.
+void bn_coefficients(nn::BatchNorm2d& bn, Tensor* a, Tensor* b) {
+  const Tensor& var = bn.running_var();
+  const Tensor& mean = bn.running_mean();
+  const Tensor gamma = bn.gamma().value();
+  const Tensor beta = bn.beta().value();
+  const std::int64_t c = var.numel();
+  *a = Tensor(Shape{c});
+  *b = Tensor(Shape{c});
+  for (std::int64_t k = 0; k < c; ++k) {
+    const float inv_std = 1.F / std::sqrt(var.at(k) + bn.eps());
+    a->at(k) = gamma.at(k) * inv_std;
+    b->at(k) = beta.at(k) - a->at(k) * mean.at(k);
+  }
+}
+
+/// GEMM convolutions fold batch-norm into the quantized weights — the
+/// standard deployment order (src/backend/bn_fold.hpp), valid because their
+/// output scale is free to be anything the compiler chains.
+ConvStage compile_folded_conv(nn::Conv2d& conv, nn::BatchNorm2d& bn, const std::string& name,
+                              bool relu_after, float out_scale) {
+  ConvStage st;
+  st.relu_after = relu_after;
+  const auto& o = conv.options();
+  st.algo = o.algo;
+  st.in_channels = o.in_channels;
+  st.out_channels = o.out_channels;
+  st.kernel = o.kernel;
+  st.pad = o.pad;
+  st.input_scale = observer_scale_checked(conv.input_observer(), name);
+  const backend::FoldedConv folded = backend::fold_batchnorm(
+      conv.weight().value(), conv.bias().defined() ? conv.bias().value() : Tensor(),
+      bn.gamma().value(), bn.beta().value(), bn.running_mean(), bn.running_var(), bn.eps());
+  st.weights_q = backend::quantize_s8(folded.weights);
+  st.bias = folded.bias;
+  st.output_scale = out_scale;
+  return st;
+}
+
+BnStage make_bn_stage(nn::BatchNorm2d& bn, float in_scale, float out_scale, bool relu) {
+  BnStage st;
+  st.input_scale = in_scale;
+  st.output_scale = out_scale;
+  st.relu_after = relu;
+  bn_coefficients(bn, &st.scale, &st.bias);
+  return st;
+}
+
+/// Emit conv [+ batch-norm] onto the pipeline. GEMM convs fold the norm into
+/// their weights; Winograd-aware convs must keep their frozen Qx scales (the
+/// Hadamard/output observers saw the *unfolded* weights), so they emit the
+/// conv at its trained y-scale followed by an integer per-channel affine.
+void emit_conv_bn(Int8Pipeline& pipe, nn::Module& conv, nn::BatchNorm2d& bn,
+                  const std::string& name, bool relu, float out_scale,
+                  const std::string& input_slot) {
+  if (auto* gemm = dynamic_cast<nn::Conv2d*>(&conv)) {
+    StageIO io;
+    io.input = input_slot;
+    io.label = name + "+bn";
+    pipe.push(compile_folded_conv(*gemm, bn, name, relu, out_scale), std::move(io));
+    return;
+  }
+  ConvStage st = compile_conv(conv, name, /*relu_after=*/false);
+  const float y_scale = st.stage_scales.output;
+  StageIO cio;
+  cio.input = input_slot;
+  cio.label = name;
+  pipe.push(std::move(st), std::move(cio));
+  StageIO bio;
+  bio.label = name + ".bn";
+  pipe.push(make_bn_stage(bn, y_scale, out_scale, relu), std::move(bio));
+}
+
+}  // namespace
+
+Int8Pipeline compile_resnet18(models::ResNet18& model) {
+  model.set_training(false);
+  Int8Pipeline pipe;
+  const auto& blocks = model.blocks();
+  if (blocks.empty()) throw std::invalid_argument("compile_resnet18: model has no blocks");
+
+  // Stem: conv_in + bn_in fold, ReLU, published as the first block's input.
+  const std::string stem_name = "conv_in";
+  ConvStage stem = compile_folded_conv(
+      model.conv_in(), model.bn_in(), stem_name, /*relu_after=*/true,
+      observer_scale_checked(conv_input_observer(blocks[0]->conv1(), "stage1.block0.conv1"),
+                             "stage1.block0.conv1"));
+  std::string x_slot = "stem.out";
+  float x_scale = stem.output_scale;
+  {
+    StageIO io;
+    io.output = x_slot;
+    io.label = stem_name + "+bn";
+    pipe.push(std::move(stem), std::move(io));
+  }
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    models::BasicBlock& b = *blocks[i];
+    const std::string name =
+        "stage" + std::to_string(i / 2 + 1) + ".block" + std::to_string(i % 2);
+    const bool last = i + 1 == blocks.size();
+    const float out_scale = observer_scale_checked(b.output_observer(), name + ".out");
+    const float main_scale = observer_scale_checked(b.main_branch_observer(), name + ".main");
+
+    // ---- skip branch first, so the main path can chain implicitly ----
+    std::string skip_slot = x_slot;  // identity skip reads the block input
+    float skip_scale = x_scale;
+    if (b.shortcut() != nullptr) {
+      skip_slot = name + ".skip";
+      skip_scale = observer_scale_checked(b.skip_branch_observer(), name + ".skip");
+      std::string conv_input = x_slot;
+      if (b.downsample()) {
+        StageIO io;
+        io.input = x_slot;
+        io.label = name + ".pool_short";
+        pipe.push(PoolStage{2, 2}, std::move(io));
+        conv_input.clear();  // shortcut conv chains off the pooled skip
+      }
+      StageIO io;
+      io.input = conv_input;
+      io.output = skip_slot;
+      io.label = name + ".shortcut+bn";
+      pipe.push(
+          compile_folded_conv(*b.shortcut(), *b.bn_short(), name + ".shortcut",
+                              /*relu_after=*/false, skip_scale),
+          std::move(io));
+    } else if (b.downsample()) {
+      // Identity skip across a downsample (impossible in the stock topology,
+      // where every downsample changes channels, but cheap to support).
+      skip_slot = name + ".skip";
+      StageIO io;
+      io.input = x_slot;
+      io.output = skip_slot;
+      io.label = name + ".pool_short";
+      pipe.push(PoolStage{2, 2}, std::move(io));
+    }
+
+    // ---- main path: [pool] conv1+bn1+relu, conv2+bn2 ----
+    std::string main_input = x_slot;
+    if (b.downsample()) {
+      StageIO io;
+      io.input = x_slot;
+      io.label = name + ".pool";
+      pipe.push(PoolStage{2, 2}, std::move(io));
+      main_input.clear();
+    }
+    const float conv2_in =
+        observer_scale_checked(conv_input_observer(b.conv2(), name + ".conv2"), name + ".conv2");
+    emit_conv_bn(pipe, b.conv1(), b.bn1(), name + ".conv1", /*relu=*/true, conv2_in, main_input);
+    emit_conv_bn(pipe, b.conv2(), b.bn2(), name + ".conv2", /*relu=*/false, main_scale, "");
+
+    // ---- level-aligned residual join ----
+    AddStage add;
+    add.lhs_scale = main_scale;
+    add.rhs_scale = skip_scale;
+    add.output_scale = out_scale;
+    add.relu_after = true;
+    StageIO io;
+    io.input2 = skip_slot;
+    if (!last) io.output = name + ".out";
+    io.label = name + ".add";
+    pipe.push(std::move(add), std::move(io));
+
+    x_slot = name + ".out";
+    x_scale = out_scale;
+  }
+
+  {
+    StageIO io;
+    io.label = "gap";
+    pipe.push(AvgPoolStage{}, std::move(io));
+  }
+  LinearStage fc;
+  fc.input_scale = observer_scale_checked(model.fc().input_observer(), "fc");
+  fc.weights_q = backend::quantize_s8(model.fc().weight().value());
+  if (model.fc().bias().defined()) fc.bias = model.fc().bias().value();
+  // fc keeps output_scale < 0: logits requantize from their own range.
+  {
+    StageIO io;
+    io.label = "fc";
+    pipe.push(std::move(fc), std::move(io));
+  }
   return pipe;
 }
 

@@ -8,9 +8,20 @@
 // int8 levels, with int32 accumulators and fixed-point requantization —
 // the contract the integration tests check against the QAT forward pass.
 //
-// The compiler below covers sequential topologies (LeNet-5 here, the
-// paper's 5x5-filter model). Residual topologies would additionally need a
-// level-aligned skip-add; see DESIGN.md "deployment" notes.
+// Topology is a compiled graph, not just a stage list: every stage reads
+// from named activation slots (an empty name chains it to the previous
+// stage's output, so sequential pipelines look exactly like before) and can
+// publish its result under a name for later consumers. That is what lets a
+// residual network deploy: the block input is published once, the main path
+// chains through conv/bn stages, and an AddStage joins it with the skip
+// branch — requantizing both onto a common scale with fixed-point
+// multipliers — before ReLU. Slots are reference-counted at run start and
+// released at their last use, and the conv/linear kernels keep executing out
+// of the per-thread ScratchArena, so a forward stays allocation-lean.
+//
+// Two compilers are provided: compile_lenet (sequential, the paper's
+// 5x5-filter model) and compile_resnet18 (residual, the paper's
+// pool-instead-of-stride ResNet-18 — Tables 2-3's workload).
 #pragma once
 
 #include <memory>
@@ -21,6 +32,7 @@
 #include "backend/conv_kernels_s8.hpp"
 #include "deploy/int8_ops.hpp"
 #include "models/lenet.hpp"
+#include "models/resnet.hpp"
 
 namespace wa::deploy {
 
@@ -56,30 +68,92 @@ struct PoolStage {
 
 struct FlattenStage {};
 
+/// Global average pool [N,C,H,W] -> [N,C] on levels (global_avg_pool_s8).
+struct AvgPoolStage {};
+
 struct LinearStage {
   float input_scale = 0.F;
   backend::QTensor weights_q;
   Tensor bias;
   float output_scale = -1.F;
   bool relu_after = false;
+
+  // Packed [F, O] weights built once at Int8Pipeline::push — the per-forward
+  // GEMM never re-transposes the weight matrix.
+  LinearWeightsS8 packed;
+  bool prepared() const { return !packed.empty(); }
+  void prepare();
 };
 
-using Stage = std::variant<ConvStage, PoolStage, FlattenStage, LinearStage>;
+/// Deployed batch-norm: per-channel integer affine on levels. Used when the
+/// producing convolution's output scale is pinned by a training-time
+/// observer (the Winograd Qx(y) stage), where folding gamma into the weights
+/// would invalidate the frozen per-stage scales. GEMM convolutions fold
+/// batch-norm into their weights at compile time instead and never emit this
+/// stage.
+struct BnStage {
+  float input_scale = 0.F;   // expected incoming scale
+  Tensor scale;              // per-channel A = gamma / sqrt(var + eps)
+  Tensor bias;               // per-channel B = beta - A * mean
+  float output_scale = -1.F;
+  bool relu_after = false;
+
+  ChannelAffineS8 affine;  // prepared at push
+  bool prepared() const { return !affine.empty(); }
+  void prepare();
+};
+
+/// Level-aligned residual join: requantizes both branches onto output_scale
+/// with fixed-point multipliers, sums in int64, optionally fuses ReLU.
+struct AddStage {
+  float lhs_scale = 0.F;  // expected scale of the first operand
+  float rhs_scale = 0.F;  // expected scale of the second operand
+  float output_scale = -1.F;
+  bool relu_after = true;
+
+  RequantRatio lhs_ratio, rhs_ratio;  // prepared at push
+  bool prepared_ = false;
+  bool prepared() const { return prepared_; }
+  void prepare();
+};
+
+using Stage = std::variant<ConvStage, PoolStage, FlattenStage, AvgPoolStage, LinearStage,
+                           BnStage, AddStage>;
+
+/// Dataflow wiring of one stage. Empty `input` reads the previous stage's
+/// output (sequential chaining); a named input reads an activation slot
+/// published by an earlier stage. `input2` is the second operand of an
+/// AddStage (required there, rejected elsewhere). A named `output` publishes
+/// the result into a slot for later consumers instead of chaining it.
+struct StageIO {
+  std::string input;
+  std::string input2;
+  std::string output;
+  std::string label;  // for error messages and per-stage profiling
+};
+
+/// Per-stage wall-clock of one profiled forward (Int8Pipeline::run).
+struct StageTiming {
+  std::string label;
+  double ms = 0.0;
+};
 
 /// A compiled integer-only network: the deployment-side inference engine.
 ///
 /// push() finalises each stage at load time (weight transform + quantize +
 /// repack happen exactly once); run() then executes the scatter -> batched
-/// GEMM -> gather hot path allocation-free out of per-thread scratch arenas.
+/// GEMM -> gather hot path allocation-free out of per-thread scratch arenas,
+/// resolving slot reads/writes as it walks the schedule.
 class Int8Pipeline {
  public:
-  void push(Stage s);
-  std::size_t size() const { return stages_.size(); }
-  const std::vector<Stage>& stages() const { return stages_; }
+  void push(Stage s) { push(std::move(s), StageIO{}); }
+  void push(Stage s, StageIO io);
+  std::size_t size() const { return nodes_.size(); }
 
   /// Run a float input end-to-end; returns dequantized logits [N, classes].
-  /// Activations stay int8 between stages.
-  Tensor run(const Tensor& input) const;
+  /// Activations stay int8 between stages. When `timings` is non-null it is
+  /// filled with one entry per stage (label + milliseconds).
+  Tensor run(const Tensor& input, std::vector<StageTiming>* timings = nullptr) const;
 
   /// run() with the batch split into micro-batches of at most `micro_batch`
   /// inputs. Caps the activation working set so a serving-sized batch stays
@@ -97,7 +171,11 @@ class Int8Pipeline {
   std::vector<std::int64_t> classify(const Tensor& input) const;
 
  private:
-  std::vector<Stage> stages_;
+  struct Node {
+    Stage op;
+    StageIO io;
+  };
+  std::vector<Node> nodes_;
 };
 
 /// Compile a trained LeNet-5 (any conv algorithm, any flex/static
@@ -106,5 +184,14 @@ class Int8Pipeline {
 /// model.set_training(false) first. Throws std::invalid_argument when a
 /// layer type is not supported or observers were never warmed up.
 Int8Pipeline compile_lenet(models::LeNet5& model);
+
+/// Compile a trained (or calibrated) ResNet-18 — the paper's
+/// pool-instead-of-stride variant — into an integer pipeline: residual
+/// skip-adds run level-aligned in int8, projection shortcuts and the stem
+/// fold their batch-norm into the quantized weights, Winograd block convs
+/// keep their frozen per-stage Qx scales and apply batch-norm as a
+/// per-channel integer affine. Same calibration requirements as
+/// compile_lenet (block branch observers included).
+Int8Pipeline compile_resnet18(models::ResNet18& model);
 
 }  // namespace wa::deploy

@@ -57,7 +57,15 @@ ag::Variable BasicBlock::forward(const ag::Variable& x) {
   ag::Variable skip = x;
   if (downsample_) skip = pool_short_->forward(skip);
   if (shortcut_) skip = bn_short_->forward(shortcut_->forward(skip));
-  return ag::relu(ag::add(main, skip));
+  ag::Variable out = ag::relu(ag::add(main, skip));
+  if (training()) {
+    // Warm the residual-join observers (values only — QAT leaves the
+    // residual unquantized, so this changes no forward numerics).
+    main_obs_.observe(main.value());
+    skip_obs_.observe(skip.value());
+    out_obs_.observe(out.value());
+  }
+  return out;
 }
 
 std::vector<std::string> ResNet18::searchable_layer_names() {

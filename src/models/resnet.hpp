@@ -48,12 +48,35 @@ class BasicBlock : public nn::Module {
              const ConvBuilder& build, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
 
+  // Structure accessors for the deployment compiler (compile_resnet18).
+  bool downsample() const { return downsample_; }
+  nn::Module& conv1() { return *conv1_; }
+  nn::Module& conv2() { return *conv2_; }
+  nn::BatchNorm2d& bn1() { return *bn1_; }
+  nn::BatchNorm2d& bn2() { return *bn2_; }
+  /// nullptr for identity-skip blocks.
+  nn::Conv2d* shortcut() { return shortcut_.get(); }
+  nn::BatchNorm2d* bn_short() { return bn_short_.get(); }
+
+  /// Range observers on the residual join, warmed during training alongside
+  /// the layer observers: the two pre-add branch activations (post-bn2 main,
+  /// post-shortcut skip) and the post-add-ReLU block output. These are what
+  /// the integer skip-add requantizes with — the branches themselves are
+  /// never fake-quantized in QAT (the paper's training leaves the residual
+  /// in float), so deployment needs their ranges frozen from here.
+  quant::RangeObserver& main_branch_observer() { return main_obs_; }
+  quant::RangeObserver& skip_branch_observer() { return skip_obs_; }
+  quant::RangeObserver& output_observer() { return out_obs_; }
+
  private:
   bool downsample_;
   std::shared_ptr<nn::Module> conv1_, conv2_;
   std::shared_ptr<nn::BatchNorm2d> bn1_, bn2_, bn_short_;
   std::shared_ptr<nn::Conv2d> shortcut_;  // 1x1, im2row, when shape changes
   std::shared_ptr<nn::MaxPool2d> pool_, pool_short_;
+  quant::RangeObserver main_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver skip_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver out_obs_{quant::RangeObserver::Mode::kEma};
 };
 
 class ResNet18 : public nn::Module {
@@ -68,6 +91,12 @@ class ResNet18 : public nn::Module {
   /// ("stage1.block0.conv1", ...). Matches the layer names passed to the
   /// ConvBuilder.
   static std::vector<std::string> searchable_layer_names();
+
+  // Structure accessors for the deployment compiler (compile_resnet18).
+  nn::Conv2d& conv_in() { return *conv_in_; }
+  nn::BatchNorm2d& bn_in() { return *bn_in_; }
+  const std::vector<std::shared_ptr<BasicBlock>>& blocks() { return blocks_; }
+  nn::Linear& fc() { return *fc_; }
 
  private:
   ResNetConfig cfg_;

@@ -42,6 +42,14 @@ class BatchNorm2d : public Module {
   ag::Variable forward(const ag::Variable& input) override;
   BatchNormState& state() { return state_; }
 
+  // Frozen-statistics accessors for deployment compilers (bn folding or the
+  // integer per-channel affine). The registered buffers are authoritative.
+  ag::Variable gamma() { return gamma_; }
+  ag::Variable beta() { return beta_; }
+  const Tensor& running_mean() { return running_mean_.value(); }
+  const Tensor& running_var() { return running_var_.value(); }
+  float eps() const { return state_.eps; }
+
  private:
   ag::Variable gamma_;
   ag::Variable beta_;

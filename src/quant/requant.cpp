@@ -29,9 +29,16 @@ std::int32_t apply_multiplier(std::int32_t acc, const FixedPointMultiplier& m) {
   std::int32_t high = static_cast<std::int32_t>((prod + nudge) / (1LL << 31));
   if (overflow) high = std::numeric_limits<std::int32_t>::max();
 
-  int shift = m.shift;
+  const int shift = m.shift;
   if (shift <= 0) {
-    // Negative (left) shift: scale up, saturating.
+    // Negative (left) shift: scale up, saturating. |high| < 2^31, so any
+    // nonzero value shifted left by >= 31 exceeds int32 — saturate before
+    // the shift itself can overflow the int64 intermediate.
+    if (high == 0) return 0;
+    if (-shift >= 31) {
+      return high > 0 ? std::numeric_limits<std::int32_t>::max()
+                      : std::numeric_limits<std::int32_t>::min();
+    }
     const std::int64_t shifted = static_cast<std::int64_t>(high) << (-shift);
     if (shifted > std::numeric_limits<std::int32_t>::max()) {
       return std::numeric_limits<std::int32_t>::max();
@@ -41,11 +48,17 @@ std::int32_t apply_multiplier(std::int32_t acc, const FixedPointMultiplier& m) {
     }
     return static_cast<std::int32_t>(shifted);
   }
-  // Rounding right shift.
-  const std::int32_t mask = (1 << shift) - 1;
-  const std::int32_t remainder = high & mask;
-  const std::int32_t threshold = (mask >> 1) + (high < 0 ? 1 : 0);
-  return (high >> shift) + (remainder > threshold ? 1 : 0);
+  // Rounding right shift, in 64 bits: a multiplier below 2^-31 (tiny scale
+  // ratio, e.g. wide logits feeding a tight consumer scale) yields shift >=
+  // 31, where the old `1 << shift` mask was undefined behavior. Shifts are
+  // clamped at 62 — |high| < 2^31, so everything past that rounds to 0
+  // anyway — keeping `1 << s` and `h >> s` well-defined.
+  const int s = std::min(shift, 62);
+  const std::int64_t h = high;
+  const std::int64_t mask = (std::int64_t{1} << s) - 1;
+  const std::int64_t remainder = h & mask;
+  const std::int64_t threshold = (mask >> 1) + (h < 0 ? 1 : 0);
+  return static_cast<std::int32_t>((h >> s) + (remainder > threshold ? 1 : 0));
 }
 
 std::int32_t saturate(std::int32_t v, int bits) {

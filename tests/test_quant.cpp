@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "autograd/gradcheck.hpp"
 #include "autograd/ops.hpp"
@@ -160,6 +161,46 @@ TEST(Requant, MultiplierRoundTrip) {
 TEST(Requant, MultiplierAboveOne) {
   const auto fp = quantize_multiplier(3.5);
   EXPECT_NEAR(apply_multiplier(1000, fp), 3500, 1);
+}
+
+TEST(Requant, ExtremeSmallMultiplierRoundsToZeroNotUB) {
+  // A scale ratio below 2^-31 (e.g. wide logits requantized onto a very
+  // tight consumer scale) produces shift >= 31, where the old int32 mask
+  // computation was undefined behavior. The result must round to zero for
+  // any int32 accumulator.
+  for (const double mult : {1e-10, 1e-12, 1e-300}) {
+    const auto fp = quantize_multiplier(mult);
+    EXPECT_GE(fp.shift, 31) << "mult=" << mult;
+    for (const std::int32_t acc :
+         {std::numeric_limits<std::int32_t>::min() + 1, -123456789, -1, 0, 1, 123456789,
+          std::numeric_limits<std::int32_t>::max()}) {
+      EXPECT_EQ(apply_multiplier(acc, fp), 0) << "mult=" << mult << " acc=" << acc;
+    }
+  }
+}
+
+TEST(Requant, ShiftBoundaryAroundThirtyOneStaysExact) {
+  // Multipliers just above/below 2^-31: shift lands on 30/31/32. Compare
+  // against float math (±1 for the double rounding).
+  for (const int exp : {-30, -31, -32, -35}) {
+    const double mult = std::ldexp(0.75, exp);
+    const auto fp = quantize_multiplier(mult);
+    for (const std::int32_t acc : {1 << 30, -(1 << 30), 2047483647, -2047483647}) {
+      const auto want = static_cast<std::int32_t>(std::llround(acc * mult));
+      EXPECT_NEAR(apply_multiplier(acc, fp), want, 1) << "exp=" << exp << " acc=" << acc;
+    }
+  }
+}
+
+TEST(Requant, ExtremeLargeMultiplierSaturates) {
+  // The mirror edge: a huge ratio left-shifts far past int32 — saturate,
+  // do not overflow the int64 intermediate.
+  for (const double mult : {1e10, 1e12, 1e300}) {
+    const auto fp = quantize_multiplier(mult);
+    EXPECT_EQ(apply_multiplier(1, fp), std::numeric_limits<std::int32_t>::max()) << mult;
+    EXPECT_EQ(apply_multiplier(-1, fp), std::numeric_limits<std::int32_t>::min()) << mult;
+    EXPECT_EQ(apply_multiplier(0, fp), 0) << mult;
+  }
 }
 
 TEST(Requant, NonPositiveMultiplierThrows) {
