@@ -1,0 +1,167 @@
+// Serving throughput harness: requests/sec through the InferenceServer vs
+// worker count and batch policy, against the single-thread run() baseline at
+// batch 1, on a Winograd conv stack built from Fig. 7 grid shapes.
+//
+// Two scaling axes are measured:
+//   - workers: on a multi-core host, N workers (each pinned to a 1-thread
+//     OpenMP team) should approach N x the 1-worker rate — the acceptance
+//     bar is >= 2x at 4 workers. On a single hardware thread the worker
+//     sweep degenerates (reported honestly either way).
+//   - batching: coalescing K requests into one forward amortizes the
+//     scatter/gather fixed costs and runs bigger GEMMs, so max_batch > 1
+//     should beat request-at-a-time serving even on one core.
+//
+// Knobs: WINO_SERVE_REQUESTS (total requests per cell), WINO_SERVE_CLIENTS.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench_common.hpp"
+#include "deploy/pipeline.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace wa;
+using Clock = std::chrono::steady_clock;
+
+/// Frozen three-conv Winograd F2 stack on Fig. 7 grid shapes (3->32 at 16,
+/// 32->64 at 16, then a pool down to 8 and 64->64): deep enough that a
+/// request is real work, small enough that the harness finishes on a laptop.
+deploy::Int8Pipeline build_pipeline(Rng& rng) {
+  const auto conv = [&rng](std::int64_t cin, std::int64_t cout, float in_s, float out_s) {
+    deploy::ConvStage st;
+    st.algo = nn::ConvAlgo::kWinograd2;
+    st.in_channels = cin;
+    st.out_channels = cout;
+    st.kernel = 3;
+    st.pad = 1;
+    st.input_scale = in_s;
+    st.weights_f = Tensor::randn({cout, cin, 3, 3}, rng, 0.3F);
+    st.transforms = wino::make_transforms(2, 3);
+    st.stage_scales.input_transformed = 0.06F;
+    st.stage_scales.hadamard = 0.02F;
+    st.stage_scales.output = out_s;
+    st.output_scale = out_s;
+    st.relu_after = true;
+    return st;
+  };
+  deploy::Int8Pipeline pipe;
+  pipe.push(conv(3, 32, 0.05F, 0.1F));
+  pipe.push(conv(32, 64, 0.1F, 0.09F));
+  pipe.push(deploy::PoolStage{2, 2});
+  pipe.push(conv(64, 64, 0.09F, 0.08F));
+  return pipe;
+}
+
+struct Cell {
+  int workers;
+  std::int64_t max_batch;
+  std::int64_t max_delay_us;
+};
+
+double serve_rps(const deploy::Int8Pipeline& pipe, const Cell& cell, int clients,
+                 std::int64_t requests) {
+  serve::ServerOptions opts;
+  opts.workers = cell.workers;
+  opts.queue_capacity = 512;
+  opts.batch.max_batch = cell.max_batch;
+  opts.batch.max_delay_us = cell.max_delay_us;
+  serve::InferenceServer server(opts);
+  server.add_model("grid", pipe);
+
+  Rng rng(7);
+  const Tensor input = Tensor::randn({1, 3, 16, 16}, rng);
+  // Warm-up: fault in the per-worker arenas outside the timed window.
+  for (int i = 0; i < cell.workers; ++i) server.submit("grid", input).get();
+
+  const std::int64_t per_client = requests / clients;
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&server, &input, per_client] {
+      std::vector<std::future<Tensor>> futures;
+      futures.reserve(static_cast<std::size_t>(per_client));
+      for (std::int64_t i = 0; i < per_client; ++i) {
+        futures.push_back(server.submit("grid", input));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const serve::ModelStats s = server.stats("grid");
+  std::printf("  workers=%d max_batch=%-3lld delay=%-5lldus | %8.1f req/s  "
+              "p50 %6.2fms  p99 %6.2fms  batches %llu (mean size %.2f)\n",
+              cell.workers, static_cast<long long>(cell.max_batch),
+              static_cast<long long>(cell.max_delay_us),
+              static_cast<double>(per_client * clients) / secs, s.latency.p50_ms,
+              s.latency.p99_ms, static_cast<unsigned long long>(s.batches),
+              s.batches ? static_cast<double>(s.samples) / static_cast<double>(s.batches) : 0.0);
+  return static_cast<double>(per_client * clients) / secs;
+}
+
+}  // namespace
+
+int main() {
+  const auto requests = wa::bench::env_int("WINO_SERVE_REQUESTS", 256);
+  const int clients = static_cast<int>(wa::bench::env_int("WINO_SERVE_CLIENTS", 8));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  Rng rng(42);
+  const deploy::Int8Pipeline pipe = build_pipeline(rng);
+
+  // Single-thread baseline: one caller, run() at batch 1, no server. The
+  // baseline must be genuinely single-threaded — with the default OpenMP
+  // team it would use every core and the worker-scaling comparison below
+  // (workers pinned to 1-thread teams) would be measuring team sizes, not
+  // the server. This only changes the calling (main) thread's ICV; each
+  // server worker pins its own.
+#ifdef _OPENMP
+  omp_set_num_threads(1);
+#endif
+  const Tensor input = Tensor::randn({1, 3, 16, 16}, rng);
+  pipe.run(input);  // warm-up
+  const auto t0 = Clock::now();
+  for (std::int64_t i = 0; i < requests; ++i) pipe.run(input);
+  const double base_secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double base_rps = static_cast<double>(requests) / base_secs;
+
+  std::printf("Serving throughput — %lld requests, %d clients, %u hardware threads\n",
+              static_cast<long long>(requests), clients, hw);
+  std::printf("baseline: single-thread run() at batch 1: %.1f req/s\n\n", base_rps);
+
+  std::printf("worker scaling (max_batch 1 — pure concurrency, no coalescing):\n");
+  double rps_w1 = 0.0, rps_w4 = 0.0;
+  for (const int w : {1, 2, 4}) {
+    const double rps = serve_rps(pipe, {w, 1, 0}, clients, requests);
+    if (w == 1) rps_w1 = rps;
+    if (w == 4) rps_w4 = rps;
+  }
+
+  std::printf("\nbatch policy (4 workers — coalescing on top of concurrency):\n");
+  for (const Cell cell : {Cell{4, 4, 200}, Cell{4, 8, 500}, Cell{4, 16, 1000}}) {
+    serve_rps(pipe, cell, clients, requests);
+  }
+
+  std::printf("\n4-worker speedup over single-thread baseline: %.2fx (batch 1)\n",
+              rps_w4 / base_rps);
+  std::printf("4-worker speedup over 1 worker:               %.2fx\n", rps_w4 / rps_w1);
+  if (hw >= 4 && rps_w4 < 2.0 * base_rps) {
+    std::printf("WARNING: expected >= 2x over the batch-1 baseline at 4 workers on a "
+                ">=4-thread host\n");
+    return 1;
+  }
+  if (hw < 4) {
+    std::printf("note: only %u hardware thread(s) — worker scaling cannot manifest here; "
+                "the >=2x @ 4 workers bar applies to >=4-thread hosts\n", hw);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// End-to-end serving walkthrough: train a QAT LeNet-5, compile it to an
+// integer pipeline, freeze the one remaining dynamic scale, save the
+// compiled artifact to disk (.wam), load it back into an InferenceServer,
+// hammer it from a few client threads, and dump the per-model stats.
+//
+//   train -> compile_lenet -> freeze_scales -> save_pipeline("lenet.wam")
+//         -> InferenceServer::load_model -> submit() futures -> stats()
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "deploy/pipeline.hpp"
+#include "serve/artifact.hpp"
+#include "serve/server.hpp"
+#include "train/trainer.hpp"
+
+using namespace wa;
+
+int main() {
+  Rng rng(42);
+
+  // 1. Train a small INT8 LeNet on the synthetic MNIST-like set.
+  models::LeNetConfig cfg;
+  cfg.algo = nn::ConvAlgo::kWinograd2;
+  cfg.qspec = quant::QuantSpec{8};
+  models::LeNet5 net(cfg, rng);
+  auto spec = data::mnist_like();
+  spec.train_size = 256;
+  spec.test_size = 64;
+  const auto train_set = data::generate(spec, true);
+  const auto val_set = data::generate(spec, false);
+  train::TrainerOptions topts;
+  topts.epochs = 2;
+  topts.batch_size = 16;
+  topts.lr = 3e-3F;
+  train::Trainer trainer(net, train_set, val_set, topts);
+  trainer.fit();
+  std::printf("trained: val accuracy %.3f\n", trainer.evaluate(val_set));
+
+  // 2. Compile to the integer pipeline and freeze the logits scale so
+  //    coalesced batches cannot perturb each other (serving requirement).
+  deploy::Int8Pipeline pipe = deploy::compile_lenet(net);
+  pipe.freeze_scales(train_set.images.slice0(0, 16));
+
+  // 3. Durable artifact: the server below could be a different process.
+  const std::string path = "lenet.wam";
+  serve::save_pipeline(path, pipe);
+  std::printf("saved compiled artifact: %s\n", path.c_str());
+
+  // 4. Serve it: 2 workers, micro-batching up to 8 samples / 300us linger.
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  opts.batch.max_batch = 8;
+  opts.batch.max_delay_us = 300;
+  serve::InferenceServer server(opts);
+  server.load_model("lenet", path);
+
+  // 5. A few client threads, each classifying its own slice of the val set.
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &val_set, c] {
+      for (std::int64_t i = c; i < val_set.size(); i += kClients) {
+        const Tensor logits = server.submit("lenet", val_set.images.slice0(i, i + 1)).get();
+        (void)logits.argmax();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // 6. Stats dump.
+  const serve::ModelStats s = server.stats("lenet");
+  std::printf("\nmodel 'lenet' stats\n");
+  std::printf("  requests   %llu (%llu samples in %llu dispatches, %llu failed)\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.samples),
+              static_cast<unsigned long long>(s.batches),
+              static_cast<unsigned long long>(s.failed));
+  std::printf("  latency    p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n", s.latency.p50_ms,
+              s.latency.p95_ms, s.latency.p99_ms, s.latency.max_ms);
+  std::printf("  throughput %.1f samples/s\n", s.samples_per_sec);
+  std::printf("  batch-size histogram:");
+  for (std::size_t k = 1; k < s.batch_size_hist.size(); ++k) {
+    if (s.batch_size_hist[k] != 0) {
+      std::printf("  %zux%llu", k, static_cast<unsigned long long>(s.batch_size_hist[k]));
+    }
+  }
+  std::printf("\n");
+  std::remove(path.c_str());
+  return 0;
+}

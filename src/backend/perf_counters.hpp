@@ -4,6 +4,14 @@
 // tests (and benches) can assert amortisation properties that latency alone
 // cannot pin down — e.g. that a prepared pipeline never recomputes
 // U = G g Gᵀ after load, no matter how many forwards run.
+//
+// Concurrency contract (audited for the serving runtime): each counter is a
+// monotone relaxed atomic — concurrent bumps from any number of inference
+// threads cannot tear or be lost, and no ordering is implied between
+// counters. A snapshot() is therefore not a consistent cut across counters,
+// but any single counter observed flat across a window proves that *no*
+// thread performed that operation inside the window — which is exactly the
+// property the serve tests assert while N clients hammer a loaded pipeline.
 #pragma once
 
 #include <atomic>
@@ -18,9 +26,25 @@ struct PerfCounters {
   static std::atomic<std::uint64_t> weight_transforms;
   /// Weight-layout repacks (e.g. [O, F] -> [F, O] transposes for the GEMM
   /// kernels). A compiled pipeline pays these once at load (push/prepare);
-  /// run-time forwards must keep this flat too.
+  /// run-time forwards must keep this flat too. Loading a .wam artifact
+  /// pays neither: the packed/transformed caches are part of the artifact.
   static std::atomic<std::uint64_t> weight_repacks;
 };
+
+/// Plain-value copy of all counters, for before/after flatness assertions.
+struct PerfSnapshot {
+  std::uint64_t weight_transforms = 0;
+  std::uint64_t weight_repacks = 0;
+
+  friend bool operator==(const PerfSnapshot&, const PerfSnapshot&) = default;
+};
+
+inline PerfSnapshot snapshot_counters() {
+  PerfSnapshot s;
+  s.weight_transforms = PerfCounters::weight_transforms.load(std::memory_order_relaxed);
+  s.weight_repacks = PerfCounters::weight_repacks.load(std::memory_order_relaxed);
+  return s;
+}
 
 inline void count_weight_transform() {
   PerfCounters::weight_transforms.fetch_add(1, std::memory_order_relaxed);

@@ -204,6 +204,11 @@ void Int8Pipeline::push(Stage s, StageIO io) {
 }
 
 Tensor Int8Pipeline::run(const Tensor& input, std::vector<StageTiming>* timings) const {
+  return run_impl(input, timings, nullptr);
+}
+
+Tensor Int8Pipeline::run_impl(const Tensor& input, std::vector<StageTiming>* timings,
+                              std::vector<float>* out_scales) const {
   if (nodes_.empty()) throw std::invalid_argument("Int8Pipeline::run: empty pipeline");
   const auto* first = std::get_if<ConvStage>(&nodes_.front().op);
   if (first == nullptr) {
@@ -240,6 +245,10 @@ Tensor Int8Pipeline::run(const Tensor& input, std::vector<StageTiming>* timings)
   };
 
   QTensor cur = backend::quantize_s8(input, first->input_scale);
+  if (out_scales != nullptr) {
+    out_scales->assign(nodes_.size() + 1, -1.F);
+    (*out_scales)[0] = cur.scale;  // the input quantizer's (possibly derived) scale
+  }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const Node& node = nodes_[i];
     const std::string where = node.io.label.empty()
@@ -276,6 +285,7 @@ Tensor Int8Pipeline::run(const Tensor& input, std::vector<StageTiming>* timings)
       const auto t1 = std::chrono::steady_clock::now();
       timings->push_back({where, std::chrono::duration<double, std::milli>(t1 - t0).count()});
     }
+    if (out_scales != nullptr) (*out_scales)[i + 1] = out.scale;
     if (node.io.output.empty()) {
       cur = std::move(out);
     } else {
@@ -291,12 +301,103 @@ Tensor Int8Pipeline::run_batched(const Tensor& input, std::int64_t micro_batch) 
   if (input.dim() < 1) throw std::invalid_argument("Int8Pipeline::run_batched: scalar input");
   const std::int64_t n = input.size(0);
   if (micro_batch <= 0 || micro_batch >= n) return run(input);
+  // Splitting re-derives every dynamic scale from each chunk's own
+  // statistics, so two identical samples could quantize differently based on
+  // which neighbours they were coalesced with. Serving cannot tolerate that;
+  // reject deterministically instead of silently perturbing logits.
+  if (const auto dynamic = dynamic_scale_labels(); !dynamic.empty()) {
+    throw std::invalid_argument(
+        "Int8Pipeline::run_batched: splitting a batch across stages with dynamic scales would "
+        "make results depend on batch composition — freeze_scales() first (dynamic: " +
+        join_labels(dynamic) + ")");
+  }
   std::vector<Tensor> chunks;
   chunks.reserve(static_cast<std::size_t>((n + micro_batch - 1) / micro_batch));
   for (std::int64_t b0 = 0; b0 < n; b0 += micro_batch) {
     chunks.push_back(run(input.slice0(b0, std::min(n, b0 + micro_batch))));
   }
   return Tensor::concat(chunks, 0);
+}
+
+std::string Int8Pipeline::join_labels(const std::vector<std::string>& labels) {
+  std::string out;
+  for (const std::string& l : labels) out += (out.empty() ? "" : ", ") + l;
+  return out;
+}
+
+std::vector<std::string> Int8Pipeline::dynamic_scale_labels() const {
+  std::vector<std::string> out;
+  const auto where = [this](std::size_t i) {
+    const Node& n = nodes_[i];
+    return n.io.label.empty() ? "stage " + std::to_string(i) + " (" + stage_type_name(n.op) + ")"
+                              : n.io.label;
+  };
+  if (!nodes_.empty()) {
+    if (const auto* first = std::get_if<ConvStage>(&nodes_.front().op);
+        first != nullptr && first->input_scale <= 0.F) {
+      out.push_back(where(0) + ".input-quantizer");
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::visit(
+        [&](const auto& st) {
+          using T = std::decay_t<decltype(st)>;
+          if constexpr (std::is_same_v<T, ConvStage>) {
+            if (nn::is_winograd(st.algo)) {
+              // The Winograd kernel reads its scales from stage_scales, not
+              // output_scale; V/M are internal stages, Y is the output.
+              if (st.stage_scales.input_transformed <= 0.F) out.push_back(where(i) + ".v");
+              if (st.stage_scales.hadamard <= 0.F) out.push_back(where(i) + ".m");
+              if (st.stage_scales.output <= 0.F) out.push_back(where(i) + ".y");
+            } else if (st.output_scale <= 0.F) {
+              out.push_back(where(i));
+            }
+          } else if constexpr (std::is_same_v<T, LinearStage>) {
+            if (st.output_scale <= 0.F) out.push_back(where(i));
+          }
+          // Pool/flatten/avg-pool pass levels through unchanged; BnStage and
+          // AddStage refuse to prepare() without frozen scales.
+        },
+        nodes_[i].op);
+  }
+  return out;
+}
+
+void Int8Pipeline::freeze_scales(const Tensor& calibration) {
+  if (all_scales_frozen()) return;
+  // Internal Winograd scales (V, M) are derived inside the kernel and never
+  // surfaced, so a calibration forward cannot capture them.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (const auto* st = std::get_if<ConvStage>(&nodes_[i].op);
+        st != nullptr && nn::is_winograd(st->algo) &&
+        (st->stage_scales.input_transformed <= 0.F || st->stage_scales.hadamard <= 0.F)) {
+      throw std::invalid_argument(
+          "Int8Pipeline::freeze_scales: " +
+          (nodes_[i].io.label.empty() ? "stage " + std::to_string(i) : nodes_[i].io.label) +
+          " has dynamic internal Winograd scales (V/M) that only the kernel sees — deploy it "
+          "with observer-frozen stage scales (compile_lenet/compile_resnet18 do)");
+    }
+  }
+  std::vector<float> scales;
+  run_impl(calibration, nullptr, &scales);
+  if (auto* first = std::get_if<ConvStage>(&nodes_.front().op); first->input_scale <= 0.F) {
+    first->input_scale = scales[0];
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::visit(
+        [&](auto& st) {
+          using T = std::decay_t<decltype(st)>;
+          if constexpr (std::is_same_v<T, ConvStage>) {
+            if (st.output_scale <= 0.F) st.output_scale = scales[i + 1];
+            if (nn::is_winograd(st.algo) && st.stage_scales.output <= 0.F) {
+              st.stage_scales.output = scales[i + 1];
+            }
+          } else if constexpr (std::is_same_v<T, LinearStage>) {
+            if (st.output_scale <= 0.F) st.output_scale = scales[i + 1];
+          }
+        },
+        nodes_[i].op);
+  }
 }
 
 std::vector<std::int64_t> Int8Pipeline::classify(const Tensor& input) const {

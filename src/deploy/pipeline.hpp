@@ -144,11 +144,44 @@ struct StageTiming {
 /// repack happen exactly once); run() then executes the scatter -> batched
 /// GEMM -> gather hot path allocation-free out of per-thread scratch arenas,
 /// resolving slot reads/writes as it walks the schedule.
+///
+/// ## Thread-safety contract (audited for the serving runtime, src/serve)
+///
+/// `run()`, `run_batched()` and `classify()` are safe to call concurrently
+/// from any number of threads on the same pipeline, because the const run
+/// path touches no shared mutable state:
+///   - stages are immutable after push()/freeze_scales() — the run loop only
+///     reads their frozen scales, prepared weight caches and fixed-point
+///     multipliers;
+///   - every intermediate (activation slots, lowered patch matrices, int32
+///     accumulators, Winograd V/M/Y tiles) is either a local QTensor or
+///     lives in the calling thread's ScratchArena (one bump allocator per
+///     OS thread, including OpenMP workers — growth never crosses threads);
+///   - the only global writes are the backend::PerfCounters relaxed atomics,
+///     which are monotone counters: concurrent bumps cannot tear, and a
+///     flat window observed around concurrent forwards proves no thread
+///     re-transformed or repacked weights;
+///   - stages with *dynamic* scales (output_scale <= 0, resolved from each
+///     batch's own statistics) are still data-race-free — the derived scale
+///     is a per-call local — but they are batch-composition dependent, so a
+///     server must freeze_scales() before coalescing unrelated requests.
+/// The mutating members — push(), freeze_scales() — are NOT safe to race
+/// with anything, including each other: complete all loading/freezing
+/// before publishing the pipeline to worker threads (the server does this
+/// under its registry lock).
 class Int8Pipeline {
  public:
+  /// One compiled stage plus its dataflow wiring; exposed read-only so the
+  /// artifact writer (src/serve) can serialize a pipeline stage-by-stage.
+  struct Node {
+    Stage op;
+    StageIO io;
+  };
+
   void push(Stage s) { push(std::move(s), StageIO{}); }
   void push(Stage s, StageIO io);
   std::size_t size() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
 
   /// Run a float input end-to-end; returns dequantized logits [N, classes].
   /// Activations stay int8 between stages. When `timings` is non-null it is
@@ -161,20 +194,50 @@ class Int8Pipeline {
   /// scaling every intermediate with the full batch. micro_batch <= 0 runs
   /// the whole batch at once.
   ///
-  /// Bit-identical to run() when every stage scale is frozen (> 0). A stage
-  /// left with a dynamic scale (e.g. the final logits stage of
-  /// compile_lenet) derives it from each micro-batch's own statistics, so
-  /// outputs can differ from run() within quantization rounding.
+  /// Bit-identical to run() — and per-sample independent of how samples are
+  /// grouped — which is only well-defined when every stage scale is frozen
+  /// (> 0). A stage left with a dynamic scale (e.g. the final logits stage
+  /// of compile_lenet) would derive it from each micro-batch's own
+  /// statistics, letting coalesced batches of unrelated requests perturb
+  /// each other's logits; splitting such a pipeline therefore throws
+  /// std::invalid_argument naming the offending stages. Call
+  /// freeze_scales() first (the serving load path does).
   Tensor run_batched(const Tensor& input, std::int64_t micro_batch) const;
 
   /// Argmax class per batch row.
   std::vector<std::int64_t> classify(const Tensor& input) const;
 
+  /// Labels of stages whose output is NOT deterministic per sample: any
+  /// stage with a dynamic output scale (output_scale <= 0, requantized from
+  /// each batch's accumulator abs-max), a Winograd stage with a dynamic
+  /// internal V/M scale, or a dynamic pipeline input scale (the input
+  /// quantizer derives its scale from the whole batch). Empty means run()
+  /// results are independent of batch composition.
+  std::vector<std::string> dynamic_scale_labels() const;
+  bool all_scales_frozen() const { return dynamic_scale_labels().empty(); }
+
+  /// Comma-join of stage labels (e.g. dynamic_scale_labels()) for
+  /// diagnostics — shared by the engine and the serving registry so their
+  /// error messages stay in step.
+  static std::string join_labels(const std::vector<std::string>& labels);
+
+  /// Freeze every dynamic *output* scale (and the input quantizer's scale)
+  /// to the value one forward over `calibration` derives, making every later
+  /// run() batch-composition independent and run_batched() bit-identical to
+  /// run(). A forward over the calibration batch itself is bit-identical
+  /// before and after freezing (the captured scale is exactly the scale
+  /// that forward derived). Winograd stages with dynamic *internal* scales
+  /// (input_transformed / hadamard <= 0) cannot be frozen from the outside
+  /// — those scales never leave the kernel — so they throw here: deploy
+  /// them with observer-frozen stage scales as compile_lenet /
+  /// compile_resnet18 do. Not thread-safe; call before publishing the
+  /// pipeline to workers.
+  void freeze_scales(const Tensor& calibration);
+
  private:
-  struct Node {
-    Stage op;
-    StageIO io;
-  };
+  Tensor run_impl(const Tensor& input, std::vector<StageTiming>* timings,
+                  std::vector<float>* out_scales) const;
+
   std::vector<Node> nodes_;
 };
 

@@ -1,0 +1,406 @@
+#include "serve/artifact.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/io.hpp"
+
+namespace wa::serve {
+
+using deploy::AddStage;
+using deploy::AvgPoolStage;
+using deploy::BnStage;
+using deploy::ConvStage;
+using deploy::FlattenStage;
+using deploy::Int8Pipeline;
+using deploy::LinearStage;
+using deploy::PoolStage;
+using deploy::Stage;
+using deploy::StageIO;
+
+namespace {
+
+constexpr std::uint32_t kWamMagic = 0x5741'4d50;  // "WAMP" (pipeline artifact)
+
+// Stage tags are part of the on-disk format: append-only, never renumber.
+enum class Tag : std::uint8_t {
+  kConv = 0,
+  kPool = 1,
+  kFlatten = 2,
+  kAvgPool = 3,
+  kLinear = 4,
+  kBn = 5,
+  kAdd = 6,
+};
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void save_optional_tensor(std::ostream& os, const Tensor& t) {
+  save_pod(os, static_cast<std::uint8_t>(t.empty() ? 0 : 1));
+  if (!t.empty()) save_tensor(os, t);
+}
+
+Tensor load_optional_tensor(std::istream& is) {
+  return load_pod<std::uint8_t>(is) != 0 ? load_tensor(is) : Tensor();
+}
+
+void save_ratio(std::ostream& os, const deploy::RequantRatio& r) {
+  save_pod(os, r.mult.m0);
+  save_pod(os, static_cast<std::int32_t>(r.mult.shift));
+  save_pod(os, static_cast<std::uint8_t>(r.identity ? 1 : 0));
+}
+
+deploy::RequantRatio load_ratio(std::istream& is) {
+  deploy::RequantRatio r;
+  r.mult.m0 = load_pod<std::int32_t>(is);
+  r.mult.shift = static_cast<int>(load_pod<std::int32_t>(is));
+  r.identity = load_pod<std::uint8_t>(is) != 0;
+  return r;
+}
+
+// ---- per-stage bodies -------------------------------------------------------
+
+void save_conv(std::ostream& os, const ConvStage& st) {
+  if (!st.prepared()) {
+    // nodes() only exposes pushed (hence prepared) stages; a raw stage here
+    // would deserialize without its weight caches and run nothing.
+    throw std::runtime_error("save_pipeline: conv stage was never prepared");
+  }
+  save_pod(os, static_cast<std::uint8_t>(st.algo));
+  save_pod(os, st.in_channels);
+  save_pod(os, st.out_channels);
+  save_pod(os, st.kernel);
+  save_pod(os, st.pad);
+  save_pod(os, st.input_scale);
+  save_pod(os, st.output_scale);
+  save_pod(os, static_cast<std::uint8_t>(st.relu_after ? 1 : 0));
+  save_pod(os, st.stage_scales.weights_transformed);
+  save_pod(os, st.stage_scales.input_transformed);
+  save_pod(os, st.stage_scales.hadamard);
+  save_pod(os, st.stage_scales.output);
+
+  const bool wino = !st.wino_cache.empty();
+  save_pod(os, static_cast<std::uint8_t>(wino ? 1 : 0));
+  if (wino) {
+    save_pod(os, static_cast<std::int32_t>(st.transforms.m));
+    save_pod(os, static_cast<std::int32_t>(st.transforms.r));
+    save_pod(os, static_cast<std::int32_t>(st.transforms.tile));
+    save_tensor(os, st.transforms.g_mat);
+    save_tensor(os, st.transforms.bt_mat);
+    save_tensor(os, st.transforms.at_mat);
+    save_vector(os, st.wino_cache.u_q);
+    save_pod(os, st.wino_cache.scale);
+    save_pod(os, st.wino_cache.out_channels);
+    save_pod(os, st.wino_cache.in_channels);
+    save_pod(os, st.wino_cache.tile);
+  } else {
+    save_vector(os, st.im2row_cache.wt);
+    save_pod(os, st.im2row_cache.scale);
+    save_pod(os, st.im2row_cache.out_channels);
+    save_pod(os, st.im2row_cache.patch);
+  }
+  save_optional_tensor(os, st.bias);
+}
+
+ConvStage load_conv(std::istream& is) {
+  ConvStage st;
+  const auto algo = load_pod<std::uint8_t>(is);
+  if (algo > static_cast<std::uint8_t>(nn::ConvAlgo::kWinograd6)) {
+    throw std::runtime_error("load_pipeline: unknown conv algorithm tag");
+  }
+  st.algo = static_cast<nn::ConvAlgo>(algo);
+  st.in_channels = load_pod<std::int64_t>(is);
+  st.out_channels = load_pod<std::int64_t>(is);
+  st.kernel = load_pod<std::int64_t>(is);
+  st.pad = load_pod<std::int64_t>(is);
+  st.input_scale = load_pod<float>(is);
+  st.output_scale = load_pod<float>(is);
+  st.relu_after = load_pod<std::uint8_t>(is) != 0;
+  st.stage_scales.weights_transformed = load_pod<float>(is);
+  st.stage_scales.input_transformed = load_pod<float>(is);
+  st.stage_scales.hadamard = load_pod<float>(is);
+  st.stage_scales.output = load_pod<float>(is);
+
+  const bool wino = load_pod<std::uint8_t>(is) != 0;
+  if (wino != nn::is_winograd(st.algo)) {
+    throw std::runtime_error("load_pipeline: conv cache kind disagrees with its algorithm");
+  }
+  if (wino) {
+    st.transforms.m = static_cast<int>(load_pod<std::int32_t>(is));
+    st.transforms.r = static_cast<int>(load_pod<std::int32_t>(is));
+    st.transforms.tile = static_cast<int>(load_pod<std::int32_t>(is));
+    st.transforms.g_mat = load_tensor(is);
+    st.transforms.bt_mat = load_tensor(is);
+    st.transforms.at_mat = load_tensor(is);
+    st.wino_cache.u_q = load_vector<std::int8_t>(is);
+    st.wino_cache.scale = load_pod<float>(is);
+    st.wino_cache.out_channels = load_pod<std::int64_t>(is);
+    st.wino_cache.in_channels = load_pod<std::int64_t>(is);
+    st.wino_cache.tile = load_pod<std::int64_t>(is);
+    // The checksum only proves the bytes are the writer's; a buggy or
+    // crafted writer could still encode an internally inconsistent stage,
+    // and the prepared kernels index u_q by these dimensions unchecked.
+    const std::int64_t t = st.wino_cache.tile;
+    if (st.wino_cache.empty() || t != st.transforms.tile ||
+        st.transforms.tile != st.transforms.m + st.transforms.r - 1 ||
+        st.transforms.r != st.kernel ||
+        st.wino_cache.out_channels != st.out_channels ||
+        st.wino_cache.in_channels != st.in_channels ||
+        static_cast<std::int64_t>(st.wino_cache.u_q.size()) !=
+            t * t * st.out_channels * st.in_channels) {
+      throw std::runtime_error("load_pipeline: Winograd cache disagrees with its stage geometry");
+    }
+  } else {
+    st.im2row_cache.wt = load_vector<std::int8_t>(is);
+    st.im2row_cache.scale = load_pod<float>(is);
+    st.im2row_cache.out_channels = load_pod<std::int64_t>(is);
+    st.im2row_cache.patch = load_pod<std::int64_t>(is);
+    if (st.im2row_cache.empty() || st.im2row_cache.out_channels != st.out_channels ||
+        st.im2row_cache.patch != st.in_channels * st.kernel * st.kernel ||
+        static_cast<std::int64_t>(st.im2row_cache.wt.size()) !=
+            st.im2row_cache.patch * st.im2row_cache.out_channels) {
+      throw std::runtime_error("load_pipeline: im2row cache disagrees with its stage geometry");
+    }
+  }
+  st.bias = load_optional_tensor(is);
+  if (!st.bias.empty() && st.bias.numel() != st.out_channels) {
+    throw std::runtime_error("load_pipeline: conv bias/channel mismatch");
+  }
+  return st;
+}
+
+void save_linear(std::ostream& os, const LinearStage& st) {
+  if (!st.prepared()) throw std::runtime_error("save_pipeline: linear stage was never prepared");
+  save_pod(os, st.input_scale);
+  save_pod(os, st.output_scale);
+  save_pod(os, static_cast<std::uint8_t>(st.relu_after ? 1 : 0));
+  save_vector(os, st.packed.wt);
+  save_pod(os, st.packed.scale);
+  save_pod(os, st.packed.out_features);
+  save_pod(os, st.packed.in_features);
+  save_optional_tensor(os, st.bias);
+}
+
+LinearStage load_linear(std::istream& is) {
+  LinearStage st;
+  st.input_scale = load_pod<float>(is);
+  st.output_scale = load_pod<float>(is);
+  st.relu_after = load_pod<std::uint8_t>(is) != 0;
+  st.packed.wt = load_vector<std::int8_t>(is);
+  st.packed.scale = load_pod<float>(is);
+  st.packed.out_features = load_pod<std::int64_t>(is);
+  st.packed.in_features = load_pod<std::int64_t>(is);
+  if (st.packed.empty() || st.packed.out_features <= 0 || st.packed.in_features <= 0 ||
+      static_cast<std::int64_t>(st.packed.wt.size()) !=
+          st.packed.in_features * st.packed.out_features) {
+    throw std::runtime_error("load_pipeline: linear weights disagree with their features");
+  }
+  st.bias = load_optional_tensor(is);
+  if (!st.bias.empty() && st.bias.numel() != st.packed.out_features) {
+    throw std::runtime_error("load_pipeline: linear bias/feature mismatch");
+  }
+  return st;
+}
+
+void save_bn(std::ostream& os, const BnStage& st) {
+  if (!st.prepared()) throw std::runtime_error("save_pipeline: bn stage was never prepared");
+  save_pod(os, st.input_scale);
+  save_pod(os, st.output_scale);
+  save_pod(os, static_cast<std::uint8_t>(st.relu_after ? 1 : 0));
+  save_tensor(os, st.scale);
+  save_tensor(os, st.bias);
+  save_vector(os, st.affine.m0);
+  save_vector(os, st.affine.exp);
+  save_vector(os, st.affine.bias_q);
+  save_pod(os, st.affine.out_scale);
+}
+
+BnStage load_bn(std::istream& is) {
+  BnStage st;
+  st.input_scale = load_pod<float>(is);
+  st.output_scale = load_pod<float>(is);
+  st.relu_after = load_pod<std::uint8_t>(is) != 0;
+  st.scale = load_tensor(is);
+  st.bias = load_tensor(is);
+  st.affine.m0 = load_vector<std::int32_t>(is);
+  st.affine.exp = load_vector<std::int8_t>(is);
+  st.affine.bias_q = load_vector<std::int64_t>(is);
+  st.affine.out_scale = load_pod<float>(is);
+  const std::size_t c = st.affine.m0.size();
+  if (c == 0 || st.affine.exp.size() != c || st.affine.bias_q.size() != c ||
+      st.scale.numel() != static_cast<std::int64_t>(c) ||
+      st.bias.numel() != static_cast<std::int64_t>(c)) {
+    throw std::runtime_error("load_pipeline: bn affine channel counts disagree");
+  }
+  return st;
+}
+
+void save_add(std::ostream& os, const AddStage& st) {
+  if (!st.prepared()) throw std::runtime_error("save_pipeline: add stage was never prepared");
+  save_pod(os, st.lhs_scale);
+  save_pod(os, st.rhs_scale);
+  save_pod(os, st.output_scale);
+  save_pod(os, static_cast<std::uint8_t>(st.relu_after ? 1 : 0));
+  save_ratio(os, st.lhs_ratio);
+  save_ratio(os, st.rhs_ratio);
+}
+
+AddStage load_add(std::istream& is) {
+  AddStage st;
+  st.lhs_scale = load_pod<float>(is);
+  st.rhs_scale = load_pod<float>(is);
+  st.output_scale = load_pod<float>(is);
+  st.relu_after = load_pod<std::uint8_t>(is) != 0;
+  st.lhs_ratio = load_ratio(is);
+  st.rhs_ratio = load_ratio(is);
+  st.prepared_ = true;  // the ratios above ARE the prepared state
+  return st;
+}
+
+void save_stage(std::ostream& os, const Stage& s) {
+  std::visit(
+      [&os](const auto& st) {
+        using T = std::decay_t<decltype(st)>;
+        if constexpr (std::is_same_v<T, ConvStage>) {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kConv));
+          save_conv(os, st);
+        } else if constexpr (std::is_same_v<T, PoolStage>) {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kPool));
+          save_pod(os, st.kernel);
+          save_pod(os, st.stride);
+        } else if constexpr (std::is_same_v<T, FlattenStage>) {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kFlatten));
+        } else if constexpr (std::is_same_v<T, AvgPoolStage>) {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kAvgPool));
+        } else if constexpr (std::is_same_v<T, LinearStage>) {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kLinear));
+          save_linear(os, st);
+        } else if constexpr (std::is_same_v<T, BnStage>) {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kBn));
+          save_bn(os, st);
+        } else {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kAdd));
+          save_add(os, st);
+        }
+      },
+      s);
+}
+
+Stage load_stage(std::istream& is) {
+  switch (static_cast<Tag>(load_pod<std::uint8_t>(is))) {
+    case Tag::kConv:
+      return load_conv(is);
+    case Tag::kPool: {
+      PoolStage st;
+      st.kernel = load_pod<std::int64_t>(is);
+      st.stride = load_pod<std::int64_t>(is);
+      return st;
+    }
+    case Tag::kFlatten:
+      return FlattenStage{};
+    case Tag::kAvgPool:
+      return AvgPoolStage{};
+    case Tag::kLinear:
+      return load_linear(is);
+    case Tag::kBn:
+      return load_bn(is);
+    case Tag::kAdd:
+      return load_add(is);
+  }
+  throw std::runtime_error("load_pipeline: unknown stage tag");
+}
+
+void save_io(std::ostream& os, const StageIO& io) {
+  save_string(os, io.input);
+  save_string(os, io.input2);
+  save_string(os, io.output);
+  save_string(os, io.label);
+}
+
+StageIO load_io(std::istream& is) {
+  StageIO io;
+  io.input = load_string(is);
+  io.input2 = load_string(is);
+  io.output = load_string(is);
+  io.label = load_string(is);
+  return io;
+}
+
+}  // namespace
+
+void save_pipeline(std::ostream& os, const Int8Pipeline& pipe) {
+  std::ostringstream payload(std::ios::binary);
+  save_pod(payload, static_cast<std::int64_t>(pipe.size()));
+  for (const Int8Pipeline::Node& node : pipe.nodes()) {
+    save_io(payload, node.io);
+    save_stage(payload, node.op);
+  }
+  const std::string bytes = payload.str();
+  save_pod(os, kWamMagic);
+  save_pod(os, kWamVersion);
+  save_pod(os, static_cast<std::uint64_t>(bytes.size()));
+  save_pod(os, fnv1a64(bytes.data(), bytes.size()));
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error("save_pipeline: stream write failed");
+}
+
+void save_pipeline(const std::string& path, const Int8Pipeline& pipe) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_pipeline: cannot open for write: " + path);
+  save_pipeline(os, pipe);
+}
+
+Int8Pipeline load_pipeline(std::istream& is) {
+  if (load_pod<std::uint32_t>(is) != kWamMagic) {
+    throw std::runtime_error("load_pipeline: not a .wam artifact (bad magic)");
+  }
+  if (const auto version = load_pod<std::uint32_t>(is); version != kWamVersion) {
+    throw std::runtime_error("load_pipeline: unsupported .wam version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kWamVersion) + ")");
+  }
+  const auto payload_bytes = load_pod<std::uint64_t>(is);
+  if (payload_bytes > (std::uint64_t{1} << 40)) {
+    throw std::runtime_error("load_pipeline: implausible payload size");
+  }
+  const auto checksum = load_pod<std::uint64_t>(is);
+  std::string bytes(static_cast<std::size_t>(payload_bytes), '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!is) throw std::runtime_error("load_pipeline: truncated .wam payload");
+  if (fnv1a64(bytes.data(), bytes.size()) != checksum) {
+    throw std::runtime_error("load_pipeline: .wam checksum mismatch (corrupted artifact)");
+  }
+
+  std::istringstream payload(bytes, std::ios::binary);
+  const auto count = load_pod<std::int64_t>(payload);
+  if (count < 0 || count > 1'000'000) {
+    throw std::runtime_error("load_pipeline: implausible stage count");
+  }
+  Int8Pipeline pipe;
+  for (std::int64_t i = 0; i < count; ++i) {
+    StageIO io = load_io(payload);
+    // push() re-validates the graph wiring and — because every stage arrives
+    // with its prepared caches — performs no weight transform or repack.
+    pipe.push(load_stage(payload), std::move(io));
+  }
+  if (payload.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error("load_pipeline: trailing bytes after last stage");
+  }
+  return pipe;
+}
+
+Int8Pipeline load_pipeline(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_pipeline: cannot open for read: " + path);
+  return load_pipeline(is);
+}
+
+}  // namespace wa::serve

@@ -1,0 +1,37 @@
+// .wam model artifacts: a durable binary form of a compiled Int8Pipeline.
+//
+// The paper's deployment story ends with an integer-only pipeline; serving
+// at scale additionally needs that pipeline to survive the process that
+// compiled it. A .wam file serializes the *compiled* stage graph — StageIO
+// wiring, packed/transformed int8 weight caches (U = Qx(G g Gᵀ) levels, the
+// repacked GEMM operands), fixed-point multipliers, integer batch-norm
+// affines and every frozen scale — so load_pipeline() reconstructs a
+// pipeline that is bit-identical to the saved one *without recomputing
+// anything*: the weight_transforms / weight_repacks counters stay flat
+// across a load, and the first forward after load is already on the cached
+// hot path.
+//
+// Layout: a fixed header (magic, format version, payload byte count, FNV-1a
+// 64 checksum of the payload) followed by the stage list. The loader
+// validates magic, version and checksum before parsing a single stage, so
+// truncated, corrupted or foreign files are rejected with a clear
+// std::runtime_error instead of materializing a garbage pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "deploy/pipeline.hpp"
+
+namespace wa::serve {
+
+/// Bumped whenever the payload layout changes; loaders reject other versions.
+constexpr std::uint32_t kWamVersion = 1;
+
+void save_pipeline(std::ostream& os, const deploy::Int8Pipeline& pipe);
+void save_pipeline(const std::string& path, const deploy::Int8Pipeline& pipe);
+
+deploy::Int8Pipeline load_pipeline(std::istream& is);
+deploy::Int8Pipeline load_pipeline(const std::string& path);
+
+}  // namespace wa::serve

@@ -1,0 +1,385 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "serve/artifact.hpp"
+
+namespace wa::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Sliding window of request latencies kept per model; large enough for
+/// stable tail percentiles, small enough to sort on every stats() call.
+constexpr std::size_t kLatencyWindow = 4096;
+/// Histogram buckets: sizes 1..kHistBuckets-1 tracked exactly, bucket 0
+/// aggregates anything larger.
+constexpr std::size_t kHistBuckets = 65;
+
+double to_ms(Clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Sample shape = request shape with the batch axis stripped; only requests
+/// with identical sample shapes can share one pipeline forward.
+bool same_sample_shape(const Tensor& a, const Tensor& b) {
+  if (a.dim() != b.dim()) return false;
+  for (std::int64_t d = 1; d < a.dim(); ++d) {
+    if (a.size(d) != b.size(d)) return false;
+  }
+  return true;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+struct InferenceServer::Impl {
+  struct Request {
+    Tensor input;
+    std::int64_t samples = 0;
+    std::promise<Tensor> promise;
+    Clock::time_point enqueued;
+  };
+
+  struct ModelState {
+    deploy::Int8Pipeline pipe;
+    std::deque<Request> queue;
+
+    std::uint64_t requests = 0, samples = 0, batches = 0, failed = 0, rejected = 0;
+    std::vector<std::uint64_t> hist = std::vector<std::uint64_t>(kHistBuckets, 0);
+    std::vector<double> lat_window;
+    std::size_t lat_pos = 0;
+    Clock::time_point first_submit{};
+    bool saw_submit = false;
+  };
+
+  explicit Impl(ServerOptions o) : opts(o) {
+    opts.workers = std::max(1, opts.workers);
+    opts.queue_capacity = std::max<std::size_t>(1, opts.queue_capacity);
+    opts.batch.max_batch = std::max<std::int64_t>(1, opts.batch.max_batch);
+    opts.batch.max_delay_us = std::max<std::int64_t>(0, opts.batch.max_delay_us);
+    workers.reserve(static_cast<std::size_t>(opts.workers));
+    for (int i = 0; i < opts.workers; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ServerOptions opts;
+  mutable std::mutex mu;
+  std::condition_variable work_cv;   // workers: new requests or stop
+  std::condition_variable space_cv;  // submitters: queue space freed
+  bool stop = false;
+  bool joined = false;
+  // std::map: node-based, so ModelState addresses stay valid while workers
+  // run a model's pipeline outside the lock. Models are never erased.
+  std::map<std::string, ModelState> models;
+  std::vector<std::thread> workers;
+
+  // ---- scheduling (all under mu) -------------------------------------------
+
+  /// Round-robin over the registry so a saturated model cannot starve the
+  /// others: each pick starts one past the previously dispatched model.
+  ModelState* pick_locked() {
+    if (models.empty()) return nullptr;
+    const std::size_t n = models.size();
+    auto it = models.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rr_cursor % n));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!it->second.queue.empty()) {
+        rr_cursor = (rr_cursor % n) + i + 1;
+        return &it->second;
+      }
+      if (++it == models.end()) it = models.begin();
+    }
+    return nullptr;
+  }
+  std::size_t rr_cursor = 0;
+
+  /// Samples in the coalescable prefix of the queue: consecutive requests
+  /// (FIFO — never reordered past a shape mismatch) whose sample shapes
+  /// match the front request, capped at max_batch.
+  std::int64_t eligible_samples_locked(const ModelState& m) const {
+    std::int64_t total = 0;
+    for (const Request& r : m.queue) {
+      if (!same_sample_shape(r.input, m.queue.front().input)) break;
+      total += r.samples;
+      if (total >= opts.batch.max_batch) break;
+    }
+    return total;
+  }
+
+  std::vector<Request> pop_group_locked(ModelState& m) {
+    std::vector<Request> group;
+    std::int64_t total = 0;
+    while (!m.queue.empty()) {
+      Request& r = m.queue.front();
+      if (!group.empty() && (!same_sample_shape(r.input, group.front().input) ||
+                             total + r.samples > opts.batch.max_batch)) {
+        break;
+      }
+      total += r.samples;
+      group.push_back(std::move(r));
+      m.queue.pop_front();
+      if (total >= opts.batch.max_batch) break;
+    }
+    return group;
+  }
+
+  // ---- worker --------------------------------------------------------------
+
+  void worker_loop() {
+#ifdef _OPENMP
+    if (opts.omp_threads_per_worker > 0) omp_set_num_threads(opts.omp_threads_per_worker);
+#endif
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      ModelState* m = pick_locked();
+      if (m == nullptr) {
+        if (stop) return;  // drained: every queue is empty
+        work_cv.wait(lk);
+        continue;
+      }
+      // Linger for more work to coalesce — but never past the oldest
+      // request's delay budget, and not at all once shutdown began.
+      const auto deadline =
+          m->queue.front().enqueued + std::chrono::microseconds(opts.batch.max_delay_us);
+      while (!stop && !m->queue.empty() &&
+             eligible_samples_locked(*m) < opts.batch.max_batch && Clock::now() < deadline) {
+        work_cv.wait_until(lk, deadline);
+      }
+      if (m->queue.empty()) continue;  // another worker dispatched it
+      std::vector<Request> group = pop_group_locked(*m);
+      lk.unlock();
+      space_cv.notify_all();
+      run_group(*m, group);
+      lk.lock();
+    }
+  }
+
+  void run_group(ModelState& m, std::vector<Request>& group) {
+    std::int64_t total = 0;
+    for (const Request& r : group) total += r.samples;
+
+    Tensor out;
+    std::exception_ptr err;
+    try {
+      if (group.size() == 1) {
+        out = m.pipe.run(group.front().input);
+      } else {
+        std::vector<Tensor> parts;
+        parts.reserve(group.size());
+        for (Request& r : group) parts.push_back(std::move(r.input));
+        out = m.pipe.run(Tensor::concat(parts, 0));
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    // Account the dispatch BEFORE completing the futures: a caller whose
+    // future just resolved must already see itself in stats().
+    const auto done = Clock::now();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      m.batches += 1;
+      m.requests += group.size();
+      m.samples += static_cast<std::uint64_t>(total);
+      if (err) m.failed += group.size();
+      const std::size_t bucket =
+          static_cast<std::size_t>(total) < kHistBuckets ? static_cast<std::size_t>(total) : 0;
+      m.hist[bucket] += 1;
+      for (const Request& r : group) {
+        const double l = to_ms(done - r.enqueued);
+        if (m.lat_window.size() < kLatencyWindow) {
+          m.lat_window.push_back(l);
+        } else {
+          m.lat_window[m.lat_pos] = l;
+          m.lat_pos = (m.lat_pos + 1) % kLatencyWindow;
+        }
+      }
+    }
+
+    std::int64_t off = 0;
+    for (Request& r : group) {
+      if (err) {
+        r.promise.set_exception(err);
+      } else if (group.size() == 1) {
+        r.promise.set_value(std::move(out));
+      } else {
+        r.promise.set_value(out.slice0(off, off + r.samples));
+      }
+      off += r.samples;
+    }
+  }
+
+  // ---- submission ----------------------------------------------------------
+
+  std::optional<std::future<Tensor>> enqueue(const std::string& model, Tensor input,
+                                             bool blocking) {
+    if (input.dim() < 1 || input.size(0) < 1) {
+      throw std::invalid_argument("InferenceServer::submit: input needs a batch axis [N, ...]");
+    }
+    std::unique_lock<std::mutex> lk(mu);
+    auto it = models.find(model);
+    if (it == models.end()) {
+      throw std::invalid_argument("InferenceServer: unknown model '" + model + "'");
+    }
+    ModelState& m = it->second;
+    while (!stop && m.queue.size() >= opts.queue_capacity) {
+      if (!blocking) {
+        ++m.rejected;
+        return std::nullopt;
+      }
+      space_cv.wait(lk);
+    }
+    if (stop) throw std::runtime_error("InferenceServer: shutting down");
+
+    Request r;
+    r.samples = input.size(0);
+    r.input = std::move(input);
+    r.enqueued = Clock::now();
+    if (!m.saw_submit) {
+      m.saw_submit = true;
+      m.first_submit = r.enqueued;
+    }
+    std::future<Tensor> fut = r.promise.get_future();
+    m.queue.push_back(std::move(r));
+    work_cv.notify_all();
+    return fut;
+  }
+
+  void shutdown() {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (joined) return;
+      stop = true;
+      to_join.swap(workers);  // claim the threads so a racing shutdown joins nothing
+    }
+    work_cv.notify_all();
+    space_cv.notify_all();
+    for (std::thread& t : to_join) t.join();
+    std::lock_guard<std::mutex> lk(mu);
+    joined = true;
+    // Workers drain before exiting, so queues are normally empty here; this
+    // guards the pathological path (a worker that died on a non-exception).
+    for (auto& [name, m] : models) {
+      for (Request& r : m.queue) {
+        r.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("InferenceServer: shut down before request ran")));
+      }
+      m.queue.clear();
+    }
+  }
+};
+
+InferenceServer::InferenceServer(ServerOptions opts) : impl_(std::make_unique<Impl>(opts)) {}
+
+InferenceServer::~InferenceServer() { impl_->shutdown(); }
+
+void InferenceServer::add_model(const std::string& name, deploy::Int8Pipeline pipe) {
+  if (pipe.size() == 0) {
+    throw std::invalid_argument("InferenceServer::add_model: empty pipeline");
+  }
+  if (const auto dynamic = pipe.dynamic_scale_labels(); !dynamic.empty()) {
+    throw std::invalid_argument(
+        "InferenceServer::add_model('" + name + "'): pipeline has dynamic scales (" +
+        deploy::Int8Pipeline::join_labels(dynamic) +
+        ") — coalesced batches would perturb each other's logits; call "
+        "freeze_scales() on a calibration batch before serving");
+  }
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (impl_->stop) throw std::runtime_error("InferenceServer: shutting down");
+  auto [it, inserted] = impl_->models.try_emplace(name);
+  if (!inserted) {
+    throw std::invalid_argument("InferenceServer::add_model: model '" + name +
+                                "' is already registered");
+  }
+  it->second.pipe = std::move(pipe);
+}
+
+void InferenceServer::load_model(const std::string& name, const std::string& wam_path) {
+  add_model(name, load_pipeline(wam_path));
+}
+
+std::vector<std::string> InferenceServer::model_names() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<std::string> names;
+  names.reserve(impl_->models.size());
+  for (const auto& [name, m] : impl_->models) names.push_back(name);
+  return names;
+}
+
+std::future<Tensor> InferenceServer::submit(const std::string& model, Tensor input) {
+  return *impl_->enqueue(model, std::move(input), /*blocking=*/true);
+}
+
+std::optional<std::future<Tensor>> InferenceServer::try_submit(const std::string& model,
+                                                               Tensor input) {
+  return impl_->enqueue(model, std::move(input), /*blocking=*/false);
+}
+
+ModelStats InferenceServer::stats(const std::string& model) const {
+  ModelStats s;
+  std::vector<double> sorted;
+  Clock::time_point first_submit{};
+  bool saw_submit = false;
+  {
+    // Copy under the scheduler lock, sort after releasing it: a monitoring
+    // poll must not stall submitters and workers for an O(n log n) pass
+    // over the latency window.
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto it = impl_->models.find(model);
+    if (it == impl_->models.end()) {
+      throw std::invalid_argument("InferenceServer: unknown model '" + model + "'");
+    }
+    const Impl::ModelState& m = it->second;
+    s.requests = m.requests;
+    s.samples = m.samples;
+    s.batches = m.batches;
+    s.failed = m.failed;
+    s.rejected = m.rejected;
+    s.queue_depth = m.queue.size();
+    s.batch_size_hist = m.hist;
+    sorted = m.lat_window;
+    first_submit = m.first_submit;
+    saw_submit = m.saw_submit;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  s.latency.p50_ms = percentile(sorted, 0.50);
+  s.latency.p95_ms = percentile(sorted, 0.95);
+  s.latency.p99_ms = percentile(sorted, 0.99);
+  s.latency.max_ms = sorted.empty() ? 0.0 : sorted.back();
+  if (!sorted.empty()) {
+    double sum = 0.0;
+    for (double l : sorted) sum += l;
+    s.latency.mean_ms = sum / static_cast<double>(sorted.size());
+  }
+  if (saw_submit && s.samples > 0) {
+    const double secs = std::chrono::duration<double>(Clock::now() - first_submit).count();
+    if (secs > 0.0) s.samples_per_sec = static_cast<double>(s.samples) / secs;
+  }
+  return s;
+}
+
+void InferenceServer::shutdown() { impl_->shutdown(); }
+
+}  // namespace wa::serve

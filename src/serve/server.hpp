@@ -1,0 +1,120 @@
+// Concurrent batched inference server over compiled Int8Pipelines.
+//
+// The missing substrate between "a pipeline runs in the process that
+// compiled it" and the roadmap's serving story. An InferenceServer owns a
+// registry of named models (loaded from .wam artifacts or adopted from an
+// in-process compiler), a bounded per-model submission queue with
+// backpressure, and a pool of worker threads running a dynamic
+// micro-batching scheduler: a worker claims the oldest pending queue,
+// lingers up to `max_delay_us` for more requests to coalesce (up to
+// `max_batch` samples with identical sample shape), dispatches the group as
+// ONE pipeline forward, then slices the logits back per request and
+// completes each caller's future.
+//
+// Correctness under coalescing rests on two audited properties:
+//   - Int8Pipeline::run() is const and thread-safe (see pipeline.hpp), so
+//     any number of workers can share one pipeline;
+//   - registration requires all_scales_frozen(), so a sample's logits are
+//     bit-identical no matter which unrelated requests it was batched with
+//     — the hammer test asserts server results equal single-threaded run().
+//
+// Each worker pins its OpenMP team size (default 1) so throughput scales
+// with workers instead of oversubscribing the machine with nested teams.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "deploy/pipeline.hpp"
+
+namespace wa::serve {
+
+/// Dynamic micro-batching policy: dispatch as soon as `max_batch` samples
+/// are pending, or when the oldest queued request has waited `max_delay_us`.
+/// max_batch 1 (or max_delay_us 0) degenerates to request-at-a-time serving.
+struct BatchPolicy {
+  std::int64_t max_batch = 8;
+  std::int64_t max_delay_us = 200;
+};
+
+struct ServerOptions {
+  int workers = 2;
+  /// Per-model cap on queued *requests*; submit() blocks and try_submit()
+  /// rejects once it is reached (backpressure instead of unbounded memory).
+  std::size_t queue_capacity = 256;
+  BatchPolicy batch;
+  /// OpenMP team size inside each worker's forward. 1 lets N workers use N
+  /// cores without nested oversubscription; 0 leaves the runtime default.
+  int omp_threads_per_worker = 1;
+};
+
+struct LatencyStats {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct ModelStats {
+  std::uint64_t requests = 0;  ///< completed requests
+  std::uint64_t samples = 0;   ///< completed samples (batch rows)
+  std::uint64_t batches = 0;   ///< pipeline dispatches
+  std::uint64_t failed = 0;    ///< requests completed with an exception
+  std::uint64_t rejected = 0;  ///< try_submit refusals due to a full queue
+  std::size_t queue_depth = 0; ///< requests queued right now
+  /// End-to-end request latency (enqueue -> future completed), over a
+  /// sliding window of the most recent completions.
+  LatencyStats latency;
+  /// batch_size_hist[k] counts dispatches that coalesced k samples
+  /// (index 0 aggregates anything >= the histogram length).
+  std::vector<std::uint64_t> batch_size_hist;
+  /// Completed samples per second since the model's first submission.
+  double samples_per_sec = 0.0;
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerOptions opts = {});
+  ~InferenceServer();
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Adopt an in-process pipeline under `name`. Throws std::invalid_argument
+  /// for an empty pipeline, a duplicate name, or a pipeline with dynamic
+  /// scales (freeze_scales() first — coalesced batches must not perturb each
+  /// other's logits).
+  void add_model(const std::string& name, deploy::Int8Pipeline pipe);
+
+  /// Load a .wam artifact from disk and register it. Same frozen-scales
+  /// requirement as add_model.
+  void load_model(const std::string& name, const std::string& wam_path);
+
+  std::vector<std::string> model_names() const;
+
+  /// Enqueue `input` ([N, ...], N >= 1) for `model`; the future resolves to
+  /// the dequantized logits [N, classes] (or an exception if the forward
+  /// threw). Blocks while the model's queue is full; throws
+  /// std::invalid_argument for an unknown model and std::runtime_error
+  /// after shutdown.
+  std::future<Tensor> submit(const std::string& model, Tensor input);
+
+  /// Non-blocking submit: std::nullopt (and a `rejected` tick) when the
+  /// queue is full instead of waiting.
+  std::optional<std::future<Tensor>> try_submit(const std::string& model, Tensor input);
+
+  ModelStats stats(const std::string& model) const;
+
+  /// Stop accepting work, drain every queued request, join the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wa::serve

@@ -9,37 +9,40 @@ namespace wa {
 namespace {
 constexpr std::uint32_t kTensorMagic = 0x5741'5431;  // "WAT1"
 constexpr std::uint32_t kMapMagic = 0x5741'4d31;     // "WAM1"
-
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("tensor io: truncated stream");
-  return v;
-}
 }  // namespace
 
+void save_string(std::ostream& os, const std::string& s) {
+  save_pod(os, static_cast<std::int64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string load_string(std::istream& is) {
+  const auto len = load_pod<std::int64_t>(is);
+  if (len < 0 || len > (std::int64_t{1} << 32)) {
+    throw std::runtime_error("tensor io: implausible string length");
+  }
+  std::string s(static_cast<std::size_t>(len), '\0');
+  is.read(s.data(), len);
+  if (!is) throw std::runtime_error("tensor io: truncated string");
+  return s;
+}
+
 void save_tensor(std::ostream& os, const Tensor& t) {
-  write_pod(os, kTensorMagic);
-  write_pod(os, static_cast<std::int64_t>(t.dim()));
-  for (std::int64_t d = 0; d < t.dim(); ++d) write_pod(os, t.size(d));
+  save_pod(os, kTensorMagic);
+  save_pod(os, static_cast<std::int64_t>(t.dim()));
+  for (std::int64_t d = 0; d < t.dim(); ++d) save_pod(os, t.size(d));
   os.write(reinterpret_cast<const char*>(t.raw()),
            static_cast<std::streamsize>(t.numel() * sizeof(float)));
 }
 
 Tensor load_tensor(std::istream& is) {
-  if (read_pod<std::uint32_t>(is) != kTensorMagic) {
+  if (load_pod<std::uint32_t>(is) != kTensorMagic) {
     throw std::runtime_error("tensor io: bad tensor magic");
   }
-  const auto rank = read_pod<std::int64_t>(is);
+  const auto rank = load_pod<std::int64_t>(is);
   if (rank < 0 || rank > 16) throw std::runtime_error("tensor io: implausible rank");
   Shape shape(static_cast<std::size_t>(rank));
-  for (auto& d : shape) d = read_pod<std::int64_t>(is);
+  for (auto& d : shape) d = load_pod<std::int64_t>(is);
   Tensor t(shape);
   is.read(reinterpret_cast<char*>(t.raw()),
           static_cast<std::streamsize>(t.numel() * sizeof(float)));
@@ -50,11 +53,10 @@ Tensor load_tensor(std::istream& is) {
 void save_tensor_map(const std::string& path, const std::map<std::string, Tensor>& m) {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("tensor io: cannot open for write: " + path);
-  write_pod(os, kMapMagic);
-  write_pod(os, static_cast<std::int64_t>(m.size()));
+  save_pod(os, kMapMagic);
+  save_pod(os, static_cast<std::int64_t>(m.size()));
   for (const auto& [name, tensor] : m) {
-    write_pod(os, static_cast<std::int64_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    save_string(os, name);
     save_tensor(os, tensor);
   }
 }
@@ -62,15 +64,13 @@ void save_tensor_map(const std::string& path, const std::map<std::string, Tensor
 std::map<std::string, Tensor> load_tensor_map(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("tensor io: cannot open for read: " + path);
-  if (read_pod<std::uint32_t>(is) != kMapMagic) {
+  if (load_pod<std::uint32_t>(is) != kMapMagic) {
     throw std::runtime_error("tensor io: bad map magic in " + path);
   }
-  const auto count = read_pod<std::int64_t>(is);
+  const auto count = load_pod<std::int64_t>(is);
   std::map<std::string, Tensor> m;
   for (std::int64_t i = 0; i < count; ++i) {
-    const auto len = read_pod<std::int64_t>(is);
-    std::string name(static_cast<std::size_t>(len), '\0');
-    is.read(name.data(), len);
+    std::string name = load_string(is);
     m.emplace(std::move(name), load_tensor(is));
   }
   return m;

@@ -1,14 +1,65 @@
 // Minimal binary (de)serialization for tensors and named tensor maps.
 // Used for model checkpoints (e.g. the Fig. 6 adaptation experiment trains
-// from a saved direct-convolution model).
+// from a saved direct-convolution model) and as the substrate of the .wam
+// compiled-model artifact (src/serve/artifact.hpp).
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
+#include <istream>
 #include <map>
+#include <ostream>
+#include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 
 namespace wa {
+
+/// Raw little-endian POD write/read. load_pod throws std::runtime_error on a
+/// short read so truncated streams fail loudly at the exact field.
+template <typename T>
+void save_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T load_pod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("tensor io: truncated stream");
+  return v;
+}
+
+/// Length-prefixed (int64) string.
+void save_string(std::ostream& os, const std::string& s);
+std::string load_string(std::istream& is);
+
+/// Length-prefixed (int64) vector of trivially-copyable elements.
+template <typename T>
+void save_vector(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  save_pod(os, static_cast<std::int64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> load_vector(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = load_pod<std::int64_t>(is);
+  if (n < 0 || n > (std::int64_t{1} << 40)) {
+    throw std::runtime_error("tensor io: implausible vector length");
+  }
+  std::vector<T> v(static_cast<std::size_t>(n));
+  is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!is) throw std::runtime_error("tensor io: truncated vector body");
+  return v;
+}
 
 /// Write a single tensor: magic, rank, dims (int64 little-endian), raw fp32.
 void save_tensor(std::ostream& os, const Tensor& t);

@@ -122,6 +122,30 @@ TEST(Pipeline, CompileRejectsUncalibratedModel) {
   EXPECT_THROW(compile_lenet(net), std::invalid_argument);
 }
 
+TEST(Pipeline, CompiledLenetFreezesItsOnlyDynamicStage) {
+  // compile_lenet leaves exactly one dynamic scale — the fc3 logits stage —
+  // and freeze_scales() pins it, which is what the serving load path needs
+  // before coalescing unrelated requests into one forward.
+  Rng rng(7);
+  models::LeNetConfig cfg;
+  cfg.qspec = quant::QuantSpec{8};
+  models::LeNet5 net(cfg, rng);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net.forward(ag::Variable(Tensor::randn({4, 1, 28, 28}, rng), false));  // calibrate observers
+  }
+  Int8Pipeline pipe = compile_lenet(net);
+  const auto dynamic = pipe.dynamic_scale_labels();
+  ASSERT_EQ(dynamic.size(), 1u);
+  EXPECT_EQ(dynamic[0], "fc3");
+
+  pipe.freeze_scales(Tensor::randn({4, 1, 28, 28}, rng));
+  EXPECT_TRUE(pipe.all_scales_frozen());
+  const Tensor x = Tensor::randn({6, 1, 28, 28}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(pipe.run_batched(x, 2), pipe.run(x)), 0.F)
+      << "frozen pipeline must be independent of batch composition";
+}
+
 class LenetDeployContract : public ::testing::TestWithParam<nn::ConvAlgo> {};
 
 TEST_P(LenetDeployContract, IntegerPipelineTracksQatModel) {

@@ -252,5 +252,96 @@ TEST(Engine, RunBatchedMatchesRun) {
   }
 }
 
+deploy::ConvStage dynamic_output_conv(Rng& rng) {
+  deploy::ConvStage st;
+  st.algo = nn::ConvAlgo::kIm2row;
+  st.in_channels = 2;
+  st.out_channels = 4;
+  st.kernel = 3;
+  st.pad = 1;
+  st.input_scale = 0.05F;
+  st.output_scale = -1.F;  // dynamic: requantized from each batch's abs-max
+  st.weights_q = backend::quantize_s8(Tensor::randn({4, 2, 3, 3}, rng, 0.4F));
+  return st;
+}
+
+TEST(Engine, RunBatchedRejectsSplittingAcrossDynamicScales) {
+  // A dynamic output scale makes a sample's logits depend on which
+  // neighbours shared its chunk — run_batched must refuse to split rather
+  // than silently perturb results (the serving-coalescing hazard).
+  Rng rng(29);
+  deploy::Int8Pipeline pipe;
+  pipe.push(dynamic_output_conv(rng));
+  ASSERT_FALSE(pipe.all_scales_frozen());
+
+  const Tensor x = Tensor::randn({6, 2, 8, 8}, rng);
+  EXPECT_NO_THROW(pipe.run_batched(x, 0));   // whole batch: no split, fine
+  EXPECT_NO_THROW(pipe.run_batched(x, 6));   // micro_batch >= n: no split
+  try {
+    pipe.run_batched(x, 2);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("freeze_scales"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Engine, FreezeScalesMakesRunBatchedBitExact) {
+  Rng rng(30);
+  deploy::Int8Pipeline pipe;
+  pipe.push(dynamic_output_conv(rng));
+  const Tensor calib = Tensor::randn({5, 2, 8, 8}, rng);
+  const Tensor before = pipe.run(calib);
+
+  pipe.freeze_scales(calib);
+  EXPECT_TRUE(pipe.all_scales_frozen());
+  // The captured scale is exactly the scale the calibration forward derived,
+  // so the calibration batch itself must be bit-identical before/after.
+  EXPECT_EQ(Tensor::max_abs_diff(pipe.run(calib), before), 0.F);
+
+  const Tensor x = Tensor::randn({7, 2, 8, 8}, rng);
+  const Tensor whole = pipe.run(x);
+  for (const std::int64_t mb : {1, 2, 3}) {
+    EXPECT_EQ(Tensor::max_abs_diff(pipe.run_batched(x, mb), whole), 0.F)
+        << "micro_batch=" << mb;
+  }
+}
+
+TEST(Engine, FreezeScalesCapturesDynamicInputQuantizer) {
+  // input_scale <= 0 means the input quantizer derives its scale from the
+  // whole submitted batch — also batch-composition dependent, also frozen.
+  Rng rng(31);
+  deploy::ConvStage st = dynamic_output_conv(rng);
+  st.input_scale = -1.F;
+  deploy::Int8Pipeline pipe;
+  pipe.push(std::move(st));
+  const auto dynamic = pipe.dynamic_scale_labels();
+  ASSERT_EQ(dynamic.size(), 2u);
+  EXPECT_NE(dynamic[0].find("input-quantizer"), std::string::npos) << dynamic[0];
+
+  pipe.freeze_scales(Tensor::randn({4, 2, 8, 8}, rng));
+  EXPECT_TRUE(pipe.all_scales_frozen());
+  const Tensor x = Tensor::randn({6, 2, 8, 8}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(pipe.run_batched(x, 2), pipe.run(x)), 0.F);
+}
+
+TEST(Engine, FreezeScalesRejectsDynamicInternalWinogradScales) {
+  // The V/M scales live inside the kernel; a calibration forward cannot
+  // capture them, so freezing must fail loudly instead of half-freezing.
+  Rng rng(32);
+  deploy::ConvStage st;
+  st.algo = nn::ConvAlgo::kWinograd2;
+  st.in_channels = 2;
+  st.out_channels = 4;
+  st.kernel = 3;
+  st.pad = 1;
+  st.input_scale = 0.05F;
+  st.weights_f = Tensor::randn({4, 2, 3, 3}, rng, 0.4F);
+  st.transforms = wino::make_transforms(2, 3);
+  // stage_scales left fully dynamic (V, M, Y all derived per call).
+  deploy::Int8Pipeline pipe;
+  pipe.push(std::move(st));
+  EXPECT_THROW(pipe.freeze_scales(Tensor::randn({2, 2, 8, 8}, rng)), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace wa

@@ -1,0 +1,251 @@
+// Tests for the .wam compiled-model artifact: save/load must round-trip a
+// compiled pipeline bit-exactly WITHOUT recomputing any weight cache (the
+// weight_transforms / weight_repacks counters stay flat across a load), and
+// the loader must reject corrupted, truncated and wrong-version artifacts
+// before materializing anything.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "backend/perf_counters.hpp"
+#include "deploy/pipeline.hpp"
+#include "serve/artifact.hpp"
+
+namespace wa::serve {
+namespace {
+
+using backend::PerfSnapshot;
+using backend::snapshot_counters;
+using deploy::AddStage;
+using deploy::ConvStage;
+using deploy::Int8Pipeline;
+using deploy::StageIO;
+
+// Calibrate (observer warm-up, no full training needed — "compiled" is the
+// contract under test, not accuracy) and compile the two paper models.
+
+Int8Pipeline compiled_lenet(nn::ConvAlgo algo, Rng& rng) {
+  models::LeNetConfig cfg;
+  cfg.algo = algo;
+  cfg.qspec = quant::QuantSpec{8};
+  models::LeNet5 net(cfg, rng);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net.forward(ag::Variable(Tensor::randn({4, 1, 28, 28}, rng), false));
+  }
+  Int8Pipeline pipe = deploy::compile_lenet(net);
+  // The logits stage keeps a dynamic scale out of the compiler; serving (and
+  // bit-stable round-trip comparison across batches) wants it frozen.
+  pipe.freeze_scales(Tensor::randn({4, 1, 28, 28}, rng));
+  return pipe;
+}
+
+Int8Pipeline compiled_resnet18(nn::ConvAlgo algo, Rng& rng) {
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.125F;
+  cfg.algo = algo;
+  cfg.qspec = quant::QuantSpec{8};
+  models::ResNet18 net(cfg, rng);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net.forward(ag::Variable(Tensor::randn({4, 3, 32, 32}, rng), false));
+  }
+  Int8Pipeline pipe = deploy::compile_resnet18(net);
+  pipe.freeze_scales(Tensor::randn({4, 3, 32, 32}, rng));
+  return pipe;
+}
+
+std::string saved_bytes(const Int8Pipeline& pipe) {
+  std::ostringstream os(std::ios::binary);
+  save_pipeline(os, pipe);
+  return os.str();
+}
+
+Int8Pipeline loaded_from(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return load_pipeline(is);
+}
+
+// ---- round trips ------------------------------------------------------------
+
+TEST(WamArtifact, LenetRoundTripIsBitExactAndTransformFree) {
+  for (const nn::ConvAlgo algo : {nn::ConvAlgo::kIm2row, nn::ConvAlgo::kWinograd2}) {
+    Rng rng(31);
+    const Int8Pipeline pipe = compiled_lenet(algo, rng);
+    const std::string bytes = saved_bytes(pipe);
+
+    const PerfSnapshot before = snapshot_counters();
+    const Int8Pipeline loaded = loaded_from(bytes);
+    EXPECT_EQ(snapshot_counters(), before)
+        << "load must deserialize the prepared caches, not rebuild them";
+
+    ASSERT_EQ(loaded.size(), pipe.size());
+    EXPECT_TRUE(loaded.all_scales_frozen());
+    const Tensor x = Tensor::randn({5, 1, 28, 28}, rng);
+    const Tensor want = pipe.run(x);
+    const Tensor got = loaded.run(x);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F)
+        << "algo " << nn::to_string(algo) << ": loaded pipeline must match bit-exactly";
+    EXPECT_EQ(snapshot_counters(), before)
+        << "forwards after load must stay on the cached hot path";
+  }
+}
+
+TEST(WamArtifact, ResNet18RoundTripIsBitExactAndTransformFree) {
+  // The full graph surface in one artifact: Winograd block convs with frozen
+  // Qx scales + integer BnStages, folded GEMM stem/shortcut convs, pool
+  // stages, level-aligned AddStages reading named slots, global avg-pool and
+  // the final linear stage.
+  Rng rng(32);
+  const Int8Pipeline pipe = compiled_resnet18(nn::ConvAlgo::kWinograd2, rng);
+  const std::string bytes = saved_bytes(pipe);
+
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline loaded = loaded_from(bytes);
+  EXPECT_EQ(snapshot_counters(), before) << "zero weight transforms/repacks during load";
+
+  ASSERT_EQ(loaded.size(), pipe.size());
+  const Tensor x = Tensor::randn({3, 3, 32, 32}, rng);
+  const Tensor want = pipe.run(x);
+  const Tensor got = loaded.run(x);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F);
+  loaded.run(x);
+  EXPECT_EQ(snapshot_counters(), before);
+}
+
+TEST(WamArtifact, FileRoundTripPreservesGraphWiringAndTimingLabels) {
+  Rng rng(33);
+  const Int8Pipeline pipe = compiled_resnet18(nn::ConvAlgo::kIm2row, rng);
+  const std::string path = "test_artifact_roundtrip.wam";
+  save_pipeline(path, pipe);
+  const Int8Pipeline loaded = load_pipeline(path);
+  std::remove(path.c_str());
+
+  const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+  std::vector<deploy::StageTiming> want_t, got_t;
+  const Tensor want = pipe.run(x, &want_t);
+  const Tensor got = loaded.run(x, &got_t);
+  EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F);
+  ASSERT_EQ(got_t.size(), want_t.size());
+  for (std::size_t i = 0; i < got_t.size(); ++i) {
+    EXPECT_EQ(got_t[i].label, want_t[i].label) << "stage " << i;
+  }
+}
+
+// ---- rejection --------------------------------------------------------------
+
+TEST(WamArtifact, RejectsForeignAndGarbageFiles) {
+  {
+    std::istringstream is(std::string("not a wam file at all, sorry"), std::ios::binary);
+    EXPECT_THROW(load_pipeline(is), std::runtime_error);
+  }
+  {
+    std::istringstream is(std::string(), std::ios::binary);  // empty
+    EXPECT_THROW(load_pipeline(is), std::runtime_error);
+  }
+}
+
+TEST(WamArtifact, RejectsWrongVersion) {
+  Rng rng(34);
+  std::string bytes = saved_bytes(compiled_lenet(nn::ConvAlgo::kIm2row, rng));
+  bytes[4] = static_cast<char>(kWamVersion + 1);  // version field follows the magic
+  try {
+    loaded_from(bytes);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WamArtifact, RejectsTruncation) {
+  Rng rng(35);
+  const std::string bytes = saved_bytes(compiled_lenet(nn::ConvAlgo::kIm2row, rng));
+  // Cut inside the header, inside the stage list, and one byte short.
+  for (const std::size_t keep :
+       {std::size_t{2}, std::size_t{11}, bytes.size() / 3, bytes.size() - 1}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    EXPECT_THROW(loaded_from(bytes.substr(0, keep)), std::runtime_error);
+  }
+}
+
+TEST(WamArtifact, RejectsCorruptedPayload) {
+  Rng rng(36);
+  const std::string bytes = saved_bytes(compiled_lenet(nn::ConvAlgo::kWinograd2, rng));
+  const std::size_t header = 4 + 4 + 8 + 8;
+  for (const std::size_t victim : {header, header + (bytes.size() - header) / 2, bytes.size() - 1}) {
+    SCOPED_TRACE("victim=" + std::to_string(victim));
+    std::string corrupt = bytes;
+    corrupt[victim] = static_cast<char>(corrupt[victim] ^ 0x5A);
+    try {
+      loaded_from(corrupt);
+      FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+    }
+  }
+}
+
+TEST(WamArtifact, RejectsPayloadLargerThanTheStageList) {
+  Rng rng(37);
+  const std::string bytes = saved_bytes(compiled_lenet(nn::ConvAlgo::kIm2row, rng));
+  EXPECT_NO_THROW(loaded_from(bytes));  // sanity: intact artifact loads
+  // Declare 16 extra payload bytes (header offset 8 holds payload_bytes as a
+  // little-endian u64) and append them: the stage list then fails to consume
+  // the full payload. The checksum guard fires first unless we recompute it,
+  // so corrupting only the size field must still reject — via either check.
+  std::string padded = bytes + std::string(16, '\0');
+  auto declared = static_cast<std::uint64_t>(bytes.size() - (4 + 4 + 8 + 8)) + 16;
+  for (int i = 0; i < 8; ++i) {
+    padded[8 + i] = static_cast<char>((declared >> (8 * i)) & 0xFF);
+  }
+  EXPECT_THROW(loaded_from(padded), std::runtime_error);
+}
+
+// ---- hand-built graph with explicit slots -----------------------------------
+
+TEST(WamArtifact, HandWiredResidualGraphRoundTrips) {
+  Rng rng(38);
+  const auto conv = [&rng](std::int64_t in_ch, std::int64_t out_ch, float in_s, float out_s,
+                           bool relu, std::int64_t kernel, std::int64_t pad) {
+    ConvStage st;
+    st.algo = nn::ConvAlgo::kIm2row;
+    st.in_channels = in_ch;
+    st.out_channels = out_ch;
+    st.kernel = kernel;
+    st.pad = pad;
+    st.input_scale = in_s;
+    st.output_scale = out_s;
+    st.relu_after = relu;
+    st.weights_q = backend::quantize_s8(Tensor::randn({out_ch, in_ch, kernel, kernel}, rng, 0.3F));
+    return st;
+  };
+  const auto io = [](const char* in, const char* in2, const char* out, const char* label) {
+    StageIO o;
+    o.input = in;
+    o.input2 = in2;
+    o.output = out;
+    o.label = label;
+    return o;
+  };
+
+  Int8Pipeline pipe;
+  pipe.push(conv(3, 4, 0.05F, 0.1F, true, 3, 1), io("", "", "x", "stem"));
+  pipe.push(conv(4, 6, 0.1F, 0.12F, false, 1, 0), io("x", "", "skip", "proj"));
+  pipe.push(conv(4, 6, 0.1F, 0.09F, false, 3, 1), io("x", "", "", "main"));
+  AddStage add;
+  add.lhs_scale = 0.09F;
+  add.rhs_scale = 0.12F;
+  add.output_scale = 0.08F;
+  add.relu_after = true;
+  pipe.push(std::move(add), io("", "skip", "", "join"));
+
+  const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(loaded.run(x), pipe.run(x)), 0.F);
+}
+
+}  // namespace
+}  // namespace wa::serve

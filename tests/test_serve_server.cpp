@@ -1,0 +1,331 @@
+// Tests for the concurrent batched inference server: request/response
+// correctness, dynamic micro-batch coalescing, bounded-queue backpressure,
+// stats accounting, drain-on-shutdown, and the headline concurrency
+// contract — N client threads hammering a shared compiled pipeline must get
+// results bit-identical to single-threaded Int8Pipeline::run().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "backend/perf_counters.hpp"
+#include "deploy/pipeline.hpp"
+#include "serve/server.hpp"
+
+namespace wa::serve {
+namespace {
+
+using backend::snapshot_counters;
+using deploy::ConvStage;
+using deploy::FlattenStage;
+using deploy::Int8Pipeline;
+using deploy::LinearStage;
+using deploy::PoolStage;
+
+/// Small fully-frozen conv->pool->flatten->fc pipeline; fast enough that the
+/// concurrency tests stress the server, not the kernels.
+Int8Pipeline tiny_pipeline(Rng& rng, std::int64_t out_classes = 10) {
+  ConvStage conv;
+  conv.algo = nn::ConvAlgo::kIm2row;
+  conv.in_channels = 3;
+  conv.out_channels = 8;
+  conv.kernel = 3;
+  conv.pad = 1;
+  conv.input_scale = 0.05F;
+  conv.output_scale = 0.1F;
+  conv.relu_after = true;
+  conv.weights_q = backend::quantize_s8(Tensor::randn({8, 3, 3, 3}, rng, 0.3F));
+
+  LinearStage fc;
+  fc.input_scale = 0.1F;
+  fc.output_scale = 0.2F;
+  fc.weights_q = backend::quantize_s8(Tensor::randn({out_classes, 8 * 4 * 4}, rng, 0.2F));
+
+  Int8Pipeline pipe;
+  pipe.push(std::move(conv));
+  pipe.push(PoolStage{2, 2});
+  pipe.push(FlattenStage{});
+  pipe.push(std::move(fc));
+  EXPECT_TRUE(pipe.all_scales_frozen());
+  return pipe;
+}
+
+Tensor request_input(Rng& rng, std::int64_t n = 1) { return Tensor::randn({n, 3, 8, 8}, rng); }
+
+// ---- basic correctness ------------------------------------------------------
+
+TEST(InferenceServer, ServesExactlyWhatRunProduces) {
+  Rng rng(41);
+  Int8Pipeline pipe = tiny_pipeline(rng);
+  const Int8Pipeline reference = pipe;  // value copy: the server adopts `pipe`
+
+  ServerOptions opts;
+  opts.workers = 2;
+  InferenceServer server(opts);
+  server.add_model("tiny", std::move(pipe));
+  EXPECT_EQ(server.model_names(), std::vector<std::string>{"tiny"});
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (const std::int64_t n : {1, 3, 1, 2, 4}) {
+    inputs.push_back(request_input(rng, n));
+    futures.push_back(server.submit("tiny", inputs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Tensor got = futures[i].get();
+    const Tensor want = reference.run(inputs[i]);
+    ASSERT_EQ(got.shape(), want.shape()) << "request " << i;
+    EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F) << "request " << i;
+  }
+  const ModelStats s = server.stats("tiny");
+  EXPECT_EQ(s.requests, 5u);
+  EXPECT_EQ(s.samples, 11u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_GT(s.latency.p50_ms, 0.0);
+  EXPECT_GE(s.latency.p99_ms, s.latency.p50_ms);
+}
+
+TEST(InferenceServer, CoalescesQueuedRequestsIntoMicroBatches) {
+  Rng rng(42);
+  Int8Pipeline pipe = tiny_pipeline(rng);
+  const Int8Pipeline reference = pipe;
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_batch = 4;
+  opts.batch.max_delay_us = 50'000;  // plenty of linger for a tight submit loop
+  InferenceServer server(opts);
+  server.add_model("tiny", std::move(pipe));
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(request_input(rng));
+    futures.push_back(server.submit("tiny", inputs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(Tensor::max_abs_diff(futures[i].get(), reference.run(inputs[i])), 0.F)
+        << "coalescing must not change request " << i << "'s logits";
+  }
+  const ModelStats s = server.stats("tiny");
+  EXPECT_EQ(s.requests, 8u);
+  EXPECT_EQ(s.samples, 8u);
+  EXPECT_LT(s.batches, s.requests) << "a lingering scheduler must coalesce a tight burst";
+  std::uint64_t hist_samples = 0;
+  for (std::size_t k = 1; k < s.batch_size_hist.size(); ++k) {
+    hist_samples += k * s.batch_size_hist[k];
+  }
+  EXPECT_EQ(hist_samples, s.samples) << "histogram must account for every sample";
+}
+
+TEST(InferenceServer, MixedShapesAreNeverCoalescedTogether) {
+  Rng rng(43);
+  // Headless conv->pool->flatten pipeline: accepts any spatial size, so two
+  // request shapes are both valid yet must not share a forward.
+  Int8Pipeline pipe;
+  {
+    ConvStage conv;
+    conv.algo = nn::ConvAlgo::kIm2row;
+    conv.in_channels = 3;
+    conv.out_channels = 8;
+    conv.kernel = 3;
+    conv.pad = 1;
+    conv.input_scale = 0.05F;
+    conv.output_scale = 0.1F;
+    conv.relu_after = true;
+    conv.weights_q = backend::quantize_s8(Tensor::randn({8, 3, 3, 3}, rng, 0.3F));
+    pipe.push(std::move(conv));
+    pipe.push(PoolStage{2, 2});
+    pipe.push(FlattenStage{});
+  }
+  const Int8Pipeline reference = pipe;
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_batch = 8;
+  opts.batch.max_delay_us = 20'000;
+  InferenceServer server(opts);
+  server.add_model("tiny", std::move(pipe));
+
+  // 8x8 and 6x6 inputs interleaved: both are valid for the conv stage but
+  // cannot share a forward; FIFO order must still hold per shape.
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(i % 2 == 0 ? Tensor::randn({1, 3, 8, 8}, rng) : Tensor::randn({1, 3, 6, 6}, rng));
+    futures.push_back(server.submit("tiny", inputs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(Tensor::max_abs_diff(futures[i].get(), reference.run(inputs[i])), 0.F)
+        << "request " << i;
+  }
+}
+
+// ---- backpressure -----------------------------------------------------------
+
+TEST(InferenceServer, TrySubmitRejectsWhenQueueIsFull) {
+  Rng rng(44);
+  Int8Pipeline pipe = tiny_pipeline(rng);
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.batch.max_batch = 64;          // never fills from 3 requests...
+  opts.batch.max_delay_us = 200'000;  // ...so the worker lingers, queue stays full
+  InferenceServer server(opts);
+  server.add_model("tiny", std::move(pipe));
+
+  auto f1 = server.try_submit("tiny", request_input(rng));
+  auto f2 = server.try_submit("tiny", request_input(rng));
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  auto f3 = server.try_submit("tiny", request_input(rng));
+  EXPECT_FALSE(f3.has_value()) << "third request must bounce off the bounded queue";
+  EXPECT_GE(server.stats("tiny").rejected, 1u);
+
+  // The queued work still completes once the linger deadline fires.
+  f1->get();
+  f2->get();
+  EXPECT_EQ(server.stats("tiny").requests, 2u);
+}
+
+// ---- registry and lifecycle -------------------------------------------------
+
+TEST(InferenceServer, RejectsUnknownModelsEmptyAndDynamicPipelines) {
+  Rng rng(45);
+  InferenceServer server;
+  EXPECT_THROW(server.submit("nope", request_input(rng)), std::invalid_argument);
+  EXPECT_THROW(server.stats("nope"), std::invalid_argument);
+  EXPECT_THROW(server.add_model("empty", Int8Pipeline{}), std::invalid_argument);
+
+  // A pipeline whose logits stage re-derives its scale per batch would let
+  // coalesced neighbours perturb each other — registration must refuse.
+  Int8Pipeline dynamic = tiny_pipeline(rng);
+  {
+    ConvStage head;
+    head.algo = nn::ConvAlgo::kIm2row;
+    head.in_channels = 3;
+    head.out_channels = 3;
+    head.kernel = 3;
+    head.pad = 1;
+    head.input_scale = 0.05F;
+    head.output_scale = -1.F;  // dynamic
+    head.weights_q = backend::quantize_s8(Tensor::randn({3, 3, 3, 3}, rng, 0.3F));
+    Int8Pipeline p;
+    p.push(std::move(head));
+    try {
+      server.add_model("dyn", std::move(p));
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("freeze_scales"), std::string::npos) << e.what();
+    }
+  }
+
+  server.add_model("ok", tiny_pipeline(rng));
+  EXPECT_THROW(server.add_model("ok", tiny_pipeline(rng)), std::invalid_argument)
+      << "duplicate names must be rejected";
+}
+
+TEST(InferenceServer, RoutesBetweenModelsAndDrainsOnShutdown) {
+  Rng rng(46);
+  Int8Pipeline a = tiny_pipeline(rng, 10);
+  Int8Pipeline b = tiny_pipeline(rng, 7);
+  const Int8Pipeline ref_a = a;
+  const Int8Pipeline ref_b = b;
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_delay_us = 100'000;  // queue builds up before shutdown drains it
+  InferenceServer server(opts);
+  server.add_model("a", std::move(a));
+  server.add_model("b", std::move(b));
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  std::vector<const Int8Pipeline*> refs;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(request_input(rng));
+    refs.push_back(i % 2 == 0 ? &ref_a : &ref_b);
+    futures.push_back(server.submit(i % 2 == 0 ? "a" : "b", inputs.back()));
+  }
+  server.shutdown();  // must complete every queued request before joining
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Tensor got = futures[i].get();
+    EXPECT_EQ(Tensor::max_abs_diff(got, refs[i]->run(inputs[i])), 0.F) << "request " << i;
+  }
+  EXPECT_THROW(server.submit("a", request_input(rng)), std::runtime_error)
+      << "submissions after shutdown must fail loudly";
+}
+
+TEST(InferenceServer, ForwardErrorsPropagateThroughTheFuture) {
+  Rng rng(47);
+  InferenceServer server;
+  server.add_model("tiny", tiny_pipeline(rng));
+  // Wrong channel count: the pipeline's own validation throws inside the
+  // worker; the future must carry that exception, not hang or crash.
+  auto fut = server.submit("tiny", Tensor::randn({1, 5, 8, 8}, rng));
+  EXPECT_THROW(fut.get(), std::invalid_argument);
+  EXPECT_EQ(server.stats("tiny").failed, 1u);
+}
+
+// ---- the headline contract: hammer == single-threaded run -------------------
+
+TEST(InferenceServer, HammerNClientsTimesMRequestsMatchesRunExactly) {
+  Rng rng(48);
+  Int8Pipeline pipe = tiny_pipeline(rng);
+  const Int8Pipeline reference = pipe;
+
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.batch.max_batch = 8;
+  opts.batch.max_delay_us = 200;
+  InferenceServer server(opts);
+  server.add_model("tiny", std::move(pipe));
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 32;
+
+  // Pre-generate every input and its single-threaded reference so client
+  // threads only submit and compare.
+  std::vector<std::vector<Tensor>> inputs(kClients);
+  std::vector<std::vector<Tensor>> want(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      inputs[c].push_back(request_input(rng, 1 + (c + i) % 3));
+      want[c].push_back(reference.run(inputs[c].back()));
+    }
+  }
+
+  const auto counters_before = snapshot_counters();
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<Tensor>> futures;
+      futures.reserve(inputs[c].size());
+      for (const Tensor& in : inputs[c]) futures.push_back(server.submit("tiny", in));
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        const Tensor got = futures[i].get();
+        if (got.shape() != want[c][i].shape() ||
+            Tensor::max_abs_diff(got, want[c][i]) != 0.F) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "coalesced concurrent serving must be bit-identical to run()";
+  EXPECT_EQ(snapshot_counters(), counters_before)
+      << "no weight transform/repack may happen while serving";
+  const ModelStats s = server.stats("tiny");
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace wa::serve
