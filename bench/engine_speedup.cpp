@@ -12,10 +12,12 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "backend/conv_kernels.hpp"
 #include "backend/conv_kernels_s8.hpp"
+#include "backend/simd/kernel_table.hpp"
 #include "winograd/cook_toom.hpp"
 
 namespace {
@@ -105,5 +107,56 @@ int main() {
   std::printf("\ngeomean ratio: int8 %.2fx, fp32 %.2fx   worst: int8 %.2fx, fp32 %.2fx\n",
               std::pow(geo_int8, 1.0 / n), std::pow(geo_fp32, 1.0 / n), worst_int8, worst_fp32);
   std::printf("(target: >= 1.3x on the transform-bound shapes; GEMM-bound shapes trend to 1x)\n");
+
+  // ---- per-backend comparison on the cached int8 path ----------------------
+  // Same Fig. 7 shapes, prepared Winograd path, batch 1: every registered
+  // SIMD backend against the scalar reference (the acceptance trail for the
+  // dispatch layer: >= 2x geomean for avx2 on an AVX2 host).
+  const auto backends = backend::simd::available_backends();
+  const std::string active = backend::simd::active_backend();
+  if (backends.size() > 1) {
+    std::printf("\nPer-backend int8 prepared path (vs scalar reference, batch 1)\n");
+    std::printf("%-22s %-4s | %12s", "shape", "cfg", "scalar");
+    for (const auto& b : backends) {
+      if (b != "scalar") std::printf(" %12s %7s", b.c_str(), "ratio");
+    }
+    std::printf("\n");
+    std::vector<double> geo(backends.size(), 1.0);
+    for (const auto& p : grid) {
+      const auto g = geom(p.cin, p.cout, p.hw);
+      const auto tr = wino::make_transforms(p.m, 3);
+      Rng brng(7);
+      const Tensor w = Tensor::randn({p.cout, p.cin, 3, 3}, brng, 0.3F);
+      const Tensor x = Tensor::randn({1, p.cin, p.hw, p.hw}, brng);
+      const backend::QTensor qx = backend::quantize_s8(x);
+      const auto prepared = backend::prepare_winograd_weights_s8(w, tr);
+      backend::WinogradStageScales scales;
+      scales.weights_transformed = prepared.scale;
+
+      backend::simd::set_backend("scalar");
+      const double base =
+          time_ms([&] { backend::winograd_conv_s8_prepared(qx, prepared, g, tr, scales); });
+      std::printf("%4lld->%-4lld out=%-6lld F%-3d | %9.3f ms", static_cast<long long>(p.cin),
+                  static_cast<long long>(p.cout), static_cast<long long>(p.hw), p.m, base);
+      for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+        if (backends[bi] == "scalar") continue;
+        backend::simd::set_backend(backends[bi]);
+        const double ms =
+            time_ms([&] { backend::winograd_conv_s8_prepared(qx, prepared, g, tr, scales); });
+        geo[bi] *= base / ms;
+        std::printf(" %9.3f ms %6.2fx", ms, base / ms);
+      }
+      std::printf("\n");
+    }
+    for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+      if (backends[bi] == "scalar") continue;
+      std::printf("backend %-8s geomean vs scalar: %.2fx (target >= 2x for avx2)\n",
+                  backends[bi].c_str(), std::pow(geo[bi], 1.0 / n));
+    }
+    backend::simd::set_backend(active);
+  } else {
+    std::printf("\n(only the scalar backend is available on this host — per-backend "
+                "comparison skipped)\n");
+  }
   return 0;
 }

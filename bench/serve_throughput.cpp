@@ -14,6 +14,7 @@
 // Knobs: WINO_SERVE_REQUESTS (total requests per cell), WINO_SERVE_CLIENTS.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include <omp.h>
 #endif
 
+#include "backend/simd/kernel_table.hpp"
 #include "bench_common.hpp"
 #include "deploy/pipeline.hpp"
 #include "serve/server.hpp"
@@ -149,6 +151,21 @@ int main() {
   std::printf("\nbatch policy (4 workers — coalescing on top of concurrency):\n");
   for (const Cell cell : {Cell{4, 4, 200}, Cell{4, 8, 500}, Cell{4, 16, 1000}}) {
     serve_rps(pipe, cell, clients, requests);
+  }
+
+  // Per-backend serving rates: the end-to-end view of the SIMD dispatch
+  // layer (kernel speedups have to survive queueing, batching and the worker
+  // pool to count). Same 4-worker coalescing cell per registered backend.
+  const auto backends = backend::simd::available_backends();
+  if (backends.size() > 1) {
+    std::printf("\nper-backend serving rate (4 workers, max_batch 8):\n");
+    const std::string active = backend::simd::active_backend();
+    for (const auto& b : backends) {
+      backend::simd::set_backend(b);
+      std::printf("  backend %-8s:", b.c_str());
+      serve_rps(pipe, {4, 8, 500}, clients, requests);
+    }
+    backend::simd::set_backend(active);
   }
 
   std::printf("\n4-worker speedup over single-thread baseline: %.2fx (batch 1)\n",

@@ -5,30 +5,37 @@
 #include <vector>
 
 #include "backend/perf_counters.hpp"
+#include "backend/simd/kernel_table.hpp"
 #include "tensor/arena.hpp"
-#include "winograd/small_mat.hpp"
 
 namespace wa::backend {
 
 void gemm_s8_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
                  const std::int8_t* b, std::int32_t* c) {
-#pragma omp parallel for schedule(static) if (m >= 8)
-  for (std::int64_t i = 0; i < m; ++i) {
-    std::int32_t* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const std::int32_t av = a[i * k + kk];
-      if (av == 0) continue;
-      const std::int8_t* brow = b + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * static_cast<std::int32_t>(brow[j]);
-    }
-  }
+  simd::kernels().gemm_s8_s32(m, n, k, a, b, c);
 }
 
 namespace {
+
 std::int8_t clamp_s8(float v) {
   return static_cast<std::int8_t>(std::min(127.F, std::max(-127.F, std::nearbyint(v))));
 }
+
+// Run a flat per-element kernel over [0, total) in parallel chunks. The
+// dispatched kernels (quantize_f32_s8, requant_s32_s8) are elementwise, so
+// chunking is free; the chunk size just amortizes dispatch overhead while
+// leaving enough pieces for the OpenMP team.
+template <typename Fn>
+void parallel_flat(std::int64_t total, Fn&& fn) {
+  constexpr std::int64_t kChunk = 1 << 14;
+  const std::int64_t chunks = (total + kChunk - 1) / kChunk;
+#pragma omp parallel for schedule(static) if (chunks >= 2)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t begin = c * kChunk;
+    fn(begin, std::min(kChunk, total - begin));
+  }
+}
+
 }  // namespace
 
 Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights) {
@@ -120,6 +127,15 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
   }
   const auto mult = quant::quantize_multiplier(static_cast<double>(acc_scale) / oscale);
 
+  // Requantize the accumulators flat (the dispatched fixed-point loop), then
+  // transpose the int8 result [rows, K] -> [N, K, oh, ow]. Two passes move a
+  // quarter of the bytes the old fused int32 transpose-requant touched.
+  const auto& kt = simd::kernels();
+  std::int8_t* q8 = arena.alloc<std::int8_t>(rows * g.out_channels);
+  parallel_flat(rows * g.out_channels, [&](std::int64_t begin, std::int64_t len) {
+    kt.requant_s32_s8(acc + begin, q8 + begin, len, mult);
+  });
+
   QTensor out;
   out.shape = Shape{g.batch, g.out_channels, oh, ow};
   out.scale = oscale;
@@ -128,11 +144,10 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
   for (std::int64_t n = 0; n < g.batch; ++n) {
     for (std::int64_t i = 0; i < oh; ++i) {
       for (std::int64_t j = 0; j < ow; ++j) {
-        const std::int32_t* src = acc + ((n * oh + i) * ow + j) * g.out_channels;
+        const std::int8_t* src = q8 + ((n * oh + i) * ow + j) * g.out_channels;
         for (std::int64_t k = 0; k < g.out_channels; ++k) {
-          const std::int32_t q = quant::saturate(quant::apply_multiplier(src[k], mult), 8);
           out.data[static_cast<std::size_t>(((n * g.out_channels + k) * oh + i) * ow + j)] =
-              static_cast<std::int8_t>(q);
+              src[k];
         }
       }
     }
@@ -192,34 +207,20 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
 
   ScratchArena& arena = ScratchArena::for_thread();
   ScratchArena::Scope frame(arena);
+  const auto& kt = simd::kernels();
 
   // V: dequantize each input tile on the fly (levels * scale — no full fp32
-  // copy of the activation), transform in FP32, requantize to int8.
+  // copy of the activation), transform in FP32, requantize to int8. The
+  // per-plane scatter (staged dequant + Bt d B + tile-major store) is a
+  // dispatched kernel; lanes run across tiles on the SIMD backends.
   float* v_f = arena.alloc<float>(t * t * g.in_channels * tiles);
   const float in_scale = input.scale;
 #pragma omp parallel for schedule(static)
   for (std::int64_t nc = 0; nc < g.batch * g.in_channels; ++nc) {
     const std::int64_t n = nc / g.in_channels, c = nc % g.in_channels;
     const std::int8_t* plane = input.data.data() + (n * g.in_channels + c) * g.height * g.width;
-    float patch[wino::kSmallMatCap], tmp[wino::kSmallMatCap], bt[wino::kSmallMatCap];
-    for (std::int64_t ti = 0; ti < th; ++ti) {
-      for (std::int64_t tj = 0; tj < tw; ++tj) {
-        const std::int64_t i0 = ti * m - g.pad, j0 = tj * m - g.pad;
-        for (std::int64_t a = 0; a < t; ++a) {
-          for (std::int64_t b = 0; b < t; ++b) {
-            const std::int64_t ii = i0 + a, jj = j0 + b;
-            patch[a * t + b] = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
-                                   ? static_cast<float>(plane[ii * g.width + jj]) * in_scale
-                                   : 0.F;
-          }
-        }
-        wino::smm_sandwich(tr.bt_mat.raw(), tr.tile, tr.tile, patch, tmp, bt);
-        const std::int64_t tile_idx = (n * th + ti) * tw + tj;
-        for (std::int64_t a = 0; a < t * t; ++a) {
-          v_f[(a * g.in_channels + c) * tiles + tile_idx] = bt[a];
-        }
-      }
-    }
+    kt.wino_scatter_f32(plane, g.height, g.width, g.pad, in_scale, tr.bt_mat.raw(), t, m, th, tw,
+                        v_f + c * tiles + n * th * tw, g.in_channels * tiles);
   }
   float sv = scales.input_transformed;
   if (sv <= 0.F) {
@@ -230,8 +231,10 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
     sv = quant::scale_for(amax, quant::QuantSpec{8});
   }
   std::int8_t* v_q = arena.alloc<std::int8_t>(t * t * g.in_channels * tiles);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < t * t * g.in_channels * tiles; ++i) v_q[i] = clamp_s8(v_f[i] / sv);
+  const float v_inv = 1.F / sv;
+  parallel_flat(t * t * g.in_channels * tiles, [&](std::int64_t begin, std::int64_t len) {
+    kt.quantize_f32_s8(v_f + begin, v_q + begin, len, v_inv);
+  });
 
   // Hadamard stage: t² int8 GEMMs accumulating in int32.
   std::int32_t* m_acc = arena.alloc<std::int32_t>(t * t * g.out_channels * tiles);
@@ -254,6 +257,14 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   }
   const auto m_mult = quant::quantize_multiplier(static_cast<double>(m_acc_scale) / sm);
 
+  // Requantize the whole Hadamard buffer flat to int8 levels (the gather then
+  // streams a quarter of the bytes), and run the per-plane output transform
+  // as a dispatched kernel.
+  std::int8_t* m_q = arena.alloc<std::int8_t>(t * t * g.out_channels * tiles);
+  parallel_flat(t * t * g.out_channels * tiles, [&](std::int64_t begin, std::int64_t len) {
+    kt.requant_s32_s8(m_acc + begin, m_q + begin, len, m_mult);
+  });
+
   float* out_f = arena.alloc<float>(g.batch * g.out_channels * oh * ow);
   const bool has_bias = bias != nullptr && !bias->empty();
   if (has_bias && bias->numel() != g.out_channels) {
@@ -265,22 +276,8 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
     // The output transform runs in FP32, so the bias joins there, before the
     // final requantization — same semantics as the training-time pipeline.
     const float bv = has_bias ? bias->at(k) : 0.F;
-    float* oplane = out_f + nk * oh * ow;
-    float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
-    for (std::int64_t ti = 0; ti < th; ++ti) {
-      for (std::int64_t tj = 0; tj < tw; ++tj) {
-        const std::int64_t tile_idx = (n * th + ti) * tw + tj;
-        for (std::int64_t ab = 0; ab < t * t; ++ab) {
-          const std::int32_t acc = m_acc[(ab * g.out_channels + k) * tiles + tile_idx];
-          const std::int32_t q = quant::saturate(quant::apply_multiplier(acc, m_mult), 8);
-          mtile[ab] = static_cast<float>(q) * sm;
-        }
-        wino::smm_sandwich(tr.at_mat.raw(), tr.m, tr.tile, mtile, tmp, y);
-        for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a)
-          for (std::int64_t b = 0; b < m && tj * m + b < ow; ++b)
-            oplane[(ti * m + a) * ow + tj * m + b] = y[a * m + b] + bv;
-      }
-    }
+    kt.wino_gather_f32(m_q + k * tiles + n * th * tw, g.out_channels * tiles, sm,
+                       tr.at_mat.raw(), t, m, th, tw, oh, ow, bv, out_f + nk * oh * ow);
   }
 
   float so = scales.output;
@@ -295,10 +292,10 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   out.shape = Shape{g.batch, g.out_channels, oh, ow};
   out.scale = so;
   out.data.resize(static_cast<std::size_t>(g.batch * g.out_channels * oh * ow));
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < g.batch * g.out_channels * oh * ow; ++i) {
-    out.data[static_cast<std::size_t>(i)] = clamp_s8(out_f[i] / so);
-  }
+  const float o_inv = 1.F / so;
+  parallel_flat(g.batch * g.out_channels * oh * ow, [&](std::int64_t begin, std::int64_t len) {
+    kt.quantize_f32_s8(out_f + begin, out.data.data() + begin, len, o_inv);
+  });
   return out;
 }
 

@@ -13,7 +13,9 @@
 
 namespace wa::backend {
 
-/// int8 GEMM: C_int32 = A_int8 [M,K] x B_int8 [K,N].
+/// int8 GEMM: C_int32 = A_int8 [M,K] x B_int8 [K,N]. Dispatches through the
+/// runtime-selected SIMD backend (backend/simd/kernel_table.hpp); results
+/// are bit-identical across backends.
 void gemm_s8_s32(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
                  const std::int8_t* b, std::int32_t* c);
 

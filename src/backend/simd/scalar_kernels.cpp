@@ -1,0 +1,144 @@
+// Scalar reference kernels: the always-available, bit-exact baseline of the
+// multi-backend dispatch layer (kernel_table.hpp).
+//
+// Every SIMD backend must reproduce these byte-for-byte. The fp32 transform
+// kernels are therefore compiled with -ffp-contract=off (see CMakeLists.txt):
+// a contracted fused multiply-add here would round differently from the
+// explicit multiply+add the vector lanes perform, and a 1-ulp difference in
+// a transform feeds a rounding boundary in the very next quantization.
+#include <algorithm>
+#include <cmath>
+
+#include "backend/simd/kernel_table.hpp"
+#include "tensor/arena.hpp"
+#include "winograd/small_mat.hpp"
+
+namespace wa::backend::simd {
+
+namespace {
+
+void gemm_s8_s32_scalar(std::int64_t m, std::int64_t n, std::int64_t k, const std::int8_t* a,
+                        const std::int8_t* b, std::int32_t* c) {
+#pragma omp parallel for schedule(static) if (m >= 8)
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int32_t* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int32_t av = a[i * k + kk];
+      if (av == 0) continue;
+      const std::int8_t* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * static_cast<std::int32_t>(brow[j]);
+    }
+  }
+}
+
+void gemm_f32_packed_nn_scalar(std::int64_t mb, std::int64_t n, std::int64_t k, float alpha,
+                               const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                               float beta, float* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < mb; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.F) {
+      std::fill(crow, crow + n, 0.F);
+    } else if (beta != 1.F) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * a[i * lda + kk];
+      if (av == 0.F) continue;
+      const float* brow = b + kk * ldb;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void quantize_f32_s8_scalar(const float* src, std::int8_t* dst, std::int64_t n, float inv_scale) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float x = std::min(127.F, std::max(-127.F, src[i] * inv_scale));
+    dst[i] = static_cast<std::int8_t>(static_cast<std::int32_t>(std::nearbyintf(x)));
+  }
+}
+
+void requant_s32_s8_scalar(const std::int32_t* acc, std::int8_t* dst, std::int64_t n,
+                           quant::FixedPointMultiplier mult) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::int8_t>(quant::saturate(quant::apply_multiplier(acc[i], mult), 8));
+  }
+}
+
+void wino_scatter_f32_scalar(const std::int8_t* plane, std::int64_t height, std::int64_t width,
+                             std::int64_t pad, float in_scale, const float* bt, std::int64_t t,
+                             std::int64_t m, std::int64_t th, std::int64_t tw, float* v_base,
+                             std::int64_t ab_stride) {
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
+  // Stage the t input rows of one tile row as dequantized floats with the
+  // zero padding materialized, so the per-tile loop reads without bounds
+  // checks: fbuf[a][x] holds the value at (i0 + a, x - pad).
+  const std::int64_t fw = (tw - 1) * m + t;
+  float* fbuf = arena.alloc<float>(t * fw);
+  float patch[wino::kSmallMatCap], tmp[wino::kSmallMatCap], out[wino::kSmallMatCap];
+  for (std::int64_t ti = 0; ti < th; ++ti) {
+    const std::int64_t i0 = ti * m - pad;
+    for (std::int64_t a = 0; a < t; ++a) {
+      float* row = fbuf + a * fw;
+      const std::int64_t ii = i0 + a;
+      if (ii < 0 || ii >= height) {
+        std::fill(row, row + fw, 0.F);
+        continue;
+      }
+      const std::int8_t* src = plane + ii * width;
+      for (std::int64_t x = 0; x < fw; ++x) {
+        const std::int64_t jj = x - pad;
+        row[x] = (jj >= 0 && jj < width) ? static_cast<float>(src[jj]) * in_scale : 0.F;
+      }
+    }
+    for (std::int64_t tj = 0; tj < tw; ++tj) {
+      for (std::int64_t a = 0; a < t; ++a) {
+        for (std::int64_t b = 0; b < t; ++b) patch[a * t + b] = fbuf[a * fw + tj * m + b];
+      }
+      wino::smm_sandwich(bt, static_cast<int>(t), static_cast<int>(t), patch, tmp, out);
+      float* dst = v_base + ti * tw + tj;
+      for (std::int64_t ab = 0; ab < t * t; ++ab) dst[ab * ab_stride] = out[ab];
+    }
+  }
+}
+
+void wino_gather_f32_scalar(const std::int8_t* m_base, std::int64_t ab_stride, float sm,
+                            const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
+                            std::int64_t tw, std::int64_t oh, std::int64_t ow, float bias,
+                            float* oplane) {
+  float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
+  for (std::int64_t ti = 0; ti < th; ++ti) {
+    for (std::int64_t tj = 0; tj < tw; ++tj) {
+      const std::int8_t* src = m_base + ti * tw + tj;
+      for (std::int64_t ab = 0; ab < t * t; ++ab) {
+        mtile[ab] = static_cast<float>(src[ab * ab_stride]) * sm;
+      }
+      wino::smm_sandwich(at, static_cast<int>(m), static_cast<int>(t), mtile, tmp, y);
+      for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a) {
+        for (std::int64_t b = 0; b < m && tj * m + b < ow; ++b) {
+          oplane[(ti * m + a) * ow + tj * m + b] = y[a * m + b] + bias;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernels() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.name = "scalar";
+    t.gemm_s8_s32 = gemm_s8_s32_scalar;
+    t.gemm_f32_packed_nn = gemm_f32_packed_nn_scalar;
+    t.quantize_f32_s8 = quantize_f32_s8_scalar;
+    t.requant_s32_s8 = requant_s32_s8_scalar;
+    t.wino_scatter_f32 = wino_scatter_f32_scalar;
+    t.wino_gather_f32 = wino_gather_f32_scalar;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace wa::backend::simd

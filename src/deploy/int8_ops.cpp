@@ -7,6 +7,7 @@
 
 #include "backend/conv_kernels_s8.hpp"
 #include "backend/perf_counters.hpp"
+#include "backend/simd/kernel_table.hpp"
 #include "quant/requant.hpp"
 
 namespace wa::deploy {
@@ -133,10 +134,9 @@ QTensor linear_s8_prepared(const QTensor& x, const LinearWeightsS8& weights, con
   out.shape = Shape{n, o};
   out.scale = oscale;
   out.data.resize(static_cast<std::size_t>(n * o));
-  for (std::size_t i = 0; i < out.data.size(); ++i) {
-    out.data[i] = static_cast<std::int8_t>(
-        quant::saturate(quant::apply_multiplier(acc[i], mult), 8));
-  }
+  // [N, O] accumulators and [N, O] output agree in layout, so the dispatched
+  // fixed-point requantization loop runs over the whole buffer flat.
+  backend::simd::kernels().requant_s32_s8(acc.data(), out.data.data(), n * o, mult);
   return out;
 }
 

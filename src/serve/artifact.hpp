@@ -16,6 +16,11 @@
 // validates magic, version and checksum before parsing a single stage, so
 // truncated, corrupted or foreign files are rejected with a clear
 // std::runtime_error instead of materializing a garbage pipeline.
+//
+// The byte-level specification of the format — field-by-field stage bodies,
+// integer encodings, evolution rules for new tags and versions — lives in
+// docs/WAM_FORMAT.md; keep that document in lockstep with this file (any
+// payload change bumps kWamVersion there and here).
 #pragma once
 
 #include <iosfwd>

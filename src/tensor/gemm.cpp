@@ -7,6 +7,8 @@
 #include <omp.h>
 #endif
 
+#include "backend/simd/kernel_table.hpp"
+
 namespace wa {
 
 namespace {
@@ -24,24 +26,13 @@ inline float load(const float* p, bool trans, std::int64_t m_rows, std::int64_t 
   return trans ? p[c * m_rows + r] : p[r * k_cols + c];
 }
 
-// Core kernel on a packed row-major A-panel [mb x K] and row-major B [K x N].
-void gemm_packed_nn(std::int64_t mb, std::int64_t n, std::int64_t k, float alpha, const float* a,
-                    std::int64_t lda, const float* b, std::int64_t ldb, float beta, float* c,
-                    std::int64_t ldc) {
-  for (std::int64_t i = 0; i < mb; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.F) {
-      std::fill(crow, crow + n, 0.F);
-    } else if (beta != 1.F) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = alpha * a[i * lda + kk];
-      if (av == 0.F) continue;
-      const float* brow = b + kk * ldb;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+// Core kernel on a packed row-major A-panel [mb x K] and row-major B [K x N]:
+// dispatched through the backend kernel table (scalar reference or the FMA
+// micro-kernel on AVX2 hosts).
+inline void gemm_packed_nn(std::int64_t mb, std::int64_t n, std::int64_t k, float alpha,
+                           const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                           float beta, float* c, std::int64_t ldc) {
+  backend::simd::kernels().gemm_f32_packed_nn(mb, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
 }  // namespace

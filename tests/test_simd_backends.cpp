@@ -1,0 +1,367 @@
+// Conformance suite for the multi-backend SIMD dispatch layer
+// (backend/simd/kernel_table.hpp), parametrized over every compiled-in
+// backend (unavailable ISAs are skipped at runtime).
+//
+// Two layers of guarantees:
+//   1. Kernel conformance: every dispatched kernel reproduces the scalar
+//      reference exactly — random shapes, odd vector tails, saturation
+//      edges, the shift regimes the vector requant code falls back on.
+//   2. End-to-end bit-identity: a compiled LeNet-5 and ResNet-18 produce
+//      bit-identical Int8Pipeline logits under every available backend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "backend/conv_kernels_s8.hpp"
+#include "backend/simd/kernel_table.hpp"
+#include "deploy/pipeline.hpp"
+#include "quant/requant.hpp"
+#include "winograd/cook_toom.hpp"
+
+namespace wa::backend::simd {
+namespace {
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  for (const BackendDesc& b : registered_backends()) names.push_back(b.name);
+  return names;
+}
+
+bool backend_available(const std::string& name) {
+  for (const BackendDesc& b : registered_backends()) {
+    if (b.name == name) return b.available;
+  }
+  return false;
+}
+
+class SimdBackendTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    previous_ = active_backend();
+    if (!backend_available(GetParam())) {
+      GTEST_SKIP() << "backend " << GetParam() << " is compiled in but this CPU cannot run it";
+    }
+    ASSERT_TRUE(set_backend(GetParam()));
+  }
+  void TearDown() override { set_backend(previous_); }
+
+ private:
+  std::string previous_;
+};
+
+// ---- registry ---------------------------------------------------------------
+
+// MUST run first in this binary: it observes the one-time lazy resolution of
+// the active table, before any test calls set_backend(). This is what makes
+// the CI jobs that pin WA_BACKEND=avx2 / WA_BACKEND=scalar fail loudly if
+// the override ever regresses to a silent fallback.
+TEST(SimdRegistry, AWaBackendEnvPinIsHonoredOnFirstResolution) {
+  const char* env = std::getenv("WA_BACKEND");
+  const std::string active = active_backend();  // forces resolution if first
+  if (env != nullptr && *env != '\0' && backend_available(env)) {
+    EXPECT_EQ(active, std::string(env))
+        << "WA_BACKEND=" << env << " is available but was not selected";
+  }
+  // Pinned or not, the active table must be one of the available backends.
+  const auto avail = available_backends();
+  EXPECT_NE(std::find(avail.begin(), avail.end(), active), avail.end());
+}
+
+TEST(SimdRegistry, ScalarIsAlwaysFirstAndAvailable) {
+  const auto regs = registered_backends();
+  ASSERT_FALSE(regs.empty());
+  EXPECT_EQ(regs.front().name, "scalar");
+  EXPECT_TRUE(regs.front().available);
+  const auto avail = available_backends();
+  EXPECT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), "scalar");
+}
+
+TEST(SimdRegistry, UnknownBackendIsRejectedWithoutSideEffects) {
+  const std::string before = active_backend();
+  EXPECT_FALSE(set_backend("sse42-from-the-future"));
+  EXPECT_EQ(active_backend(), before);
+}
+
+TEST(SimdRegistry, EveryResolvedEntryIsCallable) {
+  // Per-kernel scalar fallback: even a backend that only accelerates the
+  // GEMM must expose a full table.
+  const std::string before = active_backend();
+  for (const std::string& name : available_backends()) {
+    ASSERT_TRUE(set_backend(name));
+    const KernelTable& t = kernels();
+    EXPECT_NE(t.gemm_s8_s32, nullptr);
+    EXPECT_NE(t.gemm_f32_packed_nn, nullptr);
+    EXPECT_NE(t.quantize_f32_s8, nullptr);
+    EXPECT_NE(t.requant_s32_s8, nullptr);
+    EXPECT_NE(t.wino_scatter_f32, nullptr);
+    EXPECT_NE(t.wino_gather_f32, nullptr);
+  }
+  set_backend(before);
+}
+
+// ---- kernel conformance -----------------------------------------------------
+
+std::vector<std::int8_t> random_s8(Rng& rng, std::int64_t n, bool with_rails = true) {
+  std::vector<std::int8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    const double u = rng.uniform();
+    if (with_rails && u < 0.05) {
+      x = (u < 0.025) ? std::int8_t{127} : std::int8_t{-127};
+    } else {
+      x = static_cast<std::int8_t>(std::lround(rng.uniform() * 254.0 - 127.0));
+    }
+  }
+  return v;
+}
+
+TEST_P(SimdBackendTest, GemmS8MatchesScalarOnRandomShapesAndTails) {
+  Rng rng(91);
+  // Shapes chosen to hit every tail: m % 4, n % 16 and k % 2 all nonzero
+  // somewhere, plus degenerate 1s and GEMM-bound sizes.
+  const std::int64_t shapes[][3] = {{1, 1, 1},   {1, 16, 2},  {3, 5, 7},    {4, 16, 8},
+                                    {5, 17, 3},  {7, 48, 9},  {8, 33, 13},  {2, 15, 1},
+                                    {13, 31, 27}, {64, 64, 32}, {16, 128, 65}, {33, 19, 40}};
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    SCOPED_TRACE("m=" + std::to_string(m) + " n=" + std::to_string(n) + " k=" + std::to_string(k));
+    const auto a = random_s8(rng, m * k);
+    const auto b = random_s8(rng, k * n);
+    std::vector<std::int32_t> got(static_cast<std::size_t>(m * n), -1);
+    std::vector<std::int32_t> want(static_cast<std::size_t>(m * n), -2);
+    kernels().gemm_s8_s32(m, n, k, a.data(), b.data(), got.data());
+    scalar_kernels().gemm_s8_s32(m, n, k, a.data(), b.data(), want.data());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(SimdBackendTest, GemmS8SaturationHeadroom) {
+  // All-rail operands at the longest k the engine meets (512 channels * 25
+  // patch) stay far inside int32, and every backend agrees exactly.
+  const std::int64_t m = 3, n = 17, k = 12800;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m * k), std::int8_t{127});
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * n), std::int8_t{-127});
+  std::vector<std::int32_t> got(static_cast<std::size_t>(m * n));
+  kernels().gemm_s8_s32(m, n, k, a.data(), b.data(), got.data());
+  for (const std::int32_t v : got) EXPECT_EQ(v, -127 * 127 * k);
+}
+
+TEST_P(SimdBackendTest, QuantizeMatchesScalarIncludingSaturationAndTails) {
+  Rng rng(92);
+  for (const std::int64_t n : {std::int64_t{1}, std::int64_t{7}, std::int64_t{31},
+                               std::int64_t{32}, std::int64_t{33}, std::int64_t{1023}}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<float> src(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      switch (i % 9) {
+        case 0: src[i] = static_cast<float>(rng.normal()) * 100.F; break;
+        case 1: src[i] = static_cast<float>(rng.normal()) * 1e6F; break;  // saturates
+        case 2: src[i] = static_cast<float>(rng.normal()) * 1e-6F; break;
+        case 3: src[i] = 126.5F; break;   // round-to-even boundary
+        case 4: src[i] = -127.5F; break;  // rounds to -128 pre-clamp in fp
+        case 5: src[i] = 0.F; break;
+        case 6:  // non-finite: every backend must clamp like the scalar
+                 // reference (NaN -> -127 via std::max's argument order)
+          src[i] = std::numeric_limits<float>::quiet_NaN();
+          break;
+        case 7:
+          src[i] = (i % 2 != 0) ? std::numeric_limits<float>::infinity()
+                                : -std::numeric_limits<float>::infinity();
+          break;
+        default: src[i] = static_cast<float>(rng.normal()); break;
+      }
+    }
+    for (const float inv : {1.F, 0.37F, 113.7F, 1e-8F, 1e8F}) {
+      std::vector<std::int8_t> got(src.size(), 99), want(src.size(), -99);
+      kernels().quantize_f32_s8(src.data(), got.data(), n, inv);
+      scalar_kernels().quantize_f32_s8(src.data(), want.data(), n, inv);
+      EXPECT_EQ(got, want) << "inv_scale=" << inv;
+    }
+  }
+}
+
+TEST_P(SimdBackendTest, RequantMatchesScalarAcrossShiftRegimesAndRails) {
+  Rng rng(93);
+  std::vector<std::int32_t> acc;
+  acc.push_back(0);
+  acc.push_back(1);
+  acc.push_back(-1);
+  acc.push_back(std::numeric_limits<std::int32_t>::max());
+  acc.push_back(std::numeric_limits<std::int32_t>::min());
+  acc.push_back(std::numeric_limits<std::int32_t>::min() + 1);
+  acc.push_back(127);
+  acc.push_back(-128);
+  while (acc.size() < 1031) {  // odd size: exercises the vector tail
+    acc.push_back(static_cast<std::int32_t>(std::lround((rng.uniform() * 2.0 - 1.0) *
+                                                        2147483000.0)));
+  }
+  // Ratios covering: vector path (shift 1..31), ratio >= 1 (shift <= 0,
+  // scalar fallback), sub-2^-31 ratios (shift > 31, the historical UB bug).
+  for (const double ratio : {1e-12, 1e-10, 4.7e-10, 1e-6, 1e-3, 0.25, 0.5, 0.77, 0.9999, 1.0,
+                             1.0001, 2.0, 1e3, 1e9}) {
+    SCOPED_TRACE("ratio=" + std::to_string(ratio));
+    const auto mult = quant::quantize_multiplier(ratio);
+    std::vector<std::int8_t> got(acc.size(), 5), want(acc.size(), -5);
+    kernels().requant_s32_s8(acc.data(), got.data(), static_cast<std::int64_t>(acc.size()), mult);
+    scalar_kernels().requant_s32_s8(acc.data(), want.data(),
+                                    static_cast<std::int64_t>(acc.size()), mult);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(SimdBackendTest, WinogradScatterMatchesScalarOnEdgeTilesAndPads) {
+  Rng rng(94);
+  struct Cfg {
+    int m, r;
+    std::int64_t hw, pad;
+  };
+  // F2/F4 on sizes that produce interior vector groups, partial groups and
+  // clipped edge tiles, with and without padding.
+  for (const Cfg cfg : {Cfg{2, 3, 8, 1}, Cfg{2, 3, 7, 1}, Cfg{2, 3, 34, 1}, Cfg{4, 3, 13, 1},
+                        Cfg{4, 3, 32, 1}, Cfg{2, 3, 6, 0}, Cfg{4, 5, 16, 2}}) {
+    SCOPED_TRACE("m=" + std::to_string(cfg.m) + " r=" + std::to_string(cfg.r) +
+                 " hw=" + std::to_string(cfg.hw) + " pad=" + std::to_string(cfg.pad));
+    const auto tr = wino::make_transforms(cfg.m, cfg.r);
+    const std::int64_t t = tr.tile, m = tr.m;
+    const std::int64_t oh = cfg.hw + 2 * cfg.pad - cfg.r + 1;
+    const std::int64_t th = (oh + m - 1) / m, tw = th;
+    const std::int64_t tiles = th * tw;
+    const auto plane = random_s8(rng, cfg.hw * cfg.hw);
+    std::vector<float> got(static_cast<std::size_t>(t * t * tiles), 1e9F);
+    std::vector<float> want(static_cast<std::size_t>(t * t * tiles), -1e9F);
+    kernels().wino_scatter_f32(plane.data(), cfg.hw, cfg.hw, cfg.pad, 0.043F, tr.bt_mat.raw(), t,
+                               m, th, tw, got.data(), tiles);
+    scalar_kernels().wino_scatter_f32(plane.data(), cfg.hw, cfg.hw, cfg.pad, 0.043F,
+                                      tr.bt_mat.raw(), t, m, th, tw, want.data(), tiles);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "element " << i;
+    }
+  }
+}
+
+TEST_P(SimdBackendTest, WinogradGatherMatchesScalarOnEdgeTilesAndBias) {
+  Rng rng(95);
+  struct Cfg {
+    int m, r;
+    std::int64_t oh;
+  };
+  // oh not a multiple of m forces clipped edge tiles; oh = 4/16 exercises
+  // the full-vector interior; oh = 34 a partial last vector group.
+  for (const Cfg cfg : {Cfg{2, 3, 8}, Cfg{2, 3, 7}, Cfg{2, 3, 34}, Cfg{4, 3, 16}, Cfg{4, 3, 13},
+                        Cfg{4, 5, 12}}) {
+    SCOPED_TRACE("m=" + std::to_string(cfg.m) + " r=" + std::to_string(cfg.r) +
+                 " oh=" + std::to_string(cfg.oh));
+    const auto tr = wino::make_transforms(cfg.m, cfg.r);
+    const std::int64_t t = tr.tile, m = tr.m;
+    const std::int64_t th = (cfg.oh + m - 1) / m, tw = th;
+    const std::int64_t tiles = th * tw;
+    const auto levels = random_s8(rng, t * t * tiles);
+    for (const float bias : {0.F, -1.375F}) {
+      std::vector<float> got(static_cast<std::size_t>(cfg.oh * cfg.oh), 1e9F);
+      std::vector<float> want(static_cast<std::size_t>(cfg.oh * cfg.oh), -1e9F);
+      kernels().wino_gather_f32(levels.data(), tiles, 0.0217F, tr.at_mat.raw(), t, m, th, tw,
+                                cfg.oh, cfg.oh, bias, got.data());
+      scalar_kernels().wino_gather_f32(levels.data(), tiles, 0.0217F, tr.at_mat.raw(), t, m, th,
+                                       tw, cfg.oh, cfg.oh, bias, want.data());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << "element " << i << " bias " << bias;
+      }
+    }
+  }
+}
+
+TEST_P(SimdBackendTest, GemmF32StaysWithinToleranceOfScalar) {
+  // fp32 GEMM is the one table entry allowed FMA, so it carries a tolerance
+  // instead of a bit check (consumers are the float training/eval paths).
+  Rng rng(96);
+  const std::int64_t m = 9, n = 37, k = 23;
+  std::vector<float> a(static_cast<std::size_t>(m * k)), b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  std::vector<float> got(static_cast<std::size_t>(m * n), 0.5F);
+  std::vector<float> want(static_cast<std::size_t>(m * n), 0.5F);
+  kernels().gemm_f32_packed_nn(m, n, k, 1.3F, a.data(), k, b.data(), n, 0.25F, got.data(), n);
+  scalar_kernels().gemm_f32_packed_nn(m, n, k, 1.3F, a.data(), k, b.data(), n, 0.25F,
+                                      want.data(), n);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-4F) << "element " << i;
+  }
+}
+
+// ---- end-to-end bit-identity ------------------------------------------------
+
+deploy::Int8Pipeline compiled_lenet(nn::ConvAlgo algo) {
+  Rng rng(97);
+  models::LeNetConfig cfg;
+  cfg.algo = algo;
+  cfg.qspec = quant::QuantSpec{8};
+  models::LeNet5 net(cfg, rng);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net.forward(ag::Variable(Tensor::randn({4, 1, 28, 28}, rng), false));
+  }
+  deploy::Int8Pipeline pipe = deploy::compile_lenet(net);
+  pipe.freeze_scales(Tensor::randn({4, 1, 28, 28}, rng));
+  return pipe;
+}
+
+deploy::Int8Pipeline compiled_resnet18() {
+  Rng rng(98);
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.125F;
+  cfg.algo = nn::ConvAlgo::kWinograd2;
+  cfg.qspec = quant::QuantSpec{8};
+  models::ResNet18 net(cfg, rng);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net.forward(ag::Variable(Tensor::randn({4, 3, 32, 32}, rng), false));
+  }
+  deploy::Int8Pipeline pipe = deploy::compile_resnet18(net);
+  pipe.freeze_scales(Tensor::randn({4, 3, 32, 32}, rng));
+  return pipe;
+}
+
+TEST_P(SimdBackendTest, LenetLogitsBitIdenticalToScalarBackend) {
+  for (const nn::ConvAlgo algo : {nn::ConvAlgo::kIm2row, nn::ConvAlgo::kWinograd2}) {
+    SCOPED_TRACE(nn::to_string(algo));
+    // Compile under the scalar reference so preparation is backend-neutral,
+    // then run the same input under both backends.
+    ASSERT_TRUE(set_backend("scalar"));
+    const deploy::Int8Pipeline pipe = compiled_lenet(algo);
+    Rng rng(99);
+    const Tensor x = Tensor::randn({5, 1, 28, 28}, rng);
+    const Tensor want = pipe.run(x);
+    ASSERT_TRUE(set_backend(GetParam()));
+    const Tensor got = pipe.run(x);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F)
+        << "backend " << GetParam() << " diverged from the scalar reference";
+  }
+}
+
+TEST_P(SimdBackendTest, ResNet18LogitsBitIdenticalToScalarBackend) {
+  ASSERT_TRUE(set_backend("scalar"));
+  const deploy::Int8Pipeline pipe = compiled_resnet18();
+  Rng rng(100);
+  const Tensor x = Tensor::randn({3, 3, 32, 32}, rng);
+  const Tensor want = pipe.run(x);
+  ASSERT_TRUE(set_backend(GetParam()));
+  const Tensor got = pipe.run(x);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F)
+      << "backend " << GetParam() << " diverged from the scalar reference";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SimdBackendTest, ::testing::ValuesIn(backend_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace wa::backend::simd
