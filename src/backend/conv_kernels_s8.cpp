@@ -36,6 +36,26 @@ void parallel_flat(std::int64_t total, Fn&& fn) {
   }
 }
 
+/// Donate `reuse` (possibly the input's own storage — the caller guarantees
+/// the input is no longer read) into the output buffer of `n` elements. When
+/// the donated capacity covers n the buffer is reused outright; when the
+/// output is larger the donation is released FIRST, so the dying input and
+/// the fresh output never coexist (the planner's grow-donation: peak memory
+/// sees max(in, out), not in + out). The kernels overwrite all n elements,
+/// so donated and fresh buffers produce identical bytes.
+std::vector<std::int8_t> take_output_storage(std::vector<std::int8_t>* reuse, std::int64_t n) {
+  std::vector<std::int8_t> out;
+  if (reuse != nullptr) {
+    if (reuse->capacity() >= static_cast<std::size_t>(n)) {
+      out = std::move(*reuse);
+    } else {
+      std::vector<std::int8_t>().swap(*reuse);  // free before the grow
+    }
+  }
+  out.resize(static_cast<std::size_t>(n));
+  return out;
+}
+
 }  // namespace
 
 Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights) {
@@ -59,7 +79,8 @@ QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvG
 }
 
 QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& weights,
-                                const ConvGeometry& g, float out_scale, const Tensor* bias) {
+                                const ConvGeometry& g, float out_scale, const Tensor* bias,
+                                std::vector<std::int8_t>* reuse_storage) {
   g.validate();
   if (g.groups != 1) throw std::invalid_argument("im2row_conv_s8: groups must be 1");
   const std::int64_t patch = g.in_channels * g.kernel * g.kernel;
@@ -139,7 +160,9 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
   QTensor out;
   out.shape = Shape{g.batch, g.out_channels, oh, ow};
   out.scale = oscale;
-  out.data.resize(static_cast<std::size_t>(rows * g.out_channels));
+  // The input was fully consumed by the patch lowering above, so a donated
+  // buffer aliasing it is safe to take over here.
+  out.data = take_output_storage(reuse_storage, rows * g.out_channels);
 #pragma omp parallel for collapse(2) schedule(static)
   for (std::int64_t n = 0; n < g.batch; ++n) {
     for (std::int64_t i = 0; i < oh; ++i) {
@@ -181,7 +204,8 @@ QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const
 
 QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8& weights,
                                   const ConvGeometry& g, const wino::Transforms& tr,
-                                  const WinogradStageScales& scales, const Tensor* bias) {
+                                  const WinogradStageScales& scales, const Tensor* bias,
+                                  std::vector<std::int8_t>* reuse_storage) {
   g.validate();
   if (g.groups != 1) throw std::invalid_argument("winograd_conv_s8: groups must be 1");
   if (g.kernel != tr.r) throw std::invalid_argument("winograd_conv_s8: kernel != transform r");
@@ -291,7 +315,9 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   QTensor out;
   out.shape = Shape{g.batch, g.out_channels, oh, ow};
   out.scale = so;
-  out.data.resize(static_cast<std::size_t>(g.batch * g.out_channels * oh * ow));
+  // The input was fully consumed by the scatter stage above, so a donated
+  // buffer aliasing it is safe to take over here.
+  out.data = take_output_storage(reuse_storage, g.batch * g.out_channels * oh * ow);
   const float o_inv = 1.F / so;
   parallel_flat(g.batch * g.out_channels * oh * ow, [&](std::int64_t begin, std::int64_t len) {
     kt.quantize_f32_s8(out_f + begin, out.data.data() + begin, len, o_inv);

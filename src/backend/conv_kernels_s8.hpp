@@ -39,9 +39,17 @@ Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights);
 
 /// im2row convolution from prepared weights; the lowered patch matrix and
 /// int32 accumulators live in the calling thread's ScratchArena.
+///
+/// `reuse_storage`, when non-null, donates its buffer to the output tensor
+/// instead of a fresh allocation — the memory planner's in-place execution.
+/// It MAY alias input.data: the kernel reads the input only while lowering
+/// patches (before any output byte exists) and only consumes the donated
+/// vector afterwards, so out-of-place and in-place runs are bit-identical.
+/// The donated vector is moved from (left empty).
 QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& weights,
                                 const ConvGeometry& g, float out_scale = -1.F,
-                                const Tensor* bias = nullptr);
+                                const Tensor* bias = nullptr,
+                                std::vector<std::int8_t>* reuse_storage = nullptr);
 
 /// Winograd int8 convolution: transforms in FP32 with per-stage int8
 /// requantization; Hadamard stage as t² int8 GEMMs with int32 accumulators.
@@ -80,9 +88,14 @@ WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
 /// numerics to winograd_conv_s8 with the same scales, but U is reused, the
 /// input tiles are dequantized on the fly (no full fp32 copy of the
 /// activation), and V / M / Y intermediates live in the ScratchArena.
+///
+/// `reuse_storage` as in im2row_conv_s8_prepared: an optional donated output
+/// buffer that may alias input.data — the input is fully consumed by the
+/// scatter stage before the output tensor is materialized.
 QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8& weights,
                                   const ConvGeometry& g, const wino::Transforms& tr,
                                   const WinogradStageScales& scales = {},
-                                  const Tensor* bias = nullptr);
+                                  const Tensor* bias = nullptr,
+                                  std::vector<std::int8_t>* reuse_storage = nullptr);
 
 }  // namespace wa::backend

@@ -151,6 +151,25 @@ RequantRatio make_requant_ratio(float from_scale, float to_scale) {
   return r;
 }
 
+namespace {
+
+/// Shared join kernel: `out` may alias `a` and/or `b` — each element is read
+/// before its slot is written, so the aliased and fresh-buffer paths are
+/// bit-identical.
+void add_rows_s8(const std::int8_t* a, const std::int8_t* b, std::int8_t* out, std::size_t n,
+                 const RequantRatio& a_ratio, const RequantRatio& b_ratio, bool relu) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // 64-bit join: each requantized branch can sit at the int32 saturation
+    // rail, and rail + rail overflows int32.
+    std::int64_t acc =
+        static_cast<std::int64_t>(apply_ratio(a[i], a_ratio)) + apply_ratio(b[i], b_ratio);
+    if (relu && acc < 0) acc = 0;
+    out[i] = static_cast<std::int8_t>(acc > 127 ? 127 : (acc < -127 ? -127 : acc));
+  }
+}
+
+}  // namespace
+
 QTensor add_s8(const QTensor& lhs, const QTensor& rhs, const RequantRatio& lhs_ratio,
                const RequantRatio& rhs_ratio, float out_scale, bool relu) {
   if (lhs.shape != rhs.shape) {
@@ -161,15 +180,28 @@ QTensor add_s8(const QTensor& lhs, const QTensor& rhs, const RequantRatio& lhs_r
   out.shape = lhs.shape;
   out.scale = out_scale;
   out.data.resize(lhs.data.size());
-  for (std::size_t i = 0; i < lhs.data.size(); ++i) {
-    // 64-bit join: each requantized branch can sit at the int32 saturation
-    // rail, and rail + rail overflows int32.
-    std::int64_t acc = static_cast<std::int64_t>(apply_ratio(lhs.data[i], lhs_ratio)) +
-                       apply_ratio(rhs.data[i], rhs_ratio);
-    if (relu && acc < 0) acc = 0;
-    out.data[i] = static_cast<std::int8_t>(acc > 127 ? 127 : (acc < -127 ? -127 : acc));
-  }
+  add_rows_s8(lhs.data.data(), rhs.data.data(), out.data.data(), lhs.data.size(), lhs_ratio,
+              rhs_ratio, relu);
   return out;
+}
+
+void add_s8_into(QTensor& dst, const QTensor& other, const RequantRatio& dst_ratio,
+                 const RequantRatio& other_ratio, float out_scale, bool relu) {
+  if (dst.shape != other.shape) {
+    throw std::invalid_argument("add_s8_into: branch shapes " + to_string(dst.shape) + " vs " +
+                                to_string(other.shape) + " do not match");
+  }
+  add_rows_s8(dst.data.data(), other.data.data(), dst.data.data(), dst.data.size(), dst_ratio,
+              other_ratio, relu);
+  dst.scale = out_scale;
+}
+
+void requant_s8_(QTensor& x, const RequantRatio& ratio, float out_scale) {
+  for (auto& v : x.data) {
+    const std::int32_t q = apply_ratio(v, ratio);
+    v = static_cast<std::int8_t>(q > 127 ? 127 : (q < -127 ? -127 : q));
+  }
+  x.scale = out_scale;
 }
 
 ChannelAffineS8 prepare_channel_affine_s8(const Tensor& scale, const Tensor& bias,
@@ -217,20 +249,12 @@ ChannelAffineS8 prepare_channel_affine_s8(const Tensor& scale, const Tensor& bia
   return p;
 }
 
-QTensor channel_affine_s8(const QTensor& x, const ChannelAffineS8& p, bool relu) {
-  if (x.shape.size() != 4 && x.shape.size() != 2) {
-    throw std::invalid_argument("channel_affine_s8: expects [N,C,H,W] or [N,C]");
-  }
-  const std::int64_t n = x.shape[0], c = x.shape[1];
-  const std::int64_t hw = x.shape.size() == 4 ? x.shape[2] * x.shape[3] : 1;
-  if (c != static_cast<std::int64_t>(p.m0.size())) {
-    throw std::invalid_argument("channel_affine_s8: input has " + std::to_string(c) +
-                                " channels, affine has " + std::to_string(p.m0.size()));
-  }
-  QTensor out;
-  out.shape = x.shape;
-  out.scale = p.out_scale;
-  out.data.resize(x.data.size());
+namespace {
+
+/// Shared affine kernel; `dst` may alias `src` (pure per-element map).
+void channel_affine_rows_s8(const std::int8_t* src, std::int8_t* dst, std::int64_t n,
+                            std::int64_t c, std::int64_t hw, const ChannelAffineS8& p,
+                            bool relu) {
 #pragma omp parallel for collapse(2) schedule(static) if (n * c >= 16)
   for (std::int64_t ni = 0; ni < n; ++ni) {
     for (std::int64_t ci = 0; ci < c; ++ci) {
@@ -239,18 +263,47 @@ QTensor channel_affine_s8(const QTensor& x, const ChannelAffineS8& p, bool relu)
       const int e = p.exp[k];
       const std::int64_t bq = p.bias_q[k];
       const std::int64_t half = e == 0 ? 0 : std::int64_t{1} << (e - 1);
-      const std::int8_t* src = x.data.data() + (ni * c + ci) * hw;
-      std::int8_t* dst = out.data.data() + (ni * c + ci) * hw;
+      const std::int8_t* s = src + (ni * c + ci) * hw;
+      std::int8_t* d = dst + (ni * c + ci) * hw;
       for (std::int64_t i = 0; i < hw; ++i) {
-        const std::int64_t v = m * src[i] + bq;
+        const std::int64_t v = m * s[i] + bq;
         // Round half away from zero, one single rounding for the whole affine.
         std::int64_t q = e == 0 ? v : (v >= 0 ? v + half : v - half) / (std::int64_t{1} << e);
         if (relu && q < 0) q = 0;
-        dst[i] = static_cast<std::int8_t>(q > 127 ? 127 : (q < -127 ? -127 : q));
+        d[i] = static_cast<std::int8_t>(q > 127 ? 127 : (q < -127 ? -127 : q));
       }
     }
   }
+}
+
+void check_affine_shapes(const QTensor& x, const ChannelAffineS8& p) {
+  if (x.shape.size() != 4 && x.shape.size() != 2) {
+    throw std::invalid_argument("channel_affine_s8: expects [N,C,H,W] or [N,C]");
+  }
+  if (x.shape[1] != static_cast<std::int64_t>(p.m0.size())) {
+    throw std::invalid_argument("channel_affine_s8: input has " + std::to_string(x.shape[1]) +
+                                " channels, affine has " + std::to_string(p.m0.size()));
+  }
+}
+
+}  // namespace
+
+QTensor channel_affine_s8(const QTensor& x, const ChannelAffineS8& p, bool relu) {
+  check_affine_shapes(x, p);
+  const std::int64_t hw = x.shape.size() == 4 ? x.shape[2] * x.shape[3] : 1;
+  QTensor out;
+  out.shape = x.shape;
+  out.scale = p.out_scale;
+  out.data.resize(x.data.size());
+  channel_affine_rows_s8(x.data.data(), out.data.data(), x.shape[0], x.shape[1], hw, p, relu);
   return out;
+}
+
+void channel_affine_s8_(QTensor& x, const ChannelAffineS8& p, bool relu) {
+  check_affine_shapes(x, p);
+  const std::int64_t hw = x.shape.size() == 4 ? x.shape[2] * x.shape[3] : 1;
+  channel_affine_rows_s8(x.data.data(), x.data.data(), x.shape[0], x.shape[1], hw, p, relu);
+  x.scale = p.out_scale;
 }
 
 }  // namespace wa::deploy

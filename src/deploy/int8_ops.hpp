@@ -74,6 +74,20 @@ backend::QTensor add_s8(const backend::QTensor& lhs, const backend::QTensor& rhs
                         const RequantRatio& lhs_ratio, const RequantRatio& rhs_ratio,
                         float out_scale, bool relu);
 
+/// add_s8 writing the join INTO `dst` (the memory plan's in-place residual
+/// add — used when one branch dies at the join, so its buffer can carry the
+/// result). `dst_ratio` belongs to dst, `other_ratio` to other; the
+/// element arithmetic is identical to add_s8, so the result is bit-identical
+/// regardless of which operand hosts it. `other` may alias `dst`.
+void add_s8_into(backend::QTensor& dst, const backend::QTensor& rhs,
+                 const RequantRatio& dst_ratio, const RequantRatio& other_ratio,
+                 float out_scale, bool relu);
+
+/// Fixed-point level remap applied in place: x[i] = sat8(apply_ratio(x[i])),
+/// x.scale = out_scale. This is the standalone RequantStage body and the
+/// fused requant epilogue — one code path, so fusing cannot change a bit.
+void requant_s8_(backend::QTensor& x, const RequantRatio& ratio, float out_scale);
+
 /// Per-channel integer affine y_c = A_c * x_c + B_c — deployed batch-norm.
 /// Prepared once at load as a fused Q-format multiply-add: per channel a
 /// signed multiplier m0 (gamma can go negative during training) and a bias
@@ -98,5 +112,10 @@ ChannelAffineS8 prepare_channel_affine_s8(const Tensor& scale, const Tensor& bia
 /// optionally fusing ReLU, saturating to int8 at p.out_scale.
 backend::QTensor channel_affine_s8(const backend::QTensor& x, const ChannelAffineS8& p,
                                    bool relu);
+
+/// channel_affine_s8 applied in place (the fused batch-norm epilogue): same
+/// per-element kernel with src == dst, so the result is bit-identical to
+/// the out-of-place stage.
+void channel_affine_s8_(backend::QTensor& x, const ChannelAffineS8& p, bool relu);
 
 }  // namespace wa::deploy

@@ -37,7 +37,9 @@ std::string stage_type_name(const Stage& s) {
         else if constexpr (std::is_same_v<T, AvgPoolStage>) return "avg-pool";
         else if constexpr (std::is_same_v<T, LinearStage>) return "linear";
         else if constexpr (std::is_same_v<T, BnStage>) return "batch-norm";
-        else return "add";
+        else if constexpr (std::is_same_v<T, AddStage>) return "add";
+        else if constexpr (std::is_same_v<T, ReluStage>) return "relu";
+        else return "requant";
       },
       s);
 }
@@ -58,7 +60,7 @@ backend::ConvGeometry conv_geometry(const ConvStage& st, const Shape& in_shape) 
   return g;
 }
 
-QTensor run_conv(const ConvStage& st, QTensor x, const std::string& where) {
+void check_conv_input(const ConvStage& st, const QTensor& x, const std::string& where) {
   // Validate the activation against the stage BEFORE building the geometry:
   // a mis-assembled pipeline (e.g. a conv fed a flattened [N, F] tensor)
   // must fail loudly here, not read past the end of the shape array.
@@ -72,51 +74,19 @@ QTensor run_conv(const ConvStage& st, QTensor x, const std::string& where) {
   expect(oh >= 1 && ow >= 1, where,
          "activation " + to_string(x.shape) + " is smaller than the " +
              std::to_string(st.kernel) + "x" + std::to_string(st.kernel) + " kernel");
-  x = rescale_s8(std::move(x), st.input_scale);
-  const backend::ConvGeometry g = conv_geometry(st, x.shape);
-  QTensor y;
-  if (nn::is_winograd(st.algo)) {
-    y = backend::winograd_conv_s8_prepared(x, st.wino_cache, g, st.transforms, st.stage_scales,
-                                           st.bias.empty() ? nullptr : &st.bias);
-  } else {
-    y = backend::im2row_conv_s8_prepared(x, st.im2row_cache, g, st.output_scale,
-                                         st.bias.empty() ? nullptr : &st.bias);
-  }
-  return st.relu_after ? relu_s8(std::move(y)) : y;
-}
-
-QTensor run_linear(const LinearStage& st, QTensor x, const std::string& where) {
-  expect(x.shape.size() == 2, where,
-         "linear expects a 2-d [N, F] activation, got " + to_string(x.shape) +
-             " (flatten or avg-pool first)");
-  expect(x.shape[1] == st.packed.in_features, where,
-         "activation has " + std::to_string(x.shape[1]) + " features, stage expects " +
-             std::to_string(st.packed.in_features));
-  x = rescale_s8(std::move(x), st.input_scale);
-  QTensor y = linear_s8_prepared(x, st.packed, st.bias, st.output_scale);
-  return st.relu_after ? relu_s8(std::move(y)) : y;
-}
-
-QTensor run_bn(const BnStage& st, QTensor x, const std::string& where) {
-  expect(x.shape.size() == 4 || x.shape.size() == 2, where,
-         "batch-norm expects [N,C,H,W] or [N,C], got " + to_string(x.shape));
-  expect(x.shape[1] == st.scale.numel(), where,
-         "activation has " + std::to_string(x.shape[1]) + " channels, batch-norm has " +
-             std::to_string(st.scale.numel()));
-  x = rescale_s8(std::move(x), st.input_scale);
-  return channel_affine_s8(x, st.affine, st.relu_after);
-}
-
-QTensor run_add(const AddStage& st, QTensor lhs, QTensor rhs, const std::string& where) {
-  expect(lhs.shape == rhs.shape, where,
-         "skip-add branch shapes " + to_string(lhs.shape) + " vs " + to_string(rhs.shape) +
-             " do not match");
-  lhs = rescale_s8(std::move(lhs), st.lhs_scale);
-  rhs = rescale_s8(std::move(rhs), st.rhs_scale);
-  return add_s8(lhs, rhs, st.lhs_ratio, st.rhs_ratio, st.output_scale, st.relu_after);
 }
 
 }  // namespace
+
+bool rescale_changes_levels(float current, float target) {
+  return target > 0.F && std::fabs(current - target) >= 1e-12F;
+}
+
+std::string stage_where(const Int8Pipeline::Node& node, std::size_t index) {
+  return node.io.label.empty()
+             ? "stage " + std::to_string(index) + " (" + stage_type_name(node.op) + ")"
+             : node.io.label;
+}
 
 void ConvStage::prepare() {
   if (nn::is_winograd(algo)) {
@@ -153,7 +123,15 @@ void AddStage::prepare() {
   prepared_ = true;
 }
 
-void Int8Pipeline::push(Stage s, StageIO io) {
+void RequantStage::prepare() {
+  if (input_scale <= 0.F || output_scale <= 0.F) {
+    throw std::invalid_argument("RequantStage: input and output scales must be frozen (> 0)");
+  }
+  ratio = make_requant_ratio(input_scale, output_scale);
+  prepared_ = true;
+}
+
+void Int8Pipeline::push(Stage s, StageIO io, std::vector<EpilogueOp> epilogue) {
   const std::string where =
       "Int8Pipeline::push(" +
       (io.label.empty() ? "stage " + std::to_string(nodes_.size()) : io.label) + ")";
@@ -195,106 +173,426 @@ void Int8Pipeline::push(Stage s, StageIO io) {
       [](auto& st) {
         using T = std::decay_t<decltype(st)>;
         if constexpr (std::is_same_v<T, ConvStage> || std::is_same_v<T, LinearStage> ||
-                      std::is_same_v<T, BnStage> || std::is_same_v<T, AddStage>) {
+                      std::is_same_v<T, BnStage> || std::is_same_v<T, AddStage> ||
+                      std::is_same_v<T, RequantStage>) {
           if (!st.prepared()) st.prepare();
         }
       },
       s);
-  nodes_.push_back({std::move(s), std::move(io)});
+  // Any attached plan indexes the old schedule; growing the graph voids it.
+  plan_.reset();
+  nodes_.push_back({std::move(s), std::move(io), std::move(epilogue)});
 }
 
-Tensor Int8Pipeline::run(const Tensor& input, std::vector<StageTiming>* timings) const {
-  return run_impl(input, timings, nullptr);
+std::vector<Int8Pipeline::Node> Int8Pipeline::take_nodes() {
+  plan_.reset();
+  std::vector<Node> out;
+  out.swap(nodes_);
+  return out;
+}
+
+Int8Pipeline::Wiring Int8Pipeline::resolve_wiring(bool reject_dead) const {
+  const std::size_t n = nodes_.size();
+  Wiring w;
+  w.in1.assign(n, -1);
+  w.in2.assign(n, -1);
+  w.use_count.assign(n + 1, 0);
+  w.last_use.assign(n + 1, -1);
+  std::map<std::string, std::int32_t> slot_value;  // published slot -> value index
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    // Error labels are built lazily: this resolution runs on every forward
+    // and must stay allocation-lean on the success path.
+    const auto where = [&node, i] { return stage_where(node, i); };
+    const bool is_add = std::holds_alternative<AddStage>(node.op);
+    if (is_add && node.io.input2.empty()) {
+      throw std::invalid_argument(
+          where() + ": an AddStage needs a second operand — set io.input2 to a published slot");
+    }
+    if (!is_add && !node.io.input2.empty()) {
+      throw std::invalid_argument(where() + ": io.input2 is only meaningful for an AddStage");
+    }
+
+    if (node.io.input.empty()) {
+      if (i > 0 && !nodes_[i - 1].io.output.empty()) {
+        throw std::invalid_argument(where() +
+                                    ": no implicit input — the previous stage publishes to slot '" +
+                                    nodes_[i - 1].io.output + "'; name it as io.input");
+      }
+      w.in1[i] = i == 0 ? 0 : static_cast<std::int32_t>(i);
+    } else {
+      if (i > 0 && nodes_[i - 1].io.output.empty()) {
+        throw std::invalid_argument(where() + ": reading slot '" + node.io.input +
+                                    "' would drop the previous stage's chained output — publish "
+                                    "that output to a slot (io.output) or consume it implicitly");
+      }
+      const auto it = slot_value.find(node.io.input);
+      if (it == slot_value.end()) {
+        throw std::invalid_argument(where() + ": input slot '" + node.io.input +
+                                    "' is not produced by any earlier stage");
+      }
+      w.in1[i] = it->second;
+    }
+    if (!node.io.input2.empty()) {
+      const auto it = slot_value.find(node.io.input2);
+      if (it == slot_value.end()) {
+        throw std::invalid_argument(where() + ": input slot '" + node.io.input2 +
+                                    "' is not produced by any earlier stage");
+      }
+      w.in2[i] = it->second;
+    }
+    if (!node.io.output.empty()) {
+      if (slot_value.count(node.io.output) != 0) {
+        throw std::invalid_argument(where() + ": output slot '" + node.io.output +
+                                    "' is already taken");
+      }
+      slot_value[node.io.output] = static_cast<std::int32_t>(i + 1);
+    }
+
+    for (const std::int32_t v : {w.in1[i], w.in2[i]}) {
+      if (v < 0) continue;
+      ++w.use_count[static_cast<std::size_t>(v)];
+      w.last_use[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  // Only the final stage may publish without a reader (it is the result).
+  if (reject_dead) {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (!nodes_[i].io.output.empty() && w.use_count[i + 1] == 0) {
+        throw std::invalid_argument(stage_where(nodes_[i], i) + ": published slot '" +
+                                    nodes_[i].io.output +
+                                    "' is never consumed — dead dataflow");
+      }
+    }
+  }
+  return w;
+}
+
+void Int8Pipeline::set_plan(MemoryPlan plan) {
+  const std::size_t n = nodes_.size();
+  const auto bad = [](const std::string& why) {
+    throw std::invalid_argument("Int8Pipeline::set_plan: " + why);
+  };
+  if (plan.in_place.size() != n) bad("in_place marks do not match the stage count");
+  if (plan.value_bytes.size() != n + 1 || plan.offsets.size() != n + 1 ||
+      plan.last_use.size() != n + 1) {
+    bad("per-value tables do not match the schedule (stages + input)");
+  }
+  for (const std::uint8_t m : plan.in_place) {
+    if (m > 2) bad("in_place mark out of range (0, 1 or 2)");
+  }
+  for (std::size_t v = 0; v <= n; ++v) {
+    if (plan.value_bytes[v] < 0) bad("negative value size");
+    if (plan.offsets[v] < 0) bad("negative arena offset");
+    if (plan.offsets[v] + plan.value_bytes[v] > plan.arena_bytes) {
+      bad("value extends past the arena");
+    }
+    if (plan.last_use[v] < -1 || plan.last_use[v] >= static_cast<std::int32_t>(n)) {
+      bad("last_use stage out of range");
+    }
+  }
+  if (plan.peak_bytes < 0 || plan.naive_peak_bytes < 0 || plan.arena_bytes < 0) {
+    bad("negative byte totals");
+  }
+  if (numel(plan.reference_input) <= 0 || plan.reference_input.size() != 4) {
+    bad("reference input shape must be a non-empty [N,C,H,W]");
+  }
+  plan_ = std::move(plan);
+}
+
+Tensor Int8Pipeline::run(const Tensor& input, std::vector<StageTiming>* timings,
+                         RunStats* stats) const {
+  return run_impl(input, timings, nullptr, stats);
 }
 
 Tensor Int8Pipeline::run_impl(const Tensor& input, std::vector<StageTiming>* timings,
-                              std::vector<float>* out_scales) const {
+                              std::vector<float>* out_scales, RunStats* stats) const {
   if (nodes_.empty()) throw std::invalid_argument("Int8Pipeline::run: empty pipeline");
   const auto* first = std::get_if<ConvStage>(&nodes_.front().op);
   if (first == nullptr) {
     throw std::invalid_argument("Int8Pipeline::run: pipeline must start with a convolution");
   }
+  const std::size_t n = nodes_.size();
   if (timings != nullptr) {
     timings->clear();
-    timings->reserve(nodes_.size());
+    timings->reserve(n);
   }
 
-  // Reference-count the named slots so each is released at its last read.
-  std::map<std::string, int> refs;
-  for (const Node& n : nodes_) {
-    if (!n.io.input.empty()) ++refs[n.io.input];
-    if (!n.io.input2.empty()) ++refs[n.io.input2];
-  }
-  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
-    // Only the final stage may publish without a reader (it is the result).
-    const std::string& out = nodes_[i].io.output;
-    expect(out.empty() || refs.count(out) > 0,
-           nodes_[i].io.label.empty() ? "stage " + std::to_string(i) : nodes_[i].io.label,
-           "published slot '" + out + "' is never consumed — dead dataflow");
-  }
-  std::map<std::string, QTensor> slots;
-  auto fetch = [&](const std::string& name, const std::string& where) -> QTensor {
-    auto it = slots.find(name);
-    expect(it != slots.end(), where, "activation slot '" + name + "' is not live");
-    if (--refs[name] <= 0) {
-      QTensor t = std::move(it->second);
-      slots.erase(it);
-      return t;
+  const Wiring w = resolve_wiring();
+  const MemoryPlan* plan =
+      plan_.has_value() && plan_->in_place.size() == n ? &*plan_ : nullptr;
+
+  // Values: 0 = quantized input, i+1 = stage i's output. Buffers are
+  // accounted by capacity from materialization to last use; `live` tracks
+  // the executor-owned activation bytes, `peak` their high-water mark (what
+  // MemoryPlan::peak_bytes predicts for the reference shape).
+  std::vector<QTensor> vals(n + 1);
+  std::vector<std::int32_t> refs = w.use_count;
+  std::vector<std::int64_t> caps(n + 1, 0);
+  std::int64_t live = 0, peak = 0;
+  RunStats rs;
+
+  const auto record = [&](std::size_t v, QTensor&& t) {
+    caps[v] = static_cast<std::int64_t>(t.data.capacity());
+    live += caps[v];
+    if (live > peak) peak = live;
+    vals[v] = std::move(t);
+  };
+  const auto release = [&](std::int32_t v) {
+    if (v < 0) return;
+    if (--refs[static_cast<std::size_t>(v)] == 0) {
+      live -= caps[static_cast<std::size_t>(v)];
+      caps[static_cast<std::size_t>(v)] = 0;
+      vals[static_cast<std::size_t>(v)] = QTensor{};
     }
-    return it->second;  // later consumers still need it
   };
 
-  QTensor cur = backend::quantize_s8(input, first->input_scale);
-  if (out_scales != nullptr) {
-    out_scales->assign(nodes_.size() + 1, -1.F);
-    (*out_scales)[0] = cur.scale;  // the input quantizer's (possibly derived) scale
+  {
+    QTensor q = backend::quantize_s8(input, first->input_scale);
+    if (out_scales != nullptr) {
+      out_scales->assign(n + 1, -1.F);
+      (*out_scales)[0] = q.scale;  // the input quantizer's (possibly derived) scale
+    }
+    rs.allocated_bytes += static_cast<std::int64_t>(q.data.capacity());
+    record(0, std::move(q));
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+
+  for (std::size_t i = 0; i < n; ++i) {
     const Node& node = nodes_[i];
-    const std::string where = node.io.label.empty()
-                                  ? "stage " + std::to_string(i) + " (" + stage_type_name(node.op) + ")"
-                                  : node.io.label;
+    const std::string where = stage_where(node, i);
     const auto t0 = std::chrono::steady_clock::now();
-    QTensor in = node.io.input.empty() ? std::move(cur) : fetch(node.io.input, where);
-    QTensor out = std::visit(
-        [&](const auto& st) -> QTensor {
+
+    const std::int32_t v1 = w.in1[i], v2 = w.in2[i];
+    const bool same_operand = v2 >= 0 && v1 == v2;
+    // This stage performs the value's final read(s) — it may take ownership.
+    const bool owned1 =
+        !same_operand && refs[static_cast<std::size_t>(v1)] == 1;
+    const bool owned2 =
+        v2 >= 0 && !same_operand && refs[static_cast<std::size_t>(v2)] == 1;
+
+    // Acquire an operand at the stage's expected scale. Owned operands are
+    // moved (and rescaled in place); borrowed operands are passed by
+    // reference, copied only when a rescale would mutate them (the value has
+    // later readers at its original scale).
+    QTensor held1, held2;
+    std::int64_t copy_bytes = 0;
+    const auto acquire = [&](std::int32_t v, bool owned, float expected,
+                             QTensor& held) -> const QTensor* {
+      QTensor& src = vals[static_cast<std::size_t>(v)];
+      if (owned) {
+        held = rescale_s8(std::move(src), expected);
+        return &held;
+      }
+      if (rescale_changes_levels(src.scale, expected)) {
+        held = src;  // later readers still need the original levels
+        copy_bytes += static_cast<std::int64_t>(held.data.capacity());
+        ++rs.input_copies;
+        held = rescale_s8(std::move(held), expected);
+        return &held;
+      }
+      return &src;
+    };
+
+    const std::uint8_t mark = plan != nullptr ? plan->in_place[i] : 0;
+    QTensor out;
+    bool donated = false;       // the output took over an operand's buffer
+    bool plan_donated = false;  // ... because the plan said so
+    std::int32_t donor_v = -1;  // donated: the value whose buffer was consumed
+
+    std::visit(
+        [&](const auto& st) {
           using T = std::decay_t<decltype(st)>;
           if constexpr (std::is_same_v<T, ConvStage>) {
-            return run_conv(st, std::move(in), where);
+            const QTensor* x = acquire(v1, owned1, st.input_scale, held1);
+            check_conv_input(st, *x, where);
+            const backend::ConvGeometry g = conv_geometry(st, x->shape);
+            std::vector<std::int8_t>* reuse = nullptr;
+            if (mark == 1 && x == &held1 && owned1) {
+              // The kernel fully consumes the input before materializing the
+              // output, so the dying input's buffer either hosts the output
+              // (fits) or is freed before the output is allocated (grow) —
+              // either way the two never coexist.
+              reuse = &held1.data;
+              donated = plan_donated = true;
+              donor_v = v1;
+            }
+            if (nn::is_winograd(st.algo)) {
+              out = backend::winograd_conv_s8_prepared(*x, st.wino_cache, g, st.transforms,
+                                                       st.stage_scales,
+                                                       st.bias.empty() ? nullptr : &st.bias,
+                                                       reuse);
+            } else {
+              out = backend::im2row_conv_s8_prepared(*x, st.im2row_cache, g, st.output_scale,
+                                                     st.bias.empty() ? nullptr : &st.bias,
+                                                     reuse);
+            }
+            if (st.relu_after) out = relu_s8(std::move(out));
           } else if constexpr (std::is_same_v<T, PoolStage>) {
-            expect(in.shape.size() == 4, where,
-                   "max-pool expects [N,C,H,W], got " + to_string(in.shape));
-            return max_pool_s8(in, st.kernel, st.stride);
+            const QTensor* x = acquire(v1, owned1, -1.F, held1);
+            expect(x->shape.size() == 4, where,
+                   "max-pool expects [N,C,H,W], got " + to_string(x->shape));
+            out = max_pool_s8(*x, st.kernel, st.stride);
           } else if constexpr (std::is_same_v<T, FlattenStage>) {
-            return flatten_s8(std::move(in));
+            const QTensor* x = acquire(v1, owned1, -1.F, held1);
+            if (x == &held1) {
+              out = flatten_s8(std::move(held1));
+              donated = true;  // pure metadata change — the buffer carries over
+              donor_v = v1;
+            } else {
+              out = flatten_s8(*x);  // copy: the value has later readers
+            }
           } else if constexpr (std::is_same_v<T, AvgPoolStage>) {
-            expect(in.shape.size() == 4, where,
-                   "avg-pool expects [N,C,H,W], got " + to_string(in.shape));
-            return global_avg_pool_s8(in);
+            const QTensor* x = acquire(v1, owned1, -1.F, held1);
+            expect(x->shape.size() == 4, where,
+                   "avg-pool expects [N,C,H,W], got " + to_string(x->shape));
+            out = global_avg_pool_s8(*x);
           } else if constexpr (std::is_same_v<T, LinearStage>) {
-            return run_linear(st, std::move(in), where);
+            const QTensor* x = acquire(v1, owned1, st.input_scale, held1);
+            expect(x->shape.size() == 2, where,
+                   "linear expects a 2-d [N, F] activation, got " + to_string(x->shape) +
+                       " (flatten or avg-pool first)");
+            expect(x->shape[1] == st.packed.in_features, where,
+                   "activation has " + std::to_string(x->shape[1]) +
+                       " features, stage expects " + std::to_string(st.packed.in_features));
+            out = linear_s8_prepared(*x, st.packed, st.bias, st.output_scale);
+            if (st.relu_after) out = relu_s8(std::move(out));
           } else if constexpr (std::is_same_v<T, BnStage>) {
-            return run_bn(st, std::move(in), where);
-          } else {
-            QTensor rhs = fetch(node.io.input2, where);
-            return run_add(st, std::move(in), std::move(rhs), where);
+            const QTensor* x = acquire(v1, owned1, st.input_scale, held1);
+            expect(x->shape.size() == 4 || x->shape.size() == 2, where,
+                   "batch-norm expects [N,C,H,W] or [N,C], got " + to_string(x->shape));
+            expect(x->shape[1] == st.scale.numel(), where,
+                   "activation has " + std::to_string(x->shape[1]) +
+                       " channels, batch-norm has " + std::to_string(st.scale.numel()));
+            if (mark == 1 && x == &held1 && owned1) {
+              channel_affine_s8_(held1, st.affine, st.relu_after);
+              out = std::move(held1);
+              donated = plan_donated = true;
+              donor_v = v1;
+            } else {
+              out = channel_affine_s8(*x, st.affine, st.relu_after);
+            }
+          } else if constexpr (std::is_same_v<T, AddStage>) {
+            const QTensor* lhs;
+            const QTensor* rhs;
+            if (same_operand) {
+              // x + x: acquire the value once; materialize separate copies
+              // only when the two branch scales actually diverge.
+              const bool owned = refs[static_cast<std::size_t>(v1)] == 2;
+              if (rescale_changes_levels(vals[static_cast<std::size_t>(v1)].scale, st.lhs_scale) ||
+                  rescale_changes_levels(vals[static_cast<std::size_t>(v1)].scale, st.rhs_scale)) {
+                held1 = vals[static_cast<std::size_t>(v1)];
+                copy_bytes += static_cast<std::int64_t>(held1.data.capacity());
+                ++rs.input_copies;
+                held1 = rescale_s8(std::move(held1), st.lhs_scale);
+                lhs = &held1;
+                rhs = acquire(v1, owned, st.rhs_scale, held2);
+              } else {
+                lhs = rhs = acquire(v1, owned, st.lhs_scale, held2);
+              }
+            } else {
+              lhs = acquire(v1, owned1, st.lhs_scale, held1);
+              rhs = acquire(v2, owned2, st.rhs_scale, held2);
+            }
+            expect(lhs->shape == rhs->shape, where,
+                   "skip-add branch shapes " + to_string(lhs->shape) + " vs " +
+                       to_string(rhs->shape) + " do not match");
+            if (mark == 1 && lhs == &held1 && owned1 && !same_operand) {
+              add_s8_into(held1, *rhs, st.lhs_ratio, st.rhs_ratio, st.output_scale,
+                          st.relu_after);
+              out = std::move(held1);
+              donated = plan_donated = true;
+              donor_v = v1;
+            } else if (mark == 2 && rhs == &held2 && owned2 && !same_operand) {
+              add_s8_into(held2, *lhs, st.rhs_ratio, st.lhs_ratio, st.output_scale,
+                          st.relu_after);
+              out = std::move(held2);
+              donated = plan_donated = true;
+              donor_v = v2;
+            } else {
+              out = add_s8(*lhs, *rhs, st.lhs_ratio, st.rhs_ratio, st.output_scale,
+                           st.relu_after);
+            }
+          } else if constexpr (std::is_same_v<T, ReluStage>) {
+            const QTensor* x = acquire(v1, owned1, -1.F, held1);
+            if (x == &held1) {
+              out = relu_s8(std::move(held1));
+              donated = true;
+              donor_v = v1;
+            } else {
+              out = relu_s8(*x);  // by-value copy: the value has later readers
+            }
+          } else {  // RequantStage
+            const QTensor* x = acquire(v1, owned1, st.input_scale, held1);
+            if (x == &held1) {
+              requant_s8_(held1, st.ratio, st.output_scale);
+              out = std::move(held1);
+              donated = true;
+              if (owned1) donor_v = v1;  // else the rescale copy hosts it
+            } else {
+              held1 = *x;
+              copy_bytes += static_cast<std::int64_t>(held1.data.capacity());
+              ++rs.input_copies;
+              requant_s8_(held1, st.ratio, st.output_scale);
+              out = std::move(held1);
+              donated = true;  // the copy itself becomes the output
+            }
           }
         },
         node.op);
+
+    // Fused epilogues: in-place post-ops on the producing stage's output —
+    // arithmetically identical to the standalone stages they replaced.
+    for (const EpilogueOp& ep : node.epilogue) {
+      switch (ep.kind) {
+        case EpilogueOp::Kind::kRelu:
+          out = relu_s8(std::move(out));
+          break;
+        case EpilogueOp::Kind::kRequant:
+          requant_s8_(out, ep.ratio, ep.out_scale);
+          break;
+        case EpilogueOp::Kind::kAffine:
+          expect(out.shape.size() == 4 || out.shape.size() == 2, where,
+                 "fused batch-norm expects [N,C,H,W] or [N,C], got " + to_string(out.shape));
+          expect(out.shape[1] == static_cast<std::int64_t>(ep.affine.m0.size()), where,
+                 "activation has " + std::to_string(out.shape[1]) +
+                     " channels, fused batch-norm has " + std::to_string(ep.affine.m0.size()));
+          channel_affine_s8_(out, ep.affine, ep.relu);
+          break;
+      }
+    }
+
     if (timings != nullptr) {
       const auto t1 = std::chrono::steady_clock::now();
       timings->push_back({where, std::chrono::duration<double, std::milli>(t1 - t0).count()});
     }
     if (out_scales != nullptr) (*out_scales)[i + 1] = out.scale;
-    if (node.io.output.empty()) {
-      cur = std::move(out);
-    } else {
-      slots[node.io.output] = std::move(out);
-      cur = QTensor{};
-    }
+
+    // Peak accounting: while the stage ran, every not-yet-released input was
+    // still live alongside any rescale copies and — unless the output took
+    // over (or grow-replaced) an operand's buffer — the output itself. A
+    // grow-donation frees the donor before the larger output is allocated,
+    // so only the growth is additional.
+    const auto out_cap = static_cast<std::int64_t>(out.data.capacity());
+    const std::int64_t donor_cap = donor_v >= 0 ? caps[static_cast<std::size_t>(donor_v)] : out_cap;
+    const std::int64_t transient =
+        live + copy_bytes +
+        (donated ? std::max<std::int64_t>(0, out_cap - donor_cap) : out_cap);
+    if (transient > peak) peak = transient;
+    // A fresh buffer was allocated unless the output genuinely reuses an
+    // operand's storage (a grow-donation frees the donor and allocates anew).
+    if (!donated || out_cap > donor_cap) rs.allocated_bytes += out_cap;
+    if (plan_donated) ++rs.inplace_reuses;
+
+    release(v1);
+    if (v2 >= 0) release(v2);
+    record(i + 1, std::move(out));
   }
-  const Node& last = nodes_.back();
-  return backend::dequantize(last.io.output.empty() ? cur : slots[last.io.output]);
+
+  rs.peak_activation_bytes = peak;
+  if (stats != nullptr) *stats = rs;
+  return backend::dequantize(vals[n]);
 }
 
 Tensor Int8Pipeline::run_batched(const Tensor& input, std::int64_t micro_batch) const {
@@ -327,11 +625,7 @@ std::string Int8Pipeline::join_labels(const std::vector<std::string>& labels) {
 
 std::vector<std::string> Int8Pipeline::dynamic_scale_labels() const {
   std::vector<std::string> out;
-  const auto where = [this](std::size_t i) {
-    const Node& n = nodes_[i];
-    return n.io.label.empty() ? "stage " + std::to_string(i) + " (" + stage_type_name(n.op) + ")"
-                              : n.io.label;
-  };
+  const auto where = [this](std::size_t i) { return stage_where(nodes_[i], i); };
   if (!nodes_.empty()) {
     if (const auto* first = std::get_if<ConvStage>(&nodes_.front().op);
         first != nullptr && first->input_scale <= 0.F) {
@@ -355,8 +649,10 @@ std::vector<std::string> Int8Pipeline::dynamic_scale_labels() const {
           } else if constexpr (std::is_same_v<T, LinearStage>) {
             if (st.output_scale <= 0.F) out.push_back(where(i));
           }
-          // Pool/flatten/avg-pool pass levels through unchanged; BnStage and
-          // AddStage refuse to prepare() without frozen scales.
+          // Pool/flatten/avg-pool/relu pass levels through unchanged;
+          // BnStage, AddStage and RequantStage refuse to prepare() without
+          // frozen scales, and epilogues carry frozen scales by construction
+          // (the fusion pass only folds stages whose scales are pinned).
         },
         nodes_[i].op);
   }
@@ -379,7 +675,7 @@ void Int8Pipeline::freeze_scales(const Tensor& calibration) {
     }
   }
   std::vector<float> scales;
-  run_impl(calibration, nullptr, &scales);
+  run_impl(calibration, nullptr, &scales, nullptr);
   if (auto* first = std::get_if<ConvStage>(&nodes_.front().op); first->input_scale <= 0.F) {
     first->input_scale = scales[0];
   }

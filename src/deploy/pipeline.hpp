@@ -15,9 +15,20 @@
 // residual network deploy: the block input is published once, the main path
 // chains through conv/bn stages, and an AddStage joins it with the skip
 // branch — requantizing both onto a common scale with fixed-point
-// multipliers — before ReLU. Slots are reference-counted at run start and
-// released at their last use, and the conv/linear kernels keep executing out
-// of the per-thread ScratchArena, so a forward stays allocation-lean.
+// multipliers — before ReLU.
+//
+// On top of the compiled graph sits a compiler middle-end
+// (src/deploy/passes): a pass manager that fuses standalone relu / requant /
+// batch-norm stages into their producing conv/linear/add stage (as in-place
+// *epilogue ops*, so the intermediate tensor never round-trips through a
+// slot), eliminates dead stages, and computes a static memory plan —
+// per-value live ranges over the schedule, an arena offset assignment with
+// buffer reuse (in-place residual add where a branch dies at the join,
+// in-place convolution where the input dies inside the kernel), and the
+// resulting peak activation byte count. The plan travels with the pipeline
+// (serialized in .wam v2) and run() honors it; optimized execution is
+// bit-identical to unoptimized execution (locked down by
+// tests/test_pipeline_fuzz.cpp).
 //
 // Two compilers are provided: compile_lenet (sequential, the paper's
 // 5x5-filter model) and compile_resnet18 (residual, the paper's
@@ -25,6 +36,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -90,7 +102,8 @@ struct LinearStage {
 /// observer (the Winograd Qx(y) stage), where folding gamma into the weights
 /// would invalidate the frozen per-stage scales. GEMM convolutions fold
 /// batch-norm into their weights at compile time instead and never emit this
-/// stage.
+/// stage. The fusion pass folds a chained BnStage into its producer as an
+/// in-place affine epilogue.
 struct BnStage {
   float input_scale = 0.F;   // expected incoming scale
   Tensor scale;              // per-channel A = gamma / sqrt(var + eps)
@@ -117,8 +130,28 @@ struct AddStage {
   void prepare();
 };
 
+/// Standalone ReLU on levels: max(0, x), scale unchanged (exact — symmetric
+/// quantization maps level 0 to real 0). The compilers fuse ReLU into their
+/// conv/linear stages via relu_after; this stage exists for hand-assembled
+/// graphs and is folded into its producer by the fusion pass.
+struct ReluStage {};
+
+/// Standalone fixed-point requantization: remap int8 levels from
+/// input_scale to output_scale through a prepared Q31 multiplier (the same
+/// primitive AddStage uses per branch). Folded into its producer by the
+/// fusion pass so the remapped tensor never round-trips through a slot.
+struct RequantStage {
+  float input_scale = 0.F;
+  float output_scale = -1.F;
+
+  RequantRatio ratio;  // prepared at push
+  bool prepared_ = false;
+  bool prepared() const { return prepared_; }
+  void prepare();
+};
+
 using Stage = std::variant<ConvStage, PoolStage, FlattenStage, AvgPoolStage, LinearStage,
-                           BnStage, AddStage>;
+                           BnStage, AddStage, ReluStage, RequantStage>;
 
 /// Dataflow wiring of one stage. Empty `input` reads the previous stage's
 /// output (sequential chaining); a named input reads an activation slot
@@ -132,10 +165,61 @@ struct StageIO {
   std::string label;  // for error messages and per-stage profiling
 };
 
+/// One fused post-op applied IN PLACE to a producing stage's int8 output —
+/// what the fusion pass turns a standalone ReluStage / RequantStage /
+/// BnStage into. Applying the epilogue list in order is arithmetically
+/// identical to running the folded stages standalone (same element ops, same
+/// rounding); the only difference is that no intermediate tensor is
+/// materialized into a slot.
+struct EpilogueOp {
+  enum class Kind : std::uint8_t { kRelu = 0, kRequant = 1, kAffine = 2 };
+  Kind kind = Kind::kRelu;
+  // kRequant: fixed-point remap onto out_scale.
+  RequantRatio ratio;
+  float out_scale = -1.F;
+  // kAffine: per-channel integer affine (deployed batch-norm), optional
+  // fused ReLU; the affine carries its own out_scale.
+  ChannelAffineS8 affine;
+  bool relu = false;
+};
+
 /// Per-stage wall-clock of one profiled forward (Int8Pipeline::run).
 struct StageTiming {
   std::string label;
   double ms = 0.0;
+};
+
+/// Static memory plan computed by the planner pass (src/deploy/passes) for a
+/// reference input shape: per-value sizes and live ranges over the schedule,
+/// a single-arena offset assignment with buffer reuse, and the resulting
+/// peak. "Values" are the dataflow results: value 0 is the quantized
+/// pipeline input, value i+1 is stage i's output. Activation bytes are the
+/// int8 tensors that travel BETWEEN stages; kernel-internal scratch (the
+/// per-thread ScratchArena) is accounted separately and unchanged by the
+/// plan.
+struct MemoryPlan {
+  Shape reference_input;                  // shape sizes/offsets were computed for
+  std::vector<std::int64_t> value_bytes;  // per value, at the reference shape
+  std::vector<std::int64_t> offsets;      // per value: arena offset (reused buffers share one)
+  std::vector<std::int32_t> last_use;     // per value: last consuming stage, -1 = never read
+  /// Per stage: 0 = fresh output buffer, 1 = write the output into the first
+  /// operand's storage, 2 = into the second operand's (AddStage only). Only
+  /// honored when the operand actually dies at this stage and fits.
+  std::vector<std::uint8_t> in_place;
+  std::int64_t arena_bytes = 0;       // contiguous first-fit layout size
+  std::int64_t peak_bytes = 0;        // planned live-byte high-water (run() measures this)
+  std::int64_t naive_peak_bytes = 0;  // same schedule without the plan, reference shape
+  bool empty() const { return in_place.empty(); }
+};
+
+/// Counters one run() fills when asked: measured activation-buffer traffic.
+/// peak_activation_bytes is the high-water mark of live inter-stage buffers
+/// (by vector capacity), the quantity MemoryPlan::peak_bytes predicts.
+struct RunStats {
+  std::int64_t peak_activation_bytes = 0;
+  std::int64_t allocated_bytes = 0;  // fresh activation buffers allocated
+  std::int64_t inplace_reuses = 0;   // outputs written into a dying operand
+  std::int64_t input_copies = 0;     // borrowed inputs copied for a rescale
 };
 
 /// A compiled integer-only network: the deployment-side inference engine.
@@ -143,20 +227,23 @@ struct StageTiming {
 /// push() finalises each stage at load time (weight transform + quantize +
 /// repack happen exactly once); run() then executes the scatter -> batched
 /// GEMM -> gather hot path allocation-free out of per-thread scratch arenas,
-/// resolving slot reads/writes as it walks the schedule.
+/// resolving slot reads/writes as it walks the schedule and honoring the
+/// memory plan's buffer reuse when one is attached.
 ///
 /// ## Thread-safety contract (audited for the serving runtime, src/serve)
 ///
 /// `run()`, `run_batched()` and `classify()` are safe to call concurrently
 /// from any number of threads on the same pipeline, because the const run
 /// path touches no shared mutable state:
-///   - stages are immutable after push()/freeze_scales() — the run loop only
-///     reads their frozen scales, prepared weight caches and fixed-point
-///     multipliers;
+///   - stages, epilogues and the memory plan are immutable after
+///     push()/freeze_scales()/set_plan() — the run loop only reads frozen
+///     scales, prepared weight caches and fixed-point multipliers;
 ///   - every intermediate (activation slots, lowered patch matrices, int32
 ///     accumulators, Winograd V/M/Y tiles) is either a local QTensor or
 ///     lives in the calling thread's ScratchArena (one bump allocator per
 ///     OS thread, including OpenMP workers — growth never crosses threads);
+///   - the plan's in-place reuse rewires buffers that are themselves
+///     per-call locals, so concurrent runs never share an activation;
 ///   - the only global writes are the backend::PerfCounters relaxed atomics,
 ///     which are monotone counters: concurrent bumps cannot tear, and a
 ///     flat window observed around concurrent forwards proves no thread
@@ -165,28 +252,66 @@ struct StageTiming {
 ///     batch's own statistics) are still data-race-free — the derived scale
 ///     is a per-call local — but they are batch-composition dependent, so a
 ///     server must freeze_scales() before coalescing unrelated requests.
-/// The mutating members — push(), freeze_scales() — are NOT safe to race
-/// with anything, including each other: complete all loading/freezing
-/// before publishing the pipeline to worker threads (the server does this
-/// under its registry lock).
+/// The mutating members — push(), freeze_scales(), set_plan() — are NOT safe
+/// to race with anything, including each other: complete all
+/// loading/freezing/optimizing before publishing the pipeline to worker
+/// threads (the server does this under its registry lock).
 class Int8Pipeline {
  public:
-  /// One compiled stage plus its dataflow wiring; exposed read-only so the
-  /// artifact writer (src/serve) can serialize a pipeline stage-by-stage.
+  /// One compiled stage plus its dataflow wiring and fused epilogue ops;
+  /// exposed read-only so the artifact writer (src/serve) can serialize a
+  /// pipeline stage-by-stage and the passes (src/deploy/passes) can rewrite
+  /// the graph.
   struct Node {
     Stage op;
     StageIO io;
+    std::vector<EpilogueOp> epilogue;
   };
 
   void push(Stage s) { push(std::move(s), StageIO{}); }
-  void push(Stage s, StageIO io);
+  void push(Stage s, StageIO io) { push(std::move(s), std::move(io), {}); }
+  /// Full form: the loader and the passes re-push nodes with their fused
+  /// epilogues. Pushing invalidates any attached memory plan (stage indices
+  /// shift); re-run the planner afterwards.
+  void push(Stage s, StageIO io, std::vector<EpilogueOp> epilogue);
   std::size_t size() const { return nodes_.size(); }
   const std::vector<Node>& nodes() const { return nodes_; }
+  /// Move the node list out (leaving the pipeline empty, plan cleared) so a
+  /// pass can rewrite the graph without copying the weight caches; re-push
+  /// the rewritten nodes to re-validate the wiring.
+  std::vector<Node> take_nodes();
+
+  /// Dataflow wiring resolved to value indices: value 0 is the quantized
+  /// pipeline input, value i+1 is stage i's output. Throws
+  /// std::invalid_argument (labeled with the stage) for graphs whose wiring
+  /// is inconsistent — including, when `reject_dead` (the default, what
+  /// run() enforces), published slots no stage ever consumes. The
+  /// dead-stage-elimination pass resolves with reject_dead = false to find
+  /// and remove exactly those stages.
+  struct Wiring {
+    std::vector<std::int32_t> in1;       // per stage: first operand value, -1 none
+    std::vector<std::int32_t> in2;       // per stage: second operand value, -1 none
+    std::vector<std::int32_t> last_use;  // per value: last consuming stage, -1 never
+    std::vector<std::int32_t> use_count; // per value
+  };
+  Wiring resolve_wiring(bool reject_dead = true) const;
+
+  /// Attach / inspect the static memory plan (computed by
+  /// passes::optimize_pipeline). set_plan validates the plan's dimensions
+  /// against the current schedule and throws std::invalid_argument on
+  /// mismatch. run() honors the plan's in-place marks; a pipeline without a
+  /// plan executes every stage into a fresh buffer (the planner-off
+  /// baseline).
+  void set_plan(MemoryPlan plan);
+  const MemoryPlan* plan() const { return plan_.has_value() ? &*plan_ : nullptr; }
+  void clear_plan() { plan_.reset(); }
 
   /// Run a float input end-to-end; returns dequantized logits [N, classes].
   /// Activations stay int8 between stages. When `timings` is non-null it is
-  /// filled with one entry per stage (label + milliseconds).
-  Tensor run(const Tensor& input, std::vector<StageTiming>* timings = nullptr) const;
+  /// filled with one entry per stage (label + milliseconds); when `stats` is
+  /// non-null it is filled with this run's activation-memory counters.
+  Tensor run(const Tensor& input, std::vector<StageTiming>* timings = nullptr,
+             RunStats* stats = nullptr) const;
 
   /// run() with the batch split into micro-batches of at most `micro_batch`
   /// inputs. Caps the activation working set so a serving-sized batch stays
@@ -231,15 +356,28 @@ class Int8Pipeline {
   /// — those scales never leave the kernel — so they throw here: deploy
   /// them with observer-frozen stage scales as compile_lenet /
   /// compile_resnet18 do. Not thread-safe; call before publishing the
-  /// pipeline to workers.
+  /// pipeline to workers. Freeze BEFORE running the optimizer: fusion and
+  /// the planner's copy analysis key off frozen scales.
   void freeze_scales(const Tensor& calibration);
 
  private:
   Tensor run_impl(const Tensor& input, std::vector<StageTiming>* timings,
-                  std::vector<float>* out_scales) const;
+                  std::vector<float>* out_scales, RunStats* stats) const;
 
   std::vector<Node> nodes_;
+  std::optional<MemoryPlan> plan_;
 };
+
+/// Readable stage position for error messages: the io label when set, else
+/// "stage <i> (<type>)". Shared by the engine, the passes and the loaders.
+std::string stage_where(const Int8Pipeline::Node& node, std::size_t index);
+
+/// Whether remapping levels from `current` onto `target` would change them —
+/// the exact complement of rescale_s8's identity short-circuit. The executor
+/// uses it to decide when a borrowed activation must be copied, and the
+/// memory planner MUST use the same predicate so its copy analysis matches
+/// execution byte for byte.
+bool rescale_changes_levels(float current, float target);
 
 /// Compile a trained LeNet-5 (any conv algorithm, any flex/static
 /// transforms) into an integer pipeline. The model must have been trained

@@ -12,10 +12,14 @@ using deploy::AddStage;
 using deploy::AvgPoolStage;
 using deploy::BnStage;
 using deploy::ConvStage;
+using deploy::EpilogueOp;
 using deploy::FlattenStage;
 using deploy::Int8Pipeline;
 using deploy::LinearStage;
+using deploy::MemoryPlan;
 using deploy::PoolStage;
+using deploy::ReluStage;
+using deploy::RequantStage;
 using deploy::Stage;
 using deploy::StageIO;
 
@@ -32,6 +36,8 @@ enum class Tag : std::uint8_t {
   kLinear = 4,
   kBn = 5,
   kAdd = 6,
+  kRelu = 7,     // v2
+  kRequant = 8,  // v2
 };
 
 std::uint64_t fnv1a64(const char* data, std::size_t n) {
@@ -64,6 +70,24 @@ deploy::RequantRatio load_ratio(std::istream& is) {
   r.mult.shift = static_cast<int>(load_pod<std::int32_t>(is));
   r.identity = load_pod<std::uint8_t>(is) != 0;
   return r;
+}
+
+/// The integer-affine kernel computes 1 << (exp - 1) and scales the bias by
+/// 2^exp; prepare_channel_affine_s8 only ever emits exp in [0, 46]. A
+/// checksum-valid artifact whose affine escaped that range would reach
+/// shift UB at the first forward, so reject it at load instead.
+void check_affine_tables(const deploy::ChannelAffineS8& a, const char* what) {
+  const std::size_t c = a.m0.size();
+  if (c == 0 || a.exp.size() != c || a.bias_q.size() != c) {
+    throw std::runtime_error(std::string("load_pipeline: ") + what +
+                             " channel counts disagree");
+  }
+  for (const std::int8_t e : a.exp) {
+    if (e < 0 || e > 46) {
+      throw std::runtime_error(std::string("load_pipeline: ") + what +
+                               " shift exponent out of range (0..46)");
+    }
+  }
 }
 
 // ---- per-stage bodies -------------------------------------------------------
@@ -234,10 +258,9 @@ BnStage load_bn(std::istream& is) {
   st.affine.exp = load_vector<std::int8_t>(is);
   st.affine.bias_q = load_vector<std::int64_t>(is);
   st.affine.out_scale = load_pod<float>(is);
-  const std::size_t c = st.affine.m0.size();
-  if (c == 0 || st.affine.exp.size() != c || st.affine.bias_q.size() != c ||
-      st.scale.numel() != static_cast<std::int64_t>(c) ||
-      st.bias.numel() != static_cast<std::int64_t>(c)) {
+  check_affine_tables(st.affine, "bn affine");
+  if (st.scale.numel() != static_cast<std::int64_t>(st.affine.m0.size()) ||
+      st.bias.numel() != static_cast<std::int64_t>(st.affine.m0.size())) {
     throw std::runtime_error("load_pipeline: bn affine channel counts disagree");
   }
   return st;
@@ -265,6 +288,22 @@ AddStage load_add(std::istream& is) {
   return st;
 }
 
+void save_requant(std::ostream& os, const RequantStage& st) {
+  if (!st.prepared()) throw std::runtime_error("save_pipeline: requant stage was never prepared");
+  save_pod(os, st.input_scale);
+  save_pod(os, st.output_scale);
+  save_ratio(os, st.ratio);
+}
+
+RequantStage load_requant(std::istream& is) {
+  RequantStage st;
+  st.input_scale = load_pod<float>(is);
+  st.output_scale = load_pod<float>(is);
+  st.ratio = load_ratio(is);
+  st.prepared_ = true;  // the ratio above IS the prepared state
+  return st;
+}
+
 void save_stage(std::ostream& os, const Stage& s) {
   std::visit(
       [&os](const auto& st) {
@@ -286,9 +325,14 @@ void save_stage(std::ostream& os, const Stage& s) {
         } else if constexpr (std::is_same_v<T, BnStage>) {
           save_pod(os, static_cast<std::uint8_t>(Tag::kBn));
           save_bn(os, st);
-        } else {
+        } else if constexpr (std::is_same_v<T, AddStage>) {
           save_pod(os, static_cast<std::uint8_t>(Tag::kAdd));
           save_add(os, st);
+        } else if constexpr (std::is_same_v<T, ReluStage>) {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kRelu));
+        } else {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kRequant));
+          save_requant(os, st);
         }
       },
       s);
@@ -314,8 +358,106 @@ Stage load_stage(std::istream& is) {
       return load_bn(is);
     case Tag::kAdd:
       return load_add(is);
+    case Tag::kRelu:
+      return ReluStage{};
+    case Tag::kRequant:
+      return load_requant(is);
   }
   throw std::runtime_error("load_pipeline: unknown stage tag");
+}
+
+// ---- v2: fused epilogues and the static memory plan -------------------------
+
+void save_epilogue(std::ostream& os, const std::vector<EpilogueOp>& eps) {
+  save_pod(os, static_cast<std::uint32_t>(eps.size()));
+  for (const EpilogueOp& ep : eps) {
+    save_pod(os, static_cast<std::uint8_t>(ep.kind));
+    switch (ep.kind) {
+      case EpilogueOp::Kind::kRelu:
+        break;
+      case EpilogueOp::Kind::kRequant:
+        save_ratio(os, ep.ratio);
+        save_pod(os, ep.out_scale);
+        break;
+      case EpilogueOp::Kind::kAffine:
+        save_vector(os, ep.affine.m0);
+        save_vector(os, ep.affine.exp);
+        save_vector(os, ep.affine.bias_q);
+        save_pod(os, ep.affine.out_scale);
+        save_pod(os, static_cast<std::uint8_t>(ep.relu ? 1 : 0));
+        save_pod(os, ep.out_scale);
+        break;
+    }
+  }
+}
+
+std::vector<EpilogueOp> load_epilogue(std::istream& is) {
+  const auto count = load_pod<std::uint32_t>(is);
+  if (count > 1024) throw std::runtime_error("load_pipeline: implausible epilogue count");
+  std::vector<EpilogueOp> eps;
+  eps.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    EpilogueOp ep;
+    const auto kind = load_pod<std::uint8_t>(is);
+    if (kind > static_cast<std::uint8_t>(EpilogueOp::Kind::kAffine)) {
+      throw std::runtime_error("load_pipeline: unknown epilogue kind");
+    }
+    ep.kind = static_cast<EpilogueOp::Kind>(kind);
+    switch (ep.kind) {
+      case EpilogueOp::Kind::kRelu:
+        break;
+      case EpilogueOp::Kind::kRequant:
+        ep.ratio = load_ratio(is);
+        ep.out_scale = load_pod<float>(is);
+        break;
+      case EpilogueOp::Kind::kAffine:
+        ep.affine.m0 = load_vector<std::int32_t>(is);
+        ep.affine.exp = load_vector<std::int8_t>(is);
+        ep.affine.bias_q = load_vector<std::int64_t>(is);
+        ep.affine.out_scale = load_pod<float>(is);
+        ep.relu = load_pod<std::uint8_t>(is) != 0;
+        ep.out_scale = load_pod<float>(is);
+        check_affine_tables(ep.affine, "fused affine");
+        break;
+    }
+    eps.push_back(std::move(ep));
+  }
+  return eps;
+}
+
+void save_plan(std::ostream& os, const MemoryPlan* plan) {
+  save_pod(os, static_cast<std::uint8_t>(plan != nullptr ? 1 : 0));
+  if (plan == nullptr) return;
+  save_vector(os, plan->reference_input);
+  save_vector(os, plan->value_bytes);
+  save_vector(os, plan->offsets);
+  save_vector(os, plan->last_use);
+  save_vector(os, plan->in_place);
+  save_pod(os, plan->arena_bytes);
+  save_pod(os, plan->peak_bytes);
+  save_pod(os, plan->naive_peak_bytes);
+}
+
+/// Reads the plan section and attaches it. Int8Pipeline::set_plan validates
+/// every field against the just-loaded schedule, so a corrupted-but-
+/// checksummed plan (a buggy writer) rejects the artifact instead of
+/// executing with broken in-place marks.
+void load_plan(std::istream& is, Int8Pipeline& pipe) {
+  if (load_pod<std::uint8_t>(is) == 0) return;
+  MemoryPlan plan;
+  plan.reference_input = load_vector<std::int64_t>(is);
+  plan.value_bytes = load_vector<std::int64_t>(is);
+  plan.offsets = load_vector<std::int64_t>(is);
+  plan.last_use = load_vector<std::int32_t>(is);
+  plan.in_place = load_vector<std::uint8_t>(is);
+  plan.arena_bytes = load_pod<std::int64_t>(is);
+  plan.peak_bytes = load_pod<std::int64_t>(is);
+  plan.naive_peak_bytes = load_pod<std::int64_t>(is);
+  try {
+    pipe.set_plan(std::move(plan));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("load_pipeline: invalid plan section — " + std::string(e.what()));
+  }
 }
 
 void save_io(std::ostream& os, const StageIO& io) {
@@ -342,7 +484,9 @@ void save_pipeline(std::ostream& os, const Int8Pipeline& pipe) {
   for (const Int8Pipeline::Node& node : pipe.nodes()) {
     save_io(payload, node.io);
     save_stage(payload, node.op);
+    save_epilogue(payload, node.epilogue);  // v2
   }
+  save_plan(payload, pipe.plan());  // v2
   const std::string bytes = payload.str();
   save_pod(os, kWamMagic);
   save_pod(os, kWamVersion);
@@ -362,9 +506,10 @@ Int8Pipeline load_pipeline(std::istream& is) {
   if (load_pod<std::uint32_t>(is) != kWamMagic) {
     throw std::runtime_error("load_pipeline: not a .wam artifact (bad magic)");
   }
-  if (const auto version = load_pod<std::uint32_t>(is); version != kWamVersion) {
+  const auto version = load_pod<std::uint32_t>(is);
+  if (version < 1 || version > kWamVersion) {
     throw std::runtime_error("load_pipeline: unsupported .wam version " +
-                             std::to_string(version) + " (expected " +
+                             std::to_string(version) + " (this reader handles 1.." +
                              std::to_string(kWamVersion) + ")");
   }
   const auto payload_bytes = load_pod<std::uint64_t>(is);
@@ -389,8 +534,12 @@ Int8Pipeline load_pipeline(std::istream& is) {
     StageIO io = load_io(payload);
     // push() re-validates the graph wiring and — because every stage arrives
     // with its prepared caches — performs no weight transform or repack.
-    pipe.push(load_stage(payload), std::move(io));
+    Stage stage = load_stage(payload);
+    std::vector<EpilogueOp> epilogue;
+    if (version >= 2) epilogue = load_epilogue(payload);
+    pipe.push(std::move(stage), std::move(io), std::move(epilogue));
   }
+  if (version >= 2) load_plan(payload, pipe);
   if (payload.peek() != std::char_traits<char>::eof()) {
     throw std::runtime_error("load_pipeline: trailing bytes after last stage");
   }

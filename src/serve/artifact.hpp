@@ -17,6 +17,15 @@
 // truncated, corrupted or foreign files are rejected with a clear
 // std::runtime_error instead of materializing a garbage pipeline.
 //
+// Version 2 (the current writer) extends every stage record with its fused
+// epilogue ops and appends the optimizer's static memory plan, so an
+// optimized pipeline round-trips with its plan intact and serves with the
+// planned peak-memory behavior immediately after load. Version 1 artifacts
+// (no epilogues, no plan) remain loadable bit-for-bit — the checked-in
+// fixture tests/data/golden_v1.wam locks that promise — and a v2 plan
+// section that fails validation rejects the artifact instead of executing
+// with a corrupt plan.
+//
 // The byte-level specification of the format — field-by-field stage bodies,
 // integer encodings, evolution rules for new tags and versions — lives in
 // docs/WAM_FORMAT.md; keep that document in lockstep with this file (any
@@ -30,8 +39,10 @@
 
 namespace wa::serve {
 
-/// Bumped whenever the payload layout changes; loaders reject other versions.
-constexpr std::uint32_t kWamVersion = 1;
+/// Current writer version. Loaders accept this and all older versions
+/// listed in docs/WAM_FORMAT.md (currently v1), rejecting anything newer or
+/// unknown.
+constexpr std::uint32_t kWamVersion = 2;
 
 void save_pipeline(std::ostream& os, const deploy::Int8Pipeline& pipe);
 void save_pipeline(const std::string& path, const deploy::Int8Pipeline& pipe);

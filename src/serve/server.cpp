@@ -63,8 +63,14 @@ struct InferenceServer::Impl {
   struct ModelState {
     deploy::Int8Pipeline pipe;
     std::deque<Request> queue;
+    /// Set (under mu) when the model is unregistered: waiting submitters
+    /// wake and throw, new lookups no longer find the entry, and workers
+    /// that still hold the state via shared_ptr finish their dispatch
+    /// against an immutable pipeline.
+    bool removed = false;
 
     std::uint64_t requests = 0, samples = 0, batches = 0, failed = 0, rejected = 0;
+    std::int64_t peak_bytes = 0;  ///< max RunStats.peak_activation_bytes over dispatches
     std::vector<std::uint64_t> hist = std::vector<std::uint64_t>(kHistBuckets, 0);
     std::vector<double> lat_window;
     std::size_t lat_pos = 0;
@@ -89,24 +95,25 @@ struct InferenceServer::Impl {
   std::condition_variable space_cv;  // submitters: queue space freed
   bool stop = false;
   bool joined = false;
-  // std::map: node-based, so ModelState addresses stay valid while workers
-  // run a model's pipeline outside the lock. Models are never erased.
-  std::map<std::string, ModelState> models;
+  // Models are held by shared_ptr: remove_model() can erase the registry
+  // entry while a worker still runs a dispatch against the state — the
+  // worker's reference keeps it alive until the futures are completed.
+  std::map<std::string, std::shared_ptr<ModelState>> models;
   std::vector<std::thread> workers;
 
   // ---- scheduling (all under mu) -------------------------------------------
 
   /// Round-robin over the registry so a saturated model cannot starve the
   /// others: each pick starts one past the previously dispatched model.
-  ModelState* pick_locked() {
+  std::shared_ptr<ModelState> pick_locked() {
     if (models.empty()) return nullptr;
     const std::size_t n = models.size();
     auto it = models.begin();
     std::advance(it, static_cast<std::ptrdiff_t>(rr_cursor % n));
     for (std::size_t i = 0; i < n; ++i) {
-      if (!it->second.queue.empty()) {
+      if (!it->second->queue.empty()) {
         rr_cursor = (rr_cursor % n) + i + 1;
-        return &it->second;
+        return it->second;
       }
       if (++it == models.end()) it = models.begin();
     }
@@ -152,7 +159,7 @@ struct InferenceServer::Impl {
 #endif
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
-      ModelState* m = pick_locked();
+      std::shared_ptr<ModelState> m = pick_locked();
       if (m == nullptr) {
         if (stop) return;  // drained: every queue is empty
         work_cv.wait(lk);
@@ -180,15 +187,16 @@ struct InferenceServer::Impl {
     for (const Request& r : group) total += r.samples;
 
     Tensor out;
+    deploy::RunStats rstats;
     std::exception_ptr err;
     try {
       if (group.size() == 1) {
-        out = m.pipe.run(group.front().input);
+        out = m.pipe.run(group.front().input, nullptr, &rstats);
       } else {
         std::vector<Tensor> parts;
         parts.reserve(group.size());
         for (Request& r : group) parts.push_back(std::move(r.input));
-        out = m.pipe.run(Tensor::concat(parts, 0));
+        out = m.pipe.run(Tensor::concat(parts, 0), nullptr, &rstats);
       }
     } catch (...) {
       err = std::current_exception();
@@ -201,6 +209,7 @@ struct InferenceServer::Impl {
       std::lock_guard<std::mutex> lk(mu);
       m.batches += 1;
       m.requests += group.size();
+      m.peak_bytes = std::max(m.peak_bytes, rstats.peak_activation_bytes);
       m.samples += static_cast<std::uint64_t>(total);
       if (err) m.failed += group.size();
       const std::size_t bucket =
@@ -242,8 +251,11 @@ struct InferenceServer::Impl {
     if (it == models.end()) {
       throw std::invalid_argument("InferenceServer: unknown model '" + model + "'");
     }
-    ModelState& m = it->second;
-    while (!stop && m.queue.size() >= opts.queue_capacity) {
+    // Hold the state directly: a concurrent remove_model() may erase the map
+    // entry (and even re-register the name) while we wait for queue space.
+    std::shared_ptr<ModelState> state = it->second;
+    ModelState& m = *state;
+    while (!stop && !m.removed && m.queue.size() >= opts.queue_capacity) {
       if (!blocking) {
         ++m.rejected;
         return std::nullopt;
@@ -251,6 +263,9 @@ struct InferenceServer::Impl {
       space_cv.wait(lk);
     }
     if (stop) throw std::runtime_error("InferenceServer: shutting down");
+    if (m.removed) {
+      throw std::invalid_argument("InferenceServer: model '" + model + "' was removed");
+    }
 
     Request r;
     r.samples = input.size(0);
@@ -282,11 +297,11 @@ struct InferenceServer::Impl {
     // Workers drain before exiting, so queues are normally empty here; this
     // guards the pathological path (a worker that died on a non-exception).
     for (auto& [name, m] : models) {
-      for (Request& r : m.queue) {
+      for (Request& r : m->queue) {
         r.promise.set_exception(std::make_exception_ptr(
             std::runtime_error("InferenceServer: shut down before request ran")));
       }
-      m.queue.clear();
+      m->queue.clear();
     }
   }
 };
@@ -308,12 +323,36 @@ void InferenceServer::add_model(const std::string& name, deploy::Int8Pipeline pi
   }
   std::lock_guard<std::mutex> lk(impl_->mu);
   if (impl_->stop) throw std::runtime_error("InferenceServer: shutting down");
-  auto [it, inserted] = impl_->models.try_emplace(name);
+  auto [it, inserted] = impl_->models.try_emplace(name, std::make_shared<Impl::ModelState>());
   if (!inserted) {
     throw std::invalid_argument("InferenceServer::add_model: model '" + name +
                                 "' is already registered");
   }
-  it->second.pipe = std::move(pipe);
+  it->second->pipe = std::move(pipe);
+}
+
+void InferenceServer::remove_model(const std::string& name) {
+  std::deque<Impl::Request> orphans;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto it = impl_->models.find(name);
+    if (it == impl_->models.end()) {
+      throw std::invalid_argument("InferenceServer: unknown model '" + name + "'");
+    }
+    it->second->removed = true;
+    orphans.swap(it->second->queue);
+    impl_->models.erase(it);
+  }
+  // Wake submitters blocked on the removed model's full queue (they observe
+  // `removed` and throw) and workers whose pick may have raced the erase.
+  impl_->space_cv.notify_all();
+  impl_->work_cv.notify_all();
+  // Complete the undispatched futures outside the lock: every accepted
+  // request resolves, value or exception — never silently dropped.
+  for (Impl::Request& r : orphans) {
+    r.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "InferenceServer: model '" + name + "' was removed before the request ran")));
+  }
 }
 
 void InferenceServer::load_model(const std::string& name, const std::string& wam_path) {
@@ -351,7 +390,7 @@ ModelStats InferenceServer::stats(const std::string& model) const {
     if (it == impl_->models.end()) {
       throw std::invalid_argument("InferenceServer: unknown model '" + model + "'");
     }
-    const Impl::ModelState& m = it->second;
+    const Impl::ModelState& m = *it->second;
     s.requests = m.requests;
     s.samples = m.samples;
     s.batches = m.batches;
@@ -359,6 +398,7 @@ ModelStats InferenceServer::stats(const std::string& model) const {
     s.rejected = m.rejected;
     s.queue_depth = m.queue.size();
     s.batch_size_hist = m.hist;
+    s.peak_activation_bytes = m.peak_bytes;
     sorted = m.lat_window;
     first_submit = m.first_submit;
     saw_submit = m.saw_submit;

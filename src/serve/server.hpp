@@ -74,6 +74,11 @@ struct ModelStats {
   std::vector<std::uint64_t> batch_size_hist;
   /// Completed samples per second since the model's first submission.
   double samples_per_sec = 0.0;
+  /// High-water mark of live inter-stage activation bytes over all of this
+  /// model's dispatches (Int8Pipeline::RunStats measured per forward). With
+  /// an optimized pipeline this is bounded by the memory plan's peak_bytes
+  /// scaled to the largest dispatched batch; 0 until the first dispatch.
+  std::int64_t peak_activation_bytes = 0;
 };
 
 class InferenceServer {
@@ -92,6 +97,15 @@ class InferenceServer {
   /// Load a .wam artifact from disk and register it. Same frozen-scales
   /// requirement as add_model.
   void load_model(const std::string& name, const std::string& wam_path);
+
+  /// Unregister `name`. In-flight dispatches complete normally (workers
+  /// hold the model state alive); requests still queued when the removal
+  /// lands fail with std::runtime_error — every accepted future is always
+  /// completed, value or exception, never lost. Submitters blocked on the
+  /// removed model's full queue wake and throw. The name becomes free for
+  /// re-registration immediately. Throws std::invalid_argument for an
+  /// unknown model.
+  void remove_model(const std::string& name);
 
   std::vector<std::string> model_names() const;
 

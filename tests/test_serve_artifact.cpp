@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "backend/perf_counters.hpp"
+#include "deploy/passes/passes.hpp"
 #include "deploy/pipeline.hpp"
 #include "serve/artifact.hpp"
+#include "tensor/io.hpp"
 
 namespace wa::serve {
 namespace {
@@ -202,6 +205,156 @@ TEST(WamArtifact, RejectsPayloadLargerThanTheStageList) {
     padded[8 + i] = static_cast<char>((declared >> (8 * i)) & 0xFF);
   }
   EXPECT_THROW(loaded_from(padded), std::runtime_error);
+}
+
+// ---- v1 back-compat: the checked-in golden fixture --------------------------
+
+// tests/data/golden_v1.wam was written by the version-1 serializer (before
+// epilogues and the memory plan existed) over a hand-wired graph covering
+// both conv kinds, integer batch-norm, a residual join, pooling and a linear
+// head; golden_v1_input.bin / golden_v1_logits.bin pin its exact behavior.
+// The v2 reader must keep loading it bit-for-bit forever.
+
+std::string fixture_path(const char* name) {
+  return std::string(WA_SOURCE_DIR) + "/tests/data/" + name;
+}
+
+Tensor load_fixture_tensor(const char* name) {
+  std::ifstream is(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing fixture " << name;
+  return load_tensor(is);
+}
+
+TEST(WamArtifact, GoldenV1FixtureLoadsBitExactlyUnderTheV2Reader) {
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline pipe = load_pipeline(fixture_path("golden_v1.wam"));
+  EXPECT_EQ(snapshot_counters(), before) << "v1 load must not rebuild any weight cache";
+  EXPECT_EQ(pipe.size(), 8u);
+  EXPECT_EQ(pipe.plan(), nullptr) << "a v1 artifact carries no memory plan";
+
+  const Tensor input = load_fixture_tensor("golden_v1_input.bin");
+  const Tensor want = load_fixture_tensor("golden_v1_logits.bin");
+  const Tensor got = pipe.run(input);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F)
+      << "the v2 reader changed the meaning of a v1 artifact";
+}
+
+TEST(WamArtifact, GoldenV1FixtureSurvivesV2RewriteAndOptimization) {
+  Int8Pipeline pipe = load_pipeline(fixture_path("golden_v1.wam"));
+  const Tensor input = load_fixture_tensor("golden_v1_input.bin");
+  const Tensor want = load_fixture_tensor("golden_v1_logits.bin");
+
+  // Rewritten as v2 (no plan) it still means the same thing.
+  const Int8Pipeline rewritten = loaded_from(saved_bytes(pipe));
+  EXPECT_EQ(Tensor::max_abs_diff(rewritten.run(input), want), 0.F);
+
+  // Optimized (fusion + plan) it STILL means the same thing, and the plan
+  // round-trips with it.
+  deploy::passes::OptimizeOptions opts;
+  opts.reference_input = input.shape();
+  deploy::passes::optimize_pipeline(pipe, opts);
+  ASSERT_NE(pipe.plan(), nullptr);
+  const Int8Pipeline opt_loaded = loaded_from(saved_bytes(pipe));
+  ASSERT_NE(opt_loaded.plan(), nullptr);
+  EXPECT_EQ(opt_loaded.plan()->peak_bytes, pipe.plan()->peak_bytes);
+  EXPECT_EQ(opt_loaded.plan()->in_place, pipe.plan()->in_place);
+  EXPECT_EQ(Tensor::max_abs_diff(opt_loaded.run(input), want), 0.F);
+}
+
+// ---- v2: plan round trip and corrupted-plan rejection -----------------------
+
+std::uint64_t test_fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+/// Re-seal a tampered artifact: recompute the payload checksum so the
+/// corruption reaches the PLAN validator instead of the checksum guard.
+void reseal(std::string& bytes) {
+  const std::uint64_t sum = test_fnv1a64(bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
+  for (int i = 0; i < 8; ++i) bytes[16 + i] = static_cast<char>((sum >> (8 * i)) & 0xFF);
+}
+
+TEST(WamArtifact, V2RoundTripPreservesEpiloguesAndPlan) {
+  Rng rng(39);
+  Int8Pipeline pipe = compiled_resnet18(nn::ConvAlgo::kWinograd2, rng);
+  deploy::passes::OptimizeOptions opts;
+  opts.reference_input = {2, 3, 32, 32};
+  const auto report = deploy::passes::optimize_pipeline(pipe, opts);
+  ASSERT_GT(report.fused_stages, 0u);
+  ASSERT_NE(pipe.plan(), nullptr);
+
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
+  EXPECT_EQ(snapshot_counters(), before);
+  ASSERT_EQ(loaded.size(), pipe.size());
+  ASSERT_NE(loaded.plan(), nullptr);
+  EXPECT_EQ(loaded.plan()->peak_bytes, pipe.plan()->peak_bytes);
+  EXPECT_EQ(loaded.plan()->naive_peak_bytes, pipe.plan()->naive_peak_bytes);
+  EXPECT_EQ(loaded.plan()->arena_bytes, pipe.plan()->arena_bytes);
+  EXPECT_EQ(loaded.plan()->in_place, pipe.plan()->in_place);
+  EXPECT_EQ(loaded.plan()->offsets, pipe.plan()->offsets);
+
+  const Tensor x = Tensor::randn({3, 3, 32, 32}, rng);
+  deploy::RunStats a{}, b{};
+  const Tensor want = pipe.run(x, nullptr, &a);
+  const Tensor got = loaded.run(x, nullptr, &b);
+  EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F);
+  EXPECT_EQ(a.peak_activation_bytes, b.peak_activation_bytes)
+      << "the loaded plan must reproduce the planned memory behavior";
+}
+
+TEST(WamArtifact, RejectsV2ArtifactWithCorruptedPlanSection) {
+  Rng rng(40);
+  Int8Pipeline pipe = compiled_lenet(nn::ConvAlgo::kIm2row, rng);
+  deploy::passes::OptimizeOptions opts;
+  opts.reference_input = {1, 1, 28, 28};
+  deploy::passes::optimize_pipeline(pipe, opts);
+  ASSERT_NE(pipe.plan(), nullptr);
+  const std::string bytes = saved_bytes(pipe);
+  const std::size_t stages = pipe.size();
+  EXPECT_NO_THROW(loaded_from(bytes));  // sanity: intact artifact loads
+
+  // The plan tail layout (docs/WAM_FORMAT.md): [in_place len u64][marks
+  // stages][arena i64][peak i64][naive i64]. Both corruptions below keep the
+  // artifact checksummed-valid, so the PLAN validator must reject them.
+  {
+    std::string corrupt = bytes;  // negative byte total
+    for (std::size_t i = corrupt.size() - 8; i < corrupt.size(); ++i) {
+      corrupt[i] = static_cast<char>(0xFF);
+    }
+    reseal(corrupt);
+    try {
+      loaded_from(corrupt);
+      FAIL() << "expected runtime_error for the corrupted plan";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("plan"), std::string::npos) << e.what();
+    }
+  }
+  {
+    std::string corrupt = bytes;  // in_place mark out of range
+    corrupt[corrupt.size() - 24 - stages] = static_cast<char>(9);
+    reseal(corrupt);
+    try {
+      loaded_from(corrupt);
+      FAIL() << "expected runtime_error for the corrupted plan";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("plan"), std::string::npos) << e.what();
+    }
+  }
+  // And without resealing, the checksum guard still fires first.
+  {
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() - 1] = static_cast<char>(corrupt.back() ^ 0x5A);
+    EXPECT_THROW(loaded_from(corrupt), std::runtime_error);
+  }
 }
 
 // ---- hand-built graph with explicit slots -----------------------------------

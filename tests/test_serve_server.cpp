@@ -327,5 +327,128 @@ TEST(InferenceServer, HammerNClientsTimesMRequestsMatchesRunExactly) {
   EXPECT_EQ(s.queue_depth, 0u);
 }
 
+// ---- register/unregister soak -----------------------------------------------
+
+// The lifecycle race the registry must survive (run under TSan in CI):
+// mixed submit/try_submit traffic against stable models while a churn
+// thread registers and unregisters a third model the whole time. Contract:
+// every accepted future resolves (value or exception — never lost), results
+// for the stable models stay bit-identical to single-threaded run(), only
+// the churned model may fail requests, the perf counters stay flat (no
+// hidden re-preparation anywhere in the lifecycle), and the stats ledger
+// balances at the end.
+TEST(InferenceServer, RegisterUnregisterSoakNeverLosesAFuture) {
+  Rng rng(61);
+  Int8Pipeline pa = tiny_pipeline(rng, 10);
+  Int8Pipeline pb = tiny_pipeline(rng, 7);
+  const Int8Pipeline ref_a = pa;
+  const Int8Pipeline ref_b = pb;
+  const Int8Pipeline ref_c = tiny_pipeline(rng, 4);  // churned; re-registered by copy
+
+  std::vector<Tensor> inputs;
+  for (const std::int64_t n : {1, 2, 1, 3}) inputs.push_back(request_input(rng, n));
+  std::vector<std::vector<Tensor>> want(3);
+  for (const Tensor& in : inputs) {
+    want[0].push_back(ref_a.run(in));
+    want[1].push_back(ref_b.run(in));
+    want[2].push_back(ref_c.run(in));
+  }
+
+  ServerOptions opts;
+  opts.workers = 3;
+  opts.queue_capacity = 8;  // small: backpressure and try_submit rejections do happen
+  opts.batch.max_batch = 4;
+  opts.batch.max_delay_us = 200;
+  InferenceServer server(opts);
+  server.add_model("a", std::move(pa));
+  server.add_model("b", std::move(pb));
+
+  const auto counters_before = snapshot_counters();
+
+  struct Pending {
+    int model;
+    std::size_t input;
+    std::future<Tensor> fut;
+  };
+  std::mutex pending_mu;
+  std::vector<Pending> pending;
+  std::atomic<int> submit_refusals{0};  // throws for the churned model — allowed
+  std::atomic<int> queue_rejections{0};
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 150;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937 r(100u + static_cast<unsigned>(t));
+      for (int i = 0; i < kRounds; ++i) {
+        const int model = static_cast<int>(r() % 3u);
+        const char* name = model == 0 ? "a" : (model == 1 ? "b" : "c");
+        const std::size_t idx = r() % inputs.size();
+        try {
+          if (r() % 2 == 0) {
+            Pending p{model, idx, server.submit(name, inputs[idx])};
+            std::lock_guard<std::mutex> lk(pending_mu);
+            pending.push_back(std::move(p));
+          } else if (auto fut = server.try_submit(name, inputs[idx])) {
+            Pending p{model, idx, std::move(*fut)};
+            std::lock_guard<std::mutex> lk(pending_mu);
+            pending.push_back(std::move(p));
+          } else {
+            queue_rejections.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::invalid_argument&) {
+          // "c" between unregister and the next register — by contract.
+          submit_refusals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread churn([&] {
+    for (int i = 0; i < 40; ++i) {
+      server.add_model("c", ref_c);  // value copy: prepared stages, no repacks
+      std::this_thread::sleep_for(std::chrono::microseconds(400));
+      server.remove_model("c");
+    }
+  });
+  for (std::thread& t : clients) t.join();
+  churn.join();
+
+  std::size_t resolved_ok = 0, failed_churned = 0, failed_stable = 0;
+  for (Pending& p : pending) {
+    try {
+      const Tensor got = p.fut.get();
+      const Tensor& expect = want[static_cast<std::size_t>(p.model)][p.input];
+      if (got.shape() != expect.shape() || Tensor::max_abs_diff(got, expect) != 0.F) {
+        ADD_FAILURE() << "model " << p.model << " input " << p.input << ": logits diverged";
+      }
+      ++resolved_ok;
+    } catch (const std::exception&) {
+      (p.model == 2 ? failed_churned : failed_stable) += 1;
+    }
+  }
+  EXPECT_EQ(failed_stable, 0u) << "requests for never-removed models must all succeed";
+  EXPECT_EQ(resolved_ok + failed_churned + failed_stable, pending.size())
+      << "every accepted future must resolve";
+  EXPECT_EQ(snapshot_counters(), counters_before)
+      << "registry churn must not re-transform or repack any weights";
+
+  // Ledger balance on the stable models: accepted == completed, and the
+  // measured peak-activation stat is live once traffic flowed.
+  for (const char* name : {"a", "b"}) {
+    const ModelStats s = server.stats(name);
+    EXPECT_EQ(s.failed, 0u) << name;
+    EXPECT_EQ(s.queue_depth, 0u) << name;
+    if (s.requests > 0) {
+      EXPECT_GT(s.peak_activation_bytes, 0) << name;
+    }
+  }
+  // The churned model ends unregistered: stats must say unknown, and a late
+  // submit must be refused, not crash.
+  EXPECT_THROW(server.stats("c"), std::invalid_argument);
+  EXPECT_THROW(server.submit("c", inputs[0]), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace wa::serve
