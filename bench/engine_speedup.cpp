@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -63,7 +64,11 @@ struct GridPoint {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional argv[1]: where to write the machine-readable BENCH_engine.json
+  // (the checked-in copy lives at bench/BENCH_engine.json; CI's bench smoke
+  // regenerates it to catch drift in the measured section list).
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_engine.json";
   std::printf("Engine speedup — seed per-call path vs cached-U + arena (Fig. 7 shapes)\n");
   std::printf("%-22s %-4s | %12s %12s %7s | %12s %12s %7s\n", "shape", "cfg", "int8/call",
               "int8/cached", "ratio", "fp32/call", "fp32/cached", "ratio");
@@ -160,6 +165,111 @@ int main() {
   } else {
     std::printf("\n(only the scalar backend is available on this host — per-backend "
                 "comparison skipped)\n");
+  }
+
+  // ---- fused blocked executor vs flat (frozen per-stage scales) -------------
+  // The tentpole trail for the streaming tile-block engine: with every
+  // internal scale frozen (the deployment case — dynamic scales force flat),
+  // the fused transform->GEMM->inverse loop against the flat reference forced
+  // via set_winograd_blocked_enabled(false). Same shapes, same backend, the
+  // logits bit-identical by contract; only the schedule and layout differ.
+  std::printf("\nFused blocked executor vs flat Winograd path (frozen scales, batch 1)\n");
+  struct BlockedCell {
+    double flat_ms = 0.0, blocked_ms = 0.0;
+  };
+  // blocked_grid[backend][shape index]
+  std::map<std::string, std::vector<BlockedCell>> blocked_grid;
+  std::map<std::string, double> blocked_geo;
+  for (const std::string& bname : backends) {
+    backend::simd::set_backend(bname);
+    std::printf("backend %s\n", bname.c_str());
+    std::printf("  %-22s %-4s | %12s %12s %7s\n", "shape", "cfg", "flat", "blocked", "ratio");
+    double geo = 1.0;
+    auto& cells = blocked_grid[bname];
+    for (const auto& p : grid) {
+      const auto g = geom(p.cin, p.cout, p.hw);
+      const auto tr = wino::make_transforms(p.m, 3);
+      Rng brng(13);
+      const Tensor w = Tensor::randn({p.cout, p.cin, 3, 3}, brng, 0.3F);
+      const Tensor x = Tensor::randn({1, p.cin, p.hw, p.hw}, brng);
+      const backend::QTensor qx = backend::quantize_s8(x);
+      const auto prepared = backend::prepare_winograd_weights_s8(w, tr);
+      backend::WinogradStageScales scales;
+      scales.weights_transformed = prepared.scale;
+      scales.input_transformed = 0.1F;  // frozen: the blocked-path precondition
+      scales.hadamard = 0.05F;
+      scales.output = 0.1F;
+
+      backend::set_winograd_blocked_enabled(false);
+      const double flat_ms =
+          time_ms([&] { backend::winograd_conv_s8_prepared(qx, prepared, g, tr, scales); });
+      const backend::QTensor flat_out =
+          backend::winograd_conv_s8_prepared(qx, prepared, g, tr, scales);
+      backend::set_winograd_blocked_enabled(true);
+      const double blocked_ms =
+          time_ms([&] { backend::winograd_conv_s8_prepared(qx, prepared, g, tr, scales); });
+      const backend::QTensor blocked_out =
+          backend::winograd_conv_s8_prepared(qx, prepared, g, tr, scales);
+      if (blocked_out.data != flat_out.data) {
+        std::printf("  FATAL: blocked output diverged from flat on %s\n", bname.c_str());
+        return 1;
+      }
+      const double r = flat_ms / blocked_ms;
+      geo *= r;
+      cells.push_back({flat_ms, blocked_ms});
+      std::printf("  %4lld->%-4lld out=%-6lld F%-3d | %9.3f ms %9.3f ms %6.2fx\n",
+                  static_cast<long long>(p.cin), static_cast<long long>(p.cout),
+                  static_cast<long long>(p.hw), p.m, flat_ms, blocked_ms, r);
+    }
+    blocked_geo[bname] = std::pow(geo, 1.0 / n);
+    // The 1.25x bar applies to the SIMD backends: the scalar blocked path is
+    // the bit-exactness reference and has no wide transforms to win with.
+    std::printf("  geomean blocked vs flat: %.2fx%s\n", blocked_geo[bname],
+                bname == "scalar" ? "" : " (target >= 1.25x)");
+  }
+  backend::simd::set_backend(active);
+
+  // ---- machine-readable summary (BENCH_engine.json) -------------------------
+  {
+    std::FILE* jf = std::fopen(json_path.c_str(), "w");
+    if (jf == nullptr) {
+      std::printf("cannot open %s for write\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(jf, "{\n  \"bench\": \"engine_speedup\",\n  \"unit\": \"ns_per_call\",\n");
+    std::fprintf(jf, "  \"grid\": [\n");
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& p = grid[i];
+      std::fprintf(jf,
+                   "    {\"cin\": %lld, \"cout\": %lld, \"hw\": %lld, \"tile\": \"F%d\"",
+                   static_cast<long long>(p.cin), static_cast<long long>(p.cout),
+                   static_cast<long long>(p.hw), p.m);
+      for (const std::string& bname : backends) {
+        const BlockedCell& c = blocked_grid[bname][i];
+        std::fprintf(jf, ", \"%s_flat_ns\": %.0f, \"%s_blocked_ns\": %.0f", bname.c_str(),
+                     c.flat_ms * 1e6, bname.c_str(), c.blocked_ms * 1e6);
+      }
+      std::fprintf(jf, "}%s\n", i + 1 < grid.size() ? "," : "");
+    }
+    std::fprintf(jf, "  ],\n  \"geomean_blocked_vs_flat\": {");
+    for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+      std::fprintf(jf, "%s\"%s\": %.3f", bi > 0 ? ", " : "", backends[bi].c_str(),
+                   blocked_geo[backends[bi]]);
+    }
+    std::fprintf(jf, "},\n  \"geomean_blocked_vs_scalar_flat\": {");
+    // Cross-backend view at the engine's defaults: each backend's blocked
+    // path against the scalar backend's flat path (the all-off baseline).
+    for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+      double geo = 1.0;
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        geo *= blocked_grid[backends.front()][i].flat_ms / blocked_grid[backends[bi]][i].blocked_ms;
+      }
+      std::fprintf(jf, "%s\"%s\": %.3f", bi > 0 ? ", " : "", backends[bi].c_str(),
+                   std::pow(geo, 1.0 / n));
+    }
+    std::fprintf(jf, "}\n}\n");
+    std::fclose(jf);
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   // ---- pass-based optimizer on the compiled paper models --------------------

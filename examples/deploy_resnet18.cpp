@@ -12,6 +12,7 @@
 //   build/examples/deploy_resnet18
 #include <cstdio>
 
+#include "backend/simd/kernel_table.hpp"
 #include "data/synthetic.hpp"
 #include "deploy/pipeline.hpp"
 
@@ -41,6 +42,8 @@ int main() {
   deploy::Int8Pipeline pipe = deploy::compile_resnet18(net);
   std::printf("compiled ResNet-18 (width 0.125, F2 blocks) into %zu integer stages\n",
               pipe.size());
+  std::printf("SIMD kernel backend: %s (override with WA_BACKEND=scalar|avx2|avx512|neon)\n",
+              backend::simd::active_backend().c_str());
 
   // Deployed vs QAT eval forward on held-out data.
   const auto test = data::generate(spec, false);

@@ -1,8 +1,15 @@
 #include "backend/conv_kernels_s8.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "backend/perf_counters.hpp"
 #include "backend/simd/kernel_table.hpp"
@@ -178,6 +185,22 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
   return out;
 }
 
+void build_blocked_u(WinogradWeightsS8& w) {
+  const std::int64_t t2 = w.tile * w.tile, K = w.out_channels, C = w.in_channels;
+  const std::int64_t cpad =
+      (C + kWinoChannelBlock - 1) / kWinoChannelBlock * kWinoChannelBlock;
+  w.padded_in_channels = cpad;
+  // 128 is offset-binary zero, so pad channels drop out of the GEMM exactly.
+  w.u_blocked.assign(static_cast<std::size_t>(t2 * K * cpad), std::uint8_t{128});
+  for (std::int64_t abk = 0; abk < t2 * K; ++abk) {
+    const std::int8_t* src = w.u_q.data() + abk * C;
+    std::uint8_t* dst = w.u_blocked.data() + abk * cpad;
+    for (std::int64_t c = 0; c < C; ++c) {
+      dst[c] = static_cast<std::uint8_t>(static_cast<std::int32_t>(src[c]) + 128);
+    }
+  }
+}
+
 WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
                                               const wino::Transforms& tr, float scale) {
   // U in FP32, then int8 at a single per-layer scale (the training-time Qx).
@@ -191,7 +214,22 @@ WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
   for (std::int64_t i = 0; i < u_f.numel(); ++i) {
     w.u_q[static_cast<std::size_t>(i)] = clamp_s8(u_f.at(i) / w.scale);
   }
+  build_blocked_u(w);
   return w;
+}
+
+namespace {
+
+std::atomic<bool> g_wino_blocked{[] {
+  const char* env = std::getenv("WA_WINO_BLOCKED");
+  return env == nullptr || std::string(env) != "0";
+}()};
+
+}  // namespace
+
+bool winograd_blocked_enabled() { return g_wino_blocked.load(std::memory_order_relaxed); }
+void set_winograd_blocked_enabled(bool on) {
+  g_wino_blocked.store(on, std::memory_order_relaxed);
 }
 
 QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const ConvGeometry& g,
@@ -201,6 +239,187 @@ QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const
       input, prepare_winograd_weights_s8(weights_fp32, tr, scales.weights_transformed), g, tr,
       scales, bias);
 }
+
+namespace {
+
+// The fused streaming executor: per (batch element, block of consecutive
+// tiles), run input transform -> t² blocked GEMMs -> requant -> inverse
+// transform + output quantization as one loop. The V and M intermediates for
+// one block live in a ScratchArena slab sized to stay L1/L2-resident instead
+// of the flat path's full arena tensors — the only traffic proportional to
+// the whole tensor is the input read and the int8 output write.
+//
+// Bit-exactness with the flat path (the differential fuzzer's contract):
+//   - every per-tile fp32 transform is tile-local, so splitting tiles into
+//     blocks computes the identical floats;
+//   - quantize/requant are elementwise with the same scales (all frozen here
+//     — a dynamic scale needs a whole-tensor abs-max and forces flat);
+//   - the Hadamard sums are int32-exact for any channel/summation order, and
+//     pad channels are offset-binary 128 == level 0 (they drop out exactly).
+//
+// Interleave four nt-long int8 rows into the k4 GEMM's native operand layout
+// (dst[idx*4 + lane] = row_lane[idx]). A pure byte shuffle — any
+// implementation produces identical bytes — so the SSE2 4x16 transpose needs
+// no dispatch-table entry; baseline x86-64 always has it.
+void interleave_k4(const std::int8_t* r0, const std::int8_t* r1, const std::int8_t* r2,
+                   const std::int8_t* r3, std::int8_t* dst, std::int64_t nt) {
+  std::int64_t idx = 0;
+#if defined(__SSE2__)
+  for (; idx + 16 <= nt; idx += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0 + idx));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1 + idx));
+    const __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r2 + idx));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r3 + idx));
+    const __m128i ab_lo = _mm_unpacklo_epi8(a, b);  // a0 b0 a1 b1 ..
+    const __m128i ab_hi = _mm_unpackhi_epi8(a, b);
+    const __m128i cd_lo = _mm_unpacklo_epi8(c, d);
+    const __m128i cd_hi = _mm_unpackhi_epi8(c, d);
+    std::int8_t* out = dst + idx * 4;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), _mm_unpacklo_epi16(ab_lo, cd_lo));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16), _mm_unpackhi_epi16(ab_lo, cd_lo));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 32), _mm_unpacklo_epi16(ab_hi, cd_hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 48), _mm_unpackhi_epi16(ab_hi, cd_hi));
+  }
+#endif
+  for (; idx < nt; ++idx) {
+    dst[idx * 4 + 0] = r0[idx];
+    dst[idx * 4 + 1] = r1[idx];
+    dst[idx * 4 + 2] = r2[idx];
+    dst[idx * 4 + 3] = r3[idx];
+  }
+}
+
+// Caller guarantees (winograd_conv_s8_prepared): geometry/scale validation
+// passed, all of sv/sm/so frozen, u_blocked built.
+QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& weights,
+                                 const ConvGeometry& g, const wino::Transforms& tr,
+                                 const WinogradStageScales& scales, const Tensor* bias,
+                                 std::vector<std::int8_t>* reuse_storage) {
+  const std::int64_t oh = g.out_height(), ow = g.out_width();
+  const std::int64_t t = tr.tile, m = tr.m, t2 = t * t;
+  const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
+  const std::int64_t tiles_pp = th * tw;  // tiles per plane
+  const std::int64_t C = g.in_channels, K = g.out_channels;
+  const std::int64_t cpad = weights.padded_in_channels;
+  const std::int64_t cq = cpad / kWinoChannelBlock;
+
+  const float su = weights.scale;
+  const float sv = scales.input_transformed;
+  const float sm = scales.hadamard;
+  const float so = scales.output;
+  // Scale arithmetic replayed exactly as the flat path computes it (float
+  // product, double ratio) so the fixed-point multiplier is bit-identical.
+  const float m_acc_scale = su * sv;
+  const auto m_mult = quant::quantize_multiplier(static_cast<double>(m_acc_scale) / sm);
+  const float in_scale = input.scale;
+  const float v_inv = 1.F / sv;
+  const float o_inv = 1.F / so;
+
+  const bool has_bias = bias != nullptr && !bias->empty();
+  if (has_bias && bias->numel() != g.out_channels) {
+    throw std::invalid_argument("winograd_conv_s8: bias/channel mismatch");
+  }
+
+  // Tile-block width: as many tiles as keep the slab (V fp32/int8/blocked +
+  // M int32/int8) around the L2 budget, in multiples of the 16-column GEMM
+  // width, capped so small shapes still form one block.
+  constexpr std::int64_t kSlabBudget = std::int64_t{384} << 10;
+  const std::int64_t per_tile = t2 * (4 + kWinoChannelBlock + cpad + 5 * K);
+  std::int64_t tb = kSlabBudget / std::max<std::int64_t>(per_tile, 1);
+  tb = std::min<std::int64_t>(tb, 64);
+  tb = (tb / 16) * 16;
+  if (tb < 16) tb = 16;
+  tb = std::min(tb, tiles_pp);
+
+  const std::int64_t out_numel = g.batch * K * oh * ow;
+  QTensor out;
+  out.shape = Shape{g.batch, K, oh, ow};
+  out.scale = so;
+
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
+  // With a donated buffer (which may alias input.data) the output is staged
+  // in the arena and the donation is consumed only after every input read —
+  // the same "fully consume, then take over" contract as the flat path, so
+  // the planner's donation accounting holds unchanged.
+  std::int8_t* stage = nullptr;
+  if (reuse_storage != nullptr) {
+    stage = arena.alloc<std::int8_t>(out_numel);
+  } else {
+    out.data.resize(static_cast<std::size_t>(out_numel));
+    stage = out.data.data();
+  }
+
+  const std::int64_t nblocks = (tiles_pp + tb - 1) / tb;
+  const std::int8_t* in_base = input.data.data();
+  const std::uint8_t* ub = weights.u_blocked.data();
+  const auto& kt = simd::kernels();
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t blk = 0; blk < nblocks; ++blk) {
+      ScratchArena& slab = ScratchArena::for_thread();
+      ScratchArena::Scope block_frame(slab);
+      const std::int64_t tile0 = blk * tb;
+      const std::int64_t nt = std::min(tb, tiles_pp - tile0);
+      float* v_f = slab.alloc<float>(t2 * nt);
+      std::int8_t* v_q4 = slab.alloc<std::int8_t>(kWinoChannelBlock * t2 * nt);
+      std::int8_t* v_blk = slab.alloc<std::int8_t>(t2 * cpad * nt);
+      std::int32_t* m_acc = slab.alloc<std::int32_t>(t2 * K * nt);
+      std::int8_t* m_q = slab.alloc<std::int8_t>(t2 * K * nt);
+
+      // Input transform + V quantization + k4 interleave, one channel group
+      // at a time: V for this block only ever holds 4 * t² * nt values. The
+      // four planar lane rows are transposed into the GEMM layout together.
+      for (std::int64_t cb = 0; cb < cq; ++cb) {
+        for (std::int64_t lane = 0; lane < kWinoChannelBlock; ++lane) {
+          const std::int64_t c = cb * kWinoChannelBlock + lane;
+          std::int8_t* vrow = v_q4 + lane * t2 * nt;
+          if (c >= C) {
+            // Pad lane: level 0 everywhere. Its GEMM contribution cancels
+            // for any value; zero keeps the bytes deterministic.
+            std::memset(vrow, 0, static_cast<std::size_t>(t2 * nt));
+            continue;
+          }
+          const std::int8_t* plane = in_base + (n * C + c) * g.height * g.width;
+          kt.wino_scatter_block_f32(plane, g.height, g.width, g.pad, in_scale, tr.bt_mat.raw(),
+                                    t, m, th, tw, tile0, nt, v_f, nt);
+          kt.quantize_f32_s8(v_f, vrow, t2 * nt, v_inv);
+        }
+        for (std::int64_t ab = 0; ab < t2; ++ab) {
+          interleave_k4(v_q4 + ab * nt, v_q4 + t2 * nt + ab * nt, v_q4 + 2 * t2 * nt + ab * nt,
+                        v_q4 + 3 * t2 * nt + ab * nt, v_blk + (ab * cq + cb) * nt * 4, nt);
+        }
+      }
+
+      // Hadamard: t² K x nt GEMMs against the pre-blocked U, then the flat
+      // fixed-point requant over the block's M.
+      for (std::int64_t ab = 0; ab < t2; ++ab) {
+        kt.gemm_u8s8_s32_k4(K, nt, cpad, ub + ab * K * cpad, v_blk + ab * cq * nt * 4,
+                            m_acc + ab * K * nt);
+      }
+      kt.requant_s32_s8(m_acc, m_q, t2 * K * nt, m_mult);
+
+      // Inverse transform with the output quantization fused in, straight to
+      // the int8 plane (edge tiles clipped inside the kernel).
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float bv = has_bias ? bias->at(k) : 0.F;
+        kt.wino_gather_q_s8(m_q + k * nt, K * nt, sm, tr.at_mat.raw(), t, m, th, tw, tile0, nt,
+                            oh, ow, bv, o_inv, stage + (n * K + k) * oh * ow);
+      }
+    }
+  }
+
+  if (reuse_storage != nullptr) {
+    // Every input byte has been read; take over (or free-then-grow) the
+    // donated buffer exactly like the flat path, then land the staged bytes.
+    out.data = take_output_storage(reuse_storage, out_numel);
+    std::memcpy(out.data.data(), stage, static_cast<std::size_t>(out_numel));
+  }
+  return out;
+}
+
+}  // namespace
 
 QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8& weights,
                                   const ConvGeometry& g, const wino::Transforms& tr,
@@ -223,6 +442,15 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
     throw std::invalid_argument(
         "winograd_conv_s8: weights_transformed scale does not match the prepared weights");
   }
+  // Frozen internal scales let the stages fuse (no whole-tensor abs-max
+  // between them): take the streaming blocked executor. Any dynamic scale —
+  // or the WA_WINO_BLOCKED=0 / set_winograd_blocked_enabled(false) override,
+  // or a hand-built weight cache without the blocked U — runs the flat path.
+  if (scales.input_transformed > 0.F && scales.hadamard > 0.F && scales.output > 0.F &&
+      winograd_blocked_enabled() && !weights.u_blocked.empty()) {
+    return winograd_conv_s8_blocked(input, weights, g, tr, scales, bias, reuse_storage);
+  }
+
   const std::int64_t oh = g.out_height(), ow = g.out_width();
   const std::int64_t t = tr.tile, m = tr.m;
   const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;

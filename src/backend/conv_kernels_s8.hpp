@@ -66,17 +66,35 @@ QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const
                          const wino::Transforms& tr, const WinogradStageScales& scales = {},
                          const Tensor* bias = nullptr);
 
+/// Input-channel block width of the fused Winograd path's GEMM layout: the
+/// blocked U/V interleave groups of 4 channels per column, the granule one
+/// AVX-512 `vpdpbusd` (and the scalar reference loop) consumes.
+inline constexpr std::int64_t kWinoChannelBlock = 4;
+
 /// Winograd weights transformed AND quantized once at load: U = Qx(G g Gᵀ)
 /// as int8 levels [t*t, K, C] at `scale`. This is the LANCE-style
 /// precomputation — per forward only the input/Hadamard/output stages run.
+///
+/// `u_blocked` is the same levels pre-blocked for the fused streaming
+/// executor: [t*t, K, Cpad] unsigned offset-binary bytes (level + 128),
+/// Cpad = C rounded up to kWinoChannelBlock, pad bytes 128 (== level 0).
+/// Offset-binary is what `vpdpbusd` (unsigned x signed) needs; the GEMM
+/// removes the +128 exactly (see KernelTable::gemm_u8s8_s32_k4).
 struct WinogradWeightsS8 {
-  std::vector<std::int8_t> u_q;  // [t*t, K, C]
+  std::vector<std::int8_t> u_q;         // [t*t, K, C]
+  std::vector<std::uint8_t> u_blocked;  // [t*t, K, Cpad], offset-binary
+  std::int64_t padded_in_channels = 0;  // Cpad
   float scale = 1.F;
   std::int64_t out_channels = 0;
   std::int64_t in_channels = 0;
   std::int64_t tile = 0;
   bool empty() const { return u_q.empty(); }
 };
+
+/// (Re)build `u_blocked` from `u_q`. prepare_winograd_weights_s8 calls this;
+/// it is exposed for loaders of pre-v3 `.wam` artifacts, whose prepared
+/// caches carry only the flat levels.
+void build_blocked_u(WinogradWeightsS8& weights);
 
 /// Build the cached transformed weights. `scale` <= 0 derives the scale from
 /// the transformed weights' abs-max (what a cold calibration would do);
@@ -92,10 +110,27 @@ WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
 /// `reuse_storage` as in im2row_conv_s8_prepared: an optional donated output
 /// buffer that may alias input.data — the input is fully consumed by the
 /// scatter stage before the output tensor is materialized.
+///
+/// Execution strategy: when every internal scale (input_transformed,
+/// hadamard, output) is frozen and the prepared weights carry the blocked U,
+/// the conv runs the fused streaming executor — per block of tiles,
+/// transform -> t² blocked GEMMs -> inverse transform + requant in one loop
+/// whose V/M intermediates live in an L1/L2-sized ScratchArena slab. Any
+/// dynamic scale forces the flat path (deriving a scale needs the full
+/// tensor's abs-max before the next stage may quantize). Both executions are
+/// bit-identical; set_winograd_blocked_enabled(false) (or WA_WINO_BLOCKED=0)
+/// forces flat for differential tests and benchmarks.
 QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8& weights,
                                   const ConvGeometry& g, const wino::Transforms& tr,
                                   const WinogradStageScales& scales = {},
                                   const Tensor* bias = nullptr,
                                   std::vector<std::int8_t>* reuse_storage = nullptr);
+
+/// Whether winograd_conv_s8_prepared may take the fused blocked path.
+/// Defaults to on unless the WA_WINO_BLOCKED=0 environment override is set.
+/// The setter is a testing/bench hook — like simd::set_backend, do not flip
+/// it while forwards are in flight.
+bool winograd_blocked_enabled();
+void set_winograd_blocked_enabled(bool on);
 
 }  // namespace wa::backend

@@ -401,6 +401,23 @@ inline void store_interleave4(float* dst, __m256 a, __m256 b, __m256 c, __m256 d
   _mm256_storeu_ps(dst + 24, _mm256_permute2f128_ps(u2, u3, 0x31));
 }
 
+// 128-bit variants of the two interleaves, for the 4-tile groups below.
+inline void store_interleave2_128(float* dst, __m128 a, __m128 b) {
+  _mm_storeu_ps(dst, _mm_unpacklo_ps(a, b));
+  _mm_storeu_ps(dst + 4, _mm_unpackhi_ps(a, b));
+}
+
+inline void store_interleave4_128(float* dst, __m128 a, __m128 b, __m128 c, __m128 d) {
+  const __m128 t0 = _mm_unpacklo_ps(a, b);
+  const __m128 t1 = _mm_unpacklo_ps(c, d);
+  const __m128 t2 = _mm_unpackhi_ps(a, b);
+  const __m128 t3 = _mm_unpackhi_ps(c, d);
+  _mm_storeu_ps(dst, _mm_movelh_ps(t0, t1));
+  _mm_storeu_ps(dst + 4, _mm_movehl_ps(t1, t0));
+  _mm_storeu_ps(dst + 8, _mm_movelh_ps(t2, t3));
+  _mm_storeu_ps(dst + 12, _mm_movehl_ps(t3, t2));
+}
+
 void wino_gather_f32_avx2(const std::int8_t* m_base, std::int64_t ab_stride, float sm,
                           const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
                           std::int64_t tw, std::int64_t oh, std::int64_t ow, float bias,
@@ -465,6 +482,369 @@ void wino_gather_f32_avx2(const std::int8_t* m_base, std::int64_t ab_stride, flo
   }
 }
 
+// ---- Blocked-layout kernels (streaming tile-block Winograd path) -----------
+
+// Blocked scatter: the flat AVX2 scatter's vector groups, restricted to the
+// tile range [tile0, tile0+ntiles). Rows are staged per tile-row segment with
+// the same per-element dequant expression; after the 8-tile groups a 4-tile
+// 128-bit group picks up narrow tile rows (out=8 F2 and out=16 F4 grids run
+// at tw <= 4, which the flat kernel leaves entirely scalar). Leftover tiles
+// take the scalar reference kernel so the bit-exactness-critical path has
+// exactly one scalar implementation.
+void wino_scatter_block_f32_avx2(const std::int8_t* plane, std::int64_t height,
+                                 std::int64_t width, std::int64_t pad, float in_scale,
+                                 const float* bt, std::int64_t t, std::int64_t m, std::int64_t th,
+                                 std::int64_t tw, std::int64_t tile0, std::int64_t ntiles,
+                                 float* v_block, std::int64_t block_stride) {
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
+  float* fbuf = arena.alloc<float>(t * ((tw - 1) * m + t));
+  const __m256 scale = _mm256_set1_ps(in_scale);
+  const __m256i vidx = _mm256_mullo_epi32(_mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+                                          _mm256_set1_epi32(static_cast<int>(m)));
+  const __m128i vidx4 = _mm_mullo_epi32(_mm_setr_epi32(0, 1, 2, 3),
+                                        _mm_set1_epi32(static_cast<int>(m)));
+  __m256 X[kMaxVecTile * kMaxVecTile], TMP[kMaxVecTile * kMaxVecTile];
+  __m128 X4[kMaxVecTile * kMaxVecTile], TMP4[kMaxVecTile * kMaxVecTile];
+
+  std::int64_t tile = tile0;
+  const std::int64_t tend = tile0 + ntiles;
+  while (tile < tend) {
+    const std::int64_t ti = tile / tw;
+    const std::int64_t tjb = tile % tw;
+    const std::int64_t tje = std::min(tw, tjb + (tend - tile));
+    std::int64_t tj = tjb;
+    if (t <= kMaxVecTile && tjb + 4 <= tje) {
+      const std::int64_t seg = (tje - 1 - tjb) * m + t;
+      const std::int64_t i0 = ti * m - pad;
+      const std::int64_t x0 = tjb * m;  // fbuf column 0 is input column x0 - pad
+      for (std::int64_t a = 0; a < t; ++a) {
+        float* row = fbuf + a * seg;
+        const std::int64_t ii = i0 + a;
+        if (ii < 0 || ii >= height) {
+          std::fill(row, row + seg, 0.F);
+          continue;
+        }
+        const std::int8_t* src = plane + ii * width;
+        const std::int64_t p0 = std::min(std::max<std::int64_t>(pad - x0, 0), seg);
+        std::fill(row, row + p0, 0.F);
+        const std::int64_t j0 = x0 + p0 - pad;  // first in-bounds input column
+        const std::int64_t len = std::min(width - j0, seg - p0);
+        std::int64_t x = 0;
+        for (; x + 8 <= len; x += 8) {
+          const __m256i lv = _mm256_cvtepi8_epi32(
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + j0 + x)));
+          _mm256_storeu_ps(row + p0 + x, _mm256_mul_ps(_mm256_cvtepi32_ps(lv), scale));
+        }
+        for (; x < len; ++x) row[p0 + x] = static_cast<float>(src[j0 + x]) * in_scale;
+        std::fill(row + p0 + std::max<std::int64_t>(len, 0), row + seg, 0.F);
+      }
+      for (; tj + 8 <= tje; tj += 8) {
+        for (std::int64_t a = 0; a < t; ++a) {
+          const float* base = fbuf + a * seg + (tj - tjb) * m;
+          for (std::int64_t b = 0; b < t; ++b) {
+            X[a * t + b] = _mm256_i32gather_ps(base + b, vidx, 4);
+          }
+        }
+        for (std::int64_t i = 0; i < t; ++i) {  // TMP = Bt * X (smm_nn: skip zeros)
+          for (std::int64_t j = 0; j < t; ++j) {
+            __m256 acc = _mm256_setzero_ps();
+            for (std::int64_t kk = 0; kk < t; ++kk) {
+              const float av = bt[i * t + kk];
+              if (av == 0.F) continue;
+              acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), X[kk * t + j]));
+            }
+            TMP[i * t + j] = acc;
+          }
+        }
+        float* dst = v_block + (ti * tw + tj - tile0);
+        for (std::int64_t i = 0; i < t; ++i) {  // V = TMP * Bt^T (smm_nt: no skip)
+          for (std::int64_t j = 0; j < t; ++j) {
+            __m256 acc = _mm256_setzero_ps();
+            for (std::int64_t kk = 0; kk < t; ++kk) {
+              acc = _mm256_add_ps(acc,
+                                  _mm256_mul_ps(TMP[i * t + kk], _mm256_set1_ps(bt[j * t + kk])));
+            }
+            _mm256_storeu_ps(dst + (i * t + j) * block_stride, acc);
+          }
+        }
+      }
+      for (; tj + 4 <= tje; tj += 4) {  // narrow rows: 4 tiles in 128-bit lanes
+        for (std::int64_t a = 0; a < t; ++a) {
+          const float* base = fbuf + a * seg + (tj - tjb) * m;
+          for (std::int64_t b = 0; b < t; ++b) {
+            X4[a * t + b] = _mm_i32gather_ps(base + b, vidx4, 4);
+          }
+        }
+        for (std::int64_t i = 0; i < t; ++i) {
+          for (std::int64_t j = 0; j < t; ++j) {
+            __m128 acc = _mm_setzero_ps();
+            for (std::int64_t kk = 0; kk < t; ++kk) {
+              const float av = bt[i * t + kk];
+              if (av == 0.F) continue;
+              acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(av), X4[kk * t + j]));
+            }
+            TMP4[i * t + j] = acc;
+          }
+        }
+        float* dst = v_block + (ti * tw + tj - tile0);
+        for (std::int64_t i = 0; i < t; ++i) {
+          for (std::int64_t j = 0; j < t; ++j) {
+            __m128 acc = _mm_setzero_ps();
+            for (std::int64_t kk = 0; kk < t; ++kk) {
+              acc = _mm_add_ps(acc, _mm_mul_ps(TMP4[i * t + kk], _mm_set1_ps(bt[j * t + kk])));
+            }
+            _mm_storeu_ps(dst + (i * t + j) * block_stride, acc);
+          }
+        }
+      }
+    }
+    if (tj < tje) {  // remaining tiles of this row: scalar reference path
+      scalar_kernels().wino_scatter_block_f32(plane, height, width, pad, in_scale, bt, t, m, th,
+                                              tw, ti * tw + tj, tje - tj,
+                                              v_block + (ti * tw + tj - tile0), block_stride);
+    }
+    tile += tje - tjb;
+  }
+}
+
+// Blocked offset-binary GEMM. One madd accumulates a column's (k, k+1) or
+// (k+2, k+3) partial pair; pairs stay split across the k loop (col j lives in
+// int32 lanes 2j and 2j+1) and are combined once at the end. The offset is
+// removed with a per-column sum: c = sum(a*b) - 128*colsum, exactly
+// sum((a-128)*b) in int32.
+void gemm_u8s8_s32_k4_avx2(std::int64_t m, std::int64_t n, std::int64_t kpad,
+                           const std::uint8_t* a, const std::int8_t* b, std::int32_t* c) {
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
+  const std::int64_t kq = kpad / 4;
+  std::int32_t* colsum = arena.alloc<std::int32_t>(n);
+  const __m256i perm = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  {
+    // Vector colsum pass: madd against an all-1s vector sums each column's
+    // k-pairs, reusing the exact lane layout (and final hadd+permute fixup)
+    // of the accumulator loop below.
+    const __m256i ones16 = _mm256_set1_epi16(1);
+    std::int64_t j0 = 0;
+    for (; j0 + 8 <= n; j0 += 8) {
+      __m256i cs_lo = _mm256_setzero_si256();
+      __m256i cs_hi = _mm256_setzero_si256();
+      for (std::int64_t q = 0; q < kq; ++q) {
+        const __m256i braw =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + (q * n + j0) * 4));
+        cs_lo = _mm256_add_epi32(
+            cs_lo, _mm256_madd_epi16(ones16, _mm256_cvtepi8_epi16(_mm256_castsi256_si128(braw))));
+        cs_hi = _mm256_add_epi32(
+            cs_hi,
+            _mm256_madd_epi16(ones16, _mm256_cvtepi8_epi16(_mm256_extracti128_si256(braw, 1))));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(colsum + j0),
+                          _mm256_permutevar8x32_epi32(_mm256_hadd_epi32(cs_lo, cs_hi), perm));
+    }
+    for (; j0 + 4 <= n; j0 += 4) {
+      __m256i cs = _mm256_setzero_si256();
+      for (std::int64_t q = 0; q < kq; ++q) {
+        const __m256i b03 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + (q * n + j0) * 4)));
+        cs = _mm256_add_epi32(cs, _mm256_madd_epi16(ones16, b03));
+      }
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(colsum + j0),
+          _mm_hadd_epi32(_mm256_castsi256_si128(cs), _mm256_extracti128_si256(cs, 1)));
+    }
+    for (; j0 < n; ++j0) {
+      std::int32_t cs = 0;
+      for (std::int64_t q = 0; q < kq; ++q) {
+        const std::int8_t* bq = b + (q * n + j0) * 4;
+        cs += static_cast<std::int32_t>(bq[0]) + static_cast<std::int32_t>(bq[1]) +
+              static_cast<std::int32_t>(bq[2]) + static_cast<std::int32_t>(bq[3]);
+      }
+      colsum[j0] = cs;
+    }
+  }
+#pragma omp parallel for schedule(static) if (m >= 8)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint8_t* arow = a + i * kpad;
+    std::int32_t* crow = c + i * n;
+    std::int64_t j0 = 0;
+    for (; j0 + 8 <= n; j0 += 8) {
+      __m256i acc_lo = _mm256_setzero_si256();  // cols j0..j0+3, as lane pairs
+      __m256i acc_hi = _mm256_setzero_si256();  // cols j0+4..j0+7
+      for (std::int64_t q = 0; q < kq; ++q) {
+        const __m256i braw = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(b + (q * n + j0) * 4));
+        const __m256i b01 = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(braw));
+        const __m256i b23 = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(braw, 1));
+        const std::uint8_t* aq = arow + q * 4;
+        const long long quad = static_cast<long long>(aq[0]) |
+                               (static_cast<long long>(aq[1]) << 16) |
+                               (static_cast<long long>(aq[2]) << 32) |
+                               (static_cast<long long>(aq[3]) << 48);
+        const __m256i av = _mm256_set1_epi64x(quad);
+        acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(av, b01));
+        acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(av, b23));
+      }
+      // hadd yields [c0 c1 c4 c5 | c2 c3 c6 c7]; permute back to order.
+      const __m256i sums =
+          _mm256_permutevar8x32_epi32(_mm256_hadd_epi32(acc_lo, acc_hi), perm);
+      const __m256i cs =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(colsum + j0));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + j0),
+                          _mm256_sub_epi32(sums, _mm256_slli_epi32(cs, 7)));
+    }
+    // 4-column tail: the same madd-pair scheme on one 128-bit load. The
+    // smallest Fig. 7 planes run whole tap GEMMs at n = 4, so this step is
+    // what keeps them off the scalar loop below.
+    for (; j0 + 4 <= n; j0 += 4) {
+      __m256i acc = _mm256_setzero_si256();  // col j in int32 lanes 2j, 2j+1
+      for (std::int64_t q = 0; q < kq; ++q) {
+        const __m256i b03 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + (q * n + j0) * 4)));
+        const std::uint8_t* aq = arow + q * 4;
+        const long long quad = static_cast<long long>(aq[0]) |
+                               (static_cast<long long>(aq[1]) << 16) |
+                               (static_cast<long long>(aq[2]) << 32) |
+                               (static_cast<long long>(aq[3]) << 48);
+        acc = _mm256_add_epi32(_mm256_madd_epi16(_mm256_set1_epi64x(quad), b03), acc);
+      }
+      const __m128i sums =
+          _mm_hadd_epi32(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
+      const __m128i cs = _mm_loadu_si128(reinterpret_cast<const __m128i*>(colsum + j0));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0),
+                       _mm_sub_epi32(sums, _mm_slli_epi32(cs, 7)));
+    }
+    for (; j0 < n; ++j0) {  // last 1-3 columns: scalar, identical integer sums
+      std::int32_t acc = 0;
+      for (std::int64_t q = 0; q < kq; ++q) {
+        const std::int8_t* bq = b + (q * n + j0) * 4;
+        for (std::int64_t r = 0; r < 4; ++r) {
+          acc += (static_cast<std::int32_t>(arow[q * 4 + r]) - 128) *
+                 static_cast<std::int32_t>(bq[r]);
+        }
+      }
+      crow[j0] = acc;
+    }
+  }
+}
+
+// Blocked gather with the output quantization fused in: the flat AVX2
+// gather's vector transform produces Y + bias for 8 tiles, which is staged
+// contiguously (the same interleave the flat kernel stores to the plane) and
+// pushed through quantize_f32_s8 — elementwise and bit-exact across
+// backends, so fused and flat bytes agree. A 4-tile 128-bit group follows
+// the 8-tile groups for narrow tile rows (tw <= 4 grids the flat kernel
+// leaves scalar); edge/partial tiles take the scalar reference kernel.
+void wino_gather_q_s8_avx2(const std::int8_t* m_block, std::int64_t block_stride, float sm,
+                           const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
+                           std::int64_t tw, std::int64_t tile0, std::int64_t ntiles,
+                           std::int64_t oh, std::int64_t ow, float bias, float o_inv,
+                           std::int8_t* oplane) {
+  const __m256 smv = _mm256_set1_ps(sm);
+  const __m256 bv = _mm256_set1_ps(bias);
+  const __m128 smv4 = _mm_set1_ps(sm);
+  const __m128 bv4 = _mm_set1_ps(bias);
+  __m256 M[kMaxVecTile * kMaxVecTile], TMP[kMaxVecTile * kMaxVecTile], Y[kMaxVecTile];
+  __m128 M4[kMaxVecTile * kMaxVecTile], TMP4[kMaxVecTile * kMaxVecTile], Y4[kMaxVecTile];
+  float frows[4 * 32];      // m rows x 8 tiles x m cols, m <= 4
+  std::int8_t qrows[4 * 32];
+  const bool vec_ok = t <= kMaxVecTile && (m == 2 || m == 4);
+
+  std::int64_t tile = tile0;
+  const std::int64_t tend = tile0 + ntiles;
+  while (tile < tend) {
+    const std::int64_t ti = tile / tw;
+    const std::int64_t tjb = tile % tw;
+    const std::int64_t tje = std::min(tw, tjb + (tend - tile));
+    std::int64_t tj = tjb;
+    if (vec_ok && ti * m + m <= oh) {
+      for (; tj + 8 <= tje && (tj + 8) * m <= ow; tj += 8) {
+        const std::int8_t* src = m_block + (ti * tw + tj - tile0);
+        for (std::int64_t ab = 0; ab < t * t; ++ab) {
+          const __m256i lv = _mm256_cvtepi8_epi32(
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + ab * block_stride)));
+          M[ab] = _mm256_mul_ps(_mm256_cvtepi32_ps(lv), smv);
+        }
+        for (std::int64_t i = 0; i < m; ++i) {  // TMP = At * M (smm_nn: skip zeros)
+          for (std::int64_t j = 0; j < t; ++j) {
+            __m256 acc = _mm256_setzero_ps();
+            for (std::int64_t kk = 0; kk < t; ++kk) {
+              const float av = at[i * t + kk];
+              if (av == 0.F) continue;
+              acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), M[kk * t + j]));
+            }
+            TMP[i * t + j] = acc;
+          }
+        }
+        for (std::int64_t a = 0; a < m; ++a) {
+          for (std::int64_t b = 0; b < m; ++b) {  // Y = TMP * At^T (smm_nt: no skip)
+            __m256 acc = _mm256_setzero_ps();
+            for (std::int64_t kk = 0; kk < t; ++kk) {
+              acc = _mm256_add_ps(acc,
+                                  _mm256_mul_ps(TMP[a * t + kk], _mm256_set1_ps(at[b * t + kk])));
+            }
+            Y[b] = _mm256_add_ps(acc, bv);
+          }
+          if (m == 2) {
+            store_interleave2(frows + a * 16, Y[0], Y[1]);
+          } else {
+            store_interleave4(frows + a * 32, Y[0], Y[1], Y[2], Y[3]);
+          }
+        }
+        quantize_f32_s8_avx2(frows, qrows, m * 8 * m, o_inv);
+        for (std::int64_t a = 0; a < m; ++a) {
+          std::memcpy(oplane + (ti * m + a) * ow + tj * m, qrows + a * 8 * m,
+                      static_cast<std::size_t>(8 * m));
+        }
+      }
+      for (; tj + 4 <= tje && (tj + 4) * m <= ow; tj += 4) {  // 4-tile group
+        const std::int8_t* src = m_block + (ti * tw + tj - tile0);
+        for (std::int64_t ab = 0; ab < t * t; ++ab) {
+          std::int32_t raw;  // 4-byte load: loadl would read past the block
+          std::memcpy(&raw, src + ab * block_stride, 4);
+          const __m128i lv = _mm_cvtepi8_epi32(_mm_cvtsi32_si128(raw));
+          M4[ab] = _mm_mul_ps(_mm_cvtepi32_ps(lv), smv4);
+        }
+        for (std::int64_t i = 0; i < m; ++i) {
+          for (std::int64_t j = 0; j < t; ++j) {
+            __m128 acc = _mm_setzero_ps();
+            for (std::int64_t kk = 0; kk < t; ++kk) {
+              const float av = at[i * t + kk];
+              if (av == 0.F) continue;
+              acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(av), M4[kk * t + j]));
+            }
+            TMP4[i * t + j] = acc;
+          }
+        }
+        for (std::int64_t a = 0; a < m; ++a) {
+          for (std::int64_t b = 0; b < m; ++b) {
+            __m128 acc = _mm_setzero_ps();
+            for (std::int64_t kk = 0; kk < t; ++kk) {
+              acc = _mm_add_ps(acc, _mm_mul_ps(TMP4[a * t + kk], _mm_set1_ps(at[b * t + kk])));
+            }
+            Y4[b] = _mm_add_ps(acc, bv4);
+          }
+          if (m == 2) {
+            store_interleave2_128(frows + a * 8, Y4[0], Y4[1]);
+          } else {
+            store_interleave4_128(frows + a * 16, Y4[0], Y4[1], Y4[2], Y4[3]);
+          }
+        }
+        quantize_f32_s8_avx2(frows, qrows, m * 4 * m, o_inv);
+        for (std::int64_t a = 0; a < m; ++a) {
+          std::memcpy(oplane + (ti * m + a) * ow + tj * m, qrows + a * 4 * m,
+                      static_cast<std::size_t>(4 * m));
+        }
+      }
+    }
+    if (tj < tje) {  // edge/partial tiles: scalar reference path
+      scalar_kernels().wino_gather_q_s8(m_block + (ti * tw + tj - tile0), block_stride, sm, at, t,
+                                        m, th, tw, ti * tw + tj, tje - tj, oh, ow, bias, o_inv,
+                                        oplane);
+    }
+    tile += tje - tjb;
+  }
+}
+
 }  // namespace
 
 const KernelTable* avx2_kernel_table() {
@@ -477,6 +857,9 @@ const KernelTable* avx2_kernel_table() {
     t.requant_s32_s8 = requant_s32_s8_avx2;
     t.wino_scatter_f32 = wino_scatter_f32_avx2;
     t.wino_gather_f32 = wino_gather_f32_avx2;
+    t.wino_scatter_block_f32 = wino_scatter_block_f32_avx2;
+    t.gemm_u8s8_s32_k4 = gemm_u8s8_s32_k4_avx2;
+    t.wino_gather_q_s8 = wino_gather_q_s8_avx2;
     return t;
   }();
   return &table;

@@ -17,9 +17,11 @@
 
 namespace wa::backend::simd {
 
-// Defined in avx2_kernels.cpp / neon_kernels.cpp; null when the ISA is not
-// compiled in (wrong architecture or compiler without the -m flags).
+// Defined in avx2_kernels.cpp / avx512_kernels.cpp / neon_kernels.cpp; null
+// when the ISA is not compiled in (wrong architecture or compiler without
+// the -m flags).
 const KernelTable* avx2_kernel_table();
+const KernelTable* avx512_kernel_table();
 const KernelTable* neon_kernel_table();
 
 namespace {
@@ -27,6 +29,19 @@ namespace {
 bool cpu_supports_avx2() {
 #if defined(__x86_64__) || defined(__i386__)
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The avx512 table's kernels use foundation + BW/VL (integer ops on 256/512
+  // vectors) + VNNI (vpdpbusd / vpdpwssd); its null entries are filled from
+  // the AVX2 table, so AVX2+FMA must be runnable too.
+  return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("avx512vnni") &&
+         cpu_supports_avx2();
 #else
   return false;
 #endif
@@ -41,27 +56,46 @@ std::vector<Entry>& entries() {
   static std::vector<Entry> list = [] {
     std::vector<Entry> l;
     const KernelTable& s = scalar_kernels();
-    const auto add = [&l, &s](const KernelTable* raw, bool available) {
+    // Fill a table's null slots from `base` (per-kernel fallback). Backends
+    // default to the scalar reference; avx512 chains through the resolved
+    // avx2 entry instead, so the kernels it does not specialize still run
+    // vectorized (avx512 -> avx2 -> scalar).
+    const auto add = [&l](const KernelTable* raw, bool available, const KernelTable& base) {
       if (raw == nullptr) return;
       Entry e;
       e.resolved = *raw;
       e.available = available;
-      if (e.resolved.gemm_s8_s32 == nullptr) e.resolved.gemm_s8_s32 = s.gemm_s8_s32;
+      if (e.resolved.gemm_s8_s32 == nullptr) e.resolved.gemm_s8_s32 = base.gemm_s8_s32;
       if (e.resolved.gemm_f32_packed_nn == nullptr) {
-        e.resolved.gemm_f32_packed_nn = s.gemm_f32_packed_nn;
+        e.resolved.gemm_f32_packed_nn = base.gemm_f32_packed_nn;
       }
-      if (e.resolved.quantize_f32_s8 == nullptr) e.resolved.quantize_f32_s8 = s.quantize_f32_s8;
-      if (e.resolved.requant_s32_s8 == nullptr) e.resolved.requant_s32_s8 = s.requant_s32_s8;
-      if (e.resolved.wino_scatter_f32 == nullptr) e.resolved.wino_scatter_f32 = s.wino_scatter_f32;
-      if (e.resolved.wino_gather_f32 == nullptr) e.resolved.wino_gather_f32 = s.wino_gather_f32;
+      if (e.resolved.quantize_f32_s8 == nullptr) e.resolved.quantize_f32_s8 = base.quantize_f32_s8;
+      if (e.resolved.requant_s32_s8 == nullptr) e.resolved.requant_s32_s8 = base.requant_s32_s8;
+      if (e.resolved.wino_scatter_f32 == nullptr) {
+        e.resolved.wino_scatter_f32 = base.wino_scatter_f32;
+      }
+      if (e.resolved.wino_gather_f32 == nullptr) e.resolved.wino_gather_f32 = base.wino_gather_f32;
+      if (e.resolved.wino_scatter_block_f32 == nullptr) {
+        e.resolved.wino_scatter_block_f32 = base.wino_scatter_block_f32;
+      }
+      if (e.resolved.gemm_u8s8_s32_k4 == nullptr) {
+        e.resolved.gemm_u8s8_s32_k4 = base.gemm_u8s8_s32_k4;
+      }
+      if (e.resolved.wino_gather_q_s8 == nullptr) {
+        e.resolved.wino_gather_q_s8 = base.wino_gather_q_s8;
+      }
       l.push_back(e);
     };
-    add(&s, true);
-    add(avx2_kernel_table(), cpu_supports_avx2());
+    add(&s, true, s);
+    add(avx2_kernel_table(), cpu_supports_avx2(), s);
+    // cpu_supports_avx512() implies AVX2, so when the avx512 table is usable
+    // its avx2 base is too; chaining through the resolved avx2 entry is safe.
+    add(avx512_kernel_table(), cpu_supports_avx512(),
+        avx2_kernel_table() != nullptr ? l.back().resolved : s);
     // A NEON table is only compiled in on AArch64, where baseline NEON is
     // architectural (and a dotprod-enabled build already requires a dotprod
     // CPU to run at all), so presence implies availability.
-    add(neon_kernel_table(), true);
+    add(neon_kernel_table(), true, s);
     return l;
   }();
   return list;

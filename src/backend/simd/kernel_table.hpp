@@ -5,8 +5,9 @@
 // Winograd scatter/gather data transforms, the flat fixed-point
 // requantization loops, and the fp32 GEMM micro-kernel — is reached through a
 // per-process KernelTable instead of a fixed symbol. The table is selected
-// once, lazily, from CPU feature detection (AVX2 on x86-64, NEON-dotprod on
-// AArch64 when compiled in), with a `WA_BACKEND=scalar|avx2|neon` environment
+// once, lazily, from CPU feature detection (AVX2 and AVX-512/VNNI on x86-64,
+// NEON-dotprod on AArch64 when compiled in), with a
+// `WA_BACKEND=scalar|avx2|avx512|neon` environment
 // override; the scalar table is the always-available bit-exact reference and
 // every SIMD backend is validated against it kernel-by-kernel AND
 // end-to-end (bit-identical Int8Pipeline logits) in
@@ -78,6 +79,46 @@ struct KernelTable {
                           const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
                           std::int64_t tw, std::int64_t oh, std::int64_t ow, float bias,
                           float* oplane) = nullptr;
+
+  // --- Blocked-layout entries (the streaming tile-block Winograd path) -------
+  //
+  // The fused executor (winograd_conv_s8_blocked) processes one block of
+  // consecutive tiles of one (batch, channel) plane at a time so the V and M
+  // intermediates stay in a small L1/L2-resident scratch slab. Tiles are
+  // indexed flat over the th x tw grid; a block is the range
+  // [tile0, tile0 + ntiles). Per-element arithmetic is identical to the flat
+  // kernels above, so flat and blocked executions are bit-identical.
+
+  /// Blocked wino_scatter_f32: transform only tiles [tile0, tile0+ntiles) of
+  /// one plane and write the t*t results of block-local tile `idx` to
+  /// v_block[ab * block_stride + idx].
+  void (*wino_scatter_block_f32)(const std::int8_t* plane, std::int64_t height,
+                                 std::int64_t width, std::int64_t pad, float in_scale,
+                                 const float* bt, std::int64_t t, std::int64_t m, std::int64_t th,
+                                 std::int64_t tw, std::int64_t tile0, std::int64_t ntiles,
+                                 float* v_block, std::int64_t block_stride) = nullptr;
+
+  /// Channel-blocked int8 GEMM in offset-binary form, the Hadamard core of
+  /// the fused path (and the layout vpdpbusd consumes directly):
+  ///   c[i,j] = sum_kk (a[i*kpad + kk] - 128) * b[(kk/4)*n*4 + j*4 + kk%4]
+  /// A is u8 row-major [m, kpad] holding int8 levels + 128 (kpad a multiple
+  /// of 4, pad entries 128 == level 0); B interleaves groups of 4 k values
+  /// per column ([kpad/4, n, 4], pad rows 0). Accumulation is int32, exact.
+  void (*gemm_u8s8_s32_k4)(std::int64_t m, std::int64_t n, std::int64_t kpad,
+                           const std::uint8_t* a, const std::int8_t* b,
+                           std::int32_t* c) = nullptr;
+
+  /// Blocked wino_gather_f32 with the output quantization fused in: gather
+  /// tiles [tile0, tile0+ntiles) from m_block[ab * block_stride + idx],
+  /// Y = At M A + bias, then write int8 levels
+  /// nearbyint(min(127, max(-127, y * o_inv))) into oplane (edge tiles
+  /// clipped). o_inv is the reciprocal of the output scale, exactly as
+  /// quantize_f32_s8 would receive it on the flat path.
+  void (*wino_gather_q_s8)(const std::int8_t* m_block, std::int64_t block_stride, float sm,
+                           const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
+                           std::int64_t tw, std::int64_t tile0, std::int64_t ntiles,
+                           std::int64_t oh, std::int64_t ow, float bias, float o_inv,
+                           std::int8_t* oplane) = nullptr;
 };
 
 /// A compiled-in backend and whether this machine can run it.

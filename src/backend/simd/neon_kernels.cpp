@@ -11,7 +11,12 @@
 // The Winograd transform kernels are left null here: the registry fills them
 // from the scalar reference per-kernel, so this backend accelerates the
 // integer hot path (GEMM + requantization + quantization) and inherits
-// bit-exact scalar transforms. This table cannot be exercised on the x86 CI
+// bit-exact scalar transforms. The blocked-executor entries
+// (wino_scatter_block_f32 / gemm_u8s8_s32_k4 / wino_gather_q_s8) are null
+// for the same reason — the fused path still runs on NEON hosts, just with
+// scalar transforms and a scalar k4 GEMM; a UDOT (vdotq_u32 on the
+// offset-binary u8 side) port of gemm_u8s8_s32_k4 is the natural next
+// NEON-specific win. This table cannot be exercised on the x86 CI
 // runners; tests/test_simd_backends validates it on any AArch64 host that
 // builds it, against the same conformance suite as AVX2.
 #include "backend/simd/kernel_table.hpp"

@@ -124,6 +124,106 @@ void wino_gather_f32_scalar(const std::int8_t* m_base, std::int64_t ab_stride, f
   }
 }
 
+// ---- Blocked-layout kernels (streaming tile-block Winograd path) -----------
+//
+// Same per-element arithmetic as the flat kernels above — a tile's transform
+// does not depend on which other tiles share the call — so the fused blocked
+// executor reproduces the flat path byte-for-byte.
+
+void wino_scatter_block_f32_scalar(const std::int8_t* plane, std::int64_t height,
+                                   std::int64_t width, std::int64_t pad, float in_scale,
+                                   const float* bt, std::int64_t t, std::int64_t m,
+                                   std::int64_t th, std::int64_t tw, std::int64_t tile0,
+                                   std::int64_t ntiles, float* v_block,
+                                   std::int64_t block_stride) {
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
+  // Stage only the columns the block's tiles of one tile row touch; each
+  // staged element is computed exactly as in wino_scatter_f32_scalar.
+  float* fbuf = arena.alloc<float>(t * ((tw - 1) * m + t));
+  float patch[wino::kSmallMatCap], tmp[wino::kSmallMatCap], out[wino::kSmallMatCap];
+  std::int64_t tile = tile0;
+  const std::int64_t tend = tile0 + ntiles;
+  while (tile < tend) {
+    const std::int64_t ti = tile / tw;
+    const std::int64_t tjb = tile % tw;
+    const std::int64_t tje = std::min(tw, tjb + (tend - tile));
+    const std::int64_t seg = (tje - 1 - tjb) * m + t;
+    const std::int64_t i0 = ti * m - pad;
+    const std::int64_t x0 = tjb * m;  // fbuf column 0 is input column x0 - pad
+    for (std::int64_t a = 0; a < t; ++a) {
+      float* row = fbuf + a * seg;
+      const std::int64_t ii = i0 + a;
+      if (ii < 0 || ii >= height) {
+        std::fill(row, row + seg, 0.F);
+        continue;
+      }
+      const std::int8_t* src = plane + ii * width;
+      for (std::int64_t x = 0; x < seg; ++x) {
+        const std::int64_t jj = x0 + x - pad;
+        row[x] = (jj >= 0 && jj < width) ? static_cast<float>(src[jj]) * in_scale : 0.F;
+      }
+    }
+    for (std::int64_t tj = tjb; tj < tje; ++tj) {
+      for (std::int64_t a = 0; a < t; ++a) {
+        for (std::int64_t b = 0; b < t; ++b) patch[a * t + b] = fbuf[a * seg + (tj - tjb) * m + b];
+      }
+      wino::smm_sandwich(bt, static_cast<int>(t), static_cast<int>(t), patch, tmp, out);
+      float* dst = v_block + (ti * tw + tj - tile0);
+      for (std::int64_t ab = 0; ab < t * t; ++ab) dst[ab * block_stride] = out[ab];
+    }
+    tile += tje - tjb;
+  }
+}
+
+void gemm_u8s8_s32_k4_scalar(std::int64_t m, std::int64_t n, std::int64_t kpad,
+                             const std::uint8_t* a, const std::int8_t* b, std::int32_t* c) {
+#pragma omp parallel for schedule(static) if (m >= 8)
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int32_t* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
+    const std::uint8_t* arow = a + i * kpad;
+    for (std::int64_t kq = 0; kq < kpad / 4; ++kq) {
+      const std::int8_t* bq = b + kq * n * 4;
+      for (std::int64_t r = 0; r < 4; ++r) {
+        // Offset-binary A: level = stored byte - 128, so pad bytes (128)
+        // contribute nothing, mirroring the flat kernel's av == 0 skip.
+        const std::int32_t av = static_cast<std::int32_t>(arow[kq * 4 + r]) - 128;
+        if (av == 0) continue;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += av * static_cast<std::int32_t>(bq[j * 4 + r]);
+        }
+      }
+    }
+  }
+}
+
+void wino_gather_q_s8_scalar(const std::int8_t* m_block, std::int64_t block_stride, float sm,
+                             const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
+                             std::int64_t tw, std::int64_t tile0, std::int64_t ntiles,
+                             std::int64_t oh, std::int64_t ow, float bias, float o_inv,
+                             std::int8_t* oplane) {
+  (void)th;
+  float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
+  for (std::int64_t idx = 0; idx < ntiles; ++idx) {
+    const std::int64_t ti = (tile0 + idx) / tw, tj = (tile0 + idx) % tw;
+    const std::int8_t* src = m_block + idx;
+    for (std::int64_t ab = 0; ab < t * t; ++ab) {
+      mtile[ab] = static_cast<float>(src[ab * block_stride]) * sm;
+    }
+    wino::smm_sandwich(at, static_cast<int>(m), static_cast<int>(t), mtile, tmp, y);
+    for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a) {
+      for (std::int64_t b = 0; b < m && tj * m + b < ow; ++b) {
+        // Exactly the flat path's two steps: out_f = y + bias, then the
+        // quantize_f32_s8 element expression on out_f * o_inv.
+        const float x = std::min(127.F, std::max(-127.F, (y[a * m + b] + bias) * o_inv));
+        oplane[(ti * m + a) * ow + tj * m + b] =
+            static_cast<std::int8_t>(static_cast<std::int32_t>(std::nearbyintf(x)));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const KernelTable& scalar_kernels() {
@@ -136,6 +236,9 @@ const KernelTable& scalar_kernels() {
     t.requant_s32_s8 = requant_s32_s8_scalar;
     t.wino_scatter_f32 = wino_scatter_f32_scalar;
     t.wino_gather_f32 = wino_gather_f32_scalar;
+    t.wino_scatter_block_f32 = wino_scatter_block_f32_scalar;
+    t.gemm_u8s8_s32_k4 = gemm_u8s8_s32_k4_scalar;
+    t.wino_gather_q_s8 = wino_gather_q_s8_scalar;
     return t;
   }();
   return table;

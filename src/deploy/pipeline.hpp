@@ -215,6 +215,10 @@ struct MemoryPlan {
 /// Counters one run() fills when asked: measured activation-buffer traffic.
 /// peak_activation_bytes is the high-water mark of live inter-stage buffers
 /// (by vector capacity), the quantity MemoryPlan::peak_bytes predicts.
+/// Kernel-internal scratch is excluded by definition — in particular the
+/// blocked Winograd executor's per-thread tile slab (conv_kernels_s8.hpp)
+/// lives in the ScratchArena, not in an inter-stage buffer, so the
+/// measured-peak == planned-peak equality holds on both executor paths.
 struct RunStats {
   std::int64_t peak_activation_bytes = 0;
   std::int64_t allocated_bytes = 0;  // fresh activation buffers allocated

@@ -125,6 +125,11 @@ void save_conv(std::ostream& os, const ConvStage& st) {
     save_pod(os, st.wino_cache.out_channels);
     save_pod(os, st.wino_cache.in_channels);
     save_pod(os, st.wino_cache.tile);
+    // v3: the pre-blocked offset-binary U the fused streaming executor
+    // consumes (backend/conv_kernels_s8.hpp). Stored so a load lands on the
+    // blocked hot path without re-packing; pre-v3 readers never see it.
+    save_vector(os, st.wino_cache.u_blocked);
+    save_pod(os, st.wino_cache.padded_in_channels);
   } else {
     save_vector(os, st.im2row_cache.wt);
     save_pod(os, st.im2row_cache.scale);
@@ -134,7 +139,7 @@ void save_conv(std::ostream& os, const ConvStage& st) {
   save_optional_tensor(os, st.bias);
 }
 
-ConvStage load_conv(std::istream& is) {
+ConvStage load_conv(std::istream& is, std::uint32_t version) {
   ConvStage st;
   const auto algo = load_pod<std::uint8_t>(is);
   if (algo > static_cast<std::uint8_t>(nn::ConvAlgo::kWinograd6)) {
@@ -181,6 +186,27 @@ ConvStage load_conv(std::istream& is) {
         static_cast<std::int64_t>(st.wino_cache.u_q.size()) !=
             t * t * st.out_channels * st.in_channels) {
       throw std::runtime_error("load_pipeline: Winograd cache disagrees with its stage geometry");
+    }
+    if (version >= 3) {
+      st.wino_cache.u_blocked = load_vector<std::uint8_t>(is);
+      st.wino_cache.padded_in_channels = load_pod<std::int64_t>(is);
+      // Same philosophy as the u_q check above: the fused executor indexes
+      // u_blocked by [t², K, Cpad] unchecked, so the dimensions must agree
+      // before any forward runs. Values are the writer's responsibility
+      // (covered by the payload checksum), exactly like u_q's levels.
+      const std::int64_t cpad =
+          (st.in_channels + backend::kWinoChannelBlock - 1) / backend::kWinoChannelBlock *
+          backend::kWinoChannelBlock;
+      if (st.wino_cache.padded_in_channels != cpad ||
+          static_cast<std::int64_t>(st.wino_cache.u_blocked.size()) !=
+              t * t * st.out_channels * cpad) {
+        throw std::runtime_error(
+            "load_pipeline: blocked Winograd cache disagrees with its stage geometry");
+      }
+    } else {
+      // v1/v2 artifacts predate the blocked layout; rebuild it from the flat
+      // levels so old models still land on the fused hot path after load.
+      backend::build_blocked_u(st.wino_cache);
     }
   } else {
     st.im2row_cache.wt = load_vector<std::int8_t>(is);
@@ -338,10 +364,10 @@ void save_stage(std::ostream& os, const Stage& s) {
       s);
 }
 
-Stage load_stage(std::istream& is) {
+Stage load_stage(std::istream& is, std::uint32_t version) {
   switch (static_cast<Tag>(load_pod<std::uint8_t>(is))) {
     case Tag::kConv:
-      return load_conv(is);
+      return load_conv(is, version);
     case Tag::kPool: {
       PoolStage st;
       st.kernel = load_pod<std::int64_t>(is);
@@ -534,7 +560,7 @@ Int8Pipeline load_pipeline(std::istream& is) {
     StageIO io = load_io(payload);
     // push() re-validates the graph wiring and — because every stage arrives
     // with its prepared caches — performs no weight transform or repack.
-    Stage stage = load_stage(payload);
+    Stage stage = load_stage(payload, version);
     std::vector<EpilogueOp> epilogue;
     if (version >= 2) epilogue = load_epilogue(payload);
     pipe.push(std::move(stage), std::move(io), std::move(epilogue));

@@ -7,6 +7,14 @@
 // elimination and the memory planner's in-place rewrites evolve without a
 // reviewer re-deriving their bit-exactness by hand.
 //
+// The same seeded graphs also lock down the fused Winograd executor: every
+// graph runs once on the blocked streaming path and once with the flat
+// reference forced (set_winograd_blocked_enabled(false)), on every backend,
+// and the logits must be bit-identical with the same measured peak — the
+// generator's odd spatial sizes (7..16) and channel counts (1..6, mostly not
+// multiples of the channel block) are exactly the shapes where a blocked
+// layout could slip in padding artifacts.
+//
 // The harness also fuzzes the failure surface: invalid wirings (unknown
 // slots, double publishes, missing/extra add operands, dropped chained
 // outputs, dead dataflow, shape-mismatched joins) must be rejected with the
@@ -15,6 +23,7 @@
 
 #include <random>
 
+#include "backend/conv_kernels_s8.hpp"
 #include "backend/simd/kernel_table.hpp"
 #include "deploy/passes/passes.hpp"
 #include "deploy/pipeline.hpp"
@@ -314,6 +323,58 @@ TEST(PipelineFuzz, OptimizedGraphsAreBitIdenticalAcrossBackends) {
   // The generator must actually exercise the optimizer, not no-op graphs.
   EXPECT_GT(fused_graphs, kFuzzGraphs / 10);
   EXPECT_GT(planned_reuse_graphs, kFuzzGraphs / 4);
+}
+
+TEST(PipelineFuzz, BlockedAndFlatWinogradAreBitIdenticalOnEveryBackend) {
+  const std::vector<std::string> backends = available_backends();
+  ASSERT_FALSE(backends.empty());
+  const std::string before = backend::simd::active_backend();
+  ASSERT_TRUE(backend::winograd_blocked_enabled()) << "another test leaked the flat override";
+
+  // RAII so an ASSERT mid-loop cannot leak the flat override into later tests.
+  struct FlatScope {
+    explicit FlatScope(bool flat) { backend::set_winograd_blocked_enabled(!flat); }
+    ~FlatScope() { backend::set_winograd_blocked_enabled(true); }
+  };
+
+  for (int graph = 0; graph < kFuzzGraphs; ++graph) {
+    SCOPED_TRACE("graph seed " + std::to_string(graph));
+    Shape in_shape;
+    Int8Pipeline opt = fuzz_graph(static_cast<std::uint32_t>(graph), &in_shape);
+    in_shape[0] = 1 + graph % 2;
+    OptimizeOptions o;
+    o.reference_input = in_shape;
+    optimize_pipeline(opt, o);
+
+    Rng data_rng(static_cast<unsigned>(graph) * 41U + 7U);
+    const Tensor x = Tensor::randn(in_shape, data_rng, 1.5F);
+    for (const std::string& backend_name : backends) {
+      ASSERT_TRUE(set_backend(backend_name));
+      RunStats blocked_stats{}, flat_stats{};
+      Tensor blocked_logits, flat_logits;
+      {
+        FlatScope scope(false);
+        blocked_logits = opt.run(x, nullptr, &blocked_stats);
+      }
+      {
+        FlatScope scope(true);
+        flat_logits = opt.run(x, nullptr, &flat_stats);
+      }
+      ASSERT_EQ(blocked_logits.shape(), flat_logits.shape());
+      ASSERT_EQ(Tensor::max_abs_diff(blocked_logits, flat_logits), 0.F)
+          << "backend " << backend_name << ": fused blocked executor diverged from flat";
+      // The streaming executor's V/M slab is kernel-internal ScratchArena
+      // memory, invisible to the activation accounting: both paths must
+      // report the same peak, and stay under the plan.
+      EXPECT_EQ(blocked_stats.peak_activation_bytes, flat_stats.peak_activation_bytes)
+          << "backend " << backend_name;
+      if (opt.plan() != nullptr) {
+        EXPECT_LE(blocked_stats.peak_activation_bytes, opt.plan()->peak_bytes)
+            << "backend " << backend_name;
+      }
+    }
+  }
+  set_backend(before);
 }
 
 TEST(PipelineFuzz, MeasuredPeakNeverExceedsThePlanAtTheReferenceShape) {

@@ -311,6 +311,51 @@ TEST(WamArtifact, V2RoundTripPreservesEpiloguesAndPlan) {
       << "the loaded plan must reproduce the planned memory behavior";
 }
 
+// ---- v3: the pre-blocked Winograd U cache -----------------------------------
+
+TEST(WamArtifact, V3RoundTripCarriesTheBlockedUCacheVerbatim) {
+  // The saver writes u_blocked + padded_in_channels after the flat levels;
+  // the v3 reader must deserialize them (counters stay flat — the round-trip
+  // tests above pin that), byte-identical to the compiled originals, so the
+  // loaded pipeline starts on the fused streaming path with zero repacking.
+  Rng rng(41);
+  const Int8Pipeline pipe = compiled_resnet18(nn::ConvAlgo::kWinograd2, rng);
+  const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
+  ASSERT_EQ(loaded.size(), pipe.size());
+  std::size_t wino_stages = 0;
+  for (std::size_t i = 0; i < pipe.size(); ++i) {
+    const auto* want = std::get_if<ConvStage>(&pipe.nodes()[i].op);
+    if (want == nullptr || want->wino_cache.empty()) continue;
+    const auto* got = std::get_if<ConvStage>(&loaded.nodes()[i].op);
+    ASSERT_NE(got, nullptr);
+    EXPECT_FALSE(want->wino_cache.u_blocked.empty())
+        << "stage " << i << ": compile must pre-block the Winograd U";
+    EXPECT_EQ(got->wino_cache.u_blocked, want->wino_cache.u_blocked);
+    EXPECT_EQ(got->wino_cache.padded_in_channels, want->wino_cache.padded_in_channels);
+    ++wino_stages;
+  }
+  EXPECT_GT(wino_stages, 0u) << "the fixture model must exercise Winograd stages";
+}
+
+TEST(WamArtifact, GoldenV1FixtureRebuildsTheBlockedUCacheOnLoad) {
+  // Pre-v3 artifacts carry only the flat levels; the loader rebuilds the
+  // blocked layout so old models still run the fused path (and, per the
+  // golden logits test above, produce the same bytes while doing so).
+  const Int8Pipeline pipe = load_pipeline(fixture_path("golden_v1.wam"));
+  std::size_t wino_stages = 0;
+  for (const auto& node : pipe.nodes()) {
+    const auto* st = std::get_if<ConvStage>(&node.op);
+    if (st == nullptr || st->wino_cache.empty()) continue;
+    EXPECT_FALSE(st->wino_cache.u_blocked.empty())
+        << "v1 load must rebuild the blocked U from the flat levels";
+    EXPECT_EQ(st->wino_cache.padded_in_channels,
+              (st->in_channels + backend::kWinoChannelBlock - 1) / backend::kWinoChannelBlock *
+                  backend::kWinoChannelBlock);
+    ++wino_stages;
+  }
+  EXPECT_GT(wino_stages, 0u) << "the golden fixture must contain a Winograd stage";
+}
+
 TEST(WamArtifact, RejectsV2ArtifactWithCorruptedPlanSection) {
   Rng rng(40);
   Int8Pipeline pipe = compiled_lenet(nn::ConvAlgo::kIm2row, rng);

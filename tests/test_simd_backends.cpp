@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backend/conv_kernels_s8.hpp"
@@ -57,10 +58,39 @@ class SimdBackendTest : public ::testing::TestWithParam<std::string> {
 
 // ---- registry ---------------------------------------------------------------
 
-// MUST run first in this binary: it observes the one-time lazy resolution of
-// the active table, before any test calls set_backend(). This is what makes
-// the CI jobs that pin WA_BACKEND=avx2 / WA_BACKEND=scalar fail loudly if
-// the override ever regresses to a silent fallback.
+// MUST run first in this binary: its threads race through the one-time lazy
+// resolution of the active table while it is still unresolved. ensure_active
+// serializes that resolution with std::call_once; this test locks down the
+// regression where two concurrent first users could each run pick_default
+// and disagree about the active table (or one could observe a half-written
+// pointer). Every thread must land on the same fully-resolved table.
+TEST(SimdRegistry, AAConcurrentFirstUseResolvesExactlyOnce) {
+  constexpr int kThreads = 8;
+  std::vector<const KernelTable*> tables(kThreads, nullptr);
+  std::vector<std::string> names(kThreads);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      pool.emplace_back([&tables, &names, i] {
+        tables[static_cast<std::size_t>(i)] = &kernels();  // first call resolves
+        names[static_cast<std::size_t>(i)] = active_backend();
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(tables[static_cast<std::size_t>(i)], tables[0]) << "thread " << i;
+    EXPECT_EQ(names[static_cast<std::size_t>(i)], names[0]) << "thread " << i;
+  }
+  ASSERT_NE(tables[0], nullptr);
+  EXPECT_NE(tables[0]->gemm_s8_s32, nullptr) << "winner published an unresolved table";
+}
+
+// Runs second, after the concurrent test above forced resolution: whichever
+// thread won the call_once race, a WA_BACKEND pin must have been honored.
+// This is what makes the CI jobs that pin WA_BACKEND=avx2 / WA_BACKEND=scalar
+// fail loudly if the override ever regresses to a silent fallback.
 TEST(SimdRegistry, AWaBackendEnvPinIsHonoredOnFirstResolution) {
   const char* env = std::getenv("WA_BACKEND");
   const std::string active = active_backend();  // forces resolution if first
@@ -89,6 +119,21 @@ TEST(SimdRegistry, UnknownBackendIsRejectedWithoutSideEffects) {
   EXPECT_EQ(active_backend(), before);
 }
 
+TEST(SimdRegistry, UnavailableBackendIsRejectedWithoutSideEffects) {
+  // A backend that is compiled in but that this CPU cannot run (e.g. the
+  // avx512 table on a pre-Ice-Lake host) must behave exactly like an unknown
+  // name: set_backend refuses, the active table is untouched. The matching
+  // WA_BACKEND=avx512 env path warns and falls back in pick_default; CI's
+  // avx512 job exercises that on hosts without the ISA.
+  const std::string before = active_backend();
+  for (const BackendDesc& b : registered_backends()) {
+    if (b.available) continue;
+    EXPECT_FALSE(set_backend(b.name)) << b.name;
+    EXPECT_EQ(active_backend(), before) << b.name;
+  }
+  EXPECT_EQ(active_backend(), before);
+}
+
 TEST(SimdRegistry, EveryResolvedEntryIsCallable) {
   // Per-kernel scalar fallback: even a backend that only accelerates the
   // GEMM must expose a full table.
@@ -102,6 +147,9 @@ TEST(SimdRegistry, EveryResolvedEntryIsCallable) {
     EXPECT_NE(t.requant_s32_s8, nullptr);
     EXPECT_NE(t.wino_scatter_f32, nullptr);
     EXPECT_NE(t.wino_gather_f32, nullptr);
+    EXPECT_NE(t.wino_scatter_block_f32, nullptr);
+    EXPECT_NE(t.gemm_u8s8_s32_k4, nullptr);
+    EXPECT_NE(t.wino_gather_q_s8, nullptr);
   }
   set_backend(before);
 }
@@ -276,6 +324,128 @@ TEST_P(SimdBackendTest, WinogradGatherMatchesScalarOnEdgeTilesAndBias) {
   }
 }
 
+// ---- blocked-layout kernels (the fused Winograd streaming executor) ---------
+
+TEST_P(SimdBackendTest, WinogradScatterBlockMatchesScalarOnTileRanges) {
+  Rng rng(194);
+  struct Cfg {
+    int m, r;
+    std::int64_t hw, pad;
+  };
+  for (const Cfg cfg : {Cfg{2, 3, 8, 1}, Cfg{2, 3, 7, 1}, Cfg{2, 3, 34, 1}, Cfg{4, 3, 13, 1},
+                        Cfg{4, 3, 32, 1}, Cfg{2, 3, 6, 0}, Cfg{4, 5, 16, 2}}) {
+    const auto tr = wino::make_transforms(cfg.m, cfg.r);
+    const std::int64_t t = tr.tile, m = tr.m;
+    const std::int64_t oh = cfg.hw + 2 * cfg.pad - cfg.r + 1;
+    const std::int64_t th = (oh + m - 1) / m, tw = th;
+    const std::int64_t tiles = th * tw;
+    const auto plane = random_s8(rng, cfg.hw * cfg.hw);
+    // Block starts that land mid-row, at row boundaries and on the last
+    // partial block, mirroring how the streaming executor walks tile ranges.
+    for (const std::int64_t bs : {std::int64_t{1}, std::int64_t{3}, tiles}) {
+      SCOPED_TRACE("m=" + std::to_string(cfg.m) + " hw=" + std::to_string(cfg.hw) +
+                   " block=" + std::to_string(bs));
+      for (std::int64_t tile0 = 0; tile0 < tiles; tile0 += bs) {
+        const std::int64_t nt = std::min(bs, tiles - tile0);
+        std::vector<float> got(static_cast<std::size_t>(t * t * nt), 1e9F);
+        std::vector<float> want(static_cast<std::size_t>(t * t * nt), -1e9F);
+        kernels().wino_scatter_block_f32(plane.data(), cfg.hw, cfg.hw, cfg.pad, 0.043F,
+                                         tr.bt_mat.raw(), t, m, th, tw, tile0, nt, got.data(), nt);
+        scalar_kernels().wino_scatter_block_f32(plane.data(), cfg.hw, cfg.hw, cfg.pad, 0.043F,
+                                                tr.bt_mat.raw(), t, m, th, tw, tile0, nt,
+                                                want.data(), nt);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i], want[i]) << "tile0=" << tile0 << " element " << i;
+        }
+      }
+    }
+    // The full-range block is the flat scatter with a different stride
+    // convention: same floats, so the two kernels must agree bit-for-bit.
+    std::vector<float> blocked(static_cast<std::size_t>(t * t * tiles), 1e9F);
+    std::vector<float> flat(static_cast<std::size_t>(t * t * tiles), -1e9F);
+    kernels().wino_scatter_block_f32(plane.data(), cfg.hw, cfg.hw, cfg.pad, 0.043F,
+                                     tr.bt_mat.raw(), t, m, th, tw, 0, tiles, blocked.data(),
+                                     tiles);
+    kernels().wino_scatter_f32(plane.data(), cfg.hw, cfg.hw, cfg.pad, 0.043F, tr.bt_mat.raw(), t,
+                               m, th, tw, flat.data(), tiles);
+    EXPECT_EQ(blocked, flat);
+  }
+}
+
+std::vector<std::uint8_t> random_u8(Rng& rng, std::int64_t n) {
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::uint8_t>(std::lround(rng.uniform() * 255.0));
+  return v;
+}
+
+TEST_P(SimdBackendTest, GemmU8S8K4MatchesScalarOnRandomShapesAndTails) {
+  Rng rng(195);
+  // kpad always a multiple of the channel block; n chosen to hit the 16-col
+  // AVX-512 main loop, the 4-col tail and the scalar remainder.
+  const std::int64_t shapes[][3] = {{1, 1, 4},   {3, 17, 8},   {8, 33, 12}, {5, 16, 4},
+                                    {13, 31, 28}, {64, 40, 32}, {7, 64, 48}, {2, 15, 128}};
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], kpad = s[2];
+    SCOPED_TRACE("m=" + std::to_string(m) + " n=" + std::to_string(n) +
+                 " kpad=" + std::to_string(kpad));
+    // a: offset-binary u8 (any byte is a legal level+128); b: interleaved s8.
+    const auto a = random_u8(rng, m * kpad);
+    const auto b = random_s8(rng, kpad * n);
+    std::vector<std::int32_t> got(static_cast<std::size_t>(m * n), -1);
+    std::vector<std::int32_t> want(static_cast<std::size_t>(m * n), -2);
+    kernels().gemm_u8s8_s32_k4(m, n, kpad, a.data(), b.data(), got.data());
+    scalar_kernels().gemm_u8s8_s32_k4(m, n, kpad, a.data(), b.data(), want.data());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(SimdBackendTest, GemmU8S8K4OffsetCancellationIsExact) {
+  // A row of 128s is a zero row in offset-binary: whatever b holds, the
+  // -128*colsum correction must cancel it to exactly zero.
+  Rng rng(196);
+  const std::int64_t m = 3, n = 19, kpad = 24;
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(m * kpad), std::uint8_t{128});
+  const auto b = random_s8(rng, kpad * n);
+  std::vector<std::int32_t> got(static_cast<std::size_t>(m * n), -1);
+  kernels().gemm_u8s8_s32_k4(m, n, kpad, a.data(), b.data(), got.data());
+  for (const std::int32_t v : got) EXPECT_EQ(v, 0);
+}
+
+TEST_P(SimdBackendTest, WinogradGatherQMatchesScalarOnTileRangesAndBias) {
+  Rng rng(197);
+  struct Cfg {
+    int m, r;
+    std::int64_t oh;
+  };
+  for (const Cfg cfg : {Cfg{2, 3, 8}, Cfg{2, 3, 7}, Cfg{2, 3, 34}, Cfg{4, 3, 16}, Cfg{4, 3, 13},
+                        Cfg{4, 5, 12}}) {
+    const auto tr = wino::make_transforms(cfg.m, cfg.r);
+    const std::int64_t t = tr.tile, m = tr.m;
+    const std::int64_t th = (cfg.oh + m - 1) / m, tw = th;
+    const std::int64_t tiles = th * tw;
+    for (const std::int64_t bs : {std::int64_t{1}, std::int64_t{5}, tiles}) {
+      for (const float bias : {0.F, -1.375F}) {
+        SCOPED_TRACE("m=" + std::to_string(cfg.m) + " oh=" + std::to_string(cfg.oh) +
+                     " block=" + std::to_string(bs) + " bias=" + std::to_string(bias));
+        std::vector<std::int8_t> got(static_cast<std::size_t>(cfg.oh * cfg.oh), 42);
+        std::vector<std::int8_t> want(got);
+        for (std::int64_t tile0 = 0; tile0 < tiles; tile0 += bs) {
+          const std::int64_t nt = std::min(bs, tiles - tile0);
+          const auto levels = random_s8(rng, t * t * nt);
+          kernels().wino_gather_q_s8(levels.data(), nt, 0.0217F, tr.at_mat.raw(), t, m, th, tw,
+                                     tile0, nt, cfg.oh, cfg.oh, bias, 1.F / 0.11F, got.data());
+          scalar_kernels().wino_gather_q_s8(levels.data(), nt, 0.0217F, tr.at_mat.raw(), t, m, th,
+                                            tw, tile0, nt, cfg.oh, cfg.oh, bias, 1.F / 0.11F,
+                                            want.data());
+        }
+        // After walking every block both planes are fully written; comparing
+        // whole planes also proves neither kernel touched out-of-range rows.
+        EXPECT_EQ(got, want);
+      }
+    }
+  }
+}
+
 TEST_P(SimdBackendTest, GemmF32StaysWithinToleranceOfScalar) {
   // fp32 GEMM is the one table entry allowed FMA, so it carries a tolerance
   // instead of a bit check (consumers are the float training/eval paths).
@@ -356,6 +526,142 @@ TEST_P(SimdBackendTest, ResNet18LogitsBitIdenticalToScalarBackend) {
   ASSERT_EQ(got.shape(), want.shape());
   EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F)
       << "backend " << GetParam() << " diverged from the scalar reference";
+}
+
+// ---- fused blocked executor vs flat reference -------------------------------
+
+// RAII: force the flat Winograd path for a scope, restoring on exit.
+struct FlatWinogradScope {
+  FlatWinogradScope() : previous_(winograd_blocked_enabled()) {
+    set_winograd_blocked_enabled(false);
+  }
+  ~FlatWinogradScope() { set_winograd_blocked_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+QTensor random_activation(Rng& rng, std::int64_t n, std::int64_t c, std::int64_t h,
+                          std::int64_t w, float scale) {
+  QTensor q;
+  q.shape = {n, c, h, w};
+  q.scale = scale;
+  q.data = random_s8(rng, n * c * h * w);
+  return q;
+}
+
+TEST_P(SimdBackendTest, BlockedWinogradIsBitIdenticalToFlatAcrossShapes) {
+  ASSERT_TRUE(winograd_blocked_enabled()) << "another test leaked the flat override";
+  Rng rng(198);
+  struct Cfg {
+    int m;
+    std::int64_t c, k, hw;
+  };
+  // Odd H/W force clipped edge tiles; C = 1/3/5 are not multiples of the
+  // channel block (pad-lane cancellation); C = 8 divides it exactly.
+  for (const Cfg cfg : {Cfg{2, 1, 4, 7}, Cfg{2, 3, 8, 9}, Cfg{2, 8, 8, 12}, Cfg{4, 5, 8, 9},
+                        Cfg{4, 3, 4, 13}, Cfg{4, 8, 16, 16}}) {
+    SCOPED_TRACE("m=" + std::to_string(cfg.m) + " c=" + std::to_string(cfg.c) +
+                 " k=" + std::to_string(cfg.k) + " hw=" + std::to_string(cfg.hw));
+    const auto tr = wino::make_transforms(cfg.m, 3);
+    Tensor w = Tensor::randn({cfg.k, cfg.c, 3, 3}, rng);
+    const auto prep = prepare_winograd_weights_s8(w, tr, 0.02F);
+    ASSERT_FALSE(prep.u_blocked.empty());
+    const QTensor in = random_activation(rng, 2, cfg.c, cfg.hw, cfg.hw, 0.05F);
+    ConvGeometry g;
+    g.batch = 2;
+    g.in_channels = cfg.c;
+    g.height = cfg.hw;
+    g.width = cfg.hw;
+    g.out_channels = cfg.k;
+    g.kernel = 3;
+    g.pad = 1;
+    const WinogradStageScales frozen{0.02F, 0.1F, 0.05F, 0.1F};
+    Tensor bias = Tensor::randn({cfg.k}, rng);
+    const QTensor blocked = winograd_conv_s8_prepared(in, prep, g, tr, frozen, &bias);
+    QTensor flat;
+    {
+      FlatWinogradScope force_flat;
+      flat = winograd_conv_s8_prepared(in, prep, g, tr, frozen, &bias);
+    }
+    EXPECT_EQ(blocked.scale, flat.scale);
+    EXPECT_EQ(blocked.shape, flat.shape);
+    EXPECT_EQ(blocked.data, flat.data);
+  }
+}
+
+TEST_P(SimdBackendTest, BlockedWinogradHonorsDonatedStorage) {
+  // The streaming executor stages into the arena before consuming a donated
+  // buffer (which may alias the input); the donated run must be bit-identical
+  // to the fresh-allocation run and must consume the donation.
+  Rng rng(199);
+  const auto tr = wino::make_transforms(4, 3);
+  Tensor w = Tensor::randn({8, 5, 3, 3}, rng);
+  const auto prep = prepare_winograd_weights_s8(w, tr, 0.02F);
+  const QTensor in = random_activation(rng, 2, 5, 9, 9, 0.05F);
+  ConvGeometry g;
+  g.batch = 2;
+  g.in_channels = 5;
+  g.height = 9;
+  g.width = 9;
+  g.out_channels = 8;
+  g.kernel = 3;
+  g.pad = 1;
+  const WinogradStageScales frozen{0.02F, 0.1F, 0.05F, 0.1F};
+  const QTensor fresh = winograd_conv_s8_prepared(in, prep, g, tr, frozen);
+  // Donate a copy of the input's bytes: the aliasing-shaped case.
+  std::vector<std::int8_t> donated = in.data;
+  const QTensor reused = winograd_conv_s8_prepared(in, prep, g, tr, frozen, nullptr, &donated);
+  EXPECT_TRUE(donated.empty()) << "donated storage was not consumed";
+  EXPECT_EQ(fresh.data, reused.data);
+  EXPECT_EQ(fresh.scale, reused.scale);
+}
+
+TEST(BlockedWinogradPacking, BlockedUIsOffsetBinaryWithPadLanesAt128) {
+  Rng rng(200);
+  const auto tr = wino::make_transforms(4, 3);
+  Tensor w = Tensor::randn({4, 6, 3, 3}, rng);  // C=6: one real + two pad lanes
+  const auto prep = prepare_winograd_weights_s8(w, tr, 0.02F);
+  const std::int64_t t2 = tr.tile * tr.tile;
+  ASSERT_EQ(prep.padded_in_channels, 8);
+  ASSERT_EQ(static_cast<std::int64_t>(prep.u_blocked.size()), t2 * 4 * 8);
+  for (std::int64_t abk = 0; abk < t2 * 4; ++abk) {
+    const std::int8_t* src = prep.u_q.data() + abk * 6;
+    const std::uint8_t* dst = prep.u_blocked.data() + abk * 8;
+    for (std::int64_t c = 0; c < 6; ++c) {
+      ASSERT_EQ(static_cast<std::int32_t>(dst[c]), static_cast<std::int32_t>(src[c]) + 128);
+    }
+    ASSERT_EQ(dst[6], 128);  // pad lanes are level 0 in offset-binary
+    ASSERT_EQ(dst[7], 128);
+  }
+}
+
+TEST(BlockedWinogradGate, DynamicScalesAlwaysTakeTheFlatPath) {
+  // Any non-frozen internal scale needs a whole-tensor abs-max before the
+  // next stage can quantize, which the streaming executor cannot provide;
+  // with such scales the toggle must be a no-op on the numbers.
+  Rng rng(201);
+  const auto tr = wino::make_transforms(2, 3);
+  Tensor w = Tensor::randn({4, 3, 3, 3}, rng);
+  const auto prep = prepare_winograd_weights_s8(w, tr, 0.02F);
+  const QTensor in = random_activation(rng, 1, 3, 8, 8, 0.05F);
+  ConvGeometry g;
+  g.batch = 1;
+  g.in_channels = 3;
+  g.height = 8;
+  g.width = 8;
+  g.out_channels = 4;
+  g.kernel = 3;
+  g.pad = 1;
+  const WinogradStageScales dynamic{0.02F, -1.F, 0.05F, 0.1F};
+  const QTensor with_toggle = winograd_conv_s8_prepared(in, prep, g, tr, dynamic);
+  QTensor without;
+  {
+    FlatWinogradScope force_flat;
+    without = winograd_conv_s8_prepared(in, prep, g, tr, dynamic);
+  }
+  EXPECT_EQ(with_toggle.data, without.data);
+  EXPECT_EQ(with_toggle.scale, without.scale);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, SimdBackendTest, ::testing::ValuesIn(backend_names()),
