@@ -18,6 +18,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "data/synthetic.hpp"
@@ -114,6 +116,47 @@ inline std::string ratio(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2fx", v);
   return buf;
+}
+
+/// Insert or replace one top-level section of a BENCH_*.json file in place.
+/// Several harnesses contribute sections to the same file (engine_speedup
+/// owns the base document; resnet_deploy and fig7_latency_grid merge their
+/// F2-vs-F4 trajectories into it), so each section must be a single line of
+/// valid JSON — this helper only understands lines it wrote itself. A
+/// missing file starts as an empty object.
+inline bool merge_json_section(const std::string& path, const std::string& key,
+                               const std::string& value_one_line) {
+  std::string text = "{\n}\n";
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      if (!ss.str().empty()) text = ss.str();
+    }
+  }
+  const std::size_t open = text.find('{');
+  if (open == std::string::npos) return false;
+  // Drop a previous copy of this section (always one full line, ending ",").
+  const std::string marker = "\"" + key + "\":";
+  const std::size_t at = text.find(marker);
+  if (at != std::string::npos) {
+    const std::size_t line_start = text.rfind('\n', at);
+    const std::size_t line_end = text.find('\n', at);
+    if (line_start == std::string::npos || line_end == std::string::npos) return false;
+    text.erase(line_start, line_end - line_start);
+  }
+  // Re-insert right after the opening brace; the trailing comma is valid
+  // because an existing document always has at least one key after it.
+  const bool empty_object = text.find_first_not_of(" \n\t", open + 1) != std::string::npos &&
+                            text[text.find_first_not_of(" \n\t", open + 1)] == '}';
+  const std::string line =
+      "\n  \"" + key + "\": " + value_one_line + (empty_object ? "" : ",");
+  text.insert(open + 1, line);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return true;
 }
 
 }  // namespace wa::bench

@@ -11,7 +11,13 @@
 // planner-on vs planner-off latency and peak activation memory, with the
 // >= 30% peak-reduction acceptance bar for this workload.
 //
+// Finally, the F2-vs-F4 trajectory of the per-tap requantization work:
+// deployed-vs-QAT agreement and per-stage latency for F2 (per-tensor), F4
+// per-tensor (the accuracy cliff) and F4 per-tap (tap_group_size=1), merged
+// into BENCH_engine.json under "resnet_f2_vs_f4".
+//
 //   build/bench/resnet_deploy [width_mult=0.25] [batch=1] [algo=im2row|f2]
+//                             [json=BENCH_engine.json]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +25,7 @@
 #include <map>
 
 #include "backend/perf_counters.hpp"
+#include "bench_common.hpp"
 #include "data/synthetic.hpp"
 #include "deploy/passes/passes.hpp"
 #include "deploy/pipeline.hpp"
@@ -157,6 +164,106 @@ int main(int argc, char** argv) {
   if (diff != 0.F) {
     std::printf("ERROR: optimizer changed the logits\n");
     return 1;
+  }
+
+  // ---- F2 vs F4: agreement + per-stage latency ------------------------------
+  // The per-tap requantization trajectory. Per-tensor F4 is the accuracy
+  // cliff the paper's Table 1 documents at the kernel level; per-tap scale
+  // vectors (tap_group_size=1) are what close it at deployment. Each config
+  // is calibrated on the same data and compared against its own QAT eval
+  // forward; latency is split out for the 16 searchable block convs (the
+  // ".conv" stages — the only ones the algo choice touches).
+  {
+    const std::string json_path = argc > 4 ? argv[4] : "BENCH_engine.json";
+    auto calib_spec = data::cifar10_like();
+    calib_spec.train_size = 64;
+    calib_spec.test_size = 96;
+    const auto calib_set = data::generate(calib_spec, true);
+    const auto eval_set = data::generate(calib_spec, false);
+
+    struct ConfigResult {
+      const char* key;
+      double agreement = 0.0, total_ms = 0.0, conv3x3_ms = 0.0;
+    };
+    std::vector<ConfigResult> results;
+    const Tensor bx = Tensor::randn({batch, 3, 32, 32}, rng);
+
+    const auto run_config = [&](const char* key, nn::ConvAlgo algo, std::int64_t tap_group) {
+      Rng crng(42);  // same init across configs: only the algo/grouping vary
+      models::ResNetConfig ccfg;
+      ccfg.width_mult = width;
+      ccfg.qspec = quant::QuantSpec{8};
+      ccfg.algo = algo;
+      ccfg.tap_group_size = tap_group;
+      models::ResNet18 cnet(ccfg, crng);
+      cnet.set_training(true);
+      data::DataLoader cloader(calib_set, 16, false);
+      for (std::int64_t b = 0; b < cloader.batches(); ++b) {
+        cnet.forward(ag::Variable(cloader.get(b).images, false));
+      }
+      const deploy::Int8Pipeline cpipe = deploy::compile_resnet18(cnet);
+
+      // Agreement: deployed argmax vs the QAT eval forward's argmax.
+      cnet.set_training(false);
+      std::int64_t agree = 0, total = 0;
+      data::DataLoader eloader(eval_set, 16, false);
+      for (std::int64_t b = 0; b < eloader.batches(); ++b) {
+        const auto eb = eloader.get(b);
+        const auto deployed = cpipe.classify(eb.images);
+        const Tensor logits = cnet.forward(ag::Variable(eb.images, false)).value();
+        const std::int64_t classes = logits.numel() / logits.size(0);
+        for (std::size_t i = 0; i < deployed.size(); ++i) {
+          std::int64_t pred = 0;
+          for (std::int64_t c = 1; c < classes; ++c) {
+            if (logits.at(static_cast<std::int64_t>(i) * classes + c) >
+                logits.at(static_cast<std::int64_t>(i) * classes + pred))
+              pred = c;
+          }
+          agree += deployed[i] == pred;
+          ++total;
+        }
+      }
+
+      cpipe.run(bx);  // warm-up
+      ConfigResult r;
+      r.key = key;
+      r.agreement = static_cast<double>(agree) / static_cast<double>(total);
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::vector<deploy::StageTiming> t;
+        const auto t0 = std::chrono::steady_clock::now();
+        cpipe.run(bx, &t);
+        const auto t1 = std::chrono::steady_clock::now();
+        r.total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count() / kReps;
+        for (const auto& s : t) {
+          if (s.label.find(".conv") != std::string::npos) r.conv3x3_ms += s.ms / kReps;
+        }
+      }
+      results.push_back(r);
+    };
+    run_config("f2", nn::ConvAlgo::kWinograd2, 0);
+    run_config("f4_per_tensor", nn::ConvAlgo::kWinograd4, 0);
+    run_config("f4_per_tap", nn::ConvAlgo::kWinograd4, 1);
+
+    std::printf("\nF2 vs F4 (width %.3f, batch %lld, calibrated, %lld eval samples):\n",
+                static_cast<double>(width), static_cast<long long>(batch),
+                static_cast<long long>(calib_spec.test_size));
+    std::printf("  %-16s %10s %12s %14s\n", "config", "agreement", "total ms", "3x3 conv ms");
+    std::string json = "{\"width\": " + std::to_string(static_cast<double>(width)) +
+                       ", \"batch\": " + std::to_string(static_cast<long long>(batch));
+    for (const auto& r : results) {
+      std::printf("  %-16s %9.4f %11.4f %13.4f\n", r.key, r.agreement, r.total_ms, r.conv3x3_ms);
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    ", \"%s\": {\"agreement\": %.4f, \"total_ms\": %.4f, \"conv3x3_ms\": %.4f}",
+                    r.key, r.agreement, r.total_ms, r.conv3x3_ms);
+      json += buf;
+    }
+    json += "}";
+    if (bench::merge_json_section(json_path, "resnet_f2_vs_f4", json)) {
+      std::printf("  merged section \"resnet_f2_vs_f4\" into %s\n", json_path.c_str());
+    } else {
+      std::printf("  WARNING: could not merge section into %s\n", json_path.c_str());
+    }
   }
   return 0;
 }

@@ -202,17 +202,43 @@ void build_blocked_u(WinogradWeightsS8& w) {
 }
 
 WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
-                                              const wino::Transforms& tr, float scale) {
-  // U in FP32, then int8 at a single per-layer scale (the training-time Qx).
+                                              const wino::Transforms& tr, float scale,
+                                              const std::vector<float>& tap_scales) {
+  // U in FP32, then int8 — at one per-layer scale (the legacy training-time
+  // Qx) or, when `tap_scales` is given, each tap's [K, C] slice at its own
+  // scale (the per-tap Qx the F4/F6 QAT trains against).
   const Tensor u_f = winograd_transform_weights(weights_fp32, tr);  // [t*t, K, C]
   WinogradWeightsS8 w;
   w.out_channels = weights_fp32.size(0);
   w.in_channels = weights_fp32.size(1);
   w.tile = tr.tile;
-  w.scale = scale > 0.F ? scale : quant::scale_for(u_f.abs_max(), quant::QuantSpec{8});
   w.u_q.resize(static_cast<std::size_t>(u_f.numel()));
-  for (std::int64_t i = 0; i < u_f.numel(); ++i) {
-    w.u_q[static_cast<std::size_t>(i)] = clamp_s8(u_f.at(i) / w.scale);
+  if (!tap_scales.empty()) {
+    const std::int64_t t2 = w.tile * w.tile;
+    if (static_cast<std::int64_t>(tap_scales.size()) != t2) {
+      throw std::invalid_argument("prepare_winograd_weights_s8: " +
+                                  std::to_string(tap_scales.size()) + " tap scales for a t*t of " +
+                                  std::to_string(t2));
+    }
+    for (const float s : tap_scales) {
+      if (s <= 0.F) {
+        throw std::invalid_argument("prepare_winograd_weights_s8: tap scales must be positive");
+      }
+    }
+    w.tap_scales = tap_scales;
+    w.scale = tap_scales.front();  // representative for legacy predicates
+    const std::int64_t kc = w.out_channels * w.in_channels;
+    for (std::int64_t ab = 0; ab < t2; ++ab) {
+      const float s = tap_scales[static_cast<std::size_t>(ab)];
+      for (std::int64_t i = 0; i < kc; ++i) {
+        w.u_q[static_cast<std::size_t>(ab * kc + i)] = clamp_s8(u_f.at(ab * kc + i) / s);
+      }
+    }
+  } else {
+    w.scale = scale > 0.F ? scale : quant::scale_for(u_f.abs_max(), quant::QuantSpec{8});
+    for (std::int64_t i = 0; i < u_f.numel(); ++i) {
+      w.u_q[static_cast<std::size_t>(i)] = clamp_s8(u_f.at(i) / w.scale);
+    }
   }
   build_blocked_u(w);
   return w;
@@ -236,8 +262,10 @@ QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const
                          const wino::Transforms& tr, const WinogradStageScales& scales,
                          const Tensor* bias) {
   return winograd_conv_s8_prepared(
-      input, prepare_winograd_weights_s8(weights_fp32, tr, scales.weights_transformed), g, tr,
-      scales, bias);
+      input,
+      prepare_winograd_weights_s8(weights_fp32, tr, scales.weights_transformed,
+                                  scales.weights_transformed_taps),
+      g, tr, scales, bias);
 }
 
 namespace {
@@ -315,6 +343,36 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
   const float v_inv = 1.F / sv;
   const float o_inv = 1.F / so;
 
+  // Per-tap tables. The gather always consumes a t²-long M-scale array (splat
+  // when per-tensor); the V quantize and requant switch to per-tap sweeps only
+  // when some stage actually carries a tap vector, so legacy layers keep the
+  // exact single-sweep call sequence (and bytes) they had before.
+  const bool per_tap = !weights.tap_scales.empty() || !scales.input_transformed_taps.empty() ||
+                       !scales.hadamard_taps.empty();
+  std::vector<float> sm_taps = scales.hadamard_taps.empty()
+                                   ? std::vector<float>(static_cast<std::size_t>(t2), sm)
+                                   : scales.hadamard_taps;
+  std::vector<float> v_inv_taps;
+  std::vector<quant::FixedPointMultiplier> m_mults;
+  if (per_tap) {
+    const std::vector<float> su_taps =
+        weights.tap_scales.empty() ? std::vector<float>(static_cast<std::size_t>(t2), su)
+                                   : weights.tap_scales;
+    const std::vector<float> sv_taps =
+        scales.input_transformed_taps.empty()
+            ? std::vector<float>(static_cast<std::size_t>(t2), sv)
+            : scales.input_transformed_taps;
+    v_inv_taps.resize(static_cast<std::size_t>(t2));
+    m_mults.resize(static_cast<std::size_t>(t2));
+    for (std::int64_t ab = 0; ab < t2; ++ab) {
+      const auto i = static_cast<std::size_t>(ab);
+      v_inv_taps[i] = 1.F / sv_taps[i];
+      // Same float-product / double-ratio replay as the scalar multiplier.
+      m_mults[i] = quant::quantize_multiplier(
+          static_cast<double>(su_taps[i] * sv_taps[i]) / sm_taps[i]);
+    }
+  }
+
   const bool has_bias = bias != nullptr && !bias->empty();
   if (has_bias && bias->numel() != g.out_channels) {
     throw std::invalid_argument("winograd_conv_s8: bias/channel mismatch");
@@ -384,7 +442,14 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
           const std::int8_t* plane = in_base + (n * C + c) * g.height * g.width;
           kt.wino_scatter_block_f32(plane, g.height, g.width, g.pad, in_scale, tr.bt_mat.raw(),
                                     t, m, th, tw, tile0, nt, v_f, nt);
-          kt.quantize_f32_s8(v_f, vrow, t2 * nt, v_inv);
+          if (per_tap) {
+            // v_f is tap-major ([t², nt] for this lane): each tap's nt run
+            // quantizes at its own scale, with the tap loop inside the
+            // backend TU (nt is short — per-call dispatch would dominate).
+            kt.quantize_f32_s8_taps(v_f, vrow, t2, nt, v_inv_taps.data());
+          } else {
+            kt.quantize_f32_s8(v_f, vrow, t2 * nt, v_inv);
+          }
         }
         for (std::int64_t ab = 0; ab < t2; ++ab) {
           interleave_k4(v_q4 + ab * nt, v_q4 + t2 * nt + ab * nt, v_q4 + 2 * t2 * nt + ab * nt,
@@ -398,14 +463,20 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
         kt.gemm_u8s8_s32_k4(K, nt, cpad, ub + ab * K * cpad, v_blk + ab * cq * nt * 4,
                             m_acc + ab * K * nt);
       }
-      kt.requant_s32_s8(m_acc, m_q, t2 * K * nt, m_mult);
+      if (per_tap) {
+        // m_acc is tap-major ([t², K, nt]), so the per-tap requant is one
+        // contiguous K*nt block per multiplier-table entry.
+        kt.requant_s32_s8_taps(m_acc, m_q, t2, K * nt, m_mults.data());
+      } else {
+        kt.requant_s32_s8(m_acc, m_q, t2 * K * nt, m_mult);
+      }
 
       // Inverse transform with the output quantization fused in, straight to
       // the int8 plane (edge tiles clipped inside the kernel).
       for (std::int64_t k = 0; k < K; ++k) {
         const float bv = has_bias ? bias->at(k) : 0.F;
-        kt.wino_gather_q_s8(m_q + k * nt, K * nt, sm, tr.at_mat.raw(), t, m, th, tw, tile0, nt,
-                            oh, ow, bv, o_inv, stage + (n * K + k) * oh * ow);
+        kt.wino_gather_q_s8(m_q + k * nt, K * nt, sm_taps.data(), tr.at_mat.raw(), t, m, th, tw,
+                            tile0, nt, oh, ow, bv, o_inv, stage + (n * K + k) * oh * ow);
       }
     }
   }
@@ -436,7 +507,33 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
     throw std::invalid_argument("winograd_conv_s8: input shape " + to_string(input.shape) +
                                 " does not match geometry");
   }
-  if (scales.weights_transformed > 0.F && scales.weights_transformed != weights.scale) {
+  const std::int64_t t2v = tr.tile * tr.tile;
+  const auto check_taps = [&](const std::vector<float>& v, const char* stage) {
+    if (v.empty()) return;
+    if (static_cast<std::int64_t>(v.size()) != t2v) {
+      throw std::invalid_argument("winograd_conv_s8: " + std::string(stage) + " carries " +
+                                  std::to_string(v.size()) + " tap scales for a t*t of " +
+                                  std::to_string(t2v));
+    }
+    for (const float s : v) {
+      if (s <= 0.F) {
+        throw std::invalid_argument("winograd_conv_s8: " + std::string(stage) +
+                                    " tap scales must all be positive");
+      }
+    }
+  };
+  check_taps(scales.weights_transformed_taps, "weights_transformed");
+  check_taps(scales.input_transformed_taps, "input_transformed");
+  check_taps(scales.hadamard_taps, "hadamard");
+  if (!scales.weights_transformed_taps.empty()) {
+    if (scales.weights_transformed_taps != weights.tap_scales) {
+      // The U levels were baked per tap at prepare time; a different frozen
+      // tap vector here would silently disagree with them.
+      throw std::invalid_argument(
+          "winograd_conv_s8: per-tap weights_transformed scales do not match the prepared "
+          "weights");
+    }
+  } else if (scales.weights_transformed > 0.F && scales.weights_transformed != weights.scale) {
     // The U levels were baked at prepare time; a different frozen scale here
     // would silently disagree with them.
     throw std::invalid_argument(
@@ -484,9 +581,20 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   }
   std::int8_t* v_q = arena.alloc<std::int8_t>(t * t * g.in_channels * tiles);
   const float v_inv = 1.F / sv;
-  parallel_flat(t * t * g.in_channels * tiles, [&](std::int64_t begin, std::int64_t len) {
-    kt.quantize_f32_s8(v_f + begin, v_q + begin, len, v_inv);
-  });
+  if (!scales.input_transformed_taps.empty()) {
+    // v_f is [t², C, tiles]: each tap's C*tiles run quantizes at its own
+    // scale. Elementwise, so any split is bit-identical to the blocked path.
+    const std::int64_t per_tap_v = g.in_channels * tiles;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t ab = 0; ab < t * t; ++ab) {
+      kt.quantize_f32_s8(v_f + ab * per_tap_v, v_q + ab * per_tap_v, per_tap_v,
+                         1.F / scales.input_transformed_taps[static_cast<std::size_t>(ab)]);
+    }
+  } else {
+    parallel_flat(t * t * g.in_channels * tiles, [&](std::int64_t begin, std::int64_t len) {
+      kt.quantize_f32_s8(v_f + begin, v_q + begin, len, v_inv);
+    });
+  }
 
   // Hadamard stage: t² int8 GEMMs accumulating in int32.
   std::int32_t* m_acc = arena.alloc<std::int32_t>(t * t * g.out_channels * tiles);
@@ -509,13 +617,47 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   }
   const auto m_mult = quant::quantize_multiplier(static_cast<double>(m_acc_scale) / sm);
 
+  // Per-tap tables: the gather always takes a t²-long M-scale array (splat
+  // when per-tensor); the requant switches to a per-tap multiplier table only
+  // when some stage carries a tap vector. Dynamic scales are always derived
+  // per-tensor — tap vectors only ever arrive frozen from training.
+  const std::int64_t t2 = t * t;
+  const bool per_tap = !weights.tap_scales.empty() || !scales.input_transformed_taps.empty() ||
+                       !scales.hadamard_taps.empty();
+  std::vector<float> sm_taps = scales.hadamard_taps.empty()
+                                   ? std::vector<float>(static_cast<std::size_t>(t2), sm)
+                                   : scales.hadamard_taps;
+
   // Requantize the whole Hadamard buffer flat to int8 levels (the gather then
   // streams a quarter of the bytes), and run the per-plane output transform
   // as a dispatched kernel.
   std::int8_t* m_q = arena.alloc<std::int8_t>(t * t * g.out_channels * tiles);
-  parallel_flat(t * t * g.out_channels * tiles, [&](std::int64_t begin, std::int64_t len) {
-    kt.requant_s32_s8(m_acc + begin, m_q + begin, len, m_mult);
-  });
+  if (per_tap) {
+    const std::vector<float> su_taps =
+        weights.tap_scales.empty() ? std::vector<float>(static_cast<std::size_t>(t2), su)
+                                   : weights.tap_scales;
+    const std::vector<float> sv_taps =
+        scales.input_transformed_taps.empty()
+            ? std::vector<float>(static_cast<std::size_t>(t2), sv)
+            : scales.input_transformed_taps;
+    std::vector<quant::FixedPointMultiplier> m_mults(static_cast<std::size_t>(t2));
+    for (std::int64_t ab = 0; ab < t2; ++ab) {
+      const auto i = static_cast<std::size_t>(ab);
+      m_mults[i] = quant::quantize_multiplier(
+          static_cast<double>(su_taps[i] * sv_taps[i]) / sm_taps[i]);
+    }
+    // m_acc is [t², K, tiles]: one contiguous K*tiles block per table entry.
+    const std::int64_t per_tap_m = g.out_channels * tiles;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t ab = 0; ab < t2; ++ab) {
+      kt.requant_s32_s8(m_acc + ab * per_tap_m, m_q + ab * per_tap_m, per_tap_m,
+                        m_mults[static_cast<std::size_t>(ab)]);
+    }
+  } else {
+    parallel_flat(t * t * g.out_channels * tiles, [&](std::int64_t begin, std::int64_t len) {
+      kt.requant_s32_s8(m_acc + begin, m_q + begin, len, m_mult);
+    });
+  }
 
   float* out_f = arena.alloc<float>(g.batch * g.out_channels * oh * ow);
   const bool has_bias = bias != nullptr && !bias->empty();
@@ -528,7 +670,7 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
     // The output transform runs in FP32, so the bias joins there, before the
     // final requantization — same semantics as the training-time pipeline.
     const float bv = has_bias ? bias->at(k) : 0.F;
-    kt.wino_gather_f32(m_q + k * tiles + n * th * tw, g.out_channels * tiles, sm,
+    kt.wino_gather_f32(m_q + k * tiles + n * th * tw, g.out_channels * tiles, sm_taps.data(),
                        tr.at_mat.raw(), t, m, th, tw, oh, ow, bv, out_f + nk * oh * ow);
   }
 

@@ -55,11 +55,22 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
 /// requantization; Hadamard stage as t² int8 GEMMs with int32 accumulators.
 /// Per-stage scales can be provided (e.g. frozen from winograd-aware
 /// training); non-positive entries are derived on the fly.
+///
+/// Each transform-domain stage optionally carries a per-tap scale vector
+/// (t*t entries, tap-major like the executors' [t*t, ...] layouts) in the
+/// `*_taps` fields. An empty vector means per-tensor (the scalar field
+/// rules); a non-empty vector takes precedence and its scalar field must
+/// also be set positive (any representative entry) so the > 0 "is this
+/// stage frozen?" predicates all over deploy keep working unchanged.
+/// The output stage stays scalar — Y is pixel-domain, there is no tap axis.
 struct WinogradStageScales {
   float weights_transformed = -1.F;  // U = G g Gᵀ
   float input_transformed = -1.F;    // V = Bᵀ d B
   float hadamard = -1.F;             // M = Σ_c U ⊙ V
   float output = -1.F;               // Y = Aᵀ M A
+  std::vector<float> weights_transformed_taps;  // [t*t] or empty
+  std::vector<float> input_transformed_taps;    // [t*t] or empty
+  std::vector<float> hadamard_taps;             // [t*t] or empty
 };
 
 QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const ConvGeometry& g,
@@ -85,6 +96,10 @@ struct WinogradWeightsS8 {
   std::vector<std::uint8_t> u_blocked;  // [t*t, K, Cpad], offset-binary
   std::int64_t padded_in_channels = 0;  // Cpad
   float scale = 1.F;
+  /// Per-tap U scales ([t*t], tap ab quantized slice [ab, :, :] of u_q).
+  /// Empty = per-tensor (`scale` quantized every tap). When set, `scale`
+  /// holds a representative entry (tap 0) for legacy predicates.
+  std::vector<float> tap_scales;
   std::int64_t out_channels = 0;
   std::int64_t in_channels = 0;
   std::int64_t tile = 0;
@@ -98,9 +113,13 @@ void build_blocked_u(WinogradWeightsS8& weights);
 
 /// Build the cached transformed weights. `scale` <= 0 derives the scale from
 /// the transformed weights' abs-max (what a cold calibration would do);
-/// deployment passes the frozen training-time U-stage scale.
+/// deployment passes the frozen training-time U-stage scale. `tap_scales`,
+/// when non-empty ([t*t] entries), quantizes each tap's [K, C] slice at its
+/// own scale — the per-tap U cache (scale is then ignored beyond recording a
+/// representative).
 WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
-                                              const wino::Transforms& tr, float scale = -1.F);
+                                              const wino::Transforms& tr, float scale = -1.F,
+                                              const std::vector<float>& tap_scales = {});
 
 /// Winograd int8 convolution from cached transformed weights. Identical
 /// numerics to winograd_conv_s8 with the same scales, but U is reused, the

@@ -31,6 +31,7 @@
 #include <cstring>
 #include <limits>
 
+#include "backend/simd/requant_common.hpp"
 #include "tensor/arena.hpp"
 #include "winograd/small_mat.hpp"
 
@@ -227,17 +228,15 @@ void quantize_f32_s8_avx2(const float* src, std::int8_t* dst, std::int64_t n, fl
 
 void requant_s32_s8_avx2(const std::int32_t* acc, std::int8_t* dst, std::int64_t n,
                          quant::FixedPointMultiplier mult) {
-  // The vector path models the common regime: a positive Q31 multiplier
-  // (quantize_multiplier yields m0 in [2^30, 2^31)) and a rounding right
-  // shift in [1, 31]. Anything else — ratio >= 1 (shift <= 0), a ratio so
-  // tiny the shift exceeds 31 — is rare enough to take the scalar reference.
-  if (mult.shift < 1 || mult.shift > 31 || mult.m0 < (1 << 30)) {
+  // Regime guard and rounding mask shared with the other backends
+  // (requant_common.hpp); out-of-regime multipliers take the scalar
+  // reference.
+  if (!requant_vector_regime(mult)) {
     scalar_kernels().requant_s32_s8(acc, dst, n, mult);
     return;
   }
   const int s = mult.shift;
-  const std::int32_t mask32 = (s == 31) ? std::numeric_limits<std::int32_t>::max()
-                                        : ((std::int32_t{1} << s) - 1);
+  const std::int32_t mask32 = requant_round_mask(s);
   const __m256i m0 = _mm256_set1_epi32(mult.m0);
   const __m256i pos_nudge = _mm256_set1_epi64x(std::int64_t{1} << 30);
   const __m256i neg_nudge = _mm256_set1_epi64x(1 - (std::int64_t{1} << 30));
@@ -281,6 +280,16 @@ void requant_s32_s8_avx2(const std::int32_t* acc, std::int8_t* dst, std::int64_t
                         pack_s32x4_to_s8(q[0], q[1], q[2], q[3]));
   }
   if (i < n) scalar_kernels().requant_s32_s8(acc + i, dst + i, n - i, mult);
+}
+
+void quantize_f32_s8_taps_avx2(const float* src, std::int8_t* dst, std::int64_t taps,
+                               std::int64_t per_tap, const float* inv_scales) {
+  quantize_f32_s8_taps_with(quantize_f32_s8_avx2, src, dst, taps, per_tap, inv_scales);
+}
+
+void requant_s32_s8_taps_avx2(const std::int32_t* acc, std::int8_t* dst, std::int64_t taps,
+                              std::int64_t per_tap, const quant::FixedPointMultiplier* mults) {
+  requant_s32_s8_taps_with(requant_s32_s8_avx2, acc, dst, taps, per_tap, mults);
 }
 
 // ---- Winograd scatter (input transform) ------------------------------------
@@ -418,11 +427,10 @@ inline void store_interleave4_128(float* dst, __m128 a, __m128 b, __m128 c, __m1
   _mm_storeu_ps(dst + 12, _mm_movehl_ps(t3, t2));
 }
 
-void wino_gather_f32_avx2(const std::int8_t* m_base, std::int64_t ab_stride, float sm,
+void wino_gather_f32_avx2(const std::int8_t* m_base, std::int64_t ab_stride, const float* sm,
                           const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
                           std::int64_t tw, std::int64_t oh, std::int64_t ow, float bias,
                           float* oplane) {
-  const __m256 smv = _mm256_set1_ps(sm);
   const __m256 bv = _mm256_set1_ps(bias);
   float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
   __m256 M[kMaxVecTile * kMaxVecTile], TMP[kMaxVecTile * kMaxVecTile], Y[kMaxVecTile];
@@ -437,7 +445,7 @@ void wino_gather_f32_avx2(const std::int8_t* m_base, std::int64_t ab_stride, flo
         for (std::int64_t ab = 0; ab < t * t; ++ab) {
           const __m256i lv = _mm256_cvtepi8_epi32(
               _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + ab * ab_stride)));
-          M[ab] = _mm256_mul_ps(_mm256_cvtepi32_ps(lv), smv);
+          M[ab] = _mm256_mul_ps(_mm256_cvtepi32_ps(lv), _mm256_set1_ps(sm[ab]));
         }
         for (std::int64_t i = 0; i < m; ++i) {  // TMP = At * M (smm_nn: skip zeros)
           for (std::int64_t j = 0; j < t; ++j) {
@@ -470,7 +478,7 @@ void wino_gather_f32_avx2(const std::int8_t* m_base, std::int64_t ab_stride, flo
     for (; tj < tw; ++tj) {  // edge tiles: scalar reference path
       const std::int8_t* src = m_base + ti * tw + tj;
       for (std::int64_t ab = 0; ab < t * t; ++ab) {
-        mtile[ab] = static_cast<float>(src[ab * ab_stride]) * sm;
+        mtile[ab] = static_cast<float>(src[ab * ab_stride]) * sm[ab];
       }
       wino::smm_sandwich(at, static_cast<int>(m), static_cast<int>(t), mtile, tmp, y);
       for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a) {
@@ -734,14 +742,12 @@ void gemm_u8s8_s32_k4_avx2(std::int64_t m, std::int64_t n, std::int64_t kpad,
 // backends, so fused and flat bytes agree. A 4-tile 128-bit group follows
 // the 8-tile groups for narrow tile rows (tw <= 4 grids the flat kernel
 // leaves scalar); edge/partial tiles take the scalar reference kernel.
-void wino_gather_q_s8_avx2(const std::int8_t* m_block, std::int64_t block_stride, float sm,
+void wino_gather_q_s8_avx2(const std::int8_t* m_block, std::int64_t block_stride, const float* sm,
                            const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
                            std::int64_t tw, std::int64_t tile0, std::int64_t ntiles,
                            std::int64_t oh, std::int64_t ow, float bias, float o_inv,
                            std::int8_t* oplane) {
-  const __m256 smv = _mm256_set1_ps(sm);
   const __m256 bv = _mm256_set1_ps(bias);
-  const __m128 smv4 = _mm_set1_ps(sm);
   const __m128 bv4 = _mm_set1_ps(bias);
   __m256 M[kMaxVecTile * kMaxVecTile], TMP[kMaxVecTile * kMaxVecTile], Y[kMaxVecTile];
   __m128 M4[kMaxVecTile * kMaxVecTile], TMP4[kMaxVecTile * kMaxVecTile], Y4[kMaxVecTile];
@@ -762,7 +768,7 @@ void wino_gather_q_s8_avx2(const std::int8_t* m_block, std::int64_t block_stride
         for (std::int64_t ab = 0; ab < t * t; ++ab) {
           const __m256i lv = _mm256_cvtepi8_epi32(
               _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + ab * block_stride)));
-          M[ab] = _mm256_mul_ps(_mm256_cvtepi32_ps(lv), smv);
+          M[ab] = _mm256_mul_ps(_mm256_cvtepi32_ps(lv), _mm256_set1_ps(sm[ab]));
         }
         for (std::int64_t i = 0; i < m; ++i) {  // TMP = At * M (smm_nn: skip zeros)
           for (std::int64_t j = 0; j < t; ++j) {
@@ -802,7 +808,7 @@ void wino_gather_q_s8_avx2(const std::int8_t* m_block, std::int64_t block_stride
           std::int32_t raw;  // 4-byte load: loadl would read past the block
           std::memcpy(&raw, src + ab * block_stride, 4);
           const __m128i lv = _mm_cvtepi8_epi32(_mm_cvtsi32_si128(raw));
-          M4[ab] = _mm_mul_ps(_mm_cvtepi32_ps(lv), smv4);
+          M4[ab] = _mm_mul_ps(_mm_cvtepi32_ps(lv), _mm_set1_ps(sm[ab]));
         }
         for (std::int64_t i = 0; i < m; ++i) {
           for (std::int64_t j = 0; j < t; ++j) {
@@ -854,7 +860,9 @@ const KernelTable* avx2_kernel_table() {
     t.gemm_s8_s32 = gemm_s8_s32_avx2;
     t.gemm_f32_packed_nn = gemm_f32_packed_nn_avx2;
     t.quantize_f32_s8 = quantize_f32_s8_avx2;
+    t.quantize_f32_s8_taps = quantize_f32_s8_taps_avx2;
     t.requant_s32_s8 = requant_s32_s8_avx2;
+    t.requant_s32_s8_taps = requant_s32_s8_taps_avx2;
     t.wino_scatter_f32 = wino_scatter_f32_avx2;
     t.wino_gather_f32 = wino_gather_f32_avx2;
     t.wino_scatter_block_f32 = wino_scatter_block_f32_avx2;

@@ -33,6 +33,7 @@
 #include <cstring>
 #include <limits>
 
+#include "backend/simd/requant_common.hpp"
 #include "tensor/arena.hpp"
 
 // GCC expands many 512-bit intrinsics through their masked builtins with an
@@ -78,15 +79,15 @@ void quantize_f32_s8_avx512(const float* src, std::int8_t* dst, std::int64_t n,
 
 void requant_s32_s8_avx512(const std::int32_t* acc, std::int8_t* dst, std::int64_t n,
                            quant::FixedPointMultiplier mult) {
-  // Same regime guard as the AVX2 kernel: positive Q31 multiplier and a
-  // rounding right shift in [1, 31]; anything else takes the scalar reference.
-  if (mult.shift < 1 || mult.shift > 31 || mult.m0 < (1 << 30)) {
+  // Regime guard and rounding mask shared with the other backends
+  // (requant_common.hpp); out-of-regime multipliers take the scalar
+  // reference.
+  if (!requant_vector_regime(mult)) {
     scalar_kernels().requant_s32_s8(acc, dst, n, mult);
     return;
   }
   const int s = mult.shift;
-  const std::int32_t mask32 = (s == 31) ? std::numeric_limits<std::int32_t>::max()
-                                        : ((std::int32_t{1} << s) - 1);
+  const std::int32_t mask32 = requant_round_mask(s);
   const __m512i m0 = _mm512_set1_epi32(mult.m0);
   const __m512i pos_nudge = _mm512_set1_epi64(std::int64_t{1} << 30);
   const __m512i neg_nudge = _mm512_set1_epi64(1 - (std::int64_t{1} << 30));
@@ -128,6 +129,16 @@ void requant_s32_s8_avx512(const std::int32_t* acc, std::int8_t* dst, std::int64
     _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm512_cvtepi32_epi8(q));
   }
   if (i < n) scalar_kernels().requant_s32_s8(acc + i, dst + i, n - i, mult);
+}
+
+void quantize_f32_s8_taps_avx512(const float* src, std::int8_t* dst, std::int64_t taps,
+                                 std::int64_t per_tap, const float* inv_scales) {
+  quantize_f32_s8_taps_with(quantize_f32_s8_avx512, src, dst, taps, per_tap, inv_scales);
+}
+
+void requant_s32_s8_taps_avx512(const std::int32_t* acc, std::int8_t* dst, std::int64_t taps,
+                                std::int64_t per_tap, const quant::FixedPointMultiplier* mults) {
+  requant_s32_s8_taps_with(requant_s32_s8_avx512, acc, dst, taps, per_tap, mults);
 }
 
 // ---- flat int8 GEMM ---------------------------------------------------------
@@ -404,7 +415,9 @@ const KernelTable* avx512_kernel_table() {
     t.gemm_s8_s32 = gemm_s8_s32_avx512;
     t.gemm_u8s8_s32_k4 = gemm_u8s8_s32_k4_avx512;
     t.quantize_f32_s8 = quantize_f32_s8_avx512;
+    t.quantize_f32_s8_taps = quantize_f32_s8_taps_avx512;
     t.requant_s32_s8 = requant_s32_s8_avx512;
+    t.requant_s32_s8_taps = requant_s32_s8_taps_avx512;
     // Everything else inherits the resolved AVX2 entries (kernel_table.cpp
     // fills nulls from avx2 when it is compiled in, else scalar).
     return t;

@@ -70,7 +70,13 @@ std::vector<Entry>& entries() {
         e.resolved.gemm_f32_packed_nn = base.gemm_f32_packed_nn;
       }
       if (e.resolved.quantize_f32_s8 == nullptr) e.resolved.quantize_f32_s8 = base.quantize_f32_s8;
+      if (e.resolved.quantize_f32_s8_taps == nullptr) {
+        e.resolved.quantize_f32_s8_taps = base.quantize_f32_s8_taps;
+      }
       if (e.resolved.requant_s32_s8 == nullptr) e.resolved.requant_s32_s8 = base.requant_s32_s8;
+      if (e.resolved.requant_s32_s8_taps == nullptr) {
+        e.resolved.requant_s32_s8_taps = base.requant_s32_s8_taps;
+      }
       if (e.resolved.wino_scatter_f32 == nullptr) {
         e.resolved.wino_scatter_f32 = base.wino_scatter_f32;
       }

@@ -53,12 +53,31 @@ struct KernelTable {
   void (*quantize_f32_s8)(const float* src, std::int8_t* dst, std::int64_t n,
                           float inv_scale) = nullptr;
 
+  /// Per-tap quantization: `taps` contiguous blocks of `per_tap` floats,
+  /// block ab quantized at inv_scales[ab]. Exactly equivalent to `taps`
+  /// calls of quantize_f32_s8 (the tap loop lives inside the backend TU so
+  /// the blocked executor's short tap-major V rows don't pay a dispatch per
+  /// tap; requant_common.hpp builds the driver once per backend).
+  void (*quantize_f32_s8_taps)(const float* src, std::int8_t* dst, std::int64_t taps,
+                               std::int64_t per_tap, const float* inv_scales) = nullptr;
+
   /// dst[i] = saturate_8(apply_multiplier(acc[i], mult)) — the fixed-point
   /// requantization loop under every int32 accumulator (im2row conv, linear,
   /// Winograd M stage). Must match quant::apply_multiplier bit-for-bit for
   /// every (acc, mult), including shift <= 0 and shift > 31 regimes.
   void (*requant_s32_s8)(const std::int32_t* acc, std::int8_t* dst, std::int64_t n,
                          quant::FixedPointMultiplier mult) = nullptr;
+
+  /// Per-tap (vector-of-ratios) requantization: `taps` contiguous blocks of
+  /// `per_tap` accumulators, block ab requantized with mults[ab]. Exactly
+  /// equivalent to `taps` calls of requant_s32_s8 — the Winograd executors
+  /// lay M out tap-major ([t*t, ...]), so each tap's multiplier is
+  /// loop-invariant over its block and the backend's flat vector loop runs
+  /// unchanged per tap (requant_common.hpp builds this driver once; each
+  /// backend instantiates it with its own flat kernel).
+  void (*requant_s32_s8_taps)(const std::int32_t* acc, std::int8_t* dst, std::int64_t taps,
+                              std::int64_t per_tap,
+                              const quant::FixedPointMultiplier* mults) = nullptr;
 
   /// Winograd input transform (scatter) for one (batch, channel) plane:
   /// dequantize each t x t input tile at in_scale, apply V = Bt d B (bt is
@@ -72,10 +91,13 @@ struct KernelTable {
 
   /// Winograd output transform (gather) for one (batch, out-channel) plane:
   /// gather the t*t requantized Hadamard levels of tile (ti,tj) from
-  /// m_base[ab * ab_stride + ti*tw + tj], dequantize at sm, apply
+  /// m_base[ab * ab_stride + ti*tw + tj], dequantize tap ab at sm[ab], apply
   /// Y = At M A (at is row-major [m,t]), add `bias`, and write the m x m
-  /// output tile into oplane [oh, ow] (edge tiles are clipped).
-  void (*wino_gather_f32)(const std::int8_t* m_base, std::int64_t ab_stride, float sm,
+  /// output tile into oplane [oh, ow] (edge tiles are clipped). `sm` points
+  /// at t*t per-tap M scales; the legacy per-tensor case passes a splat
+  /// vector, which is bit-identical to the old scalar-sm kernel (same
+  /// per-element multiply, same value in every lane).
+  void (*wino_gather_f32)(const std::int8_t* m_base, std::int64_t ab_stride, const float* sm,
                           const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
                           std::int64_t tw, std::int64_t oh, std::int64_t ow, float bias,
                           float* oplane) = nullptr;
@@ -110,11 +132,12 @@ struct KernelTable {
 
   /// Blocked wino_gather_f32 with the output quantization fused in: gather
   /// tiles [tile0, tile0+ntiles) from m_block[ab * block_stride + idx],
-  /// Y = At M A + bias, then write int8 levels
+  /// dequantize tap ab at sm[ab] (t*t entries, splat for the per-tensor
+  /// case), Y = At M A + bias, then write int8 levels
   /// nearbyint(min(127, max(-127, y * o_inv))) into oplane (edge tiles
   /// clipped). o_inv is the reciprocal of the output scale, exactly as
   /// quantize_f32_s8 would receive it on the flat path.
-  void (*wino_gather_q_s8)(const std::int8_t* m_block, std::int64_t block_stride, float sm,
+  void (*wino_gather_q_s8)(const std::int8_t* m_block, std::int64_t block_stride, const float* sm,
                            const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
                            std::int64_t tw, std::int64_t tile0, std::int64_t ntiles,
                            std::int64_t oh, std::int64_t ow, float bias, float o_inv,

@@ -30,6 +30,8 @@
 #include <cstring>
 #include <limits>
 
+#include "backend/simd/requant_common.hpp"
+
 namespace wa::backend::simd {
 namespace {
 
@@ -146,15 +148,14 @@ void quantize_f32_s8_neon(const float* src, std::int8_t* dst, std::int64_t n, fl
 
 void requant_s32_s8_neon(const std::int32_t* acc, std::int8_t* dst, std::int64_t n,
                          quant::FixedPointMultiplier mult) {
-  // Same vector-path preconditions as the AVX2 backend; everything else is
-  // handled by the scalar reference.
-  if (mult.shift < 1 || mult.shift > 31 || mult.m0 < (1 << 30)) {
+  // Regime guard and rounding mask shared with the x86 backends
+  // (requant_common.hpp); everything else is handled by the scalar reference.
+  if (!requant_vector_regime(mult)) {
     scalar_kernels().requant_s32_s8(acc, dst, n, mult);
     return;
   }
   const int s = mult.shift;
-  const std::int32_t mask32 =
-      (s == 31) ? std::numeric_limits<std::int32_t>::max() : ((std::int32_t{1} << s) - 1);
+  const std::int32_t mask32 = requant_round_mask(s);
   const int32x4_t maskv = vdupq_n_s32(mask32);
   const int32x4_t halfv = vdupq_n_s32(mask32 >> 1);
   const int32x4_t sneg = vdupq_n_s32(-s);
@@ -181,6 +182,16 @@ void requant_s32_s8_neon(const std::int32_t* acc, std::int8_t* dst, std::int64_t
   if (i < n) scalar_kernels().requant_s32_s8(acc + i, dst + i, n - i, mult);
 }
 
+void quantize_f32_s8_taps_neon(const float* src, std::int8_t* dst, std::int64_t taps,
+                               std::int64_t per_tap, const float* inv_scales) {
+  quantize_f32_s8_taps_with(quantize_f32_s8_neon, src, dst, taps, per_tap, inv_scales);
+}
+
+void requant_s32_s8_taps_neon(const std::int32_t* acc, std::int8_t* dst, std::int64_t taps,
+                              std::int64_t per_tap, const quant::FixedPointMultiplier* mults) {
+  requant_s32_s8_taps_with(requant_s32_s8_neon, acc, dst, taps, per_tap, mults);
+}
+
 }  // namespace
 
 const KernelTable* neon_kernel_table() {
@@ -189,7 +200,9 @@ const KernelTable* neon_kernel_table() {
     t.name = "neon";
     t.gemm_s8_s32 = gemm_s8_s32_neon;
     t.quantize_f32_s8 = quantize_f32_s8_neon;
+    t.quantize_f32_s8_taps = quantize_f32_s8_taps_neon;
     t.requant_s32_s8 = requant_s32_s8_neon;
+    t.requant_s32_s8_taps = requant_s32_s8_taps_neon;
     // gemm_f32_packed_nn / wino_scatter_f32 / wino_gather_f32 stay null: the
     // registry fills them from the scalar reference.
     return t;

@@ -1,0 +1,79 @@
+// Shared fixed-point requantization logic for the SIMD backends.
+//
+// Before the per-tap refactor, the scalar reference loop's contract plus the
+// vector-path regime guard and rounding-mask derivation were restated in
+// three TUs (scalar/avx2/avx512, and again in neon). They are
+// bit-exactness-critical — a backend that disagrees with the scalar
+// reference on any (acc, mult) pair corrupts logits silently — so the per-tap
+// vector-of-ratios entry point is built here ONCE and instantiated per
+// backend, instead of growing a fourth copy.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "quant/requant.hpp"
+
+namespace wa::backend::simd {
+
+/// The canonical requantization loop: dst[i] =
+/// saturate_8(apply_multiplier(acc[i], mult)). This is THE reference every
+/// SIMD kernel must match byte-for-byte; scalar_kernels.cpp registers exactly
+/// this function, and every SIMD backend's tail/fallback routes here (via
+/// scalar_kernels(), so there is one compiled definition of the loop).
+inline void requant_s32_s8_ref(const std::int32_t* acc, std::int8_t* dst, std::int64_t n,
+                               quant::FixedPointMultiplier mult) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::int8_t>(quant::saturate(quant::apply_multiplier(acc[i], mult), 8));
+  }
+}
+
+/// True when `mult` is in the regime the SIMD lanes model: a positive Q31
+/// multiplier (quantize_multiplier yields m0 in [2^30, 2^31)) and a rounding
+/// right shift in [1, 31]. Anything else — ratio >= 1 (shift <= 0), a ratio
+/// so tiny the shift exceeds 31 — is rare enough that every backend takes the
+/// scalar reference for it.
+constexpr bool requant_vector_regime(quant::FixedPointMultiplier mult) {
+  return mult.shift >= 1 && mult.shift <= 31 && mult.m0 >= (std::int32_t{1} << 30);
+}
+
+/// Low-bits mask of the rounding right shift by `s` (gemmlowp semantics,
+/// round half away from zero): rem = high & mask, threshold = mask/2 +
+/// (high < 0), result = (high >> s) + (rem > threshold). s == 31 needs the
+/// INT32_MAX special case because 1 << 31 overflows.
+constexpr std::int32_t requant_round_mask(int s) {
+  return (s == 31) ? std::numeric_limits<std::int32_t>::max()
+                   : ((std::int32_t{1} << s) - 1);
+}
+
+/// Per-tap driver: requantize `taps` contiguous blocks of `per_tap`
+/// accumulators, block ab with mults[ab]. The blocked Winograd executor's t^2
+/// tap GEMMs land their int32 accumulators per-tap-contiguous, so each tap's
+/// multiplier is loop-invariant across its whole sweep and the backend's flat
+/// vector kernel applies unchanged per block. Instantiated by each backend
+/// with its own flat kernel so the per-tap entry inherits that backend's
+/// vector path (and its scalar fallback for out-of-regime multipliers).
+template <typename RequantFn>
+inline void requant_s32_s8_taps_with(RequantFn&& requant, const std::int32_t* acc,
+                                     std::int8_t* dst, std::int64_t taps, std::int64_t per_tap,
+                                     const quant::FixedPointMultiplier* mults) {
+  for (std::int64_t ab = 0; ab < taps; ++ab) {
+    requant(acc + ab * per_tap, dst + ab * per_tap, per_tap, mults[ab]);
+  }
+}
+
+/// Per-tap quantize driver, same shape as requant_s32_s8_taps_with: `taps`
+/// contiguous blocks of `per_tap` floats, block ab quantized at
+/// inv_scales[ab]. Keeping the tap loop inside the backend TU matters: the
+/// blocked executor's V slabs are tap-major with short rows (one per tile
+/// block), so a per-call dispatch per tap would dominate the sweep.
+template <typename QuantizeFn>
+inline void quantize_f32_s8_taps_with(QuantizeFn&& quantize, const float* src, std::int8_t* dst,
+                                      std::int64_t taps, std::int64_t per_tap,
+                                      const float* inv_scales) {
+  for (std::int64_t ab = 0; ab < taps; ++ab) {
+    quantize(src + ab * per_tap, dst + ab * per_tap, per_tap, inv_scales[ab]);
+  }
+}
+
+}  // namespace wa::backend::simd

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "backend/simd/kernel_table.hpp"
+#include "backend/simd/requant_common.hpp"
 #include "tensor/arena.hpp"
 #include "winograd/small_mat.hpp"
 
@@ -58,11 +59,19 @@ void quantize_f32_s8_scalar(const float* src, std::int8_t* dst, std::int64_t n, 
   }
 }
 
+void quantize_f32_s8_taps_scalar(const float* src, std::int8_t* dst, std::int64_t taps,
+                                 std::int64_t per_tap, const float* inv_scales) {
+  quantize_f32_s8_taps_with(quantize_f32_s8_scalar, src, dst, taps, per_tap, inv_scales);
+}
+
 void requant_s32_s8_scalar(const std::int32_t* acc, std::int8_t* dst, std::int64_t n,
                            quant::FixedPointMultiplier mult) {
-  for (std::int64_t i = 0; i < n; ++i) {
-    dst[i] = static_cast<std::int8_t>(quant::saturate(quant::apply_multiplier(acc[i], mult), 8));
-  }
+  requant_s32_s8_ref(acc, dst, n, mult);
+}
+
+void requant_s32_s8_taps_scalar(const std::int32_t* acc, std::int8_t* dst, std::int64_t taps,
+                                std::int64_t per_tap, const quant::FixedPointMultiplier* mults) {
+  requant_s32_s8_taps_with(requant_s32_s8_scalar, acc, dst, taps, per_tap, mults);
 }
 
 void wino_scatter_f32_scalar(const std::int8_t* plane, std::int64_t height, std::int64_t width,
@@ -103,7 +112,7 @@ void wino_scatter_f32_scalar(const std::int8_t* plane, std::int64_t height, std:
   }
 }
 
-void wino_gather_f32_scalar(const std::int8_t* m_base, std::int64_t ab_stride, float sm,
+void wino_gather_f32_scalar(const std::int8_t* m_base, std::int64_t ab_stride, const float* sm,
                             const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
                             std::int64_t tw, std::int64_t oh, std::int64_t ow, float bias,
                             float* oplane) {
@@ -112,7 +121,7 @@ void wino_gather_f32_scalar(const std::int8_t* m_base, std::int64_t ab_stride, f
     for (std::int64_t tj = 0; tj < tw; ++tj) {
       const std::int8_t* src = m_base + ti * tw + tj;
       for (std::int64_t ab = 0; ab < t * t; ++ab) {
-        mtile[ab] = static_cast<float>(src[ab * ab_stride]) * sm;
+        mtile[ab] = static_cast<float>(src[ab * ab_stride]) * sm[ab];
       }
       wino::smm_sandwich(at, static_cast<int>(m), static_cast<int>(t), mtile, tmp, y);
       for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a) {
@@ -198,18 +207,18 @@ void gemm_u8s8_s32_k4_scalar(std::int64_t m, std::int64_t n, std::int64_t kpad,
   }
 }
 
-void wino_gather_q_s8_scalar(const std::int8_t* m_block, std::int64_t block_stride, float sm,
-                             const float* at, std::int64_t t, std::int64_t m, std::int64_t th,
-                             std::int64_t tw, std::int64_t tile0, std::int64_t ntiles,
-                             std::int64_t oh, std::int64_t ow, float bias, float o_inv,
-                             std::int8_t* oplane) {
+void wino_gather_q_s8_scalar(const std::int8_t* m_block, std::int64_t block_stride,
+                             const float* sm, const float* at, std::int64_t t, std::int64_t m,
+                             std::int64_t th, std::int64_t tw, std::int64_t tile0,
+                             std::int64_t ntiles, std::int64_t oh, std::int64_t ow, float bias,
+                             float o_inv, std::int8_t* oplane) {
   (void)th;
   float mtile[wino::kSmallMatCap], tmp[wino::kSmallMatCap], y[wino::kSmallMatCap];
   for (std::int64_t idx = 0; idx < ntiles; ++idx) {
     const std::int64_t ti = (tile0 + idx) / tw, tj = (tile0 + idx) % tw;
     const std::int8_t* src = m_block + idx;
     for (std::int64_t ab = 0; ab < t * t; ++ab) {
-      mtile[ab] = static_cast<float>(src[ab * block_stride]) * sm;
+      mtile[ab] = static_cast<float>(src[ab * block_stride]) * sm[ab];
     }
     wino::smm_sandwich(at, static_cast<int>(m), static_cast<int>(t), mtile, tmp, y);
     for (std::int64_t a = 0; a < m && ti * m + a < oh; ++a) {
@@ -233,7 +242,9 @@ const KernelTable& scalar_kernels() {
     t.gemm_s8_s32 = gemm_s8_s32_scalar;
     t.gemm_f32_packed_nn = gemm_f32_packed_nn_scalar;
     t.quantize_f32_s8 = quantize_f32_s8_scalar;
+    t.quantize_f32_s8_taps = quantize_f32_s8_taps_scalar;
     t.requant_s32_s8 = requant_s32_s8_scalar;
+    t.requant_s32_s8_taps = requant_s32_s8_taps_scalar;
     t.wino_scatter_f32 = wino_scatter_f32_scalar;
     t.wino_gather_f32 = wino_gather_f32_scalar;
     t.wino_scatter_block_f32 = wino_scatter_block_f32_scalar;

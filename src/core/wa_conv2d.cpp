@@ -34,6 +34,16 @@ WinogradAwareConv2d::WinogradAwareConv2d(nn::Conv2dOptions opts, Rng& rng) : opt
   stages_.spec_v = opts.qspec_v;
   stages_.spec_m = opts.qspec_m;
   stages_.spec_y = opts.qspec_y;
+  if (opts.tap_group_size < 0) {
+    throw std::invalid_argument("WinogradAwareConv2d: tap_group_size must be >= 0");
+  }
+  if (opts.tap_group_size > 0 && opts.qspec.is_affine()) {
+    // The per-tap grid is symmetric-only — it must match the symmetric int8
+    // executor's deployed quantization exactly.
+    throw std::invalid_argument(
+        "WinogradAwareConv2d: per-tap scales require a symmetric scheme");
+  }
+  stages_.tap_group_size = opts.tap_group_size;
 }
 
 ag::Variable WinogradAwareConv2d::forward(const ag::Variable& input) {

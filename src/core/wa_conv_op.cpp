@@ -47,6 +47,20 @@ void fake_quant_stage(Tensor& x, quant::RangeObserver& obs, const QuantSpec& spe
   }
 }
 
+/// Per-tap variant for the transform-domain stages: x is one of the op's
+/// [groups, t*t, ...] tensors (taps on axis 1). Ranges are tracked per group
+/// of `group_size` contiguous taps and the fake-quant grid is the expanded
+/// per-tap scale vector — the same grid the deployed per-tap executor
+/// quantizes against. Symmetric schemes only (enforced at layer construction).
+void fake_quant_stage_taps(Tensor& x, quant::TapRangeObserver& obs, std::int64_t taps,
+                           std::int64_t group_size, const QuantSpec& spec, bool training,
+                           std::vector<std::uint8_t>* mask) {
+  if (spec.is_float()) return;
+  obs.configure(taps, group_size);
+  if (training) obs.observe(x, /*tap_dim=*/1);
+  quant::fake_quant_taps_(x, obs.scale_vector(spec), /*tap_dim=*/1, spec, mask);
+}
+
 void apply_mask(Tensor& t, const std::vector<std::uint8_t>& mask) {
   if (mask.empty()) return;
   auto d = t.data();
@@ -85,7 +99,20 @@ std::uint64_t u_cache_key(const Tensor& w, const Tensor& g, const Tensor* u_mask
   } qx{stages.u.tracked_min(), stages.u.tracked_max(),
        static_cast<std::int32_t>(stages.u.initialized()), spec.bits,
        static_cast<std::int32_t>(spec.scheme)};
-  return fnv1a(&qx, sizeof(qx), h);
+  h = fnv1a(&qx, sizeof(qx), h);
+  if (stages.per_tap()) {
+    // Per-tap U ranges determine the cached tensor too: any group's tracked
+    // interval moving must invalidate the cache.
+    h = fnv1a(&stages.tap_group_size, sizeof(stages.tap_group_size), h);
+    for (const quant::RangeObserver& g : stages.u_taps.groups()) {
+      const struct {
+        float mn, mx;
+        std::int32_t init;
+      } tg{g.tracked_min(), g.tracked_max(), static_cast<std::int32_t>(g.initialized())};
+      h = fnv1a(&tg, sizeof(tg), h);
+    }
+  }
+  return h;
 }
 
 }  // namespace
@@ -153,7 +180,12 @@ ag::Variable winograd_aware_conv2d(const ag::Variable& input, const ag::Variable
         }
       }
     }
-    fake_quant_stage(u, stages.u, stages.u_spec(), training, &saved->mask_u);
+    if (stages.per_tap()) {
+      fake_quant_stage_taps(u, stages.u_taps, tt, stages.tap_group_size, stages.u_spec(),
+                            training, &saved->mask_u);
+    } else {
+      fake_quant_stage(u, stages.u, stages.u_spec(), training, &saved->mask_u);
+    }
     if (u_mask != nullptr && !u_mask->empty()) {
       // Winograd-domain pruning: zero masked U entries and fold the mask into
       // the STE mask so backward drops their gradients too (the pruned
@@ -215,13 +247,23 @@ ag::Variable winograd_aware_conv2d(const ag::Variable& input, const ag::Variable
       }
     }
   }
-  fake_quant_stage(v, stages.v, stages.v_spec(), training, &saved->mask_v);
+  if (stages.per_tap()) {
+    fake_quant_stage_taps(v, stages.v_taps, tt, stages.tap_group_size, stages.v_spec(), training,
+                          &saved->mask_v);
+  } else {
+    fake_quant_stage(v, stages.v, stages.v_spec(), training, &saved->mask_v);
+  }
 
   // ---- 3) Hadamard + channel sum: t² GEMMs --------------------------------
   Tensor mm(Shape{groups, tt, kg, np});
   gemm_batched_f32(false, false, groups * tt, kg, np, cg, u.raw(), kg * cg, v.raw(), cg * np,
                    mm.raw(), kg * np);
-  fake_quant_stage(mm, stages.m, stages.m_spec(), training, &saved->mask_m);
+  if (stages.per_tap()) {
+    fake_quant_stage_taps(mm, stages.m_taps, tt, stages.tap_group_size, stages.m_spec(), training,
+                          &saved->mask_m);
+  } else {
+    fake_quant_stage(mm, stages.m, stages.m_spec(), training, &saved->mask_m);
+  }
 
   // ---- 4) output transform Y = Qx(Aᵀ M A), scatter -----------------------
   Tensor out(Shape{geom.batch, geom.out_channels, oh, ow});

@@ -45,6 +45,20 @@ struct WaQuantStages {
   quant::RangeObserver m{quant::RangeObserver::Mode::kEma};     // Hadamard
   quant::RangeObserver y{quant::RangeObserver::Mode::kEma};     // Aᵀ M A
 
+  /// Taps per scale group for the transform-domain stages. 0 = legacy
+  /// per-tensor scales through the scalar observers above. > 0: U, V and M
+  /// fake-quantize per tap (axis 1 of the op's [groups, t*t, ...] layouts)
+  /// with ranges tracked by the tap observers below, grouped in contiguous
+  /// runs of this many taps — so QAT trains against exactly the grid the
+  /// per-tap int8 executor deploys. Y keeps the per-tensor observer either
+  /// way (it is a pixel-domain tensor; there is no tap axis to key on).
+  std::int64_t tap_group_size = 0;
+  bool per_tap() const { return tap_group_size > 0; }
+
+  quant::TapRangeObserver u_taps{quant::RangeObserver::Mode::kMinMax};
+  quant::TapRangeObserver v_taps{quant::RangeObserver::Mode::kEma};
+  quant::TapRangeObserver m_taps{quant::RangeObserver::Mode::kEma};
+
   const quant::QuantSpec& u_spec() const { return spec_u ? *spec_u : spec; }
   const quant::QuantSpec& v_spec() const { return spec_v ? *spec_v : spec; }
   const quant::QuantSpec& m_spec() const { return spec_m ? *spec_m : spec; }

@@ -90,11 +90,14 @@ std::string stage_where(const Int8Pipeline::Node& node, std::size_t index) {
 
 void ConvStage::prepare() {
   if (nn::is_winograd(algo)) {
-    wino_cache =
-        backend::prepare_winograd_weights_s8(weights_f, transforms, stage_scales.weights_transformed);
+    wino_cache = backend::prepare_winograd_weights_s8(weights_f, transforms,
+                                                      stage_scales.weights_transformed,
+                                                      stage_scales.weights_transformed_taps);
     // The derived scale is now frozen: per-forward scale rediscovery would
-    // otherwise disagree with the cached levels.
+    // otherwise disagree with the cached levels. Per-tap U scales travel the
+    // same way (the cache records the vector it baked).
     stage_scales.weights_transformed = wino_cache.scale;
+    stage_scales.weights_transformed_taps = wino_cache.tap_scales;
     weights_f = Tensor();  // only the cached U is consulted from here on
   } else {
     im2row_cache = backend::prepare_im2row_weights_s8(weights_q);
@@ -664,12 +667,30 @@ void Int8Pipeline::freeze_scales(const Tensor& calibration) {
   // Internal Winograd scales (V, M) are derived inside the kernel and never
   // surfaced, so a calibration forward cannot capture them.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (const auto* st = std::get_if<ConvStage>(&nodes_[i].op);
-        st != nullptr && nn::is_winograd(st->algo) &&
-        (st->stage_scales.input_transformed <= 0.F || st->stage_scales.hadamard <= 0.F)) {
+    const auto* st = std::get_if<ConvStage>(&nodes_[i].op);
+    if (st == nullptr || !nn::is_winograd(st->algo)) continue;
+    const std::string label =
+        nodes_[i].io.label.empty() ? "stage " + std::to_string(i) : nodes_[i].io.label;
+    // Per-tap stages must arrive fully frozen from training: a calibration
+    // forward can no more capture one dynamic tap than a dynamic tensor
+    // scale. Name the exact stage and tap so the fix is obvious.
+    const auto check_taps = [&](const std::vector<float>& taps, const char* stage_name) {
+      for (std::size_t ab = 0; ab < taps.size(); ++ab) {
+        if (taps[ab] <= 0.F) {
+          throw std::invalid_argument(
+              "Int8Pipeline::freeze_scales: " + label + " Winograd stage " + stage_name +
+              " tap " + std::to_string(ab) +
+              " has a dynamic per-tap scale that only the kernel sees — per-tap scale vectors "
+              "must arrive fully frozen from training");
+        }
+      }
+    };
+    check_taps(st->stage_scales.weights_transformed_taps, "U");
+    check_taps(st->stage_scales.input_transformed_taps, "V");
+    check_taps(st->stage_scales.hadamard_taps, "M");
+    if (st->stage_scales.input_transformed <= 0.F || st->stage_scales.hadamard <= 0.F) {
       throw std::invalid_argument(
-          "Int8Pipeline::freeze_scales: " +
-          (nodes_[i].io.label.empty() ? "stage " + std::to_string(i) : nodes_[i].io.label) +
+          "Int8Pipeline::freeze_scales: " + label +
           " has dynamic internal Winograd scales (V/M) that only the kernel sees — deploy it "
           "with observer-frozen stage scales (compile_lenet/compile_resnet18 do)");
     }
@@ -761,9 +782,29 @@ ConvStage compile_conv(nn::Module& layer, const std::string& name, bool relu_aft
     st.transforms.bt_mat = wa->bt_mat().value();
     st.transforms.at_mat = wa->at_mat().value();
     auto& stg = wa->stages();
-    st.stage_scales.weights_transformed = stg.u.scale(kInt8);
-    st.stage_scales.input_transformed = observer_scale_checked(stg.v, name + ".v");
-    st.stage_scales.hadamard = observer_scale_checked(stg.m, name + ".m");
+    if (stg.per_tap()) {
+      // Per-tap QAT: freeze each transform-domain stage to the expanded scale
+      // vector its tap observer tracked — exactly the grid training quantized
+      // against. The scalar fields carry tap 0 as a representative so every
+      // "> 0 == frozen" predicate in deploy keeps working unchanged.
+      const auto vector_checked = [](quant::TapRangeObserver& obs, const std::string& w) {
+        if (!obs.configured() || !obs.initialized()) {
+          throw std::invalid_argument("compile: per-tap observer never calibrated at " + w +
+                                      " — train or run a calibration pass first");
+        }
+        return obs.scale_vector(kInt8).scales;
+      };
+      st.stage_scales.weights_transformed_taps = vector_checked(stg.u_taps, name + ".u");
+      st.stage_scales.input_transformed_taps = vector_checked(stg.v_taps, name + ".v");
+      st.stage_scales.hadamard_taps = vector_checked(stg.m_taps, name + ".m");
+      st.stage_scales.weights_transformed = st.stage_scales.weights_transformed_taps.front();
+      st.stage_scales.input_transformed = st.stage_scales.input_transformed_taps.front();
+      st.stage_scales.hadamard = st.stage_scales.hadamard_taps.front();
+    } else {
+      st.stage_scales.weights_transformed = stg.u.scale(kInt8);
+      st.stage_scales.input_transformed = observer_scale_checked(stg.v, name + ".v");
+      st.stage_scales.hadamard = observer_scale_checked(stg.m, name + ".m");
+    }
     st.stage_scales.output = observer_scale_checked(stg.y, name + ".y");
     st.output_scale = st.stage_scales.output;
     if (wa->options().bias) st.bias = wa->bias().value();

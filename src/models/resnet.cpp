@@ -105,6 +105,7 @@ ResNet18::ResNet18(const ResNetConfig& cfg, const ConvBuilder& build, Rng& rng) 
   block_opts.qspec_v = cfg.qspec_v;
   block_opts.qspec_m = cfg.qspec_m;
   block_opts.qspec_y = cfg.qspec_y;
+  block_opts.tap_group_size = cfg.tap_group_size;
 
   std::int64_t in_ch = stem;
   for (int stage = 1; stage <= 4; ++stage) {

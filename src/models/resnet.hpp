@@ -34,6 +34,12 @@ struct ResNetConfig {
   /// Per-stage bit-width overrides for the Winograd Qx stages (quantization
   /// diversity, §3.2); forwarded to every Winograd-aware block conv.
   std::optional<quant::QuantSpec> qspec_u, qspec_v, qspec_m, qspec_y;
+  /// Taps per scale group for the transform-domain Qx stages (0 = legacy
+  /// per-tensor); forwarded to every Winograd-aware block conv. Per-tap
+  /// scales are what make the larger-tile configurations (F4/F6) deployable
+  /// at production accuracy — one scale per Winograd tap instead of one per
+  /// tensor. Symmetric schemes only.
+  std::int64_t tap_group_size = 0;
   /// Checkpoint each residual block during training (paper §7: "we had to
   /// rely on gradient checkpointing to lower the memory peak"): block
   /// intermediates are recomputed in backward instead of being retained.

@@ -55,6 +55,14 @@ struct Conv2dOptions {
   /// diversity", §3.2). Unset stages use qspec. Ignored by non-Winograd
   /// algorithms.
   std::optional<quant::QuantSpec> qspec_u, qspec_v, qspec_m, qspec_y;
+  /// Taps per scale group for the Winograd transform-domain stages (U, V, M).
+  /// 0 keeps the legacy per-tensor scalar scale. t*t is one group — scalar-
+  /// equivalent ranges, but trained and deployed through the vector path;
+  /// 1 is fully tap-wise (Andri et al.), the setting that recovers int8
+  /// accuracy at F4/F6; intermediate values are Pan et al.-style groups.
+  /// Symmetric schemes only (the int8 deploy path is symmetric); ignored by
+  /// non-Winograd algorithms. Y stays per-tensor — it is pixel-domain.
+  std::int64_t tap_group_size = 0;
 };
 
 }  // namespace wa::nn

@@ -3,6 +3,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "quant/qparams.hpp"
 #include "quant/quant.hpp"
@@ -29,8 +33,13 @@ class RangeObserver {
   /// Update the tracked range from a batch (training / calibration).
   void observe(const Tensor& x) {
     if (x.empty()) return;
-    const float lo = x.min();
-    const float hi = x.max();
+    observe_range(x.min(), x.max());
+  }
+
+  /// Update from a pre-computed [lo, hi] batch range (the per-tap observer
+  /// feeds each tap group's slice range through here, so both granularities
+  /// share one min-max/EMA rule).
+  void observe_range(float lo, float hi) {
     if (mode_ == Mode::kMinMax || !initialized_) {
       min_ = lo;
       max_ = hi;
@@ -88,6 +97,97 @@ class RangeObserver {
   float min_ = 0.F;
   float max_ = 0.F;
   bool initialized_ = false;
+};
+
+/// Per-tap range tracking for Winograd transform-domain tensors.
+///
+/// The tracked tensor carries its taps on one axis (dim 1 of the op's
+/// [groups, t*t, ...] layouts); each batch is swept once to get per-tap
+/// [lo, hi], collapsed over groups of `group_size` contiguous taps, and each
+/// group's range feeds a RangeObserver — so kMinMax/kEma semantics are
+/// exactly the per-tensor observer's, applied per group. group_size == taps
+/// degenerates to one group, whose tracked range then matches the per-tensor
+/// observer on the same data bit-for-bit.
+class TapRangeObserver {
+ public:
+  explicit TapRangeObserver(RangeObserver::Mode mode = RangeObserver::Mode::kEma,
+                            float ema_momentum = 0.95F)
+      : mode_(mode), momentum_(ema_momentum) {}
+
+  /// Fix the tap-axis geometry. Re-configuring with different values resets
+  /// the tracked state (a layer's tile size changed; old ranges are
+  /// meaningless). group_size must divide into taps' grouping cleanly at the
+  /// last group only (the final group may be short).
+  void configure(std::int64_t taps, std::int64_t group_size) {
+    if (taps == taps_ && group_size == group_size_) return;
+    if (taps <= 0 || group_size <= 0) {
+      throw std::invalid_argument("TapRangeObserver: taps and group_size must be positive");
+    }
+    taps_ = taps;
+    group_size_ = std::min(group_size, taps);
+    groups_.assign(static_cast<std::size_t>((taps_ + group_size_ - 1) / group_size_),
+                   RangeObserver(mode_, momentum_));
+  }
+
+  /// Update per-group ranges from a batch; `tap_dim` is the axis carrying
+  /// the taps (must have extent == configured taps).
+  void observe(const Tensor& x, std::int64_t tap_dim) {
+    if (x.empty() || groups_.empty()) return;
+    if (x.size(tap_dim) != taps_) {
+      throw std::invalid_argument("TapRangeObserver: axis carries " +
+                                  std::to_string(x.size(tap_dim)) + " taps, configured for " +
+                                  std::to_string(taps_));
+    }
+    std::int64_t inner = 1;
+    for (std::int64_t d = tap_dim + 1; d < x.dim(); ++d) inner *= x.size(d);
+    const std::size_t ng = groups_.size();
+    std::vector<float> lo(ng, std::numeric_limits<float>::infinity());
+    std::vector<float> hi(ng, -std::numeric_limits<float>::infinity());
+    const auto d = x.data();
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const auto g = static_cast<std::size_t>(
+          ((static_cast<std::int64_t>(i) / inner) % taps_) / group_size_);
+      lo[g] = std::min(lo[g], d[i]);
+      hi[g] = std::max(hi[g], d[i]);
+    }
+    for (std::size_t g = 0; g < ng; ++g) groups_[g].observe_range(lo[g], hi[g]);
+  }
+
+  /// Expanded per-tap scale vector for the tracked ranges (scale_for per
+  /// group, the same rule the per-tensor observer applies to its one range).
+  ScaleVector scale_vector(const QuantSpec& spec) const {
+    ScaleVector sv;
+    sv.group_size = group_size_;
+    sv.scales.resize(static_cast<std::size_t>(taps_));
+    for (std::int64_t tap = 0; tap < taps_; ++tap) {
+      const RangeObserver& g = groups_[static_cast<std::size_t>(tap / group_size_)];
+      sv.scales[static_cast<std::size_t>(tap)] =
+          scale_for(g.initialized() ? g.tracked_abs_max() : 1.F, spec);
+    }
+    return sv;
+  }
+
+  std::int64_t taps() const { return taps_; }
+  std::int64_t group_size() const { return group_size_; }
+  bool configured() const { return !groups_.empty(); }
+  bool initialized() const {
+    for (const RangeObserver& g : groups_) {
+      if (!g.initialized()) return false;
+    }
+    return !groups_.empty();
+  }
+  /// Per-group observers (hashing / diagnostics).
+  const std::vector<RangeObserver>& groups() const { return groups_; }
+  void reset() {
+    for (RangeObserver& g : groups_) g.reset();
+  }
+
+ private:
+  RangeObserver::Mode mode_;
+  float momentum_;
+  std::int64_t taps_ = 0;
+  std::int64_t group_size_ = 0;
+  std::vector<RangeObserver> groups_;
 };
 
 }  // namespace wa::quant

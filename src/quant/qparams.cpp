@@ -131,6 +131,47 @@ Tensor fake_quant_qparams(const Tensor& x, const QParams& params, const QuantSpe
   return out;
 }
 
+std::int64_t fake_quant_taps_(Tensor& x, const ScaleVector& sv, std::int64_t tap_dim,
+                              const QuantSpec& spec, std::vector<std::uint8_t>* clip_mask) {
+  auto d = x.data();
+  if (spec.is_float()) {
+    if (clip_mask) clip_mask->assign(d.size(), 1);
+    return 0;
+  }
+  const AxisGeom g = axis_geom(x, tap_dim);
+  if (g.channels != sv.taps()) {
+    throw std::invalid_argument("fake_quant_taps_: ScaleVector carries " +
+                                std::to_string(sv.taps()) + " taps but axis has " +
+                                std::to_string(g.channels));
+  }
+  // Per-tap reciprocals hoisted out of the element loop: the element
+  // expression must stay exactly fake_quant_'s (x * (1/s), nearbyint, clip,
+  // q * s) so a splat vector reproduces the scalar path bit-for-bit and the
+  // training grid matches the deployed executor's reciprocal-multiply
+  // quantization.
+  std::vector<float> inv(sv.scales.size());
+  for (std::size_t tap = 0; tap < inv.size(); ++tap) inv[tap] = 1.F / sv.scales[tap];
+  const float qmax = static_cast<float>(spec.qmax());
+  std::int64_t clipped = 0;
+  if (clip_mask) clip_mask->assign(d.size(), 1);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto tap = static_cast<std::size_t>(
+        (static_cast<std::int64_t>(i) / g.inner) % g.channels);
+    float q = std::nearbyint(d[i] * inv[tap]);
+    if (q > qmax) {
+      q = qmax;
+      ++clipped;
+      if (clip_mask) (*clip_mask)[i] = 0;
+    } else if (q < -qmax) {
+      q = -qmax;
+      ++clipped;
+      if (clip_mask) (*clip_mask)[i] = 0;
+    }
+    d[i] = q * sv.scales[tap];
+  }
+  return clipped;
+}
+
 std::vector<std::int32_t> quantize_levels_qparams(const Tensor& x, const QParams& params,
                                                   const QuantSpec& spec) {
   const AxisGeom g = axis_geom(x, params.channel_dim);

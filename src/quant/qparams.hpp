@@ -42,6 +42,57 @@ struct QParams {
   static QParams per_tensor(float scale) { return QParams{{scale}, {0}, -1}; }
 };
 
+/// A scale per transform-domain tap (with optional contiguous grouping),
+/// degenerating to the per-tensor scalar case.
+///
+/// Winograd's transform-domain tensors (V, M, U) carry t*t "taps" — the
+/// (a,b) positions of the t x t element-wise product — whose dynamic ranges
+/// differ wildly at larger tiles (the F4/F6 accuracy cliff; Andri et al.'s
+/// tap-wise quantization). A ScaleVector assigns one scale per tap, derived
+/// per group of `group_size` contiguous taps (group_size == taps is the
+/// legacy per-tensor case; 1 is fully tap-wise). Storage is always the
+/// EXPANDED per-tap vector so consumers (fake-quant, the int8 executors,
+/// serialization) never re-derive grouping; `group_size` records provenance.
+struct ScaleVector {
+  /// One scale per tap (size == tap count). Empty means "unset": consumers
+  /// fall back to their per-tensor scalar path.
+  std::vector<float> scales;
+  /// Taps per scale group when the vector was derived (0 = unset/per-tensor).
+  /// scales[tap] == group scale of group tap / group_size.
+  std::int64_t group_size = 0;
+
+  bool empty() const { return scales.empty(); }
+  std::int64_t taps() const { return static_cast<std::int64_t>(scales.size()); }
+
+  /// True when every tap shares one scale (the scalar-degenerate case — the
+  /// executors then take their legacy uniform sweeps).
+  bool uniform() const {
+    for (const float s : scales) {
+      if (s != scales.front()) return false;
+    }
+    return true;
+  }
+
+  /// Constant vector: the scalar case widened to `taps` entries (how v1-v3
+  /// artifacts and per-tensor-trained stages enter the per-tap machinery).
+  static ScaleVector splat(float scale, std::int64_t taps) {
+    ScaleVector sv;
+    sv.scales.assign(static_cast<std::size_t>(taps), scale);
+    sv.group_size = taps;
+    return sv;
+  }
+};
+
+/// Fake-quantize in place with one symmetric scale per tap slice along
+/// `tap_dim`. Element semantics are exactly fake_quant_'s (multiply by the
+/// reciprocal, nearbyint, clip at ±qmax) with the tap's scale — a splat
+/// ScaleVector is bit-identical to the scalar call, and the grid matches
+/// what the deployed int8 executor quantizes V against (it, too, multiplies
+/// by reciprocals). Returns the clipped count; `clip_mask` as in fake_quant_.
+std::int64_t fake_quant_taps_(Tensor& x, const ScaleVector& sv, std::int64_t tap_dim,
+                              const QuantSpec& spec,
+                              std::vector<std::uint8_t>* clip_mask = nullptr);
+
 /// Integer range of a spec under a scheme. Symmetric uses ±qmax (no negative-
 /// extreme asymmetry); affine uses the full two's-complement range.
 struct QRange {

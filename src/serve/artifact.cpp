@@ -130,6 +130,14 @@ void save_conv(std::ostream& os, const ConvStage& st) {
     // blocked hot path without re-packing; pre-v3 readers never see it.
     save_vector(os, st.wino_cache.u_blocked);
     save_pod(os, st.wino_cache.padded_in_channels);
+    // v4: per-tap scale vectors for the transform-domain stages plus the
+    // per-tap scales the U cache was baked at. Empty = per-tensor (the
+    // scalar stage_scales fields rule), so legacy stages cost four empty
+    // counts and nothing else.
+    save_vector(os, st.stage_scales.weights_transformed_taps);
+    save_vector(os, st.stage_scales.input_transformed_taps);
+    save_vector(os, st.stage_scales.hadamard_taps);
+    save_vector(os, st.wino_cache.tap_scales);
   } else {
     save_vector(os, st.im2row_cache.wt);
     save_pod(os, st.im2row_cache.scale);
@@ -208,6 +216,40 @@ ConvStage load_conv(std::istream& is, std::uint32_t version) {
       // levels so old models still land on the fused hot path after load.
       backend::build_blocked_u(st.wino_cache);
     }
+    if (version >= 4) {
+      st.stage_scales.weights_transformed_taps = load_vector<float>(is);
+      st.stage_scales.input_transformed_taps = load_vector<float>(is);
+      st.stage_scales.hadamard_taps = load_vector<float>(is);
+      st.wino_cache.tap_scales = load_vector<float>(is);
+      // Same philosophy as the cache checks above: the executor indexes the
+      // tap vectors by [t²] unchecked and trusts U levels to match the
+      // recorded tap scales, so shape and consistency must hold before any
+      // forward runs.
+      const auto check_taps = [&](const std::vector<float>& v, const char* name) {
+        if (v.empty()) return;
+        if (static_cast<std::int64_t>(v.size()) != t * t) {
+          throw std::runtime_error("load_pipeline: " + std::string(name) +
+                                   " tap-scale vector disagrees with the stage's t*t");
+        }
+        for (const float s : v) {
+          if (!(s > 0.F)) {
+            throw std::runtime_error("load_pipeline: " + std::string(name) +
+                                     " tap-scale vector has a non-positive entry");
+          }
+        }
+      };
+      check_taps(st.stage_scales.weights_transformed_taps, "weights_transformed");
+      check_taps(st.stage_scales.input_transformed_taps, "input_transformed");
+      check_taps(st.stage_scales.hadamard_taps, "hadamard");
+      check_taps(st.wino_cache.tap_scales, "U-cache");
+      if (st.stage_scales.weights_transformed_taps != st.wino_cache.tap_scales) {
+        throw std::runtime_error(
+            "load_pipeline: per-tap U stage scales disagree with the cached U's tap scales");
+      }
+    }
+    // Pre-v4 stages keep empty tap vectors: per-tensor semantics — the
+    // scalar scales widen to constant per-tap vectors only inside kernels
+    // that want one.
   } else {
     st.im2row_cache.wt = load_vector<std::int8_t>(is);
     st.im2row_cache.scale = load_pod<float>(is);

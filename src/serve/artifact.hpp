@@ -20,15 +20,20 @@
 // Version 2 extends every stage record with its fused epilogue ops and
 // appends the optimizer's static memory plan, so an optimized pipeline
 // round-trips with its plan intact and serves with the planned peak-memory
-// behavior immediately after load. Version 3 (the current writer) extends
-// Winograd conv stages with the channel-blocked offset-binary U cache
-// (u_blocked + padded_in_channels) that the fused streaming executor
-// consumes, so the first forward after load hits the blocked hot path
-// without re-packing. Version 1 and 2 artifacts remain loadable bit-for-bit
-// — the checked-in fixture tests/data/golden_v1.wam locks that promise for
-// v1, and the loader rebuilds the blocked U from the flat levels for both —
-// and a plan or cache section that fails validation rejects the artifact
-// instead of executing with corrupt state.
+// behavior immediately after load. Version 3 extends Winograd conv stages
+// with the channel-blocked offset-binary U cache (u_blocked +
+// padded_in_channels) that the fused streaming executor consumes, so the
+// first forward after load hits the blocked hot path without re-packing.
+// Version 4 (the current writer) appends the per-tap scale vectors of each
+// Winograd stage (U/V/M tap vectors plus the per-tap U-cache scales) —
+// empty vectors mean per-tensor, so legacy scalar stages cost four empty
+// counts. Version 1-3 artifacts remain loadable bit-for-bit — the
+// checked-in fixtures tests/data/golden_v1.wam and golden_v3.wam lock that
+// promise, the loader rebuilds the blocked U from the flat levels for
+// v1/v2, and pre-v4 stages simply load with empty tap vectors (their scalar
+// scales widen to constant per-tap vectors only inside kernels that want
+// one) — and a plan or cache section that fails validation rejects the
+// artifact instead of executing with corrupt state.
 //
 // The byte-level specification of the format — field-by-field stage bodies,
 // integer encodings, evolution rules for new tags and versions — lives in
@@ -44,9 +49,9 @@
 namespace wa::serve {
 
 /// Current writer version. Loaders accept this and all older versions
-/// listed in docs/WAM_FORMAT.md (currently v1 and v2), rejecting anything
-/// newer or unknown.
-constexpr std::uint32_t kWamVersion = 3;
+/// listed in docs/WAM_FORMAT.md (currently v1, v2 and v3), rejecting
+/// anything newer or unknown.
+constexpr std::uint32_t kWamVersion = 4;
 
 void save_pipeline(std::ostream& os, const deploy::Int8Pipeline& pipe);
 void save_pipeline(const std::string& path, const deploy::Int8Pipeline& pipe);

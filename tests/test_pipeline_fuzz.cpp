@@ -1,7 +1,9 @@
 // Differential fuzz harness for the pass-based optimizer: hundreds of
-// seeded, randomly generated — but valid — StageIO graphs (im2row/F2/F4
-// convs, linears, batch-norms, requants, relus, max/avg pools, branchy
-// residual wirings, odd shapes, mixed frozen/dynamic scales) must produce
+// seeded, randomly generated — but valid — StageIO graphs (im2row/F2/F4/F6
+// convs — the Winograd ones mixing per-tensor and per-tap stage scales with
+// random tap group sizes — linears, batch-norms, requants, relus, max/avg
+// pools, branchy residual wirings, odd shapes, mixed frozen/dynamic scales)
+// must produce
 // BIT-IDENTICAL logits with the optimizer on and off, on every SIMD backend
 // this machine can run. This is the lockdown that lets fusion, dead-stage
 // elimination and the memory planner's in-place rewrites evolve without a
@@ -67,11 +69,25 @@ struct SlotInfo {
   float scl;
 };
 
+/// A frozen per-tap scale vector: t2 positive entries, constant within each
+/// contiguous run of `gs` taps — the shape the tap-grouped observers emit.
+std::vector<float> make_tap_scales(Gen& g, std::int64_t t2) {
+  const std::int64_t gs_pick = g.pick(0, 2);
+  const std::int64_t gs = gs_pick == 0 ? 1 : gs_pick == 1 ? t2 : g.pick(2, t2 - 1);
+  std::vector<float> taps(static_cast<std::size_t>(t2));
+  float cur = g.scale();
+  for (std::int64_t i = 0; i < t2; ++i) {
+    if (i % gs == 0) cur = g.scale();
+    taps[static_cast<std::size_t>(i)] = cur;
+  }
+  return taps;
+}
+
 ConvStage make_conv(Gen& g, Rng& wrng, std::int64_t in_ch, std::int64_t out_ch,
                     std::int64_t kernel, std::int64_t pad, float in_s, float out_s,
                     bool winograd_ok) {
   ConvStage st;
-  const std::int64_t algo_pick = winograd_ok && kernel == 3 ? g.pick(0, 2) : 0;
+  const std::int64_t algo_pick = winograd_ok && kernel == 3 ? g.pick(0, 3) : 0;
   st.in_channels = in_ch;
   st.out_channels = out_ch;
   st.kernel = kernel;
@@ -84,13 +100,38 @@ ConvStage make_conv(Gen& g, Rng& wrng, std::int64_t in_ch, std::int64_t out_ch,
         backend::quantize_s8(Tensor::randn({out_ch, in_ch, kernel, kernel}, wrng, 0.3F));
     st.output_scale = out_s;
   } else {
-    st.algo = algo_pick == 1 ? nn::ConvAlgo::kWinograd2 : nn::ConvAlgo::kWinograd4;
+    const int m = algo_pick == 1 ? 2 : algo_pick == 2 ? 4 : 6;
+    st.algo = algo_pick == 1   ? nn::ConvAlgo::kWinograd2
+              : algo_pick == 2 ? nn::ConvAlgo::kWinograd4
+                               : nn::ConvAlgo::kWinograd6;
     st.weights_f = Tensor::randn({out_ch, in_ch, 3, 3}, wrng, 0.3F);
-    st.transforms = wino::make_transforms(algo_pick == 1 ? 2 : 4, 3);
+    st.transforms = wino::make_transforms(m, 3);
     st.stage_scales.input_transformed = g.scale();
     st.stage_scales.hadamard = g.scale();
     st.stage_scales.output = out_s;
     st.output_scale = out_s;
+    // Per-tap scale vectors (the production F4/F6 config): each transform-
+    // domain stage independently stays scalar or goes vector, with random
+    // contiguous group sizes, so graphs mix per-tensor and per-tap stages.
+    // Scalar fields keep the vector's representative (front) so the frozen
+    // predicates and the blocked-path gate behave exactly as the deploy
+    // compiler arranges them.
+    if (g.chance(0.5)) {
+      const std::int64_t t2 = static_cast<std::int64_t>(m + 2) * (m + 2);
+      if (g.chance(0.7)) {
+        st.stage_scales.input_transformed_taps = make_tap_scales(g, t2);
+        st.stage_scales.input_transformed = st.stage_scales.input_transformed_taps.front();
+      }
+      if (g.chance(0.7)) {
+        st.stage_scales.hadamard_taps = make_tap_scales(g, t2);
+        st.stage_scales.hadamard = st.stage_scales.hadamard_taps.front();
+      }
+      if (g.chance(0.5)) {
+        // prepare() bakes the per-tap U cache from this vector.
+        st.stage_scales.weights_transformed_taps = make_tap_scales(g, t2);
+        st.stage_scales.weights_transformed = st.stage_scales.weights_transformed_taps.front();
+      }
+    }
   }
   if (g.chance(0.5)) st.bias = Tensor::randn({out_ch}, wrng, 0.1F);
   return st;

@@ -297,5 +297,109 @@ TEST(FakeQuantSte, GradientBlockedWhereClipped) {
   EXPECT_FLOAT_EQ(xv.grad().at(2), 0.F);
 }
 
+// ---- per-tap scale vectors (Winograd transform-domain quantization) ---------
+
+TEST(ScaleVector, SplatIsUniformAndRecordsProvenance) {
+  const ScaleVector sv = ScaleVector::splat(0.04F, 16);
+  EXPECT_FALSE(sv.empty());
+  EXPECT_EQ(sv.taps(), 16);
+  EXPECT_EQ(sv.group_size, 16);
+  EXPECT_TRUE(sv.uniform());
+  ScaleVector mixed = sv;
+  mixed.scales[7] = 0.08F;
+  EXPECT_FALSE(mixed.uniform());
+  EXPECT_TRUE(ScaleVector{}.empty());
+}
+
+TEST(FakeQuantTaps, SplatVectorIsBitIdenticalToScalarFakeQuant) {
+  Rng rng(21);
+  const QuantSpec spec{8};
+  const float scale = 0.031F;
+  Tensor a = Tensor::randn({2, 9, 5}, rng);
+  Tensor b = a;
+  std::vector<std::uint8_t> mask_a, mask_b;
+  const std::int64_t clip_a = fake_quant_(a, scale, spec, &mask_a);
+  const std::int64_t clip_b =
+      fake_quant_taps_(b, ScaleVector::splat(scale, 9), /*tap_dim=*/1, spec, &mask_b);
+  EXPECT_EQ(clip_a, clip_b);
+  EXPECT_EQ(mask_a, mask_b);
+  EXPECT_EQ(Tensor::max_abs_diff(a, b), 0.F)
+      << "a constant scale vector must reproduce the scalar grid exactly";
+}
+
+TEST(FakeQuantTaps, EachTapSnapsToItsOwnGrid) {
+  Rng rng(22);
+  const QuantSpec spec{8};
+  ScaleVector sv;
+  sv.scales = {0.02F, 0.1F, 0.004F};
+  sv.group_size = 1;
+  Tensor x = Tensor::randn({2, 3, 7}, rng);  // tap axis = dim 1
+  const Tensor orig = x;
+  fake_quant_taps_(x, sv, /*tap_dim=*/1, spec);
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t tap = 0; tap < 3; ++tap) {
+      const float s = sv.scales[static_cast<std::size_t>(tap)];
+      for (std::int64_t i = 0; i < 7; ++i) {
+        const std::int64_t idx = (n * 3 + tap) * 7 + i;
+        Tensor one({1}, {orig.at(idx)});
+        fake_quant_(one, s, spec);
+        EXPECT_EQ(x.at(idx), one.at(0)) << "n=" << n << " tap=" << tap << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FakeQuantTaps, TapCountMismatchThrows) {
+  Tensor x = Tensor::zeros({1, 4, 2});
+  EXPECT_THROW(fake_quant_taps_(x, ScaleVector::splat(0.1F, 5), 1, QuantSpec{8}),
+               std::invalid_argument);
+}
+
+TEST(TapObserver, GroupsContiguousTapsAndExpandsTheVector) {
+  // 4 taps in groups of 2: taps {0,1} share a scale from max(|1|, |2|) = 2,
+  // taps {2,3} from max(|8|, |-4|) = 8.
+  TapRangeObserver obs(RangeObserver::Mode::kMinMax);
+  obs.configure(/*taps=*/4, /*group_size=*/2);
+  const Tensor x({1, 4, 2}, {1.F, -1.F, 2.F, 0.5F, 8.F, 3.F, -4.F, 0.F});
+  obs.observe(x, /*tap_dim=*/1);
+  ASSERT_TRUE(obs.initialized());
+  const ScaleVector sv = obs.scale_vector(QuantSpec{8});
+  ASSERT_EQ(sv.taps(), 4);
+  EXPECT_EQ(sv.group_size, 2);
+  EXPECT_FLOAT_EQ(sv.scales[0], scale_for(2.F, QuantSpec{8}));
+  EXPECT_FLOAT_EQ(sv.scales[1], sv.scales[0]);
+  EXPECT_FLOAT_EQ(sv.scales[2], scale_for(8.F, QuantSpec{8}));
+  EXPECT_FLOAT_EQ(sv.scales[3], sv.scales[2]);
+}
+
+TEST(TapObserver, OneGroupDegeneratesToThePerTensorObserver) {
+  Rng rng(23);
+  const Tensor x = Tensor::randn({2, 6, 3}, rng);
+  TapRangeObserver taps(RangeObserver::Mode::kEma, 0.5F);
+  taps.configure(6, 6);  // one group spanning every tap == per-tensor
+  RangeObserver scalar(RangeObserver::Mode::kEma, 0.5F);
+  for (int i = 0; i < 3; ++i) {
+    taps.observe(x, 1);
+    scalar.observe(x);
+  }
+  const ScaleVector sv = taps.scale_vector(QuantSpec{8});
+  ASSERT_EQ(sv.taps(), 6);
+  EXPECT_TRUE(sv.uniform());
+  EXPECT_FLOAT_EQ(sv.scales[0], scalar.scale(QuantSpec{8}));
+}
+
+TEST(TapObserver, ReconfigureWithNewGeometryResetsState) {
+  TapRangeObserver obs(RangeObserver::Mode::kMinMax);
+  obs.configure(4, 2);
+  obs.observe(Tensor({1, 4, 1}, {1.F, 2.F, 3.F, 4.F}), 1);
+  EXPECT_TRUE(obs.initialized());
+  obs.configure(4, 2);  // same geometry: a no-op, state kept
+  EXPECT_TRUE(obs.initialized());
+  obs.configure(4, 1);  // new grouping: stale group ranges must not leak
+  EXPECT_FALSE(obs.initialized());
+  EXPECT_EQ(obs.group_size(), 1);
+  EXPECT_THROW(obs.configure(4, 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace wa::quant

@@ -413,6 +413,55 @@ TEST(ResNetDeploy, WinogradF2PipelineAgreesWithQatModel) {
   EXPECT_GT(r.deployed_acc, r.qat_acc - 0.1F) << "deployment lost too much accuracy";
 }
 
+TEST(ResNetDeploy, WinogradF4PerTapPipelineAgreesWithQatModel) {
+  // The tentpole contract: F4 deployed with per-tap scale vectors (one scale
+  // per transform-domain tap, tap_group_size=1) must agree with its QAT model
+  // at least as well as the F2 figure above — per-tensor F4 is what made the
+  // larger tiles undeployable, per-tap is what fixes it (LANCE-style
+  // requantization in the transform domain).
+  Rng rng(17);  // same seed/bar as the F2 test for a like-for-like comparison
+  models::ResNetConfig cfg;
+  cfg.width_mult = 0.125F;
+  cfg.algo = nn::ConvAlgo::kWinograd4;
+  cfg.qspec = quant::QuantSpec{8};
+  cfg.tap_group_size = 1;
+  models::ResNet18 net(cfg, rng);
+  const auto train_set = resnet_set(true);
+  const auto val_set = resnet_set(false);
+  train::TrainerOptions opts;
+  opts.batch_size = 16;
+  opts.epochs = 3;
+  opts.lr = 3e-3F;
+  train::Trainer t(net, train_set, val_set, opts);
+  t.fit();
+
+  const Int8Pipeline pipe = compile_resnet18(net);
+
+  // The compiled graph must actually carry per-tap vectors on its F4 stages
+  // (36 = 6x6 taps); the last residual stage stays pinned to F2 (16 taps).
+  std::int64_t per_tap_stages = 0;
+  for (const auto& node : pipe.nodes()) {
+    const auto* conv = std::get_if<ConvStage>(&node.op);
+    if (conv == nullptr || !nn::is_winograd(conv->algo)) continue;
+    const std::int64_t t = nn::winograd_m(conv->algo) + 2;
+    ASSERT_EQ(static_cast<std::int64_t>(conv->stage_scales.input_transformed_taps.size()), t * t)
+        << node.io.label;
+    ASSERT_EQ(static_cast<std::int64_t>(conv->stage_scales.hadamard_taps.size()), t * t)
+        << node.io.label;
+    ASSERT_EQ(static_cast<std::int64_t>(conv->stage_scales.weights_transformed_taps.size()), t * t)
+        << node.io.label;
+    ++per_tap_stages;
+  }
+  EXPECT_EQ(per_tap_stages, 16) << "all searchable block convs deploy per-tap";
+
+  const AgreementReport r = compare_deployed(net, pipe, val_set);
+  std::printf("[          ] F4 per-tap agreement %.4f, deployed acc %.3f, qat acc %.3f\n",
+              static_cast<double>(r.agreement), static_cast<double>(r.deployed_acc),
+              static_cast<double>(r.qat_acc));
+  EXPECT_GT(r.agreement, 0.9F) << "per-tap F4 must hold the F2 agreement bar";
+  EXPECT_GT(r.deployed_acc, r.qat_acc - 0.1F) << "deployment lost too much accuracy";
+}
+
 TEST(ResNetDeploy, CompiledPipelineNeverTransformsOrRepacksAtRunTime) {
   // Calibration (not full training) is enough to compile; the perf counters
   // then prove the prepared pipeline pays zero weight transforms/repacks per

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -44,11 +45,12 @@ Int8Pipeline compiled_lenet(nn::ConvAlgo algo, Rng& rng) {
   return pipe;
 }
 
-Int8Pipeline compiled_resnet18(nn::ConvAlgo algo, Rng& rng) {
+Int8Pipeline compiled_resnet18(nn::ConvAlgo algo, Rng& rng, std::int64_t tap_group_size = 0) {
   models::ResNetConfig cfg;
   cfg.width_mult = 0.125F;
   cfg.algo = algo;
   cfg.qspec = quant::QuantSpec{8};
+  cfg.tap_group_size = tap_group_size;
   models::ResNet18 net(cfg, rng);
   net.set_training(true);
   for (int i = 0; i < 2; ++i) {
@@ -354,6 +356,130 @@ TEST(WamArtifact, GoldenV1FixtureRebuildsTheBlockedUCacheOnLoad) {
     ++wino_stages;
   }
   EXPECT_GT(wino_stages, 0u) << "the golden fixture must contain a Winograd stage";
+}
+
+// ---- v4: per-tap scale vectors ----------------------------------------------
+
+TEST(WamArtifact, V4RoundTripCarriesPerTapScaleVectorsVerbatim) {
+  // A fully tap-wise F4 pipeline (one scale per transform-domain tap): the
+  // saver writes the U/V/M tap vectors and the per-tap U-cache scales; the
+  // loader must bring every entry back bit-exactly, and the loaded pipeline
+  // must produce the same bytes.
+  Rng rng(42);
+  const Int8Pipeline pipe = compiled_resnet18(nn::ConvAlgo::kWinograd4, rng, /*tap_group_size=*/1);
+
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
+  EXPECT_EQ(snapshot_counters(), before) << "v4 load must not rebuild any weight cache";
+  ASSERT_EQ(loaded.size(), pipe.size());
+
+  std::size_t per_tap_stages = 0;
+  for (std::size_t i = 0; i < pipe.size(); ++i) {
+    const auto* want = std::get_if<ConvStage>(&pipe.nodes()[i].op);
+    if (want == nullptr || want->wino_cache.empty()) continue;
+    const auto* got = std::get_if<ConvStage>(&loaded.nodes()[i].op);
+    ASSERT_NE(got, nullptr);
+    const std::int64_t t2 = want->transforms.tile * want->transforms.tile;
+    ASSERT_EQ(static_cast<std::int64_t>(want->stage_scales.weights_transformed_taps.size()), t2)
+        << "stage " << i << ": per-tap compile must emit a full U tap vector";
+    EXPECT_EQ(got->stage_scales.weights_transformed_taps,
+              want->stage_scales.weights_transformed_taps);
+    EXPECT_EQ(got->stage_scales.input_transformed_taps, want->stage_scales.input_transformed_taps);
+    EXPECT_EQ(got->stage_scales.hadamard_taps, want->stage_scales.hadamard_taps);
+    EXPECT_EQ(got->wino_cache.tap_scales, want->wino_cache.tap_scales);
+    EXPECT_EQ(got->wino_cache.u_q, want->wino_cache.u_q);
+    ++per_tap_stages;
+  }
+  EXPECT_GT(per_tap_stages, 0u) << "the fixture model must exercise per-tap Winograd stages";
+
+  const Tensor x = Tensor::randn({3, 3, 32, 32}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(loaded.run(x), pipe.run(x)), 0.F);
+  EXPECT_EQ(snapshot_counters(), before);
+}
+
+TEST(WamArtifact, RejectsV4ArtifactWithInconsistentTapVectors) {
+  // A checksum-valid artifact whose U tap vector disagrees with the cached
+  // U's tap scales (or carries a wrong-sized / non-positive vector) must be
+  // rejected at load — the executor trusts these unchecked.
+  Rng rng(43);
+  const Int8Pipeline pipe = compiled_resnet18(nn::ConvAlgo::kWinograd4, rng, /*tap_group_size=*/1);
+  const std::string bytes = saved_bytes(pipe);
+  EXPECT_NO_THROW(loaded_from(bytes));  // sanity: intact artifact loads
+
+  // Find the first per-tap U stage-scale vector in the payload byte stream by
+  // searching for its exact float pattern, then perturb one entry.
+  const ConvStage* wino = nullptr;
+  for (const auto& node : pipe.nodes()) {
+    if (const auto* st = std::get_if<ConvStage>(&node.op);
+        st != nullptr && !st->wino_cache.empty()) {
+      wino = st;
+      break;
+    }
+  }
+  ASSERT_NE(wino, nullptr);
+  ASSERT_FALSE(wino->stage_scales.weights_transformed_taps.empty());
+  const auto& taps = wino->stage_scales.weights_transformed_taps;
+  const std::string needle(reinterpret_cast<const char*>(taps.data()),
+                           taps.size() * sizeof(float));
+  const std::size_t pos = bytes.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  std::string corrupt = bytes;
+  const float bumped = taps.front() * 2.F;
+  std::memcpy(corrupt.data() + pos, &bumped, sizeof(float));
+  reseal(corrupt);
+  try {
+    loaded_from(corrupt);
+    FAIL() << "expected runtime_error for the inconsistent tap vector";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("tap"), std::string::npos) << e.what();
+  }
+}
+
+// ---- v3 back-compat: the checked-in golden fixture --------------------------
+
+// tests/data/golden_v3.wam was written by the version-3 serializer (blocked U
+// cache, no tap vectors) over an optimized Winograd ResNet-18 pipeline;
+// golden_v3_input.bin / golden_v3_logits.bin pin its exact behavior. The v4
+// reader must keep loading it bit-for-bit forever, with empty (per-tensor)
+// tap vectors.
+
+TEST(WamArtifact, GoldenV3FixtureLoadsBitExactlyUnderTheV4Reader) {
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline pipe = load_pipeline(fixture_path("golden_v3.wam"));
+  EXPECT_EQ(snapshot_counters(), before) << "v3 load must not rebuild any weight cache";
+  ASSERT_NE(pipe.plan(), nullptr) << "the v3 fixture was saved optimized, with its plan";
+
+  std::size_t wino_stages = 0;
+  for (const auto& node : pipe.nodes()) {
+    const auto* st = std::get_if<ConvStage>(&node.op);
+    if (st == nullptr || st->wino_cache.empty()) continue;
+    EXPECT_TRUE(st->stage_scales.weights_transformed_taps.empty())
+        << "a v3 stage must load with per-tensor (empty) tap vectors";
+    EXPECT_TRUE(st->stage_scales.input_transformed_taps.empty());
+    EXPECT_TRUE(st->stage_scales.hadamard_taps.empty());
+    EXPECT_TRUE(st->wino_cache.tap_scales.empty());
+    ++wino_stages;
+  }
+  EXPECT_GT(wino_stages, 0u) << "the golden fixture must contain Winograd stages";
+
+  const Tensor input = load_fixture_tensor("golden_v3_input.bin");
+  const Tensor want = load_fixture_tensor("golden_v3_logits.bin");
+  const Tensor got = pipe.run(input);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F)
+      << "the v4 reader changed the meaning of a v3 artifact";
+}
+
+TEST(WamArtifact, GoldenV3FixtureSurvivesV4Rewrite) {
+  const Int8Pipeline pipe = load_pipeline(fixture_path("golden_v3.wam"));
+  const Tensor input = load_fixture_tensor("golden_v3_input.bin");
+  const Tensor want = load_fixture_tensor("golden_v3_logits.bin");
+  // Rewritten by the v4 writer (empty tap vectors appended) it still means
+  // the same thing, plan included.
+  const Int8Pipeline rewritten = loaded_from(saved_bytes(pipe));
+  ASSERT_NE(rewritten.plan(), nullptr);
+  EXPECT_EQ(rewritten.plan()->peak_bytes, pipe.plan()->peak_bytes);
+  EXPECT_EQ(Tensor::max_abs_diff(rewritten.run(input), want), 0.F);
 }
 
 TEST(WamArtifact, RejectsV2ArtifactWithCorruptedPlanSection) {

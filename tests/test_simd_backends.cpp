@@ -144,7 +144,9 @@ TEST(SimdRegistry, EveryResolvedEntryIsCallable) {
     EXPECT_NE(t.gemm_s8_s32, nullptr);
     EXPECT_NE(t.gemm_f32_packed_nn, nullptr);
     EXPECT_NE(t.quantize_f32_s8, nullptr);
+    EXPECT_NE(t.quantize_f32_s8_taps, nullptr);
     EXPECT_NE(t.requant_s32_s8, nullptr);
+    EXPECT_NE(t.requant_s32_s8_taps, nullptr);
     EXPECT_NE(t.wino_scatter_f32, nullptr);
     EXPECT_NE(t.wino_gather_f32, nullptr);
     EXPECT_NE(t.wino_scatter_block_f32, nullptr);
@@ -263,6 +265,60 @@ TEST_P(SimdBackendTest, RequantMatchesScalarAcrossShiftRegimesAndRails) {
   }
 }
 
+TEST_P(SimdBackendTest, RequantTapsMatchesScalarAndPerBlockSweeps) {
+  // The per-tap entry point (one fixed-point multiplier per t² tap block):
+  // every backend must match the scalar reference AND its own flat kernel
+  // applied block by block — the vector table is just a loop of the flat
+  // requant over contiguous blocks.
+  Rng rng(98);
+  const std::int64_t taps = 16;      // t² for F(2x2, 3x3)
+  const std::int64_t per_tap = 133;  // odd: exercises each block's vector tail
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(taps * per_tap));
+  for (auto& v : acc) {
+    v = static_cast<std::int32_t>(std::lround((rng.uniform() * 2.0 - 1.0) * 2147483000.0));
+  }
+  std::vector<quant::FixedPointMultiplier> mults(static_cast<std::size_t>(taps));
+  for (std::size_t ab = 0; ab < mults.size(); ++ab) {
+    // Spread the ratios across the vector regime and both scalar-fallback
+    // regimes so adjacent blocks take different code paths.
+    const double ratio = (ab % 5 == 0) ? 1e-10 : (ab % 5 == 1) ? 1.5 : 0.03 * (1.0 + ab);
+    mults[ab] = quant::quantize_multiplier(ratio);
+  }
+  std::vector<std::int8_t> got(acc.size(), 7), want(acc.size(), -7), blockwise(acc.size(), 9);
+  kernels().requant_s32_s8_taps(acc.data(), got.data(), taps, per_tap, mults.data());
+  scalar_kernels().requant_s32_s8_taps(acc.data(), want.data(), taps, per_tap, mults.data());
+  EXPECT_EQ(got, want);
+  for (std::int64_t ab = 0; ab < taps; ++ab) {
+    kernels().requant_s32_s8(acc.data() + ab * per_tap, blockwise.data() + ab * per_tap, per_tap,
+                             mults[static_cast<std::size_t>(ab)]);
+  }
+  EXPECT_EQ(got, blockwise);
+}
+
+TEST_P(SimdBackendTest, QuantizeTapsMatchesScalarAndPerBlockSweeps) {
+  // Same contract for the per-tap quantize entry: equivalent to `taps` calls
+  // of the backend's own flat quantize_f32_s8, and bit-identical to the
+  // scalar reference.
+  Rng rng(99);
+  const std::int64_t taps = 36;     // t² for F(4x4, 3x3)
+  const std::int64_t per_tap = 29;  // odd: exercises each block's vector tail
+  std::vector<float> src(static_cast<std::size_t>(taps * per_tap));
+  for (auto& v : src) v = static_cast<float>((rng.uniform() * 2.0 - 1.0) * 40.0);
+  std::vector<float> inv(static_cast<std::size_t>(taps));
+  for (std::size_t ab = 0; ab < inv.size(); ++ab) {
+    inv[ab] = 1.F / (0.01F + 0.02F * static_cast<float>(ab));  // includes saturating taps
+  }
+  std::vector<std::int8_t> got(src.size(), 7), want(src.size(), -7), blockwise(src.size(), 9);
+  kernels().quantize_f32_s8_taps(src.data(), got.data(), taps, per_tap, inv.data());
+  scalar_kernels().quantize_f32_s8_taps(src.data(), want.data(), taps, per_tap, inv.data());
+  EXPECT_EQ(got, want);
+  for (std::int64_t ab = 0; ab < taps; ++ab) {
+    kernels().quantize_f32_s8(src.data() + ab * per_tap, blockwise.data() + ab * per_tap, per_tap,
+                              inv[static_cast<std::size_t>(ab)]);
+  }
+  EXPECT_EQ(got, blockwise);
+}
+
 TEST_P(SimdBackendTest, WinogradScatterMatchesScalarOnEdgeTilesAndPads) {
   Rng rng(94);
   struct Cfg {
@@ -310,15 +366,24 @@ TEST_P(SimdBackendTest, WinogradGatherMatchesScalarOnEdgeTilesAndBias) {
     const std::int64_t th = (cfg.oh + m - 1) / m, tw = th;
     const std::int64_t tiles = th * tw;
     const auto levels = random_s8(rng, t * t * tiles);
-    for (const float bias : {0.F, -1.375F}) {
-      std::vector<float> got(static_cast<std::size_t>(cfg.oh * cfg.oh), 1e9F);
-      std::vector<float> want(static_cast<std::size_t>(cfg.oh * cfg.oh), -1e9F);
-      kernels().wino_gather_f32(levels.data(), tiles, 0.0217F, tr.at_mat.raw(), t, m, th, tw,
-                                cfg.oh, cfg.oh, bias, got.data());
-      scalar_kernels().wino_gather_f32(levels.data(), tiles, 0.0217F, tr.at_mat.raw(), t, m, th,
-                                       tw, cfg.oh, cfg.oh, bias, want.data());
-      for (std::size_t i = 0; i < got.size(); ++i) {
-        ASSERT_EQ(got[i], want[i]) << "element " << i << " bias " << bias;
+    // Splat and per-tap M-scale vectors — the gather dequantizes each tap at
+    // its own entry, so distinct entries catch any tap-index mix-up.
+    std::vector<float> sm_splat(static_cast<std::size_t>(t * t), 0.0217F);
+    std::vector<float> sm_taps(static_cast<std::size_t>(t * t));
+    for (std::size_t ab = 0; ab < sm_taps.size(); ++ab) {
+      sm_taps[ab] = 0.01F + 0.003F * static_cast<float>(ab);
+    }
+    for (const auto* sm : {&sm_splat, &sm_taps}) {
+      for (const float bias : {0.F, -1.375F}) {
+        std::vector<float> got(static_cast<std::size_t>(cfg.oh * cfg.oh), 1e9F);
+        std::vector<float> want(static_cast<std::size_t>(cfg.oh * cfg.oh), -1e9F);
+        kernels().wino_gather_f32(levels.data(), tiles, sm->data(), tr.at_mat.raw(), t, m, th, tw,
+                                  cfg.oh, cfg.oh, bias, got.data());
+        scalar_kernels().wino_gather_f32(levels.data(), tiles, sm->data(), tr.at_mat.raw(), t, m,
+                                         th, tw, cfg.oh, cfg.oh, bias, want.data());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i], want[i]) << "element " << i << " bias " << bias;
+        }
       }
     }
   }
@@ -423,6 +488,12 @@ TEST_P(SimdBackendTest, WinogradGatherQMatchesScalarOnTileRangesAndBias) {
     const std::int64_t t = tr.tile, m = tr.m;
     const std::int64_t th = (cfg.oh + m - 1) / m, tw = th;
     const std::int64_t tiles = th * tw;
+    // Per-tap M-scale vector with distinct entries (a splat reduces to the
+    // legacy scalar behaviour, covered by the executor differential tests).
+    std::vector<float> sm_taps(static_cast<std::size_t>(t * t));
+    for (std::size_t ab = 0; ab < sm_taps.size(); ++ab) {
+      sm_taps[ab] = 0.0217F + 0.002F * static_cast<float>(ab);
+    }
     for (const std::int64_t bs : {std::int64_t{1}, std::int64_t{5}, tiles}) {
       for (const float bias : {0.F, -1.375F}) {
         SCOPED_TRACE("m=" + std::to_string(cfg.m) + " oh=" + std::to_string(cfg.oh) +
@@ -432,11 +503,11 @@ TEST_P(SimdBackendTest, WinogradGatherQMatchesScalarOnTileRangesAndBias) {
         for (std::int64_t tile0 = 0; tile0 < tiles; tile0 += bs) {
           const std::int64_t nt = std::min(bs, tiles - tile0);
           const auto levels = random_s8(rng, t * t * nt);
-          kernels().wino_gather_q_s8(levels.data(), nt, 0.0217F, tr.at_mat.raw(), t, m, th, tw,
-                                     tile0, nt, cfg.oh, cfg.oh, bias, 1.F / 0.11F, got.data());
-          scalar_kernels().wino_gather_q_s8(levels.data(), nt, 0.0217F, tr.at_mat.raw(), t, m, th,
-                                            tw, tile0, nt, cfg.oh, cfg.oh, bias, 1.F / 0.11F,
-                                            want.data());
+          kernels().wino_gather_q_s8(levels.data(), nt, sm_taps.data(), tr.at_mat.raw(), t, m, th,
+                                     tw, tile0, nt, cfg.oh, cfg.oh, bias, 1.F / 0.11F, got.data());
+          scalar_kernels().wino_gather_q_s8(levels.data(), nt, sm_taps.data(), tr.at_mat.raw(), t,
+                                            m, th, tw, tile0, nt, cfg.oh, cfg.oh, bias,
+                                            1.F / 0.11F, want.data());
         }
         // After walking every block both planes are fully written; comparing
         // whole planes also proves neither kernel touched out-of-range rows.
