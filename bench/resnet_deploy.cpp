@@ -66,45 +66,58 @@ int main(int argc, char** argv) {
   const std::uint64_t repacks0 = backend::PerfCounters::weight_repacks.load();
 
   constexpr int kReps = 10;
-  std::vector<deploy::StageTiming> acc;
   double total_ms = 0.0;
   for (int rep = 0; rep < kReps; ++rep) {
-    std::vector<deploy::StageTiming> t;
     const auto t0 = std::chrono::steady_clock::now();
-    pipe.run(x, &t);
+    pipe.run(x);
     const auto t1 = std::chrono::steady_clock::now();
     total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
-    if (acc.empty()) {
-      acc = std::move(t);
-    } else {
-      for (std::size_t i = 0; i < acc.size(); ++i) acc[i].ms += t[i].ms;
-    }
   }
 
+  // The breakdown reads each Node's always-available telemetry EMA — no
+  // profiled run() needed; the timed forwards above (plus the warm-up) fed
+  // the estimators as a matter of course.
   std::printf("%-28s %10s %7s\n", "stage", "ms/fwd", "share");
   std::printf("%-28s %10s %7s\n", "-----", "------", "-----");
   double sum = 0.0;
-  for (const auto& s : acc) sum += s.ms;
+  for (const auto& node : pipe.nodes()) sum += node.ema.value_ns() / 1e6;
   std::map<std::string, double> by_kind;
-  for (const auto& s : acc) {
-    const double ms = s.ms / kReps;
-    std::printf("%-28s %10.4f %6.1f%%\n", s.label.c_str(), ms, 100.0 * s.ms / sum);
+  for (std::size_t i = 0; i < pipe.nodes().size(); ++i) {
+    const auto& node = pipe.nodes()[i];
+    const std::string label = deploy::stage_where(node, i);
+    const double ms = node.ema.value_ns() / 1e6;
+    std::printf("%-28s %10.4f %6.1f%%\n", label.c_str(), ms, 100.0 * ms / sum);
     // Aggregate by coarse kind: strip the network position from the label.
     std::string kind = "other";
-    if (s.label.find(".add") != std::string::npos) kind = "skip-add";
-    else if (s.label.find(".bn") != std::string::npos) kind = "batch-norm";
-    else if (s.label.find("pool") != std::string::npos) kind = "max-pool";
-    else if (s.label.find("shortcut") != std::string::npos) kind = "1x1 shortcut conv";
-    else if (s.label.find("conv") != std::string::npos) kind = "3x3 conv";
-    else if (s.label == "gap") kind = "avg-pool";
-    else if (s.label == "fc") kind = "linear";
+    if (label.find(".add") != std::string::npos) kind = "skip-add";
+    else if (label.find(".bn") != std::string::npos) kind = "batch-norm";
+    else if (label.find("pool") != std::string::npos) kind = "max-pool";
+    else if (label.find("shortcut") != std::string::npos) kind = "1x1 shortcut conv";
+    else if (label.find("conv") != std::string::npos) kind = "3x3 conv";
+    else if (label == "gap") kind = "avg-pool";
+    else if (label == "fc") kind = "linear";
     by_kind[kind] += ms;
   }
   std::printf("\n%-28s %10.4f ms total (avg over %d forwards)\n\n", "", total_ms / kReps, kReps);
 
   std::printf("by stage kind:\n");
+  std::string breakdown_json = "{";
   for (const auto& [kind, ms] : by_kind) {
-    std::printf("  %-22s %10.4f ms  %5.1f%%\n", kind.c_str(), ms, 100.0 * ms * kReps / sum);
+    std::printf("  %-22s %10.4f ms  %5.1f%%\n", kind.c_str(), ms, 100.0 * ms / sum);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %.4f", breakdown_json.size() > 1 ? ", " : "",
+                  kind.c_str(), ms);
+    breakdown_json += buf;
+  }
+  char total_buf[64];
+  std::snprintf(total_buf, sizeof(total_buf), ", \"total_ms\": %.4f", total_ms / kReps);
+  breakdown_json += total_buf;
+  breakdown_json += "}";
+  {
+    const std::string json_path = argc > 4 ? argv[4] : "BENCH_engine.json";
+    if (bench::merge_json_section(json_path, "resnet_stage_breakdown", breakdown_json)) {
+      std::printf("  merged section \"resnet_stage_breakdown\" into %s\n", json_path.c_str());
+    }
   }
 
   std::printf("\nperf counters over the %d timed forwards: weight_transforms +%llu, "
@@ -228,14 +241,18 @@ int main(int argc, char** argv) {
       ConfigResult r;
       r.key = key;
       r.agreement = static_cast<double>(agree) / static_cast<double>(total);
+      // Exact per-stage timings here, not the node EMAs: classify() above fed
+      // the EMAs at the eval batch size, and alpha = 1/8 has not washed that
+      // out after kReps batch-`batch` forwards — the blocked conv share would
+      // come out bigger than the measured total.
       for (int rep = 0; rep < kReps; ++rep) {
-        std::vector<deploy::StageTiming> t;
+        std::vector<deploy::StageTiming> timings;
         const auto t0 = std::chrono::steady_clock::now();
-        cpipe.run(bx, &t);
+        cpipe.run(bx, &timings);
         const auto t1 = std::chrono::steady_clock::now();
         r.total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count() / kReps;
-        for (const auto& s : t) {
-          if (s.label.find(".conv") != std::string::npos) r.conv3x3_ms += s.ms / kReps;
+        for (const auto& t : timings) {
+          if (t.label.find(".conv") != std::string::npos) r.conv3x3_ms += t.ms / kReps;
         }
       }
       results.push_back(r);

@@ -12,8 +12,20 @@
 //     should beat request-at-a-time serving even on one core.
 //
 // Knobs: WINO_SERVE_REQUESTS (total requests per cell), WINO_SERVE_CLIENTS.
+//
+// Telemetry sections (docs/OBSERVABILITY.md):
+//   - metrics overhead A/B — interleaved best-of-3 with the registry's
+//     mutation paths off vs on; WA_TELEMETRY_GATE_PCT > 0 turns the
+//     measured overhead into a pass/fail gate (CI pins 1.0 — the "< 1% of
+//     serving throughput" acceptance bar). The winner is merged as the
+//     "serve_telemetry" section of WINO_SERVE_JSON (default
+//     BENCH_engine.json).
+//   - trace capture — when WA_TRACE is set, one traced cell runs at the end
+//     and the span window is dumped to WA_TRACE_OUT (default trace.json),
+//     ready for chrome://tracing.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +38,8 @@
 #include "bench_common.hpp"
 #include "deploy/pipeline.hpp"
 #include "serve/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -168,6 +182,55 @@ int main() {
     backend::simd::set_backend(active);
   }
 
+  // Always-on metrics must be effectively free. A/B the registry's mutation
+  // paths on the 4-worker coalescing cell, interleaved best-of-3 per arm so
+  // frequency drift hits both arms alike.
+  std::printf("\nmetrics overhead (4 workers, max_batch 8; interleaved best-of-3):\n");
+  double rps_off = 0.0, rps_on = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    telemetry::set_metrics_enabled(false);
+    std::printf(" metrics off:");
+    rps_off = std::max(rps_off, serve_rps(pipe, {4, 8, 500}, clients, requests));
+    telemetry::set_metrics_enabled(true);
+    std::printf(" metrics on: ");
+    rps_on = std::max(rps_on, serve_rps(pipe, {4, 8, 500}, clients, requests));
+  }
+  const double overhead_pct = rps_off > 0.0 ? (rps_off - rps_on) / rps_off * 100.0 : 0.0;
+  std::printf("  metrics on %.1f req/s vs off %.1f req/s — overhead %.2f%%\n",
+              rps_on, rps_off, overhead_pct);
+
+  const char* json_env = std::getenv("WINO_SERVE_JSON");
+  const std::string json_path = json_env != nullptr && *json_env != '\0'
+                                    ? json_env : "BENCH_engine.json";
+  char section[256];
+  std::snprintf(section, sizeof(section),
+                "{\"metrics_on_rps\": %.1f, \"metrics_off_rps\": %.1f, "
+                "\"overhead_pct\": %.3f, \"base_rps\": %.1f, \"w4_rps\": %.1f}",
+                rps_on, rps_off, overhead_pct, base_rps, rps_w4);
+  wa::bench::merge_json_section(json_path, "serve_telemetry", section);
+  std::printf("merged section \"serve_telemetry\" into %s\n", json_path.c_str());
+
+  // Traced capture window: with WA_TRACE set, run one more cell and dump the
+  // span rings — nesting request > queue_wait/coalesce/dispatch >
+  // stage:* > wino.* per sampled request.
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.clear();
+    std::printf("\ntraced cell (WA_TRACE=%u):\n", tracer.sampling());
+    serve_rps(pipe, {4, 8, 500}, clients, std::min<std::int64_t>(requests, 64));
+    const char* out_env = std::getenv("WA_TRACE_OUT");
+    const std::string trace_path =
+        out_env != nullptr && *out_env != '\0' ? out_env : "trace.json";
+    if (telemetry::dump_chrome_trace(trace_path)) {
+      std::printf("wrote %s (%llu spans emitted, %llu dropped)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(tracer.emitted()),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    } else {
+      std::printf("WARNING: could not write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+
   std::printf("\n4-worker speedup over single-thread baseline: %.2fx (batch 1)\n",
               rps_w4 / base_rps);
   std::printf("4-worker speedup over 1 worker:               %.2fx\n", rps_w4 / rps_w1);
@@ -179,6 +242,12 @@ int main() {
   if (hw < 4) {
     std::printf("note: only %u hardware thread(s) — worker scaling cannot manifest here; "
                 "the >=2x @ 4 workers bar applies to >=4-thread hosts\n", hw);
+  }
+  const double gate_pct = wa::bench::env_double("WA_TELEMETRY_GATE_PCT", 0.0);
+  if (gate_pct > 0.0 && overhead_pct > gate_pct) {
+    std::printf("WARNING: always-on metrics cost %.2f%% of throughput "
+                "(gate WA_TELEMETRY_GATE_PCT=%.2f%%)\n", overhead_pct, gate_pct);
+    return 1;
   }
   return 0;
 }

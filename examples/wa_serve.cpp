@@ -5,7 +5,9 @@
 //
 //   train -> compile_lenet -> freeze_scales -> save_pipeline("lenet.wam")
 //         -> InferenceServer::load_model -> submit() futures -> stats()
+//         -> dump_metrics (Prometheus text exposition)
 #include <cstdio>
+#include <iostream>
 #include <thread>
 #include <vector>
 
@@ -87,6 +89,12 @@ int main() {
     }
   }
   std::printf("\n");
+
+  // 7. The same numbers as a Prometheus scrape (docs/OBSERVABILITY.md):
+  //    every wa_* series in the global registry, one text exposition.
+  std::printf("\nPrometheus exposition (serve::dump_metrics):\n");
+  serve::dump_metrics(std::cout);
+
   std::remove(path.c_str());
   return 0;
 }

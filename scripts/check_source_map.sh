@@ -30,7 +30,7 @@ done
 
 # Design docs: each one present, linked from the README, and every doc that
 # exists is accounted for (a new doc must be added to the README).
-for doc in docs/ARCHITECTURE.md docs/NUMERICS.md docs/WAM_FORMAT.md; do
+for doc in docs/ARCHITECTURE.md docs/NUMERICS.md docs/WAM_FORMAT.md docs/OBSERVABILITY.md; do
   if [ ! -f "${doc}" ]; then
     echo "error: ${doc} is referenced but missing" >&2
     fail=1

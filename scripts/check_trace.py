@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Schema check for telemetry trace dumps (chrome://tracing JSON).
+
+Usage: scripts/check_trace.py trace.json
+
+Validates what the CI telemetry job needs from a WA_TRACE=1 capture of
+bench/serve_throughput:
+  - the file is valid JSON with a traceEvents list of "X" (complete) events
+    carrying name/ph/pid/tid/ts/dur;
+  - at least one traced request is complete: its tid has the full span chain
+    request -> queue_wait -> coalesce -> dispatch -> stage:* -> wino.*;
+  - every span of that request nests inside the request interval, and the
+    serve-level phases tile it (queue_wait + coalesce + dispatch cover the
+    request end to end within a small tolerance);
+  - timestamps are microseconds on one epoch: all spans fit in a window of
+    hours, not centuries (catches ns/us unit mistakes).
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    by_tid = {}
+    for ev in events:
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(f"event missing '{key}': {ev}")
+        if ev["ph"] != "X":
+            fail(f"expected only complete ('X') events, got ph={ev['ph']!r}")
+        if ev["dur"] < 0:
+            fail(f"negative duration: {ev}")
+        by_tid.setdefault(ev["tid"], []).append(ev)
+
+    ts_all = [ev["ts"] for ev in events]
+    if max(ts_all) - min(ts_all) > 3600 * 1e6:
+        fail("timestamp window exceeds an hour — ts/dur are probably not microseconds")
+
+    serve_phases = ("queue_wait", "coalesce", "dispatch")
+    complete = 0
+    for tid, spans in sorted(by_tid.items()):
+        names = {s["name"] for s in spans}
+        req = [s for s in spans if s["name"] == "request"]
+        if not req:
+            continue
+        if not all(p in names for p in serve_phases):
+            continue
+        if not any(n.startswith("stage:") for n in names):
+            continue
+        if not any(n.startswith("wino.") for n in names):
+            continue
+        r = req[0]
+        r0, r1 = r["ts"], r["ts"] + r["dur"]
+        slack = max(1.0, 0.001 * r["dur"])  # 1us or 0.1% for float round-trips
+        for s in spans:
+            if s["ts"] < r0 - slack or s["ts"] + s["dur"] > r1 + slack:
+                fail(f"tid {tid}: span {s['name']} escapes the request interval")
+        covered = sum(s["dur"] for s in spans if s["name"] in serve_phases)
+        if abs(covered - r["dur"]) > max(1.0, 0.05 * r["dur"]):
+            fail(
+                f"tid {tid}: queue_wait+coalesce+dispatch cover {covered:.1f}us "
+                f"of a {r['dur']:.1f}us request (must tile it within 5%)"
+            )
+        complete += 1
+
+    if complete == 0:
+        fail(
+            "no complete traced request found (need request + queue_wait/coalesce/"
+            "dispatch + stage:* + wino.* under one tid)"
+        )
+    print(
+        f"check_trace: OK: {len(events)} spans, {len(by_tid)} trace ids, "
+        f"{complete} complete traced request(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 #include "backend/conv_kernels_s8.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -322,7 +323,8 @@ void interleave_k4(const std::int8_t* r0, const std::int8_t* r1, const std::int8
 QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& weights,
                                  const ConvGeometry& g, const wino::Transforms& tr,
                                  const WinogradStageScales& scales, const Tensor* bias,
-                                 std::vector<std::int8_t>* reuse_storage) {
+                                 std::vector<std::int8_t>* reuse_storage,
+                                 WinoPhaseNs* phase_ns) {
   const std::int64_t oh = g.out_height(), ow = g.out_width();
   const std::int64_t t = tr.tile, m = tr.m, t2 = t * t;
   const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
@@ -420,6 +422,19 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
       ScratchArena::Scope block_frame(slab);
       const std::int64_t tile0 = blk * tb;
       const std::int64_t nt = std::min(tb, tiles_pp - tile0);
+      // Per-phase timing, only for traced forwards (phase_ns non-null): two
+      // thread-local clock reads per phase per block, accumulated locally
+      // and added to the shared counters once at the end of the block.
+      const bool timed = phase_ns != nullptr;
+      std::int64_t ns_scatter = 0, ns_gemm = 0, ns_requant = 0, ns_gather = 0;
+      auto t_prev = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+      const auto phase_mark = [&](std::int64_t& acc) {
+        if (!timed) return;
+        const auto t = std::chrono::steady_clock::now();
+        acc += std::chrono::duration_cast<std::chrono::nanoseconds>(t - t_prev).count();
+        t_prev = t;
+      };
       float* v_f = slab.alloc<float>(t2 * nt);
       std::int8_t* v_q4 = slab.alloc<std::int8_t>(kWinoChannelBlock * t2 * nt);
       std::int8_t* v_blk = slab.alloc<std::int8_t>(t2 * cpad * nt);
@@ -456,6 +471,7 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
                         v_q4 + 3 * t2 * nt + ab * nt, v_blk + (ab * cq + cb) * nt * 4, nt);
         }
       }
+      phase_mark(ns_scatter);
 
       // Hadamard: t² K x nt GEMMs against the pre-blocked U, then the flat
       // fixed-point requant over the block's M.
@@ -463,6 +479,7 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
         kt.gemm_u8s8_s32_k4(K, nt, cpad, ub + ab * K * cpad, v_blk + ab * cq * nt * 4,
                             m_acc + ab * K * nt);
       }
+      phase_mark(ns_gemm);
       if (per_tap) {
         // m_acc is tap-major ([t², K, nt]), so the per-tap requant is one
         // contiguous K*nt block per multiplier-table entry.
@@ -470,6 +487,7 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
       } else {
         kt.requant_s32_s8(m_acc, m_q, t2 * K * nt, m_mult);
       }
+      phase_mark(ns_requant);
 
       // Inverse transform with the output quantization fused in, straight to
       // the int8 plane (edge tiles clipped inside the kernel).
@@ -477,6 +495,13 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
         const float bv = has_bias ? bias->at(k) : 0.F;
         kt.wino_gather_q_s8(m_q + k * nt, K * nt, sm_taps.data(), tr.at_mat.raw(), t, m, th, tw,
                             tile0, nt, oh, ow, bv, o_inv, stage + (n * K + k) * oh * ow);
+      }
+      phase_mark(ns_gather);
+      if (timed) {
+        phase_ns->scatter.fetch_add(ns_scatter, std::memory_order_relaxed);
+        phase_ns->gemm.fetch_add(ns_gemm, std::memory_order_relaxed);
+        phase_ns->requant.fetch_add(ns_requant, std::memory_order_relaxed);
+        phase_ns->gather.fetch_add(ns_gather, std::memory_order_relaxed);
       }
     }
   }
@@ -495,7 +520,8 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
 QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8& weights,
                                   const ConvGeometry& g, const wino::Transforms& tr,
                                   const WinogradStageScales& scales, const Tensor* bias,
-                                  std::vector<std::int8_t>* reuse_storage) {
+                                  std::vector<std::int8_t>* reuse_storage,
+                                  WinoPhaseNs* phase_ns) {
   g.validate();
   if (g.groups != 1) throw std::invalid_argument("winograd_conv_s8: groups must be 1");
   if (g.kernel != tr.r) throw std::invalid_argument("winograd_conv_s8: kernel != transform r");
@@ -545,7 +571,7 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   // or a hand-built weight cache without the blocked U — runs the flat path.
   if (scales.input_transformed > 0.F && scales.hadamard > 0.F && scales.output > 0.F &&
       winograd_blocked_enabled() && !weights.u_blocked.empty()) {
-    return winograd_conv_s8_blocked(input, weights, g, tr, scales, bias, reuse_storage);
+    return winograd_conv_s8_blocked(input, weights, g, tr, scales, bias, reuse_storage, phase_ns);
   }
 
   const std::int64_t oh = g.out_height(), ow = g.out_width();
@@ -553,6 +579,20 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
   const std::int64_t tiles = g.batch * th * tw;
   const float su = weights.scale;
+
+  // Flat-path phase timing: the stages run whole-tensor sequential here, so
+  // one wall-clock mark per stage boundary (traced forwards only) reports
+  // the same scatter/gemm/requant/gather split the blocked executor does.
+  const bool timed = phase_ns != nullptr;
+  auto t_prev =
+      timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+  const auto phase_mark = [&](std::atomic<std::int64_t>* acc) {
+    if (!timed) return;
+    const auto tnow = std::chrono::steady_clock::now();
+    acc->fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(tnow - t_prev).count(),
+                   std::memory_order_relaxed);
+    t_prev = tnow;
+  };
 
   ScratchArena& arena = ScratchArena::for_thread();
   ScratchArena::Scope frame(arena);
@@ -595,6 +635,7 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
       kt.quantize_f32_s8(v_f + begin, v_q + begin, len, v_inv);
     });
   }
+  phase_mark(timed ? &phase_ns->scatter : nullptr);
 
   // Hadamard stage: t² int8 GEMMs accumulating in int32.
   std::int32_t* m_acc = arena.alloc<std::int32_t>(t * t * g.out_channels * tiles);
@@ -604,6 +645,7 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
                 weights.u_q.data() + xy * g.out_channels * g.in_channels,
                 v_q + xy * g.in_channels * tiles, m_acc + xy * g.out_channels * tiles);
   }
+  phase_mark(timed ? &phase_ns->gemm : nullptr);
 
   // M requantized to int8 (scale sm), then output transform in FP32.
   const float m_acc_scale = su * sv;
@@ -658,6 +700,7 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
       kt.requant_s32_s8(m_acc + begin, m_q + begin, len, m_mult);
     });
   }
+  phase_mark(timed ? &phase_ns->requant : nullptr);
 
   float* out_f = arena.alloc<float>(g.batch * g.out_channels * oh * ow);
   const bool has_bias = bias != nullptr && !bias->empty();
@@ -692,6 +735,7 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   parallel_flat(g.batch * g.out_channels * oh * ow, [&](std::int64_t begin, std::int64_t len) {
     kt.quantize_f32_s8(out_f + begin, out.data.data() + begin, len, o_inv);
   });
+  phase_mark(timed ? &phase_ns->gather : nullptr);
   return out;
 }
 

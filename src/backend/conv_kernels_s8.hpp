@@ -7,6 +7,8 @@
 // stage runs entirely in int8/int32.
 #pragma once
 
+#include <atomic>
+
 #include "backend/conv_kernels.hpp"
 #include "backend/qtensor.hpp"
 #include "quant/requant.hpp"
@@ -121,6 +123,25 @@ WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
                                               const wino::Transforms& tr, float scale = -1.F,
                                               const std::vector<float>& tap_scales = {});
 
+/// Per-phase wall-clock accumulator for one Winograd conv call — the
+/// kernel-level tail of a request trace (src/telemetry). When a non-null
+/// accumulator is passed to winograd_conv_s8_prepared, every executor thread
+/// adds its nanoseconds per phase with relaxed atomics (once per tile-block
+/// on the blocked path, once per stage on the flat path), so the totals are
+/// CPU-time aggregates across the OpenMP team, not wall-clock intervals.
+/// A null accumulator (the default, and every untraced forward) costs
+/// nothing — the executors never read the clock for it.
+struct WinoPhaseNs {
+  std::atomic<std::int64_t> scatter{0};  // input transform + V quantize + interleave
+  std::atomic<std::int64_t> gemm{0};     // t² Hadamard GEMMs
+  std::atomic<std::int64_t> requant{0};  // M int32 -> int8 fixed-point requant
+  std::atomic<std::int64_t> gather{0};   // inverse transform + output quantize
+  std::int64_t total() const {
+    return scatter.load(std::memory_order_relaxed) + gemm.load(std::memory_order_relaxed) +
+           requant.load(std::memory_order_relaxed) + gather.load(std::memory_order_relaxed);
+  }
+};
+
 /// Winograd int8 convolution from cached transformed weights. Identical
 /// numerics to winograd_conv_s8 with the same scales, but U is reused, the
 /// input tiles are dequantized on the fly (no full fp32 copy of the
@@ -143,7 +164,8 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
                                   const ConvGeometry& g, const wino::Transforms& tr,
                                   const WinogradStageScales& scales = {},
                                   const Tensor* bias = nullptr,
-                                  std::vector<std::int8_t>* reuse_storage = nullptr);
+                                  std::vector<std::int8_t>* reuse_storage = nullptr,
+                                  WinoPhaseNs* phase_ns = nullptr);
 
 /// Whether winograd_conv_s8_prepared may take the fused blocked path.
 /// Defaults to on unless the WA_WINO_BLOCKED=0 environment override is set.

@@ -12,6 +12,11 @@
 // but any single counter observed flat across a window proves that *no*
 // thread performed that operation inside the window — which is exactly the
 // property the serve tests assert while N clients hammer a loaded pipeline.
+//
+// These counters are also absorbed into telemetry::Registry::snapshot() as
+// wa_backend_weight_transforms_total / wa_backend_weight_repacks_total, so
+// the Prometheus exposition (serve::dump_metrics) covers them without the
+// kernels taking a dependency on the registry.
 #pragma once
 
 #include <atomic>

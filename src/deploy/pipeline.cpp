@@ -184,7 +184,7 @@ void Int8Pipeline::push(Stage s, StageIO io, std::vector<EpilogueOp> epilogue) {
       s);
   // Any attached plan indexes the old schedule; growing the graph voids it.
   plan_.reset();
-  nodes_.push_back({std::move(s), std::move(io), std::move(epilogue)});
+  nodes_.push_back({std::move(s), std::move(io), std::move(epilogue), {}});
 }
 
 std::vector<Int8Pipeline::Node> Int8Pipeline::take_nodes() {
@@ -306,12 +306,13 @@ void Int8Pipeline::set_plan(MemoryPlan plan) {
 }
 
 Tensor Int8Pipeline::run(const Tensor& input, std::vector<StageTiming>* timings,
-                         RunStats* stats) const {
-  return run_impl(input, timings, nullptr, stats);
+                         RunStats* stats, telemetry::TraceContext trace) const {
+  return run_impl(input, timings, nullptr, stats, trace);
 }
 
 Tensor Int8Pipeline::run_impl(const Tensor& input, std::vector<StageTiming>* timings,
-                              std::vector<float>* out_scales, RunStats* stats) const {
+                              std::vector<float>* out_scales, RunStats* stats,
+                              telemetry::TraceContext trace) const {
   if (nodes_.empty()) throw std::invalid_argument("Int8Pipeline::run: empty pipeline");
   const auto* first = std::get_if<ConvStage>(&nodes_.front().op);
   if (first == nullptr) {
@@ -399,6 +400,9 @@ Tensor Int8Pipeline::run_impl(const Tensor& input, std::vector<StageTiming>* tim
     };
 
     const std::uint8_t mark = plan != nullptr ? plan->in_place[i] : 0;
+    // Per-phase accumulator for traced Winograd convs; a null pointer keeps
+    // the executors clock-free on untraced forwards.
+    backend::WinoPhaseNs phase_ns;
     QTensor out;
     bool donated = false;       // the output took over an operand's buffer
     bool plan_donated = false;  // ... because the plan said so
@@ -425,7 +429,8 @@ Tensor Int8Pipeline::run_impl(const Tensor& input, std::vector<StageTiming>* tim
               out = backend::winograd_conv_s8_prepared(*x, st.wino_cache, g, st.transforms,
                                                        st.stage_scales,
                                                        st.bias.empty() ? nullptr : &st.bias,
-                                                       reuse);
+                                                       reuse,
+                                                       trace.valid() ? &phase_ns : nullptr);
             } else {
               out = backend::im2row_conv_s8_prepared(*x, st.im2row_cache, g, st.output_scale,
                                                      st.bias.empty() ? nullptr : &st.bias,
@@ -566,9 +571,38 @@ Tensor Int8Pipeline::run_impl(const Tensor& input, std::vector<StageTiming>* tim
       }
     }
 
-    if (timings != nullptr) {
+    if (timings != nullptr || trace.valid() || telemetry::metrics_enabled()) {
       const auto t1 = std::chrono::steady_clock::now();
-      timings->push_back({where, std::chrono::duration<double, std::milli>(t1 - t0).count()});
+      const auto dur_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+      node.ema.observe(dur_ns);  // always-available smoothed per-stage latency
+      if (timings != nullptr) {
+        timings->push_back({where, static_cast<double>(dur_ns) / 1e6});
+      }
+      if (trace.valid()) {
+        auto& tracer = telemetry::Tracer::instance();
+        const std::int64_t ts0 = tracer.to_ns(t0);
+        tracer.emit({"stage:" + where, "pipeline", trace.id, ts0, dur_ns, {}});
+        // Blocked-Winograd phase breakdown: the accumulators are CPU-time
+        // sums across the OpenMP team, so lay the four sub-spans out
+        // proportionally inside the stage's wall-clock interval and carry
+        // the raw nanoseconds in args.
+        if (const std::int64_t total = phase_ns.total(); total > 0) {
+          const char* names[4] = {"wino.scatter", "wino.gemm", "wino.requant", "wino.gather"};
+          const std::int64_t ns[4] = {
+              phase_ns.scatter.load(std::memory_order_relaxed),
+              phase_ns.gemm.load(std::memory_order_relaxed),
+              phase_ns.requant.load(std::memory_order_relaxed),
+              phase_ns.gather.load(std::memory_order_relaxed)};
+          std::int64_t cursor = ts0;
+          for (int p = 0; p < 4; ++p) {
+            const std::int64_t sub = dur_ns * ns[p] / total;
+            tracer.emit({names[p], "kernel", trace.id, cursor, sub,
+                         "\"cpu_ns\":" + std::to_string(ns[p])});
+            cursor += sub;
+          }
+        }
+      }
     }
     if (out_scales != nullptr) (*out_scales)[i + 1] = out.scale;
 
@@ -696,7 +730,7 @@ void Int8Pipeline::freeze_scales(const Tensor& calibration) {
     }
   }
   std::vector<float> scales;
-  run_impl(calibration, nullptr, &scales, nullptr);
+  run_impl(calibration, nullptr, &scales, nullptr, {});
   if (auto* first = std::get_if<ConvStage>(&nodes_.front().op); first->input_scale <= 0.F) {
     first->input_scale = scales[0];
   }

@@ -45,6 +45,8 @@
 #include "deploy/int8_ops.hpp"
 #include "models/lenet.hpp"
 #include "models/resnet.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace wa::deploy {
 
@@ -252,6 +254,11 @@ struct RunStats {
 ///     which are monotone counters: concurrent bumps cannot tear, and a
 ///     flat window observed around concurrent forwards proves no thread
 ///     re-transformed or repacked weights;
+///   - per-stage timing writes (each Node's telemetry::EmaNs, and span
+///     emission into the tracer's per-thread rings for traced runs) are
+///     relaxed atomics / thread-local rings: concurrent runs may interleave
+///     EMA blends (a smoothed estimate tolerates a lost update) but never
+///     race on the stage data itself;
 ///   - stages with *dynamic* scales (output_scale <= 0, resolved from each
 ///     batch's own statistics) are still data-race-free — the derived scale
 ///     is a per-call local — but they are batch-composition dependent, so a
@@ -270,6 +277,11 @@ class Int8Pipeline {
     Stage op;
     StageIO io;
     std::vector<EpilogueOp> epilogue;
+    /// Always-available smoothed per-stage latency, fed by every run() while
+    /// metrics are enabled (telemetry::metrics_enabled()); mutable because
+    /// observing a timing does not change the compiled graph. Copied nodes
+    /// (take_nodes + re-push) carry their EMA along.
+    mutable telemetry::EmaNs ema;
   };
 
   void push(Stage s) { push(std::move(s), StageIO{}); }
@@ -314,8 +326,13 @@ class Int8Pipeline {
   /// Activations stay int8 between stages. When `timings` is non-null it is
   /// filled with one entry per stage (label + milliseconds); when `stats` is
   /// non-null it is filled with this run's activation-memory counters.
+  ///
+  /// A valid `trace` context makes the run emit one `stage:<label>` span per
+  /// stage plus scatter/gemm/requant/gather sub-spans for blocked Winograd
+  /// convs into the telemetry tracer — logits are bit-identical traced or
+  /// not (timing never touches the arithmetic).
   Tensor run(const Tensor& input, std::vector<StageTiming>* timings = nullptr,
-             RunStats* stats = nullptr) const;
+             RunStats* stats = nullptr, telemetry::TraceContext trace = {}) const;
 
   /// run() with the batch split into micro-batches of at most `micro_batch`
   /// inputs. Caps the activation working set so a serving-sized batch stays
@@ -366,7 +383,8 @@ class Int8Pipeline {
 
  private:
   Tensor run_impl(const Tensor& input, std::vector<StageTiming>* timings,
-                  std::vector<float>* out_scales, RunStats* stats) const;
+                  std::vector<float>* out_scales, RunStats* stats,
+                  telemetry::TraceContext trace) const;
 
   std::vector<Node> nodes_;
   std::optional<MemoryPlan> plan_;

@@ -15,6 +15,8 @@
 #endif
 
 #include "serve/artifact.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace wa::serve {
 
@@ -22,12 +24,16 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Sliding window of request latencies kept per model; large enough for
-/// stable tail percentiles, small enough to sort on every stats() call.
-constexpr std::size_t kLatencyWindow = 4096;
 /// Histogram buckets: sizes 1..kHistBuckets-1 tracked exactly, bucket 0
 /// aggregates anything larger.
 constexpr std::size_t kHistBuckets = 65;
+
+/// Latency histogram edges: 5 us to ~1 s growing 1.25x per bucket — the one
+/// bucket layout every model's wa_serve_latency_ms series shares, so stats()
+/// quantiles carry at most one bucket width (~25% relative) of error.
+std::vector<double> latency_bounds_ms() {
+  return telemetry::exponential_bounds(0.005, 1.25, 56);
+}
 
 double to_ms(Clock::duration d) {
   return std::chrono::duration<double, std::milli>(d).count();
@@ -43,13 +49,6 @@ bool same_sample_shape(const Tensor& a, const Tensor& b) {
   return true;
 }
 
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
 }  // namespace
 
 struct InferenceServer::Impl {
@@ -58,6 +57,7 @@ struct InferenceServer::Impl {
     std::int64_t samples = 0;
     std::promise<Tensor> promise;
     Clock::time_point enqueued;
+    telemetry::TraceContext trace;  ///< sampled at submit; rides the request
   };
 
   struct ModelState {
@@ -72,10 +72,21 @@ struct InferenceServer::Impl {
     std::uint64_t requests = 0, samples = 0, batches = 0, failed = 0, rejected = 0;
     std::int64_t peak_bytes = 0;  ///< max RunStats.peak_activation_bytes over dispatches
     std::vector<std::uint64_t> hist = std::vector<std::uint64_t>(kHistBuckets, 0);
-    std::vector<double> lat_window;
-    std::size_t lat_pos = 0;
     Clock::time_point first_submit{};
     bool saw_submit = false;
+
+    /// Telemetry handles into the global registry (created at add_model,
+    /// labeled {model="name"}). The registry cells are process-lifetime —
+    /// re-registering a name continues its exported series — so stats()
+    /// windows the latency histogram against the baseline snapshot captured
+    /// at registration. The windowed max cannot come from a histogram delta
+    /// and is tracked directly (under mu).
+    std::string name;
+    telemetry::Counter c_requests, c_samples, c_batches, c_failed, c_rejected;
+    telemetry::Gauge g_depth;
+    telemetry::Histogram h_latency;
+    telemetry::HistogramSnapshot lat_base;
+    double lat_max_ms = 0.0;
   };
 
   explicit Impl(ServerOptions o) : opts(o) {
@@ -148,6 +159,7 @@ struct InferenceServer::Impl {
       m.queue.pop_front();
       if (total >= opts.batch.max_batch) break;
     }
+    m.g_depth.set(static_cast<double>(m.queue.size()));
     return group;
   }
 
@@ -167,6 +179,7 @@ struct InferenceServer::Impl {
       }
       // Linger for more work to coalesce — but never past the oldest
       // request's delay budget, and not at all once shutdown began.
+      const auto picked = Clock::now();  // traced queue_wait ends here
       const auto deadline =
           m->queue.front().enqueued + std::chrono::microseconds(opts.batch.max_delay_us);
       while (!stop && !m->queue.empty() &&
@@ -177,26 +190,37 @@ struct InferenceServer::Impl {
       std::vector<Request> group = pop_group_locked(*m);
       lk.unlock();
       space_cv.notify_all();
-      run_group(*m, group);
+      run_group(*m, group, picked);
       lk.lock();
     }
   }
 
-  void run_group(ModelState& m, std::vector<Request>& group) {
+  void run_group(ModelState& m, std::vector<Request>& group, Clock::time_point picked) {
     std::int64_t total = 0;
     for (const Request& r : group) total += r.samples;
+    // The pipeline emits its per-stage spans under ONE trace id; the first
+    // traced request in the group carries the whole forward (the others'
+    // serve-level spans still show their dispatch interval).
+    telemetry::TraceContext ctx;
+    for (const Request& r : group) {
+      if (r.trace.valid()) {
+        ctx = r.trace;
+        break;
+      }
+    }
 
+    const auto t_dispatch = Clock::now();
     Tensor out;
     deploy::RunStats rstats;
     std::exception_ptr err;
     try {
       if (group.size() == 1) {
-        out = m.pipe.run(group.front().input, nullptr, &rstats);
+        out = m.pipe.run(group.front().input, nullptr, &rstats, ctx);
       } else {
         std::vector<Tensor> parts;
         parts.reserve(group.size());
         for (Request& r : group) parts.push_back(std::move(r.input));
-        out = m.pipe.run(Tensor::concat(parts, 0), nullptr, &rstats);
+        out = m.pipe.run(Tensor::concat(parts, 0), nullptr, &rstats, ctx);
       }
     } catch (...) {
       err = std::current_exception();
@@ -216,13 +240,34 @@ struct InferenceServer::Impl {
           static_cast<std::size_t>(total) < kHistBuckets ? static_cast<std::size_t>(total) : 0;
       m.hist[bucket] += 1;
       for (const Request& r : group) {
-        const double l = to_ms(done - r.enqueued);
-        if (m.lat_window.size() < kLatencyWindow) {
-          m.lat_window.push_back(l);
-        } else {
-          m.lat_window[m.lat_pos] = l;
-          m.lat_pos = (m.lat_pos + 1) % kLatencyWindow;
-        }
+        m.lat_max_ms = std::max(m.lat_max_ms, to_ms(done - r.enqueued));
+      }
+    }
+    // Registry updates take no lock at all (striped relaxed atomics).
+    m.c_batches.inc();
+    m.c_requests.inc(group.size());
+    m.c_samples.inc(static_cast<std::uint64_t>(total));
+    if (err) m.c_failed.inc(group.size());
+    for (const Request& r : group) m.h_latency.observe(to_ms(done - r.enqueued));
+
+    // Serve-level spans per traced request: request ⊃ queue_wait → coalesce
+    // → dispatch. A request that arrived during the linger has
+    // enqueued > picked — its queue_wait collapses to zero and coalesce
+    // covers the remainder of the wait.
+    if (telemetry::Tracer::instance().enabled()) {
+      auto& tracer = telemetry::Tracer::instance();
+      for (const Request& r : group) {
+        if (!r.trace.valid()) continue;
+        const std::int64_t t_enq = tracer.to_ns(r.enqueued);
+        const std::int64_t t_pick = std::max(t_enq, tracer.to_ns(picked));
+        const std::int64_t t_disp = std::max(t_pick, tracer.to_ns(t_dispatch));
+        const std::int64_t t_done = tracer.to_ns(done);
+        tracer.emit({"request", "serve", r.trace.id, t_enq, t_done - t_enq,
+                     "\"model\":\"" + m.name + "\",\"batch\":" + std::to_string(group.size()) +
+                         ",\"samples\":" + std::to_string(total)});
+        tracer.emit({"queue_wait", "serve", r.trace.id, t_enq, t_pick - t_enq, {}});
+        tracer.emit({"coalesce", "serve", r.trace.id, t_pick, t_disp - t_pick, {}});
+        tracer.emit({"dispatch", "serve", r.trace.id, t_disp, t_done - t_disp, {}});
       }
     }
 
@@ -258,6 +303,7 @@ struct InferenceServer::Impl {
     while (!stop && !m.removed && m.queue.size() >= opts.queue_capacity) {
       if (!blocking) {
         ++m.rejected;
+        m.c_rejected.inc();
         return std::nullopt;
       }
       space_cv.wait(lk);
@@ -271,12 +317,14 @@ struct InferenceServer::Impl {
     r.samples = input.size(0);
     r.input = std::move(input);
     r.enqueued = Clock::now();
+    r.trace = telemetry::Tracer::instance().sample();
     if (!m.saw_submit) {
       m.saw_submit = true;
       m.first_submit = r.enqueued;
     }
     std::future<Tensor> fut = r.promise.get_future();
     m.queue.push_back(std::move(r));
+    m.g_depth.set(static_cast<double>(m.queue.size()));
     work_cv.notify_all();
     return fut;
   }
@@ -329,6 +377,21 @@ void InferenceServer::add_model(const std::string& name, deploy::Int8Pipeline pi
                                 "' is already registered");
   }
   it->second->pipe = std::move(pipe);
+  // Wire the model's telemetry: get-or-create is idempotent, so a
+  // re-registered name continues the exported series; the latency baseline
+  // snapshot carves this registration's stats() window out of it.
+  Impl::ModelState& m = *it->second;
+  m.name = name;
+  auto& reg = telemetry::Registry::global();
+  const std::string label = "{model=\"" + name + "\"}";
+  m.c_requests = reg.counter("wa_serve_requests_total" + label);
+  m.c_samples = reg.counter("wa_serve_samples_total" + label);
+  m.c_batches = reg.counter("wa_serve_batches_total" + label);
+  m.c_failed = reg.counter("wa_serve_failed_total" + label);
+  m.c_rejected = reg.counter("wa_serve_rejected_total" + label);
+  m.g_depth = reg.gauge("wa_serve_queue_depth" + label);
+  m.h_latency = reg.histogram("wa_serve_latency_ms" + label, latency_bounds_ms());
+  m.lat_base = m.h_latency.snapshot();
 }
 
 void InferenceServer::remove_model(const std::string& name) {
@@ -378,13 +441,14 @@ std::optional<std::future<Tensor>> InferenceServer::try_submit(const std::string
 
 ModelStats InferenceServer::stats(const std::string& model) const {
   ModelStats s;
-  std::vector<double> sorted;
+  telemetry::Histogram h_latency;
+  telemetry::HistogramSnapshot lat_base;
+  double lat_max_ms = 0.0;
   Clock::time_point first_submit{};
   bool saw_submit = false;
   {
-    // Copy under the scheduler lock, sort after releasing it: a monitoring
-    // poll must not stall submitters and workers for an O(n log n) pass
-    // over the latency window.
+    // Copy under the scheduler lock, merge the histogram stripes after
+    // releasing it: a monitoring poll must not stall submitters and workers.
     std::lock_guard<std::mutex> lk(impl_->mu);
     auto it = impl_->models.find(model);
     if (it == impl_->models.end()) {
@@ -399,20 +463,20 @@ ModelStats InferenceServer::stats(const std::string& model) const {
     s.queue_depth = m.queue.size();
     s.batch_size_hist = m.hist;
     s.peak_activation_bytes = m.peak_bytes;
-    sorted = m.lat_window;
+    h_latency = m.h_latency;
+    lat_base = m.lat_base;
+    lat_max_ms = m.lat_max_ms;
     first_submit = m.first_submit;
     saw_submit = m.saw_submit;
   }
-  std::sort(sorted.begin(), sorted.end());
-  s.latency.p50_ms = percentile(sorted, 0.50);
-  s.latency.p95_ms = percentile(sorted, 0.95);
-  s.latency.p99_ms = percentile(sorted, 0.99);
-  s.latency.max_ms = sorted.empty() ? 0.0 : sorted.back();
-  if (!sorted.empty()) {
-    double sum = 0.0;
-    for (double l : sorted) sum += l;
-    s.latency.mean_ms = sum / static_cast<double>(sorted.size());
-  }
+  // Quantiles from the registry histogram, windowed to this registration.
+  // Monotone in q by construction, so p99 >= p95 >= p50 always holds.
+  const telemetry::HistogramSnapshot lat = h_latency.snapshot().minus(lat_base);
+  s.latency.p50_ms = lat.quantile(0.50);
+  s.latency.p95_ms = lat.quantile(0.95);
+  s.latency.p99_ms = lat.quantile(0.99);
+  s.latency.mean_ms = lat.mean();
+  s.latency.max_ms = lat_max_ms;
   if (saw_submit && s.samples > 0) {
     const double secs = std::chrono::duration<double>(Clock::now() - first_submit).count();
     if (secs > 0.0) s.samples_per_sec = static_cast<double>(s.samples) / secs;
@@ -421,5 +485,9 @@ ModelStats InferenceServer::stats(const std::string& model) const {
 }
 
 void InferenceServer::shutdown() { impl_->shutdown(); }
+
+void dump_metrics(std::ostream& os) {
+  telemetry::write_prometheus(os, telemetry::Registry::global().snapshot());
+}
 
 }  // namespace wa::serve

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <future>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,6 +52,11 @@ struct ServerOptions {
   int omp_threads_per_worker = 1;
 };
 
+/// Request latency summary. The quantiles are estimates read from the
+/// model's telemetry histogram (linear interpolation inside the owning
+/// bucket, so accuracy is one bucket width — the edges grow by 1.25x per
+/// bucket); mean and max are exact. Monotone by construction: p99 >= p95 >=
+/// p50 for any traffic.
 struct LatencyStats {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
@@ -66,8 +72,11 @@ struct ModelStats {
   std::uint64_t failed = 0;    ///< requests completed with an exception
   std::uint64_t rejected = 0;  ///< try_submit refusals due to a full queue
   std::size_t queue_depth = 0; ///< requests queued right now
-  /// End-to-end request latency (enqueue -> future completed), over a
-  /// sliding window of the most recent completions.
+  /// End-to-end request latency (enqueue -> future completed) since this
+  /// model was registered, summarized from its telemetry histogram
+  /// (wa_serve_latency_ms{model=...} minus the baseline captured at
+  /// add_model, so a re-registered name starts a fresh window while the
+  /// exported series stays cumulative).
   LatencyStats latency;
   /// batch_size_hist[k] counts dispatches that coalesced k samples
   /// (index 0 aggregates anything >= the histogram length).
@@ -114,6 +123,12 @@ class InferenceServer {
   /// threw). Blocks while the model's queue is full; throws
   /// std::invalid_argument for an unknown model and std::runtime_error
   /// after shutdown.
+  ///
+  /// When tracing is on (WA_TRACE=N / telemetry::Tracer::set_sampling),
+  /// every Nth submission mints a TraceContext that rides the request
+  /// through the queue, the coalescer and the dispatch into the pipeline —
+  /// dump with telemetry::dump_chrome_trace. Logits are bit-identical
+  /// whether or not a request was sampled.
   std::future<Tensor> submit(const std::string& model, Tensor input);
 
   /// Non-blocking submit: std::nullopt (and a `rejected` tick) when the
@@ -130,5 +145,11 @@ class InferenceServer {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Prometheus text exposition of the global telemetry registry — every
+/// server/pipeline/kernel metric in one dump (the socket-less stand-in for a
+/// /metrics endpoint). Counters are process-lifetime; see
+/// docs/OBSERVABILITY.md for the naming scheme.
+void dump_metrics(std::ostream& os);
 
 }  // namespace wa::serve

@@ -1,0 +1,288 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+#include "backend/perf_counters.hpp"
+
+namespace wa::telemetry {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{[] {
+  const char* env = std::getenv("WA_METRICS");
+  return env == nullptr || std::string(env) != "0";
+}()};
+
+}  // namespace
+
+bool metrics_enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+void set_metrics_enabled(bool on) { g_metrics_enabled.store(on, std::memory_order_relaxed); }
+
+// ---- snapshot structs ------------------------------------------------------
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double lo = 0.0;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t ck = counts[b];
+    if (ck > 0) {
+      if (static_cast<double>(cum) + static_cast<double>(ck) >= target) {
+        if (b >= bounds.size()) return max;  // overflow bucket: best answer is the max
+        const double hi = bounds[b];
+        const double frac =
+            std::clamp((target - static_cast<double>(cum)) / static_cast<double>(ck), 0.0, 1.0);
+        return lo + frac * (hi - lo);
+      }
+      cum += ck;
+    }
+    if (b < bounds.size()) lo = bounds[b];
+  }
+  return max;
+}
+
+HistogramSnapshot HistogramSnapshot::minus(const HistogramSnapshot& base) const {
+  HistogramSnapshot d = *this;
+  if (base.counts.size() == counts.size()) {
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      d.counts[b] = counts[b] >= base.counts[b] ? counts[b] - base.counts[b] : 0;
+    }
+    d.sum = sum - base.sum;
+    d.count = count >= base.count ? count - base.count : 0;
+  }
+  return d;
+}
+
+const MetricSnapshot* Snapshot::find(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+// ---- handles ---------------------------------------------------------------
+
+namespace {
+
+std::uint64_t merge_counter(const detail::MetricCell& c) {
+  std::uint64_t total = 0;
+  for (const auto& s : c.stripes) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+HistogramSnapshot merge_histogram(const detail::MetricCell& c) {
+  HistogramSnapshot h;
+  h.bounds = c.bounds;
+  h.counts.assign(c.bounds.size() + 1, 0);
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    for (std::size_t b = 0; b <= c.bounds.size(); ++b) {
+      h.counts[b] += c.bucket_counts[s * c.bucket_stride + b].load(std::memory_order_relaxed);
+    }
+    h.sum += c.hist[s].sum.load(std::memory_order_relaxed);
+    h.max = std::max(h.max, c.hist[s].max.load(std::memory_order_relaxed));
+  }
+  for (const std::uint64_t ck : h.counts) h.count += ck;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Counter::value() const { return cell_ != nullptr ? merge_counter(*cell_) : 0; }
+
+double Gauge::value() const {
+  return cell_ != nullptr ? cell_->gauge.load(std::memory_order_relaxed) : 0.0;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  return cell_ != nullptr ? merge_histogram(*cell_) : HistogramSnapshot{};
+}
+
+// ---- registry --------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();  // leaked: outlives every handle
+  return *g;
+}
+
+detail::MetricCell* Registry::get_or_create(const std::string& name, MetricType type,
+                                            std::vector<double> bounds) {
+  if (name.empty()) throw std::invalid_argument("telemetry::Registry: empty metric name");
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = cells_.find(name);
+  if (it != cells_.end()) {
+    if (it->second->type != type) {
+      throw std::invalid_argument("telemetry::Registry: metric '" + name +
+                                  "' already registered with a different type");
+    }
+    return it->second.get();
+  }
+  auto cell = std::make_unique<detail::MetricCell>();
+  cell->name = name;
+  cell->type = type;
+  if (type == MetricType::kHistogram) {
+    if (bounds.empty()) {
+      throw std::invalid_argument("telemetry::Registry: histogram '" + name + "' needs bounds");
+    }
+    for (std::size_t b = 1; b < bounds.size(); ++b) {
+      if (bounds[b] <= bounds[b - 1]) {
+        throw std::invalid_argument("telemetry::Registry: histogram '" + name +
+                                    "' bounds must be strictly increasing");
+      }
+    }
+    cell->bounds = std::move(bounds);
+    // Pad each stripe's bucket row to a cache-line multiple so two stripes
+    // never share a line.
+    cell->bucket_stride = (cell->bounds.size() + 1 + 7) / 8 * 8;
+    cell->bucket_counts = std::vector<std::atomic<std::uint64_t>>(kStripes * cell->bucket_stride);
+  }
+  detail::MetricCell* raw = cell.get();
+  cells_.emplace(name, std::move(cell));
+  return raw;
+}
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(get_or_create(name, MetricType::kCounter, {}));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  return Gauge(get_or_create(name, MetricType::kGauge, {}));
+}
+
+Histogram Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  return Histogram(get_or_create(name, MetricType::kHistogram, std::move(bounds)));
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snap.metrics.reserve(cells_.size() + 2);
+    for (const auto& [name, cell] : cells_) {
+      MetricSnapshot m;
+      m.name = name;
+      m.type = cell->type;
+      switch (cell->type) {
+        case MetricType::kCounter:
+          m.value = static_cast<double>(merge_counter(*cell));
+          break;
+        case MetricType::kGauge:
+          m.value = cell->gauge.load(std::memory_order_relaxed);
+          break;
+        case MetricType::kHistogram:
+          m.hist = merge_histogram(*cell);
+          break;
+      }
+      snap.metrics.push_back(std::move(m));
+    }
+  }
+  // Absorb the kernel-layer perf counters behind the same snapshot API (and
+  // so the same Prometheus exposition). Only the global registry sees real
+  // traffic on them, but including them everywhere keeps snapshot() uniform.
+  const backend::PerfSnapshot perf = backend::snapshot_counters();
+  MetricSnapshot wt;
+  wt.name = "wa_backend_weight_transforms_total";
+  wt.type = MetricType::kCounter;
+  wt.value = static_cast<double>(perf.weight_transforms);
+  MetricSnapshot wr;
+  wr.name = "wa_backend_weight_repacks_total";
+  wr.type = MetricType::kCounter;
+  wr.value = static_cast<double>(perf.weight_repacks);
+  snap.metrics.push_back(std::move(wt));
+  snap.metrics.push_back(std::move(wr));
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  return snap;
+}
+
+void Registry::reset_for_tests() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, cell] : cells_) {
+    for (auto& s : cell->stripes) s.v.store(0, std::memory_order_relaxed);
+    cell->gauge.store(0.0, std::memory_order_relaxed);
+    for (auto& c : cell->bucket_counts) c.store(0, std::memory_order_relaxed);
+    for (auto& h : cell->hist) {
+      h.sum.store(0.0, std::memory_order_relaxed);
+      h.max.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---- exposition ------------------------------------------------------------
+
+namespace {
+
+/// Split `base{labels}` into base and the inner label block ("" when none).
+void split_name(const std::string& name, std::string& base, std::string& labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    base = name;
+    labels.clear();
+    return;
+  }
+  base = name.substr(0, brace);
+  labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const Snapshot& snap) {
+  std::string last_typed;
+  for (const MetricSnapshot& m : snap.metrics) {
+    std::string base, labels;
+    split_name(m.name, base, labels);
+    if (base != last_typed) {
+      const char* type = m.type == MetricType::kCounter   ? "counter"
+                         : m.type == MetricType::kGauge   ? "gauge"
+                                                          : "histogram";
+      os << "# TYPE " << base << ' ' << type << '\n';
+      last_typed = base;
+    }
+    if (m.type == MetricType::kHistogram) {
+      const std::string sep = labels.empty() ? "" : ",";
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < m.hist.counts.size(); ++b) {
+        cum += m.hist.counts[b];
+        const std::string le =
+            b < m.hist.bounds.size() ? fmt_double(m.hist.bounds[b]) : "+Inf";
+        os << base << "_bucket{" << labels << sep << "le=\"" << le << "\"} " << cum << '\n';
+      }
+      const std::string lb = labels.empty() ? "" : "{" + labels + "}";
+      os << base << "_sum" << lb << ' ' << fmt_double(m.hist.sum) << '\n';
+      os << base << "_count" << lb << ' ' << m.hist.count << '\n';
+    } else {
+      os << m.name << ' ' << fmt_double(m.value) << '\n';
+    }
+  }
+}
+
+std::vector<double> exponential_bounds(double first, double factor, std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double v = first;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace wa::telemetry

@@ -1,0 +1,176 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace wa::telemetry {
+
+struct Tracer::Ring {
+  explicit Ring(std::size_t capacity) : cap(capacity) { spans.reserve(capacity); }
+  mutable std::mutex mu;
+  std::size_t cap;
+  std::vector<Span> spans;  // grows to cap, then wraps
+  std::size_t head = 0;     // next write position once wrapped
+  std::uint64_t dropped = 0;
+  std::uint64_t emitted = 0;
+};
+
+namespace {
+
+std::uint32_t sampling_from_env() {
+  const char* env = std::getenv("WA_TRACE");
+  if (env == nullptr || *env == '\0') return 0;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<std::uint32_t>(v) : 0;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  sampling_.store(sampling_from_env(), std::memory_order_relaxed);
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* g = new Tracer();  // leaked: emitters may outlive static dtors
+  return *g;
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  thread_local Ring* t_ring = nullptr;
+  if (t_ring == nullptr) {
+    auto ring = std::make_unique<Ring>(ring_capacity());
+    t_ring = ring.get();
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    rings_.push_back(std::move(ring));
+  }
+  return *t_ring;
+}
+
+void Tracer::emit(Span s) {
+  Ring& r = local_ring();
+  std::lock_guard<std::mutex> lk(r.mu);
+  ++r.emitted;
+  if (r.spans.size() < r.cap) {
+    r.spans.push_back(std::move(s));
+  } else {
+    r.spans[r.head] = std::move(s);
+    r.head = (r.head + 1) % r.cap;
+    ++r.dropped;
+  }
+}
+
+std::vector<Span> Tracer::collect() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> rlk(ring->mu);
+      // Oldest-first: [head, end) then [0, head) once wrapped.
+      for (std::size_t i = ring->head; i < ring->spans.size(); ++i) out.push_back(ring->spans[i]);
+      for (std::size_t i = 0; i < ring->head; ++i) out.push_back(ring->spans[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns : a.dur_ns > b.dur_ns;
+  });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    ring->spans.clear();
+    ring->head = 0;
+    ring->dropped = 0;
+    ring->emitted = 0;
+  }
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::uint64_t Tracer::emitted() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    total += ring->emitted;
+  }
+  return total;
+}
+
+void Tracer::set_ring_capacity(std::size_t cap) {
+  cap_.store(std::max<std::size_t>(1, cap), std::memory_order_relaxed);
+}
+
+namespace {
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::string line;
+  for (const Span& s : spans) {
+    line.clear();
+    if (!first) line += ",";
+    first = false;
+    line += "\n{\"name\":\"";
+    json_escape_into(line, s.name);
+    line += "\",\"cat\":\"";
+    json_escape_into(line, s.cat != nullptr ? std::string(s.cat) : std::string());
+    char buf[160];
+    // chrome trace ts/dur are microseconds (floating point is allowed and
+    // keeps sub-us spans visible).
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":0,\"tid\":%llu,\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<unsigned long long>(s.tid),
+                  static_cast<double>(s.ts_ns) / 1000.0, static_cast<double>(s.dur_ns) / 1000.0);
+    line += buf;
+    if (!s.args.empty()) {
+      line += ",\"args\":{" + s.args + "}";
+    }
+    line += "}";
+    os << line;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool dump_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_chrome_trace(out, Tracer::instance().collect());
+  return static_cast<bool>(out);
+}
+
+}  // namespace wa::telemetry

@@ -1,0 +1,131 @@
+// Request-scoped tracing: a TraceContext minted at InferenceServer::submit
+// rides the request through queueing, micro-batch coalescing, worker
+// dispatch and into Int8Pipeline::run_impl, which emits one span per stage
+// and per-phase sub-spans for the blocked Winograd executor. Spans land in
+// per-thread ring buffers (bounded memory, drop counters) and export as
+// chrome://tracing JSON — load trace.json at chrome://tracing or
+// https://ui.perfetto.dev to see where one request's milliseconds went.
+//
+// Sampling gate: tracing is OFF by default. WA_TRACE=N (or set_sampling(N))
+// traces every Nth submitted request; WA_TRACE=1 traces all of them. An
+// untraced request costs one relaxed fetch_add in submit and a null-pointer
+// check per pipeline stage — nothing else. Span emission itself takes a
+// short per-ring mutex (collect() must read a coherent ring); that is fine
+// because only sampled requests ever reach it — the zero-locks contract
+// applies to the always-on metrics path (telemetry/metrics.hpp), not to the
+// opt-in tracer.
+//
+// Span naming scheme (docs/OBSERVABILITY.md):
+//   serve:    request, queue_wait, coalesce, dispatch
+//   pipeline: stage:<label>
+//   kernel:   wino.scatter, wino.gemm, wino.requant, wino.gather
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wa::telemetry {
+
+/// Identity of one sampled request. id 0 = not traced (the null context) —
+/// everything downstream keys "should I emit?" off valid().
+struct TraceContext {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// One completed interval. ts/dur are nanoseconds on the tracer's private
+/// steady-clock epoch (process start); `tid` is the trace id, so the chrome
+/// exporter renders each traced request as its own nested row. `args` is a
+/// preformatted JSON-object fragment (e.g. "\"batch\":4") or empty.
+struct Span {
+  std::string name;
+  const char* cat = "";
+  std::uint64_t tid = 0;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::string args;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Every-Nth sampling rate; 0 disables tracing. Initialized from WA_TRACE.
+  /// Like simd::set_backend, flipping it mid-traffic is a test/bench hook,
+  /// not a synchronized operation.
+  std::uint32_t sampling() const { return sampling_.load(std::memory_order_relaxed); }
+  void set_sampling(std::uint32_t every_n) {
+    sampling_.store(every_n, std::memory_order_relaxed);
+  }
+  bool enabled() const { return sampling() != 0; }
+
+  /// Sampling decision for a new request: the null context unless tracing is
+  /// on and this is the Nth submission. One relaxed fetch_add when enabled.
+  TraceContext sample() {
+    const std::uint32_t n = sampling();
+    if (n == 0) return {};
+    if (tick_.fetch_add(1, std::memory_order_relaxed) % n != 0) return {};
+    return begin_trace();
+  }
+  /// Unconditionally mint a fresh trace id (benches/tests that want one
+  /// specific traced window regardless of the sampling rate).
+  TraceContext begin_trace() { return {next_id_.fetch_add(1, std::memory_order_relaxed)}; }
+
+  std::int64_t now_ns() const { return to_ns(std::chrono::steady_clock::now()); }
+  std::int64_t to_ns(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_).count();
+  }
+
+  /// Record a completed span into the calling thread's ring (creating and
+  /// registering the ring on first use). When the ring is full the OLDEST
+  /// span is overwritten and the ring's drop counter ticks — bounded memory,
+  /// and a trace dump always holds the most recent window.
+  void emit(Span s);
+
+  /// Copy every ring's live spans, sorted by start time. Safe to call while
+  /// emitters run (per-ring mutexes); the result is a consistent view of
+  /// each ring, not a global cut.
+  std::vector<Span> collect() const;
+
+  /// Clear all rings and drop counters — the start of a fresh capture window.
+  void clear();
+
+  std::uint64_t dropped() const;  ///< total spans overwritten before collection
+  std::uint64_t emitted() const;  ///< total spans ever emitted
+
+  /// Capacity (spans) for rings created after the call. Existing rings keep
+  /// theirs; the default (kDefaultRingCapacity) bounds one ring at ~a few MB.
+  void set_ring_capacity(std::size_t cap);
+  std::size_t ring_capacity() const { return cap_.load(std::memory_order_relaxed); }
+
+  static constexpr std::size_t kDefaultRingCapacity = 16384;
+
+ private:
+  Tracer();
+  struct Ring;
+  Ring& local_ring();
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint32_t> sampling_{0};
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> cap_{kDefaultRingCapacity};
+  mutable std::mutex rings_mu_;  // ring registration + collect/clear
+  std::vector<std::unique_ptr<Ring>> rings_;  // never shrunk: one per emitting thread
+};
+
+/// chrome://tracing "X" (complete) events, one per span, pid 0 and tid =
+/// trace id. Spans are written sorted by timestamp; ts/dur are microseconds
+/// as the format requires.
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans);
+
+/// collect() + write_chrome_trace to `path`; false on I/O failure.
+bool dump_chrome_trace(const std::string& path);
+
+}  // namespace wa::telemetry
