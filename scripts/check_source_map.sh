@@ -44,6 +44,28 @@ while IFS= read -r doc; do
   fi
 done < <(find ./docs -name '*.md' | sort)
 
+# Golden fixture drift: every checked-in `.wam` fixture must be exercised by
+# the artifact suite by name. A format bump that adds a fixture without a
+# back-compat test (or orphans an old one) fails here.
+while IFS= read -r fixture; do
+  name=$(basename "${fixture}")
+  if ! grep -q "${name}" tests/test_serve_artifact.cpp; then
+    echo "error: ${fixture} is never loaded by tests/test_serve_artifact.cpp" >&2
+    fail=1
+  fi
+done < <(find ./tests/data -name 'golden_v*.wam' | sort)
+
+# Format-doc lockstep: artifact.hpp promises WAM_FORMAT.md tracks the writer
+# version, so the current kWamVersion must have its section in the doc.
+ver=$(sed -n 's/.*kWamVersion = \([0-9]*\);.*/\1/p' src/serve/artifact.hpp)
+if [ -z "${ver}" ]; then
+  echo "error: could not read kWamVersion from src/serve/artifact.hpp" >&2
+  fail=1
+elif ! grep -q "Version ${ver}" docs/WAM_FORMAT.md; then
+  echo "error: docs/WAM_FORMAT.md has no section for .wam version ${ver}" >&2
+  fail=1
+fi
+
 if [ "${fail}" -ne 0 ]; then
   echo "docs check failed — update the README source map / docs links" >&2
   exit 1

@@ -12,7 +12,7 @@ namespace wa::backend {
 
 void ConvGeometry::validate() const {
   if (batch < 1 || in_channels < 1 || out_channels < 1 || height < 1 || width < 1 || kernel < 1 ||
-      pad < 0 || groups < 1) {
+      pad < 0 || groups < 1 || stride < 1) {
     throw std::invalid_argument("ConvGeometry: non-positive dimension");
   }
   if (in_channels % groups != 0 || out_channels % groups != 0) {

@@ -23,9 +23,10 @@ struct ConvGeometry {
   std::int64_t kernel = 3;
   std::int64_t pad = 1;
   std::int64_t groups = 1;
+  std::int64_t stride = 1;
 
-  std::int64_t out_height() const { return height + 2 * pad - kernel + 1; }
-  std::int64_t out_width() const { return width + 2 * pad - kernel + 1; }
+  std::int64_t out_height() const { return (height + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_width() const { return (width + 2 * pad - kernel) / stride + 1; }
   void validate() const;
 };
 

@@ -66,33 +66,46 @@ std::vector<std::int8_t> take_output_storage(std::vector<std::int8_t>* reuse, st
 
 }  // namespace
 
-Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights) {
+Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights, std::int64_t groups) {
   if (weights.shape.empty()) throw std::invalid_argument("prepare_im2row_weights_s8: empty weights");
+  const std::int64_t k_total = weights.shape[0];
+  if (groups < 1 || k_total % groups != 0) {
+    throw std::invalid_argument("prepare_im2row_weights_s8: groups must divide out channels");
+  }
   count_weight_repack();
   Im2rowWeightsS8 w;
-  w.out_channels = weights.shape[0];
-  w.patch = weights.numel() / w.out_channels;
+  w.groups = groups;
+  w.out_channels = k_total / groups;                 // per-group K
+  w.patch = weights.numel() / k_total;               // (C/g)*r*r — already per-group
   w.scale = weights.scale;
-  w.wt.resize(static_cast<std::size_t>(w.patch * w.out_channels));
-  for (std::int64_t k = 0; k < w.out_channels; ++k)
-    for (std::int64_t p = 0; p < w.patch; ++p)
-      w.wt[static_cast<std::size_t>(p * w.out_channels + k)] =
-          weights.data[static_cast<std::size_t>(k * w.patch + p)];
+  // Each group's [patch, K/g] operand is contiguous; groups == 1 reproduces
+  // the ungrouped [patch, K] repack byte for byte.
+  w.wt.resize(static_cast<std::size_t>(groups * w.patch * w.out_channels));
+  for (std::int64_t gi = 0; gi < groups; ++gi) {
+    std::int8_t* dst = w.wt.data() + gi * w.patch * w.out_channels;
+    for (std::int64_t k = 0; k < w.out_channels; ++k)
+      for (std::int64_t p = 0; p < w.patch; ++p)
+        dst[p * w.out_channels + k] =
+            weights.data[static_cast<std::size_t>((gi * w.out_channels + k) * w.patch + p)];
+  }
   return w;
 }
 
 QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvGeometry& g,
                        float out_scale, const Tensor* bias) {
-  return im2row_conv_s8_prepared(input, prepare_im2row_weights_s8(weights), g, out_scale, bias);
+  return im2row_conv_s8_prepared(input, prepare_im2row_weights_s8(weights, g.groups), g,
+                                 out_scale, bias);
 }
 
 QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& weights,
                                 const ConvGeometry& g, float out_scale, const Tensor* bias,
                                 std::vector<std::int8_t>* reuse_storage) {
   g.validate();
-  if (g.groups != 1) throw std::invalid_argument("im2row_conv_s8: groups must be 1");
-  const std::int64_t patch = g.in_channels * g.kernel * g.kernel;
-  if (weights.patch != patch || weights.out_channels != g.out_channels) {
+  const std::int64_t gs = g.groups;
+  const std::int64_t cg = g.in_channels / gs;   // channels per group
+  const std::int64_t kg = g.out_channels / gs;  // filters per group
+  const std::int64_t patch = cg * g.kernel * g.kernel;
+  if (weights.patch != patch || weights.out_channels != kg || weights.groups != gs) {
     throw std::invalid_argument("im2row_conv_s8: prepared weights do not match geometry");
   }
   const std::int64_t oh = g.out_height(), ow = g.out_width();
@@ -106,22 +119,26 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
   ScratchArena::Scope frame(arena);
 
   // Lower patches directly in int8 (zero padding stays zero-level: symmetric
-  // quantization has no zero-point offset).
-  std::int8_t* lowered = arena.alloc<std::int8_t>(rows * patch);
+  // quantization has no zero-point offset). Each group gets its own [rows,
+  // patch] matrix so the per-group GEMM below reads one contiguous operand;
+  // groups == 1 is the classic single-matrix lowering unchanged.
+  std::int8_t* lowered = arena.alloc<std::int8_t>(gs * rows * patch);
 #pragma omp parallel for collapse(2) schedule(static)
   for (std::int64_t n = 0; n < g.batch; ++n) {
     for (std::int64_t i = 0; i < oh; ++i) {
       for (std::int64_t j = 0; j < ow; ++j) {
-        std::int8_t* dst = lowered + ((n * oh + i) * ow + j) * patch;
-        for (std::int64_t c = 0; c < g.in_channels; ++c) {
-          for (std::int64_t fi = 0; fi < g.kernel; ++fi) {
-            const std::int64_t ii = i + fi - g.pad;
-            for (std::int64_t fj = 0; fj < g.kernel; ++fj) {
-              const std::int64_t jj = j + fj - g.pad;
-              *dst++ = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
-                           ? input.data[static_cast<std::size_t>(
-                                 ((n * g.in_channels + c) * g.height + ii) * g.width + jj)]
-                           : std::int8_t{0};
+        for (std::int64_t gi = 0; gi < gs; ++gi) {
+          std::int8_t* dst = lowered + gi * rows * patch + ((n * oh + i) * ow + j) * patch;
+          for (std::int64_t c = gi * cg; c < (gi + 1) * cg; ++c) {
+            for (std::int64_t fi = 0; fi < g.kernel; ++fi) {
+              const std::int64_t ii = i * g.stride + fi - g.pad;
+              for (std::int64_t fj = 0; fj < g.kernel; ++fj) {
+                const std::int64_t jj = j * g.stride + fj - g.pad;
+                *dst++ = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
+                             ? input.data[static_cast<std::size_t>(
+                                   ((n * g.in_channels + c) * g.height + ii) * g.width + jj)]
+                             : std::int8_t{0};
+              }
             }
           }
         }
@@ -129,8 +146,12 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
     }
   }
 
+  // acc is [g][rows, K/g]; for groups == 1 that is the familiar [rows, K].
   std::int32_t* acc = arena.alloc<std::int32_t>(rows * g.out_channels);
-  gemm_s8_s32(rows, g.out_channels, patch, lowered, weights.wt.data(), acc);
+  for (std::int64_t gi = 0; gi < gs; ++gi) {
+    gemm_s8_s32(rows, kg, patch, lowered + gi * rows * patch,
+                weights.wt.data() + gi * patch * kg, acc + gi * rows * kg);
+  }
 
   // Requantize to int8 with a fixed-point multiplier. A bias, when present,
   // joins the accumulators as int32 levels at the accumulator scale
@@ -140,11 +161,14 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
     if (bias->numel() != g.out_channels) {
       throw std::invalid_argument("im2row_conv_s8: bias/channel mismatch");
     }
+    for (std::int64_t gi = 0; gi < gs; ++gi) {
+      std::int32_t* gacc = acc + gi * rows * kg;
 #pragma omp parallel for schedule(static)
-    for (std::int64_t row = 0; row < rows; ++row) {
-      std::int32_t* arow = acc + row * g.out_channels;
-      for (std::int64_t k = 0; k < g.out_channels; ++k) {
-        arow[k] += static_cast<std::int32_t>(std::nearbyint(bias->at(k) / acc_scale));
+      for (std::int64_t row = 0; row < rows; ++row) {
+        std::int32_t* arow = gacc + row * kg;
+        for (std::int64_t k = 0; k < kg; ++k) {
+          arow[k] += static_cast<std::int32_t>(std::nearbyint(bias->at(gi * kg + k) / acc_scale));
+        }
       }
     }
   }
@@ -157,8 +181,9 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
   const auto mult = quant::quantize_multiplier(static_cast<double>(acc_scale) / oscale);
 
   // Requantize the accumulators flat (the dispatched fixed-point loop), then
-  // transpose the int8 result [rows, K] -> [N, K, oh, ow]. Two passes move a
-  // quarter of the bytes the old fused int32 transpose-requant touched.
+  // transpose the int8 result per group [rows, K/g] -> [N, K, oh, ow]. Two
+  // passes move a quarter of the bytes the old fused int32 transpose-requant
+  // touched.
   const auto& kt = simd::kernels();
   std::int8_t* q8 = arena.alloc<std::int8_t>(rows * g.out_channels);
   parallel_flat(rows * g.out_channels, [&](std::int64_t begin, std::int64_t len) {
@@ -171,14 +196,17 @@ QTensor im2row_conv_s8_prepared(const QTensor& input, const Im2rowWeightsS8& wei
   // The input was fully consumed by the patch lowering above, so a donated
   // buffer aliasing it is safe to take over here.
   out.data = take_output_storage(reuse_storage, rows * g.out_channels);
+  for (std::int64_t gi = 0; gi < gs; ++gi) {
+    const std::int8_t* gq8 = q8 + gi * rows * kg;
 #pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t i = 0; i < oh; ++i) {
-      for (std::int64_t j = 0; j < ow; ++j) {
-        const std::int8_t* src = q8 + ((n * oh + i) * ow + j) * g.out_channels;
-        for (std::int64_t k = 0; k < g.out_channels; ++k) {
-          out.data[static_cast<std::size_t>(((n * g.out_channels + k) * oh + i) * ow + j)] =
-              src[k];
+    for (std::int64_t n = 0; n < g.batch; ++n) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          const std::int8_t* src = gq8 + ((n * oh + i) * ow + j) * kg;
+          for (std::int64_t k = 0; k < kg; ++k) {
+            out.data[static_cast<std::size_t>(
+                ((n * g.out_channels + gi * kg + k) * oh + i) * ow + j)] = src[k];
+          }
         }
       }
     }
@@ -204,14 +232,21 @@ void build_blocked_u(WinogradWeightsS8& w) {
 
 WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
                                               const wino::Transforms& tr, float scale,
-                                              const std::vector<float>& tap_scales) {
+                                              const std::vector<float>& tap_scales,
+                                              std::int64_t groups, const Tensor* sparse_mask) {
   // U in FP32, then int8 — at one per-layer scale (the legacy training-time
   // Qx) or, when `tap_scales` is given, each tap's [K, C] slice at its own
-  // scale (the per-tap Qx the F4/F6 QAT trains against).
-  const Tensor u_f = winograd_transform_weights(weights_fp32, tr);  // [t*t, K, C]
+  // scale (the per-tap Qx the F4/F6 QAT trains against). Grouped weights
+  // arrive as [K, C/g, r, r]; the transform is per (k, c) plane, so the same
+  // [t*t, K, C/g] layout falls out with no group-aware code.
+  const Tensor u_f = winograd_transform_weights(weights_fp32, tr);  // [t*t, K, C/g]
   WinogradWeightsS8 w;
   w.out_channels = weights_fp32.size(0);
   w.in_channels = weights_fp32.size(1);
+  if (groups < 1 || w.out_channels % groups != 0) {
+    throw std::invalid_argument("prepare_winograd_weights_s8: groups must divide out channels");
+  }
+  w.groups = groups;
   w.tile = tr.tile;
   w.u_q.resize(static_cast<std::size_t>(u_f.numel()));
   if (!tap_scales.empty()) {
@@ -241,6 +276,43 @@ WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
       w.u_q[static_cast<std::size_t>(i)] = clamp_s8(u_f.at(i) / w.scale);
     }
   }
+  if (sparse_mask != nullptr && !sparse_mask->empty()) {
+    // winograd_prune mask [groups, t*t, K/g, C/g]: zero the pruned U levels
+    // (bit-identical to pruning before the transform quantized — Qx(0) == 0),
+    // then flag taps whose whole slice died so the executors skip their GEMM.
+    const std::int64_t t2 = w.tile * w.tile;
+    const std::int64_t kpg = w.out_channels / groups, c = w.in_channels;
+    if (sparse_mask->dim() != 4 || sparse_mask->size(0) != groups ||
+        sparse_mask->size(1) != t2 || sparse_mask->size(2) != kpg || sparse_mask->size(3) != c) {
+      throw std::invalid_argument("prepare_winograd_weights_s8: sparse mask shape " +
+                                  to_string(sparse_mask->shape()) + " does not match U");
+    }
+    for (std::int64_t gi = 0; gi < groups; ++gi) {
+      for (std::int64_t ab = 0; ab < t2; ++ab) {
+        for (std::int64_t k = 0; k < kpg; ++k) {
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            if (sparse_mask->at(((gi * t2 + ab) * kpg + k) * c + ci) == 0.F) {
+              w.u_q[static_cast<std::size_t>((ab * w.out_channels + gi * kpg + k) * c + ci)] = 0;
+            }
+          }
+        }
+      }
+    }
+    std::vector<std::uint8_t> mask(static_cast<std::size_t>(t2), 0);
+    bool any = false;
+    const std::int64_t kc = w.out_channels * c;
+    for (std::int64_t ab = 0; ab < t2; ++ab) {
+      bool dead = true;
+      for (std::int64_t i = 0; i < kc && dead; ++i) {
+        dead = w.u_q[static_cast<std::size_t>(ab * kc + i)] == 0;
+      }
+      if (dead) {
+        mask[static_cast<std::size_t>(ab)] = 1;
+        any = true;
+      }
+    }
+    if (any) w.tap_mask = std::move(mask);  // empty == dense, nothing to skip
+  }
   build_blocked_u(w);
   return w;
 }
@@ -265,7 +337,7 @@ QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const
   return winograd_conv_s8_prepared(
       input,
       prepare_winograd_weights_s8(weights_fp32, tr, scales.weights_transformed,
-                                  scales.weights_transformed_taps),
+                                  scales.weights_transformed_taps, g.groups),
       g, tr, scales, bias);
 }
 
@@ -330,8 +402,12 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
   const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
   const std::int64_t tiles_pp = th * tw;  // tiles per plane
   const std::int64_t C = g.in_channels, K = g.out_channels;
-  const std::int64_t cpad = weights.padded_in_channels;
+  const std::int64_t gs = weights.groups;
+  const std::int64_t cg = weights.in_channels;   // channels per group
+  const std::int64_t kg = K / gs;                // filters per group
+  const std::int64_t cpad = weights.padded_in_channels;  // pad4(C/g)
   const std::int64_t cq = cpad / kWinoChannelBlock;
+  const std::uint8_t* tap_mask = weights.tap_mask.empty() ? nullptr : weights.tap_mask.data();
 
   const float su = weights.scale;
   const float sv = scales.input_transformed;
@@ -384,7 +460,7 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
   // M int32/int8) around the L2 budget, in multiples of the 16-column GEMM
   // width, capped so small shapes still form one block.
   constexpr std::int64_t kSlabBudget = std::int64_t{384} << 10;
-  const std::int64_t per_tile = t2 * (4 + kWinoChannelBlock + cpad + 5 * K);
+  const std::int64_t per_tile = t2 * (4 + kWinoChannelBlock + gs * cpad + 5 * K);
   std::int64_t tb = kSlabBudget / std::max<std::int64_t>(per_tile, 1);
   tb = std::min<std::int64_t>(tb, 64);
   tb = (tb / 16) * 16;
@@ -437,47 +513,63 @@ QTensor winograd_conv_s8_blocked(const QTensor& input, const WinogradWeightsS8& 
       };
       float* v_f = slab.alloc<float>(t2 * nt);
       std::int8_t* v_q4 = slab.alloc<std::int8_t>(kWinoChannelBlock * t2 * nt);
-      std::int8_t* v_blk = slab.alloc<std::int8_t>(t2 * cpad * nt);
+      std::int8_t* v_blk = slab.alloc<std::int8_t>(t2 * gs * cpad * nt);
       std::int32_t* m_acc = slab.alloc<std::int32_t>(t2 * K * nt);
       std::int8_t* m_q = slab.alloc<std::int8_t>(t2 * K * nt);
 
       // Input transform + V quantization + k4 interleave, one channel group
       // at a time: V for this block only ever holds 4 * t² * nt values. The
       // four planar lane rows are transposed into the GEMM layout together.
-      for (std::int64_t cb = 0; cb < cq; ++cb) {
-        for (std::int64_t lane = 0; lane < kWinoChannelBlock; ++lane) {
-          const std::int64_t c = cb * kWinoChannelBlock + lane;
-          std::int8_t* vrow = v_q4 + lane * t2 * nt;
-          if (c >= C) {
-            // Pad lane: level 0 everywhere. Its GEMM contribution cancels
-            // for any value; zero keeps the bytes deterministic.
-            std::memset(vrow, 0, static_cast<std::size_t>(t2 * nt));
-            continue;
+      // Grouped layers block each conv group independently (pad lanes at each
+      // group's channel tail), laid group-major per tap so every group GEMM
+      // reads one contiguous [cq] run: v_blk is [t², gs, cq, nt, 4].
+      for (std::int64_t gi = 0; gi < gs; ++gi) {
+        for (std::int64_t cb = 0; cb < cq; ++cb) {
+          for (std::int64_t lane = 0; lane < kWinoChannelBlock; ++lane) {
+            const std::int64_t cl = cb * kWinoChannelBlock + lane;  // within the group
+            std::int8_t* vrow = v_q4 + lane * t2 * nt;
+            if (cl >= cg) {
+              // Pad lane: level 0 everywhere. Its GEMM contribution cancels
+              // for any value; zero keeps the bytes deterministic.
+              std::memset(vrow, 0, static_cast<std::size_t>(t2 * nt));
+              continue;
+            }
+            const std::int64_t c = gi * cg + cl;
+            const std::int8_t* plane = in_base + (n * C + c) * g.height * g.width;
+            kt.wino_scatter_block_f32(plane, g.height, g.width, g.pad, in_scale, tr.bt_mat.raw(),
+                                      t, m, th, tw, tile0, nt, v_f, nt);
+            if (per_tap) {
+              // v_f is tap-major ([t², nt] for this lane): each tap's nt run
+              // quantizes at its own scale, with the tap loop inside the
+              // backend TU (nt is short — per-call dispatch would dominate).
+              kt.quantize_f32_s8_taps(v_f, vrow, t2, nt, v_inv_taps.data());
+            } else {
+              kt.quantize_f32_s8(v_f, vrow, t2 * nt, v_inv);
+            }
           }
-          const std::int8_t* plane = in_base + (n * C + c) * g.height * g.width;
-          kt.wino_scatter_block_f32(plane, g.height, g.width, g.pad, in_scale, tr.bt_mat.raw(),
-                                    t, m, th, tw, tile0, nt, v_f, nt);
-          if (per_tap) {
-            // v_f is tap-major ([t², nt] for this lane): each tap's nt run
-            // quantizes at its own scale, with the tap loop inside the
-            // backend TU (nt is short — per-call dispatch would dominate).
-            kt.quantize_f32_s8_taps(v_f, vrow, t2, nt, v_inv_taps.data());
-          } else {
-            kt.quantize_f32_s8(v_f, vrow, t2 * nt, v_inv);
+          for (std::int64_t ab = 0; ab < t2; ++ab) {
+            interleave_k4(v_q4 + ab * nt, v_q4 + t2 * nt + ab * nt, v_q4 + 2 * t2 * nt + ab * nt,
+                          v_q4 + 3 * t2 * nt + ab * nt,
+                          v_blk + ((ab * gs + gi) * cq + cb) * nt * 4, nt);
           }
-        }
-        for (std::int64_t ab = 0; ab < t2; ++ab) {
-          interleave_k4(v_q4 + ab * nt, v_q4 + t2 * nt + ab * nt, v_q4 + 2 * t2 * nt + ab * nt,
-                        v_q4 + 3 * t2 * nt + ab * nt, v_blk + (ab * cq + cb) * nt * 4, nt);
         }
       }
       phase_mark(ns_scatter);
 
-      // Hadamard: t² K x nt GEMMs against the pre-blocked U, then the flat
-      // fixed-point requant over the block's M.
+      // Hadamard: per tap, one K x nt GEMM per conv group against the
+      // pre-blocked U (group gi's filters are rows [gi*kg, gi*kg+kg) of the
+      // tap's U slice). A pruned tap (sparse-U skip flag) zero-fills its M
+      // block instead — exactly what GEMM against the all-zero slice returns.
       for (std::int64_t ab = 0; ab < t2; ++ab) {
-        kt.gemm_u8s8_s32_k4(K, nt, cpad, ub + ab * K * cpad, v_blk + ab * cq * nt * 4,
-                            m_acc + ab * K * nt);
+        if (tap_mask != nullptr && tap_mask[ab] != 0) {
+          std::memset(m_acc + ab * K * nt, 0, static_cast<std::size_t>(K * nt) * sizeof(std::int32_t));
+          continue;
+        }
+        for (std::int64_t gi = 0; gi < gs; ++gi) {
+          kt.gemm_u8s8_s32_k4(kg, nt, cpad, ub + (ab * K + gi * kg) * cpad,
+                              v_blk + (ab * gs + gi) * cq * nt * 4,
+                              m_acc + (ab * K + gi * kg) * nt);
+        }
       }
       phase_mark(ns_gemm);
       if (per_tap) {
@@ -523,10 +615,13 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
                                   std::vector<std::int8_t>* reuse_storage,
                                   WinoPhaseNs* phase_ns) {
   g.validate();
-  if (g.groups != 1) throw std::invalid_argument("winograd_conv_s8: groups must be 1");
+  if (g.stride != 1) {
+    throw std::invalid_argument(
+        "winograd_conv_s8: stride must be 1 (strided layers take the polyphase path)");
+  }
   if (g.kernel != tr.r) throw std::invalid_argument("winograd_conv_s8: kernel != transform r");
-  if (weights.out_channels != g.out_channels || weights.in_channels != g.in_channels ||
-      weights.tile != tr.tile) {
+  if (weights.out_channels != g.out_channels || weights.groups != g.groups ||
+      weights.in_channels * g.groups != g.in_channels || weights.tile != tr.tile) {
     throw std::invalid_argument("winograd_conv_s8: prepared weights do not match geometry");
   }
   if (input.shape != Shape{g.batch, g.in_channels, g.height, g.width}) {
@@ -637,13 +732,28 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
   }
   phase_mark(timed ? &phase_ns->scatter : nullptr);
 
-  // Hadamard stage: t² int8 GEMMs accumulating in int32.
+  // Hadamard stage: t² int8 GEMMs accumulating in int32 — one per conv group
+  // (groups == 1 is the classic single GEMM per tap). Group gi consumes its
+  // channel slice of V ([t², C, tiles] keeps group channels adjacent) against
+  // its filter rows of U; a pruned tap (sparse-U) zero-fills instead.
+  const std::int64_t gs_f = g.groups;
+  const std::int64_t cg_f = weights.in_channels;       // channels per group
+  const std::int64_t kg_f = g.out_channels / gs_f;     // filters per group
   std::int32_t* m_acc = arena.alloc<std::int32_t>(t * t * g.out_channels * tiles);
 #pragma omp parallel for schedule(static)
-  for (std::int64_t xy = 0; xy < t * t; ++xy) {
-    gemm_s8_s32(g.out_channels, tiles, g.in_channels,
-                weights.u_q.data() + xy * g.out_channels * g.in_channels,
-                v_q + xy * g.in_channels * tiles, m_acc + xy * g.out_channels * tiles);
+  for (std::int64_t idx = 0; idx < t * t * gs_f; ++idx) {
+    const std::int64_t xy = idx / gs_f, gi = idx % gs_f;
+    if (!weights.tap_mask.empty() && weights.tap_mask[static_cast<std::size_t>(xy)] != 0) {
+      if (gi == 0) {
+        std::memset(m_acc + xy * g.out_channels * tiles, 0,
+                    static_cast<std::size_t>(g.out_channels * tiles) * sizeof(std::int32_t));
+      }
+      continue;
+    }
+    gemm_s8_s32(kg_f, tiles, cg_f,
+                weights.u_q.data() + (xy * g.out_channels + gi * kg_f) * cg_f,
+                v_q + xy * g.in_channels * tiles + gi * cg_f * tiles,
+                m_acc + (xy * g.out_channels + gi * kg_f) * tiles);
   }
   phase_mark(timed ? &phase_ns->gemm : nullptr);
 
@@ -736,6 +846,251 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
     kt.quantize_f32_s8(out_f + begin, out.data.data() + begin, len, o_inv);
   });
   phase_mark(timed ? &phase_ns->gather : nullptr);
+  return out;
+}
+
+namespace {
+
+// The five 3x3 taps outside the even/even parity class, in the fixed lowering
+// order the rect_wt pack and the patch lowering both follow.
+constexpr std::int64_t kRectTaps[5][2] = {{0, 1}, {2, 1}, {1, 0}, {1, 2}, {1, 1}};
+
+}  // namespace
+
+StridedWinogradWeightsS8 prepare_strided_winograd_weights_s8(const Tensor& weights_fp32,
+                                                             const wino::Transforms& tr,
+                                                             float u00_scale, float rect_scale) {
+  if (weights_fp32.dim() != 4 || weights_fp32.size(2) != 3 || weights_fp32.size(3) != 3) {
+    throw std::invalid_argument("prepare_strided_winograd_weights_s8: weights must be [K, C, 3, 3]");
+  }
+  if (tr.r != 2) {
+    throw std::invalid_argument(
+        "prepare_strided_winograd_weights_s8: transforms must be F(m, 2) for the 2x2 phase");
+  }
+  StridedWinogradWeightsS8 w;
+  const std::int64_t K = weights_fp32.size(0), C = weights_fp32.size(1);
+  w.out_channels = K;
+  w.in_channels = C;
+
+  // Phase (0,0): the even/even 2x2 sub-filter g00[u,v] = g[2u, 2v], prepared
+  // exactly like a dense F(m, 2) layer (transform + quantize + block).
+  Tensor g00 = Tensor::zeros({K, C, 2, 2});
+  for (std::int64_t k = 0; k < K; ++k) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t u = 0; u < 2; ++u) {
+        for (std::int64_t v = 0; v < 2; ++v) {
+          g00.at(((k * C + c) * 2 + u) * 2 + v) = weights_fp32.at(((k * C + c) * 3 + 2 * u) * 3 + 2 * v);
+        }
+      }
+    }
+  }
+  w.u00 = prepare_winograd_weights_s8(g00, tr, u00_scale);
+
+  // Rect phases: the remaining five taps, packed [5*C, K] in lowering order
+  // (channel-major, tap-minor) so the per-forward GEMM consumes them as one
+  // im2row operand.
+  float amax = 0.F;
+  for (std::int64_t k = 0; k < K; ++k) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (const auto& ab : kRectTaps) {
+        amax = std::max(amax, std::fabs(weights_fp32.at(((k * C + c) * 3 + ab[0]) * 3 + ab[1])));
+      }
+    }
+  }
+  w.rect_scale = rect_scale > 0.F ? rect_scale : quant::scale_for(amax, quant::QuantSpec{8});
+  count_weight_repack();
+  w.rect_wt.resize(static_cast<std::size_t>(5 * C * K));
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t tap = 0; tap < 5; ++tap) {
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float v =
+            weights_fp32.at(((k * C + c) * 3 + kRectTaps[tap][0]) * 3 + kRectTaps[tap][1]);
+        w.rect_wt[static_cast<std::size_t>((c * 5 + tap) * K + k)] = clamp_s8(v / w.rect_scale);
+      }
+    }
+  }
+  return w;
+}
+
+QTensor strided_winograd_conv_s8_prepared(const QTensor& input,
+                                          const StridedWinogradWeightsS8& weights,
+                                          const ConvGeometry& g, const wino::Transforms& tr,
+                                          const WinogradStageScales& scales, const Tensor* bias,
+                                          std::vector<std::int8_t>* reuse_storage) {
+  g.validate();
+  if (g.stride != 2 || g.kernel != 3 || g.groups != 1) {
+    throw std::invalid_argument("strided_winograd_conv_s8: requires stride 2, kernel 3, groups 1");
+  }
+  if (tr.r != 2 || weights.u00.tile != tr.tile) {
+    throw std::invalid_argument("strided_winograd_conv_s8: transforms must match the 2x2 phase");
+  }
+  if (weights.out_channels != g.out_channels || weights.in_channels != g.in_channels) {
+    throw std::invalid_argument("strided_winograd_conv_s8: prepared weights do not match geometry");
+  }
+  if (!scales.input_transformed_taps.empty() || !scales.hadamard_taps.empty() ||
+      !scales.weights_transformed_taps.empty()) {
+    throw std::invalid_argument("strided_winograd_conv_s8: per-tap scales are not supported");
+  }
+  if (scales.weights_transformed > 0.F && scales.weights_transformed != weights.u00.scale) {
+    throw std::invalid_argument(
+        "strided_winograd_conv_s8: weights_transformed scale does not match the prepared weights");
+  }
+  if (input.shape != Shape{g.batch, g.in_channels, g.height, g.width}) {
+    throw std::invalid_argument("strided_winograd_conv_s8: input shape " + to_string(input.shape) +
+                                " does not match geometry");
+  }
+  const std::int64_t oh = g.out_height(), ow = g.out_width();
+  const std::int64_t C = g.in_channels, K = g.out_channels;
+  // Even/even subplane of the PADDED input: e[u, v] = xp[2u, 2v], so the 3x3
+  // stride-2 conv's (0,0)-parity taps become a stride-1 VALID 2x2 conv on e.
+  // ceil((H + 2p) / 2) rows always yields exactly oh = (H + 2p - 3)/2 + 1
+  // valid outputs (h00 - 1 == oh for every parity of H + 2p).
+  const std::int64_t h00 = (g.height + 2 * g.pad + 1) / 2;
+  const std::int64_t w00 = (g.width + 2 * g.pad + 1) / 2;
+  if (h00 - 1 != oh || w00 - 1 != ow) {
+    throw std::logic_error("strided_winograd_conv_s8: polyphase geometry mismatch");
+  }
+
+  ScratchArena& arena = ScratchArena::for_thread();
+  ScratchArena::Scope frame(arena);
+  const auto& kt = simd::kernels();
+
+  std::int8_t* sub = arena.alloc<std::int8_t>(g.batch * C * h00 * w00);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t nc = 0; nc < g.batch * C; ++nc) {
+    const std::int8_t* plane = input.data.data() + nc * g.height * g.width;
+    std::int8_t* dst = sub + nc * h00 * w00;
+    for (std::int64_t u = 0; u < h00; ++u) {
+      const std::int64_t ii = 2 * u - g.pad;
+      for (std::int64_t v = 0; v < w00; ++v) {
+        const std::int64_t jj = 2 * v - g.pad;
+        dst[u * w00 + v] = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
+                               ? plane[ii * g.width + jj]
+                               : std::int8_t{0};
+      }
+    }
+  }
+
+  // Phase (0,0) runs the standard flat Winograd sequence on the subplanes
+  // (pad already baked into e, so the scatter sees pad 0), gathered to fp32
+  // so the rect-phase partials can join before the single output quantize.
+  const std::int64_t t = tr.tile, m = tr.m, t2 = t * t;
+  const std::int64_t th = (oh + m - 1) / m, tw = (ow + m - 1) / m;
+  const std::int64_t tiles = g.batch * th * tw;
+  const float su = weights.u00.scale;
+  const float in_scale = input.scale;
+
+  float* v_f = arena.alloc<float>(t2 * C * tiles);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t nc = 0; nc < g.batch * C; ++nc) {
+    const std::int64_t n = nc / C, c = nc % C;
+    kt.wino_scatter_f32(sub + nc * h00 * w00, h00, w00, /*pad=*/0, in_scale, tr.bt_mat.raw(), t,
+                        m, th, tw, v_f + c * tiles + n * th * tw, C * tiles);
+  }
+  float sv = scales.input_transformed;
+  if (sv <= 0.F) {
+    float amax = 0.F;
+    for (std::int64_t i = 0; i < t2 * C * tiles; ++i) amax = std::max(amax, std::fabs(v_f[i]));
+    sv = quant::scale_for(amax, quant::QuantSpec{8});
+  }
+  std::int8_t* v_q = arena.alloc<std::int8_t>(t2 * C * tiles);
+  const float v_inv = 1.F / sv;
+  parallel_flat(t2 * C * tiles, [&](std::int64_t begin, std::int64_t len) {
+    kt.quantize_f32_s8(v_f + begin, v_q + begin, len, v_inv);
+  });
+
+  std::int32_t* m_acc = arena.alloc<std::int32_t>(t2 * K * tiles);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t xy = 0; xy < t2; ++xy) {
+    gemm_s8_s32(K, tiles, C, weights.u00.u_q.data() + xy * K * C, v_q + xy * C * tiles,
+                m_acc + xy * K * tiles);
+  }
+
+  const float m_acc_scale = su * sv;
+  float sm = scales.hadamard;
+  if (sm <= 0.F) {
+    std::int32_t amax = 0;
+    for (std::int64_t i = 0; i < t2 * K * tiles; ++i) amax = std::max(amax, std::abs(m_acc[i]));
+    sm = std::max(m_acc_scale * static_cast<float>(amax), 1e-12F) / 127.F;
+  }
+  const auto m_mult = quant::quantize_multiplier(static_cast<double>(m_acc_scale) / sm);
+  std::int8_t* m_q = arena.alloc<std::int8_t>(t2 * K * tiles);
+  parallel_flat(t2 * K * tiles, [&](std::int64_t begin, std::int64_t len) {
+    kt.requant_s32_s8(m_acc + begin, m_q + begin, len, m_mult);
+  });
+
+  const std::vector<float> sm_taps(static_cast<std::size_t>(t2), sm);
+  const bool has_bias = bias != nullptr && !bias->empty();
+  if (has_bias && bias->numel() != g.out_channels) {
+    throw std::invalid_argument("strided_winograd_conv_s8: bias/channel mismatch");
+  }
+  float* out_f = arena.alloc<float>(g.batch * K * oh * ow);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t nk = 0; nk < g.batch * K; ++nk) {
+    const std::int64_t n = nk / K, k = nk % K;
+    const float bv = has_bias ? bias->at(k) : 0.F;
+    kt.wino_gather_f32(m_q + k * tiles + n * th * tw, K * tiles, sm_taps.data(), tr.at_mat.raw(),
+                       t, m, th, tw, oh, ow, bv, out_f + nk * oh * ow);
+  }
+
+  // Rect phases: the five odd-parity taps lower to one [rows, 5*C] im2row
+  // GEMM straight from the (strided) original input, whose int32 partials
+  // join the fp32 plane before quantization.
+  const std::int64_t rows = g.batch * oh * ow;
+  const std::int64_t patch = 5 * C;
+  std::int8_t* lowered = arena.alloc<std::int8_t>(rows * patch);
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t i = 0; i < oh; ++i) {
+      for (std::int64_t j = 0; j < ow; ++j) {
+        std::int8_t* dst = lowered + ((n * oh + i) * ow + j) * patch;
+        for (std::int64_t c = 0; c < C; ++c) {
+          const std::int8_t* plane = input.data.data() + (n * C + c) * g.height * g.width;
+          for (const auto& ab : kRectTaps) {
+            const std::int64_t ii = 2 * i + ab[0] - g.pad;
+            const std::int64_t jj = 2 * j + ab[1] - g.pad;
+            *dst++ = (ii >= 0 && ii < g.height && jj >= 0 && jj < g.width)
+                         ? plane[ii * g.width + jj]
+                         : std::int8_t{0};
+          }
+        }
+      }
+    }
+  }
+  std::int32_t* racc = arena.alloc<std::int32_t>(rows * K);
+  gemm_s8_s32(rows, K, patch, lowered, weights.rect_wt.data(), racc);
+
+  const float rect_acc_scale = in_scale * weights.rect_scale;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t i = 0; i < oh; ++i) {
+      for (std::int64_t j = 0; j < ow; ++j) {
+        const std::int32_t* src = racc + ((n * oh + i) * ow + j) * K;
+        for (std::int64_t k = 0; k < K; ++k) {
+          out_f[((n * K + k) * oh + i) * ow + j] += static_cast<float>(src[k]) * rect_acc_scale;
+        }
+      }
+    }
+  }
+
+  float so = scales.output;
+  if (so <= 0.F) {
+    float amax = 0.F;
+    for (std::int64_t i = 0; i < g.batch * K * oh * ow; ++i) {
+      amax = std::max(amax, std::fabs(out_f[i]));
+    }
+    so = quant::scale_for(amax, quant::QuantSpec{8});
+  }
+  QTensor out;
+  out.shape = Shape{g.batch, K, oh, ow};
+  out.scale = so;
+  // Both the subplane build and the rect lowering have fully consumed the
+  // input, so a donated buffer aliasing it is safe to take over here.
+  out.data = take_output_storage(reuse_storage, g.batch * K * oh * ow);
+  const float o_inv = 1.F / so;
+  parallel_flat(g.batch * K * oh * ow, [&](std::int64_t begin, std::int64_t len) {
+    kt.quantize_f32_s8(out_f + begin, out.data.data() + begin, len, o_inv);
+  });
   return out;
 }
 

@@ -28,16 +28,20 @@ QTensor im2row_conv_s8(const QTensor& input, const QTensor& weights, const ConvG
                        float out_scale = -1.F, const Tensor* bias = nullptr);
 
 /// im2row weights repacked once at load: [K, C*r*r] -> [C*r*r, K] so the
-/// per-forward GEMM consumes them directly.
+/// per-forward GEMM consumes them directly. Grouped convolutions repack each
+/// group contiguously: wt is [g][patch_g, K/g] with patch_g = (C/g)*r*r, so
+/// group gi's GEMM operand starts at wt.data() + gi*patch*out_channels
+/// (per-group strides; `patch` and `out_channels` stay the per-group sizes).
 struct Im2rowWeightsS8 {
-  std::vector<std::int8_t> wt;  // [patch, K]
+  std::vector<std::int8_t> wt;  // groups x [patch, K/groups]
   float scale = 1.F;
-  std::int64_t out_channels = 0;
-  std::int64_t patch = 0;
+  std::int64_t out_channels = 0;  // K/groups (per-group)
+  std::int64_t patch = 0;         // (C/groups)*r*r (per-group)
+  std::int64_t groups = 1;
   bool empty() const { return wt.empty(); }
 };
 
-Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights);
+Im2rowWeightsS8 prepare_im2row_weights_s8(const QTensor& weights, std::int64_t groups = 1);
 
 /// im2row convolution from prepared weights; the lowered patch matrix and
 /// int32 accumulators live in the calling thread's ScratchArena.
@@ -93,17 +97,28 @@ inline constexpr std::int64_t kWinoChannelBlock = 4;
 /// Cpad = C rounded up to kWinoChannelBlock, pad bytes 128 (== level 0).
 /// Offset-binary is what `vpdpbusd` (unsigned x signed) needs; the GEMM
 /// removes the +128 exactly (see KernelTable::gemm_u8s8_s32_k4).
+/// Grouped layers store U with the per-group input width: u_q is
+/// [t*t, K, C/groups] (k's group is k / (K/groups)); u_blocked pads the
+/// per-group C. `in_channels` stays the per-group width so the existing
+/// geometry invariants (u_q size == t²·K·in_channels) hold unchanged.
 struct WinogradWeightsS8 {
-  std::vector<std::int8_t> u_q;         // [t*t, K, C]
+  std::vector<std::int8_t> u_q;         // [t*t, K, C/groups]
   std::vector<std::uint8_t> u_blocked;  // [t*t, K, Cpad], offset-binary
-  std::int64_t padded_in_channels = 0;  // Cpad
+  std::int64_t padded_in_channels = 0;  // Cpad = pad4(C/groups)
   float scale = 1.F;
   /// Per-tap U scales ([t*t], tap ab quantized slice [ab, :, :] of u_q).
   /// Empty = per-tensor (`scale` quantized every tap). When set, `scale`
   /// holds a representative entry (tap 0) for legacy predicates.
   std::vector<float> tap_scales;
+  /// Sparse-U skip flags ([t*t] or empty = dense): tap_mask[ab] != 0 marks a
+  /// tap whose entire U slice is zero (winograd_prune output), so both
+  /// executors skip its Hadamard GEMM and zero-fill its M block instead —
+  /// bit-identical to multiplying by the zeros, since quantize(0) == 0 and
+  /// requant(0) == 0 at any scale.
+  std::vector<std::uint8_t> tap_mask;
   std::int64_t out_channels = 0;
-  std::int64_t in_channels = 0;
+  std::int64_t in_channels = 0;  // per-group input channels
+  std::int64_t groups = 1;
   std::int64_t tile = 0;
   bool empty() const { return u_q.empty(); }
 };
@@ -119,9 +134,16 @@ void build_blocked_u(WinogradWeightsS8& weights);
 /// when non-empty ([t*t] entries), quantizes each tap's [K, C] slice at its
 /// own scale — the per-tap U cache (scale is then ignored beyond recording a
 /// representative).
+/// `groups` > 1 expects [K, C/groups, r, r] weights and records the grouped
+/// layout. `sparse_mask`, when non-null, is the winograd_prune tap mask
+/// [groups, t*t, K/groups, C/groups] (values 0/1): masked U entries are
+/// zeroed BEFORE quantization and taps whose whole slice dies get a
+/// tap_mask skip flag.
 WinogradWeightsS8 prepare_winograd_weights_s8(const Tensor& weights_fp32,
                                               const wino::Transforms& tr, float scale = -1.F,
-                                              const std::vector<float>& tap_scales = {});
+                                              const std::vector<float>& tap_scales = {},
+                                              std::int64_t groups = 1,
+                                              const Tensor* sparse_mask = nullptr);
 
 /// Per-phase wall-clock accumulator for one Winograd conv call — the
 /// kernel-level tail of a request trace (src/telemetry). When a non-null
@@ -166,6 +188,43 @@ QTensor winograd_conv_s8_prepared(const QTensor& input, const WinogradWeightsS8&
                                   const Tensor* bias = nullptr,
                                   std::vector<std::int8_t>* reuse_storage = nullptr,
                                   WinoPhaseNs* phase_ns = nullptr);
+
+/// Stride-2 Winograd weights via the polyphase identity (src/winograd/
+/// strided): y = Σ_st corr1(x_st, g_st) over the four parity subplanes. The
+/// dense 2x2-tap phase g00 runs as a standard Winograd conv over the even/
+/// even input subplane (u00, F(m,2) transforms); the three rectangular
+/// phases (5 taps total: w01,w21 | w10,w12 | w11) collapse into one im2row
+/// GEMM over a 5*C patch lowered straight from the original (strided) input.
+/// Their int32 partials are combined in fp32 and quantized once at the
+/// output scale — a single code path, so blocked/flat toggles and backend
+/// pins cannot change the bytes.
+struct StridedWinogradWeightsS8 {
+  WinogradWeightsS8 u00;             // phase (0,0): 2x2 taps, F(m,2) Winograd
+  std::vector<std::int8_t> rect_wt;  // [5*C, K]: rect-phase taps, im2row order
+  float rect_scale = 1.F;
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  bool empty() const { return u00.empty(); }
+};
+
+/// Build the stride-2 cache from [K, C, 3, 3] fp32 weights. `tr` must be the
+/// F(m,2) transform set used for the phase-00 subplane conv. Scales <= 0
+/// derive from abs-max as elsewhere.
+StridedWinogradWeightsS8 prepare_strided_winograd_weights_s8(const Tensor& weights_fp32,
+                                                             const wino::Transforms& tr,
+                                                             float u00_scale = -1.F,
+                                                             float rect_scale = -1.F);
+
+/// Stride-2 Winograd conv from the polyphase cache. Geometry must carry
+/// stride == 2, kernel == 3, groups == 1; scales are per-tensor only (the
+/// strided stage predates per-tap requant). Bit-identical across backends
+/// and independent of the blocked toggle by construction.
+QTensor strided_winograd_conv_s8_prepared(const QTensor& input,
+                                          const StridedWinogradWeightsS8& weights,
+                                          const ConvGeometry& g, const wino::Transforms& tr,
+                                          const WinogradStageScales& scales = {},
+                                          const Tensor* bias = nullptr,
+                                          std::vector<std::int8_t>* reuse_storage = nullptr);
 
 /// Whether winograd_conv_s8_prepared may take the fused blocked path.
 /// Defaults to on unless the WA_WINO_BLOCKED=0 environment override is set.

@@ -196,6 +196,40 @@ void add_s8_into(QTensor& dst, const QTensor& other, const RequantRatio& dst_rat
   dst.scale = out_scale;
 }
 
+QTensor concat_s8(const QTensor& lhs, const QTensor& rhs, const RequantRatio& lhs_ratio,
+                  const RequantRatio& rhs_ratio, float out_scale, bool relu) {
+  if (lhs.shape.size() != 4 || rhs.shape.size() != 4 || lhs.shape[0] != rhs.shape[0] ||
+      lhs.shape[2] != rhs.shape[2] || lhs.shape[3] != rhs.shape[3]) {
+    throw std::invalid_argument("concat_s8: branch shapes " + to_string(lhs.shape) + " vs " +
+                                to_string(rhs.shape) + " cannot concatenate on channels");
+  }
+  const std::int64_t n = lhs.shape[0], c1 = lhs.shape[1], c2 = rhs.shape[1];
+  const std::int64_t hw = lhs.shape[2] * lhs.shape[3];
+  QTensor out;
+  out.shape = Shape{n, c1 + c2, lhs.shape[2], lhs.shape[3]};
+  out.scale = out_scale;
+  out.data.resize(static_cast<std::size_t>(n * (c1 + c2) * hw));
+  // Each branch lands level-aligned in its channel range via the shared
+  // single-operand remap (a + 0 with the zero ratio identity would change
+  // the clamp path — reuse requant semantics directly instead).
+  const auto remap_rows = [&](const std::int8_t* src, std::int8_t* dst, std::int64_t count,
+                              const RequantRatio& ratio) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      std::int32_t q = apply_ratio(src[i], ratio);
+      if (relu && q < 0) q = 0;
+      dst[i] = static_cast<std::int8_t>(q > 127 ? 127 : (q < -127 ? -127 : q));
+    }
+  };
+#pragma omp parallel for schedule(static) if (n > 1)
+  for (std::int64_t b = 0; b < n; ++b) {
+    remap_rows(lhs.data.data() + b * c1 * hw, out.data.data() + b * (c1 + c2) * hw, c1 * hw,
+               lhs_ratio);
+    remap_rows(rhs.data.data() + b * c2 * hw, out.data.data() + (b * (c1 + c2) + c1) * hw,
+               c2 * hw, rhs_ratio);
+  }
+  return out;
+}
+
 void requant_s8_(QTensor& x, const RequantRatio& ratio, float out_scale) {
   for (auto& v : x.data) {
     const std::int32_t q = apply_ratio(v, ratio);

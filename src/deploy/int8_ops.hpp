@@ -83,6 +83,15 @@ void add_s8_into(backend::QTensor& dst, const backend::QTensor& rhs,
                  const RequantRatio& dst_ratio, const RequantRatio& other_ratio,
                  float out_scale, bool relu);
 
+/// Level-aligned channel concatenation (the fire-module join): both operands
+/// are requantized onto `out_scale` via their prepared ratios and written
+/// into adjacent channel ranges of a fresh [N, C1+C2, H, W] tensor,
+/// optionally ReLU-ed. Operands must be 4-d with equal N/H/W. Never in
+/// place — the output is strictly larger than either operand.
+backend::QTensor concat_s8(const backend::QTensor& lhs, const backend::QTensor& rhs,
+                           const RequantRatio& lhs_ratio, const RequantRatio& rhs_ratio,
+                           float out_scale, bool relu);
+
 /// Fixed-point level remap applied in place: x[i] = sat8(apply_ratio(x[i])),
 /// x.scale = out_scale. This is the standalone RequantStage body and the
 /// fused requant epilogue — one code path, so fusing cannot change a bit.

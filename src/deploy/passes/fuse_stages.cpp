@@ -27,8 +27,8 @@ using Node = Int8Pipeline::Node;
 
 bool fusable_producer(const Node& n) {
   return std::holds_alternative<ConvStage>(n.op) || std::holds_alternative<LinearStage>(n.op) ||
-         std::holds_alternative<AddStage>(n.op) || std::holds_alternative<BnStage>(n.op) ||
-         std::holds_alternative<RequantStage>(n.op);
+         std::holds_alternative<AddStage>(n.op) || std::holds_alternative<ConcatStage>(n.op) ||
+         std::holds_alternative<BnStage>(n.op) || std::holds_alternative<RequantStage>(n.op);
 }
 
 /// Scales match exactly — the rescale the fold removes was the identity.

@@ -107,6 +107,30 @@ std::int64_t walk_peak(const WalkState& st, std::vector<std::uint8_t>* marks, bo
           donor_eff = eff[static_cast<std::size_t>(v2)];
         }
       }
+    } else if (std::holds_alternative<ConcatStage>(node.op)) {
+      // Mirrors the AddStage copy analysis, but the join NEVER runs in place:
+      // the concatenated output is strictly larger than either operand, so
+      // the executor always allocates fresh (mark stays 0).
+      const auto& cat = std::get<ConcatStage>(node.op);
+      if (same) {
+        const bool lhs_div = internal::rescale_would_copy(s1, cat.lhs_scale);
+        const bool rhs_div = internal::rescale_would_copy(s1, cat.rhs_scale);
+        const bool owned_same =
+            w.last_use[static_cast<std::size_t>(v1)] == static_cast<std::int32_t>(i);
+        if (lhs_div || rhs_div) {
+          copies += st.sizes[static_cast<std::size_t>(v1)];  // lhs copy
+          if (!owned_same && rhs_div) copies += st.sizes[static_cast<std::size_t>(v1)];
+        }
+      } else {
+        if (!owned1 && internal::rescale_would_copy(s1, cat.lhs_scale)) {
+          copies += st.sizes[static_cast<std::size_t>(v1)];
+        }
+        const float s2 = st.vscale[static_cast<std::size_t>(v2)];
+        if (!owned2 && internal::rescale_would_copy(s2, cat.rhs_scale)) {
+          copies += st.sizes[static_cast<std::size_t>(v2)];
+        }
+      }
+      if (marks != nullptr && decide) (*marks)[i] = 0;
     } else {
       const float expected = internal::expected_input_scale(node.op, 0);
       const bool would_copy = !owned1 && internal::rescale_would_copy(s1, expected);

@@ -17,7 +17,7 @@ inline float expected_input_scale(const Stage& s, int operand) {
         else if constexpr (std::is_same_v<T, LinearStage>) return st.input_scale;
         else if constexpr (std::is_same_v<T, BnStage>) return st.input_scale;
         else if constexpr (std::is_same_v<T, RequantStage>) return st.input_scale;
-        else if constexpr (std::is_same_v<T, AddStage>) {
+        else if constexpr (std::is_same_v<T, AddStage> || std::is_same_v<T, ConcatStage>) {
           return operand == 0 ? st.lhs_scale : st.rhs_scale;
         } else {
           return -1.F;
@@ -40,6 +40,8 @@ inline float node_result_scale(const Int8Pipeline::Node& node, float in_scale) {
         } else if constexpr (std::is_same_v<T, BnStage>) {
           return st.output_scale;
         } else if constexpr (std::is_same_v<T, AddStage>) {
+          return st.output_scale;
+        } else if constexpr (std::is_same_v<T, ConcatStage>) {
           return st.output_scale;
         } else if constexpr (std::is_same_v<T, RequantStage>) {
           return st.output_scale;

@@ -64,8 +64,8 @@ std::vector<Shape> infer_value_shapes(const Int8Pipeline& pipe, const Shape& inp
             expect(in[1] == st.in_channels,
                    "activation has " + std::to_string(in[1]) + " channels, stage expects " +
                        std::to_string(st.in_channels));
-            const std::int64_t oh = in[2] + 2 * st.pad - st.kernel + 1;
-            const std::int64_t ow = in[3] + 2 * st.pad - st.kernel + 1;
+            const std::int64_t oh = (in[2] + 2 * st.pad - st.kernel) / st.stride + 1;
+            const std::int64_t ow = (in[3] + 2 * st.pad - st.kernel) / st.stride + 1;
             expect(oh >= 1 && ow >= 1,
                    "activation " + to_string(in) + " is smaller than the " +
                        std::to_string(st.kernel) + "x" + std::to_string(st.kernel) + " kernel");
@@ -103,6 +103,15 @@ std::vector<Shape> infer_value_shapes(const Int8Pipeline& pipe, const Shape& inp
             expect(in == rhs, "skip-add branch shapes " + to_string(in) + " vs " +
                                   to_string(rhs) + " do not match");
             return in;
+          } else if constexpr (std::is_same_v<T, ConcatStage>) {
+            const Shape& rhs = shapes[static_cast<std::size_t>(w.in2[i])];
+            expect(in.size() == 4 && rhs.size() == 4,
+                   "concat expects 4-d [N,C,H,W] operands, got " + to_string(in) + " and " +
+                       to_string(rhs));
+            expect(in[0] == rhs[0] && in[2] == rhs[2] && in[3] == rhs[3],
+                   "concat branch shapes " + to_string(in) + " vs " + to_string(rhs) +
+                       " disagree outside the channel axis");
+            return Shape{in[0], in[1] + rhs[1], in[2], in[3]};
           } else {  // ReluStage / RequantStage: levels in, levels out
             return in;
           }

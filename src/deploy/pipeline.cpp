@@ -1,5 +1,6 @@
 #include "deploy/pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <map>
@@ -38,6 +39,7 @@ std::string stage_type_name(const Stage& s) {
         else if constexpr (std::is_same_v<T, LinearStage>) return "linear";
         else if constexpr (std::is_same_v<T, BnStage>) return "batch-norm";
         else if constexpr (std::is_same_v<T, AddStage>) return "add";
+        else if constexpr (std::is_same_v<T, ConcatStage>) return "concat";
         else if constexpr (std::is_same_v<T, ReluStage>) return "relu";
         else return "requant";
       },
@@ -57,6 +59,8 @@ backend::ConvGeometry conv_geometry(const ConvStage& st, const Shape& in_shape) 
   g.out_channels = st.out_channels;
   g.kernel = st.kernel;
   g.pad = st.pad;
+  g.groups = st.groups;
+  g.stride = st.stride;
   return g;
 }
 
@@ -69,8 +73,8 @@ void check_conv_input(const ConvStage& st, const QTensor& x, const std::string& 
   expect(x.shape[1] == st.in_channels, where,
          "activation has " + std::to_string(x.shape[1]) + " channels, stage expects " +
              std::to_string(st.in_channels));
-  const std::int64_t oh = x.shape[2] + 2 * st.pad - st.kernel + 1;
-  const std::int64_t ow = x.shape[3] + 2 * st.pad - st.kernel + 1;
+  const std::int64_t oh = (x.shape[2] + 2 * st.pad - st.kernel) / st.stride + 1;
+  const std::int64_t ow = (x.shape[3] + 2 * st.pad - st.kernel) / st.stride + 1;
   expect(oh >= 1 && ow >= 1, where,
          "activation " + to_string(x.shape) + " is smaller than the " +
              std::to_string(st.kernel) + "x" + std::to_string(st.kernel) + " kernel");
@@ -89,18 +93,32 @@ std::string stage_where(const Int8Pipeline::Node& node, std::size_t index) {
 }
 
 void ConvStage::prepare() {
-  if (nn::is_winograd(algo)) {
-    wino_cache = backend::prepare_winograd_weights_s8(weights_f, transforms,
-                                                      stage_scales.weights_transformed,
-                                                      stage_scales.weights_transformed_taps);
+  if (nn::is_winograd(algo) && stride == 2) {
+    // Stride-2 Winograd lowers through the polyphase cache. The phase-00
+    // subplane conv runs F(m, 2) over the 2x2 even/even weight taps, so the
+    // stage's training-time F(m, 3) transform set is replaced by the
+    // canonical F(m, 2) one here (the rect phases use no transform at all).
+    if (transforms.r != 2) {
+      transforms = wino::make_transforms(transforms.m > 0 ? transforms.m : 2, 2);
+    }
+    strided_cache = backend::prepare_strided_winograd_weights_s8(
+        weights_f, transforms, stage_scales.weights_transformed);
+    stage_scales.weights_transformed = strided_cache.u00.scale;
+    weights_f = Tensor();  // only the cached phases are consulted from here on
+  } else if (nn::is_winograd(algo)) {
+    wino_cache = backend::prepare_winograd_weights_s8(
+        weights_f, transforms, stage_scales.weights_transformed,
+        stage_scales.weights_transformed_taps, groups,
+        sparse_mask.numel() > 0 ? &sparse_mask : nullptr);
     // The derived scale is now frozen: per-forward scale rediscovery would
     // otherwise disagree with the cached levels. Per-tap U scales travel the
     // same way (the cache records the vector it baked).
     stage_scales.weights_transformed = wino_cache.scale;
     stage_scales.weights_transformed_taps = wino_cache.tap_scales;
-    weights_f = Tensor();  // only the cached U is consulted from here on
+    weights_f = Tensor();       // only the cached U is consulted from here on
+    sparse_mask = Tensor();     // baked into the cache (zeroed U + tap_mask)
   } else {
-    im2row_cache = backend::prepare_im2row_weights_s8(weights_q);
+    im2row_cache = backend::prepare_im2row_weights_s8(weights_q, groups);
     weights_q = backend::QTensor{};  // only the packed copy is consulted
   }
 }
@@ -126,6 +144,15 @@ void AddStage::prepare() {
   prepared_ = true;
 }
 
+void ConcatStage::prepare() {
+  if (output_scale <= 0.F) {
+    throw std::invalid_argument("ConcatStage: output scale must be frozen (> 0)");
+  }
+  lhs_ratio = make_requant_ratio(lhs_scale, output_scale);
+  rhs_ratio = make_requant_ratio(rhs_scale, output_scale);
+  prepared_ = true;
+}
+
 void RequantStage::prepare() {
   if (input_scale <= 0.F || output_scale <= 0.F) {
     throw std::invalid_argument("RequantStage: input and output scales must be frozen (> 0)");
@@ -138,11 +165,12 @@ void Int8Pipeline::push(Stage s, StageIO io, std::vector<EpilogueOp> epilogue) {
   const std::string where =
       "Int8Pipeline::push(" +
       (io.label.empty() ? "stage " + std::to_string(nodes_.size()) : io.label) + ")";
-  const bool is_add = std::holds_alternative<AddStage>(s);
-  expect(!is_add || !io.input2.empty(), where,
-         "an AddStage needs a second operand — set io.input2 to a published slot");
-  expect(is_add || io.input2.empty(), where,
-         "io.input2 is only meaningful for an AddStage");
+  const bool is_join =
+      std::holds_alternative<AddStage>(s) || std::holds_alternative<ConcatStage>(s);
+  expect(!is_join || !io.input2.empty(), where,
+         "a join stage (add/concat) needs a second operand — set io.input2 to a published slot");
+  expect(is_join || io.input2.empty(), where,
+         "io.input2 is only meaningful for a join stage (add/concat)");
 
   // Graph sanity at load time: named inputs must be published by an earlier
   // stage, outputs must be fresh, and an implicit input needs the previous
@@ -177,7 +205,7 @@ void Int8Pipeline::push(Stage s, StageIO io, std::vector<EpilogueOp> epilogue) {
         using T = std::decay_t<decltype(st)>;
         if constexpr (std::is_same_v<T, ConvStage> || std::is_same_v<T, LinearStage> ||
                       std::is_same_v<T, BnStage> || std::is_same_v<T, AddStage> ||
-                      std::is_same_v<T, RequantStage>) {
+                      std::is_same_v<T, ConcatStage> || std::is_same_v<T, RequantStage>) {
           if (!st.prepared()) st.prepare();
         }
       },
@@ -208,13 +236,17 @@ Int8Pipeline::Wiring Int8Pipeline::resolve_wiring(bool reject_dead) const {
     // Error labels are built lazily: this resolution runs on every forward
     // and must stay allocation-lean on the success path.
     const auto where = [&node, i] { return stage_where(node, i); };
-    const bool is_add = std::holds_alternative<AddStage>(node.op);
-    if (is_add && node.io.input2.empty()) {
+    const bool is_join = std::holds_alternative<AddStage>(node.op) ||
+                         std::holds_alternative<ConcatStage>(node.op);
+    if (is_join && node.io.input2.empty()) {
       throw std::invalid_argument(
-          where() + ": an AddStage needs a second operand — set io.input2 to a published slot");
+          where() +
+          ": a join stage (add/concat) needs a second operand — set io.input2 to a published "
+          "slot");
     }
-    if (!is_add && !node.io.input2.empty()) {
-      throw std::invalid_argument(where() + ": io.input2 is only meaningful for an AddStage");
+    if (!is_join && !node.io.input2.empty()) {
+      throw std::invalid_argument(where() +
+                                  ": io.input2 is only meaningful for a join stage (add/concat)");
     }
 
     if (node.io.input.empty()) {
@@ -425,7 +457,11 @@ Tensor Int8Pipeline::run_impl(const Tensor& input, std::vector<StageTiming>* tim
               donated = plan_donated = true;
               donor_v = v1;
             }
-            if (nn::is_winograd(st.algo)) {
+            if (!st.strided_cache.empty()) {
+              out = backend::strided_winograd_conv_s8_prepared(
+                  *x, st.strided_cache, g, st.transforms, st.stage_scales,
+                  st.bias.empty() ? nullptr : &st.bias, reuse);
+            } else if (nn::is_winograd(st.algo)) {
               out = backend::winograd_conv_s8_prepared(*x, st.wino_cache, g, st.transforms,
                                                        st.stage_scales,
                                                        st.bias.empty() ? nullptr : &st.bias,
@@ -522,6 +558,39 @@ Tensor Int8Pipeline::run_impl(const Tensor& input, std::vector<StageTiming>* tim
               out = add_s8(*lhs, *rhs, st.lhs_ratio, st.rhs_ratio, st.output_scale,
                            st.relu_after);
             }
+          } else if constexpr (std::is_same_v<T, ConcatStage>) {
+            // The channel-concat join mirrors AddStage's operand acquisition
+            // but never writes in place: the output is strictly larger than
+            // either operand, so the planner marks it 0 unconditionally.
+            const QTensor* lhs;
+            const QTensor* rhs;
+            if (same_operand) {
+              const bool owned = refs[static_cast<std::size_t>(v1)] == 2;
+              if (rescale_changes_levels(vals[static_cast<std::size_t>(v1)].scale, st.lhs_scale) ||
+                  rescale_changes_levels(vals[static_cast<std::size_t>(v1)].scale, st.rhs_scale)) {
+                held1 = vals[static_cast<std::size_t>(v1)];
+                copy_bytes += static_cast<std::int64_t>(held1.data.capacity());
+                ++rs.input_copies;
+                held1 = rescale_s8(std::move(held1), st.lhs_scale);
+                lhs = &held1;
+                rhs = acquire(v1, owned, st.rhs_scale, held2);
+              } else {
+                lhs = rhs = acquire(v1, owned, st.lhs_scale, held2);
+              }
+            } else {
+              lhs = acquire(v1, owned1, st.lhs_scale, held1);
+              rhs = acquire(v2, owned2, st.rhs_scale, held2);
+            }
+            expect(lhs->shape.size() == 4 && rhs->shape.size() == 4, where,
+                   "concat expects 4-d [N,C,H,W] operands, got " + to_string(lhs->shape) +
+                       " and " + to_string(rhs->shape));
+            expect(lhs->shape[0] == rhs->shape[0] && lhs->shape[2] == rhs->shape[2] &&
+                       lhs->shape[3] == rhs->shape[3],
+                   where,
+                   "concat branch shapes " + to_string(lhs->shape) + " vs " +
+                       to_string(rhs->shape) + " disagree outside the channel axis");
+            out = concat_s8(*lhs, *rhs, st.lhs_ratio, st.rhs_ratio, st.output_scale,
+                            st.relu_after);
           } else if constexpr (std::is_same_v<T, ReluStage>) {
             const QTensor* x = acquire(v1, owned1, -1.F, held1);
             if (x == &held1) {
@@ -789,6 +858,7 @@ ConvStage compile_conv(nn::Module& layer, const std::string& name, bool relu_aft
     st.out_channels = o.out_channels;
     st.kernel = o.kernel;
     st.pad = o.pad;
+    st.groups = o.groups;
     st.input_scale = observer_scale_checked(conv->input_observer(), name);
     st.weights_q = backend::quantize_s8(conv->weight().value());
     if (conv->bias().defined()) st.bias = conv->bias().value();
@@ -801,6 +871,10 @@ ConvStage compile_conv(nn::Module& layer, const std::string& name, bool relu_aft
     st.out_channels = o.out_channels;
     st.kernel = o.kernel;
     st.pad = o.pad;
+    st.groups = o.groups;
+    // A winograd_prune mask rides along and is baked into the U cache (zeroed
+    // taps + skip flags) when the stage prepares.
+    if (wa->winograd_mask().numel() > 0) st.sparse_mask = wa->winograd_mask();
     st.input_scale = observer_scale_checked(wa->input_observer(), name);
     // Training transforms the fake-quantized weights (U = Q(G ŵ Gᵀ));
     // replicate that here or the deployed U drifts from the trained one.
@@ -955,6 +1029,7 @@ ConvStage compile_folded_conv(nn::Conv2d& conv, nn::BatchNorm2d& bn, const std::
   st.out_channels = o.out_channels;
   st.kernel = o.kernel;
   st.pad = o.pad;
+  st.groups = o.groups;
   st.input_scale = observer_scale_checked(conv.input_observer(), name);
   const backend::FoldedConv folded = backend::fold_batchnorm(
       conv.weight().value(), conv.bias().defined() ? conv.bias().value() : Tensor(),
@@ -1076,6 +1151,238 @@ Int8Pipeline compile_resnet18(models::ResNet18& model) {
         observer_scale_checked(conv_input_observer(b.conv2(), name + ".conv2"), name + ".conv2");
     emit_conv_bn(pipe, b.conv1(), b.bn1(), name + ".conv1", /*relu=*/true, conv2_in, main_input);
     emit_conv_bn(pipe, b.conv2(), b.bn2(), name + ".conv2", /*relu=*/false, main_scale, "");
+
+    // ---- level-aligned residual join ----
+    AddStage add;
+    add.lhs_scale = main_scale;
+    add.rhs_scale = skip_scale;
+    add.output_scale = out_scale;
+    add.relu_after = true;
+    StageIO io;
+    io.input2 = skip_slot;
+    if (!last) io.output = name + ".out";
+    io.label = name + ".add";
+    pipe.push(std::move(add), std::move(io));
+
+    x_slot = name + ".out";
+    x_scale = out_scale;
+  }
+
+  {
+    StageIO io;
+    io.label = "gap";
+    pipe.push(AvgPoolStage{}, std::move(io));
+  }
+  LinearStage fc;
+  fc.input_scale = observer_scale_checked(model.fc().input_observer(), "fc");
+  fc.weights_q = backend::quantize_s8(model.fc().weight().value());
+  if (model.fc().bias().defined()) fc.bias = model.fc().bias().value();
+  // fc keeps output_scale < 0: logits requantize from their own range.
+  {
+    StageIO io;
+    io.label = "fc";
+    pipe.push(std::move(fc), std::move(io));
+  }
+  return pipe;
+}
+
+// ---- compile_squeezenet -----------------------------------------------------
+
+Int8Pipeline compile_squeezenet(models::SqueezeNet& model) {
+  model.set_training(false);
+  Int8Pipeline pipe;
+  const auto& fires = model.fires();
+  if (fires.empty()) throw std::invalid_argument("compile_squeezenet: model has no fire modules");
+
+  // Stem: conv_in + bn_in fold, ReLU, chains straight into fire0's squeeze.
+  {
+    ConvStage stem = compile_folded_conv(
+        model.conv_in(), model.bn_in(), "conv_in", /*relu_after=*/true,
+        observer_scale_checked(fires[0]->squeeze().input_observer(), "fire0.squeeze"));
+    StageIO io;
+    io.label = "conv_in+bn";
+    pipe.push(std::move(stem), std::move(io));
+  }
+
+  const auto& pool_after = model.pool_after();
+  for (std::size_t i = 0; i < fires.size(); ++i) {
+    models::Fire& f = *fires[i];
+    const std::string name = "fire" + std::to_string(i);
+
+    // Squeeze 1x1 + ReLU publishes the module's fan-out slot: both expand
+    // branches read it (the second reader rescales onto its own input scale
+    // if the two observers disagree).
+    {
+      ConvStage sq = compile_conv(f.squeeze(), name + ".squeeze", /*relu_after=*/true);
+      sq.output_scale = observer_scale_checked(f.expand1().input_observer(), name + ".expand1");
+      StageIO io;
+      io.output = name + ".s";
+      io.label = name + ".squeeze";
+      pipe.push(std::move(sq), std::move(io));
+    }
+
+    const float e1_scale = observer_scale_checked(f.expand1_observer(), name + ".e1");
+    {
+      ConvStage e1 = compile_conv(f.expand1(), name + ".expand1", /*relu_after=*/false);
+      e1.output_scale = e1_scale;
+      StageIO io;
+      io.input = name + ".s";
+      io.output = name + ".e1";
+      io.label = name + ".expand1";
+      pipe.push(std::move(e1), std::move(io));
+    }
+
+    ConvStage e3 = compile_conv(f.expand3(), name + ".expand3", /*relu_after=*/false);
+    if (!nn::is_winograd(e3.algo)) {
+      // The GEMM branch has a free output scale; Winograd keeps its frozen y.
+      e3.output_scale = observer_scale_checked(f.expand3_observer(), name + ".e3");
+    }
+    const float e3_scale = e3.output_scale;
+    {
+      StageIO io;
+      io.input = name + ".s";
+      io.output = name + ".e3";
+      io.label = name + ".expand3";
+      pipe.push(std::move(e3), std::move(io));
+    }
+
+    // Level-aligned channel concat at the concat observer's scale, then the
+    // module batch-norm as an integer per-channel affine with fused ReLU.
+    const float cat_scale = observer_scale_checked(f.concat_observer(), name + ".concat");
+    {
+      ConcatStage cat;
+      cat.lhs_scale = e1_scale;
+      cat.rhs_scale = e3_scale;
+      cat.output_scale = cat_scale;
+      cat.relu_after = false;  // the bn stage fuses the module's ReLU
+      StageIO io;
+      io.input = name + ".e1";
+      io.input2 = name + ".e3";
+      io.label = name + ".concat";
+      pipe.push(std::move(cat), std::move(io));
+    }
+    {
+      const float out_scale = observer_scale_checked(f.output_observer(), name + ".out");
+      StageIO io;
+      io.label = name + ".bn";
+      pipe.push(make_bn_stage(f.bn(), cat_scale, out_scale, /*relu=*/true), std::move(io));
+    }
+
+    if (std::find(pool_after.begin(), pool_after.end(), static_cast<int>(i)) !=
+        pool_after.end()) {
+      StageIO io;
+      io.label = name + ".pool";
+      pipe.push(PoolStage{model.pool().kernel(), model.pool().stride()}, std::move(io));
+    }
+  }
+
+  {
+    StageIO io;
+    io.label = "gap";
+    pipe.push(AvgPoolStage{}, std::move(io));
+  }
+  LinearStage fc;
+  fc.input_scale = observer_scale_checked(model.fc().input_observer(), "fc");
+  fc.weights_q = backend::quantize_s8(model.fc().weight().value());
+  if (model.fc().bias().defined()) fc.bias = model.fc().bias().value();
+  // fc keeps output_scale < 0: logits requantize from their own range.
+  {
+    StageIO io;
+    io.label = "fc";
+    pipe.push(std::move(fc), std::move(io));
+  }
+  return pipe;
+}
+
+// ---- compile_resnext --------------------------------------------------------
+
+Int8Pipeline compile_resnext(models::ResNeXt20& model) {
+  model.set_training(false);
+  Int8Pipeline pipe;
+  const auto& blocks = model.blocks();
+  if (blocks.empty()) throw std::invalid_argument("compile_resnext: model has no blocks");
+
+  // Stem: conv_in + bn_in fold, ReLU, published as the first block's input.
+  ConvStage stem = compile_folded_conv(
+      model.conv_in(), model.bn_in(), "conv_in", /*relu_after=*/true,
+      observer_scale_checked(blocks[0]->reduce().input_observer(), "stage1.block0.reduce"));
+  std::string x_slot = "stem.out";
+  float x_scale = stem.output_scale;
+  {
+    StageIO io;
+    io.output = x_slot;
+    io.label = "conv_in+bn";
+    pipe.push(std::move(stem), std::move(io));
+  }
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    models::ResNeXtBlock& b = *blocks[i];
+    const std::string name =
+        "stage" + std::to_string(i / 2 + 1) + ".block" + std::to_string(i % 2);
+    const bool last = i + 1 == blocks.size();
+    const float out_scale = observer_scale_checked(b.output_observer(), name + ".out");
+    const float main_scale = observer_scale_checked(b.main_branch_observer(), name + ".main");
+
+    // ---- skip branch first, so the main path can chain implicitly ----
+    std::string skip_slot = x_slot;  // identity skip reads the block input
+    float skip_scale = x_scale;
+    if (b.shortcut() != nullptr) {
+      skip_slot = name + ".skip";
+      skip_scale = observer_scale_checked(b.skip_branch_observer(), name + ".skip");
+      std::string conv_input = x_slot;
+      if (b.downsample()) {
+        StageIO io;
+        io.input = x_slot;
+        io.label = name + ".pool_short";
+        pipe.push(PoolStage{2, 2}, std::move(io));
+        conv_input.clear();  // shortcut conv chains off the pooled skip
+      }
+      StageIO io;
+      io.input = conv_input;
+      io.output = skip_slot;
+      io.label = name + ".shortcut+bn";
+      pipe.push(
+          compile_folded_conv(*b.shortcut(), *b.bn_short(), name + ".shortcut",
+                              /*relu_after=*/false, skip_scale),
+          std::move(io));
+    } else if (b.downsample()) {
+      skip_slot = name + ".skip";
+      StageIO io;
+      io.input = x_slot;
+      io.output = skip_slot;
+      io.label = name + ".pool_short";
+      pipe.push(PoolStage{2, 2}, std::move(io));
+    }
+
+    // ---- main path: [pool] reduce+bn1+relu, grouped conv3+bn2+relu,
+    // expand+bn3 ----
+    std::string main_input = x_slot;
+    if (b.downsample()) {
+      StageIO io;
+      io.input = x_slot;
+      io.label = name + ".pool";
+      pipe.push(PoolStage{2, 2}, std::move(io));
+      main_input.clear();
+    }
+    const float conv3_in =
+        observer_scale_checked(conv_input_observer(b.conv3(), name + ".conv3"), name + ".conv3");
+    {
+      StageIO io;
+      io.input = main_input;
+      io.label = name + ".reduce+bn";
+      pipe.push(compile_folded_conv(b.reduce(), b.bn1(), name + ".reduce",
+                                    /*relu_after=*/true, conv3_in),
+                std::move(io));
+    }
+    const float expand_in = observer_scale_checked(b.expand().input_observer(), name + ".expand");
+    emit_conv_bn(pipe, b.conv3(), b.bn2(), name + ".conv3", /*relu=*/true, expand_in, "");
+    {
+      StageIO io;
+      io.label = name + ".expand+bn";
+      pipe.push(compile_folded_conv(b.expand(), b.bn3(), name + ".expand",
+                                    /*relu_after=*/false, main_scale),
+                std::move(io));
+    }
 
     // ---- level-aligned residual join ----
     AddStage add;

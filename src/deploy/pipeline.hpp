@@ -45,6 +45,8 @@
 #include "deploy/int8_ops.hpp"
 #include "models/lenet.hpp"
 #include "models/resnet.hpp"
+#include "models/resnext.hpp"
+#include "models/squeezenet.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -57,21 +59,28 @@ struct ConvStage {
   std::int64_t out_channels = 0;
   std::int64_t kernel = 3;
   std::int64_t pad = 1;
+  std::int64_t groups = 1;  // grouped conv (ResNeXt cardinality); divides C and K
+  std::int64_t stride = 1;  // 1, or 2 for the polyphase strided-Winograd path
   float input_scale = 0.F;         // activation scale frozen from the observer
-  backend::QTensor weights_q;      // int8 weights (GEMM path)
+  backend::QTensor weights_q;      // int8 weights (GEMM path), [K, C/g, r, r]
   Tensor weights_f;                // fp32 weights (Winograd path transforms live)
   wino::Transforms transforms;     // Winograd only (possibly learned/dense)
   backend::WinogradStageScales stage_scales;  // Winograd only
   float output_scale = -1.F;       // frozen Qx(y) scale
   Tensor bias;                     // may be empty
+  Tensor sparse_mask;              // winograd_prune tap mask [g, t², K/g, C/g]; empty = dense
   bool relu_after = false;
 
   // Weight caches built once at load (Int8Pipeline::push calls prepare()):
   // the Winograd path never recomputes U = G g Gᵀ per forward, the GEMM path
-  // never re-transposes its weight matrix per forward.
+  // never re-transposes its weight matrix per forward. A stride-2 Winograd
+  // stage builds the polyphase cache (strided_cache) instead of wino_cache.
   backend::WinogradWeightsS8 wino_cache;
+  backend::StridedWinogradWeightsS8 strided_cache;
   backend::Im2rowWeightsS8 im2row_cache;
-  bool prepared() const { return !wino_cache.empty() || !im2row_cache.empty(); }
+  bool prepared() const {
+    return !wino_cache.empty() || !strided_cache.empty() || !im2row_cache.empty();
+  }
   void prepare();
 };
 
@@ -132,6 +141,22 @@ struct AddStage {
   void prepare();
 };
 
+/// Channel-concatenation join (the SqueezeNet fire-module merge): requantizes
+/// both operands onto output_scale with fixed-point multipliers and writes
+/// them into adjacent channel ranges of a fresh [N, C1+C2, H, W] tensor —
+/// the level-aligned mirror of AddStage for fan-in by concatenation.
+struct ConcatStage {
+  float lhs_scale = 0.F;  // expected scale of the first operand
+  float rhs_scale = 0.F;  // expected scale of the second operand
+  float output_scale = -1.F;
+  bool relu_after = false;
+
+  RequantRatio lhs_ratio, rhs_ratio;  // prepared at push
+  bool prepared_ = false;
+  bool prepared() const { return prepared_; }
+  void prepare();
+};
+
 /// Standalone ReLU on levels: max(0, x), scale unchanged (exact — symmetric
 /// quantization maps level 0 to real 0). The compilers fuse ReLU into their
 /// conv/linear stages via relu_after; this stage exists for hand-assembled
@@ -152,14 +177,17 @@ struct RequantStage {
   void prepare();
 };
 
+// ConcatStage appends at the END: the variant tag order is the .wam wire
+// contract for pre-v5 readers of the earlier kinds.
 using Stage = std::variant<ConvStage, PoolStage, FlattenStage, AvgPoolStage, LinearStage,
-                           BnStage, AddStage, ReluStage, RequantStage>;
+                           BnStage, AddStage, ReluStage, RequantStage, ConcatStage>;
 
 /// Dataflow wiring of one stage. Empty `input` reads the previous stage's
 /// output (sequential chaining); a named input reads an activation slot
-/// published by an earlier stage. `input2` is the second operand of an
-/// AddStage (required there, rejected elsewhere). A named `output` publishes
-/// the result into a slot for later consumers instead of chaining it.
+/// published by an earlier stage. `input2` is the second operand of a
+/// two-operand join (AddStage / ConcatStage — required there, rejected
+/// elsewhere). A named `output` publishes the result into a slot for later
+/// consumers instead of chaining it.
 struct StageIO {
   std::string input;
   std::string input2;
@@ -416,5 +444,17 @@ Int8Pipeline compile_lenet(models::LeNet5& model);
 /// per-channel integer affine. Same calibration requirements as
 /// compile_lenet (block branch observers included).
 Int8Pipeline compile_resnet18(models::ResNet18& model);
+
+/// Compile a trained (or calibrated) SqueezeNet: each fire module deploys as
+/// squeeze conv → two parallel expand convs reading the published squeeze
+/// slot → ConcatStage joining them level-aligned on the concat observer's
+/// scale → integer batch-norm + ReLU. The expand-3x3 convs keep whatever
+/// algorithm the model was built with (im2row or Winograd, per-tap included).
+Int8Pipeline compile_squeezenet(models::SqueezeNet& model);
+
+/// Compile a trained (or calibrated) ResNeXt-20: the compile_resnet18
+/// residual pattern with grouped 3x3 bottleneck convs (cardinality groups
+/// dispatch group-wise through both int8 executors).
+Int8Pipeline compile_resnext(models::ResNeXt20& model);
 
 }  // namespace wa::deploy

@@ -58,7 +58,15 @@ ag::Variable ResNeXtBlock::forward(const ag::Variable& x) {
   ag::Variable skip = x;
   if (downsample_) skip = pool_short_->forward(skip);
   if (shortcut_) skip = bn_short_->forward(shortcut_->forward(skip));
-  return ag::relu(ag::add(main, skip));
+  ag::Variable out = ag::relu(ag::add(main, skip));
+  if (training()) {
+    // Warm the residual-join observers (values only — QAT leaves the
+    // residual in float; deployment requantizes with these frozen ranges).
+    main_obs_.observe(main.value());
+    skip_obs_.observe(skip.value());
+    out_obs_.observe(out.value());
+  }
+  return out;
 }
 
 std::vector<std::string> ResNeXt20::searchable_layer_names() {

@@ -6,6 +6,7 @@
 
 #include "models/conv_builder.hpp"
 #include "nn/layers.hpp"
+#include "quant/observer.hpp"
 
 namespace wa::models {
 
@@ -27,12 +28,34 @@ class ResNeXtBlock : public nn::Module {
                const std::string& name, const ConvBuilder& build, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
 
+  // Structure accessors for the deployment compiler (compile_resnext).
+  bool downsample() const { return downsample_; }
+  nn::Conv2d& reduce() { return *reduce_; }
+  nn::Module& conv3() { return *conv3_; }
+  nn::Conv2d& expand() { return *expand_; }
+  nn::BatchNorm2d& bn1() { return *bn1_; }
+  nn::BatchNorm2d& bn2() { return *bn2_; }
+  nn::BatchNorm2d& bn3() { return *bn3_; }
+  /// nullptr for identity-skip blocks.
+  nn::Conv2d* shortcut() { return shortcut_.get(); }
+  nn::BatchNorm2d* bn_short() { return bn_short_.get(); }
+
+  /// Range observers on the residual join, warmed during training (the
+  /// BasicBlock precedent): pre-add main branch (post-bn3), pre-add skip
+  /// branch, and the post-add-ReLU block output.
+  quant::RangeObserver& main_branch_observer() { return main_obs_; }
+  quant::RangeObserver& skip_branch_observer() { return skip_obs_; }
+  quant::RangeObserver& output_observer() { return out_obs_; }
+
  private:
   bool downsample_;
   std::shared_ptr<nn::Conv2d> reduce_, expand_, shortcut_;
   std::shared_ptr<nn::Module> conv3_;
   std::shared_ptr<nn::BatchNorm2d> bn1_, bn2_, bn3_, bn_short_;
   std::shared_ptr<nn::MaxPool2d> pool_, pool_short_;
+  quant::RangeObserver main_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver skip_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver out_obs_{quant::RangeObserver::Mode::kEma};
 };
 
 class ResNeXt20 : public nn::Module {
@@ -42,6 +65,12 @@ class ResNeXt20 : public nn::Module {
   ag::Variable forward(const ag::Variable& x) override;
 
   static std::vector<std::string> searchable_layer_names();
+
+  // Structure accessors for the deployment compiler (compile_resnext).
+  nn::Conv2d& conv_in() { return *conv_in_; }
+  nn::BatchNorm2d& bn_in() { return *bn_in_; }
+  const std::vector<std::shared_ptr<ResNeXtBlock>>& blocks() { return blocks_; }
+  nn::Linear& fc() { return *fc_; }
 
  private:
   std::shared_ptr<nn::Conv2d> conv_in_;

@@ -37,7 +37,17 @@ ag::Variable Fire::forward(const ag::Variable& x) {
   ag::Variable s = ag::relu(squeeze_->forward(x));
   ag::Variable a = expand1_->forward(s);
   ag::Variable b = expand3_->forward(s);
-  return ag::relu(bn_->forward(ag::concat({a, b}, 1)));
+  ag::Variable cat = ag::concat({a, b}, 1);
+  ag::Variable out = ag::relu(bn_->forward(cat));
+  if (training()) {
+    // Warm the fire-join observers (values only — QAT leaves the concat in
+    // float; deployment requantizes with these frozen ranges).
+    expand1_obs_.observe(a.value());
+    expand3_obs_.observe(b.value());
+    concat_obs_.observe(cat.value());
+    out_obs_.observe(out.value());
+  }
+  return out;
 }
 
 std::vector<std::string> SqueezeNet::searchable_layer_names() {

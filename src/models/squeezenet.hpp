@@ -6,6 +6,7 @@
 
 #include "models/conv_builder.hpp"
 #include "nn/layers.hpp"
+#include "quant/observer.hpp"
 
 namespace wa::models {
 
@@ -26,11 +27,31 @@ class Fire : public nn::Module {
   ag::Variable forward(const ag::Variable& x) override;
   std::int64_t out_channels() const { return out_channels_; }
 
+  // Structure accessors for the deployment compiler (compile_squeezenet).
+  nn::Conv2d& squeeze() { return *squeeze_; }
+  nn::Conv2d& expand1() { return *expand1_; }
+  nn::Module& expand3() { return *expand3_; }
+  nn::BatchNorm2d& bn() { return *bn_; }
+
+  /// Range observers on the fire-module join, warmed during training
+  /// alongside the layer observers: the two pre-concat expand branches, the
+  /// concatenated tensor (what the integer ConcatStage requantizes onto) and
+  /// the post-bn-ReLU module output — QAT never fake-quantizes these, so
+  /// deployment freezes their ranges from here (the BasicBlock precedent).
+  quant::RangeObserver& expand1_observer() { return expand1_obs_; }
+  quant::RangeObserver& expand3_observer() { return expand3_obs_; }
+  quant::RangeObserver& concat_observer() { return concat_obs_; }
+  quant::RangeObserver& output_observer() { return out_obs_; }
+
  private:
   std::int64_t out_channels_;
   std::shared_ptr<nn::Conv2d> squeeze_, expand1_;
   std::shared_ptr<nn::Module> expand3_;
   std::shared_ptr<nn::BatchNorm2d> bn_;
+  quant::RangeObserver expand1_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver expand3_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver concat_obs_{quant::RangeObserver::Mode::kEma};
+  quant::RangeObserver out_obs_{quant::RangeObserver::Mode::kEma};
 };
 
 class SqueezeNet : public nn::Module {
@@ -40,6 +61,14 @@ class SqueezeNet : public nn::Module {
   ag::Variable forward(const ag::Variable& x) override;
 
   static std::vector<std::string> searchable_layer_names();
+
+  // Structure accessors for the deployment compiler (compile_squeezenet).
+  nn::Conv2d& conv_in() { return *conv_in_; }
+  nn::BatchNorm2d& bn_in() { return *bn_in_; }
+  const std::vector<std::shared_ptr<Fire>>& fires() { return fires_; }
+  const std::vector<int>& pool_after() const { return pool_after_; }
+  nn::MaxPool2d& pool() { return *pool_; }
+  nn::Linear& fc() { return *fc_; }
 
  private:
   std::shared_ptr<nn::Conv2d> conv_in_;

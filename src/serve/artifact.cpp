@@ -11,6 +11,7 @@ namespace wa::serve {
 using deploy::AddStage;
 using deploy::AvgPoolStage;
 using deploy::BnStage;
+using deploy::ConcatStage;
 using deploy::ConvStage;
 using deploy::EpilogueOp;
 using deploy::FlattenStage;
@@ -38,6 +39,7 @@ enum class Tag : std::uint8_t {
   kAdd = 6,
   kRelu = 7,     // v2
   kRequant = 8,  // v2
+  kConcat = 9,   // v5
 };
 
 std::uint64_t fnv1a64(const char* data, std::size_t n) {
@@ -103,6 +105,8 @@ void save_conv(std::ostream& os, const ConvStage& st) {
   save_pod(os, st.out_channels);
   save_pod(os, st.kernel);
   save_pod(os, st.pad);
+  save_pod(os, st.groups);  // v5
+  save_pod(os, st.stride);  // v5
   save_pod(os, st.input_scale);
   save_pod(os, st.output_scale);
   save_pod(os, static_cast<std::uint8_t>(st.relu_after ? 1 : 0));
@@ -111,9 +115,12 @@ void save_conv(std::ostream& os, const ConvStage& st) {
   save_pod(os, st.stage_scales.hadamard);
   save_pod(os, st.stage_scales.output);
 
-  const bool wino = !st.wino_cache.empty();
-  save_pod(os, static_cast<std::uint8_t>(wino ? 1 : 0));
-  if (wino) {
+  // v5 widened the v1-v4 "is winograd" bool byte into a cache-kind byte:
+  // 0 = im2row, 1 = winograd, 2 = strided polyphase winograd. Pre-v5
+  // payloads only ever contain 0/1, so old semantics are preserved.
+  const std::uint8_t kind = !st.strided_cache.empty() ? 2 : (!st.wino_cache.empty() ? 1 : 0);
+  save_pod(os, kind);
+  if (kind == 1) {
     save_pod(os, static_cast<std::int32_t>(st.transforms.m));
     save_pod(os, static_cast<std::int32_t>(st.transforms.r));
     save_pod(os, static_cast<std::int32_t>(st.transforms.tile));
@@ -138,6 +145,27 @@ void save_conv(std::ostream& os, const ConvStage& st) {
     save_vector(os, st.stage_scales.input_transformed_taps);
     save_vector(os, st.stage_scales.hadamard_taps);
     save_vector(os, st.wino_cache.tap_scales);
+    // v5: whole-tap-zero skip flags from winograd_prune ([t*t] or empty =
+    // dense). Carried so a pruned model skips its tap GEMMs after load too.
+    save_vector(os, st.wino_cache.tap_mask);
+  } else if (kind == 2) {
+    // v5: strided polyphase cache — an F(m,2) Winograd sub-problem over the
+    // even/even weight phase plus one im2row GEMM over the rect phases.
+    save_pod(os, static_cast<std::int32_t>(st.transforms.m));
+    save_pod(os, static_cast<std::int32_t>(st.transforms.r));
+    save_pod(os, static_cast<std::int32_t>(st.transforms.tile));
+    save_tensor(os, st.transforms.g_mat);
+    save_tensor(os, st.transforms.bt_mat);
+    save_tensor(os, st.transforms.at_mat);
+    save_vector(os, st.strided_cache.u00.u_q);
+    save_pod(os, st.strided_cache.u00.scale);
+    save_pod(os, st.strided_cache.u00.out_channels);
+    save_pod(os, st.strided_cache.u00.in_channels);
+    save_pod(os, st.strided_cache.u00.tile);
+    save_vector(os, st.strided_cache.u00.u_blocked);
+    save_pod(os, st.strided_cache.u00.padded_in_channels);
+    save_vector(os, st.strided_cache.rect_wt);
+    save_pod(os, st.strided_cache.rect_scale);
   } else {
     save_vector(os, st.im2row_cache.wt);
     save_pod(os, st.im2row_cache.scale);
@@ -158,6 +186,16 @@ ConvStage load_conv(std::istream& is, std::uint32_t version) {
   st.out_channels = load_pod<std::int64_t>(is);
   st.kernel = load_pod<std::int64_t>(is);
   st.pad = load_pod<std::int64_t>(is);
+  if (version >= 5) {
+    st.groups = load_pod<std::int64_t>(is);
+    st.stride = load_pod<std::int64_t>(is);
+    if (st.groups < 1 || st.in_channels % st.groups != 0 ||
+        st.out_channels % st.groups != 0) {
+      throw std::runtime_error("load_pipeline: conv groups must divide both channel counts");
+    }
+    if (st.stride < 1) throw std::runtime_error("load_pipeline: conv stride must be >= 1");
+  }
+  // Pre-v5 stages are always dense stride-1 ungrouped (the defaults).
   st.input_scale = load_pod<float>(is);
   st.output_scale = load_pod<float>(is);
   st.relu_after = load_pod<std::uint8_t>(is) != 0;
@@ -166,11 +204,23 @@ ConvStage load_conv(std::istream& is, std::uint32_t version) {
   st.stage_scales.hadamard = load_pod<float>(is);
   st.stage_scales.output = load_pod<float>(is);
 
-  const bool wino = load_pod<std::uint8_t>(is) != 0;
-  if (wino != nn::is_winograd(st.algo)) {
+  // v1-v4 wrote a 0/1 "is winograd" bool here; v5 widened the same byte into
+  // a cache-kind: 0 = im2row, 1 = winograd, 2 = strided polyphase winograd.
+  const auto kind = load_pod<std::uint8_t>(is);
+  if (kind > (version >= 5 ? 2 : 1)) {
+    throw std::runtime_error("load_pipeline: unknown conv cache kind");
+  }
+  if ((kind != 0) != nn::is_winograd(st.algo)) {
     throw std::runtime_error("load_pipeline: conv cache kind disagrees with its algorithm");
   }
-  if (wino) {
+  if (kind == 2 && (st.stride != 2 || st.kernel != 3 || st.groups != 1)) {
+    throw std::runtime_error(
+        "load_pipeline: strided Winograd cache requires stride 2, 3x3 kernel, groups 1");
+  }
+  if (kind == 1 && st.stride != 1) {
+    throw std::runtime_error("load_pipeline: dense Winograd cache requires stride 1");
+  }
+  if (kind == 1) {
     st.transforms.m = static_cast<int>(load_pod<std::int32_t>(is));
     st.transforms.r = static_cast<int>(load_pod<std::int32_t>(is));
     st.transforms.tile = static_cast<int>(load_pod<std::int32_t>(is));
@@ -185,14 +235,16 @@ ConvStage load_conv(std::istream& is, std::uint32_t version) {
     // The checksum only proves the bytes are the writer's; a buggy or
     // crafted writer could still encode an internally inconsistent stage,
     // and the prepared kernels index u_q by these dimensions unchecked.
+    st.wino_cache.groups = st.groups;
     const std::int64_t t = st.wino_cache.tile;
+    // Grouped stages cache U as [t*t, K, C/g]: in_channels is per-group.
     if (st.wino_cache.empty() || t != st.transforms.tile ||
         st.transforms.tile != st.transforms.m + st.transforms.r - 1 ||
         st.transforms.r != st.kernel ||
         st.wino_cache.out_channels != st.out_channels ||
-        st.wino_cache.in_channels != st.in_channels ||
+        st.wino_cache.in_channels * st.groups != st.in_channels ||
         static_cast<std::int64_t>(st.wino_cache.u_q.size()) !=
-            t * t * st.out_channels * st.in_channels) {
+            t * t * st.out_channels * st.wino_cache.in_channels) {
       throw std::runtime_error("load_pipeline: Winograd cache disagrees with its stage geometry");
     }
     if (version >= 3) {
@@ -203,8 +255,8 @@ ConvStage load_conv(std::istream& is, std::uint32_t version) {
       // before any forward runs. Values are the writer's responsibility
       // (covered by the payload checksum), exactly like u_q's levels.
       const std::int64_t cpad =
-          (st.in_channels + backend::kWinoChannelBlock - 1) / backend::kWinoChannelBlock *
-          backend::kWinoChannelBlock;
+          (st.wino_cache.in_channels + backend::kWinoChannelBlock - 1) /
+          backend::kWinoChannelBlock * backend::kWinoChannelBlock;
       if (st.wino_cache.padded_in_channels != cpad ||
           static_cast<std::int64_t>(st.wino_cache.u_blocked.size()) !=
               t * t * st.out_channels * cpad) {
@@ -247,18 +299,70 @@ ConvStage load_conv(std::istream& is, std::uint32_t version) {
             "load_pipeline: per-tap U stage scales disagree with the cached U's tap scales");
       }
     }
+    if (version >= 5) {
+      // Whole-tap-zero skip flags ([t*t] or empty = dense). Both executors
+      // branch on these unchecked, so the length must agree before a forward.
+      st.wino_cache.tap_mask = load_vector<std::uint8_t>(is);
+      if (!st.wino_cache.tap_mask.empty() &&
+          static_cast<std::int64_t>(st.wino_cache.tap_mask.size()) != t * t) {
+        throw std::runtime_error(
+            "load_pipeline: sparse tap mask disagrees with the stage's t*t");
+      }
+    }
     // Pre-v4 stages keep empty tap vectors: per-tensor semantics — the
     // scalar scales widen to constant per-tap vectors only inside kernels
-    // that want one.
+    // that want one. Pre-v5 stages keep an empty (dense) tap mask.
+  } else if (kind == 2) {
+    st.transforms.m = static_cast<int>(load_pod<std::int32_t>(is));
+    st.transforms.r = static_cast<int>(load_pod<std::int32_t>(is));
+    st.transforms.tile = static_cast<int>(load_pod<std::int32_t>(is));
+    st.transforms.g_mat = load_tensor(is);
+    st.transforms.bt_mat = load_tensor(is);
+    st.transforms.at_mat = load_tensor(is);
+    auto& sc = st.strided_cache;
+    sc.u00.u_q = load_vector<std::int8_t>(is);
+    sc.u00.scale = load_pod<float>(is);
+    sc.u00.out_channels = load_pod<std::int64_t>(is);
+    sc.u00.in_channels = load_pod<std::int64_t>(is);
+    sc.u00.tile = load_pod<std::int64_t>(is);
+    sc.u00.u_blocked = load_vector<std::uint8_t>(is);
+    sc.u00.padded_in_channels = load_pod<std::int64_t>(is);
+    sc.rect_wt = load_vector<std::int8_t>(is);
+    sc.rect_scale = load_pod<float>(is);
+    sc.out_channels = st.out_channels;
+    sc.in_channels = st.in_channels;
+    // The polyphase executor indexes u00 as [t*t, K, C] (F(m,2): r == 2, not
+    // the stage's 3x3 kernel) and rect_wt as [5*C, K], all unchecked.
+    const std::int64_t t = sc.u00.tile;
+    const std::int64_t cpad =
+        (st.in_channels + backend::kWinoChannelBlock - 1) / backend::kWinoChannelBlock *
+        backend::kWinoChannelBlock;
+    if (sc.empty() || st.transforms.r != 2 || t != st.transforms.tile ||
+        st.transforms.tile != st.transforms.m + 1 ||
+        sc.u00.out_channels != st.out_channels || sc.u00.in_channels != st.in_channels ||
+        static_cast<std::int64_t>(sc.u00.u_q.size()) !=
+            t * t * st.out_channels * st.in_channels ||
+        sc.u00.padded_in_channels != cpad ||
+        static_cast<std::int64_t>(sc.u00.u_blocked.size()) != t * t * st.out_channels * cpad ||
+        static_cast<std::int64_t>(sc.rect_wt.size()) != 5 * st.in_channels * st.out_channels ||
+        !(sc.u00.scale > 0.F) || !(sc.rect_scale > 0.F)) {
+      throw std::runtime_error(
+          "load_pipeline: strided Winograd cache disagrees with its stage geometry");
+    }
   } else {
     st.im2row_cache.wt = load_vector<std::int8_t>(is);
     st.im2row_cache.scale = load_pod<float>(is);
     st.im2row_cache.out_channels = load_pod<std::int64_t>(is);
     st.im2row_cache.patch = load_pod<std::int64_t>(is);
-    if (st.im2row_cache.empty() || st.im2row_cache.out_channels != st.out_channels ||
-        st.im2row_cache.patch != st.in_channels * st.kernel * st.kernel ||
+    st.im2row_cache.groups = st.groups;
+    // Grouped stages pack wt as groups x [patch, K/g]: out_channels and
+    // patch are per-group values (for pre-v5 payloads groups == 1, so these
+    // checks collapse to the original dense ones).
+    if (st.im2row_cache.empty() ||
+        st.im2row_cache.out_channels * st.groups != st.out_channels ||
+        st.im2row_cache.patch != (st.in_channels / st.groups) * st.kernel * st.kernel ||
         static_cast<std::int64_t>(st.im2row_cache.wt.size()) !=
-            st.im2row_cache.patch * st.im2row_cache.out_channels) {
+            st.groups * st.im2row_cache.patch * st.im2row_cache.out_channels) {
       throw std::runtime_error("load_pipeline: im2row cache disagrees with its stage geometry");
     }
   }
@@ -356,6 +460,28 @@ AddStage load_add(std::istream& is) {
   return st;
 }
 
+void save_concat(std::ostream& os, const ConcatStage& st) {
+  if (!st.prepared()) throw std::runtime_error("save_pipeline: concat stage was never prepared");
+  save_pod(os, st.lhs_scale);
+  save_pod(os, st.rhs_scale);
+  save_pod(os, st.output_scale);
+  save_pod(os, static_cast<std::uint8_t>(st.relu_after ? 1 : 0));
+  save_ratio(os, st.lhs_ratio);
+  save_ratio(os, st.rhs_ratio);
+}
+
+ConcatStage load_concat(std::istream& is) {
+  ConcatStage st;
+  st.lhs_scale = load_pod<float>(is);
+  st.rhs_scale = load_pod<float>(is);
+  st.output_scale = load_pod<float>(is);
+  st.relu_after = load_pod<std::uint8_t>(is) != 0;
+  st.lhs_ratio = load_ratio(is);
+  st.rhs_ratio = load_ratio(is);
+  st.prepared_ = true;  // the ratios above ARE the prepared state
+  return st;
+}
+
 void save_requant(std::ostream& os, const RequantStage& st) {
   if (!st.prepared()) throw std::runtime_error("save_pipeline: requant stage was never prepared");
   save_pod(os, st.input_scale);
@@ -398,6 +524,9 @@ void save_stage(std::ostream& os, const Stage& s) {
           save_add(os, st);
         } else if constexpr (std::is_same_v<T, ReluStage>) {
           save_pod(os, static_cast<std::uint8_t>(Tag::kRelu));
+        } else if constexpr (std::is_same_v<T, ConcatStage>) {
+          save_pod(os, static_cast<std::uint8_t>(Tag::kConcat));
+          save_concat(os, st);
         } else {
           save_pod(os, static_cast<std::uint8_t>(Tag::kRequant));
           save_requant(os, st);
@@ -430,6 +559,11 @@ Stage load_stage(std::istream& is, std::uint32_t version) {
       return ReluStage{};
     case Tag::kRequant:
       return load_requant(is);
+    case Tag::kConcat:
+      if (version < 5) {
+        throw std::runtime_error("load_pipeline: concat stage tag in a pre-v5 artifact");
+      }
+      return load_concat(is);
   }
   throw std::runtime_error("load_pipeline: unknown stage tag");
 }

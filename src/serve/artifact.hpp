@@ -24,16 +24,24 @@
 // with the channel-blocked offset-binary U cache (u_blocked +
 // padded_in_channels) that the fused streaming executor consumes, so the
 // first forward after load hits the blocked hot path without re-packing.
-// Version 4 (the current writer) appends the per-tap scale vectors of each
-// Winograd stage (U/V/M tap vectors plus the per-tap U-cache scales) —
-// empty vectors mean per-tensor, so legacy scalar stages cost four empty
-// counts. Version 1-3 artifacts remain loadable bit-for-bit — the
-// checked-in fixtures tests/data/golden_v1.wam and golden_v3.wam lock that
-// promise, the loader rebuilds the blocked U from the flat levels for
-// v1/v2, and pre-v4 stages simply load with empty tap vectors (their scalar
-// scales widen to constant per-tap vectors only inside kernels that want
-// one) — and a plan or cache section that fails validation rejects the
-// artifact instead of executing with corrupt state.
+// Version 4 appends the per-tap scale vectors of each Winograd stage (U/V/M
+// tap vectors plus the per-tap U-cache scales) — empty vectors mean
+// per-tensor, so legacy scalar stages cost four empty counts. Version 5
+// (the current writer) covers the whole model zoo: conv stages gain groups
+// and stride fields, the old "is winograd" bool byte widens into a
+// cache-kind byte (0 = im2row, 1 = winograd, 2 = strided polyphase
+// winograd — pre-v5 payloads only ever contain 0/1), Winograd bodies append
+// the whole-tap-zero sparse skip mask from winograd_prune, kind-2 bodies
+// carry the F(m,2) u00 cache plus the rect-phase im2row weights, and a new
+// kConcat stage tag serializes channel-concat joins (SqueezeNet fire
+// modules). Version 1-4 artifacts remain loadable bit-for-bit — the
+// checked-in fixtures tests/data/golden_v1.wam, golden_v3.wam and
+// golden_v4.wam lock that promise, the loader rebuilds the blocked U from
+// the flat levels for v1/v2, pre-v4 stages load with empty tap vectors
+// (their scalar scales widen to constant per-tap vectors only inside
+// kernels that want one), and pre-v5 stages load as dense stride-1
+// ungrouped with an empty tap mask — and a plan or cache section that fails
+// validation rejects the artifact instead of executing with corrupt state.
 //
 // The byte-level specification of the format — field-by-field stage bodies,
 // integer encodings, evolution rules for new tags and versions — lives in
@@ -49,9 +57,9 @@
 namespace wa::serve {
 
 /// Current writer version. Loaders accept this and all older versions
-/// listed in docs/WAM_FORMAT.md (currently v1, v2 and v3), rejecting
+/// listed in docs/WAM_FORMAT.md (currently v1 through v4), rejecting
 /// anything newer or unknown.
-constexpr std::uint32_t kWamVersion = 4;
+constexpr std::uint32_t kWamVersion = 5;
 
 void save_pipeline(std::ostream& os, const deploy::Int8Pipeline& pipe);
 void save_pipeline(const std::string& path, const deploy::Int8Pipeline& pipe);

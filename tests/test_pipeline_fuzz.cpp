@@ -1,9 +1,11 @@
 // Differential fuzz harness for the pass-based optimizer: hundreds of
 // seeded, randomly generated — but valid — StageIO graphs (im2row/F2/F4/F6
 // convs — the Winograd ones mixing per-tensor and per-tap stage scales with
-// random tap group sizes — linears, batch-norms, requants, relus, max/avg
-// pools, branchy residual wirings, odd shapes, mixed frozen/dynamic scales)
-// must produce
+// random tap group sizes, random grouped cardinalities dividing both channel
+// counts, whole-tap-zero sparse skip masks, and stride-2 polyphase lowering —
+// linears, batch-norms, requants, relus, max/avg pools, branchy residual and
+// channel-concat wirings, odd shapes, mixed frozen/dynamic scales) must
+// produce
 // BIT-IDENTICAL logits with the optimizer on and off, on every SIMD backend
 // this machine can run. This is the lockdown that lets fusion, dead-stage
 // elimination and the memory planner's in-place rewrites evolve without a
@@ -23,6 +25,7 @@
 // offending stage's name in the error, not executed or silently "fixed".
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "backend/conv_kernels_s8.hpp"
@@ -83,6 +86,38 @@ std::vector<float> make_tap_scales(Gen& g, std::int64_t t2) {
   return taps;
 }
 
+/// A random grouped cardinality: 1 most of the time, otherwise a common
+/// divisor of both channel counts (the only legal grouped configurations).
+std::int64_t pick_groups(Gen& g, std::int64_t in_ch, std::int64_t out_ch) {
+  if (!g.chance(0.3)) return 1;
+  std::vector<std::int64_t> divisors;
+  for (std::int64_t d = 2; d <= std::min(in_ch, out_ch); ++d) {
+    if (in_ch % d == 0 && out_ch % d == 0) divisors.push_back(d);
+  }
+  if (divisors.empty()) return 1;
+  return divisors[static_cast<std::size_t>(g.pick(0, static_cast<std::int64_t>(divisors.size()) - 1))];
+}
+
+/// A random winograd_prune-style mask [g, t², K/g, C/g]: some taps die
+/// whole-[K/g,C/g] (those must lower to the tap_mask skip), others lose a
+/// few individual (k, c) slices (those just zero levels in u_q).
+Tensor make_sparse_mask(Gen& g, std::int64_t groups, std::int64_t t2, std::int64_t kpg,
+                        std::int64_t cpg) {
+  Tensor mask(Shape{groups, t2, kpg, cpg});
+  for (std::int64_t i = 0; i < mask.numel(); ++i) mask.at(i) = 1.F;
+  for (std::int64_t gi = 0; gi < groups; ++gi) {
+    for (std::int64_t ab = 0; ab < t2; ++ab) {
+      const bool whole_tap_dead = g.chance(0.15);
+      for (std::int64_t i = 0; i < kpg * cpg; ++i) {
+        if (whole_tap_dead || g.chance(0.1)) {
+          mask.at((gi * t2 + ab) * kpg * cpg + i) = 0.F;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
 ConvStage make_conv(Gen& g, Rng& wrng, std::int64_t in_ch, std::int64_t out_ch,
                     std::int64_t kernel, std::int64_t pad, float in_s, float out_s,
                     bool winograd_ok) {
@@ -92,20 +127,26 @@ ConvStage make_conv(Gen& g, Rng& wrng, std::int64_t in_ch, std::int64_t out_ch,
   st.out_channels = out_ch;
   st.kernel = kernel;
   st.pad = pad;
+  st.groups = pick_groups(g, in_ch, out_ch);
   st.input_scale = in_s;
   st.relu_after = g.chance(0.4);
   if (algo_pick == 0) {
     st.algo = nn::ConvAlgo::kIm2row;
     st.weights_q =
-        backend::quantize_s8(Tensor::randn({out_ch, in_ch, kernel, kernel}, wrng, 0.3F));
+        backend::quantize_s8(Tensor::randn({out_ch, in_ch / st.groups, kernel, kernel}, wrng, 0.3F));
     st.output_scale = out_s;
   } else {
     const int m = algo_pick == 1 ? 2 : algo_pick == 2 ? 4 : 6;
     st.algo = algo_pick == 1   ? nn::ConvAlgo::kWinograd2
               : algo_pick == 2 ? nn::ConvAlgo::kWinograd4
                                : nn::ConvAlgo::kWinograd6;
-    st.weights_f = Tensor::randn({out_ch, in_ch, 3, 3}, wrng, 0.3F);
+    st.weights_f = Tensor::randn({out_ch, in_ch / st.groups, 3, 3}, wrng, 0.3F);
     st.transforms = wino::make_transforms(m, 3);
+    if (g.chance(0.3)) {
+      // winograd_prune output: whole-dead taps must ride the skip mask.
+      st.sparse_mask = make_sparse_mask(g, st.groups, static_cast<std::int64_t>(m + 2) * (m + 2),
+                                        out_ch / st.groups, in_ch / st.groups);
+    }
     st.stage_scales.input_transformed = g.scale();
     st.stage_scales.hadamard = g.scale();
     st.stage_scales.output = out_s;
@@ -189,17 +230,31 @@ Int8Pipeline fuzz_graph(std::uint32_t seed, Shape* input_shape) {
     pending_slot.clear();
 
     // Close an open residual block when its countdown expires and shapes
-    // still match (shape-preserving ops only ran in between).
+    // still match (shape-preserving ops only ran in between) — half the
+    // closes join by skip-add, half by channel concat (the fire-module
+    // shape: same spatial dims, channel counts sum).
     if (residual_countdown == 0) {
       residual_countdown = -1;
-      AddStage add;
-      add.lhs_scale = g.chance(0.8) ? cur.scl : g.scale();
-      add.rhs_scale = g.chance(0.8) ? residual_slot.scl : g.scale();
-      add.output_scale = g.scale();
-      add.relu_after = g.chance(0.6);
-      const float out_s = add.output_scale;
-      pipe.push(std::move(add), gio(read_from, residual_slot.name, "", label("add")));
-      cur.scl = out_s;
+      if (g.chance(0.4)) {
+        ConcatStage cat;
+        cat.lhs_scale = g.chance(0.8) ? cur.scl : g.scale();
+        cat.rhs_scale = g.chance(0.8) ? residual_slot.scl : g.scale();
+        cat.output_scale = g.scale();
+        cat.relu_after = g.chance(0.6);
+        const float out_s = cat.output_scale;
+        pipe.push(std::move(cat), gio(read_from, residual_slot.name, "", label("cat")));
+        cur.shape[1] += residual_slot.shape[1];
+        cur.scl = out_s;
+      } else {
+        AddStage add;
+        add.lhs_scale = g.chance(0.8) ? cur.scl : g.scale();
+        add.rhs_scale = g.chance(0.8) ? residual_slot.scl : g.scale();
+        add.output_scale = g.scale();
+        add.relu_after = g.chance(0.6);
+        const float out_s = add.output_scale;
+        pipe.push(std::move(add), gio(read_from, residual_slot.name, "", label("add")));
+        cur.scl = out_s;
+      }
       continue;
     }
     if (residual_countdown > 0) --residual_countdown;
@@ -220,17 +275,41 @@ Int8Pipeline fuzz_graph(std::uint32_t seed, Shape* input_shape) {
     const bool spatial = cur.shape.size() == 4;
     const std::int64_t choice = g.pick(0, 5);
     if (choice == 0 && spatial && residual_countdown < 0) {
-      // conv (shape-changing: not inside an open residual block)
+      // conv (shape-changing: not inside an open residual block); a 3x3
+      // sometimes runs at stride 2 through the polyphase Winograd lowering.
       const std::int64_t kernel = g.chance(0.7) ? 3 : 1;
       const std::int64_t pad = g.pick(0, 1);
-      const std::int64_t oh = cur.shape[2] + 2 * pad - kernel + 1;
-      const std::int64_t ow = cur.shape[3] + 2 * pad - kernel + 1;
+      const std::int64_t stride =
+          kernel == 3 && cur.shape[2] >= 5 && cur.shape[3] >= 5 && g.chance(0.25) ? 2 : 1;
+      const std::int64_t oh = (cur.shape[2] + 2 * pad - kernel) / stride + 1;
+      const std::int64_t ow = (cur.shape[3] + 2 * pad - kernel) / stride + 1;
       if (oh >= 1 && ow >= 1) {
         const std::int64_t out_ch = g.pick(1, 6);
         const float out_s = g.scale();
-        pipe.push(make_conv(g, wrng, cur.shape[1], out_ch, kernel, pad,
-                            g.chance(0.8) ? cur.scl : g.scale(), out_s, true),
-                  gio(read_from, "", "", label("conv")));
+        const float in_s = g.chance(0.8) ? cur.scl : g.scale();
+        if (stride == 2) {
+          // The strided cache is per-tensor, ungrouped, 3x3 by construction.
+          ConvStage st;
+          st.algo = g.chance(0.5) ? nn::ConvAlgo::kWinograd2 : nn::ConvAlgo::kWinograd4;
+          st.in_channels = cur.shape[1];
+          st.out_channels = out_ch;
+          st.kernel = 3;
+          st.pad = pad;
+          st.stride = 2;
+          st.input_scale = in_s;
+          st.output_scale = out_s;
+          st.relu_after = g.chance(0.4);
+          st.weights_f = Tensor::randn({out_ch, cur.shape[1], 3, 3}, wrng, 0.3F);
+          st.transforms =
+              wino::make_transforms(st.algo == nn::ConvAlgo::kWinograd2 ? 2 : 4, 3);
+          st.stage_scales.weights_transformed = g.scale();
+          st.stage_scales.output = out_s;
+          if (g.chance(0.5)) st.bias = Tensor::randn({out_ch}, wrng, 0.1F);
+          pipe.push(std::move(st), gio(read_from, "", "", label("sconv")));
+        } else {
+          pipe.push(make_conv(g, wrng, cur.shape[1], out_ch, kernel, pad, in_s, out_s, true),
+                    gio(read_from, "", "", label("conv")));
+        }
         cur.shape = {0, out_ch, oh, ow};
         cur.scl = out_s;
         continue;
@@ -281,12 +360,21 @@ Int8Pipeline fuzz_graph(std::uint32_t seed, Shape* input_shape) {
 
   // Close a still-open residual block before the tail.
   if (residual_countdown >= 0) {
-    AddStage add;
-    add.lhs_scale = cur.scl;
-    add.rhs_scale = residual_slot.scl;
-    add.output_scale = g.scale();
-    const float out_s = add.output_scale;
-    pipe.push(std::move(add), gio(pending_slot, residual_slot.name, "", label("add")));
+    const float out_s = g.scale();
+    if (g.chance(0.4)) {
+      ConcatStage cat;
+      cat.lhs_scale = cur.scl;
+      cat.rhs_scale = residual_slot.scl;
+      cat.output_scale = out_s;
+      pipe.push(std::move(cat), gio(pending_slot, residual_slot.name, "", label("cat")));
+      cur.shape[1] += residual_slot.shape[1];
+    } else {
+      AddStage add;
+      add.lhs_scale = cur.scl;
+      add.rhs_scale = residual_slot.scl;
+      add.output_scale = out_s;
+      pipe.push(std::move(add), gio(pending_slot, residual_slot.name, "", label("add")));
+    }
     pending_slot.clear();
     cur.scl = out_s;
   }
@@ -442,6 +530,30 @@ TEST(PipelineFuzz, MeasuredPeakNeverExceedsThePlanAtTheReferenceShape) {
   }
 }
 
+TEST(PipelineFuzz, GeneratorCoversTheZooStageShapes) {
+  // The differential lockdowns above only mean something if the generator
+  // actually emits the zoo shapes: grouped convs, stride-2 polyphase convs,
+  // whole-tap sparse skip masks and concat joins must all appear across the
+  // seed range, or a generator regression would silently shrink coverage.
+  int grouped = 0, strided = 0, masked = 0, concats = 0;
+  for (int graph = 0; graph < kFuzzGraphs; ++graph) {
+    Shape in_shape;
+    const Int8Pipeline pipe = fuzz_graph(static_cast<std::uint32_t>(graph), &in_shape);
+    for (const auto& node : pipe.nodes()) {
+      if (const auto* st = std::get_if<ConvStage>(&node.op)) {
+        grouped += st->groups > 1;
+        strided += st->stride == 2;
+        masked += !st->wino_cache.tap_mask.empty();
+      }
+      concats += std::holds_alternative<ConcatStage>(node.op);
+    }
+  }
+  EXPECT_GE(grouped, 10) << "grouped convs vanished from the generator";
+  EXPECT_GE(strided, 10) << "stride-2 polyphase convs vanished from the generator";
+  EXPECT_GE(masked, 10) << "whole-tap sparse masks vanished from the generator";
+  EXPECT_GE(concats, 10) << "concat joins vanished from the generator";
+}
+
 // ---- invalid wirings are rejected with the stage name -------------------------
 
 ConvStage small_conv(Rng& rng) {
@@ -531,6 +643,30 @@ TEST(PipelineFuzz, InvalidWiringsAreRejectedWithTheStageName) {
     add.lhs_scale = add.rhs_scale = 0.1F;
     add.output_scale = 0.1F;
     pipe.push(std::move(add), gio("", "x", "", "bad-join"));
+    pipe.run(Tensor::randn({1, 3, 8, 8}, rng));
+  });
+  // ConcatStage without a second operand.
+  expect_rejected_with("lonely-cat", [&] {
+    Int8Pipeline pipe;
+    pipe.push(small_conv(rng), gio("", "", "", "stem"));
+    ConcatStage cat;
+    cat.lhs_scale = cat.rhs_scale = 0.1F;
+    cat.output_scale = 0.1F;
+    pipe.push(std::move(cat), gio("", "", "", "lonely-cat"));
+  });
+  // Spatially mismatched concat join is rejected at run() with its label.
+  expect_rejected_with("bad-cat", [&] {
+    Int8Pipeline pipe;
+    pipe.push(small_conv(rng), gio("", "", "x", "stem"));
+    ConvStage shrink = small_conv(rng);
+    shrink.in_channels = 4;
+    shrink.pad = 0;
+    shrink.weights_q = backend::quantize_s8(Tensor::randn({4, 4, 3, 3}, rng, 0.3F));
+    pipe.push(std::move(shrink), gio("x", "", "", "shrink"));
+    ConcatStage cat;
+    cat.lhs_scale = cat.rhs_scale = 0.1F;
+    cat.output_scale = 0.1F;
+    pipe.push(std::move(cat), gio("", "x", "", "bad-cat"));
     pipe.run(Tensor::randn({1, 3, 8, 8}, rng));
   });
   // Channel-mismatched activation is rejected at run() with the conv's name.

@@ -15,6 +15,7 @@
 #include "deploy/pipeline.hpp"
 #include "serve/artifact.hpp"
 #include "tensor/io.hpp"
+#include "winograd/cook_toom.hpp"
 
 namespace wa::serve {
 namespace {
@@ -22,6 +23,7 @@ namespace {
 using backend::PerfSnapshot;
 using backend::snapshot_counters;
 using deploy::AddStage;
+using deploy::ConcatStage;
 using deploy::ConvStage;
 using deploy::Int8Pipeline;
 using deploy::StageIO;
@@ -569,6 +571,369 @@ TEST(WamArtifact, HandWiredResidualGraphRoundTrips) {
   const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
   const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
   EXPECT_EQ(Tensor::max_abs_diff(loaded.run(x), pipe.run(x)), 0.F);
+}
+
+// ---- v4 back-compat: the checked-in golden fixture --------------------------
+
+// tests/data/golden_v4.wam was written by the version-4 serializer (per-tap
+// scale vectors, no groups/stride fields, no tap mask) over an optimized
+// fully tap-wise Winograd ResNet-18 pipeline; golden_v4_input.bin /
+// golden_v4_logits.bin pin its exact behavior. The v5 reader must keep
+// loading it bit-for-bit forever, with the pre-v5 defaults: dense stride-1
+// ungrouped stages and an empty sparse tap mask.
+
+TEST(WamArtifact, GoldenV4FixtureLoadsBitExactlyUnderTheV5Reader) {
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline pipe = load_pipeline(fixture_path("golden_v4.wam"));
+  EXPECT_EQ(snapshot_counters(), before) << "v4 load must not rebuild any weight cache";
+  ASSERT_NE(pipe.plan(), nullptr) << "the v4 fixture was saved optimized, with its plan";
+
+  std::size_t wino_stages = 0;
+  for (const auto& node : pipe.nodes()) {
+    const auto* st = std::get_if<ConvStage>(&node.op);
+    if (st == nullptr) continue;
+    EXPECT_EQ(st->groups, 1) << "a pre-v5 stage must load ungrouped";
+    EXPECT_EQ(st->stride, 1) << "a pre-v5 stage must load stride-1";
+    EXPECT_TRUE(st->strided_cache.empty());
+    if (st->wino_cache.empty()) continue;
+    EXPECT_FALSE(st->stage_scales.weights_transformed_taps.empty())
+        << "the v4 fixture was compiled fully tap-wise";
+    EXPECT_FALSE(st->wino_cache.tap_scales.empty());
+    EXPECT_TRUE(st->wino_cache.tap_mask.empty())
+        << "a pre-v5 stage must load with an empty (dense) tap mask";
+    ++wino_stages;
+  }
+  EXPECT_GT(wino_stages, 0u) << "the golden fixture must contain Winograd stages";
+
+  const Tensor input = load_fixture_tensor("golden_v4_input.bin");
+  const Tensor want = load_fixture_tensor("golden_v4_logits.bin");
+  const Tensor got = pipe.run(input);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(got, want), 0.F)
+      << "the v5 reader changed the meaning of a v4 artifact";
+}
+
+TEST(WamArtifact, GoldenV4FixtureSurvivesV5Rewrite) {
+  const Int8Pipeline pipe = load_pipeline(fixture_path("golden_v4.wam"));
+  const Tensor input = load_fixture_tensor("golden_v4_input.bin");
+  const Tensor want = load_fixture_tensor("golden_v4_logits.bin");
+  // Rewritten by the v5 writer (groups/stride fields and an empty tap mask
+  // appended) it still means the same thing, plan included.
+  const Int8Pipeline rewritten = loaded_from(saved_bytes(pipe));
+  ASSERT_NE(rewritten.plan(), nullptr);
+  EXPECT_EQ(rewritten.plan()->peak_bytes, pipe.plan()->peak_bytes);
+  EXPECT_EQ(Tensor::max_abs_diff(rewritten.run(input), want), 0.F);
+}
+
+// ---- v5: the model-zoo stage shapes -----------------------------------------
+
+StageIO make_io(const char* in, const char* in2, const char* out, const char* label) {
+  StageIO io;
+  io.input = in;
+  io.input2 = in2;
+  io.output = out;
+  io.label = label;
+  return io;
+}
+
+TEST(WamArtifact, V5RoundTripCarriesGroupedCachesVerbatim) {
+  // Grouped im2row and grouped Winograd conv stages: the loader must bring
+  // back the groups field and the per-group caches byte-identically, with
+  // the counters flat and the loaded pipeline bit-exact.
+  Rng rng(60);
+  Int8Pipeline pipe;
+  {
+    ConvStage st;  // grouped 3x3 im2row, 6ch -> 8ch in 2 groups
+    st.algo = nn::ConvAlgo::kIm2row;
+    st.in_channels = 6;
+    st.out_channels = 8;
+    st.kernel = 3;
+    st.pad = 1;
+    st.groups = 2;
+    st.input_scale = 0.05F;
+    st.output_scale = 0.08F;
+    st.relu_after = true;
+    st.weights_q = backend::quantize_s8(Tensor::randn({8, 3, 3, 3}, rng, 0.3F));
+    pipe.push(std::move(st), make_io("", "", "", "g-im2row"));
+  }
+  {
+    ConvStage st;  // grouped F(2,3) Winograd, 8ch -> 4ch in 2 groups
+    st.algo = nn::ConvAlgo::kWinograd2;
+    st.in_channels = 8;
+    st.out_channels = 4;
+    st.kernel = 3;
+    st.pad = 1;
+    st.groups = 2;
+    st.input_scale = 0.08F;
+    st.output_scale = 0.09F;
+    st.weights_f = Tensor::randn({4, 4, 3, 3}, rng, 0.3F);
+    st.transforms = wino::make_transforms(2, 3);
+    st.stage_scales.weights_transformed = 0.02F;
+    st.stage_scales.input_transformed = 0.05F;
+    st.stage_scales.hadamard = 0.1F;
+    st.stage_scales.output = 0.09F;
+    pipe.push(std::move(st), make_io("", "", "", "g-wino"));
+  }
+
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
+  EXPECT_EQ(snapshot_counters(), before) << "v5 load must not rebuild any weight cache";
+  ASSERT_EQ(loaded.size(), pipe.size());
+
+  const auto* want_gemm = std::get_if<ConvStage>(&pipe.nodes()[0].op);
+  const auto* got_gemm = std::get_if<ConvStage>(&loaded.nodes()[0].op);
+  ASSERT_NE(got_gemm, nullptr);
+  EXPECT_EQ(got_gemm->groups, 2);
+  EXPECT_EQ(got_gemm->im2row_cache.groups, 2);
+  EXPECT_EQ(got_gemm->im2row_cache.out_channels, want_gemm->im2row_cache.out_channels)
+      << "im2row out_channels is per-group";
+  EXPECT_EQ(got_gemm->im2row_cache.patch, want_gemm->im2row_cache.patch);
+  EXPECT_EQ(got_gemm->im2row_cache.wt, want_gemm->im2row_cache.wt);
+
+  const auto* want_wino = std::get_if<ConvStage>(&pipe.nodes()[1].op);
+  const auto* got_wino = std::get_if<ConvStage>(&loaded.nodes()[1].op);
+  ASSERT_NE(got_wino, nullptr);
+  EXPECT_EQ(got_wino->groups, 2);
+  EXPECT_EQ(got_wino->wino_cache.groups, 2);
+  EXPECT_EQ(got_wino->wino_cache.in_channels, want_wino->wino_cache.in_channels)
+      << "wino in_channels is per-group (C/g)";
+  EXPECT_EQ(got_wino->wino_cache.u_q, want_wino->wino_cache.u_q);
+  EXPECT_EQ(got_wino->wino_cache.u_blocked, want_wino->wino_cache.u_blocked);
+  EXPECT_EQ(got_wino->wino_cache.padded_in_channels, want_wino->wino_cache.padded_in_channels);
+
+  const Tensor x = Tensor::randn({2, 6, 12, 12}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(loaded.run(x), pipe.run(x)), 0.F);
+  EXPECT_EQ(snapshot_counters(), before);
+}
+
+TEST(WamArtifact, V5RoundTripCarriesTheStridedPolyphaseCacheVerbatim) {
+  // A stride-2 Winograd stage serializes as cache kind 2: the F(m,2) u00
+  // cache plus the rect-phase im2row weights. Every byte must come back.
+  Rng rng(61);
+  Int8Pipeline pipe;
+  {
+    ConvStage st;
+    st.algo = nn::ConvAlgo::kWinograd2;
+    st.in_channels = 3;
+    st.out_channels = 5;
+    st.kernel = 3;
+    st.pad = 1;
+    st.stride = 2;
+    st.input_scale = 0.05F;
+    st.output_scale = 0.08F;
+    st.weights_f = Tensor::randn({5, 3, 3, 3}, rng, 0.3F);
+    st.transforms = wino::make_transforms(2, 3);  // prepare() swaps in F(2,2)
+    st.stage_scales.weights_transformed = 0.02F;
+    st.stage_scales.output = 0.08F;
+    st.bias = Tensor::randn({5}, rng, 0.1F);
+    pipe.push(std::move(st), make_io("", "", "", "strided"));
+  }
+  const auto* want = std::get_if<ConvStage>(&pipe.nodes()[0].op);
+  ASSERT_NE(want, nullptr);
+  ASSERT_FALSE(want->strided_cache.empty()) << "stride-2 Winograd fell back to im2row";
+
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
+  EXPECT_EQ(snapshot_counters(), before) << "v5 load must not rebuild any weight cache";
+  const auto* got = std::get_if<ConvStage>(&loaded.nodes()[0].op);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->stride, 2);
+  ASSERT_FALSE(got->strided_cache.empty());
+  EXPECT_EQ(got->transforms.r, 2) << "the strided stage loads with its canonical F(m,2) set";
+  EXPECT_EQ(got->strided_cache.u00.u_q, want->strided_cache.u00.u_q);
+  EXPECT_EQ(got->strided_cache.u00.u_blocked, want->strided_cache.u00.u_blocked);
+  EXPECT_EQ(got->strided_cache.u00.scale, want->strided_cache.u00.scale);
+  EXPECT_EQ(got->strided_cache.rect_wt, want->strided_cache.rect_wt);
+  EXPECT_EQ(got->strided_cache.rect_scale, want->strided_cache.rect_scale);
+
+  const Tensor x = Tensor::randn({2, 3, 11, 11}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(loaded.run(x), pipe.run(x)), 0.F);
+  EXPECT_EQ(snapshot_counters(), before);
+}
+
+TEST(WamArtifact, V5RoundTripCarriesTheSparseTapMaskVerbatim) {
+  // A Winograd stage pruned by a whole-tap-zero mask caches tap_mask != {};
+  // the loaded stage must skip the same taps (same mask, same zeroed levels,
+  // same bytes out).
+  Rng rng(62);
+  const std::int64_t in_ch = 4, out_ch = 4, t = 4;  // F(2,3): tile 4
+  Int8Pipeline pipe;
+  {
+    ConvStage st;
+    st.algo = nn::ConvAlgo::kWinograd2;
+    st.in_channels = in_ch;
+    st.out_channels = out_ch;
+    st.kernel = 3;
+    st.pad = 1;
+    st.input_scale = 0.05F;
+    st.output_scale = 0.08F;
+    st.weights_f = Tensor::randn({out_ch, in_ch, 3, 3}, rng, 0.3F);
+    st.transforms = wino::make_transforms(2, 3);
+    st.stage_scales.weights_transformed = 0.02F;
+    st.stage_scales.input_transformed = 0.05F;
+    st.stage_scales.hadamard = 0.1F;
+    st.stage_scales.output = 0.08F;
+    // Kill taps 5 and 10 outright, plus one (k, c) slice of tap 0.
+    Tensor mask(Shape{1, t * t, out_ch, in_ch});
+    for (std::int64_t i = 0; i < mask.numel(); ++i) mask.at(i) = 1.F;
+    for (std::int64_t i = 0; i < out_ch * in_ch; ++i) {
+      mask.at(5 * out_ch * in_ch + i) = 0.F;
+      mask.at(10 * out_ch * in_ch + i) = 0.F;
+    }
+    mask.at(0) = 0.F;
+    st.sparse_mask = std::move(mask);
+    pipe.push(std::move(st), make_io("", "", "", "sparse"));
+  }
+  const auto* want = std::get_if<ConvStage>(&pipe.nodes()[0].op);
+  ASSERT_NE(want, nullptr);
+  ASSERT_EQ(static_cast<std::int64_t>(want->wino_cache.tap_mask.size()), t * t)
+      << "whole-tap-dead slices must materialize the skip mask";
+  EXPECT_EQ(want->wino_cache.tap_mask[5], 1);
+  EXPECT_EQ(want->wino_cache.tap_mask[10], 1);
+  EXPECT_EQ(want->wino_cache.tap_mask[0], 0) << "a partially dead tap is not skippable";
+
+  const PerfSnapshot before = snapshot_counters();
+  const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
+  EXPECT_EQ(snapshot_counters(), before) << "v5 load must not rebuild any weight cache";
+  const auto* got = std::get_if<ConvStage>(&loaded.nodes()[0].op);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->wino_cache.tap_mask, want->wino_cache.tap_mask);
+  EXPECT_EQ(got->wino_cache.u_q, want->wino_cache.u_q);
+
+  const Tensor x = Tensor::randn({2, in_ch, 12, 12}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(loaded.run(x), pipe.run(x)), 0.F);
+}
+
+TEST(WamArtifact, HandWiredConcatGraphRoundTrips) {
+  // A fire-style fan-out/concat graph: stem publishes, two expand branches
+  // read it, a kConcat stage joins them. The v5 writer serializes the concat
+  // stage; the loaded graph must produce the same bytes.
+  Rng rng(63);
+  const auto conv = [&rng](std::int64_t in_ch, std::int64_t out_ch, float in_s, float out_s,
+                           bool relu, std::int64_t kernel, std::int64_t pad) {
+    ConvStage st;
+    st.algo = nn::ConvAlgo::kIm2row;
+    st.in_channels = in_ch;
+    st.out_channels = out_ch;
+    st.kernel = kernel;
+    st.pad = pad;
+    st.input_scale = in_s;
+    st.output_scale = out_s;
+    st.relu_after = relu;
+    st.weights_q = backend::quantize_s8(Tensor::randn({out_ch, in_ch, kernel, kernel}, rng, 0.3F));
+    return st;
+  };
+
+  Int8Pipeline pipe;
+  pipe.push(conv(3, 4, 0.05F, 0.1F, true, 3, 1), make_io("", "", "s", "squeeze"));
+  pipe.push(conv(4, 6, 0.1F, 0.12F, false, 1, 0), make_io("s", "", "e1", "expand1"));
+  pipe.push(conv(4, 6, 0.1F, 0.09F, false, 3, 1), make_io("s", "", "", "expand3"));
+  ConcatStage cat;
+  cat.lhs_scale = 0.09F;
+  cat.rhs_scale = 0.12F;
+  cat.output_scale = 0.08F;
+  cat.relu_after = true;
+  pipe.push(std::move(cat), make_io("", "e1", "", "join"));
+
+  const Int8Pipeline loaded = loaded_from(saved_bytes(pipe));
+  ASSERT_EQ(loaded.size(), pipe.size());
+  const auto* got = std::get_if<ConcatStage>(&loaded.nodes()[3].op);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->lhs_scale, 0.09F);
+  EXPECT_EQ(got->rhs_scale, 0.12F);
+  EXPECT_EQ(got->output_scale, 0.08F);
+  EXPECT_TRUE(got->relu_after);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(loaded.run(x), pipe.run(x)), 0.F);
+}
+
+TEST(WamArtifact, RejectsConcatTagInPreV5Artifact) {
+  // A pre-v5 version header whose payload contains the kConcat tag is a
+  // forgery (no v4 writer ever emitted it) — reject instead of parsing. The
+  // graph below avoids conv stages entirely, so its payload bytes parse
+  // identically under the v4 and v5 readers right up to the kConcat tag.
+  Int8Pipeline pipe;
+  pipe.push(deploy::ReluStage{}, make_io("", "", "e1", "branch"));
+  ConcatStage cat;
+  cat.lhs_scale = 0.08F;
+  cat.rhs_scale = 0.08F;
+  cat.output_scale = 0.08F;
+  pipe.push(std::move(cat), make_io("e1", "e1", "", "join"));
+
+  std::string bytes = saved_bytes(pipe);
+  EXPECT_NO_THROW(loaded_from(bytes));  // sanity: the v5 header loads
+  bytes[4] = 4;  // downgrade the little-endian version field to 4
+  bytes[5] = bytes[6] = bytes[7] = 0;
+  reseal(bytes);
+  try {
+    loaded_from(bytes);
+    FAIL() << "expected runtime_error for the concat tag under a v4 header";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("pre-v5"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WamArtifact, RejectsV5ArtifactWithCorruptedZooFields) {
+  // Checksum-valid artifacts whose v5 fields are internally inconsistent
+  // must be rejected by the field validators, not executed. The payload
+  // offsets below follow docs/WAM_FORMAT.md for a single-stage graph with
+  // all-empty StageIO strings: header 24B, stage count 8B, four empty
+  // strings 32B, stage tag 1B, algo 1B, then four i64 geometry fields
+  // before groups (offset 98) and stride (offset 106); the cache-kind byte
+  // sits after two f32 scales + relu byte + four f32 stage scales (139).
+  constexpr std::size_t kGroupsOff = 24 + 8 + 32 + 1 + 1 + 4 * 8;
+  constexpr std::size_t kStrideOff = kGroupsOff + 8;
+  constexpr std::size_t kKindOff = kStrideOff + 8 + 4 + 4 + 1 + 4 * 4;
+
+  Rng rng(65);
+  Int8Pipeline pipe;
+  {
+    ConvStage st;  // dense stride-1 F(2,3) Winograd stage, kind byte = 1
+    st.algo = nn::ConvAlgo::kWinograd2;
+    st.in_channels = 4;
+    st.out_channels = 4;
+    st.kernel = 3;
+    st.pad = 1;
+    st.input_scale = 0.05F;
+    st.output_scale = 0.08F;
+    st.weights_f = Tensor::randn({4, 4, 3, 3}, rng, 0.3F);
+    st.transforms = wino::make_transforms(2, 3);
+    st.stage_scales.weights_transformed = 0.02F;
+    st.stage_scales.output = 0.08F;
+    pipe.push(std::move(st), StageIO{});
+  }
+  const std::string bytes = saved_bytes(pipe);
+  EXPECT_NO_THROW(loaded_from(bytes));  // sanity: intact artifact loads
+  ASSERT_EQ(static_cast<unsigned>(bytes[kKindOff]), 1u) << "offset map drifted";
+
+  const auto expect_rejected = [&](std::size_t off, std::int64_t value, const char* needle) {
+    std::string corrupt = bytes;
+    std::memcpy(corrupt.data() + off, &value, sizeof(value));
+    reseal(corrupt);
+    try {
+      loaded_from(corrupt);
+      FAIL() << "expected runtime_error for corrupted field at offset " << off;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  // groups = 3 does not divide the 4-channel counts.
+  expect_rejected(kGroupsOff, 3, "groups");
+  // stride = 0 is not a convolution.
+  expect_rejected(kStrideOff, 0, "stride");
+  // stride = 2 on a kind-1 (dense Winograd) cache: the polyphase kind is 2.
+  expect_rejected(kStrideOff, 2, "dense Winograd cache requires stride 1");
+  {
+    std::string corrupt = bytes;  // kind 0 (im2row) under a Winograd algo
+    corrupt[kKindOff] = 0;
+    reseal(corrupt);
+    try {
+      loaded_from(corrupt);
+      FAIL() << "expected runtime_error for the flipped cache kind";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("kind"), std::string::npos) << e.what();
+    }
+  }
 }
 
 }  // namespace
