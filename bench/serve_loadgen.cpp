@@ -1,0 +1,311 @@
+// Open-loop network load harness for the serving stack: seeded Poisson
+// arrivals over real TCP connections into the NetFrontend, mixed models
+// from the zoo and mixed priority classes, reporting per-class p50/p95/p99
+// versus offered load.
+//
+// Open-loop is the point: every request's send time comes from a
+// pre-committed arrival schedule (serve/net/poisson.hpp), so when the
+// server falls behind, latency grows — the harness never slows down to
+// match the server the way a closed loop silently does. Latency is
+// measured from the *scheduled* arrival, so sender lateness (a stalled
+// connection) counts against the server, as it would in production.
+//
+// Env knobs (WA_LOAD_*):
+//   RPS      total offered load across all connections   (default 150)
+//   SECONDS  measurement duration                        (default 4)
+//   CONNS    TCP connections, each its own Poisson stream (default 8)
+//   WORKERS  server worker threads                       (default 4)
+//   SHARDS   worker-pool shards (0 = auto NUMA)          (default 0)
+//   SEED     base RNG seed (schedule + mix)              (default 42)
+//   SLO_MS   p99 SLO gate over completed requests; when > 0 the process
+//            exits 1 on violation (the CI gate)          (default 0)
+//
+// Usage: build/bench/serve_loadgen [json=bench/BENCH_serve.json]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "deploy/pipeline.hpp"
+#include "models/resnext.hpp"
+#include "models/squeezenet.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/frontend.hpp"
+#include "serve/net/poisson.hpp"
+#include "serve/server.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+using namespace wa;
+using Clock = std::chrono::steady_clock;
+
+/// Compile one calibrated (not trained — latency is the subject) zoo model.
+template <typename Model, typename Config, typename Compile>
+deploy::Int8Pipeline compiled_zoo(Config cfg, Compile&& compile, std::uint64_t seed) {
+  Rng rng(seed);
+  Model net(cfg, rng);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net.forward(ag::Variable(Tensor::randn({8, 3, 32, 32}, rng), false));
+  }
+  deploy::Int8Pipeline pipe = compile(net);
+  pipe.freeze_scales(Tensor::randn({8, 3, 32, 32}, rng));
+  return pipe;
+}
+
+struct Record {
+  std::uint64_t sched_ns = 0;  ///< scheduled arrival, ns from run start
+  std::uint8_t cls = 1;
+  std::int8_t status = -1;  ///< -1 pending, else net::Status
+  double latency_ms = 0.0;  ///< completion - scheduled arrival
+};
+
+struct ConnStats {
+  std::vector<Record> records;
+  std::mutex mu;
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<bool> sender_done{false};
+};
+
+struct ClassSummary {
+  std::uint64_t ok = 0;
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0;
+};
+
+ClassSummary summarize(std::vector<double>& lat_ms) {
+  ClassSummary s;
+  s.ok = lat_ms.size();
+  if (lat_ms.empty()) return s;
+  std::sort(lat_ms.begin(), lat_ms.end());
+  s.p50 = telemetry::percentile_sorted(lat_ms, 0.50);
+  s.p95 = telemetry::percentile_sorted(lat_ms, 0.95);
+  s.p99 = telemetry::percentile_sorted(lat_ms, 0.99);
+  double sum = 0;
+  for (const double v : lat_ms) sum += v;
+  s.mean = sum / static_cast<double>(lat_ms.size());
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "bench/BENCH_serve.json";
+  const double rps = bench::env_double("WA_LOAD_RPS", 150.0);
+  const double secs = bench::env_double("WA_LOAD_SECONDS", 4.0);
+  const int conns = static_cast<int>(bench::env_int("WA_LOAD_CONNS", 8));
+  const int workers = static_cast<int>(bench::env_int("WA_LOAD_WORKERS", 4));
+  const int shards = static_cast<int>(bench::env_int("WA_LOAD_SHARDS", 0));
+  const auto seed = static_cast<std::uint64_t>(bench::env_int("WA_LOAD_SEED", 42));
+  const double slo_ms = bench::env_double("WA_LOAD_SLO_MS", 0.0);
+
+  bench::banner("Serving load harness: open-loop Poisson over TCP");
+  std::printf("  offered %.0f req/s for %.1fs over %d conns, %d workers\n", rps, secs, conns,
+              workers);
+
+  // The zoo mix: both compiled models behind one server.
+  models::SqueezeNetConfig scfg;
+  scfg.width_mult = 0.25F;
+  scfg.algo = nn::ConvAlgo::kWinograd2;
+  scfg.qspec = quant::QuantSpec{8};
+  models::ResNeXtConfig rcfg;
+  rcfg.width_mult = 0.25F;
+  rcfg.algo = nn::ConvAlgo::kWinograd2;
+  rcfg.qspec = quant::QuantSpec{8};
+  std::printf("  compiling zoo models...\n");
+  deploy::Int8Pipeline squeeze = compiled_zoo<models::SqueezeNet>(
+      scfg, [](models::SqueezeNet& m) { return deploy::compile_squeezenet(m); }, 7);
+  deploy::Int8Pipeline resnext = compiled_zoo<models::ResNeXt20>(
+      rcfg, [](models::ResNeXt20& m) { return deploy::compile_resnext(m); }, 9);
+
+  serve::ServerOptions sopts;
+  sopts.workers = workers;
+  sopts.shards = shards;
+  sopts.queue_capacity = 1024;
+  sopts.batch.max_batch = 8;
+  sopts.batch.max_delay_us = 200;
+  serve::InferenceServer server(sopts);
+  server.add_model("squeezenet", std::move(squeeze));
+  server.add_model("resnext", std::move(resnext));
+  std::printf("  server up: %d shards\n", server.shards());
+
+  serve::net::NetFrontend frontend(server);
+  const std::uint16_t port = frontend.port();
+  std::printf("  frontend on 127.0.0.1:%u\n", unsigned{port});
+
+  // Per-connection open-loop streams. Each connection owns one Poisson
+  // schedule at rate/conns so the superposition offers `rps` total.
+  const char* model_names[2] = {"squeezenet", "resnext"};
+  Rng input_rng(seed);
+  const Tensor image = Tensor::randn({1, 3, 32, 32}, input_rng, 1.2F);
+  std::vector<std::unique_ptr<ConnStats>> stats;
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  const auto horizon =
+      t0 + std::chrono::nanoseconds(static_cast<std::int64_t>(secs * 1e9));
+  for (int ci = 0; ci < conns; ++ci) stats.push_back(std::make_unique<ConnStats>());
+
+  for (int ci = 0; ci < conns; ++ci) {
+    ConnStats* csp = stats[ci].get();
+    auto client = std::make_shared<serve::net::Client>("127.0.0.1", port);
+    // Sender: walk the pre-committed schedule until the horizon.
+    threads.emplace_back([&, ci, client, csp] {
+      ConnStats& cs = *csp;
+      serve::net::PoissonArrivals arrivals(rps / conns, seed + static_cast<std::uint64_t>(ci));
+      std::mt19937_64 mix(seed * 1000 + static_cast<std::uint64_t>(ci));
+      std::uint64_t seq = 0;
+      for (;;) {
+        const std::uint64_t sched_ns = arrivals.next_send_ns();
+        const auto when = t0 + std::chrono::nanoseconds(sched_ns);
+        if (when >= horizon) break;
+        std::this_thread::sleep_until(when);
+        // 20% high (SLO deadline when gating), 70% normal, 10% low.
+        const std::uint64_t r = mix() % 10;
+        serve::SubmitOptions opts;
+        opts.priority = r < 2   ? serve::Priority::kHigh
+                        : r < 9 ? serve::Priority::kNormal
+                                : serve::Priority::kLow;
+        if (opts.priority == serve::Priority::kHigh && slo_ms > 0) {
+          opts.deadline_us = static_cast<std::int64_t>(slo_ms * 1000);
+        }
+        const char* model = model_names[mix() % 2];
+        {
+          std::lock_guard<std::mutex> lk(cs.mu);
+          cs.records.push_back({sched_ns, static_cast<std::uint8_t>(opts.priority), -1, 0.0});
+        }
+        const std::uint64_t id = (static_cast<std::uint64_t>(ci) << 40) | seq;
+        try {
+          client->send(id, model, image, opts);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "conn %d send failed: %s\n", ci, e.what());
+          break;
+        }
+        ++seq;
+        cs.sent.fetch_add(1, std::memory_order_release);
+      }
+      cs.sender_done.store(true, std::memory_order_release);
+    });
+    // Receiver: every sent request gets exactly one response frame.
+    threads.emplace_back([&, ci, client, csp] {
+      ConnStats& cs = *csp;
+      std::uint64_t received = 0;
+      for (;;) {
+        if (received >= cs.sent.load(std::memory_order_acquire) &&
+            cs.sender_done.load(std::memory_order_acquire)) {
+          break;
+        }
+        serve::net::Response resp;
+        try {
+          resp = client->recv();
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "conn %d recv failed: %s\n", ci, e.what());
+          break;
+        }
+        const auto now_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+        const std::uint64_t seq = resp.request_id & ((std::uint64_t{1} << 40) - 1);
+        std::lock_guard<std::mutex> lk(cs.mu);
+        if (seq < cs.records.size()) {
+          Record& rec = cs.records[seq];
+          rec.status = static_cast<std::int8_t>(resp.status);
+          rec.latency_ms = static_cast<double>(now_ns - rec.sched_ns) / 1e6;
+        }
+        ++received;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  frontend.stop();
+
+  // ---- aggregate -----------------------------------------------------------
+  std::vector<double> lat_all;
+  std::vector<double> lat_cls[serve::kPriorityClasses];
+  std::uint64_t sent = 0, ok = 0, lost = 0;
+  std::uint64_t by_status[8] = {};
+  for (const auto& cs : stats) {
+    for (const Record& r : cs->records) {
+      ++sent;
+      if (r.status < 0) {
+        ++lost;
+        continue;
+      }
+      if (r.status < 8) ++by_status[r.status];
+      if (r.status == 0) {
+        ++ok;
+        lat_all.push_back(r.latency_ms);
+        lat_cls[r.cls].push_back(r.latency_ms);
+      }
+    }
+  }
+  const ClassSummary all = summarize(lat_all);
+  ClassSummary cls[serve::kPriorityClasses];
+  for (std::size_t c = 0; c < serve::kPriorityClasses; ++c) cls[c] = summarize(lat_cls[c]);
+  const double achieved = static_cast<double>(ok) / wall_s;
+
+  std::printf("\n  %-10s %8s %9s %9s %9s %9s\n", "class", "ok", "p50 ms", "p95 ms", "p99 ms",
+              "mean ms");
+  const char* cls_names[3] = {"high", "normal", "low"};
+  for (std::size_t c = 0; c < serve::kPriorityClasses; ++c) {
+    std::printf("  %-10s %8llu %9.2f %9.2f %9.2f %9.2f\n", cls_names[c],
+                static_cast<unsigned long long>(cls[c].ok), cls[c].p50, cls[c].p95, cls[c].p99,
+                cls[c].mean);
+  }
+  std::printf("  %-10s %8llu %9.2f %9.2f %9.2f %9.2f\n", "overall",
+              static_cast<unsigned long long>(all.ok), all.p50, all.p95, all.p99, all.mean);
+  std::printf("\n  sent %llu  ok %llu  queue_full %llu  deadline %llu  errors %llu  lost %llu\n",
+              static_cast<unsigned long long>(sent), static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(by_status[1]),
+              static_cast<unsigned long long>(by_status[2]),
+              static_cast<unsigned long long>(by_status[5] + by_status[6]),
+              static_cast<unsigned long long>(lost));
+  std::printf("  achieved %.1f req/s of %.1f offered\n", achieved, rps);
+
+  const bool slo_armed = slo_ms > 0;
+  const bool slo_pass = !slo_armed || all.p99 <= slo_ms;
+  if (slo_armed) {
+    std::printf("  SLO gate: p99 %.2fms %s %.2fms — %s\n", all.p99, slo_pass ? "<=" : ">",
+                slo_ms, slo_pass ? "PASS" : "FAIL");
+  }
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"offered_rps\": %.1f,\n  \"duration_s\": %.2f,\n  \"conns\": %d,\n"
+                 "  \"workers\": %d,\n  \"shards\": %d,\n  \"seed\": %llu,\n"
+                 "  \"sent\": %llu,\n  \"ok\": %llu,\n  \"queue_full\": %llu,\n"
+                 "  \"deadline_rejected\": %llu,\n  \"lost\": %llu,\n"
+                 "  \"achieved_rps\": %.1f,\n",
+                 rps, wall_s, conns, workers, server.shards(),
+                 static_cast<unsigned long long>(seed), static_cast<unsigned long long>(sent),
+                 static_cast<unsigned long long>(ok),
+                 static_cast<unsigned long long>(by_status[1]),
+                 static_cast<unsigned long long>(by_status[2]),
+                 static_cast<unsigned long long>(lost), achieved);
+    const auto dump_cls = [f](const char* name, const ClassSummary& s, const char* tail) {
+      std::fprintf(f,
+                   "  \"%s\": {\"ok\": %llu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                   "\"p99_ms\": %.3f, \"mean_ms\": %.3f}%s\n",
+                   name, static_cast<unsigned long long>(s.ok), s.p50, s.p95, s.p99, s.mean,
+                   tail);
+    };
+    dump_cls("high", cls[0], ",");
+    dump_cls("normal", cls[1], ",");
+    dump_cls("low", cls[2], ",");
+    dump_cls("overall", all, ",");
+    std::fprintf(f, "  \"slo_ms\": %.1f,\n  \"slo_pass\": %s\n}\n", slo_ms,
+                 slo_pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("  wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("  WARNING: could not write %s\n", json_path.c_str());
+  }
+  return slo_pass ? 0 : 1;
+}

@@ -136,9 +136,20 @@ int main(int argc, char** argv) {
   }
   const double wino_sparse = single_stage_ms(wino_conv(rng, ch, ch, 1, 1, mask), x, reps);
 
-  // Stride-2: the polyphase Winograd lowering vs the im2row fallback.
+  // Stride-2: the polyphase Winograd lowering vs the im2row fallback, both
+  // forced so the bar tracks the real kernels — then the prepare-time cost
+  // model's pick, which is what a compiled stage actually runs. The selected
+  // path must be the faster one (>= 1.0x vs the alternative) or the
+  // selection bugfix has regressed.
+  backend::set_strided_polyphase_policy(backend::StridedPolicy::kForcePolyphase);
   const double strided_wino = single_stage_ms(wino_conv(rng, ch, ch, 1, 2), x, reps);
-  const double strided_gemm = single_stage_ms(im2row_conv(rng, ch, ch, 1, 2), x, reps);
+  backend::set_strided_polyphase_policy(backend::StridedPolicy::kForceIm2row);
+  const double strided_gemm = single_stage_ms(wino_conv(rng, ch, ch, 1, 2), x, reps);
+  backend::set_strided_polyphase_policy(backend::StridedPolicy::kAuto);
+  const bool poly_selected = backend::strided_polyphase_profitable(ch, ch);
+  const char* strided_selected = poly_selected ? "polyphase" : "im2row";
+  const double strided_sel_ms = poly_selected ? strided_wino : strided_gemm;
+  const double strided_alt_ms = poly_selected ? strided_gemm : strided_wino;
 
   // Concat join (fire-module shape): stem fans out into two published
   // branches joined by a requantizing ConcatStage.
@@ -165,8 +176,10 @@ int main(int argc, char** argv) {
               wino_dense / wino_grouped);
   std::printf("  %-28s %10.4f  (%.2fx vs dense)\n", "winograd sparse(8/16 taps)", wino_sparse,
               wino_dense / wino_sparse);
-  std::printf("  %-28s %10.4f  (%.2fx vs im2row s2)\n", "strided polyphase winograd",
-              strided_wino, strided_gemm / strided_wino);
+  std::printf("  %-28s %10.4f\n", "strided polyphase winograd", strided_wino);
+  std::printf("  %-28s %10.4f\n", "strided im2row fallback", strided_gemm);
+  std::printf("  %-28s %10s  (%.2fx vs %s)\n", "strided selected path", strided_selected,
+              strided_alt_ms / strided_sel_ms, poly_selected ? "im2row" : "polyphase");
   std::printf("  %-28s %10.4f\n", "fire fan-out + concat", concat_ms);
 
   // End-to-end compiled zoo pipelines (calibrated, width 0.25, F2).
@@ -198,12 +211,13 @@ int main(int argc, char** argv) {
       "\"im2row_dense_ms\": %.4f, \"im2row_grouped_ms\": %.4f, \"grouped_gemm_speedup\": %.2f, "
       "\"wino_dense_ms\": %.4f, \"wino_grouped_ms\": %.4f, \"grouped_wino_speedup\": %.2f, "
       "\"wino_sparse_ms\": %.4f, \"sparse_speedup\": %.2f, "
-      "\"strided_wino_ms\": %.4f, \"strided_im2row_ms\": %.4f, \"strided_speedup\": %.2f, "
+      "\"strided_wino_ms\": %.4f, \"strided_im2row_ms\": %.4f, "
+      "\"strided_selected\": \"%s\", \"strided_speedup\": %.2f, "
       "\"concat_graph_ms\": %.4f, \"squeezenet_ms\": %.4f, \"resnext_ms\": %.4f}",
       static_cast<long long>(ch), static_cast<long long>(h), gemm_dense, gemm_grouped,
       gemm_dense / gemm_grouped, wino_dense, wino_grouped, wino_dense / wino_grouped, wino_sparse,
-      wino_dense / wino_sparse, strided_wino, strided_gemm, strided_gemm / strided_wino, concat_ms,
-      squeezenet_ms, resnext_ms);
+      wino_dense / wino_sparse, strided_wino, strided_gemm, strided_selected,
+      strided_alt_ms / strided_sel_ms, concat_ms, squeezenet_ms, resnext_ms);
   if (bench::merge_json_section(json_path, "zoo_deploy", json)) {
     std::printf("  merged section \"zoo_deploy\" into %s\n", json_path.c_str());
   } else {

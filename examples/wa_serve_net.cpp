@@ -1,0 +1,76 @@
+// Network serving quickstart: compile a small model, put an InferenceServer
+// behind the TCP frontend, and talk to it through the wire protocol — the
+// same path `bench/serve_loadgen` hammers at scale.
+//
+//   calibrate -> compile_lenet -> freeze_scales -> InferenceServer
+//            -> NetFrontend (ephemeral port) -> net::Client::infer()
+//            -> per-class stats + Prometheus exposition
+#include <cstdio>
+#include <iostream>
+
+#include "data/synthetic.hpp"
+#include "deploy/pipeline.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/frontend.hpp"
+#include "serve/server.hpp"
+
+using namespace wa;
+
+int main() {
+  Rng rng(42);
+
+  // 1. A calibrated (not trained — the wire path is the subject) INT8 LeNet.
+  models::LeNetConfig cfg;
+  cfg.algo = nn::ConvAlgo::kWinograd2;
+  cfg.qspec = quant::QuantSpec{8};
+  models::LeNet5 net(cfg, rng);
+  auto spec = data::mnist_like();
+  spec.train_size = 64;
+  const auto calib = data::generate(spec, true);
+  net.set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net.forward(ag::Variable(calib.images.slice0(i * 16, (i + 1) * 16), false));
+  }
+  deploy::Int8Pipeline pipe = deploy::compile_lenet(net);
+  pipe.freeze_scales(calib.images.slice0(0, 16));
+
+  // 2. Server + network frontend on an ephemeral loopback port.
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  opts.shards = 0;  // auto: one worker-pool shard per NUMA node
+  serve::InferenceServer server(opts);
+  server.add_model("lenet", std::move(pipe));
+  serve::net::NetFrontend frontend(server);
+  std::printf("serving 'lenet' on 127.0.0.1:%u (%d shards)\n", unsigned{frontend.port()},
+              server.shards());
+
+  // 3. A client: plain inference, then one per priority class with a
+  //    deadline budget on the high-priority request.
+  serve::net::Client client("127.0.0.1", frontend.port());
+  const Tensor image = calib.images.slice0(0, 1);
+  const Tensor logits = client.infer("lenet", image);
+  std::printf("predicted class %lld\n", static_cast<long long>(logits.argmax()));
+
+  for (const serve::Priority prio :
+       {serve::Priority::kHigh, serve::Priority::kNormal, serve::Priority::kLow}) {
+    serve::SubmitOptions so;
+    so.priority = prio;
+    if (prio == serve::Priority::kHigh) so.deadline_us = 50'000;  // 50ms budget
+    client.infer("lenet", image, so);
+    std::printf("served a %s-priority request\n", serve::priority_name(prio));
+  }
+
+  // 4. Per-class accounting and the Prometheus view of the same numbers.
+  const serve::ModelStats s = server.stats("lenet");
+  std::printf("\nrequests %llu (high %llu / normal %llu / low %llu), p99 %.2fms\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.class_requests[0]),
+              static_cast<unsigned long long>(s.class_requests[1]),
+              static_cast<unsigned long long>(s.class_requests[2]), s.latency.p99_ms);
+  std::printf("\nPrometheus exposition (wa_net_* + wa_serve_*):\n");
+  serve::dump_metrics(std::cout);
+
+  frontend.stop();
+  server.shutdown();
+  return 0;
+}

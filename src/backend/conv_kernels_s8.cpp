@@ -331,6 +331,41 @@ void set_winograd_blocked_enabled(bool on) {
   g_wino_blocked.store(on, std::memory_order_relaxed);
 }
 
+namespace {
+
+std::atomic<StridedPolicy> g_strided_policy{[] {
+  const char* env = std::getenv("WA_STRIDED_POLY");
+  if (env == nullptr) return StridedPolicy::kAuto;
+  return std::string(env) == "0" ? StridedPolicy::kForceIm2row
+         : std::string(env) == "1" ? StridedPolicy::kForcePolyphase
+                                   : StridedPolicy::kAuto;
+}()};
+
+}  // namespace
+
+StridedPolicy strided_polyphase_policy() {
+  return g_strided_policy.load(std::memory_order_relaxed);
+}
+void set_strided_polyphase_policy(StridedPolicy p) {
+  g_strided_policy.store(p, std::memory_order_relaxed);
+}
+
+bool strided_polyphase_profitable(std::int64_t in_channels, std::int64_t out_channels) {
+  const double c = static_cast<double>(in_channels);
+  const double k = static_cast<double>(out_channels);
+  // Per-output-pixel cost units (one int8 MAC ≈ 1). Polyphase: 2.25·C·K in
+  // the F(2,2) phase-00 sub-conv (4 taps over a quarter-res plane scaled
+  // back up) + 5·C·K rect GEMM + the fp32 scatter/join passes, whose
+  // traffic is linear in C and K. Im2row: 9·C·K in one fused pass plus the
+  // patch lowering. kJoinOverhead is calibrated so the model reproduces the
+  // measured 0.60x at C=K=64 (bench/zoo_deploy); crossover lands at
+  // C=K≈288.
+  constexpr double kJoinOverhead = 256.0;
+  const double poly = 7.25 * c * k + kJoinOverhead * (c + k);
+  const double im2row = 9.0 * c * k + 9.0 * c;
+  return poly < im2row;
+}
+
 QTensor winograd_conv_s8(const QTensor& input, const Tensor& weights_fp32, const ConvGeometry& g,
                          const wino::Transforms& tr, const WinogradStageScales& scales,
                          const Tensor* bias) {

@@ -233,4 +233,22 @@ QTensor strided_winograd_conv_s8_prepared(const QTensor& input,
 bool winograd_blocked_enabled();
 void set_winograd_blocked_enabled(bool on);
 
+/// Prepare-time policy for stride-2 Winograd stages: whether the polyphase
+/// lowering or the strided-im2row fallback executes the stage.
+/// kAuto consults strided_polyphase_profitable; the force values are the
+/// bench/test hook (WA_STRIDED_POLY=0 forces im2row, =1 forces polyphase).
+enum class StridedPolicy : std::uint8_t { kAuto = 0, kForceIm2row = 1, kForcePolyphase = 2 };
+StridedPolicy strided_polyphase_policy();
+void set_strided_polyphase_policy(StridedPolicy p);
+
+/// Calibrated per-output-pixel cost model deciding kAuto. The polyphase
+/// lowering spends ~7.25·C·K MACs per output pixel (4.41 effective in the
+/// F(2,2) phase-00 sub-conv + 5·C·K rect GEMM) but pays a multi-pass fp32
+/// join whose traffic scales with C+K; strided im2row spends the full
+/// 9·C·K in ONE fused GEMM+requant pass. The overhead coefficient is
+/// calibrated against bench/zoo_deploy (0.60x at C=K=64), putting the
+/// crossover near C=K≈288 — below that the fallback wins and prepare()
+/// must pick it.
+bool strided_polyphase_profitable(std::int64_t in_channels, std::int64_t out_channels);
+
 }  // namespace wa::backend

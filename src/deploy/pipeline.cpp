@@ -94,10 +94,35 @@ std::string stage_where(const Int8Pipeline::Node& node, std::size_t index) {
 
 void ConvStage::prepare() {
   if (nn::is_winograd(algo) && stride == 2) {
-    // Stride-2 Winograd lowers through the polyphase cache. The phase-00
-    // subplane conv runs F(m, 2) over the 2x2 even/even weight taps, so the
-    // stage's training-time F(m, 3) transform set is replaced by the
-    // canonical F(m, 2) one here (the rect phases use no transform at all).
+    // Stride-2 Winograd lowers through the polyphase cache — but only where
+    // the decomposition actually wins. The polyphase executor trades GEMM
+    // volume (7.25·C·K vs im2row's 9·C·K per output pixel) for a multi-pass
+    // fp32 join, which loses below C=K≈288 (bench/zoo_deploy measured it at
+    // 0.60x at C=K=64), and it cannot run grouped at all. The cost model
+    // picks the winner at prepare time; WA_STRIDED_POLY / the policy setter
+    // force either path for differential tests and benches.
+    const auto policy = backend::strided_polyphase_policy();
+    const bool use_poly =
+        groups == 1 &&
+        (policy == backend::StridedPolicy::kForcePolyphase ||
+         (policy == backend::StridedPolicy::kAuto &&
+          backend::strided_polyphase_profitable(in_channels, out_channels)));
+    if (!use_poly) {
+      // Fallback: requantize the fp32 taps and run the stage as a plain
+      // strided im2row GEMM. The algo flips to kIm2row so the stage's
+      // serialized cache kind (0) and algo stay consistent (.wam contract).
+      algo = nn::ConvAlgo::kIm2row;
+      if (output_scale <= 0.F && stage_scales.output > 0.F) output_scale = stage_scales.output;
+      weights_q = backend::quantize_s8(weights_f);
+      weights_f = Tensor();
+      im2row_cache = backend::prepare_im2row_weights_s8(weights_q, groups);
+      weights_q = backend::QTensor{};  // only the packed copy is consulted
+      return;
+    }
+    // The phase-00 subplane conv runs F(m, 2) over the 2x2 even/even weight
+    // taps, so the stage's training-time F(m, 3) transform set is replaced
+    // by the canonical F(m, 2) one here (the rect phases use no transform
+    // at all).
     if (transforms.r != 2) {
       transforms = wino::make_transforms(transforms.m > 0 ? transforms.m : 2, 2);
     }

@@ -1,0 +1,105 @@
+#include "serve/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace wa::serve::net {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("net::Client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("net::Client: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("net::Client: connect to " + host + ":" + std::to_string(port) +
+                             " failed: " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::write_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd_, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("net::Client: write failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::read_all(std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd_, data + off, len - off);
+    if (n == 0) throw std::runtime_error("net::Client: connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("net::Client: read failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send(std::uint64_t request_id, const std::string& model, const Tensor& input,
+                  SubmitOptions opts) {
+  const std::vector<std::uint8_t> frame = encode_request(request_id, model, input, opts);
+  write_all(frame.data(), frame.size());
+  if (request_id >= next_id_) next_id_ = request_id + 1;
+}
+
+Response Client::recv() {
+  std::uint8_t len_buf[4];
+  read_all(len_buf, sizeof len_buf);
+  const std::uint32_t body_len = load_u32(len_buf);
+  if (body_len < kResponseHeadBytes || body_len > (256u << 20)) {
+    throw std::runtime_error("net::Client: bad response frame length " +
+                             std::to_string(body_len));
+  }
+  std::vector<std::uint8_t> body(body_len);
+  read_all(body.data(), body.size());
+  Response resp;
+  const std::string err = decode_response(body, resp);
+  if (!err.empty()) throw std::runtime_error("net::Client: malformed response: " + err);
+  return resp;
+}
+
+Tensor Client::infer(const std::string& model, const Tensor& input, SubmitOptions opts) {
+  const std::uint64_t id = next_id_++;
+  send(id, model, input, opts);
+  Response resp = recv();
+  if (resp.request_id != id) {
+    throw std::runtime_error("net::Client: response id " + std::to_string(resp.request_id) +
+                             " for request " + std::to_string(id));
+  }
+  if (resp.status != Status::kOk) {
+    throw std::runtime_error(std::string("net::Client: ") + status_name(resp.status) +
+                             (resp.error.empty() ? "" : ": " + resp.error));
+  }
+  return std::move(resp.logits);
+}
+
+}  // namespace wa::serve::net

@@ -1,0 +1,48 @@
+// Blocking TCP client for the serving wire protocol. One connection, two
+// independent halves: send() writes a request frame and returns immediately
+// (the socket keeps any number of requests in flight, responses come back
+// in completion order keyed by request_id), recv() blocks for the next
+// response frame. infer() is the one-shot convenience wrapping both.
+//
+// Not thread-safe: one Client per thread (the load harness opens one per
+// connection worker). Framing errors and peer hangups throw
+// std::runtime_error — a byte stream that lost sync cannot be recovered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/net/protocol.hpp"
+
+namespace wa::serve::net {
+
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+  /// Write one request frame (blocks until the kernel accepts every byte).
+  void send(std::uint64_t request_id, const std::string& model, const Tensor& input,
+            SubmitOptions opts = {});
+
+  /// Block for the next response frame, whatever its status.
+  Response recv();
+
+  /// send + recv with an auto-assigned id; throws std::runtime_error when
+  /// the response status is not kOk. Only valid with no other request in
+  /// flight on this connection.
+  Tensor infer(const std::string& model, const Tensor& input, SubmitOptions opts = {});
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t len);
+  void read_all(std::uint8_t* data, std::size_t len);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace wa::serve::net

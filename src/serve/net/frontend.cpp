@@ -1,0 +1,568 @@
+#include "serve/net/frontend.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
+#include "serve/net/protocol.hpp"
+#include "serve/net/slab.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace wa::serve::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// One accepted connection. The read state machine and all socket I/O are
+/// loop-thread-only; the outbox is the single cross-thread surface
+/// (completions append under wmu and ring the wake fd).
+struct Conn {
+  int fd = -1;
+
+  // ---- read state machine (loop thread only) ------------------------------
+  enum class R : std::uint8_t { kLen, kHead, kMeta, kPayload };
+  R rstate = R::kLen;
+  std::size_t got = 0;  ///< bytes consumed of the current section
+  std::uint8_t len_buf[4] = {};
+  std::uint32_t frame_len = 0;
+  std::uint8_t head[kRequestHeadBytes] = {};
+  RequestHead rh;
+  std::vector<std::uint8_t> meta;
+  std::string model;
+  Shape dims;
+  std::size_t payload_bytes = 0;
+  std::vector<float> payload;  ///< slab-backed; becomes the request Tensor
+  /// Unrecoverable framing error: stop decoding, flush the error reply,
+  /// then close (bytes read while draining are discarded).
+  bool draining = false;
+
+  // ---- write side (any thread, under wmu) ----------------------------------
+  std::mutex wmu;
+  std::deque<std::vector<std::uint8_t>> outbox;
+  std::size_t out_off = 0;     ///< bytes of outbox.front() already written
+  bool want_write = false;     ///< loop thread only: current EPOLLOUT interest
+  std::atomic<bool> closed{false};
+};
+
+/// The wake channel, ref-counted separately from the frontend so a
+/// completion firing after stop() rings a still-open (if never again read)
+/// descriptor instead of a recycled one.
+struct WakeState {
+  int rfd = -1;  ///< loop reads this (eventfd, or pipe read end)
+  int wfd = -1;  ///< completions write this (same eventfd, or pipe write end)
+  std::mutex mu;
+  std::vector<std::shared_ptr<Conn>> pending;
+
+  ~WakeState() {
+    if (rfd >= 0) ::close(rfd);
+    if (wfd >= 0 && wfd != rfd) ::close(wfd);
+  }
+
+  void ring(std::shared_ptr<Conn> c) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      pending.push_back(std::move(c));
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wfd, &one, sizeof one);
+  }
+
+  std::vector<std::shared_ptr<Conn>> take_pending() {
+    std::uint8_t buf[64];
+    while (::read(rfd, buf, sizeof buf) > 0) {
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    return std::exchange(pending, {});
+  }
+};
+
+struct Event {
+  int fd;
+  bool readable;
+  bool writable;
+};
+
+#ifdef __linux__
+
+/// epoll readiness backend: O(1) interest updates, scales to thousands of
+/// connections.
+class Poller {
+ public:
+  Poller() : ep_(::epoll_create1(EPOLL_CLOEXEC)) {
+    if (ep_ < 0) throw std::runtime_error("NetFrontend: epoll_create1 failed");
+  }
+  ~Poller() { ::close(ep_); }
+  void add(int fd, bool write_interest) { ctl(EPOLL_CTL_ADD, fd, write_interest); }
+  void mod(int fd, bool write_interest) { ctl(EPOLL_CTL_MOD, fd, write_interest); }
+  void del(int fd) {
+    epoll_event ev{};
+    ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, &ev);
+  }
+  void wait(std::vector<Event>& out, int timeout_ms) {
+    epoll_event evs[128];
+    const int n = ::epoll_wait(ep_, evs, 128, timeout_ms);
+    out.clear();
+    for (int i = 0; i < n; ++i) {
+      out.push_back({evs[i].data.fd,
+                     (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0,
+                     (evs[i].events & EPOLLOUT) != 0});
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, bool write_interest) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (write_interest ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(ep_, op, fd, &ev);
+  }
+  int ep_;
+};
+
+#else
+
+/// Portable poll(2) fallback: interest set rebuilt per wait. Fine for the
+/// connection counts non-Linux dev machines see.
+class Poller {
+ public:
+  void add(int fd, bool write_interest) { interest_[fd] = write_interest; }
+  void mod(int fd, bool write_interest) { interest_[fd] = write_interest; }
+  void del(int fd) { interest_.erase(fd); }
+  void wait(std::vector<Event>& out, int timeout_ms) {
+    pfds_.clear();
+    for (const auto& [fd, w] : interest_) {
+      pfds_.push_back({fd, static_cast<short>(POLLIN | (w ? POLLOUT : 0)), 0});
+    }
+    out.clear();
+    const int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : pfds_) {
+      if (p.revents == 0) continue;
+      out.push_back({p.fd, (p.revents & (POLLIN | POLLERR | POLLHUP)) != 0,
+                     (p.revents & POLLOUT) != 0});
+    }
+  }
+
+ private:
+  std::unordered_map<int, bool> interest_;
+  std::vector<pollfd> pfds_;
+};
+
+#endif
+
+}  // namespace
+
+struct NetFrontend::Impl {
+  InferenceServer& server;
+  const FrontendOptions opts;
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::shared_ptr<WakeState> wake = std::make_shared<WakeState>();
+  std::shared_ptr<SlabPool> pool;
+  std::thread loop;
+  std::atomic<bool> stop_flag{false};
+  bool stopped = false;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;  // loop thread only
+
+  // Process-lifetime handles into the registry: copying them into a
+  // completion lambda is safe even after this Impl dies.
+  telemetry::Counter c_accepts;
+  telemetry::Gauge g_conns;
+  telemetry::Counter c_requests;
+  telemetry::Counter c_bad_frames;
+  telemetry::Counter c_status[7];
+
+  Impl(InferenceServer& srv, FrontendOptions o)
+      : server(srv), opts(o), pool(std::make_shared<SlabPool>(o.max_pooled_bytes)) {
+    auto& reg = telemetry::Registry::global();
+    c_accepts = reg.counter("wa_net_accepts_total");
+    g_conns = reg.gauge("wa_net_connections");
+    c_requests = reg.counter("wa_net_requests_total");
+    c_bad_frames = reg.counter("wa_net_bad_frames_total");
+    for (int s = 0; s <= static_cast<int>(Status::kForwardError); ++s) {
+      c_status[s] = reg.counter(std::string("wa_net_responses_total{status=\"") +
+                                status_name(static_cast<Status>(s)) + "\"}");
+    }
+
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) throw std::runtime_error("NetFrontend: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts.port);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd, opts.backlog) != 0) {
+      const int err = errno;
+      ::close(listen_fd);
+      throw std::runtime_error(std::string("NetFrontend: bind/listen failed: ") +
+                               std::strerror(err));
+    }
+    socklen_t alen = sizeof addr;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+    bound_port = ntohs(addr.sin_port);
+    set_nonblocking(listen_fd);
+
+#ifdef __linux__
+    wake->rfd = wake->wfd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake->rfd < 0) {
+      ::close(listen_fd);
+      throw std::runtime_error("NetFrontend: eventfd() failed");
+    }
+#else
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      ::close(listen_fd);
+      throw std::runtime_error("NetFrontend: pipe() failed");
+    }
+    set_nonblocking(pipefd[0]);
+    set_nonblocking(pipefd[1]);
+    wake->rfd = pipefd[0];
+    wake->wfd = pipefd[1];
+#endif
+
+    loop = std::thread([this] { run_loop(); });
+  }
+
+  // ---- write path ----------------------------------------------------------
+
+  /// Drain the outbox as far as the socket accepts. False = fatal error.
+  bool flush_writes(Conn& c) {
+    std::lock_guard<std::mutex> lk(c.wmu);
+    while (!c.outbox.empty()) {
+      const auto& front = c.outbox.front();
+      while (c.out_off < front.size()) {
+        const ssize_t n = ::write(c.fd, front.data() + c.out_off, front.size() - c.out_off);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return errno == EAGAIN || errno == EWOULDBLOCK;
+        }
+        c.out_off += static_cast<std::size_t>(n);
+      }
+      c.outbox.pop_front();
+      c.out_off = 0;
+    }
+    return true;
+  }
+
+  bool has_pending_writes(Conn& c) {
+    std::lock_guard<std::mutex> lk(c.wmu);
+    return !c.outbox.empty();
+  }
+
+  void update_write_interest(Poller& poller, Conn& c) {
+    const bool want = has_pending_writes(c);
+    if (want != c.want_write) {
+      c.want_write = want;
+      poller.mod(c.fd, want);
+    }
+  }
+
+  /// Loop-thread error reply: enqueue, try to flush inline, arm EPOLLOUT
+  /// for whatever the socket didn't take.
+  void send_error(Poller& poller, Conn& c, std::uint64_t id, Status status,
+                  const std::string& msg) {
+    c_status[static_cast<int>(status)].inc();
+    {
+      std::lock_guard<std::mutex> lk(c.wmu);
+      c.outbox.push_back(encode_error_response(id, status, msg));
+    }
+    flush_writes(c);
+    update_write_interest(poller, c);
+  }
+
+  // ---- connection lifecycle ------------------------------------------------
+
+  void accept_all(Poller& poller) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN / transient — either way, back to the loop
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      auto c = std::make_shared<Conn>();
+      c->fd = fd;
+      conns.emplace(fd, std::move(c));
+      poller.add(fd, false);
+      c_accepts.inc();
+      g_conns.set(static_cast<double>(conns.size()));
+    }
+  }
+
+  void close_conn(Poller& poller, const std::shared_ptr<Conn>& c) {
+    if (c->closed.exchange(true)) return;
+    poller.del(c->fd);
+    conns.erase(c->fd);
+    ::close(c->fd);
+    g_conns.set(static_cast<double>(conns.size()));
+  }
+
+  // ---- read path -----------------------------------------------------------
+
+  /// Read a section; true when it is complete, false when the socket has no
+  /// more bytes now (or `fatal` when the peer hung up / errored).
+  bool read_section(Conn& c, std::uint8_t* dst, std::size_t want, bool& fatal) {
+    fatal = false;
+    while (c.got < want) {
+      const ssize_t n = ::read(c.fd, dst + c.got, want - c.got);
+      if (n == 0) {
+        fatal = true;
+        return false;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fatal = !(errno == EAGAIN || errno == EWOULDBLOCK);
+        return false;
+      }
+      c.got += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Advance the frame decoder as far as the socket allows. False = close.
+  bool handle_readable(Poller& poller, const std::shared_ptr<Conn>& c) {
+    if (c->draining) {  // discard anything after an unrecoverable frame
+      std::uint8_t scratch[4096];
+      for (;;) {
+        const ssize_t n = ::read(c->fd, scratch, sizeof scratch);
+        if (n == 0) return false;
+        if (n < 0) return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+      }
+    }
+    bool fatal = false;
+    for (;;) {
+      switch (c->rstate) {
+        case Conn::R::kLen: {
+          if (!read_section(*c, c->len_buf, 4, fatal)) return !fatal;
+          c->frame_len = load_u32(c->len_buf);
+          if (c->frame_len < kRequestHeadBytes || c->frame_len > opts.max_frame_bytes) {
+            c_bad_frames.inc();
+            send_error(poller, *c, 0, Status::kBadRequest,
+                       "bad frame length " + std::to_string(c->frame_len));
+            return start_draining(poller, *c);
+          }
+          c->rstate = Conn::R::kHead;
+          c->got = 0;
+          break;
+        }
+        case Conn::R::kHead: {
+          if (!read_section(*c, c->head, kRequestHeadBytes, fatal)) return !fatal;
+          const std::string err = parse_request_head({c->head, kRequestHeadBytes}, c->rh);
+          const std::size_t meta = err.empty() ? request_meta_bytes(c->rh) : 0;
+          if (!err.empty() || c->frame_len < kRequestHeadBytes + meta) {
+            c_bad_frames.inc();
+            send_error(poller, *c, c->rh.request_id, Status::kBadRequest,
+                       err.empty() ? "frame shorter than its metadata" : err);
+            return start_draining(poller, *c);
+          }
+          c->meta.resize(meta);
+          c->rstate = Conn::R::kMeta;
+          c->got = 0;
+          break;
+        }
+        case Conn::R::kMeta: {
+          if (!read_section(*c, c->meta.data(), c->meta.size(), fatal)) return !fatal;
+          std::string err = parse_request_meta(c->meta, c->rh, c->model, c->dims);
+          std::size_t numel = 1;
+          if (err.empty()) {
+            for (const std::int64_t d : c->dims) numel *= static_cast<std::size_t>(d);
+            c->payload_bytes = numel * sizeof(float);
+            if (c->frame_len != kRequestHeadBytes + c->meta.size() + c->payload_bytes) {
+              err = "frame length does not match dims";
+            }
+          }
+          if (!err.empty()) {
+            c_bad_frames.inc();
+            send_error(poller, *c, c->rh.request_id, Status::kBadRequest, err);
+            return start_draining(poller, *c);
+          }
+          c->payload = pool->acquire(numel);
+          c->rstate = Conn::R::kPayload;
+          c->got = 0;
+          break;
+        }
+        case Conn::R::kPayload: {
+          if (!read_section(*c, reinterpret_cast<std::uint8_t*>(c->payload.data()),
+                            c->payload_bytes, fatal)) {
+            return !fatal;
+          }
+          dispatch_request(poller, c);
+          c->rstate = Conn::R::kLen;
+          c->got = 0;
+          break;
+        }
+      }
+    }
+  }
+
+  /// After an unrecoverable framing error: keep the connection only to
+  /// flush the error reply, then close. True = still draining.
+  bool start_draining(Poller& poller, Conn& c) {
+    if (!has_pending_writes(c)) return false;  // reply already flushed: close now
+    c.draining = true;
+    update_write_interest(poller, c);
+    return true;
+  }
+
+  /// A complete frame is decoded: hand the slab-backed tensor to the server.
+  void dispatch_request(Poller& poller, const std::shared_ptr<Conn>& c) {
+    c_requests.inc();
+    Tensor input(c->dims, std::move(c->payload));
+    SubmitOptions sopts;
+    sopts.priority = c->rh.priority;
+    sopts.deadline_us = c->rh.deadline_us;
+    const std::uint64_t id = c->rh.request_id;
+
+    // The completion owns only refcounted state (conn, wake channel, slab
+    // pool) plus process-lifetime metric handles — never the Impl, which may
+    // be destroyed while this dispatch is still in flight.
+    auto wk = wake;
+    auto pl = pool;
+    auto conn = c;
+    const telemetry::Counter ok_ctr = c_status[static_cast<int>(Status::kOk)];
+    const telemetry::Counter err_ctr = c_status[static_cast<int>(Status::kForwardError)];
+    Admission verdict = Admission::kShutdown;
+    try {
+      verdict = server.submit_async(
+          c->model, std::move(input), sopts,
+          [wk, pl, conn, id, ok_ctr, err_ctr](std::exception_ptr err, Tensor logits) {
+            std::vector<std::uint8_t> frame;
+            if (err != nullptr) {
+              std::string msg = "forward failed";
+              try {
+                std::rethrow_exception(err);
+              } catch (const std::exception& e) {
+                msg = e.what();
+              } catch (...) {
+              }
+              err_ctr.inc();
+              frame = encode_error_response(id, Status::kForwardError, msg);
+            } else {
+              ok_ctr.inc();
+              frame = encode_ok_response(id, logits);
+              pl->release(std::move(logits).take_data());
+            }
+            if (conn->closed.load(std::memory_order_acquire)) return;
+            {
+              std::lock_guard<std::mutex> lk(conn->wmu);
+              conn->outbox.push_back(std::move(frame));
+            }
+            wk->ring(conn);
+          });
+    } catch (const std::exception& e) {
+      send_error(poller, *c, id, Status::kBadRequest, e.what());
+      return;
+    }
+    if (verdict != Admission::kAccepted) {
+      // Rejections leave the tensor untouched: its slab goes straight back
+      // into the pool for the next request.
+      pool->release(std::move(input).take_data());
+      send_error(poller, *c, id, status_from_admission(verdict), admission_name(verdict));
+    }
+  }
+
+  // ---- the loop ------------------------------------------------------------
+
+  void run_loop() {
+    Poller poller;
+    poller.add(listen_fd, false);
+    poller.add(wake->rfd, false);
+    std::vector<Event> events;
+    while (!stop_flag.load(std::memory_order_acquire)) {
+      poller.wait(events, 250);
+      for (const Event& ev : events) {
+        if (ev.fd == listen_fd) {
+          accept_all(poller);
+          continue;
+        }
+        if (ev.fd == wake->rfd) {
+          for (const auto& c : wake->take_pending()) {
+            if (c->closed.load(std::memory_order_acquire)) continue;
+            if (!flush_writes(*c)) {
+              close_conn(poller, c);
+              continue;
+            }
+            if (c->draining && !has_pending_writes(*c)) {
+              close_conn(poller, c);
+              continue;
+            }
+            update_write_interest(poller, *c);
+          }
+          continue;
+        }
+        const auto it = conns.find(ev.fd);
+        if (it == conns.end()) continue;
+        const std::shared_ptr<Conn> c = it->second;
+        if (ev.writable) {
+          if (!flush_writes(*c)) {
+            close_conn(poller, c);
+            continue;
+          }
+          if (c->draining && !has_pending_writes(*c)) {
+            close_conn(poller, c);
+            continue;
+          }
+          update_write_interest(poller, *c);
+        }
+        if (ev.readable && !c->closed.load(std::memory_order_relaxed)) {
+          if (!handle_readable(poller, c)) {
+            close_conn(poller, c);
+          }
+        }
+      }
+    }
+    // Teardown on the loop thread, which owns every socket.
+    for (auto& [fd, c] : conns) {
+      c->closed.store(true, std::memory_order_release);
+      ::close(fd);
+    }
+    conns.clear();
+    g_conns.set(0);
+  }
+
+  void stop() {
+    if (stopped) return;
+    stopped = true;
+    stop_flag.store(true, std::memory_order_release);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake->wfd, &one, sizeof one);
+    if (loop.joinable()) loop.join();
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+};
+
+NetFrontend::NetFrontend(InferenceServer& server, FrontendOptions opts)
+    : impl_(std::make_unique<Impl>(server, opts)) {}
+
+NetFrontend::~NetFrontend() { impl_->stop(); }
+
+std::uint16_t NetFrontend::port() const { return impl_->bound_port; }
+
+void NetFrontend::stop() { impl_->stop(); }
+
+}  // namespace wa::serve::net

@@ -1,0 +1,68 @@
+// TCP network frontend for InferenceServer: one event-loop thread
+// multiplexing every connection (epoll on Linux, poll elsewhere), decoding
+// length-prefixed request frames straight into slab-backed tensors and
+// feeding them to the server through the non-blocking submit_async path.
+//
+// Threading model — the invariants everything rests on:
+//   - ALL socket I/O (accept, read, write, close, readiness bookkeeping)
+//     happens on the loop thread. Nothing else ever touches an fd.
+//   - Server worker threads run the completions. A completion only encodes
+//     the response frame, appends it to the connection's outbox (under the
+//     outbox mutex) and rings the loop's wake fd; the loop thread drains
+//     the wake list and does the actual writes. Completions capture
+//     shared_ptr<Conn> and shared_ptr<WakeState> — never the frontend Impl
+//     — so a frontend torn down with requests still in flight is safe: the
+//     straggler completion appends to an orphaned outbox and rings an
+//     eventfd the dead loop will never read, then everything refcounts
+//     away. The wake fd lives in WakeState precisely so its descriptor
+//     cannot be closed and reused while a completion might still write it.
+//   - The request payload is read directly into a vector<float> acquired
+//     from the SlabPool; that vector becomes the request Tensor with zero
+//     copies. Rejected requests and encoded response logits return their
+//     storage to the pool (see slab.hpp).
+//
+// The listener binds to 127.0.0.1 only: this is a benchmark/test harness
+// frontend, not a hardened public endpoint.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "serve/server.hpp"
+
+namespace wa::serve::net {
+
+struct FrontendOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the real one with port()
+  int backlog = 128;
+  /// Per-frame cap; a request announcing a larger body gets kBadRequest and
+  /// the connection is closed (the stream can't be resynchronized).
+  std::size_t max_frame_bytes = 64u << 20;
+  /// SlabPool byte cap for recycled request/response storage.
+  std::size_t max_pooled_bytes = 64u << 20;
+};
+
+class NetFrontend {
+ public:
+  /// Binds and starts the loop thread immediately; throws std::runtime_error
+  /// when the socket can't be created/bound. `server` must outlive stop().
+  explicit NetFrontend(InferenceServer& server, FrontendOptions opts = {});
+  ~NetFrontend();
+  NetFrontend(const NetFrontend&) = delete;
+  NetFrontend& operator=(const NetFrontend&) = delete;
+
+  /// Bound port (resolved when options asked for an ephemeral one).
+  std::uint16_t port() const;
+
+  /// Close the listener and every connection, join the loop thread.
+  /// Idempotent; the destructor calls it. In-flight dispatches inside the
+  /// server keep running — their completions write into orphaned outboxes
+  /// and are dropped with them.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wa::serve::net

@@ -1,0 +1,52 @@
+// Seeded open-loop Poisson arrival process for the load harness.
+//
+// Open-loop means the arrival schedule is fixed up front and never reacts
+// to the server: gap k is drawn from Exp(rate) and request k's send time is
+// the running sum of the gaps, so a slow server accumulates queueing delay
+// instead of silently throttling the offered load (the closed-loop fallacy
+// that makes overloaded systems look fine). The exponential transform is
+// written out by hand — std::exponential_distribution's algorithm is
+// implementation-defined, so only the manual `-log1p(-u)/rate` over
+// mt19937_64's standardized output stream makes a (seed, rate) pair produce
+// the same byte-identical schedule on every toolchain. That reproducibility
+// is load-bearing: BENCH_serve.json runs are comparable across machines and
+// the harness test pins exact gap values.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+
+namespace wa::serve::net {
+
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate_per_sec, std::uint64_t seed) : rng_(seed), rate_(rate_per_sec) {
+    if (!(rate_per_sec > 0.0)) {
+      throw std::invalid_argument("PoissonArrivals: rate must be positive");
+    }
+  }
+
+  /// Next inter-arrival gap in seconds: Exp(rate) via inverse transform.
+  /// The top 53 bits of the engine's output give u uniform in [0, 1);
+  /// -log1p(-u) maps it to Exp(1) without ever taking log(0).
+  double next_gap_sec() {
+    const double u = static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+    return -std::log1p(-u) / rate_;
+  }
+
+  /// Absolute send offset of the next request in nanoseconds from the
+  /// stream's start (the running sum of the gaps).
+  std::uint64_t next_send_ns() {
+    elapsed_sec_ += next_gap_sec();
+    return static_cast<std::uint64_t>(elapsed_sec_ * 1e9);
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  double rate_;
+  double elapsed_sec_ = 0.0;
+};
+
+}  // namespace wa::serve::net

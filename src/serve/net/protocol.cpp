@@ -1,0 +1,196 @@
+#include "serve/net/protocol.hpp"
+
+#include <algorithm>
+
+namespace wa::serve::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+/// Patch the u32 length prefix once the body size is known.
+void seal_frame(std::vector<std::uint8_t>& frame) {
+  const auto body = static_cast<std::uint32_t>(frame.size() - 4);
+  std::memcpy(frame.data(), &body, sizeof body);
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kQueueFull: return "queue_full";
+    case Status::kDeadlineInfeasible: return "deadline_infeasible";
+    case Status::kUnknownModel: return "unknown_model";
+    case Status::kShutdown: return "shutdown";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kForwardError: return "forward_error";
+  }
+  return "unknown";
+}
+
+Status status_from_admission(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return Status::kOk;
+    case Admission::kQueueFull: return Status::kQueueFull;
+    case Admission::kDeadlineInfeasible: return Status::kDeadlineInfeasible;
+    case Admission::kUnknownModel: return Status::kUnknownModel;
+    case Admission::kShutdown: return Status::kShutdown;
+  }
+  return Status::kBadRequest;
+}
+
+std::string parse_request_head(std::span<const std::uint8_t> head, RequestHead& out) {
+  if (head.size() < kRequestHeadBytes) return "request head truncated";
+  const std::uint8_t* p = head.data();
+  if (load_u32(p) != kRequestMagic) return "bad request magic";
+  if (p[4] != kProtocolVersion) {
+    return "unsupported protocol version " + std::to_string(int{p[4]});
+  }
+  if (p[5] >= kPriorityClasses) return "bad priority " + std::to_string(int{p[5]});
+  out.priority = static_cast<Priority>(p[5]);
+  out.ndim = p[6];
+  out.model_len = p[7];
+  if (out.ndim == 0 || out.ndim > kMaxNdim) {
+    return "bad ndim " + std::to_string(int{out.ndim});
+  }
+  if (out.model_len == 0) return "empty model name";
+  out.request_id = load_u64(p + 8);
+  out.deadline_us = load_u32(p + 16);
+  return {};
+}
+
+std::string parse_request_meta(std::span<const std::uint8_t> meta, const RequestHead& h,
+                               std::string& model, Shape& dims) {
+  if (meta.size() < request_meta_bytes(h)) return "request metadata truncated";
+  model.assign(reinterpret_cast<const char*>(meta.data()), h.model_len);
+  dims.clear();
+  dims.reserve(h.ndim);
+  const std::uint8_t* p = meta.data() + h.model_len;
+  for (std::size_t d = 0; d < h.ndim; ++d, p += 8) {
+    const std::int64_t v = load_i64(p);
+    if (v <= 0) return "non-positive dim " + std::to_string(v);
+    dims.push_back(v);
+  }
+  return {};
+}
+
+std::vector<std::uint8_t> encode_request(std::uint64_t request_id, std::string_view model,
+                                         const Tensor& input, SubmitOptions opts) {
+  if (model.empty() || model.size() > kMaxModelLen) {
+    throw std::invalid_argument("encode_request: model name length " +
+                                std::to_string(model.size()) + " not in [1, 255]");
+  }
+  if (input.dim() < 1 || static_cast<std::size_t>(input.dim()) > kMaxNdim) {
+    throw std::invalid_argument("encode_request: tensor rank " + std::to_string(input.dim()) +
+                                " not in [1, " + std::to_string(kMaxNdim) + "]");
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + kRequestHeadBytes + model.size() + input.dim() * 8 + input.numel() * 4);
+  put_u32(frame, 0);  // length prefix, sealed below
+  put_u32(frame, kRequestMagic);
+  frame.push_back(kProtocolVersion);
+  frame.push_back(static_cast<std::uint8_t>(opts.priority));
+  frame.push_back(static_cast<std::uint8_t>(input.dim()));
+  frame.push_back(static_cast<std::uint8_t>(model.size()));
+  put_u64(frame, request_id);
+  put_u32(frame, opts.deadline_us < 0 ? 0u : static_cast<std::uint32_t>(std::min<std::int64_t>(
+                                                 opts.deadline_us, UINT32_MAX)));
+  frame.insert(frame.end(), model.begin(), model.end());
+  for (const std::int64_t d : input.shape()) put_i64(frame, d);
+  const auto* payload = reinterpret_cast<const std::uint8_t*>(input.raw());
+  frame.insert(frame.end(), payload, payload + input.numel() * sizeof(float));
+  seal_frame(frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_ok_response(std::uint64_t request_id, const Tensor& logits) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + kResponseHeadBytes + logits.dim() * 8 + logits.numel() * 4);
+  put_u32(frame, 0);
+  put_u32(frame, kResponseMagic);
+  frame.push_back(static_cast<std::uint8_t>(Status::kOk));
+  frame.push_back(static_cast<std::uint8_t>(logits.dim()));
+  put_u16(frame, 0);
+  put_u64(frame, request_id);
+  for (const std::int64_t d : logits.shape()) put_i64(frame, d);
+  const auto* payload = reinterpret_cast<const std::uint8_t*>(logits.raw());
+  frame.insert(frame.end(), payload, payload + logits.numel() * sizeof(float));
+  seal_frame(frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_error_response(std::uint64_t request_id, Status status,
+                                                std::string_view msg) {
+  msg = msg.substr(0, 65535);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + kResponseHeadBytes + 2 + msg.size());
+  put_u32(frame, 0);
+  put_u32(frame, kResponseMagic);
+  frame.push_back(static_cast<std::uint8_t>(status));
+  frame.push_back(0);  // ndim unused on the error path
+  put_u16(frame, 0);
+  put_u64(frame, request_id);
+  put_u16(frame, static_cast<std::uint16_t>(msg.size()));
+  frame.insert(frame.end(), msg.begin(), msg.end());
+  seal_frame(frame);
+  return frame;
+}
+
+std::string decode_response(std::span<const std::uint8_t> body, Response& out) {
+  if (body.size() < kResponseHeadBytes) return "response head truncated";
+  const std::uint8_t* p = body.data();
+  if (load_u32(p) != kResponseMagic) return "bad response magic";
+  if (p[4] > static_cast<std::uint8_t>(Status::kForwardError)) {
+    return "unknown status " + std::to_string(int{p[4]});
+  }
+  out.status = static_cast<Status>(p[4]);
+  const std::uint8_t ndim = p[5];
+  out.request_id = load_u64(p + 8);
+  out.error.clear();
+  out.logits = Tensor();
+  std::span<const std::uint8_t> rest = body.subspan(kResponseHeadBytes);
+  if (out.status != Status::kOk) {
+    if (rest.size() < 2) return "error message length truncated";
+    const std::uint16_t len = load_u16(rest.data());
+    if (rest.size() < 2u + len) return "error message truncated";
+    out.error.assign(reinterpret_cast<const char*>(rest.data() + 2), len);
+    return {};
+  }
+  if (ndim == 0 || ndim > kMaxNdim) return "bad response ndim " + std::to_string(int{ndim});
+  if (rest.size() < ndim * 8u) return "response dims truncated";
+  Shape dims;
+  dims.reserve(ndim);
+  std::int64_t numel = 1;
+  for (std::size_t d = 0; d < ndim; ++d) {
+    const std::int64_t v = load_i64(rest.data() + d * 8);
+    if (v <= 0) return "non-positive response dim " + std::to_string(v);
+    dims.push_back(v);
+    numel *= v;
+  }
+  rest = rest.subspan(ndim * 8u);
+  if (rest.size() != static_cast<std::size_t>(numel) * sizeof(float)) {
+    return "response payload size mismatch";
+  }
+  std::vector<float> values(static_cast<std::size_t>(numel));
+  std::memcpy(values.data(), rest.data(), rest.size());
+  out.logits = Tensor(std::move(dims), std::move(values));
+  return {};
+}
+
+}  // namespace wa::serve::net

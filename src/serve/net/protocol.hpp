@@ -1,0 +1,140 @@
+// Wire protocol for the serving network frontend: length-prefixed binary
+// frames over a byte stream (TCP in practice — the codec itself only sees
+// spans).
+//
+// Every frame is a little-endian u32 byte length followed by that many body
+// bytes. A request body is a fixed 20-byte head, then the variable metadata
+// (model name bytes + i64 dims), then the raw f32 payload — laid out so a
+// streaming decoder knows every section's size before reading it and can
+// land the payload *directly* in its final float storage (the frontend
+// decodes into an arena-recycled slab that becomes the request Tensor with
+// zero further copies). A response body is a fixed 16-byte head followed by
+// either the logits (dims + f32 payload) or an error message.
+//
+//   request body                        response body
+//   ------------                        -------------
+//   u32  magic  "WANQ"                  u32  magic  "WANR"
+//   u8   version (= 1)                  u8   status (Status)
+//   u8   priority (serve::Priority)     u8   ndim        (status 0 only)
+//   u8   ndim      (1..kMaxNdim)        u16  reserved (= 0)
+//   u8   model_len (1..kMaxModelLen)    u64  request_id
+//   u64  request_id                     ok:  i64 dims[ndim], f32 payload
+//   u32  deadline_us (0 = none)         err: u16 msg_len, msg bytes
+//   ---- 20 bytes (kRequestHeadBytes)   ---- 16 bytes (kResponseHeadBytes)
+//   model_len bytes of model name
+//   i64  dims[ndim]
+//   f32  payload (prod(dims) floats)
+//
+// All multi-byte fields are little-endian; the codec memcpy's through
+// std::bit_cast-able types and the library refuses to build on a big-endian
+// host (static_assert below) rather than silently swapping.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "serve/server.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wa::serve::net {
+
+static_assert(std::endian::native == std::endian::little,
+              "wire codec assumes a little-endian host");
+
+inline constexpr std::uint32_t kRequestMagic = 0x514E4157;   // "WANQ"
+inline constexpr std::uint32_t kResponseMagic = 0x524E4157;  // "WANR"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kRequestHeadBytes = 20;
+inline constexpr std::size_t kResponseHeadBytes = 16;
+inline constexpr std::size_t kMaxNdim = 8;
+inline constexpr std::size_t kMaxModelLen = 255;
+
+/// Response status byte. The first five mirror serve::Admission verdicts;
+/// kBadRequest is a frame the decoder refused (never reached admission) and
+/// kForwardError is an accepted request whose dispatch threw.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kQueueFull = 1,
+  kDeadlineInfeasible = 2,
+  kUnknownModel = 3,
+  kShutdown = 4,
+  kBadRequest = 5,
+  kForwardError = 6,
+};
+const char* status_name(Status s);
+Status status_from_admission(Admission a);
+
+/// Parsed fixed request head. ndim/model_len bound the metadata section that
+/// follows; payload size is known only after the dims arrive.
+struct RequestHead {
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_us = 0;
+  Priority priority = Priority::kNormal;
+  std::uint8_t ndim = 0;
+  std::uint8_t model_len = 0;
+};
+
+/// Decoded response frame: exactly one of (logits, error) is meaningful,
+/// keyed by status.
+struct Response {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  Tensor logits;      ///< status == kOk
+  std::string error;  ///< status != kOk
+};
+
+// ---- little-endian scalar codec (bounds are the caller's problem) ----------
+inline std::uint16_t load_u16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline std::int64_t load_i64(const std::uint8_t* p) {
+  std::int64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Parse the fixed 20-byte request head. Returns "" on success, else a
+/// human-readable reason (bad magic / version / ndim / model_len) that the
+/// frontend ships back verbatim in a kBadRequest response.
+std::string parse_request_head(std::span<const std::uint8_t> head, RequestHead& out);
+
+/// Byte count of the metadata section the head announces (model + dims).
+inline std::size_t request_meta_bytes(const RequestHead& h) {
+  return static_cast<std::size_t>(h.model_len) + static_cast<std::size_t>(h.ndim) * 8;
+}
+
+/// Parse the metadata section into the model name and the sample shape.
+/// Returns "" on success. Every dim must be positive.
+std::string parse_request_meta(std::span<const std::uint8_t> meta, const RequestHead& h,
+                               std::string& model, Shape& dims);
+
+// ---- whole-frame encoders (length prefix included) -------------------------
+/// Client-side request frame.
+std::vector<std::uint8_t> encode_request(std::uint64_t request_id, std::string_view model,
+                                         const Tensor& input, SubmitOptions opts);
+/// Server-side success frame carrying the logits.
+std::vector<std::uint8_t> encode_ok_response(std::uint64_t request_id, const Tensor& logits);
+/// Server-side failure frame. `msg` is truncated to 64 KiB - 1.
+std::vector<std::uint8_t> encode_error_response(std::uint64_t request_id, Status status,
+                                                std::string_view msg);
+
+/// Client-side decode of a response *body* (length prefix already stripped).
+/// Returns "" on success, else why the frame is malformed.
+std::string decode_response(std::span<const std::uint8_t> body, Response& out);
+
+}  // namespace wa::serve::net

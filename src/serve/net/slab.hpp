@@ -1,0 +1,103 @@
+// Capacity-bucketed recycling pool for the float slabs that back network
+// request and response tensors.
+//
+// The frontend's decoder lands every request payload directly into a
+// vector<float> acquired here; that vector becomes the request Tensor's
+// storage with no further copy, rides through the server, and — for
+// rejected requests and for response logits after they are encoded onto the
+// wire — comes back via Tensor::take_data() so its heap allocation is
+// reused by the next request of a similar size. Buckets are power-of-two
+// capacity classes: a vector whose capacity is in [2^b, 2^(b+1)) lives in
+// bucket b, and acquire(n) pops from bucket ceil(log2(n)), whose every
+// entry is guaranteed to hold n floats without reallocating. Total pooled
+// bytes are capped; beyond the cap a released slab is simply freed.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace wa::serve::net {
+
+class SlabPool {
+ public:
+  explicit SlabPool(std::size_t max_pooled_bytes = 64u << 20)
+      : max_pooled_bytes_(max_pooled_bytes) {}
+
+  /// A vector with size() == numel and no reallocation needed; recycled
+  /// storage when a large-enough slab is pooled, a fresh allocation
+  /// otherwise.
+  std::vector<float> acquire(std::size_t numel) {
+    if (numel == 0) return {};
+    const std::size_t b = bucket_of(numel);
+    if (b >= kBuckets) {  // absurd request: serve it unpooled
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::vector<float>(numel);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto& shelf = buckets_[b];
+      if (!shelf.empty()) {
+        std::vector<float> v = std::move(shelf.back());
+        shelf.pop_back();
+        pooled_bytes_ -= v.capacity() * sizeof(float);
+        v.resize(numel);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<float> v;
+    // Round the allocation up to the bucket boundary so the slab is
+    // acquirable by every future request in its class, not just ones no
+    // bigger than this first tenant.
+    v.reserve(std::size_t{1} << b);
+    v.resize(numel);
+    return v;
+  }
+
+  /// Return a slab (typically from Tensor::take_data()). Dropped when empty
+  /// or when pooling it would exceed the byte cap.
+  void release(std::vector<float> v) {
+    const std::size_t bytes = v.capacity() * sizeof(float);
+    if (v.capacity() == 0) return;
+    const std::size_t b = floor_bucket(v.capacity());
+    if (b >= kBuckets) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pooled_bytes_ + bytes > max_pooled_bytes_) return;  // v frees on scope exit
+    pooled_bytes_ += bytes;
+    v.clear();
+    buckets_[b].push_back(std::move(v));
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::size_t pooled_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pooled_bytes_;
+  }
+
+ private:
+  /// ceil(log2(n)): smallest b with 2^b >= n.
+  static std::size_t bucket_of(std::size_t n) {
+    return static_cast<std::size_t>(std::bit_width(n - 1));
+  }
+  /// floor(log2(cap)): the class whose every member holds 2^b floats.
+  static std::size_t floor_bucket(std::size_t cap) {
+    return static_cast<std::size_t>(std::bit_width(cap)) - 1;
+  }
+
+  static constexpr std::size_t kBuckets = 40;  // up to 2^39 floats — plenty
+
+  mutable std::mutex mu_;
+  std::size_t pooled_bytes_ = 0;
+  const std::size_t max_pooled_bytes_;
+  std::array<std::vector<std::vector<float>>, kBuckets> buckets_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace wa::serve::net

@@ -13,6 +13,9 @@
 #ifdef _OPENMP
 #include <omp.h>
 #endif
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "serve/artifact.hpp"
 #include "telemetry/metrics.hpp"
@@ -49,31 +52,108 @@ bool same_sample_shape(const Tensor& a, const Tensor& b) {
   return true;
 }
 
+std::size_t cls_idx(Priority p) {
+  const auto i = static_cast<std::size_t>(p);
+  return i < kPriorityClasses ? i : kPriorityClasses - 1;
+}
+
+/// One shard per NUMA node, read from sysfs. Hosts without the sysfs tree
+/// (non-Linux, containers masking /sys) degrade to a single shard.
+int detect_numa_nodes() {
+#ifdef __linux__
+  int n = 0;
+  while (n < 64) {
+    const std::string p = "/sys/devices/system/node/node" + std::to_string(n);
+    if (::access(p.c_str(), F_OK) != 0) break;
+    ++n;
+  }
+  return n > 0 ? n : 1;
+#else
+  return 1;
+#endif
+}
+
 }  // namespace
+
+const char* priority_name(Priority p) {
+  switch (cls_idx(p)) {
+    case 0: return "high";
+    case 1: return "normal";
+    default: return "low";
+  }
+}
+
+const char* admission_name(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kQueueFull: return "queue_full";
+    case Admission::kDeadlineInfeasible: return "deadline_infeasible";
+    case Admission::kUnknownModel: return "unknown_model";
+    case Admission::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
 
 struct InferenceServer::Impl {
   struct Request {
     Tensor input;
     std::int64_t samples = 0;
-    std::promise<Tensor> promise;
+    std::promise<Tensor> promise;  ///< completes the future when no callback is set
+    Completion completion;         ///< submit_async: invoked instead of the promise
+    Priority cls = Priority::kNormal;
     Clock::time_point enqueued;
+    Clock::time_point deadline{};  ///< meaningful iff has_deadline
+    bool has_deadline = false;
     telemetry::TraceContext trace;  ///< sampled at submit; rides the request
   };
 
+  static void complete_error(Request& r, std::exception_ptr e) {
+    if (r.completion) {
+      r.completion(std::move(e), Tensor());
+    } else {
+      r.promise.set_exception(std::move(e));
+    }
+  }
+  static void complete_value(Request& r, Tensor t) {
+    if (r.completion) {
+      r.completion(nullptr, std::move(t));
+    } else {
+      r.promise.set_value(std::move(t));
+    }
+  }
+
   struct ModelState {
-    deploy::Int8Pipeline pipe;
-    std::deque<Request> queue;
+    /// Per-shard pipeline replicas. [0] is the registration copy; the other
+    /// slots are materialized lazily by the first worker of that shard (the
+    /// copy runs on the worker's own thread, so first-touch places the
+    /// replica's weights on that worker's NUMA node). All replicas are
+    /// identical frozen pipelines — logits are bit-identical across shards.
+    std::vector<std::shared_ptr<const deploy::Int8Pipeline>> replicas;
+    std::vector<bool> replica_building;
+
+    /// Strict-priority class queues (index = Priority). Dispatch always
+    /// drains the highest non-empty class first; FIFO within a class.
+    std::array<std::deque<Request>, kPriorityClasses> queues;
+    std::size_t queued = 0;  ///< total requests across classes
+    /// Dispatches popped but not yet fully accounted (latency observed,
+    /// futures completed). remove_model waits for this to hit zero so a
+    /// re-registered name's stats baseline cannot race a straggler.
+    int inflight = 0;
     /// Set (under mu) when the model is unregistered: waiting submitters
     /// wake and throw, new lookups no longer find the entry, and workers
     /// that still hold the state via shared_ptr finish their dispatch
     /// against an immutable pipeline.
     bool removed = false;
 
-    std::uint64_t requests = 0, samples = 0, batches = 0, failed = 0, rejected = 0;
+    std::uint64_t requests = 0, samples = 0, batches = 0, failed = 0, rejected = 0, expired = 0;
+    std::array<std::uint64_t, kPriorityClasses> class_requests{};
     std::int64_t peak_bytes = 0;  ///< max RunStats.peak_activation_bytes over dispatches
     std::vector<std::uint64_t> hist = std::vector<std::uint64_t>(kHistBuckets, 0);
     Clock::time_point first_submit{};
     bool saw_submit = false;
+    /// Smoothed dispatch (pipeline forward) time — the service-time estimate
+    /// behind deadline admission and deadline-aware lingering.
+    telemetry::EmaNs ema_dispatch;
 
     /// Telemetry handles into the global registry (created at add_model,
     /// labeled {model="name"}). The registry cells are process-lifetime —
@@ -87,6 +167,9 @@ struct InferenceServer::Impl {
     telemetry::Histogram h_latency;
     telemetry::HistogramSnapshot lat_base;
     double lat_max_ms = 0.0;
+    /// Per-class series: completed requests, deadline misses, latency.
+    std::array<telemetry::Counter, kPriorityClasses> c_class_requests, c_class_expired;
+    std::array<telemetry::Histogram, kPriorityClasses> h_class_latency;
   };
 
   explicit Impl(ServerOptions o) : opts(o) {
@@ -94,16 +177,20 @@ struct InferenceServer::Impl {
     opts.queue_capacity = std::max<std::size_t>(1, opts.queue_capacity);
     opts.batch.max_batch = std::max<std::int64_t>(1, opts.batch.max_batch);
     opts.batch.max_delay_us = std::max<std::int64_t>(0, opts.batch.max_delay_us);
+    nshards = opts.shards == 0 ? detect_numa_nodes() : std::max(1, opts.shards);
+    nshards = std::min(nshards, opts.workers);
     workers.reserve(static_cast<std::size_t>(opts.workers));
     for (int i = 0; i < opts.workers; ++i) {
-      workers.emplace_back([this] { worker_loop(); });
+      workers.emplace_back([this, shard = i % nshards] { worker_loop(shard); });
     }
   }
 
   ServerOptions opts;
+  int nshards = 1;
   mutable std::mutex mu;
   std::condition_variable work_cv;   // workers: new requests or stop
   std::condition_variable space_cv;  // submitters: queue space freed
+  std::condition_variable drain_cv;  // remove_model: in-flight dispatches accounted
   bool stop = false;
   bool joined = false;
   // Models are held by shared_ptr: remove_model() can erase the registry
@@ -122,7 +209,7 @@ struct InferenceServer::Impl {
     auto it = models.begin();
     std::advance(it, static_cast<std::ptrdiff_t>(rr_cursor % n));
     for (std::size_t i = 0; i < n; ++i) {
-      if (!it->second->queue.empty()) {
+      if (it->second->queued != 0) {
         rr_cursor = (rr_cursor % n) + i + 1;
         return it->second;
       }
@@ -132,40 +219,108 @@ struct InferenceServer::Impl {
   }
   std::size_t rr_cursor = 0;
 
-  /// Samples in the coalescable prefix of the queue: consecutive requests
-  /// (FIFO — never reordered past a shape mismatch) whose sample shapes
-  /// match the front request, capped at max_batch.
+  /// Highest non-empty priority class, kPriorityClasses when all are empty.
+  static std::size_t top_class_locked(const ModelState& m) {
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+      if (!m.queues[c].empty()) return c;
+    }
+    return kPriorityClasses;
+  }
+
+  /// Samples in the coalescable prefix of the scheduled (= highest
+  /// non-empty) class: consecutive requests (FIFO — never reordered past a
+  /// shape mismatch) whose sample shapes match the front, capped at
+  /// max_batch.
   std::int64_t eligible_samples_locked(const ModelState& m) const {
+    const std::size_t c = top_class_locked(m);
+    if (c == kPriorityClasses) return 0;
+    const std::deque<Request>& q = m.queues[c];
     std::int64_t total = 0;
-    for (const Request& r : m.queue) {
-      if (!same_sample_shape(r.input, m.queue.front().input)) break;
+    for (const Request& r : q) {
+      if (!same_sample_shape(r.input, q.front().input)) break;
       total += r.samples;
       if (total >= opts.batch.max_batch) break;
     }
     return total;
   }
 
-  std::vector<Request> pop_group_locked(ModelState& m) {
-    std::vector<Request> group;
+  /// How long the linger may run: the oldest scheduled request's delay
+  /// budget, pulled in so that no queued deadline in the coalescable prefix
+  /// expires mid-wait (the smoothed dispatch time is reserved for the
+  /// forward itself).
+  Clock::time_point linger_deadline_locked(const ModelState& m) const {
+    const std::size_t c = top_class_locked(m);
+    if (c == kPriorityClasses) return Clock::now();
+    const std::deque<Request>& q = m.queues[c];
+    Clock::time_point dl = q.front().enqueued + std::chrono::microseconds(opts.batch.max_delay_us);
+    const auto est =
+        std::chrono::nanoseconds(static_cast<std::int64_t>(m.ema_dispatch.value_ns()));
     std::int64_t total = 0;
-    while (!m.queue.empty()) {
-      Request& r = m.queue.front();
-      if (!group.empty() && (!same_sample_shape(r.input, group.front().input) ||
-                             total + r.samples > opts.batch.max_batch)) {
-        break;
-      }
+    for (const Request& r : q) {
+      if (!same_sample_shape(r.input, q.front().input)) break;
+      if (r.has_deadline) dl = std::min(dl, r.deadline - est);
       total += r.samples;
-      group.push_back(std::move(r));
-      m.queue.pop_front();
       if (total >= opts.batch.max_batch) break;
     }
-    m.g_depth.set(static_cast<double>(m.queue.size()));
-    return group;
+    return dl;
+  }
+
+  /// Pop the next dispatch group from the highest non-empty class, shedding
+  /// expired requests (deadline already passed) as they surface — a dead
+  /// request never occupies a batch slot. Returns {group, expired}; the
+  /// caller completes the expired ones outside the lock.
+  std::pair<std::vector<Request>, std::vector<Request>> pop_group_locked(ModelState& m) {
+    std::vector<Request> group, dead;
+    const auto now = Clock::now();
+    for (std::size_t c = 0; c < kPriorityClasses && group.empty(); ++c) {
+      std::deque<Request>& q = m.queues[c];
+      std::int64_t total = 0;
+      while (!q.empty()) {
+        Request& r = q.front();
+        if (r.has_deadline && r.deadline < now) {
+          dead.push_back(std::move(r));
+          q.pop_front();
+          --m.queued;
+          ++m.expired;
+          continue;
+        }
+        if (!group.empty() && (!same_sample_shape(r.input, group.front().input) ||
+                               total + r.samples > opts.batch.max_batch)) {
+          break;
+        }
+        total += r.samples;
+        group.push_back(std::move(r));
+        q.pop_front();
+        --m.queued;
+        if (total >= opts.batch.max_batch) break;
+      }
+    }
+    if (!group.empty()) ++m.inflight;
+    m.g_depth.set(static_cast<double>(m.queued));
+    return {std::move(group), std::move(dead)};
+  }
+
+  /// The shard's pipeline replica, materialized on first use by this shard's
+  /// worker thread (first-touch NUMA placement). Racing builders fall back
+  /// to the registration replica for the current dispatch.
+  std::shared_ptr<const deploy::Int8Pipeline> replica_for(ModelState& m, std::size_t shard) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (shard >= m.replicas.size()) return m.replicas.front();
+    if (m.replicas[shard] != nullptr) return m.replicas[shard];
+    if (m.replica_building[shard]) return m.replicas.front();
+    m.replica_building[shard] = true;
+    const std::shared_ptr<const deploy::Int8Pipeline> src = m.replicas.front();
+    lk.unlock();
+    auto copy = std::make_shared<deploy::Int8Pipeline>(*src);  // deep copy on THIS thread
+    lk.lock();
+    m.replicas[shard] = std::move(copy);
+    m.replica_building[shard] = false;
+    return m.replicas[shard];
   }
 
   // ---- worker --------------------------------------------------------------
 
-  void worker_loop() {
+  void worker_loop(int shard) {
 #ifdef _OPENMP
     if (opts.omp_threads_per_worker > 0) omp_set_num_threads(opts.omp_threads_per_worker);
 #endif
@@ -178,24 +333,32 @@ struct InferenceServer::Impl {
         continue;
       }
       // Linger for more work to coalesce — but never past the oldest
-      // request's delay budget, and not at all once shutdown began.
+      // scheduled request's delay budget or a queued deadline, and not at
+      // all once shutdown began. Re-evaluated per wake: a higher class
+      // arriving mid-linger changes what will be dispatched.
       const auto picked = Clock::now();  // traced queue_wait ends here
-      const auto deadline =
-          m->queue.front().enqueued + std::chrono::microseconds(opts.batch.max_delay_us);
-      while (!stop && !m->queue.empty() &&
-             eligible_samples_locked(*m) < opts.batch.max_batch && Clock::now() < deadline) {
+      while (!stop && m->queued != 0 &&
+             eligible_samples_locked(*m) < opts.batch.max_batch) {
+        const auto deadline = linger_deadline_locked(*m);
+        if (Clock::now() >= deadline) break;
         work_cv.wait_until(lk, deadline);
       }
-      if (m->queue.empty()) continue;  // another worker dispatched it
-      std::vector<Request> group = pop_group_locked(*m);
+      if (m->queued == 0) continue;  // another worker dispatched it
+      auto [group, dead] = pop_group_locked(*m);
       lk.unlock();
       space_cv.notify_all();
-      run_group(*m, group, picked);
+      for (Request& r : dead) {
+        m->c_class_expired[cls_idx(r.cls)].inc();
+        complete_error(r, std::make_exception_ptr(std::runtime_error(
+                              "InferenceServer: deadline expired before dispatch")));
+      }
+      if (!group.empty()) run_group(*m, group, picked, static_cast<std::size_t>(shard));
       lk.lock();
     }
   }
 
-  void run_group(ModelState& m, std::vector<Request>& group, Clock::time_point picked) {
+  void run_group(ModelState& m, std::vector<Request>& group, Clock::time_point picked,
+                 std::size_t shard) {
     std::int64_t total = 0;
     for (const Request& r : group) total += r.samples;
     // The pipeline emits its per-stage spans under ONE trace id; the first
@@ -209,18 +372,19 @@ struct InferenceServer::Impl {
       }
     }
 
+    const std::shared_ptr<const deploy::Int8Pipeline> pipe = replica_for(m, shard);
     const auto t_dispatch = Clock::now();
     Tensor out;
     deploy::RunStats rstats;
     std::exception_ptr err;
     try {
       if (group.size() == 1) {
-        out = m.pipe.run(group.front().input, nullptr, &rstats, ctx);
+        out = pipe->run(group.front().input, nullptr, &rstats, ctx);
       } else {
         std::vector<Tensor> parts;
         parts.reserve(group.size());
         for (Request& r : group) parts.push_back(std::move(r.input));
-        out = m.pipe.run(Tensor::concat(parts, 0), nullptr, &rstats, ctx);
+        out = pipe->run(Tensor::concat(parts, 0), nullptr, &rstats, ctx);
       }
     } catch (...) {
       err = std::current_exception();
@@ -229,6 +393,8 @@ struct InferenceServer::Impl {
     // Account the dispatch BEFORE completing the futures: a caller whose
     // future just resolved must already see itself in stats().
     const auto done = Clock::now();
+    m.ema_dispatch.observe(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(done - t_dispatch).count());
     {
       std::lock_guard<std::mutex> lk(mu);
       m.batches += 1;
@@ -240,6 +406,7 @@ struct InferenceServer::Impl {
           static_cast<std::size_t>(total) < kHistBuckets ? static_cast<std::size_t>(total) : 0;
       m.hist[bucket] += 1;
       for (const Request& r : group) {
+        m.class_requests[cls_idx(r.cls)] += 1;
         m.lat_max_ms = std::max(m.lat_max_ms, to_ms(done - r.enqueued));
       }
     }
@@ -248,7 +415,12 @@ struct InferenceServer::Impl {
     m.c_requests.inc(group.size());
     m.c_samples.inc(static_cast<std::uint64_t>(total));
     if (err) m.c_failed.inc(group.size());
-    for (const Request& r : group) m.h_latency.observe(to_ms(done - r.enqueued));
+    for (const Request& r : group) {
+      const double ms = to_ms(done - r.enqueued);
+      m.h_latency.observe(ms);
+      m.c_class_requests[cls_idx(r.cls)].inc();
+      m.h_class_latency[cls_idx(r.cls)].observe(ms);
+    }
 
     // Serve-level spans per traced request: request ⊃ queue_wait → coalesce
     // → dispatch. A request that arrived during the linger has
@@ -274,59 +446,95 @@ struct InferenceServer::Impl {
     std::int64_t off = 0;
     for (Request& r : group) {
       if (err) {
-        r.promise.set_exception(err);
+        complete_error(r, err);
       } else if (group.size() == 1) {
-        r.promise.set_value(std::move(out));
+        complete_value(r, std::move(out));
       } else {
-        r.promise.set_value(out.slice0(off, off + r.samples));
+        complete_value(r, out.slice0(off, off + r.samples));
       }
       off += r.samples;
+    }
+
+    // The dispatch is fully accounted (histograms observed, callers
+    // completed): release the in-flight hold so remove_model can finish.
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      --m.inflight;
+      if (m.inflight == 0) drain_cv.notify_all();
     }
   }
 
   // ---- submission ----------------------------------------------------------
 
-  std::optional<std::future<Tensor>> enqueue(const std::string& model, Tensor input,
-                                             bool blocking) {
+  /// The one admission path behind submit/try_submit/submit_async. `sync`
+  /// throws the documented exceptions for unknown/removed/shutdown instead
+  /// of returning a verdict (the future-based API contract); async callers
+  /// get the verdict and own the error reply.
+  Admission enqueue(const std::string& model, Tensor& input, SubmitOptions sopts, bool blocking,
+                    bool sync, Completion done, std::future<Tensor>* out_fut) {
     if (input.dim() < 1 || input.size(0) < 1) {
       throw std::invalid_argument("InferenceServer::submit: input needs a batch axis [N, ...]");
     }
+    const std::size_t cls = cls_idx(sopts.priority);
     std::unique_lock<std::mutex> lk(mu);
     auto it = models.find(model);
     if (it == models.end()) {
-      throw std::invalid_argument("InferenceServer: unknown model '" + model + "'");
+      if (sync) throw std::invalid_argument("InferenceServer: unknown model '" + model + "'");
+      return Admission::kUnknownModel;
     }
     // Hold the state directly: a concurrent remove_model() may erase the map
     // entry (and even re-register the name) while we wait for queue space.
     std::shared_ptr<ModelState> state = it->second;
     ModelState& m = *state;
-    while (!stop && !m.removed && m.queue.size() >= opts.queue_capacity) {
+    while (!stop && !m.removed && m.queued >= opts.queue_capacity) {
       if (!blocking) {
         ++m.rejected;
         m.c_rejected.inc();
-        return std::nullopt;
+        return Admission::kQueueFull;
       }
       space_cv.wait(lk);
     }
-    if (stop) throw std::runtime_error("InferenceServer: shutting down");
+    if (stop) {
+      if (sync) throw std::runtime_error("InferenceServer: shutting down");
+      return Admission::kShutdown;
+    }
     if (m.removed) {
-      throw std::invalid_argument("InferenceServer: model '" + model + "' was removed");
+      if (sync) {
+        throw std::invalid_argument("InferenceServer: model '" + model + "' was removed");
+      }
+      return Admission::kUnknownModel;
+    }
+    // Deadline admission: once the dispatch-time EMA is warm, a budget the
+    // forward alone would blow is refused up front — the answer could never
+    // arrive in time, so the request must not displace feasible work.
+    if (sopts.deadline_us > 0 && m.ema_dispatch.count() >= telemetry::EmaNs::kWarmup &&
+        m.ema_dispatch.value_ns() > static_cast<double>(sopts.deadline_us) * 1e3) {
+      ++m.expired;
+      m.c_class_expired[cls].inc();
+      return Admission::kDeadlineInfeasible;
     }
 
     Request r;
     r.samples = input.size(0);
     r.input = std::move(input);
+    r.cls = sopts.priority;
+    r.completion = std::move(done);
     r.enqueued = Clock::now();
+    if (sopts.deadline_us > 0) {
+      r.has_deadline = true;
+      r.deadline = r.enqueued + std::chrono::microseconds(sopts.deadline_us);
+    }
     r.trace = telemetry::Tracer::instance().sample();
     if (!m.saw_submit) {
       m.saw_submit = true;
       m.first_submit = r.enqueued;
     }
-    std::future<Tensor> fut = r.promise.get_future();
-    m.queue.push_back(std::move(r));
-    m.g_depth.set(static_cast<double>(m.queue.size()));
+    if (out_fut != nullptr) *out_fut = r.promise.get_future();
+    m.queues[cls].push_back(std::move(r));
+    ++m.queued;
+    m.g_depth.set(static_cast<double>(m.queued));
     work_cv.notify_all();
-    return fut;
+    return Admission::kAccepted;
   }
 
   void shutdown() {
@@ -344,12 +552,18 @@ struct InferenceServer::Impl {
     joined = true;
     // Workers drain before exiting, so queues are normally empty here; this
     // guards the pathological path (a worker that died on a non-exception).
+    // The depth gauge is zeroed either way — an exported series must not
+    // keep reporting phantom queued work after the drain.
     for (auto& [name, m] : models) {
-      for (Request& r : m->queue) {
-        r.promise.set_exception(std::make_exception_ptr(
-            std::runtime_error("InferenceServer: shut down before request ran")));
+      for (auto& q : m->queues) {
+        for (Request& r : q) {
+          complete_error(r, std::make_exception_ptr(
+                                std::runtime_error("InferenceServer: shut down before request ran")));
+        }
+        q.clear();
       }
-      m->queue.clear();
+      m->queued = 0;
+      m->g_depth.set(0.0);
     }
   }
 };
@@ -376,11 +590,15 @@ void InferenceServer::add_model(const std::string& name, deploy::Int8Pipeline pi
     throw std::invalid_argument("InferenceServer::add_model: model '" + name +
                                 "' is already registered");
   }
-  it->second->pipe = std::move(pipe);
+  Impl::ModelState& m = *it->second;
+  m.replicas.assign(static_cast<std::size_t>(impl_->nshards), nullptr);
+  m.replica_building.assign(static_cast<std::size_t>(impl_->nshards), false);
+  m.replicas.front() = std::make_shared<const deploy::Int8Pipeline>(std::move(pipe));
   // Wire the model's telemetry: get-or-create is idempotent, so a
   // re-registered name continues the exported series; the latency baseline
-  // snapshot carves this registration's stats() window out of it.
-  Impl::ModelState& m = *it->second;
+  // snapshot carves this registration's stats() window out of it (safe
+  // because remove_model waits for the prior incarnation's in-flight
+  // dispatches before returning).
   m.name = name;
   auto& reg = telemetry::Registry::global();
   const std::string label = "{model=\"" + name + "\"}";
@@ -392,18 +610,32 @@ void InferenceServer::add_model(const std::string& name, deploy::Int8Pipeline pi
   m.g_depth = reg.gauge("wa_serve_queue_depth" + label);
   m.h_latency = reg.histogram("wa_serve_latency_ms" + label, latency_bounds_ms());
   m.lat_base = m.h_latency.snapshot();
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    const std::string cl = "{model=\"" + name + "\",class=\"" +
+                           priority_name(static_cast<Priority>(c)) + "\"}";
+    m.c_class_requests[c] = reg.counter("wa_serve_class_requests_total" + cl);
+    m.c_class_expired[c] = reg.counter("wa_serve_class_expired_total" + cl);
+    m.h_class_latency[c] = reg.histogram("wa_serve_class_latency_ms" + cl, latency_bounds_ms());
+  }
 }
 
 void InferenceServer::remove_model(const std::string& name) {
-  std::deque<Impl::Request> orphans;
+  std::shared_ptr<Impl::ModelState> state;
+  std::array<std::deque<Impl::Request>, kPriorityClasses> orphans;
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     auto it = impl_->models.find(name);
     if (it == impl_->models.end()) {
       throw std::invalid_argument("InferenceServer: unknown model '" + name + "'");
     }
-    it->second->removed = true;
-    orphans.swap(it->second->queue);
+    state = it->second;
+    state->removed = true;
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) orphans[c].swap(state->queues[c]);
+    state->queued = 0;
+    // The exported depth gauge must return to zero with the queue: the
+    // series outlives the registration and would otherwise report the
+    // removed incarnation's last depth forever.
+    state->g_depth.set(0.0);
     impl_->models.erase(it);
   }
   // Wake submitters blocked on the removed model's full queue (they observe
@@ -412,10 +644,18 @@ void InferenceServer::remove_model(const std::string& name) {
   impl_->work_cv.notify_all();
   // Complete the undispatched futures outside the lock: every accepted
   // request resolves, value or exception — never silently dropped.
-  for (Impl::Request& r : orphans) {
-    r.promise.set_exception(std::make_exception_ptr(std::runtime_error(
-        "InferenceServer: model '" + name + "' was removed before the request ran")));
+  for (auto& q : orphans) {
+    for (Impl::Request& r : q) {
+      Impl::complete_error(r, std::make_exception_ptr(std::runtime_error(
+                                  "InferenceServer: model '" + name +
+                                  "' was removed before the request ran")));
+    }
   }
+  // Wait out the in-flight dispatches: when remove_model returns, every one
+  // of this incarnation's samples is in the exported series, so the next
+  // add_model under this name captures a clean stats baseline.
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->drain_cv.wait(lk, [&] { return state->inflight == 0; });
 }
 
 void InferenceServer::load_model(const std::string& name, const std::string& wam_path) {
@@ -431,12 +671,37 @@ std::vector<std::string> InferenceServer::model_names() const {
 }
 
 std::future<Tensor> InferenceServer::submit(const std::string& model, Tensor input) {
-  return *impl_->enqueue(model, std::move(input), /*blocking=*/true);
+  return submit(model, std::move(input), SubmitOptions{});
+}
+
+std::future<Tensor> InferenceServer::submit(const std::string& model, Tensor input,
+                                            SubmitOptions opts) {
+  std::future<Tensor> fut;
+  const Admission a = impl_->enqueue(model, input, opts, /*blocking=*/true,
+                                     /*sync=*/true, nullptr, &fut);
+  if (a == Admission::kDeadlineInfeasible) {
+    std::promise<Tensor> p;
+    p.set_exception(std::make_exception_ptr(std::runtime_error(
+        "InferenceServer: deadline of " + std::to_string(opts.deadline_us) +
+        "us is below the model's smoothed dispatch time — request refused at admission")));
+    return p.get_future();
+  }
+  return fut;
 }
 
 std::optional<std::future<Tensor>> InferenceServer::try_submit(const std::string& model,
-                                                               Tensor input) {
-  return impl_->enqueue(model, std::move(input), /*blocking=*/false);
+                                                               Tensor input, SubmitOptions opts) {
+  std::future<Tensor> fut;
+  const Admission a = impl_->enqueue(model, input, opts, /*blocking=*/false,
+                                     /*sync=*/true, nullptr, &fut);
+  if (a != Admission::kAccepted) return std::nullopt;
+  return fut;
+}
+
+Admission InferenceServer::submit_async(const std::string& model, Tensor&& input,
+                                        SubmitOptions opts, Completion done) {
+  return impl_->enqueue(model, input, opts, /*blocking=*/false, /*sync=*/false,
+                        std::move(done), nullptr);
 }
 
 ModelStats InferenceServer::stats(const std::string& model) const {
@@ -460,7 +725,9 @@ ModelStats InferenceServer::stats(const std::string& model) const {
     s.batches = m.batches;
     s.failed = m.failed;
     s.rejected = m.rejected;
-    s.queue_depth = m.queue.size();
+    s.expired = m.expired;
+    s.queue_depth = m.queued;
+    s.class_requests = m.class_requests;
     s.batch_size_hist = m.hist;
     s.peak_activation_bytes = m.peak_bytes;
     h_latency = m.h_latency;
@@ -483,6 +750,8 @@ ModelStats InferenceServer::stats(const std::string& model) const {
   }
   return s;
 }
+
+int InferenceServer::shards() const { return impl_->nshards; }
 
 void InferenceServer::shutdown() { impl_->shutdown(); }
 

@@ -22,7 +22,9 @@
 // with workers instead of oversubscribing the machine with nested teams.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <iosfwd>
 #include <optional>
@@ -41,15 +43,60 @@ struct BatchPolicy {
   std::int64_t max_delay_us = 200;
 };
 
+/// Admission priority classes, strictly ordered: within a model, a worker
+/// always dispatches the highest non-empty class first, so a low-priority
+/// burst queues BEHIND high-priority traffic instead of starving it (the
+/// backpressure cap is shared, so sustained low traffic still cannot wedge
+/// the queue — expired and rejected low requests fail fast).
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr std::size_t kPriorityClasses = 3;
+const char* priority_name(Priority p);  ///< "high" / "normal" / "low"
+
+/// Per-request admission options. A deadline is a *relative* budget from
+/// submission: the request is refused up front when the model's smoothed
+/// dispatch time already exceeds it, and dropped (never dispatched, future
+/// fails, completion gets the error) when it expires while queued — an
+/// overloaded server sheds exactly the work whose answer would arrive too
+/// late to matter instead of queueing it deeper.
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  std::int64_t deadline_us = 0;  ///< 0 = no deadline
+};
+
+/// submit_async admission verdict. kAccepted guarantees the completion fires
+/// exactly once (value or error); every other verdict means it never will.
+enum class Admission : std::uint8_t {
+  kAccepted = 0,
+  kQueueFull,           ///< backpressure cap hit (counted as rejected)
+  kDeadlineInfeasible,  ///< budget below the smoothed service time (counted as expired)
+  kUnknownModel,
+  kShutdown,
+};
+const char* admission_name(Admission a);
+
+/// Completion for submit_async: exactly one of (error, logits). Invoked on a
+/// worker thread after the dispatch is accounted — keep it cheap and never
+/// call remove_model/shutdown from inside it (both wait on dispatches).
+using Completion = std::function<void(std::exception_ptr, Tensor)>;
+
 struct ServerOptions {
   int workers = 2;
-  /// Per-model cap on queued *requests*; submit() blocks and try_submit()
-  /// rejects once it is reached (backpressure instead of unbounded memory).
+  /// Per-model cap on queued *requests* across all priority classes;
+  /// submit() blocks and try_submit() rejects once it is reached
+  /// (backpressure instead of unbounded memory).
   std::size_t queue_capacity = 256;
   BatchPolicy batch;
   /// OpenMP team size inside each worker's forward. 1 lets N workers use N
   /// cores without nested oversubscription; 0 leaves the runtime default.
   int omp_threads_per_worker = 1;
+  /// Worker-pool shards for multi-socket hosts: workers are dealt
+  /// round-robin over shards and each shard materializes its own replica of
+  /// every model (copied lazily on the shard's own worker thread, so under
+  /// the kernel's first-touch policy the replica's weights land on that
+  /// worker's NUMA node). 0 = one shard per NUMA node read from
+  /// /sys/devices/system/node (gracefully 1 when the sysfs probe finds
+  /// nothing); clamped to [1, workers].
+  int shards = 1;
 };
 
 /// Request latency summary. The quantiles are estimates read from the
@@ -71,7 +118,13 @@ struct ModelStats {
   std::uint64_t batches = 0;   ///< pipeline dispatches
   std::uint64_t failed = 0;    ///< requests completed with an exception
   std::uint64_t rejected = 0;  ///< try_submit refusals due to a full queue
+  /// Deadline misses: requests refused at admission (budget below the
+  /// smoothed service time) plus requests dropped while queued because their
+  /// deadline passed before a worker reached them.
+  std::uint64_t expired = 0;
   std::size_t queue_depth = 0; ///< requests queued right now
+  /// Completed requests per priority class (index = Priority value).
+  std::array<std::uint64_t, kPriorityClasses> class_requests{};
   /// End-to-end request latency (enqueue -> future completed) since this
   /// model was registered, summarized from its telemetry histogram
   /// (wa_serve_latency_ms{model=...} minus the baseline captured at
@@ -111,9 +164,12 @@ class InferenceServer {
   /// hold the model state alive); requests still queued when the removal
   /// lands fail with std::runtime_error — every accepted future is always
   /// completed, value or exception, never lost. Submitters blocked on the
-  /// removed model's full queue wake and throw. The name becomes free for
-  /// re-registration immediately. Throws std::invalid_argument for an
-  /// unknown model.
+  /// removed model's full queue wake and throw. Blocks until the last
+  /// in-flight dispatch has been accounted, so when it returns the removed
+  /// incarnation's samples are all in the exported series and a re-
+  /// registration under the same name starts a clean stats() window (never
+  /// call it from a Completion — that dispatch is the one being waited on).
+  /// Throws std::invalid_argument for an unknown model.
   void remove_model(const std::string& name);
 
   std::vector<std::string> model_names() const;
@@ -131,11 +187,29 @@ class InferenceServer {
   /// whether or not a request was sampled.
   std::future<Tensor> submit(const std::string& model, Tensor input);
 
+  /// submit with admission options. An infeasible deadline returns a future
+  /// already holding the rejection (and ticks `expired`) — the signature
+  /// stays, the request never queues.
+  std::future<Tensor> submit(const std::string& model, Tensor input, SubmitOptions opts);
+
   /// Non-blocking submit: std::nullopt (and a `rejected` tick) when the
   /// queue is full instead of waiting.
-  std::optional<std::future<Tensor>> try_submit(const std::string& model, Tensor input);
+  std::optional<std::future<Tensor>> try_submit(const std::string& model, Tensor input,
+                                                SubmitOptions opts = {});
+
+  /// Callback submission for event-loop callers (the network frontend):
+  /// never blocks, never throws for serving-state reasons (only for a
+  /// malformed input tensor). kAccepted means `done` fires exactly once on
+  /// a worker thread; any other verdict means it never will and the caller
+  /// owns the error reply. `input` is consumed only on kAccepted — on every
+  /// rejection it is left untouched so the caller can recycle its storage.
+  Admission submit_async(const std::string& model, Tensor&& input, SubmitOptions opts,
+                         Completion done);
 
   ModelStats stats(const std::string& model) const;
+
+  /// Resolved worker-pool shard count (after NUMA auto-detection/clamping).
+  int shards() const;
 
   /// Stop accepting work, drain every queued request, join the workers.
   /// Idempotent; the destructor calls it.

@@ -52,7 +52,10 @@ HistogramSnapshot HistogramSnapshot::minus(const HistogramSnapshot& base) const 
     for (std::size_t b = 0; b < counts.size(); ++b) {
       d.counts[b] = counts[b] >= base.counts[b] ? counts[b] - base.counts[b] : 0;
     }
-    d.sum = sum - base.sum;
+    // Clamp like the counts: a baseline captured between a concurrent
+    // observe()'s bucket increment and its sum add could otherwise leave a
+    // negative windowed sum (=> negative mean) for an empty window.
+    d.sum = sum > base.sum ? sum - base.sum : 0.0;
     d.count = count >= base.count ? count - base.count : 0;
   }
   return d;

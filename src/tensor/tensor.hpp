@@ -57,6 +57,14 @@ class Tensor {
   // ---- element access -----------------------------------------------------
   std::span<float> data() { return data_; }
   std::span<const float> data() const { return data_; }
+
+  /// Steal the underlying storage, leaving the tensor empty. The serving
+  /// frontend recycles request/response slabs through this (the vector's
+  /// capacity survives the round trip back into the slab pool).
+  std::vector<float> take_data() && {
+    shape_.clear();
+    return std::move(data_);
+  }
   float* raw() { return data_.data(); }
   const float* raw() const { return data_.data(); }
 

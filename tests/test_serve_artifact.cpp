@@ -709,6 +709,14 @@ TEST(WamArtifact, V5RoundTripCarriesGroupedCachesVerbatim) {
 TEST(WamArtifact, V5RoundTripCarriesTheStridedPolyphaseCacheVerbatim) {
   // A stride-2 Winograd stage serializes as cache kind 2: the F(m,2) u00
   // cache plus the rect-phase im2row weights. Every byte must come back.
+  // Forced polyphase: 3->5 channels sit below the selection crossover and
+  // the subject here is the kind-2 wire format, not the cost model.
+  const backend::StridedPolicy prev_policy = backend::strided_polyphase_policy();
+  backend::set_strided_polyphase_policy(backend::StridedPolicy::kForcePolyphase);
+  struct Restore {
+    backend::StridedPolicy p;
+    ~Restore() { backend::set_strided_polyphase_policy(p); }
+  } restore{prev_policy};
   Rng rng(61);
   Int8Pipeline pipe;
   {

@@ -12,6 +12,7 @@
 #include "backend/perf_counters.hpp"
 #include "deploy/pipeline.hpp"
 #include "serve/server.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace wa::serve {
 namespace {
@@ -448,6 +449,123 @@ TEST(InferenceServer, RegisterUnregisterSoakNeverLosesAFuture) {
   // submit must be refused, not crash.
   EXPECT_THROW(server.stats("c"), std::invalid_argument);
   EXPECT_THROW(server.submit("c", inputs[0]), std::invalid_argument);
+
+  // Gauge-drift regression: after the dust settles, every model's exported
+  // queue-depth gauge must read exactly zero — failed dispatches, removals
+  // and churn must never leave residue in the live series (the on-call
+  // dashboard's "is work stuck?" signal).
+  auto& reg = telemetry::Registry::global();
+  for (const char* name : {"a", "b", "c"}) {
+    EXPECT_EQ(reg.gauge(std::string("wa_serve_queue_depth{model=\"") + name + "\"}").value(),
+              0.0)
+        << "queue_depth gauge drifted for model " << name;
+  }
+}
+
+// ---- admission control ------------------------------------------------------
+
+TEST(InferenceServer, HighPriorityDispatchesBeforeAQueuedLowBurst) {
+  Rng rng(81);
+  Int8Pipeline pipe = tiny_pipeline(rng);
+
+  ServerOptions opts;
+  opts.workers = 1;  // one worker: dispatch order IS pop order
+  opts.batch.max_batch = 1;
+  opts.batch.max_delay_us = 0;
+  InferenceServer server(opts);
+  server.add_model("tiny", std::move(pipe));
+
+  // Occupy the worker so everything below queues behind the blocker.
+  auto blocker = server.submit("tiny", request_input(rng, 64));
+
+  std::atomic<int> next_rank{0};
+  std::vector<int> low_rank(20, -1), high_rank(4, -1);
+  std::vector<std::future<void>> done;
+  const auto submit_ranked = [&](Priority prio, int* slot) {
+    auto promise = std::make_shared<std::promise<void>>();
+    done.push_back(promise->get_future());
+    SubmitOptions so;
+    so.priority = prio;
+    const Admission a = server.submit_async(
+        "tiny", request_input(rng), so,
+        [&next_rank, slot, promise](std::exception_ptr err, Tensor) {
+          if (err == nullptr) *slot = next_rank.fetch_add(1);
+          promise->set_value();
+        });
+    ASSERT_EQ(a, Admission::kAccepted);
+  };
+  // The low burst arrives FIRST — strict priority must still dispatch the
+  // late-arriving high requests ahead of all of it.
+  for (int i = 0; i < 20; ++i) submit_ranked(Priority::kLow, &low_rank[i]);
+  for (int i = 0; i < 4; ++i) submit_ranked(Priority::kHigh, &high_rank[i]);
+
+  blocker.get();
+  for (auto& f : done) f.get();
+
+  int max_high = -1, min_low = 1000;
+  for (const int r : high_rank) max_high = std::max(max_high, r);
+  for (const int r : low_rank) min_low = std::min(min_low, r);
+  EXPECT_LT(max_high, min_low)
+      << "every high-priority request must complete before the first low one";
+
+  const ModelStats s = server.stats("tiny");
+  EXPECT_EQ(s.class_requests[0], 4u);
+  EXPECT_EQ(s.class_requests[2], 20u);
+}
+
+// ---- stats windowing across re-registration ---------------------------------
+
+TEST(InferenceServer, StatsWindowResetsWhenAModelIsReAdded) {
+  Rng rng(71);
+  Int8Pipeline pipe = tiny_pipeline(rng);
+  const Int8Pipeline copy = pipe;
+
+  InferenceServer server;
+  server.add_model("m", std::move(pipe));
+  for (int i = 0; i < 6; ++i) {
+    server.submit("m", request_input(rng)).get();
+  }
+  const ModelStats before = server.stats("m");
+  EXPECT_EQ(before.requests, 6u);
+  EXPECT_GT(before.latency.p50_ms, 0.0);
+
+  // remove_model blocks until the last in-flight dispatch is accounted, so
+  // the re-registration below captures a baseline no straggler can race.
+  server.remove_model("m");
+  server.add_model("m", copy);
+
+  // Regression (stats-staleness bug): the fresh incarnation must start a
+  // clean window — zero counters and zero quantiles, never the previous
+  // incarnation's numbers and never negative values from a baseline that
+  // outran the series.
+  const ModelStats fresh = server.stats("m");
+  EXPECT_EQ(fresh.requests, 0u);
+  EXPECT_EQ(fresh.samples, 0u);
+  EXPECT_EQ(fresh.batches, 0u);
+  EXPECT_EQ(fresh.failed, 0u);
+  EXPECT_EQ(fresh.queue_depth, 0u);
+  EXPECT_EQ(fresh.latency.p50_ms, 0.0);
+  EXPECT_EQ(fresh.latency.p95_ms, 0.0);
+  EXPECT_EQ(fresh.latency.p99_ms, 0.0);
+  EXPECT_EQ(fresh.latency.mean_ms, 0.0);
+  EXPECT_EQ(fresh.latency.max_ms, 0.0);
+
+  // And the new window counts only new traffic.
+  for (int i = 0; i < 3; ++i) {
+    server.submit("m", request_input(rng)).get();
+  }
+  const ModelStats after = server.stats("m");
+  EXPECT_EQ(after.requests, 3u);
+  EXPECT_GE(after.latency.p50_ms, 0.0);
+  EXPECT_GE(after.latency.mean_ms, 0.0);
+  EXPECT_GE(after.latency.p99_ms, after.latency.p50_ms);
+
+  // The exported Prometheus series, by contrast, stays cumulative across
+  // the re-registration (same registry cells).
+  const auto snap = telemetry::Registry::global().snapshot();
+  const auto* total = snap.find("wa_serve_requests_total{model=\"m\"}");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GE(total->value, 9.0);
 }
 
 }  // namespace

@@ -386,7 +386,15 @@ TEST(ZooDeploy, GroupedWinogradConvMatchesPerGroupDenseConvs) {
 TEST(ZooDeploy, StridedWinogradStageMatchesHandWiredKernel) {
   // A stride-2 Winograd conv stage must run the polyphase kernel the stage
   // prepared — identical bytes to calling strided_winograd_conv_s8_prepared
-  // on the same quantized input with the same cache.
+  // on the same quantized input with the same cache. The channel counts here
+  // sit below the cost model's crossover, so the polyphase path is forced —
+  // the subject is the kernel agreement, not the prepare-time selection.
+  const backend::StridedPolicy prev_policy = backend::strided_polyphase_policy();
+  backend::set_strided_polyphase_policy(backend::StridedPolicy::kForcePolyphase);
+  struct Restore {
+    backend::StridedPolicy p;
+    ~Restore() { backend::set_strided_polyphase_policy(p); }
+  } restore{prev_policy};
   Rng rng(59);
   const std::int64_t in_ch = 3, out_ch = 5;
   const float in_s = 0.05F, out_s = 0.08F;
