@@ -387,12 +387,18 @@ struct NetFrontend::Impl {
         case Conn::R::kMeta: {
           if (!read_section(*c, c->meta.data(), c->meta.size(), fatal)) return !fatal;
           std::string err = parse_request_meta(c->meta, c->rh, c->model, c->dims);
-          std::size_t numel = 1;
+          std::uint64_t numel = 0;
           if (err.empty()) {
-            for (const std::int64_t d : c->dims) numel *= static_cast<std::size_t>(d);
-            c->payload_bytes = numel * sizeof(float);
-            if (c->frame_len != kRequestHeadBytes + c->meta.size() + c->payload_bytes) {
-              err = "frame length does not match dims";
+            // Overflow-safe product: attacker-controlled dims must not wrap
+            // mod 2^64 and sneak a huge claimed shape past the length check
+            // with a tiny payload. The frame cap bounds any honest count.
+            if (!checked_numel(c->dims, opts.max_frame_bytes / sizeof(float), numel)) {
+              err = "dims product exceeds the frame limit";
+            } else {
+              c->payload_bytes = static_cast<std::size_t>(numel) * sizeof(float);
+              if (c->frame_len != kRequestHeadBytes + c->meta.size() + c->payload_bytes) {
+                err = "frame length does not match dims";
+              }
             }
           }
           if (!err.empty()) {

@@ -1,6 +1,8 @@
 #include "serve/net/protocol.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 
 namespace wa::serve::net {
 
@@ -23,9 +25,16 @@ void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
   out.insert(out.end(), p, p + sizeof v);
 }
 
-/// Patch the u32 length prefix once the body size is known.
+/// Patch the u32 length prefix once the body size is known. A body beyond
+/// u32 range would silently truncate the prefix and desynchronize the
+/// stream, so refuse to build the frame instead.
 void seal_frame(std::vector<std::uint8_t>& frame) {
-  const auto body = static_cast<std::uint32_t>(frame.size() - 4);
+  const std::uint64_t size = frame.size() - 4;
+  if (size > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("frame body of " + std::to_string(size) +
+                            " bytes exceeds the u32 length prefix");
+  }
+  const auto body = static_cast<std::uint32_t>(size);
   std::memcpy(frame.data(), &body, sizeof body);
 }
 
@@ -176,15 +185,17 @@ std::string decode_response(std::span<const std::uint8_t> body, Response& out) {
   if (rest.size() < ndim * 8u) return "response dims truncated";
   Shape dims;
   dims.reserve(ndim);
-  std::int64_t numel = 1;
   for (std::size_t d = 0; d < ndim; ++d) {
     const std::int64_t v = load_i64(rest.data() + d * 8);
     if (v <= 0) return "non-positive response dim " + std::to_string(v);
     dims.push_back(v);
-    numel *= v;
   }
   rest = rest.subspan(ndim * 8u);
-  if (rest.size() != static_cast<std::size_t>(numel) * sizeof(float)) {
+  // Overflow-safe product: the payload present in the body bounds any
+  // legitimate element count, so cap the product there.
+  std::uint64_t numel = 0;
+  if (!checked_numel(dims, rest.size() / sizeof(float), numel) ||
+      rest.size() != numel * sizeof(float)) {
     return "response payload size mismatch";
   }
   std::vector<float> values(static_cast<std::size_t>(numel));

@@ -123,6 +123,24 @@ inline std::size_t request_meta_bytes(const RequestHead& h) {
 std::string parse_request_meta(std::span<const std::uint8_t> meta, const RequestHead& h,
                                std::string& model, Shape& dims);
 
+/// Overflow-safe product of wire dims. Dims come from untrusted bytes, so the
+/// naive `numel *= d` can wrap mod 2^64 and make a tiny payload pass the
+/// frame-length check for an absurd shape. Returns false (and leaves `out`
+/// untouched) when any dim is non-positive or the running product exceeds
+/// `max_numel`; the cap also guarantees `out * sizeof(float)` cannot overflow
+/// for any sane cap (≤ 2^62).
+inline bool checked_numel(const Shape& dims, std::uint64_t max_numel, std::uint64_t& out) {
+  std::uint64_t n = 1;
+  for (const std::int64_t d : dims) {
+    if (d <= 0) return false;
+    const auto u = static_cast<std::uint64_t>(d);
+    if (n > max_numel / u) return false;
+    n *= u;
+  }
+  out = n;
+  return true;
+}
+
 // ---- whole-frame encoders (length prefix included) -------------------------
 /// Client-side request frame.
 std::vector<std::uint8_t> encode_request(std::uint64_t request_id, std::string_view model,

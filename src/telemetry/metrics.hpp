@@ -270,8 +270,9 @@ double percentile_sorted(const std::vector<double>& sorted, double q);
 /// per-stage timing Int8Pipeline::Node carries (fed by every run() when
 /// metrics are enabled). The first kWarmup observations average arithmetically
 /// (so short profiling runs converge immediately), then updates blend with
-/// alpha = 1/kWarmup. Concurrent observers may lose a blend to a race —
-/// acceptable for a smoothed estimate; the counters stay exact.
+/// alpha = 1/kWarmup. observe() applies each blend via a compare-exchange
+/// loop, so concurrent observers never lose an update (the blend order under
+/// contention is unspecified, which is fine for a smoothed estimate).
 class EmaNs {
  public:
   static constexpr std::uint64_t kWarmup = 8;
@@ -288,9 +289,11 @@ class EmaNs {
 
   void observe(std::int64_t ns) {
     const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed) + 1;
-    const double cur = value_.load(std::memory_order_relaxed);
     const double k = static_cast<double>(n <= kWarmup ? n : kWarmup);
-    value_.store(cur + (static_cast<double>(ns) - cur) / k, std::memory_order_relaxed);
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + (static_cast<double>(ns) - cur) / k,
+                                         std::memory_order_relaxed)) {
+    }
   }
   double value_ns() const { return value_.load(std::memory_order_relaxed); }
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }

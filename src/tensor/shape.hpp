@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -14,10 +15,15 @@ namespace wa {
 using Shape = std::vector<std::int64_t>;
 
 /// Total number of elements described by a shape. Empty shape => scalar (1).
+/// Throws on negative dims and on products that exceed int64 — shapes can
+/// arrive from untrusted wire bytes, so the product must never wrap.
 inline std::int64_t numel(const Shape& s) {
   std::int64_t n = 1;
   for (auto d : s) {
     if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    if (d != 0 && n > std::numeric_limits<std::int64_t>::max() / d) {
+      throw std::overflow_error("shape element count overflows int64");
+    }
     n *= d;
   }
   return n;

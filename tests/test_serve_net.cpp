@@ -175,6 +175,45 @@ TEST(Protocol, RejectsMalformedHeads) {
   EXPECT_NE(parse_request_head({bad.data() + 4, kRequestHeadBytes}, head), "");
 }
 
+TEST(Protocol, CheckedNumelRejectsWrappingProducts) {
+  std::uint64_t n = 0;
+  EXPECT_TRUE(checked_numel({2, 3, 4}, 1u << 20, n));
+  EXPECT_EQ(n, 24u);
+  // (2^54 + 1) * 3 * 32 * 32 wraps mod 2^64 to 3072 — the naive product
+  // would claim a tiny payload for an absurd shape.
+  n = 0;
+  EXPECT_FALSE(checked_numel({(std::int64_t{1} << 54) + 1, 3, 32, 32}, 1u << 30, n));
+  EXPECT_EQ(n, 0u) << "out must be untouched on rejection";
+  EXPECT_FALSE(checked_numel({1 << 20}, (1 << 20) - 1, n)) << "cap is inclusive";
+  EXPECT_TRUE(checked_numel({1 << 20}, 1 << 20, n));
+  EXPECT_FALSE(checked_numel({0, 4}, 1 << 20, n)) << "non-positive dims rejected";
+}
+
+TEST(Protocol, DecodeResponseRejectsOverflowingDims) {
+  // Hand-crafted ok-response body: dims whose product wraps to 3072 over a
+  // 3072-float payload. Before the overflow guard this passed the size check
+  // and built a Tensor whose shape lied about its storage.
+  std::vector<std::uint8_t> body;
+  const auto put = [&body](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    body.insert(body.end(), b, b + n);
+  };
+  const std::uint32_t magic = kResponseMagic;
+  put(&magic, 4);
+  body.push_back(static_cast<std::uint8_t>(Status::kOk));
+  body.push_back(4);  // ndim
+  body.push_back(0);
+  body.push_back(0);  // reserved u16
+  const std::uint64_t id = 7;
+  put(&id, 8);
+  const std::int64_t dims[4] = {(std::int64_t{1} << 54) + 1, 3, 32, 32};
+  put(dims, sizeof dims);
+  const std::vector<float> payload(3072, 1.0F);
+  put(payload.data(), payload.size() * sizeof(float));
+  Response resp;
+  EXPECT_EQ(decode_response(body, resp), "response payload size mismatch");
+}
+
 // ---- slab pool --------------------------------------------------------------
 
 TEST(SlabPool, RecyclesReleasedStorage) {
@@ -358,6 +397,57 @@ TEST(NetFrontend, MalformedFrameGetsBadRequestThenClose) {
   const ssize_t n = ::read(fd, &extra, 1);
   EXPECT_TRUE(n == 0 || (n < 0 && errno == ECONNRESET))
       << "connection must be closed after a framing error (read returned " << n << ")";
+  ::close(fd);
+}
+
+TEST(NetFrontend, OverflowingDimsProductIsRejectedNotDispatched) {
+  Rng rng(18);
+  InferenceServer server;
+  Int8Pipeline pipe = tiny_pipeline(rng);
+  server.add_model("tiny", std::move(pipe));
+  NetFrontend frontend(server);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(frontend.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  // Start from a valid {1, 3, 32, 32} frame (3072 floats), then rewrite the
+  // batch dim to 2^54 + 1: the dims product wraps mod 2^64 right back to
+  // 3072, so the frame-length check alone would admit a tensor claiming
+  // ~5 * 10^19 elements over a 12 KiB payload.
+  std::vector<std::uint8_t> frame =
+      encode_request(31, "tiny", Tensor::randn({1, 3, 32, 32}, rng), {});
+  const std::int64_t huge = (std::int64_t{1} << 54) + 1;
+  std::memcpy(frame.data() + 4 + kRequestHeadBytes + 4 /* "tiny" */, &huge, sizeof huge);
+  ASSERT_EQ(::write(fd, frame.data(), frame.size()), static_cast<ssize_t>(frame.size()));
+
+  std::uint8_t len_buf[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    const ssize_t n = ::read(fd, len_buf + got, 4 - got);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  std::vector<std::uint8_t> body(load_u32(len_buf));
+  got = 0;
+  while (got < body.size()) {
+    const ssize_t n = ::read(fd, body.data() + got, body.size() - got);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  Response resp;
+  ASSERT_EQ(decode_response(body, resp), "");
+  EXPECT_EQ(resp.request_id, 31u);
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+  EXPECT_NE(resp.error.find("dims product"), std::string::npos) << resp.error;
+  std::uint8_t extra;
+  const ssize_t n = ::read(fd, &extra, 1);
+  EXPECT_TRUE(n == 0 || (n < 0 && errno == ECONNRESET))
+      << "connection must close after the rejected frame (read returned " << n << ")";
   ::close(fd);
 }
 

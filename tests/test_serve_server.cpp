@@ -475,8 +475,16 @@ TEST(InferenceServer, HighPriorityDispatchesBeforeAQueuedLowBurst) {
   InferenceServer server(opts);
   server.add_model("tiny", std::move(pipe));
 
-  // Occupy the worker so everything below queues behind the blocker.
+  // Occupy the worker, then stack three more heavy normal-priority blockers
+  // behind it: the whole burst below is submitted while the worker is still
+  // chewing blocker work, so pop order is decided purely by priority. The
+  // blockers themselves gate the lows too (normal > low) and the late highs
+  // jump everything, so the extra requests never perturb the ranks asserted.
   auto blocker = server.submit("tiny", request_input(rng, 64));
+  std::vector<std::future<Tensor>> blockers;
+  for (int i = 0; i < 3; ++i) {
+    blockers.push_back(server.submit("tiny", request_input(rng, 256)));
+  }
 
   std::atomic<int> next_rank{0};
   std::vector<int> low_rank(20, -1), high_rank(4, -1);
@@ -500,6 +508,7 @@ TEST(InferenceServer, HighPriorityDispatchesBeforeAQueuedLowBurst) {
   for (int i = 0; i < 4; ++i) submit_ranked(Priority::kHigh, &high_rank[i]);
 
   blocker.get();
+  for (auto& f : blockers) f.get();
   for (auto& f : done) f.get();
 
   int max_high = -1, min_low = 1000;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/gemm.hpp"
 #include "tensor/io.hpp"
@@ -15,6 +16,16 @@ TEST(Shape, NumelAndStrides) {
   EXPECT_EQ(numel({}), 1);
   EXPECT_EQ(strides_for({2, 3, 4}), (Shape{12, 4, 1}));
   EXPECT_THROW(numel({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, NumelOverflowThrowsInsteadOfWrapping) {
+  // (2^54 + 1) * 3 * 32 * 32 wraps mod 2^64 to 3072; a shape from untrusted
+  // bytes must never validate against storage through a wrapped product.
+  const std::int64_t huge = (std::int64_t{1} << 54) + 1;
+  EXPECT_THROW(numel({huge, 3, 32, 32}), std::overflow_error);
+  EXPECT_THROW(numel({std::numeric_limits<std::int64_t>::max(), 2}), std::overflow_error);
+  EXPECT_EQ(numel({huge, 0}), 0) << "zero dims still collapse the product";
+  EXPECT_THROW((Tensor{Shape{huge, 3, 32, 32}, std::vector<float>(3072)}), std::overflow_error);
 }
 
 TEST(Tensor, ConstructionAndFill) {
